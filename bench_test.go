@@ -1,0 +1,196 @@
+// Package repro's root benchmarks wrap one experiment per paper table and
+// figure (see EXPERIMENTS.md for the mapping and recorded results). Each
+// benchmark runs a scaled configuration of the corresponding harness in
+// internal/bench and reports throughput-style custom metrics; use
+// cmd/shadowfax-bench for the full-size runs and series output.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// benchOpts keeps testing.B runs short; the b.N loop re-runs the whole
+// (fixed-duration) experiment, so N is effectively 1 with -benchtime=1x.
+func benchOpts() bench.Options {
+	return bench.Options{
+		Keys:     20_000,
+		Duration: 500 * time.Millisecond,
+		MemPages: 128,
+	}
+}
+
+func scaleOpts() bench.ScaleOutOptions {
+	return bench.ScaleOutOptions{
+		Options:             benchOpts(),
+		WarmupBeforeMigrate: 500 * time.Millisecond,
+		TotalRuntime:        3 * time.Second,
+		SampleEvery:         100 * time.Millisecond,
+	}
+}
+
+// BenchmarkFig8ThreadScalability reports Mops/s for local FASTER, Shadowfax
+// over accelerated TCP, and Shadowfax without acceleration (Figure 8).
+func BenchmarkFig8ThreadScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig8([]int{2}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		b.ReportMetric(r.FasterMops, "faster-Mops")
+		b.ReportMetric(r.ShadowfaxMops, "shadowfax-Mops")
+		b.ReportMetric(r.NoAccelMops, "noaccel-Mops")
+	}
+}
+
+// BenchmarkFig9VsSeastar compares Shadowfax against the shared-nothing
+// Seastar baseline under uniform keys (Figure 9).
+func BenchmarkFig9VsSeastar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig9([]int{2}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		b.ReportMetric(r.ShadowfaxMops, "shadowfax-Mops")
+		b.ReportMetric(r.SeastarMops, "seastar-Mops")
+		if r.SeastarMops > 0 {
+			b.ReportMetric(r.ShadowfaxMops/r.SeastarMops, "speedup-x")
+		}
+	}
+}
+
+// BenchmarkTable2Latency reports saturation throughput and median latency
+// per network stack (Table 2).
+func BenchmarkTable2Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(2, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			// Metric units must be whitespace-free ("w/o Accel" is not).
+			name := strings.ReplaceAll(r.Network, " ", "-")
+			b.ReportMetric(r.ThroughputMops, name+"-Mops")
+			b.ReportMetric(float64(r.MedianLatency.Microseconds()), name+"-med-us")
+		}
+	}
+}
+
+// BenchmarkFig10ScaleOutInMemory runs the all-in-memory scale-out timeline
+// (Figure 10a / 11a / 12a) and reports migration duration and recovery.
+func BenchmarkFig10ScaleOutInMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		so := scaleOpts()
+		so.Mode = bench.ModeAllInMemory
+		res, err := bench.ScaleOut(so)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Report.Finished.Sub(res.Report.Started).Seconds(), "migration-s")
+		b.ReportMetric(float64(res.Report.RecordsSent), "records")
+	}
+}
+
+// BenchmarkFig10ScaleOutIndirection runs the memory-constrained scale-out
+// with indirection records (Figure 10b / 12b, §3.3.2).
+func BenchmarkFig10ScaleOutIndirection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		so := scaleOpts()
+		so.Mode = bench.ModeIndirection
+		so.Options.Keys = 40_000
+		so.Options.ValueBytes = 128
+		so.MemPagesOverride = 32
+		res, err := bench.ScaleOut(so)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Report.Finished.Sub(res.Report.Started).Seconds(), "migration-s")
+		b.ReportMetric(float64(res.Report.IndirectionsSent), "indirections")
+	}
+}
+
+// BenchmarkFig10ScaleOutRocksteady runs the scan-the-log baseline
+// (Figure 10c).
+func BenchmarkFig10ScaleOutRocksteady(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		so := scaleOpts()
+		so.Mode = bench.ModeRocksteady
+		so.Options.Keys = 40_000
+		so.Options.ValueBytes = 128
+		so.MemPagesOverride = 32
+		res, err := bench.ScaleOut(so)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Report.Finished.Sub(res.Report.Started).Seconds(), "migration-s")
+		b.ReportMetric(float64(res.Report.DiskScanRecords), "disk-scan-records")
+	}
+}
+
+// BenchmarkFig13MigrationBytes reports bytes shipped from memory per
+// migration mode (Figure 13).
+func BenchmarkFig13MigrationBytes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		so := scaleOpts()
+		so.Options.Keys = 40_000
+		so.Options.ValueBytes = 128
+		so.MemPagesOverride = 32
+		rows, err := bench.Fig13(so)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name := map[bench.ScaleOutMode]string{
+				bench.ModeAllInMemory: "mem",
+				bench.ModeIndirection: "indirection",
+				bench.ModeRocksteady:  "rocksteady",
+			}[r.Mode]
+			b.ReportMetric(float64(r.MigratedFromMemoryBytes), name+"-bytes")
+		}
+	}
+}
+
+// BenchmarkFig14SampledRecords reports sampled-record counts and target
+// ramp with sampling on/off (Figure 14).
+func BenchmarkFig14SampledRecords(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig14(scaleOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.WithSampling.Report.SampledRecords), "sampled")
+		b.ReportMetric(float64(res.WithoutSampling.Report.SampledRecords), "nosampling")
+	}
+}
+
+// BenchmarkFig15ViewValidation compares view validation against per-key
+// hash validation at a high split count (Figure 15).
+func BenchmarkFig15ViewValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig15([]int{512}, 2, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		b.ReportMetric(r.ViewMops, "view-Mops")
+		b.ReportMetric(r.HashMops, "hash-Mops")
+		b.ReportMetric(r.ImprovementPct, "gain-pct")
+	}
+}
+
+// BenchmarkClusterScale reports aggregate throughput on a 2-server cluster
+// (§4's linear-scaling claim, scaled down).
+func BenchmarkClusterScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.ClusterScale([]int{2}, 1, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Mops, "cluster-Mops")
+	}
+}

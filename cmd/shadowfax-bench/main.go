@@ -1,0 +1,333 @@
+// Command shadowfax-bench regenerates the paper's tables and figures
+// (§4) against the scaled simulation. Each sub-command prints the same
+// rows/series the paper reports; see EXPERIMENTS.md for the mapping.
+//
+// Usage:
+//
+//	shadowfax-bench <experiment> [flags]
+//
+// Experiments: table1, fig8, fig9, table2, fig10, fig11, fig12, fig13,
+// fig14, fig15, cluster, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	exp := os.Args[1]
+	fs := flag.NewFlagSet(exp, flag.ExitOnError)
+	keys := fs.Uint64("keys", 100_000, "dataset size (paper: 250M, scaled)")
+	valueBytes := fs.Int("value-bytes", 64, "value size (paper: 256)")
+	duration := fs.Duration("duration", 2*time.Second, "measurement window per point")
+	threadsFlag := fs.String("threads", "1,2,4", "comma-separated thread counts")
+	serverThreads := fs.Int("server-threads", 2, "dispatcher threads (timeline/table experiments)")
+	warmup := fs.Duration("warmup", 3*time.Second, "run time before Migrate()")
+	runtime := fs.Duration("runtime", 12*time.Second, "total timeline runtime")
+	sample := fs.Duration("sample", 250*time.Millisecond, "timeline sampling interval")
+	fraction := fs.Float64("fraction", 0.10, "hash-space fraction to migrate")
+	memPages := fs.Int("mem-pages", 256, "in-memory page frames per server")
+	budgetPages := fs.Int("budget-pages", 0, "constrained memory budget for spill modes (0=mem-pages/4)")
+	mode := fs.String("mode", "", "fig10/11/12 mode: mem | indirection | rocksteady (default: all)")
+	splitsFlag := fs.String("splits", "1,2,4,8,16,32,64,256,2048", "fig15 hash split counts")
+	serversFlag := fs.String("servers", "1,2,4", "cluster experiment server counts")
+	ssdLat := fs.Duration("ssd-latency", 0, "local SSD read latency for spill modes (0=100µs)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	fs.Parse(os.Args[2:])
+
+	o := bench.Options{
+		Keys: *keys, ValueBytes: *valueBytes, Duration: *duration,
+		MemPages: *memPages,
+	}
+	if !*quiet {
+		o.Verbose = os.Stderr
+	}
+	so := bench.ScaleOutOptions{
+		Options:             o,
+		MigrateFraction:     *fraction,
+		WarmupBeforeMigrate: *warmup,
+		TotalRuntime:        *runtime,
+		SampleEvery:         *sample,
+		ServerThreads:       *serverThreads,
+		DriveThreads:        *serverThreads,
+		MemPagesOverride:    *budgetPages,
+		SSDReadLatency:      *ssdLat,
+	}
+
+	var err error
+	switch exp {
+	case "table1":
+		printTable1()
+	case "fig8":
+		err = runFig8(parseInts(*threadsFlag), o)
+	case "fig9":
+		err = runFig9(parseInts(*threadsFlag), o)
+	case "table2":
+		err = runTable2(*serverThreads, o)
+	case "fig10", "fig11", "fig12":
+		err = runTimeline(exp, *mode, so)
+	case "fig13":
+		err = runFig13(so)
+	case "fig14":
+		err = runFig14(so)
+	case "fig15":
+		err = runFig15(parseInts(*splitsFlag), *serverThreads, o)
+	case "cluster":
+		err = runCluster(parseInts(*serversFlag), *serverThreads, o)
+	case "all":
+		err = runAll(parseInts(*threadsFlag), parseInts(*splitsFlag),
+			parseInts(*serversFlag), *serverThreads, o, so)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: shadowfax-bench <experiment> [flags]
+
+experiments:
+  table1    print the simulated environment model (paper Table 1)
+  fig8      thread scalability: FASTER vs Shadowfax vs w/o accel
+  fig9      Shadowfax vs Seastar (uniform keys)
+  table2    throughput/batch/latency/queue depth per network stack
+  fig10     system throughput during scale-out (-mode=mem|indirection|rocksteady)
+  fig11     per-server throughput during scale-out
+  fig12     pending-set size during scale-out
+  fig13     bytes migrated from memory per mode
+  fig14     target ramp-up with/without sampled records
+  fig15     view validation vs hash validation vs hash splits
+  cluster   aggregate throughput vs server count
+  all       run everything with the current flags`)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func printTable1() {
+	fmt.Println("# Table 1: simulated environment (paper: Azure E64_v3)")
+	fmt.Println("component      paper                         this reproduction")
+	fmt.Println("CPU            Xeon E5-2673 v4, 64 vCPUs     goroutine-per-vCPU dispatchers (configurable)")
+	fmt.Println("RAM            432 GB                        configurable page-frame budget (MemPages<<PageBits)")
+	fmt.Println("SSD            96k IOPS, 500 MB/s            storage.MemDevice with latency/IOPS model")
+	fmt.Println("Network        30 Gbps, HW accelerated       transport.CostModel (per-frame + per-byte CPU burn)")
+	fmt.Println("Remote tier    Azure premium page blobs      storage.SharedTier (2ms, 7500 IOPS, 250 MB/s)")
+	fmt.Println("OS             Ubuntu 18.04                  host Go runtime")
+}
+
+func runFig8(threads []int, o bench.Options) error {
+	rows, err := bench.Fig8(threads, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 8: YCSB-F, Zipfian(0.99), throughput vs threads (Mops/s)")
+	fmt.Printf("%-8s %-12s %-12s %-12s\n", "threads", "faster", "shadowfax", "w/o-accel")
+	for _, r := range rows {
+		fmt.Printf("%-8d %-12.3f %-12.3f %-12.3f\n",
+			r.Threads, r.FasterMops, r.ShadowfaxMops, r.NoAccelMops)
+	}
+	return nil
+}
+
+func runFig9(threads []int, o bench.Options) error {
+	rows, err := bench.Fig9(threads, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 9: YCSB-F, uniform, throughput vs threads (Mops/s)")
+	fmt.Printf("%-8s %-12s %-12s %-8s\n", "threads", "shadowfax", "seastar", "ratio")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.SeastarMops > 0 {
+			ratio = r.ShadowfaxMops / r.SeastarMops
+		}
+		fmt.Printf("%-8d %-12.3f %-12.3f %-8.1fx\n",
+			r.Threads, r.ShadowfaxMops, r.SeastarMops, ratio)
+	}
+	return nil
+}
+
+func runTable2(threads int, o bench.Options) error {
+	rows, err := bench.Table2(threads, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Table 2: saturation throughput / batch size / median latency / queue depth")
+	fmt.Printf("%-12s %-14s %-12s %-14s %-10s\n",
+		"network", "Mops/s", "batch(B)", "median-lat", "queue")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-14.3f %-12d %-14v %-10.0f\n",
+			r.Network, r.ThroughputMops, r.BatchBytes, r.MedianLatency,
+			r.MeanQueueDepth)
+	}
+	return nil
+}
+
+func parseMode(mode string) (bench.ScaleOutMode, bool) {
+	switch mode {
+	case "mem", "memory":
+		return bench.ModeAllInMemory, true
+	case "indirection":
+		return bench.ModeIndirection, true
+	case "rocksteady":
+		return bench.ModeRocksteady, true
+	}
+	return 0, false
+}
+
+func runTimeline(which, mode string, so bench.ScaleOutOptions) error {
+	modes := []bench.ScaleOutMode{bench.ModeAllInMemory,
+		bench.ModeIndirection, bench.ModeRocksteady}
+	if m, ok := parseMode(mode); ok {
+		modes = []bench.ScaleOutMode{m}
+	}
+	for _, m := range modes {
+		run := so
+		run.Mode = m
+		res, err := bench.ScaleOut(run)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %s (%s): migration at %v, recovered in %v, took %v\n",
+			strings.ToUpper(which), m, res.MigrationAt.Round(time.Millisecond),
+			res.ThroughputRecoveredIn.Round(time.Millisecond),
+			res.Report.Finished.Sub(res.Report.Started).Round(time.Millisecond))
+		switch which {
+		case "fig10":
+			fmt.Printf("%-10s %-12s\n", "t(s)", "system-Mops")
+			for _, s := range res.Samples {
+				fmt.Printf("%-10.2f %-12.4f\n", s.At.Seconds(), s.SystemMops)
+			}
+		case "fig11":
+			fmt.Printf("%-10s %-12s %-12s\n", "t(s)", "source-Mops", "target-Mops")
+			for _, s := range res.Samples {
+				fmt.Printf("%-10.2f %-12.4f %-12.4f\n",
+					s.At.Seconds(), s.SourceMops, s.TargetMops)
+			}
+		case "fig12":
+			fmt.Printf("%-10s %-12s\n", "t(s)", "pending")
+			for _, s := range res.Samples {
+				fmt.Printf("%-10.2f %-12d\n", s.At.Seconds(), s.PendingOps)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig13(so bench.ScaleOutOptions) error {
+	rows, err := bench.Fig13(so)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 13: data migrated from main memory")
+	fmt.Printf("%-24s %-16s %-12s\n", "mode", "bytes-from-mem", "took")
+	for _, r := range rows {
+		fmt.Printf("%-24s %-16d %-12v\n", r.Mode, r.MigratedFromMemoryBytes,
+			r.MigrationTook.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runFig14(so bench.ScaleOutOptions) error {
+	res, err := bench.Fig14(so)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 14: target throughput after ownership transfer")
+	fmt.Printf("%-10s %-14s %-14s\n", "t(s)", "sampling", "no-sampling")
+	n := len(res.WithSampling.Samples)
+	if len(res.WithoutSampling.Samples) < n {
+		n = len(res.WithoutSampling.Samples)
+	}
+	for i := 0; i < n; i++ {
+		a := res.WithSampling.Samples[i]
+		b := res.WithoutSampling.Samples[i]
+		fmt.Printf("%-10.2f %-14.4f %-14.4f\n", a.At.Seconds(), a.TargetMops, b.TargetMops)
+	}
+	fmt.Printf("# sampled records shipped: %d (with) vs %d (without)\n",
+		res.WithSampling.Report.SampledRecords,
+		res.WithoutSampling.Report.SampledRecords)
+	return nil
+}
+
+func runFig15(splits []int, threads int, o bench.Options) error {
+	rows, err := bench.Fig15(splits, threads, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 15: ownership validation overhead vs hash splits")
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "splits", "view-Mops", "hash-Mops", "view-gain")
+	for _, r := range rows {
+		fmt.Printf("%-8d %-12.3f %-12.3f %+.1f%%\n",
+			r.Splits, r.ViewMops, r.HashMops, r.ImprovementPct)
+	}
+	return nil
+}
+
+func runCluster(servers []int, threadsPer int, o bench.Options) error {
+	rows, err := bench.ClusterScale(servers, threadsPer, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Cluster scaling (§4: 8 servers reach 400 Mops/s in the paper)")
+	fmt.Printf("%-10s %-12s\n", "servers", "Mops/s")
+	for _, r := range rows {
+		fmt.Printf("%-10d %-12.3f\n", r.Servers, r.Mops)
+	}
+	return nil
+}
+
+func runAll(threads, splits, servers []int, serverThreads int,
+	o bench.Options, so bench.ScaleOutOptions) error {
+	printTable1()
+	fmt.Println()
+	steps := []func() error{
+		func() error { return runFig8(threads, o) },
+		func() error { return runFig9(threads, o) },
+		func() error { return runTable2(serverThreads, o) },
+		func() error { return runTimeline("fig10", "", so) },
+		func() error { return runTimeline("fig11", "", so) },
+		func() error { return runTimeline("fig12", "", so) },
+		func() error { return runFig13(so) },
+		func() error { return runFig14(so) },
+		func() error { return runFig15(splits, serverThreads, o) },
+		func() error { return runCluster(servers, serverThreads, o) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command shadowfax-cli issues ad-hoc operations against a shadowfax-server
+// over TCP: get / set / del / rmw <key> [value|delta].
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: shadowfax-cli [-addr host:port] <get|set|del|rmw> <key> [value|delta]")
+		os.Exit(2)
+	}
+
+	tr := transport.NewTCP(transport.Free)
+	conn, err := tr.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	op := wire.Op{Seq: 1, Key: []byte(args[1])}
+	switch args[0] {
+	case "get":
+		op.Kind = wire.OpRead
+	case "set":
+		if len(args) < 3 {
+			log.Fatal("set needs a value")
+		}
+		op.Kind = wire.OpUpsert
+		op.Value = []byte(args[2])
+	case "del":
+		op.Kind = wire.OpDelete
+	case "rmw":
+		op.Kind = wire.OpRMW
+		delta := uint64(1)
+		if len(args) >= 3 {
+			d, err := strconv.ParseUint(args[2], 10, 64)
+			if err != nil {
+				log.Fatal(err)
+			}
+			delta = d
+		}
+		op.Value = make([]byte, 8)
+		binary.LittleEndian.PutUint64(op.Value, delta)
+	default:
+		log.Fatalf("unknown op %q", args[0])
+	}
+
+	// The view number is learned by probing: send with view 1 and follow
+	// the server's hint on rejection.
+	view := uint64(1)
+	for attempt := 0; attempt < 3; attempt++ {
+		batch := wire.RequestBatch{View: view, SessionID: 1, Ops: []wire.Op{op}}
+		if err := conn.Send(wire.AppendRequestBatch(nil, &batch)); err != nil {
+			log.Fatal(err)
+		}
+		frame, err := recvWithTimeout(conn, 5*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var resp wire.ResponseBatch
+		if err := wire.DecodeResponseBatch(frame, &resp); err != nil {
+			log.Fatal(err)
+		}
+		if resp.Rejected {
+			view = resp.ServerView
+			continue
+		}
+		for _, r := range resp.Results {
+			switch r.Status {
+			case wire.StatusOK:
+				if op.Kind == wire.OpRead {
+					if len(r.Value) == 8 {
+						fmt.Printf("%q = %d (8-byte counter)\n", args[1],
+							binary.LittleEndian.Uint64(r.Value))
+					} else {
+						fmt.Printf("%q = %q\n", args[1], r.Value)
+					}
+				} else {
+					fmt.Println("OK")
+				}
+			case wire.StatusNotFound:
+				fmt.Println("(not found)")
+			default:
+				fmt.Println("error")
+			}
+		}
+		return
+	}
+	log.Fatal("could not agree on a view with the server")
+}
+
+func recvWithTimeout(conn transport.Conn, d time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		frame, ok, err := conn.TryRecv()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return frame, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil, fmt.Errorf("timeout after %v", d)
+}

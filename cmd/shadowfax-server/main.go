@@ -1,0 +1,74 @@
+// Command shadowfax-server runs a single Shadowfax server over real TCP.
+//
+// For multi-server deployments every server needs the same metadata store;
+// this binary embeds an in-process one, so it is intended for single-node
+// use and for driving the store with cmd/shadowfax-cli. Multi-server
+// clusters live in examples/cluster and examples/scaleout (single process,
+// shared metadata), matching the simulation substitutions in DESIGN.md §2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/metadata"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	threads := flag.Int("threads", 2, "dispatcher threads (vCPUs)")
+	dir := flag.String("data", "", "data directory (empty = in-memory device)")
+	pageBits := flag.Uint("page-bits", 16, "log2 page size")
+	memPages := flag.Int("mem-pages", 256, "in-memory page frames")
+	flag.Parse()
+
+	var dev storage.Device
+	if *dir == "" {
+		dev = storage.NewMemDevice(storage.LatencyModel{}, 4)
+	} else {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		fd, err := storage.NewFileDevice(filepath.Join(*dir, "hlog.dat"),
+			storage.LatencyModel{}, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev = fd
+	}
+	defer dev.Close()
+
+	meta := metadata.NewStore()
+	tr := transport.NewTCP(transport.AcceleratedTCP)
+	srv, err := core.NewServer(core.ServerConfig{
+		ID: "server-1", Addr: *addr, Threads: *threads,
+		Transport: tr, Meta: meta,
+		Store: faster.Config{
+			IndexBuckets: 1 << 16,
+			Log: hlog.Config{
+				PageBits: *pageBits, MemPages: *memPages,
+				MutablePages: *memPages / 2, Device: dev, LogID: "server-1",
+			},
+		},
+	}, metadata.FullRange)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta.SetServerAddr("server-1", srv.Addr())
+	fmt.Printf("shadowfax-server listening on %s (%d threads)\n", srv.Addr(), *threads)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,82 @@
+// Quickstart: boot a Shadowfax server in-process, connect the asynchronous
+// client library, and run reads, upserts, read-modify-writes and deletes.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/metadata"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	// Every deployment shares three fixtures: a metadata store (ZooKeeper's
+	// stand-in), a transport (with its network cost model), and a shared
+	// remote storage tier.
+	meta := metadata.NewStore()
+	tr := transport.NewInMem(transport.AcceleratedTCP)
+	tier := storage.NewSharedTier(storage.LatencyModel{})
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+
+	srv, err := core.NewServer(core.ServerConfig{
+		ID: "server-1", Addr: "server-1", Threads: 2,
+		Transport: tr, Meta: meta,
+		Store: faster.Config{
+			IndexBuckets: 1 << 12,
+			Log: hlog.Config{PageBits: 16, MemPages: 64, MutablePages: 32,
+				Device: dev, Tier: tier, LogID: "server-1"},
+		},
+	}, metadata.FullRange) // owns the whole hash space
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	meta.SetServerAddr("server-1", srv.Addr())
+
+	// One client thread: all operations are asynchronous; callbacks run
+	// during Poll/Drain on this goroutine.
+	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ct.Close()
+
+	// Blind write, then read back.
+	ct.Upsert([]byte("greeting"), []byte("hello, shadowfax"), nil)
+	ct.Read([]byte("greeting"), func(st wire.ResultStatus, v []byte) {
+		fmt.Printf("greeting = %q (%v)\n", v, st)
+	})
+
+	// Read-modify-write: 8-byte little-endian counters (YCSB-F's op).
+	delta := make([]byte, 8)
+	binary.LittleEndian.PutUint64(delta, 1)
+	for i := 0; i < 41; i++ {
+		ct.RMW([]byte("clicks"), delta, nil)
+	}
+	binary.LittleEndian.PutUint64(delta, 1)
+	ct.RMW([]byte("clicks"), delta, nil)
+	ct.Read([]byte("clicks"), func(st wire.ResultStatus, v []byte) {
+		fmt.Printf("clicks = %d\n", binary.LittleEndian.Uint64(v))
+	})
+
+	// Delete.
+	ct.Delete([]byte("greeting"), nil)
+	ct.Read([]byte("greeting"), func(st wire.ResultStatus, v []byte) {
+		fmt.Printf("after delete: %v\n", st)
+	})
+
+	if !ct.Drain(10 * time.Second) {
+		log.Fatal("operations did not complete")
+	}
+	fmt.Printf("server completed %d operations\n", srv.Stats().OpsCompleted.Load())
+}

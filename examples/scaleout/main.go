@@ -1,0 +1,133 @@
+// Scaleout: the paper's headline elasticity demo (§3.3). Two servers, all
+// data initially on the source; under live YCSB-F load, 10% of the hash
+// space is migrated to the idle target with the five-phase protocol, and
+// the migration's phases, throughput and report are printed.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/metadata"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/ycsb"
+)
+
+const keys = 50_000
+
+func newServer(id string, meta *metadata.Store, tr transport.Transport,
+	tier *storage.SharedTier, ranges ...metadata.HashRange) (*core.Server, func()) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	srv, err := core.NewServer(core.ServerConfig{
+		ID: id, Addr: id, Threads: 2,
+		Transport: tr, Meta: meta,
+		Store: faster.Config{
+			IndexBuckets: 1 << 14,
+			Log: hlog.Config{PageBits: 16, MemPages: 128, MutablePages: 64,
+				Device: dev, Tier: tier, LogID: id},
+		},
+		SampleDuration: 200 * time.Millisecond,
+	}, ranges...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta.SetServerAddr(id, srv.Addr())
+	return srv, func() { srv.Close(); dev.Close() }
+}
+
+func main() {
+	meta := metadata.NewStore()
+	tr := transport.NewInMem(transport.AcceleratedTCP)
+	tier := storage.NewSharedTier(storage.LatencyModel{ReadLatency: 2 * time.Millisecond})
+	src, closeSrc := newServer("source", meta, tr, tier, metadata.FullRange)
+	tgt, closeTgt := newServer("target", meta, tr, tier)
+	defer closeTgt()
+	defer closeSrc()
+
+	// Load.
+	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	one := make([]byte, 8)
+	binary.LittleEndian.PutUint64(one, 1)
+	for i := uint64(0); i < keys; i++ {
+		ct.RMW(ycsb.KeyBytes(i), one, nil)
+		for ct.Outstanding() > 2048 {
+			ct.Poll()
+		}
+	}
+	ct.Drain(30 * time.Second)
+	fmt.Printf("loaded %d keys on %s\n", keys, src.ID())
+
+	// Live load in the background.
+	stop := make(chan struct{})
+	go func() {
+		wc, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+		if err != nil {
+			return
+		}
+		defer wc.Close()
+		z := ycsb.NewZipfian(keys, ycsb.DefaultTheta, 7)
+		for {
+			select {
+			case <-stop:
+				wc.Drain(10 * time.Second)
+				return
+			default:
+			}
+			for i := 0; i < 128; i++ {
+				wc.RMW(ycsb.KeyBytes(z.Next()), one, nil)
+			}
+			wc.Flush()
+			for wc.Outstanding() > 2048 {
+				if wc.Poll() == 0 {
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+		}
+	}()
+	time.Sleep(time.Second)
+
+	// Migrate 10% of the hash space while serving.
+	tenPct := metadata.HashRange{Start: 0, End: ^uint64(0) / 10}
+	fmt.Printf("migrating %s from %s to %s...\n", tenPct, src.ID(), tgt.ID())
+	if _, err := src.StartMigration("target", tenPct); err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch until both sides mark the dependency done.
+	for {
+		time.Sleep(250 * time.Millisecond)
+		pend := len(meta.PendingMigrationsFor("source")) +
+			len(meta.PendingMigrationsFor("target"))
+		fmt.Printf("  source=%-9d target=%-9d pending-deps=%d\n",
+			src.Stats().OpsCompleted.Load(), tgt.Stats().OpsCompleted.Load(), pend)
+		if pend == 0 {
+			break
+		}
+	}
+	close(stop)
+	time.Sleep(200 * time.Millisecond)
+
+	rep := src.LastMigrationReport()
+	fmt.Printf("migration done: %d records (%d sampled hot, %d indirections), "+
+		"%d bytes from memory, ownership moved in %v, total %v\n",
+		rep.RecordsSent, rep.SampledRecords, rep.IndirectionsSent,
+		rep.BytesFromMemory,
+		rep.OwnershipAt.Sub(rep.Started).Round(time.Millisecond),
+		rep.Finished.Sub(rep.Started).Round(time.Millisecond))
+
+	// Both servers now serve their halves.
+	sv, _ := meta.GetView("source")
+	tv, _ := meta.GetView("target")
+	fmt.Printf("views: source #%d owns %d ranges; target #%d owns %d ranges\n",
+		sv.Number, len(sv.Ranges), tv.Number, len(tv.Ranges))
+}

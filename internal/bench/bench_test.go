@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// tiny returns options scaled for fast CI-style runs.
+func tiny() Options {
+	return Options{
+		Keys:     5_000,
+		Duration: 300 * time.Millisecond,
+		MemPages: 64,
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	rows, err := Fig8([]int{1, 2}, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FasterMops <= 0 || r.ShadowfaxMops <= 0 || r.NoAccelMops <= 0 {
+			t.Fatalf("zero throughput: %+v", r)
+		}
+		// The acceleration gap is Figure 8's headline: software TCP must
+		// cost throughput.
+		if r.NoAccelMops >= r.ShadowfaxMops {
+			t.Logf("warning: no-accel (%v) not below accel (%v) at %d threads",
+				r.NoAccelMops, r.ShadowfaxMops, r.Threads)
+		}
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	rows, err := Fig9([]int{2}, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].ShadowfaxMops <= 0 || rows[0].SeastarMops <= 0 {
+		t.Fatalf("zero throughput: %+v", rows[0])
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	rows, err := Table2(2, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ThroughputMops <= 0 {
+			t.Fatalf("zero throughput for %s", r.Network)
+		}
+		if r.MedianLatency <= 0 {
+			t.Fatalf("no latency for %s", r.Network)
+		}
+	}
+}
+
+func TestScaleOutSmoke(t *testing.T) {
+	so := ScaleOutOptions{
+		Options:             tiny(),
+		Mode:                ModeAllInMemory,
+		WarmupBeforeMigrate: 300 * time.Millisecond,
+		TotalRuntime:        1500 * time.Millisecond,
+		SampleEvery:         100 * time.Millisecond,
+	}
+	res, err := ScaleOut(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 5 {
+		t.Fatalf("only %d samples", len(res.Samples))
+	}
+	if res.Report.RecordsSent == 0 {
+		t.Fatal("migration sent nothing")
+	}
+	// Target must have served some traffic after the migration.
+	servedTarget := false
+	for _, s := range res.Samples {
+		if s.TargetMops > 0 {
+			servedTarget = true
+		}
+	}
+	if !servedTarget {
+		t.Fatal("target never served traffic post-migration")
+	}
+}
+
+func TestScaleOutIndirectionSmoke(t *testing.T) {
+	o := tiny()
+	o.Keys = 20_000
+	o.ValueBytes = 128
+	so := ScaleOutOptions{
+		Options:             o,
+		Mode:                ModeIndirection,
+		WarmupBeforeMigrate: 300 * time.Millisecond,
+		TotalRuntime:        2 * time.Second,
+		SampleEvery:         100 * time.Millisecond,
+		MemPagesOverride:    16, // 1 MiB budget -> spills
+	}
+	res, err := ScaleOut(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.IndirectionsSent == 0 {
+		t.Fatal("no indirection records in indirection mode")
+	}
+}
+
+func TestFig15Smoke(t *testing.T) {
+	rows, err := Fig15([]int{1, 64}, 2, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ViewMops <= 0 || r.HashMops <= 0 {
+			t.Fatalf("zero throughput: %+v", r)
+		}
+	}
+}
+
+func TestClusterScaleSmoke(t *testing.T) {
+	rows, err := ClusterScale([]int{1, 2}, 1, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Mops <= 0 || rows[1].Mops <= 0 {
+		t.Fatalf("zero throughput: %+v", rows)
+	}
+}
+
+func TestSplitFullCoversSpace(t *testing.T) {
+	for _, p := range []int{1, 3, 16, 2048} {
+		ranges := splitFull(p)
+		if len(ranges) != p {
+			t.Fatalf("splitFull(%d) gave %d ranges", p, len(ranges))
+		}
+		if ranges[0].Start != 0 || ranges[p-1].End != ^uint64(0) {
+			t.Fatalf("splitFull(%d) does not cover the space", p)
+		}
+		for i := 1; i < p; i++ {
+			if ranges[i].Start != ranges[i-1].End {
+				t.Fatalf("splitFull(%d) has a gap at %d", p, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/metadata"
+	"repro/internal/seastar"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/ycsb"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 8: thread scalability — local FASTER vs Shadowfax vs w/o accel.
+
+// Fig8Row is one thread count's throughput for the three systems.
+type Fig8Row struct {
+	Threads       int
+	FasterMops    float64 // requests generated on the same machine
+	ShadowfaxMops float64 // over accelerated TCP
+	NoAccelMops   float64 // acceleration disabled
+}
+
+// Fig8 reproduces Figure 8: YCSB-F, Zipfian(0.99), dataset in memory.
+func Fig8(threadCounts []int, o Options) ([]Fig8Row, error) {
+	o = o.withDefaults()
+	var rows []Fig8Row
+	for _, n := range threadCounts {
+		row := Fig8Row{Threads: n}
+		var err error
+		if row.FasterMops, err = fasterLocal(o, n); err != nil {
+			return rows, err
+		}
+		if row.ShadowfaxMops, err = shadowfaxPoint(o, n, transport.AcceleratedTCP, ZipfianGen(o.Keys)); err != nil {
+			return rows, err
+		}
+		if row.NoAccelMops, err = shadowfaxPoint(o, n, transport.SoftwareTCP, ZipfianGen(o.Keys)); err != nil {
+			return rows, err
+		}
+		o.logf("fig8 threads=%d faster=%.3f shadowfax=%.3f noaccel=%.3f",
+			n, row.FasterMops, row.ShadowfaxMops, row.NoAccelMops)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// fasterLocal measures raw FASTER with n local sessions (no network), the
+// paper's "requests generated on the same machine" series.
+func fasterLocal(o Options, n int) (float64, error) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	st, err := faster.NewStore(faster.Config{
+		IndexBuckets: 1 << 16,
+		Log: hlog.Config{PageBits: o.PageBits, MemPages: o.MemPages,
+			MutablePages: o.MemPages / 2, Device: dev},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+
+	// Preload.
+	sess := st.NewSession()
+	val := make([]byte, o.ValueBytes)
+	for i := uint64(0); i < o.Keys; i++ {
+		sess.Upsert(ycsb.KeyBytes(i), val, nil)
+	}
+	sess.Close()
+
+	done := make(chan uint64, n)
+	for t := 0; t < n; t++ {
+		go func(t int) {
+			s := st.NewSession()
+			defer s.Close()
+			z := ycsb.NewZipfian(o.Keys, ycsb.DefaultTheta, uint64(t+1))
+			delta := make([]byte, 8)
+			binary.LittleEndian.PutUint64(delta, 1)
+			var key [8]byte
+			var ops uint64
+			deadline := time.Now().Add(o.Duration)
+			for time.Now().Before(deadline) {
+				for j := 0; j < 256; j++ {
+					ycsb.FillKey(key[:], z.Next())
+					s.RMW(key[:], delta, nil)
+					ops++
+				}
+				s.CompletePending(false)
+				s.Refresh()
+			}
+			s.CompletePending(true)
+			done <- ops
+		}(t)
+	}
+	var total uint64
+	for t := 0; t < n; t++ {
+		total += <-done
+	}
+	return float64(total) / o.Duration.Seconds() / 1e6, nil
+}
+
+// shadowfaxPoint measures one server with n dispatcher threads and n client
+// threads over the given network cost model.
+func shadowfaxPoint(o Options, n int, cost transport.CostModel, gf genFactory) (float64, error) {
+	cl := NewCluster(cost)
+	defer cl.Close()
+	if _, err := cl.AddServer(ServerSpec{
+		ID: "s1", Threads: n, PageBits: o.PageBits, MemPages: o.MemPages,
+		Ranges: []metadata.HashRange{metadata.FullRange},
+	}); err != nil {
+		return 0, err
+	}
+	if err := cl.Load(o); err != nil {
+		return 0, err
+	}
+	clients := o.ClientThreads
+	if clients == 0 {
+		clients = n
+	}
+	res, err := cl.drive(o, clients, gf, o.Duration, false, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.Mops(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: Shadowfax vs Seastar under a uniform distribution.
+
+// Fig9Row is one thread count's comparison.
+type Fig9Row struct {
+	Threads       int
+	SeastarMops   float64
+	ShadowfaxMops float64
+}
+
+// Fig9 reproduces Figure 9.
+func Fig9(threadCounts []int, o Options) ([]Fig9Row, error) {
+	o = o.withDefaults()
+	var rows []Fig9Row
+	for _, n := range threadCounts {
+		row := Fig9Row{Threads: n}
+		var err error
+		if row.ShadowfaxMops, err = shadowfaxPoint(o, n, transport.AcceleratedTCP, UniformGen(o.Keys)); err != nil {
+			return rows, err
+		}
+		if row.SeastarMops, err = seastarPoint(o, n); err != nil {
+			return rows, err
+		}
+		o.logf("fig9 threads=%d shadowfax=%.3f seastar=%.3f",
+			n, row.ShadowfaxMops, row.SeastarMops)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// seastarPoint measures the shared-nothing baseline with n cores and n
+// client connections, uniform keys, 100-op batches (the paper's setting).
+func seastarPoint(o Options, n int) (float64, error) {
+	tr := transport.NewInMem(transport.AcceleratedTCP)
+	srv, err := seastar.NewServer(seastar.Config{
+		Addr: "seastar", Cores: n, Transport: tr})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+
+	// Preload through one connection.
+	lc, err := seastar.NewClient(tr, srv.Addr(), 100)
+	if err != nil {
+		return 0, err
+	}
+	val := make([]byte, o.ValueBytes)
+	for i := uint64(0); i < o.Keys; i++ {
+		lc.Upsert(ycsb.KeyBytes(i), val, nil)
+		if lc.Outstanding() > o.Outstanding {
+			for lc.Outstanding() > o.Outstanding/2 {
+				if lc.Poll() == 0 {
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+		}
+	}
+	if !lc.Drain(120 * time.Second) {
+		return 0, fmt.Errorf("bench: seastar load did not drain")
+	}
+	lc.Close()
+
+	done := make(chan uint64, n)
+	for t := 0; t < n; t++ {
+		go func(t int) {
+			c, err := seastar.NewClient(tr, srv.Addr(), 100)
+			if err != nil {
+				done <- 0
+				return
+			}
+			defer c.Close()
+			u := ycsb.NewUniform(o.Keys, uint64(t+1))
+			delta := make([]byte, 8)
+			binary.LittleEndian.PutUint64(delta, 1)
+			var key [8]byte
+			var ops uint64
+			deadline := time.Now().Add(o.Duration)
+			for time.Now().Before(deadline) {
+				for j := 0; j < 64; j++ {
+					ycsb.FillKey(key[:], u.Next())
+					c.RMW(key[:], delta, nil)
+					ops++
+				}
+				c.Flush()
+				for c.Outstanding() > o.Outstanding {
+					if c.Poll() == 0 {
+						time.Sleep(10 * time.Microsecond)
+					}
+				}
+				c.Poll()
+			}
+			c.Drain(30 * time.Second)
+			done <- ops
+		}(t)
+	}
+	var total uint64
+	for t := 0; t < n; t++ {
+		total += <-done
+	}
+	return float64(total) / o.Duration.Seconds() / 1e6, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: batching and latency at saturation for the four network stacks.
+
+// Table2Row mirrors the paper's Table 2.
+type Table2Row struct {
+	Network        string
+	ThroughputMops float64
+	BatchBytes     int
+	MedianLatency  time.Duration
+	MeanQueueDepth float64
+}
+
+// Table2 measures saturation throughput, configured batch size, median
+// latency and queue depth for each network cost model.
+func Table2(threads int, o Options) ([]Table2Row, error) {
+	o = o.withDefaults()
+	type cfg struct {
+		model transport.CostModel
+		batch int // ops per batch, chosen per the paper's batch sizes
+	}
+	cfgs := []cfg{
+		{transport.AcceleratedTCP, 256}, // ~32 KB batches in the paper
+		{transport.SoftwareTCP, 256},
+		{transport.Infrc, 16}, // ~1 KB batches
+		{transport.TCPIPoIB, 64},
+	}
+	var rows []Table2Row
+	for _, c := range cfgs {
+		oc := o
+		oc.BatchOps = c.batch
+		mops, med, depth, err := table2Point(oc, threads, c.model)
+		if err != nil {
+			return rows, err
+		}
+		row := Table2Row{
+			Network:        c.model.Name,
+			ThroughputMops: mops,
+			BatchBytes:     c.batch * (19 + 8 + 8), // encoded op footprint
+			MedianLatency:  med,
+			MeanQueueDepth: depth,
+		}
+		o.logf("table2 %-10s %.3f Mops batch=%dB median=%v depth=%.0f",
+			row.Network, row.ThroughputMops, row.BatchBytes, row.MedianLatency,
+			row.MeanQueueDepth)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table2Point(o Options, threads int, cost transport.CostModel) (float64, time.Duration, float64, error) {
+	cl := NewCluster(cost)
+	defer cl.Close()
+	if _, err := cl.AddServer(ServerSpec{
+		ID: "s1", Threads: threads, PageBits: o.PageBits, MemPages: o.MemPages,
+		Ranges: []metadata.HashRange{metadata.FullRange},
+	}); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := cl.Load(o); err != nil {
+		return 0, 0, 0, err
+	}
+	clients := o.ClientThreads
+	if clients == 0 {
+		clients = threads
+	}
+	res, err := cl.drive(o, clients, ZipfianGen(o.Keys), o.Duration, true, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	med := time.Duration(0)
+	if len(res.LatencySamples) > 0 {
+		sort.Slice(res.LatencySamples, func(i, j int) bool {
+			return res.LatencySamples[i] < res.LatencySamples[j]
+		})
+		med = res.LatencySamples[len(res.LatencySamples)/2]
+	}
+	return res.Mops(), med, res.MeanOutstanding, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15: view validation vs per-key hash validation.
+
+// Fig15Row is one hash-split count's comparison.
+type Fig15Row struct {
+	Splits         int
+	ViewMops       float64
+	HashMops       float64
+	ImprovementPct float64
+}
+
+// Fig15 reproduces Figure 15: normal-case throughput as the server's owned
+// hash-range count grows, with batch-level view validation vs per-key hash
+// validation.
+func Fig15(splits []int, threads int, o Options) ([]Fig15Row, error) {
+	o = o.withDefaults()
+	var rows []Fig15Row
+	for _, p := range splits {
+		// The server owns p contiguous ranges covering the hash space.
+		ranges := splitFull(p)
+		view, err := fig15Point(o, threads, ranges, false)
+		if err != nil {
+			return rows, err
+		}
+		hash, err := fig15Point(o, threads, ranges, true)
+		if err != nil {
+			return rows, err
+		}
+		row := Fig15Row{Splits: p, ViewMops: view, HashMops: hash}
+		if hash > 0 {
+			row.ImprovementPct = (view - hash) / hash * 100
+		}
+		o.logf("fig15 splits=%-5d view=%.3f hash=%.3f (+%.1f%%)",
+			p, view, hash, row.ImprovementPct)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// splitFull divides the hash space into p equal contiguous ranges.
+func splitFull(p int) []metadata.HashRange {
+	out := make([]metadata.HashRange, p)
+	width := ^uint64(0) / uint64(p)
+	cur := uint64(0)
+	for i := 0; i < p; i++ {
+		end := cur + width
+		if i == p-1 {
+			end = ^uint64(0)
+		}
+		out[i] = metadata.HashRange{Start: cur, End: end}
+		cur = end
+	}
+	return out
+}
+
+func fig15Point(o Options, threads int, ranges []metadata.HashRange, hashValidate bool) (float64, error) {
+	cl := NewCluster(transport.AcceleratedTCP)
+	defer cl.Close()
+	srv, err := cl.AddServer(ServerSpec{
+		ID: "s1", Threads: threads, PageBits: o.PageBits, MemPages: o.MemPages,
+		Ranges: ranges,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.Load(o); err != nil {
+		return 0, err
+	}
+	srv.SetHashValidation(hashValidate)
+	clients := o.ClientThreads
+	if clients == 0 {
+		clients = threads
+	}
+	res, err := cl.drive(o, clients, ZipfianGen(o.Keys), o.Duration, false, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.Mops(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Cluster scaling (§4 text: 8 servers, linear to 400 Mops/s).
+
+// ClusterRow is one server count's aggregate throughput.
+type ClusterRow struct {
+	Servers int
+	Mops    float64
+}
+
+// ClusterScale measures aggregate throughput as servers are added, each
+// owning an equal slice of the hash space.
+func ClusterScale(serverCounts []int, threadsPer int, o Options) ([]ClusterRow, error) {
+	o = o.withDefaults()
+	var rows []ClusterRow
+	for _, n := range serverCounts {
+		cl := NewCluster(transport.AcceleratedTCP)
+		ranges := splitFull(n)
+		for i := 0; i < n; i++ {
+			if _, err := cl.AddServer(ServerSpec{
+				ID: fmt.Sprintf("s%d", i+1), Threads: threadsPer,
+				PageBits: o.PageBits, MemPages: o.MemPages,
+				Ranges: []metadata.HashRange{ranges[i]},
+			}); err != nil {
+				cl.Close()
+				return rows, err
+			}
+		}
+		if err := cl.Load(o); err != nil {
+			cl.Close()
+			return rows, err
+		}
+		clients := o.ClientThreads
+		if clients == 0 {
+			clients = n * threadsPer
+		}
+		res, err := cl.drive(o, clients, ZipfianGen(o.Keys), o.Duration, false, nil)
+		cl.Close()
+		if err != nil {
+			return rows, err
+		}
+		row := ClusterRow{Servers: n, Mops: res.Mops()}
+		o.logf("cluster servers=%d mops=%.3f", n, row.Mops)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

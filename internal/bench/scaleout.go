@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metadata"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// ScaleOutMode selects the migration configuration under test (Figures
+// 10–12's three panels).
+type ScaleOutMode int
+
+// Scale-out modes.
+const (
+	// ModeAllInMemory: the dataset fits the source's memory budget.
+	ModeAllInMemory ScaleOutMode = iota
+	// ModeIndirection: memory-constrained; indirection records keep the
+	// migration in memory (the Shadowfax approach, §3.3.2).
+	ModeIndirection
+	// ModeRocksteady: memory-constrained; the baseline scans the on-SSD log
+	// single-threaded after the memory pass.
+	ModeRocksteady
+)
+
+func (m ScaleOutMode) String() string {
+	switch m {
+	case ModeAllInMemory:
+		return "All Data In Memory"
+	case ModeIndirection:
+		return "Indirection Records"
+	case ModeRocksteady:
+		return "Rocksteady"
+	default:
+		return "?"
+	}
+}
+
+// TimelineSample is one sampling interval of a scale-out run (Figures 10,
+// 11 and 12 plot these series).
+type TimelineSample struct {
+	At         time.Duration // since experiment start
+	SystemMops float64
+	SourceMops float64
+	TargetMops float64
+	PendingOps int64
+}
+
+// ScaleOutResult is a full scale-out experiment record.
+type ScaleOutResult struct {
+	Mode        ScaleOutMode
+	Samples     []TimelineSample
+	MigrationAt time.Duration
+	Report      core.MigrationReport
+	// MigratedFromMemoryBytes reproduces Figure 13.
+	MigratedFromMemoryBytes uint64
+	// ThroughputRecoveredIn is the time from migration start until system
+	// throughput regained 90% of the pre-migration mean.
+	ThroughputRecoveredIn time.Duration
+}
+
+// ScaleOutOptions extends Options with timeline parameters.
+type ScaleOutOptions struct {
+	Options
+	// Mode selects the migration configuration.
+	Mode ScaleOutMode
+	// MigrateFraction is the slice of the source's hash space to move
+	// (paper: 10%).
+	MigrateFraction float64
+	// WarmupBeforeMigrate is how long to run before triggering Migrate().
+	WarmupBeforeMigrate time.Duration
+	// TotalRuntime is the whole experiment duration.
+	TotalRuntime time.Duration
+	// SampleEvery sets the timeline resolution.
+	SampleEvery time.Duration
+	// ServerThreads / DriveThreads size the deployment.
+	ServerThreads int
+	DriveThreads  int
+	// NoSampling disables hot-record shipping (Figure 14's baseline).
+	NoSampling bool
+	// MemPagesOverride constrains the source's memory budget for the
+	// indirection/Rocksteady modes (0 = Options.MemPages).
+	MemPagesOverride int
+	// SSDReadLatency models the local device in spill modes (0 = 100µs);
+	// the Rocksteady disk scan is sensitive to it, the indirection path is
+	// not — the contrast Figure 10(b)/(c) measures.
+	SSDReadLatency time.Duration
+}
+
+func (so ScaleOutOptions) withDefaults() ScaleOutOptions {
+	so.Options = so.Options.withDefaults()
+	if so.MigrateFraction == 0 {
+		so.MigrateFraction = 0.10
+	}
+	if so.WarmupBeforeMigrate == 0 {
+		so.WarmupBeforeMigrate = 3 * time.Second
+	}
+	if so.TotalRuntime == 0 {
+		so.TotalRuntime = 15 * time.Second
+	}
+	if so.SampleEvery == 0 {
+		so.SampleEvery = 250 * time.Millisecond
+	}
+	if so.ServerThreads == 0 {
+		so.ServerThreads = 2
+	}
+	if so.DriveThreads == 0 {
+		so.DriveThreads = 2
+	}
+	return so
+}
+
+// ScaleOut runs the Figure 10/11/12 experiment: load a source server, drive
+// YCSB-F, migrate a fraction of the hash space to an idle target at the
+// warmup mark, and sample system/source/target throughput plus the target's
+// pending set until the end of the run.
+func ScaleOut(so ScaleOutOptions) (*ScaleOutResult, error) {
+	so = so.withDefaults()
+	o := so.Options
+
+	memPages := o.MemPages
+	ssd := storage.LatencyModel{}
+	switch so.Mode {
+	case ModeIndirection, ModeRocksteady:
+		if so.MemPagesOverride > 0 {
+			memPages = so.MemPagesOverride
+		} else {
+			memPages = o.MemPages / 4 // force a stable region on "SSD"
+		}
+		lat := so.SSDReadLatency
+		if lat == 0 {
+			lat = 100 * time.Microsecond
+		}
+		ssd = storage.LatencyModel{ReadLatency: lat,
+			WriteLatency: 100 * time.Microsecond}
+	}
+
+	cl := NewCluster(transport.AcceleratedTCP)
+	defer cl.Close()
+	src, err := cl.AddServer(ServerSpec{
+		ID: "source", Threads: so.ServerThreads,
+		PageBits: o.PageBits, MemPages: memPages,
+		Rocksteady: so.Mode == ModeRocksteady,
+		NoSampling: so.NoSampling,
+		SSDModel:   ssd,
+		Ranges:     []metadata.HashRange{metadata.FullRange},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := cl.AddServer(ServerSpec{
+		ID: "target", Threads: so.ServerThreads,
+		PageBits: o.PageBits, MemPages: memPages,
+		SSDModel: ssd,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Load(o); err != nil {
+		return nil, err
+	}
+	if so.Mode != ModeAllInMemory && src.Store().Log().SafeHeadAddress() == 0 {
+		return nil, fmt.Errorf("bench: dataset did not spill to SSD; increase Keys or shrink MemPagesOverride")
+	}
+
+	res := &ScaleOutResult{Mode: so.Mode, MigrationAt: so.WarmupBeforeMigrate}
+
+	// Background drive for the whole runtime.
+	stop := make(chan struct{})
+	driveDone := make(chan error, 1)
+	go func() {
+		_, err := cl.drive(o, so.DriveThreads, ZipfianGen(o.Keys), so.TotalRuntime, false, stop)
+		driveDone <- err
+	}()
+
+	// Timeline sampler.
+	start := time.Now()
+	var lastSrc, lastTgt uint64
+	migrated := false
+	var preMigrationMops float64
+	var preSamples int
+	recovered := time.Duration(0)
+	ticker := time.NewTicker(so.SampleEvery)
+	defer ticker.Stop()
+	for time.Since(start) < so.TotalRuntime {
+		<-ticker.C
+		at := time.Since(start)
+		curSrc := src.Stats().OpsCompleted.Load()
+		curTgt := tgt.Stats().OpsCompleted.Load()
+		interval := so.SampleEvery.Seconds()
+		sample := TimelineSample{
+			At:         at,
+			SourceMops: float64(curSrc-lastSrc) / interval / 1e6,
+			TargetMops: float64(curTgt-lastTgt) / interval / 1e6,
+			PendingOps: tgt.Stats().PendingOps.Load(),
+		}
+		sample.SystemMops = sample.SourceMops + sample.TargetMops
+		res.Samples = append(res.Samples, sample)
+		lastSrc, lastTgt = curSrc, curTgt
+
+		if !migrated && at >= so.WarmupBeforeMigrate {
+			migrated = true
+			// Pre-migration mean for the recovery metric.
+			for _, s := range res.Samples[1:] {
+				preMigrationMops += s.SystemMops
+				preSamples++
+			}
+			if preSamples > 0 {
+				preMigrationMops /= float64(preSamples)
+			}
+			width := uint64(float64(^uint64(0)) * so.MigrateFraction)
+			if _, err := src.StartMigration("target",
+				metadata.HashRange{Start: 0, End: width}); err != nil {
+				close(stop)
+				<-driveDone
+				return res, err
+			}
+			res.MigrationAt = at
+		}
+		if migrated && recovered == 0 && preMigrationMops > 0 &&
+			sample.SystemMops >= 0.9*preMigrationMops && at > res.MigrationAt {
+			recovered = at - res.MigrationAt
+		}
+	}
+	close(stop)
+	if err := <-driveDone; err != nil {
+		return res, err
+	}
+	// The migration may still be finishing (checkpoints, pending drain);
+	// wait for the dependency to clear before reading the report.
+	waitDeadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(waitDeadline) {
+		if len(cl.Meta.PendingMigrationsFor("source")) == 0 &&
+			len(cl.Meta.PendingMigrationsFor("target")) == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res.Report = src.LastMigrationReport()
+	res.MigratedFromMemoryBytes = res.Report.BytesFromMemory
+	res.ThroughputRecoveredIn = recovered
+	return res, nil
+}
+
+// Fig13Row is one migration mode's bytes-shipped-from-memory (Figure 13).
+type Fig13Row struct {
+	Mode                    ScaleOutMode
+	MigratedFromMemoryBytes uint64
+	MigrationTook           time.Duration
+}
+
+// Fig13 runs the three scale-out modes and reports data migrated from main
+// memory plus end-to-end migration duration.
+func Fig13(so ScaleOutOptions) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, mode := range []ScaleOutMode{ModeAllInMemory, ModeIndirection, ModeRocksteady} {
+		run := so
+		run.Mode = mode
+		res, err := ScaleOut(run)
+		if err != nil {
+			return rows, err
+		}
+		took := res.Report.Finished.Sub(res.Report.Started)
+		rows = append(rows, Fig13Row{
+			Mode:                    mode,
+			MigratedFromMemoryBytes: res.MigratedFromMemoryBytes,
+			MigrationTook:           took,
+		})
+		so.Options.logf("fig13 %-22s bytes=%d took=%v", mode,
+			res.MigratedFromMemoryBytes, took)
+	}
+	return rows, nil
+}
+
+// Fig14Result compares target ramp-up with and without sampled records.
+type Fig14Result struct {
+	WithSampling    *ScaleOutResult
+	WithoutSampling *ScaleOutResult
+}
+
+// TargetRampTime returns how long after ownership transfer the target's
+// throughput first exceeded threshold Mops.
+func targetRampTime(r *ScaleOutResult, threshold float64) time.Duration {
+	for _, s := range r.Samples {
+		if s.At > r.MigrationAt && s.TargetMops >= threshold {
+			return s.At - r.MigrationAt
+		}
+	}
+	return -1
+}
+
+// Fig14 reproduces Figure 14: target throughput immediately after ownership
+// transfer, sampling on vs off (all data in memory).
+func Fig14(so ScaleOutOptions) (*Fig14Result, error) {
+	so.Mode = ModeAllInMemory
+	with := so
+	with.NoSampling = false
+	withRes, err := ScaleOut(with)
+	if err != nil {
+		return nil, err
+	}
+	without := so
+	without.NoSampling = true
+	withoutRes, err := ScaleOut(without)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig14Result{WithSampling: withRes, WithoutSampling: withoutRes}, nil
+}

@@ -1,0 +1,198 @@
+package client_test
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/metadata"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/ycsb"
+)
+
+func fixture(t *testing.T) (*metadata.Store, *transport.InMem, *core.Server) {
+	t.Helper()
+	meta := metadata.NewStore()
+	tr := transport.NewInMem(transport.Free)
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 2)
+	srv, err := core.NewServer(core.ServerConfig{
+		ID: "s1", Addr: "s1", Threads: 1, Transport: tr, Meta: meta,
+		Store: faster.Config{IndexBuckets: 1 << 10,
+			Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+				Device: dev, LogID: "s1"}},
+	}, metadata.FullRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.SetServerAddr("s1", srv.Addr())
+	t.Cleanup(func() { srv.Close(); dev.Close() })
+	return meta, tr, srv
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := client.NewThread(client.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestBatchingFlushesAtThreshold(t *testing.T) {
+	meta, tr, srv := fixture(t)
+	_ = srv
+	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta, BatchOps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	// Three ops: below threshold, nothing sent yet.
+	for i := 0; i < 3; i++ {
+		ct.Upsert(ycsb.KeyBytes(uint64(i)), []byte("v"), nil)
+	}
+	if ct.Stats().BatchesSent != 0 {
+		t.Fatal("batch sent below threshold")
+	}
+	// Fourth op triggers the flush.
+	ct.Upsert(ycsb.KeyBytes(3), []byte("v"), nil)
+	if ct.Stats().BatchesSent != 1 {
+		t.Fatalf("batches sent = %d, want 1", ct.Stats().BatchesSent)
+	}
+	if !ct.Drain(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+}
+
+func TestCallbacksExactlyOnce(t *testing.T) {
+	meta, tr, _ := fixture(t)
+	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta, BatchOps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	counts := make(map[uint64]int)
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		i := i
+		ct.RMW(ycsb.KeyBytes(i), nil, func(st wire.ResultStatus, _ []byte) {
+			counts[i]++
+		})
+	}
+	if !ct.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	for i := uint64(0); i < n; i++ {
+		if counts[i] != 1 {
+			t.Fatalf("key %d callback ran %d times", i, counts[i])
+		}
+	}
+}
+
+func TestOutstandingAccounting(t *testing.T) {
+	meta, tr, _ := fixture(t)
+	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta, BatchOps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	for i := 0; i < 10; i++ {
+		ct.Upsert(ycsb.KeyBytes(uint64(i)), []byte("v"), nil)
+	}
+	if got := ct.Outstanding(); got != 10 {
+		t.Fatalf("outstanding = %d, want 10", got)
+	}
+	if !ct.Drain(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	if got := ct.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after drain = %d", got)
+	}
+}
+
+func TestValueCopySemantics(t *testing.T) {
+	// The client copies keys and values at issue time: mutating the
+	// caller's buffers afterwards must not corrupt the stored data.
+	meta, tr, _ := fixture(t)
+	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta, BatchOps: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	key := []byte("mutable-key")
+	val := []byte("original")
+	ct.Upsert(key, val, nil)
+	copy(val, "CLOBBER!")
+	var got string
+	ct.Read([]byte("mutable-key"), func(st wire.ResultStatus, v []byte) {
+		got = string(v)
+	})
+	if !ct.Drain(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	if got != "original" {
+		t.Fatalf("stored %q; caller buffer mutation leaked", got)
+	}
+}
+
+func TestMigrateRPC(t *testing.T) {
+	meta, tr, srv := fixture(t)
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 2)
+	defer dev.Close()
+	tgt, err := core.NewServer(core.ServerConfig{
+		ID: "s2", Addr: "s2", Threads: 1, Transport: tr, Meta: meta,
+		Store: faster.Config{IndexBuckets: 1 << 10,
+			Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+				Device: dev, LogID: "s2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	meta.SetServerAddr("s2", tgt.Addr())
+
+	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	// Seed a little data, then drive the Migrate() RPC through the client.
+	d := make([]byte, 8)
+	binary.LittleEndian.PutUint64(d, 1)
+	for i := uint64(0); i < 100; i++ {
+		ct.RMW(ycsb.KeyBytes(i), d, nil)
+	}
+	ct.Drain(10 * time.Second)
+
+	if err := ct.Migrate("s1", "s2", metadata.HashRange{Start: 0, End: 1 << 62}); err != nil {
+		t.Fatal(err)
+	}
+	// Migration registered at the metadata store.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(meta.PendingMigrationsFor("s1")) > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(meta.PendingMigrationsFor("s1")) != 0 {
+		t.Fatal("migration never completed")
+	}
+	// Operations still complete after the view change (reissue path).
+	ok := 0
+	for i := uint64(0); i < 100; i++ {
+		ct.RMW(ycsb.KeyBytes(i), d, func(st wire.ResultStatus, _ []byte) {
+			if st == wire.StatusOK {
+				ok++
+			}
+		})
+	}
+	if !ct.Drain(10 * time.Second) {
+		t.Fatal("post-migration drain timed out")
+	}
+	if ok != 100 {
+		t.Fatalf("%d/100 ops after migration", ok)
+	}
+	_ = srv
+}

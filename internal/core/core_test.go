@@ -1,0 +1,576 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/metadata"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/ycsb"
+)
+
+// cluster bundles the shared fixtures of an integration test.
+type cluster struct {
+	meta *metadata.Store
+	tr   *transport.InMem
+	tier *storage.SharedTier
+}
+
+func newCluster() *cluster {
+	return &cluster{
+		meta: metadata.NewStore(),
+		tr:   transport.NewInMem(transport.Free),
+		tier: storage.NewSharedTier(storage.LatencyModel{}),
+	}
+}
+
+// newServer boots a server with a small memory budget (4 KiB pages, 16
+// frames).
+func (cl *cluster) newServer(t testing.TB, id string, threads int, ranges ...metadata.HashRange) *Server {
+	t.Helper()
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	s, err := NewServer(ServerConfig{
+		ID: id, Addr: id, Threads: threads,
+		Transport: cl.tr, Meta: cl.meta,
+		Store: faster.Config{
+			IndexBuckets: 1 << 10,
+			Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+				Device: dev, Tier: cl.tier, LogID: id},
+		},
+		SampleDuration: 10 * time.Millisecond,
+	}, ranges...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.meta.SetServerAddr(id, s.Addr())
+	t.Cleanup(func() { s.Close(); dev.Close() })
+	return s
+}
+
+func (cl *cluster) newClient(t testing.TB) *client.Thread {
+	t.Helper()
+	ct, err := client.NewThread(client.Config{
+		Transport: cl.tr, Meta: cl.meta, BatchOps: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ct.Close)
+	return ct
+}
+
+func d8(n uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, n)
+	return b
+}
+
+func TestClientServerBasicOps(t *testing.T) {
+	cl := newCluster()
+	cl.newServer(t, "s1", 2, metadata.FullRange)
+	ct := cl.newClient(t)
+
+	var readVal []byte
+	var readStatus wire.ResultStatus = 255
+	ct.Upsert([]byte("alpha"), []byte("one"), nil)
+	ct.Read([]byte("alpha"), func(st wire.ResultStatus, v []byte) {
+		readStatus = st
+		readVal = append([]byte(nil), v...)
+	})
+	if !ct.Drain(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	if readStatus != wire.StatusOK || string(readVal) != "one" {
+		t.Fatalf("read: %v %q", readStatus, readVal)
+	}
+
+	// Missing key.
+	missing := wire.ResultStatus(255)
+	ct.Read([]byte("nope"), func(st wire.ResultStatus, _ []byte) { missing = st })
+	ct.Drain(5 * time.Second)
+	if missing != wire.StatusNotFound {
+		t.Fatalf("missing key: %v", missing)
+	}
+
+	// Delete.
+	ct.Delete([]byte("alpha"), nil)
+	gone := wire.ResultStatus(255)
+	ct.Read([]byte("alpha"), func(st wire.ResultStatus, _ []byte) { gone = st })
+	ct.Drain(5 * time.Second)
+	if gone != wire.StatusNotFound {
+		t.Fatalf("deleted key: %v", gone)
+	}
+}
+
+func TestClientServerRMWCounters(t *testing.T) {
+	cl := newCluster()
+	cl.newServer(t, "s1", 2, metadata.FullRange)
+	ct := cl.newClient(t)
+
+	key := ycsb.KeyBytes(7)
+	const n = 500
+	for i := 0; i < n; i++ {
+		ct.RMW(key, d8(1), nil)
+	}
+	if !ct.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	var got uint64
+	ct.Read(key, func(st wire.ResultStatus, v []byte) {
+		if st == wire.StatusOK && len(v) >= 8 {
+			got = binary.LittleEndian.Uint64(v)
+		}
+	})
+	ct.Drain(5 * time.Second)
+	if got != n {
+		t.Fatalf("counter = %d, want %d (lost or duplicated RMWs)", got, n)
+	}
+}
+
+func TestTwoServersHashPartitioned(t *testing.T) {
+	cl := newCluster()
+	mid := uint64(1) << 63
+	cl.newServer(t, "s1", 2, metadata.HashRange{Start: 0, End: mid})
+	cl.newServer(t, "s2", 2, metadata.HashRange{Start: mid, End: ^uint64(0)})
+	ct := cl.newClient(t)
+
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		ct.Upsert(ycsb.KeyBytes(i), d8(i), nil)
+	}
+	if !ct.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	bad := 0
+	for i := uint64(0); i < n; i++ {
+		want := i
+		ct.Read(ycsb.KeyBytes(i), func(st wire.ResultStatus, v []byte) {
+			if st != wire.StatusOK || binary.LittleEndian.Uint64(v) != want {
+				bad++
+			}
+		})
+	}
+	ct.Drain(10 * time.Second)
+	if bad != 0 {
+		t.Fatalf("%d keys wrong across partitioned servers", bad)
+	}
+	// Both servers must actually have served traffic.
+	st1 := clusterServerOps(t, cl, "s1")
+	st2 := clusterServerOps(t, cl, "s2")
+	if st1 == 0 || st2 == 0 {
+		t.Fatalf("traffic not partitioned: s1=%d s2=%d", st1, st2)
+	}
+}
+
+var serversByID = map[string]*Server{}
+
+func clusterServerOps(t *testing.T, cl *cluster, id string) uint64 {
+	t.Helper()
+	s, ok := serversByID[t.Name()+"/"+id]
+	if !ok {
+		return 1 // fallback: can't inspect
+	}
+	return s.Stats().OpsCompleted.Load()
+}
+
+func TestViewRejectionAndReissue(t *testing.T) {
+	cl := newCluster()
+	s1 := cl.newServer(t, "s1", 2, metadata.FullRange)
+	ct := cl.newClient(t)
+
+	// Prime a session (caches view 1).
+	ct.Upsert(ycsb.KeyBytes(0), d8(0), nil)
+	ct.Drain(5 * time.Second)
+
+	// Bump the server's view out from under the client by migrating a
+	// sliver of hash space to a second server.
+	s2 := cl.newServer(t, "s2", 2)
+	_ = s2
+	if _, err := s1.StartMigration("s2", metadata.HashRange{Start: 0, End: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the source adopts its new view (post-Transfer).
+	deadline := time.Now().Add(5 * time.Second)
+	for s1.CurrentView().Number < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s1.CurrentView().Number < 2 {
+		t.Fatal("source never adopted the new view")
+	}
+
+	// Old-view batches must be rejected and transparently reissued.
+	ok := 0
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		ct.RMW(ycsb.KeyBytes(i), d8(1), func(st wire.ResultStatus, _ []byte) {
+			if st == wire.StatusOK {
+				ok++
+			}
+		})
+	}
+	if !ct.Drain(10 * time.Second) {
+		t.Fatalf("drain timed out; outstanding=%d", ct.Outstanding())
+	}
+	if ok != n {
+		t.Fatalf("only %d/%d ops completed after view change", ok, n)
+	}
+	if ct.Stats().BatchesRejected == 0 {
+		t.Fatal("no batch was ever rejected; view validation untested")
+	}
+}
+
+// loadKeys writes n keys through a client and waits for them.
+func loadKeys(t *testing.T, ct *client.Thread, n uint64) {
+	t.Helper()
+	for i := uint64(0); i < n; i++ {
+		ct.RMW(ycsb.KeyBytes(i), d8(i+1), nil)
+		if ct.Outstanding() > 2048 {
+			ct.Poll()
+		}
+	}
+	if !ct.Drain(30 * time.Second) {
+		t.Fatal("load did not drain")
+	}
+}
+
+// verifyKeys checks counters i -> i+1 for all keys, tolerating keys served
+// by either server after migration.
+func verifyKeys(t *testing.T, ct *client.Thread, n uint64) {
+	t.Helper()
+	bad := 0
+	var firstBad uint64
+	for i := uint64(0); i < n; i++ {
+		i := i
+		ct.Read(ycsb.KeyBytes(i), func(st wire.ResultStatus, v []byte) {
+			if st != wire.StatusOK || len(v) < 8 || binary.LittleEndian.Uint64(v) != i+1 {
+				if bad == 0 {
+					firstBad = i
+				}
+				bad++
+			}
+		})
+		if ct.Outstanding() > 2048 {
+			ct.Poll()
+		}
+	}
+	if !ct.Drain(30 * time.Second) {
+		t.Fatalf("verify did not drain; outstanding=%d", ct.Outstanding())
+	}
+	if bad != 0 {
+		t.Fatalf("%d keys wrong after migration (first: %d)", bad, firstBad)
+	}
+}
+
+func TestMigrationAllInMemory(t *testing.T) {
+	cl := newCluster()
+	src := cl.newServer(t, "src", 2, metadata.FullRange)
+	cl.newServer(t, "dst", 2)
+	ct := cl.newClient(t)
+
+	const n = 400
+	loadKeys(t, ct, n)
+
+	// Migrate 25% of the hash space.
+	rng := metadata.HashRange{Start: 0, End: 1 << 62}
+	if _, err := src.StartMigration("dst", rng); err != nil {
+		t.Fatal(err)
+	}
+	waitMigrationsDone(t, cl.meta, 10*time.Second)
+
+	verifyKeys(t, ct, n)
+	rep := src.LastMigrationReport()
+	if rep.RecordsSent == 0 {
+		t.Fatal("migration sent no records")
+	}
+	if rep.Finished.IsZero() || rep.OwnershipAt.IsZero() {
+		t.Fatalf("incomplete report: %+v", rep)
+	}
+}
+
+func TestMigrationWritesDuringMigration(t *testing.T) {
+	cl := newCluster()
+	src := cl.newServer(t, "src", 2, metadata.FullRange)
+	cl.newServer(t, "dst", 2)
+	ct := cl.newClient(t)
+
+	const n = 300
+	loadKeys(t, ct, n)
+
+	rng := metadata.HashRange{Start: 0, End: 1 << 63}
+	if _, err := src.StartMigration("dst", rng); err != nil {
+		t.Fatal(err)
+	}
+	// Keep incrementing all keys while the migration runs.
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		for i := uint64(0); i < n; i++ {
+			ct.RMW(ycsb.KeyBytes(i), d8(1000), nil)
+			if ct.Outstanding() > 1024 {
+				ct.Poll()
+			}
+		}
+	}
+	if !ct.Drain(30 * time.Second) {
+		t.Fatalf("in-migration writes did not drain; outstanding=%d", ct.Outstanding())
+	}
+	waitMigrationsDone(t, cl.meta, 15*time.Second)
+
+	// Every key must now be (i+1) + rounds*1000: no lost updates across the
+	// ownership transfer.
+	bad := 0
+	for i := uint64(0); i < n; i++ {
+		want := (i + 1) + rounds*1000
+		ct.Read(ycsb.KeyBytes(i), func(st wire.ResultStatus, v []byte) {
+			if st != wire.StatusOK || binary.LittleEndian.Uint64(v) != want {
+				bad++
+			}
+		})
+	}
+	ct.Drain(30 * time.Second)
+	if bad != 0 {
+		t.Fatalf("%d keys lost updates across migration", bad)
+	}
+}
+
+func TestMigrationWithIndirectionRecords(t *testing.T) {
+	cl := newCluster()
+	src := cl.newServer(t, "src", 2, metadata.FullRange)
+	dst := cl.newServer(t, "dst", 2)
+	ct := cl.newClient(t)
+
+	// Enough data to spill the source's log to "SSD" (64 KiB budget).
+	const n = 2500
+	loadKeys(t, ct, n)
+	if src.Store().Log().SafeHeadAddress() == 0 {
+		t.Fatal("source log never spilled; indirection path not exercised")
+	}
+
+	rng := metadata.HashRange{Start: 0, End: 1 << 63}
+	if _, err := src.StartMigration("dst", rng); err != nil {
+		t.Fatal(err)
+	}
+	waitMigrationsDone(t, cl.meta, 20*time.Second)
+
+	rep := src.LastMigrationReport()
+	if rep.IndirectionsSent == 0 {
+		t.Fatal("no indirection records sent despite on-SSD chains")
+	}
+	// All keys readable; cold ones resolve through the shared tier.
+	verifyKeys(t, ct, n)
+	if dst.Stats().RemoteFetches.Load() == 0 {
+		t.Fatal("target never fetched from the shared tier")
+	}
+}
+
+func TestMigrationRocksteadyBaseline(t *testing.T) {
+	cl := newCluster()
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	src, err := NewServer(ServerConfig{
+		ID: "src", Addr: "src", Threads: 2,
+		Transport: cl.tr, Meta: cl.meta,
+		Store: faster.Config{
+			IndexBuckets: 1 << 10,
+			Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+				Device: dev, Tier: cl.tier, LogID: "src"},
+		},
+		SampleDuration: 10 * time.Millisecond,
+		Rocksteady:     true,
+	}, metadata.FullRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.meta.SetServerAddr("src", src.Addr())
+	t.Cleanup(func() { src.Close(); dev.Close() })
+	cl.newServer(t, "dst", 2)
+	ct := cl.newClient(t)
+
+	const n = 2500
+	loadKeys(t, ct, n)
+	if src.Store().Log().SafeHeadAddress() == 0 {
+		t.Fatal("source log never spilled")
+	}
+	rng := metadata.HashRange{Start: 0, End: 1 << 63}
+	if _, err := src.StartMigration("dst", rng); err != nil {
+		t.Fatal(err)
+	}
+	waitMigrationsDone(t, cl.meta, 30*time.Second)
+
+	rep := src.LastMigrationReport()
+	if !rep.Rocksteady {
+		t.Fatal("report not marked Rocksteady")
+	}
+	if rep.IndirectionsSent != 0 {
+		t.Fatal("Rocksteady mode must not emit indirection records")
+	}
+	if rep.DiskScanRecords == 0 {
+		t.Fatal("Rocksteady disk scan shipped nothing")
+	}
+	verifyKeys(t, ct, n)
+}
+
+func TestSampledRecordsShipAtTransfer(t *testing.T) {
+	cl := newCluster()
+	src := cl.newServer(t, "src", 2, metadata.FullRange)
+	cl.newServer(t, "dst", 2)
+	ct := cl.newClient(t)
+
+	const n = 200
+	loadKeys(t, ct, n)
+
+	// Touch a hot subset continuously while migration starts so sampling
+	// copies them to the tail.
+	stopTouch := make(chan struct{})
+	touchDone := make(chan struct{})
+	go func() {
+		defer close(touchDone)
+		ct2 := cl.newClient(t)
+		for {
+			select {
+			case <-stopTouch:
+				return
+			default:
+			}
+			for i := uint64(0); i < 20; i++ {
+				ct2.RMW(ycsb.KeyBytes(i), d8(0), nil)
+			}
+			ct2.Flush()
+			ct2.Poll()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Let the toucher warm up so accesses overlap the Sampling window.
+	time.Sleep(20 * time.Millisecond)
+	rng := metadata.FullRange
+	if _, err := src.StartMigration("dst", rng); err != nil {
+		t.Fatal(err)
+	}
+	waitMigrationsDone(t, cl.meta, 15*time.Second)
+	close(stopTouch)
+	<-touchDone
+
+	rep := src.LastMigrationReport()
+	if rep.SampledRecords == 0 {
+		t.Fatal("no sampled hot records shipped at ownership transfer")
+	}
+}
+
+func waitMigrationsDone(t *testing.T, meta *metadata.Store, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		pending := 0
+		for _, id := range meta.Servers() {
+			pending += len(meta.PendingMigrationsFor(id))
+		}
+		if pending == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("migration still pending after %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHashValidationBaseline(t *testing.T) {
+	cl := newCluster()
+	s := cl.newServer(t, "s1", 2, metadata.FullRange)
+	s.SetHashValidation(true)
+	ct := cl.newClient(t)
+
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		ct.RMW(ycsb.KeyBytes(i), d8(1), nil)
+	}
+	if !ct.Drain(10 * time.Second) {
+		t.Fatal("drain under hash validation timed out")
+	}
+	if s.Stats().BatchesAccepted.Load() == 0 {
+		t.Fatal("no batches accepted under hash validation")
+	}
+	s.SetHashValidation(false)
+}
+
+func TestCompactedRecordRelocation(t *testing.T) {
+	// §3.3.3 receiver path: a compacted record arriving at the owner is
+	// installed only if an indirection record covers it.
+	cl := newCluster()
+	srv := cl.newServer(t, "s1", 2, metadata.FullRange)
+	ct := cl.newClient(t)
+	ct.Upsert([]byte("existing"), []byte("local"), nil)
+	ct.Drain(5 * time.Second)
+
+	// Without an indirection record the relocated record is discarded.
+	conn, err := cl.tr.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := wire.MigrationMsg{Type: wire.MsgCompacted,
+		Records: []wire.MigrationRecord{{
+			Hash: faster.HashOf([]byte("existing")),
+			Key:  []byte("existing"), Value: []byte("stale-from-compaction")}}}
+	conn.Send(wire.EncodeMigrationMsg(&msg))
+	time.Sleep(100 * time.Millisecond)
+
+	got := ""
+	ct.Read([]byte("existing"), func(st wire.ResultStatus, v []byte) { got = string(v) })
+	ct.Drain(5 * time.Second)
+	if got != "local" {
+		t.Fatalf("compacted record overwrote local value: %q", got)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	cl := newCluster()
+	s := cl.newServer(t, "s1", 1, metadata.FullRange)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputSmoke(t *testing.T) {
+	// A short YCSB-F run end to end; guards against pathological slowness.
+	cl := newCluster()
+	s := cl.newServer(t, "s1", 2, metadata.FullRange)
+	ct := cl.newClient(t)
+
+	const keys = 1000
+	loadKeys(t, ct, keys)
+
+	z := ycsb.NewZipfian(keys, ycsb.DefaultTheta, 42)
+	start := time.Now()
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		ct.RMW(ycsb.KeyBytes(z.Next()), d8(1), nil)
+		if ct.Outstanding() > 4096 {
+			ct.Poll()
+		}
+	}
+	if !ct.Drain(30 * time.Second) {
+		t.Fatal("smoke run did not drain")
+	}
+	el := time.Since(start)
+	rate := float64(ops) / el.Seconds()
+	t.Logf("YCSB-F smoke: %d ops in %v (%.0f ops/s), server completed %d",
+		ops, el, rate, s.Stats().OpsCompleted.Load())
+	if rate < 1000 {
+		t.Fatalf("pathologically slow: %.0f ops/s", rate)
+	}
+}
+
+func TestMain(m *testing.M) {
+	fmt.Print() // keep fmt imported for debug convenience
+	m.Run()
+}

@@ -1,0 +1,847 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/metadata"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Migration phases on the source (§3.3). Transitions happen on asynchronous
+// global cuts: every dispatcher enters a phase at a point of its own
+// choosing between request batches, and the transition trigger fires once
+// all have.
+type migPhase int32
+
+const (
+	phaseIdle migPhase = iota
+	phaseSampling
+	phasePrepare
+	phaseTransfer
+	phaseMigrate
+	phaseDiskScan // Rocksteady baseline only
+	phaseComplete
+)
+
+func (p migPhase) String() string {
+	switch p {
+	case phaseIdle:
+		return "Idle"
+	case phaseSampling:
+		return "Sampling"
+	case phasePrepare:
+		return "Prepare"
+	case phaseTransfer:
+		return "Transfer"
+	case phaseMigrate:
+		return "Migrate"
+	case phaseDiskScan:
+		return "DiskScan"
+	case phaseComplete:
+		return "Complete"
+	default:
+		return "?"
+	}
+}
+
+// MigrationReport summarizes a finished outbound migration (the harness
+// prints Figure 13 from these numbers).
+type MigrationReport struct {
+	ID               uint64
+	Range            metadata.HashRange
+	Started          time.Time
+	OwnershipAt      time.Time
+	RecordsDone      time.Time
+	Finished         time.Time
+	SampledRecords   int
+	RecordsSent      uint64
+	IndirectionsSent uint64
+	BytesFromMemory  uint64
+	DiskScanRecords  uint64
+	Rocksteady       bool
+}
+
+// sourceMigration is the source-side state machine.
+type sourceMigration struct {
+	s       *Server
+	mig     metadata.MigrationState
+	rng     metadata.HashRange
+	newView metadata.View
+	target  string
+	tgtAddr string
+
+	phase atomic.Int32
+
+	sampleCut hlog.Address // tail at Sampling start
+
+	cursor      atomic.Uint64 // bucket work-stealing cursor (Migrate phase)
+	threadsDone atomic.Int64
+	finishOnce  sync.Once
+
+	report   MigrationReport
+	reportMu sync.Mutex
+
+	recordsSent     atomic.Uint64
+	indirections    atomic.Uint64
+	bytesFromMemory atomic.Uint64
+	diskScanRecords atomic.Uint64
+}
+
+// targetMigration is the target-side state machine.
+type targetMigration struct {
+	s        *Server
+	migID    uint64
+	rng      metadata.HashRange
+	sourceID string
+
+	serving    atomic.Bool // true after TransferOwnership (sampled records in)
+	completed  atomic.Bool // true after CompleteMigration
+	finishOnce sync.Once
+}
+
+// pendedOp is a client operation waiting for its record to arrive (§3.3) or
+// for a shared-tier fetch to land (§3.3.2). Each dispatcher retries its own
+// pended operations, keeping everything thread-local.
+type pendedOp struct {
+	c         transport.Conn
+	sessionID uint64
+	op        wire.Op
+	// probing is set while a presence probe is in flight on storage; the
+	// retry loop skips the op until the probe's I/O drains. Written by a
+	// watcher goroutine, read by the dispatcher: atomic.
+	probing atomic.Bool
+}
+
+// sourceState returns the active outbound migration, if any.
+func (s *Server) sourceState() *sourceMigration {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return s.source
+}
+
+// targetState returns the active inbound migration, if any.
+func (s *Server) targetState() *targetMigration {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return s.target
+}
+
+// StartMigration initiates scale-out of rng from this server to target
+// (§3.3 "Migrate() RPC"). It returns once the migration is registered; the
+// protocol itself runs asynchronously across the dispatcher threads.
+func (s *Server) StartMigration(target string, rng metadata.HashRange) (uint64, error) {
+	s.migMu.Lock()
+	if s.source != nil {
+		s.migMu.Unlock()
+		return 0, fmt.Errorf("core: migration already in progress")
+	}
+	tgtAddr, err := s.meta.ServerAddr(target)
+	if err != nil {
+		s.migMu.Unlock()
+		return 0, err
+	}
+	// One atomic metadata transition: remap ownership, bump both views,
+	// register the dependency (§3.3 Sampling step 1).
+	mig, newSrc, _, err := s.meta.StartMigration(s.cfg.ID, target, rng)
+	if err != nil {
+		s.migMu.Unlock()
+		return 0, err
+	}
+	sm := &sourceMigration{
+		s: s, mig: mig, rng: rng, newView: newSrc,
+		target: target, tgtAddr: tgtAddr,
+	}
+	sm.report = MigrationReport{ID: mig.ID, Range: rng, Started: time.Now(),
+		Rocksteady: s.cfg.Rocksteady}
+	sm.phase.Store(int32(phaseSampling))
+	sm.sampleCut = s.store.Log().TailAddress()
+	s.source = sm
+	s.migMu.Unlock()
+
+	// Sampling step 2: force accessed records in the migrating range below
+	// the cut to be copied to the tail.
+	if !s.cfg.DisableSampling {
+		cut := sm.sampleCut
+		s.store.SetSampleFilter(func(hash uint64, addr hlog.Address) bool {
+			return addr < cut && rng.Contains(hash)
+		})
+	}
+
+	// The phase sequence advances on global cuts; the sampling window gets
+	// a wall-clock floor so accesses can accumulate hot records.
+	s.store.Epoch().BumpWithAction(func() {
+		go sm.afterSamplingCut()
+	})
+	return mig.ID, nil
+}
+
+// afterSamplingCut runs once every thread has entered the Sampling phase.
+func (sm *sourceMigration) afterSamplingCut() {
+	time.Sleep(sm.s.cfg.SampleDuration)
+	sm.phase.Store(int32(phasePrepare))
+	// Prepare: tell the target that ownership transfer is imminent; the
+	// RPC is asynchronous (the target also discovers the migration through
+	// the metadata store if this frame races behind client traffic).
+	sm.s.sendMigrationMsg(sm.tgtAddr, &wire.MigrationMsg{
+		Type: wire.MsgPrepForTransfer, MigrationID: sm.mig.ID,
+		SourceID: sm.s.cfg.ID, RangeStart: sm.rng.Start, RangeEnd: sm.rng.End,
+	})
+	sm.s.store.Epoch().BumpWithAction(func() {
+		go sm.transfer()
+	})
+}
+
+// transfer moves the source into the new view (it stops serving the
+// migrating ranges) and, once the view-change cut completes, ships sampled
+// hot records with the TransferedOwnership RPC.
+func (sm *sourceMigration) transfer() {
+	sm.phase.Store(int32(phaseTransfer))
+	nv := sm.newView.Clone()
+	sm.s.view.Store(&nv)
+	sm.s.store.Epoch().BumpWithAction(func() {
+		go sm.afterViewCut()
+	})
+}
+
+func (sm *sourceMigration) afterViewCut() {
+	s := sm.s
+	// Collect the hot records accumulated above the sampling cut.
+	var sampled []wire.MigrationRecord
+	if !s.cfg.DisableSampling {
+		sampled = sm.collectSampled()
+	}
+	s.store.SetSampleFilter(nil)
+	sm.reportMu.Lock()
+	sm.report.OwnershipAt = time.Now()
+	sm.report.SampledRecords = len(sampled)
+	sm.reportMu.Unlock()
+
+	s.sendMigrationMsg(sm.tgtAddr, &wire.MigrationMsg{
+		Type: wire.MsgTransferOwnership, MigrationID: sm.mig.ID,
+		SourceID: s.cfg.ID, RangeStart: sm.rng.Start, RangeEnd: sm.rng.End,
+		ViewNumber: sm.newView.Number, Records: sampled,
+	})
+	// Migrate phase: dispatchers pick up collection work from the cursor.
+	sm.phase.Store(int32(phaseMigrate))
+}
+
+// collectSampled scans [sampleCut, tail) for the newest versions of keys in
+// the migrating range, bounded by SampleLimit.
+func (sm *sourceMigration) collectSampled() []wire.MigrationRecord {
+	s := sm.s
+	sess := s.fetchSession()
+	defer s.releaseFetchSession(sess)
+	seen := make(map[string]struct{})
+	var out []wire.MigrationRecord
+	lg := s.store.Log()
+	// Scan newest-first is not possible (log order is oldest-first), so
+	// collect all candidates keeping the last (newest) version per key.
+	newest := make(map[string]wire.MigrationRecord)
+	lg.ScanMemory(sm.sampleCut, lg.TailAddress(), func(addr hlog.Address, r hlog.Record) bool {
+		m := r.Meta()
+		if m.Invalid() || m.Indirection() {
+			return true
+		}
+		h := faster.HashOf(r.Key())
+		if !sm.rng.Contains(h) {
+			return true
+		}
+		var flags uint8
+		if m.Tombstone() {
+			flags |= wire.RecFlagTombstone
+		}
+		newest[string(r.Key())] = wire.MigrationRecord{
+			Hash: h, Flags: flags,
+			Key:   append([]byte(nil), r.Key()...),
+			Value: r.ReadValueStable(nil),
+		}
+		return true
+	})
+	for k, rec := range newest {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, rec)
+		if len(out) >= s.cfg.SampleLimit {
+			break
+		}
+	}
+	return out
+}
+
+// sourceMigrationStep performs one unit of Migrate-phase work on dispatcher
+// d: claim a chunk of hash-table buckets, collect chains, ship a batch.
+// Returns whether work was done (§3.3: threads interleave this with request
+// processing; each thread works on independent hash table regions).
+func (s *Server) sourceMigrationStep(d *dispatcher) bool {
+	sm := s.sourceState()
+	if sm == nil || migPhase(sm.phase.Load()) != phaseMigrate {
+		return false
+	}
+	ix := s.store.Index()
+	n := ix.NumBuckets()
+	chunk := uint64(s.cfg.MigrationChunkBuckets)
+	b0 := sm.cursor.Add(chunk) - chunk
+	if b0 >= n {
+		// Collection finished; flush this thread's remainder and count it
+		// done exactly once per thread.
+		if !d.migDone {
+			d.flushMigrationBatch(sm, true)
+			d.migDone = true
+			if sm.threadsDone.Add(1) == int64(s.cfg.Threads) {
+				sm.finishOnce.Do(func() { go sm.afterCollection() })
+			}
+			return true
+		}
+		return false
+	}
+	end := b0 + chunk
+	if end > n {
+		end = n
+	}
+	seen := make(map[string]struct{})
+	ix.ForEachEntryInBuckets(b0, end, func(bucket uint64, slot faster.IndexSlot) bool {
+		d.sess.CollectChain(bucket, slot, sm.rng.Start, sm.rng.End,
+			!s.cfg.Rocksteady, seen, func(rec faster.CollectedRecord) {
+				d.addMigrationRecord(sm, rec)
+			})
+		return true
+	})
+	d.flushMigrationBatchIfFull(sm)
+	return true
+}
+
+// addMigrationRecord buffers one collected record for shipment.
+func (d *dispatcher) addMigrationRecord(sm *sourceMigration, rec faster.CollectedRecord) {
+	var flags uint8
+	if rec.Tombstone {
+		flags |= wire.RecFlagTombstone
+	}
+	if rec.Indirection {
+		flags |= wire.RecFlagIndirection
+		sm.indirections.Add(1)
+	}
+	d.migBatch = append(d.migBatch, wire.MigrationRecord{
+		Hash: rec.Hash, Flags: flags, Key: rec.Key, Value: rec.Value,
+	})
+	sm.recordsSent.Add(1)
+	sm.bytesFromMemory.Add(uint64(16 + len(rec.Key) + len(rec.Value)))
+}
+
+func (d *dispatcher) flushMigrationBatchIfFull(sm *sourceMigration) {
+	if len(d.migBatch) >= d.s.cfg.MigrationBatchRecords {
+		d.flushMigrationBatch(sm, false)
+	}
+}
+
+// flushMigrationBatch ships the thread's buffered records on its private
+// session to the target (parallel migration, §3.3).
+func (d *dispatcher) flushMigrationBatch(sm *sourceMigration, final bool) {
+	if len(d.migBatch) == 0 && !final {
+		return
+	}
+	if d.migConn == nil {
+		c, err := d.s.cfg.Transport.Dial(sm.tgtAddr)
+		if err != nil {
+			d.migBatch = d.migBatch[:0]
+			return
+		}
+		d.migConn = c
+	}
+	msg := wire.MigrationMsg{
+		Type: wire.MsgMigrationRecords, MigrationID: sm.mig.ID,
+		SourceID: d.s.cfg.ID, RangeStart: sm.rng.Start, RangeEnd: sm.rng.End,
+		Final: final, Records: d.migBatch,
+	}
+	d.migConn.Send(wire.EncodeMigrationMsg(&msg))
+	d.migBatch = d.migBatch[:0]
+}
+
+// afterCollection runs once every thread finished the Migrate phase: the
+// Rocksteady baseline scans the on-SSD log single-threaded; the Shadowfax
+// path (indirection records) is already done.
+func (sm *sourceMigration) afterCollection() {
+	sm.reportMu.Lock()
+	sm.report.RecordsDone = time.Now()
+	sm.reportMu.Unlock()
+	if sm.s.cfg.Rocksteady {
+		sm.phase.Store(int32(phaseDiskScan))
+		sm.diskScan()
+	}
+	sm.complete()
+}
+
+// diskScan is the Rocksteady baseline's second phase: a single thread
+// sequentially scans the stable region on the local SSD and ships live
+// records in the migrating range (§4.1, Figure 10(c)).
+func (sm *sourceMigration) diskScan() {
+	s := sm.s
+	lg := s.store.Log()
+	conn, err := s.cfg.Transport.Dial(sm.tgtAddr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	pageBits := uint(0)
+	for 1<<pageBits != lg.PageSize() {
+		pageBits++
+	}
+	endPage := lg.SafeHeadAddress().Page(pageBits)
+	buf := lg.NewPageBuffer()
+	var batch []wire.MigrationRecord
+	flush := func(final bool) {
+		if len(batch) == 0 && !final {
+			return
+		}
+		msg := wire.MigrationMsg{
+			Type: wire.MsgMigrationRecords, MigrationID: sm.mig.ID,
+			SourceID: s.cfg.ID, RangeStart: sm.rng.Start, RangeEnd: sm.rng.End,
+			Final: final, Records: batch,
+		}
+		conn.Send(wire.EncodeMigrationMsg(&msg))
+		batch = batch[:0]
+	}
+	for p := lg.BeginAddress().Page(pageBits); p < endPage; p++ {
+		if err := lg.ReadPageFromDevice(p, buf); err != nil {
+			continue
+		}
+		hlog.ScanPageBuffer(hlog.Address(p<<pageBits), buf, func(addr hlog.Address, r hlog.Record) bool {
+			m := r.Meta()
+			if m.Invalid() || m.Indirection() {
+				return true
+			}
+			h := faster.HashOf(r.Key())
+			if !sm.rng.Contains(h) {
+				return true
+			}
+			var flags uint8
+			if m.Tombstone() {
+				flags |= wire.RecFlagTombstone
+			}
+			batch = append(batch, wire.MigrationRecord{
+				Hash: h, Flags: flags,
+				Key:   append([]byte(nil), r.Key()...),
+				Value: append([]byte(nil), r.Value()...),
+			})
+			sm.diskScanRecords.Add(1)
+			if len(batch) >= s.cfg.MigrationBatchRecords {
+				flush(false)
+			}
+			return true
+		})
+	}
+	flush(true)
+}
+
+// complete sends CompleteMigration, takes the source's asynchronous
+// checkpoint, marks the source side done in the metadata store, and returns
+// the server to normal operation (§3.3 Complete).
+func (sm *sourceMigration) complete() {
+	s := sm.s
+	sm.phase.Store(int32(phaseComplete))
+	s.sendMigrationMsg(sm.tgtAddr, &wire.MigrationMsg{
+		Type: wire.MsgCompleteMigration, MigrationID: sm.mig.ID,
+		SourceID: s.cfg.ID, RangeStart: sm.rng.Start, RangeEnd: sm.rng.End,
+	})
+	var ckpt bytes.Buffer
+	done := make(chan struct{})
+	s.store.Checkpoint(&ckpt, func(faster.CheckpointInfo, error) { close(done) })
+	<-done
+	s.meta.MarkMigrationDone(sm.mig.ID, s.cfg.ID)
+
+	sm.reportMu.Lock()
+	sm.report.Finished = time.Now()
+	sm.report.RecordsSent = sm.recordsSent.Load()
+	sm.report.IndirectionsSent = sm.indirections.Load()
+	sm.report.BytesFromMemory = sm.bytesFromMemory.Load()
+	sm.report.DiskScanRecords = sm.diskScanRecords.Load()
+	sm.reportMu.Unlock()
+
+	s.migMu.Lock()
+	s.lastReport = sm.report
+	s.source = nil
+	s.migMu.Unlock()
+	sm.phase.Store(int32(phaseIdle))
+}
+
+// sendMigrationMsg dials a fresh connection for a control RPC; control
+// traffic is rare and stays off the data sessions.
+func (s *Server) sendMigrationMsg(addr string, m *wire.MigrationMsg) {
+	c, err := s.cfg.Transport.Dial(addr)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	c.Send(wire.EncodeMigrationMsg(m))
+}
+
+// LastMigrationReport returns the most recent outbound migration summary.
+func (s *Server) LastMigrationReport() MigrationReport {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return s.lastReport
+}
+
+// ---------------------------------------------------------------------------
+// Target side
+
+// discoverTargetMigration checks the metadata store for an inbound
+// migration; the target may learn about it from client traffic (view
+// mismatch → refresh) before the source's PrepForTransfer arrives.
+func (s *Server) discoverTargetMigration() {
+	for _, m := range s.meta.PendingMigrationsFor(s.cfg.ID) {
+		if m.Target != s.cfg.ID || m.TargetDone || m.Cancelled {
+			continue
+		}
+		s.ensureTargetMigration(m.ID, m.Source, m.Range)
+	}
+}
+
+func (s *Server) ensureTargetMigration(id uint64, source string, rng metadata.HashRange) *targetMigration {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	if s.target != nil && s.target.migID == id {
+		return s.target
+	}
+	if s.target == nil {
+		s.target = &targetMigration{s: s, migID: id, rng: rng, sourceID: source}
+	}
+	return s.target
+}
+
+// handleMigrationMsg processes source→target protocol frames on the
+// receiving dispatcher (§3.3: the target is mostly passive; its phase
+// changes are triggered by source RPCs).
+func (d *dispatcher) handleMigrationMsg(c transport.Conn, m *wire.MigrationMsg) {
+	s := d.s
+	switch m.Type {
+	case wire.MsgPrepForTransfer:
+		s.refreshView()
+		s.ensureTargetMigration(m.MigrationID, m.SourceID,
+			metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd})
+		ack := wire.MigrationMsg{Type: wire.MsgAck, MigrationID: m.MigrationID}
+		c.Send(wire.EncodeMigrationMsg(&ack))
+
+	case wire.MsgTransferOwnership:
+		s.refreshView()
+		tm := s.ensureTargetMigration(m.MigrationID, m.SourceID,
+			metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd})
+		// Install the sampled hot records, then begin serving the range
+		// (Figure 14's head start).
+		for i := range m.Records {
+			r := &m.Records[i]
+			d.sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
+		}
+		d.sess.CompletePending(true)
+		tm.serving.Store(true)
+		ack := wire.MigrationMsg{Type: wire.MsgAck, MigrationID: m.MigrationID}
+		c.Send(wire.EncodeMigrationMsg(&ack))
+
+	case wire.MsgMigrationRecords:
+		tm := s.ensureTargetMigration(m.MigrationID, m.SourceID,
+			metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd})
+		_ = tm
+		for i := range m.Records {
+			r := &m.Records[i]
+			if r.Flags&wire.RecFlagIndirection != 0 {
+				if d.sess.SpliceIndirection(r.Hash, r.Value) != faster.StatusOK {
+					// Fallback (§3.3.2): resolve the remote suffix eagerly.
+					s.fetchRangeFromSharedTier(r.Value)
+				}
+			} else {
+				d.sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
+			}
+		}
+
+	case wire.MsgCompleteMigration:
+		tm := s.ensureTargetMigration(m.MigrationID, m.SourceID,
+			metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd})
+		tm.completed.Store(true)
+		tm.finishOnce.Do(func() { go tm.finish() })
+
+	case wire.MsgCompacted:
+		// §3.3.3: a record relocated by another server's compaction. If a
+		// lookup runs into a covering indirection record, the key was never
+		// fetched from the shared tier: install it. Otherwise discard.
+		for i := range m.Records {
+			r := &m.Records[i]
+			st := d.sess.Read(r.Key, nil)
+			if st == faster.StatusIndirection {
+				d.sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
+			}
+		}
+	}
+}
+
+// finish runs the target's completion: it waits for the pending set to
+// drain (all records have arrived, so every pended op is now decidable),
+// takes the asynchronous checkpoint, and marks the target side done.
+func (tm *targetMigration) finish() {
+	s := tm.s
+	for s.stats.PendingOps.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var ckpt bytes.Buffer
+	done := make(chan struct{})
+	s.store.Checkpoint(&ckpt, func(faster.CheckpointInfo, error) { close(done) })
+	<-done
+	s.meta.MarkMigrationDone(tm.migID, s.cfg.ID)
+	s.migMu.Lock()
+	if s.target == tm {
+		s.target = nil
+	}
+	s.migMu.Unlock()
+}
+
+// targetMigrationStep retries this dispatcher's pended operations; it also
+// runs after migrations for operations pending on shared-tier fetches.
+func (s *Server) targetMigrationStep(d *dispatcher) bool {
+	if len(d.pending) == 0 {
+		return false
+	}
+	tm := s.targetState()
+	progress := false
+	kept := d.pending[:0]
+	for _, p := range d.pending {
+		if p.probing.Load() {
+			kept = append(kept, p)
+			continue
+		}
+		if tm != nil && !tm.serving.Load() && tm.rng.Contains(faster.HashOf(p.op.Key)) {
+			kept = append(kept, p) // ownership transfer not done yet
+			continue
+		}
+		if d.retryPended(p, tm) {
+			progress = true
+			s.stats.PendingOps.Add(-1)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	d.pending = kept
+	return progress
+}
+
+// retryPended re-executes one pended operation; returns true when it
+// completed (result queued on the connection).
+func (d *dispatcher) retryPended(p *pendedOp, tm *targetMigration) bool {
+	migrating := tm != nil && !tm.completed.Load() &&
+		tm.rng.Contains(faster.HashOf(p.op.Key))
+
+	finish := func(st faster.Status, v []byte) {
+		res := wire.Result{Seq: p.op.Seq, Status: toWireStatus(st)}
+		if st == faster.StatusOK && v != nil {
+			res.Value = append([]byte(nil), v...)
+		}
+		d.deferred[p.c] = append(d.deferred[p.c], res)
+	}
+
+	var done bool
+	st := d.sess.Read(p.op.Key, func(st faster.Status, v []byte) {
+		switch st {
+		case faster.StatusOK:
+			if p.op.Kind == wire.OpRMW {
+				d.sess.RMW(p.op.Key, p.op.Value, func(st2 faster.Status, _ []byte) {
+					finish(st2, nil)
+				})
+			} else {
+				finish(faster.StatusOK, v)
+			}
+			done = true
+		case faster.StatusNotFound:
+			if migrating {
+				return // record still in flight; keep pending
+			}
+			if p.op.Kind == wire.OpRMW {
+				// Absence is now final: apply the initial-value RMW.
+				d.sess.RMW(p.op.Key, p.op.Value, func(st2 faster.Status, _ []byte) {
+					finish(st2, nil)
+				})
+			} else {
+				finish(faster.StatusNotFound, nil)
+			}
+			done = true
+		case faster.StatusIndirection:
+			// Chain defers to the shared tier; kick a fetch and stay
+			// pended until it lands.
+			d.s.fetchFromSharedTier(p.op.Key, v)
+		}
+	})
+	if st == faster.StatusPending {
+		// The probe itself went to storage; mark the op probing so the
+		// retry loop skips it until the probe's I/O drains.
+		p.probing.Store(true)
+		pp := p
+		go func() {
+			for d.sess.Pending() > 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+			pp.probing.Store(false)
+		}()
+		return false
+	}
+	return done
+}
+
+// pendOp copies and parks an operation on the owning dispatcher.
+func (s *Server) pendOp(c transport.Conn, d *dispatcher, sessionID uint64, op *wire.Op) {
+	cop := wire.Op{Kind: op.Kind, Seq: op.Seq,
+		Key:   append([]byte(nil), op.Key...),
+		Value: append([]byte(nil), op.Value...)}
+	s.pendOpStruct(c, d, sessionID, &cop)
+}
+
+func (s *Server) pendOpStruct(c transport.Conn, d *dispatcher, sessionID uint64, op *wire.Op) {
+	d.pending = append(d.pending, &pendedOp{c: c, sessionID: sessionID, op: *op})
+	s.stats.PendingOps.Add(1)
+}
+
+// ---------------------------------------------------------------------------
+// Shared-tier fetches (§3.3.2)
+
+// fetchFromSharedTier asynchronously retrieves key's record from the remote
+// suffix described by an encoded IndirectionPayload, inserts it locally, and
+// thereby unblocks pended operations. A miss materializes as a local
+// tombstone so absence also becomes locally decidable.
+func (s *Server) fetchFromSharedTier(key []byte, payload []byte) {
+	p, ok := hlog.DecodeIndirection(payload)
+	if !ok {
+		return
+	}
+	k := string(key)
+	s.fetchMu.Lock()
+	if _, inFlight := s.fetching[k]; inFlight {
+		s.fetchMu.Unlock()
+		return
+	}
+	s.fetching[k] = struct{}{}
+	s.fetchMu.Unlock()
+
+	keyCopy := append([]byte(nil), key...)
+	go func() {
+		defer func() {
+			s.fetchMu.Lock()
+			delete(s.fetching, k)
+			s.fetchMu.Unlock()
+		}()
+		s.stats.RemoteFetches.Add(1)
+		rec, tomb, found := s.walkRemoteChain(p, keyCopy)
+		sess := s.fetchSession()
+		defer s.releaseFetchSession(sess)
+		if found {
+			sess.ConditionalInsert(keyCopy, rec, tomb, nil)
+		} else {
+			// Materialize absence: a tombstone in front of the indirection
+			// record makes the miss locally decidable.
+			sess.ConditionalInsert(keyCopy, nil, true, nil)
+		}
+		sess.CompletePending(true)
+	}()
+}
+
+// fetchRangeFromSharedTier eagerly pulls an entire remote chain suffix in;
+// the fallback when an indirection record cannot be spliced locally.
+func (s *Server) fetchRangeFromSharedTier(payload []byte) {
+	p, ok := hlog.DecodeIndirection(payload)
+	if !ok {
+		return
+	}
+	go func() {
+		s.stats.RemoteFetches.Add(1)
+		sess := s.fetchSession()
+		defer s.releaseFetchSession(sess)
+		tier := s.store.Log().Tier()
+		if tier == nil {
+			return
+		}
+		pageBits := uint(0)
+		for 1<<pageBits != s.store.Log().PageSize() {
+			pageBits++
+		}
+		logID, addr := p.LogID, p.NextAddress
+		for addr != hlog.InvalidAddress {
+			rec, err := hlog.ReadRecordFromTier(tier, logID, pageBits, addr, 512)
+			if err != nil {
+				return
+			}
+			m := rec.Meta()
+			if m.Indirection() {
+				if ip, ok := hlog.DecodeIndirection(rec.Value()); ok {
+					logID, addr = ip.LogID, ip.NextAddress
+					continue
+				}
+				return
+			}
+			if !m.Invalid() {
+				h := faster.HashOf(rec.Key())
+				if p.RangeStart <= h && h < p.RangeEnd {
+					sess.ConditionalInsert(append([]byte(nil), rec.Key()...),
+						append([]byte(nil), rec.Value()...), m.Tombstone(), nil)
+				}
+			}
+			addr = m.Previous()
+		}
+		sess.CompletePending(true)
+	}()
+}
+
+// walkRemoteChain follows a chain through the shared tier looking for key.
+func (s *Server) walkRemoteChain(p hlog.IndirectionPayload, key []byte) (value []byte, tombstone, found bool) {
+	tier := s.store.Log().Tier()
+	if tier == nil {
+		return nil, false, false
+	}
+	pageBits := uint(0)
+	for 1<<pageBits != s.store.Log().PageSize() {
+		pageBits++
+	}
+	logID, addr := p.LogID, p.NextAddress
+	for addr != hlog.InvalidAddress {
+		rec, err := hlog.ReadRecordFromTier(tier, logID, pageBits, addr, 512+len(key))
+		if err != nil {
+			return nil, false, false
+		}
+		m := rec.Meta()
+		if m.Indirection() {
+			// Chained migrations: hop into the older log.
+			if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
+				faster.HashOf(key) >= ip.RangeStart && faster.HashOf(key) < ip.RangeEnd {
+				logID, addr = ip.LogID, ip.NextAddress
+				continue
+			}
+			return nil, false, false
+		}
+		if !m.Invalid() && bytes.Equal(rec.Key(), key) {
+			return append([]byte(nil), rec.Value()...), m.Tombstone(), true
+		}
+		addr = m.Previous()
+	}
+	return nil, false, false
+}
+
+// fetchSession hands out the server's auxiliary session (guarded: fetches
+// and sampled-record scans are rare, slow paths). The session's epoch guard
+// is suspended while unused — an idle registered guard would stall every
+// global cut (view changes, flushes, checkpoints) forever.
+func (s *Server) fetchSession() *faster.Session {
+	s.fetchSessMu.Lock()
+	if s.fetchSess == nil {
+		s.fetchSess = s.store.NewSession()
+	} else {
+		s.fetchSess.Guard().Resume()
+	}
+	return s.fetchSess
+}
+
+func (s *Server) releaseFetchSession(sess *faster.Session) {
+	sess.Guard().Suspend()
+	s.fetchSessMu.Unlock()
+}

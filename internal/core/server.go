@@ -1,0 +1,609 @@
+// Package core implements the Shadowfax server (§3): partitioned dispatch
+// over a shared FASTER instance, O(1)-per-batch view validation, ownership
+// transfer over asynchronous global cuts, and the five-phase low-coordination
+// migration protocol with sampled hot records and indirection records.
+//
+// Each server runs one dispatcher goroutine per configured "vCPU". A
+// dispatcher owns a private FASTER session and a private set of client
+// connections; it polls its connections for request batches, validates each
+// batch with a single view-number comparison, executes the operations
+// directly against the shared store, and replies on the same connection.
+// Nothing is ever handed to another thread (Figure 4).
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/metadata"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ServerConfig describes a Shadowfax server.
+type ServerConfig struct {
+	// ID is the server's name in the metadata store.
+	ID string
+	// Addr is the transport address to listen on.
+	Addr string
+	// Threads is the number of dispatcher goroutines ("vCPUs").
+	Threads int
+	// Transport carries sessions; it embeds the network cost model.
+	Transport transport.Transport
+	// Meta is the external metadata store (ZooKeeper stand-in).
+	Meta *metadata.Store
+	// Store configures the server's FASTER instance.
+	Store faster.Config
+
+	// Migration tuning.
+
+	// MigrationBatchRecords is how many records ride in one migration
+	// frame.
+	MigrationBatchRecords int
+	// MigrationChunkBuckets is the unit of work a thread claims from the
+	// hash table while collecting records (interleaved with request
+	// processing).
+	MigrationChunkBuckets int
+	// SampleLimit caps the sampled hot records shipped at ownership
+	// transfer.
+	SampleLimit int
+	// SampleDuration is how long the Sampling phase lets accesses
+	// accumulate hot records before ownership transfer.
+	SampleDuration time.Duration
+	// Rocksteady selects the baseline migration mode (§4.1): no
+	// indirection records; after the memory pass a single thread scans the
+	// on-SSD log and ships cold records.
+	Rocksteady bool
+	// DisableSampling turns off hot-record shipping (Figure 14 baseline).
+	DisableSampling bool
+}
+
+func (c *ServerConfig) applyDefaults() error {
+	if c.ID == "" || c.Addr == "" {
+		return errors.New("core: server ID and Addr required")
+	}
+	if c.Transport == nil || c.Meta == nil {
+		return errors.New("core: Transport and Meta required")
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.MigrationBatchRecords == 0 {
+		c.MigrationBatchRecords = 512
+	}
+	if c.MigrationChunkBuckets == 0 {
+		c.MigrationChunkBuckets = 256
+	}
+	if c.SampleLimit == 0 {
+		c.SampleLimit = 4096
+	}
+	if c.SampleDuration == 0 {
+		c.SampleDuration = 50 * time.Millisecond
+	}
+	return nil
+}
+
+// ServerStats exposes the counters the benchmark harness samples.
+type ServerStats struct {
+	// OpsCompleted counts client operations answered (including those that
+	// completed after pending I/O).
+	OpsCompleted atomic.Uint64
+	// BatchesAccepted / BatchesRejected count view validation outcomes.
+	BatchesAccepted atomic.Uint64
+	BatchesRejected atomic.Uint64
+	// PendingOps is the target-side pending set (Figure 12).
+	PendingOps atomic.Int64
+	// RemoteFetches counts indirection resolutions from the shared tier.
+	RemoteFetches atomic.Uint64
+	// ViewRefreshes counts metadata refreshes.
+	ViewRefreshes atomic.Uint64
+}
+
+// Server is a Shadowfax server node.
+type Server struct {
+	cfg   ServerConfig
+	store *faster.Store
+	meta  *metadata.Store
+
+	view atomic.Pointer[metadata.View]
+
+	listener transport.Listener
+	threads  []*dispatcher
+	stopping atomic.Bool
+	wg       sync.WaitGroup
+
+	// validation selects batch-level view validation (the Shadowfax way)
+	// or per-key hash validation (the Figure 15 baseline).
+	hashValidate atomic.Bool
+
+	migMu      sync.Mutex
+	source     *sourceMigration
+	target     *targetMigration
+	lastReport MigrationReport
+
+	// fetchMu dedups in-flight shared-tier fetches by key.
+	fetchMu  sync.Mutex
+	fetching map[string]struct{}
+
+	// fetchSess is an auxiliary store session for slow paths (shared-tier
+	// fetches, sampled-record scans); fetchSessMu serializes its users.
+	fetchSessMu sync.Mutex
+	fetchSess   *faster.Session
+
+	stats ServerStats
+}
+
+// NewServer builds a Shadowfax server, registers it in the metadata store
+// with the given initial ranges, and starts its dispatchers.
+func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Store.Log.LogID == "" {
+		cfg.Store.Log.LogID = cfg.ID
+	}
+	st, err := faster.NewStore(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    st,
+		meta:     cfg.Meta,
+		fetching: make(map[string]struct{}),
+	}
+	v := cfg.Meta.RegisterServer(cfg.ID, initial...)
+	s.view.Store(&v)
+
+	l, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	s.listener = l
+
+	s.threads = make([]*dispatcher, cfg.Threads)
+	for i := range s.threads {
+		s.threads[i] = newDispatcher(s, i)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	for _, d := range s.threads {
+		s.wg.Add(1)
+		go d.run()
+	}
+	return s, nil
+}
+
+// Stats returns the server's counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// Store exposes the underlying FASTER instance (examples embed servers).
+func (s *Server) Store() *faster.Store { return s.store }
+
+// ID returns the server's metadata identity.
+func (s *Server) ID() string { return s.cfg.ID }
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// CurrentView returns the server's active ownership view.
+func (s *Server) CurrentView() metadata.View { return s.view.Load().Clone() }
+
+// SetHashValidation switches the server to the per-key ownership validation
+// baseline (Figure 15); false restores view validation.
+func (s *Server) SetHashValidation(on bool) { s.hashValidate.Store(on) }
+
+// Close stops dispatchers and shuts the store down.
+func (s *Server) Close() error {
+	if s.stopping.Swap(true) {
+		return nil
+	}
+	s.listener.Close()
+	s.wg.Wait()
+	return s.store.Close()
+}
+
+// ownsBinary reports range membership via binary search over the sorted
+// range list — the per-key ownership check Shadowfax's views replace.
+func ownsBinary(ranges []metadata.HashRange, h uint64) bool {
+	lo, hi := 0, len(ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := ranges[mid]
+		switch {
+		case h < r.Start:
+			hi = mid
+		case h >= r.End:
+			lo = mid + 1
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// acceptLoop distributes inbound connections round-robin across dispatcher
+// threads, so every client session is pinned to one server thread (§3.1).
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	next := 0
+	for {
+		c, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.threads[next%len(s.threads)].newConns <- c
+		next++
+	}
+}
+
+// refreshView reloads the server's view from the metadata store; it also
+// discovers migrations this server is the target of (§3.3: "servers observe
+// this view change when they refresh their local caches").
+//
+// While this server is the *source* of a migration that has not reached the
+// Transfer phase, the new view is deliberately not adopted: the source keeps
+// servicing requests in the old ownership view until the transfer cut
+// (§3.3 Sampling: "both the source and the target continue to temporarily
+// operate in the old ownership view").
+func (s *Server) refreshView() metadata.View {
+	v, err := s.meta.GetView(s.cfg.ID)
+	if err != nil {
+		return s.view.Load().Clone()
+	}
+	s.stats.ViewRefreshes.Add(1)
+	if sm := s.sourceState(); sm == nil || migPhase(sm.phase.Load()) >= phaseTransfer {
+		cur := s.view.Load()
+		if v.Number > cur.Number {
+			nv := v.Clone()
+			s.view.Store(&nv)
+		}
+	}
+	s.discoverTargetMigration()
+	return v
+}
+
+// dispatcher is one server thread (§3.1): a pinned loop with a private
+// FASTER session and private connections.
+type dispatcher struct {
+	s        *Server
+	idx      int
+	sess     *faster.Session
+	newConns chan transport.Conn
+	conns    []transport.Conn
+
+	reqBatch wire.RequestBatch
+	respBuf  []byte
+	results  []wire.Result
+	// assembling is true while the dispatcher builds a batch response;
+	// completions arriving outside that window are deferred.
+	assembling bool
+
+	// deferred collects results that completed after their batch was
+	// answered (pending I/O, migration pends); flushed each loop.
+	deferred map[transport.Conn][]wire.Result
+
+	// pending holds this dispatcher's parked operations (§3.3).
+	pending []*pendedOp
+
+	// Outbound migration state (Migrate phase).
+	migBatch []wire.MigrationRecord
+	migConn  transport.Conn
+	migDone  bool
+}
+
+func newDispatcher(s *Server, idx int) *dispatcher {
+	return &dispatcher{
+		s:        s,
+		idx:      idx,
+		sess:     s.store.NewSession(),
+		newConns: make(chan transport.Conn, 64),
+		deferred: make(map[transport.Conn][]wire.Result),
+	}
+}
+
+func (d *dispatcher) run() {
+	defer d.s.wg.Done()
+	defer d.sess.Close()
+	idle := 0
+	for !d.s.stopping.Load() {
+		progress := false
+
+		// Adopt new connections.
+		for {
+			select {
+			case c := <-d.newConns:
+				d.conns = append(d.conns, c)
+				progress = true
+				continue
+			default:
+			}
+			break
+		}
+
+		// Poll sessions for request batches.
+		for i := 0; i < len(d.conns); i++ {
+			c := d.conns[i]
+			frame, ok, err := c.TryRecv()
+			if err != nil {
+				c.Close()
+				d.conns = append(d.conns[:i], d.conns[i+1:]...)
+				i--
+				continue
+			}
+			if !ok {
+				continue
+			}
+			progress = true
+			d.handleFrame(c, frame)
+		}
+
+		// Interleave one unit of migration work (§3.3: "threads interleave
+		// processing normal requests with sending batches").
+		if d.s.sourceMigrationStep(d) {
+			progress = true
+		}
+		if d.s.targetMigrationStep(d) {
+			progress = true
+		}
+
+		// Finish pending I/O and push deferred results out.
+		if d.sess.CompletePending(false) > 0 {
+			progress = true
+		}
+		d.flushDeferred()
+
+		d.sess.Refresh()
+		if !progress {
+			idle++
+			if idle > 64 {
+				// Nothing to do: yield without holding up global cuts.
+				d.sess.Guard().Suspend()
+				time.Sleep(50 * time.Microsecond)
+				d.sess.Guard().Resume()
+			} else {
+				runtime.Gosched()
+			}
+		} else {
+			idle = 0
+		}
+	}
+	for _, c := range d.conns {
+		c.Close()
+	}
+}
+
+// handleFrame routes one inbound frame.
+func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
+	t, err := wire.PeekType(frame)
+	if err != nil {
+		return
+	}
+	switch t {
+	case wire.MsgRequestBatch:
+		d.handleRequestBatch(c, frame)
+	case wire.MsgMigrate:
+		cmd, err := wire.DecodeMigrate(frame)
+		if err != nil {
+			return
+		}
+		go d.s.StartMigration(cmd.Target, metadata.HashRange{Start: cmd.RangeStart, End: cmd.RangeEnd})
+		ack := wire.MigrationMsg{Type: wire.MsgAck}
+		c.Send(wire.EncodeMigrationMsg(&ack))
+	case wire.MsgPrepForTransfer, wire.MsgTransferOwnership,
+		wire.MsgMigrationRecords, wire.MsgCompleteMigration, wire.MsgCompacted:
+		m, err := wire.DecodeMigrationMsg(frame)
+		if err != nil {
+			return
+		}
+		d.handleMigrationMsg(c, &m)
+	case wire.MsgAck:
+		// Acks are informational; the protocol is fully asynchronous.
+	}
+}
+
+// handleRequestBatch is the normal-operation hot path.
+func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
+	if err := wire.DecodeRequestBatch(frame, &d.reqBatch); err != nil {
+		return
+	}
+	b := &d.reqBatch
+	view := d.s.view.Load()
+
+	if d.s.hashValidate.Load() {
+		// Figure 15 baseline: hash every key and look it up in the sorted
+		// owned-range list (O(log P) per key, the paper's trie analogue).
+		for i := range b.Ops {
+			h := faster.HashOf(b.Ops[i].Key)
+			if !ownsBinary(view.Ranges, h) {
+				d.reject(c, b, view.Number)
+				return
+			}
+		}
+	} else if b.View != view.Number {
+		// The Shadowfax check: one integer comparison per batch (§3.2).
+		// On mismatch the server refreshes its own view from the metadata
+		// store (it may itself be behind) and rejects the batch.
+		if b.View > view.Number {
+			d.s.refreshView()
+			view = d.s.view.Load()
+		}
+		if b.View != view.Number {
+			d.reject(c, b, view.Number)
+			return
+		}
+	}
+	d.s.stats.BatchesAccepted.Add(1)
+
+	d.results = d.results[:0]
+	d.assembling = true
+	tm := d.s.targetState()
+	for i := range b.Ops {
+		d.execOp(c, b.SessionID, &b.Ops[i], tm)
+	}
+	d.assembling = false
+	resp := wire.ResponseBatch{SessionID: b.SessionID, ServerView: view.Number,
+		Results: d.results}
+	d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
+	c.Send(d.respBuf)
+	d.s.stats.OpsCompleted.Add(uint64(len(d.results)))
+}
+
+func (d *dispatcher) reject(c transport.Conn, b *wire.RequestBatch, serverView uint64) {
+	d.s.stats.BatchesRejected.Add(1)
+	// Echo the rejected operations' sequence numbers so the client can
+	// requeue exactly this batch (an RMW requeued twice would double-apply).
+	resp := wire.ResponseBatch{SessionID: b.SessionID, Rejected: true,
+		ServerView: serverView}
+	for i := range b.Ops {
+		resp.Results = append(resp.Results, wire.Result{Seq: b.Ops[i].Seq})
+	}
+	d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
+	c.Send(d.respBuf)
+}
+
+// execOp runs one client operation against the shared store. Results that
+// complete inline land in d.results; async completions (storage I/O,
+// migration pends) are deferred and shipped in later response frames keyed
+// by Seq.
+//
+// Keys (and RMW inputs) are copied before issuing reads and RMWs: their
+// completion callbacks may run after the batch buffer has been reused, and
+// the migration machinery needs the key to park or re-route the operation.
+func (d *dispatcher) execOp(c transport.Conn, sessionID uint64, op *wire.Op, tm *targetMigration) {
+	seq, kind := op.Seq, op.Kind
+	switch kind {
+	case wire.OpUpsert:
+		d.sess.Upsert(op.Key, op.Value, func(st faster.Status, _ []byte) {
+			d.emit(c, seq, st, nil)
+		})
+		return
+	case wire.OpDelete:
+		d.sess.Delete(op.Key, func(st faster.Status, _ []byte) {
+			d.emit(c, seq, st, nil)
+		})
+		return
+	}
+
+	// Reads and RMWs can observe not-yet-migrated state during an inbound
+	// migration (§3.3): before ownership transfer they pend outright; after
+	// it, a miss in the migrating range pends until the record arrives.
+	inMig := false
+	if tm != nil && !tm.completed.Load() {
+		if h := faster.HashOf(op.Key); tm.rng.Contains(h) {
+			if !tm.serving.Load() {
+				d.s.pendOp(c, d, sessionID, op)
+				return
+			}
+			inMig = true
+		}
+	}
+
+	key := append([]byte(nil), op.Key...)
+	if kind == wire.OpRMW {
+		input := append([]byte(nil), op.Value...)
+		if inMig {
+			d.probeRMW(c, sessionID, seq, key, input)
+			return
+		}
+		d.sess.RMW(key, input, func(st faster.Status, v []byte) {
+			d.finishReadRMW(c, sessionID, seq, kind, key, input, st, v)
+		})
+		return
+	}
+	d.sess.Read(key, func(st faster.Status, v []byte) {
+		d.finishReadRMW(c, sessionID, seq, kind, key, nil, st, v)
+	})
+}
+
+// probeRMW handles an RMW in a migrating range: blindly applying the
+// initial value would race the record still in flight from the source, so
+// presence is probed first and absence pends.
+func (d *dispatcher) probeRMW(c transport.Conn, sessionID uint64, seq uint32, key, input []byte) {
+	d.sess.Read(key, func(st faster.Status, v []byte) {
+		switch st {
+		case faster.StatusOK:
+			d.sess.RMW(key, input, func(st2 faster.Status, _ []byte) {
+				d.emit(c, seq, st2, nil)
+			})
+		case faster.StatusNotFound:
+			d.s.pendOpStruct(c, d, sessionID,
+				&wire.Op{Kind: wire.OpRMW, Seq: seq, Key: key, Value: input})
+		case faster.StatusIndirection:
+			d.s.fetchFromSharedTier(key, v)
+			d.s.pendOpStruct(c, d, sessionID,
+				&wire.Op{Kind: wire.OpRMW, Seq: seq, Key: key, Value: input})
+		default:
+			d.emit(c, seq, st, nil)
+		}
+	})
+}
+
+// finishReadRMW translates a read/RMW completion into a wire result, a
+// pend, or a shared-tier fetch. It runs inline or from CompletePending.
+func (d *dispatcher) finishReadRMW(c transport.Conn, sessionID uint64, seq uint32,
+	kind wire.OpKind, key, input []byte, st faster.Status, v []byte) {
+	switch st {
+	case faster.StatusIndirection:
+		// The key's chain continues in another server's shared-tier log
+		// (§3.3.2): fetch asynchronously and pend the operation.
+		d.s.fetchFromSharedTier(key, v)
+		d.s.pendOpStruct(c, d, sessionID,
+			&wire.Op{Kind: kind, Seq: seq, Key: key, Value: input})
+		return
+	case faster.StatusNotFound:
+		if kind == wire.OpRead {
+			tm := d.s.targetState()
+			if tm != nil && !tm.completed.Load() && tm.rng.Contains(faster.HashOf(key)) {
+				// The record may simply not have arrived yet.
+				d.s.pendOpStruct(c, d, sessionID,
+					&wire.Op{Kind: kind, Seq: seq, Key: key})
+				return
+			}
+		}
+	}
+	d.emit(c, seq, st, v)
+}
+
+// emit queues a final result: into the in-flight batch response when still
+// assembling it, otherwise onto the connection's deferred results.
+func (d *dispatcher) emit(c transport.Conn, seq uint32, st faster.Status, v []byte) {
+	res := wire.Result{Seq: seq, Status: toWireStatus(st)}
+	if st == faster.StatusOK && v != nil {
+		res.Value = append([]byte(nil), v...)
+	}
+	if d.assembling {
+		d.results = append(d.results, res)
+	} else {
+		d.deferred[c] = append(d.deferred[c], res)
+	}
+}
+
+func (d *dispatcher) flushDeferred() {
+	for c, results := range d.deferred {
+		if len(results) == 0 {
+			continue
+		}
+		resp := wire.ResponseBatch{ServerView: d.s.view.Load().Number, Results: results}
+		d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
+		c.Send(d.respBuf)
+		d.s.stats.OpsCompleted.Add(uint64(len(results)))
+		delete(d.deferred, c)
+	}
+}
+
+func toWireStatus(st faster.Status) wire.ResultStatus {
+	switch st {
+	case faster.StatusOK:
+		return wire.StatusOK
+	case faster.StatusNotFound:
+		return wire.StatusNotFound
+	default:
+		return wire.StatusErr
+	}
+}

@@ -1,0 +1,276 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRegisterRefreshUnregister(t *testing.T) {
+	m := NewManager()
+	g := m.Register()
+	if !g.Protected() {
+		t.Fatal("guard should be protected after Register")
+	}
+	if g.LocalEpoch() != m.Current() {
+		t.Fatalf("local epoch %d != global %d", g.LocalEpoch(), m.Current())
+	}
+	m.Bump()
+	if g.LocalEpoch() == m.Current() {
+		t.Fatal("local epoch should lag global until Refresh")
+	}
+	g.Refresh()
+	if g.LocalEpoch() != m.Current() {
+		t.Fatal("Refresh should catch up to global epoch")
+	}
+	g.Unregister()
+}
+
+func TestSuspendResume(t *testing.T) {
+	m := NewManager()
+	g := m.Register()
+	g.Suspend()
+	if g.Protected() {
+		t.Fatal("suspended guard must not be protected")
+	}
+	g.Resume()
+	if !g.Protected() {
+		t.Fatal("resumed guard must be protected")
+	}
+	g.Unregister()
+}
+
+func TestActionFiresAfterAllThreadsObserve(t *testing.T) {
+	m := NewManager()
+	g1 := m.Register()
+	g2 := m.Register()
+
+	var fired atomic.Bool
+	m.BumpWithAction(func() { fired.Store(true) })
+
+	if fired.Load() {
+		t.Fatal("action fired before any thread crossed the cut")
+	}
+	g1.Refresh()
+	if fired.Load() {
+		t.Fatal("action fired before the second thread crossed the cut")
+	}
+	g2.Refresh()
+	if !fired.Load() {
+		t.Fatal("action did not fire after all threads crossed the cut")
+	}
+	g1.Unregister()
+	g2.Unregister()
+}
+
+func TestActionFiresImmediatelyWithNoThreads(t *testing.T) {
+	m := NewManager()
+	var fired atomic.Bool
+	m.BumpWithAction(func() { fired.Store(true) })
+	if !fired.Load() {
+		t.Fatal("with no registered threads the cut is trivially satisfied")
+	}
+}
+
+func TestActionFiresWhenLastThreadSuspends(t *testing.T) {
+	m := NewManager()
+	g := m.Register()
+	var fired atomic.Bool
+	m.BumpWithAction(func() { fired.Store(true) })
+	if fired.Load() {
+		t.Fatal("premature fire")
+	}
+	g.Suspend()
+	if !fired.Load() {
+		t.Fatal("suspending the only laggard must release the cut")
+	}
+	g.Resume()
+	g.Unregister()
+}
+
+func TestActionFiresWhenLastThreadUnregisters(t *testing.T) {
+	m := NewManager()
+	g := m.Register()
+	var fired atomic.Bool
+	m.BumpWithAction(func() { fired.Store(true) })
+	g.Unregister()
+	if !fired.Load() {
+		t.Fatal("unregistering the only laggard must release the cut")
+	}
+}
+
+func TestActionExactlyOnce(t *testing.T) {
+	m := NewManager()
+	const threads = 8
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	guards := make([]*Guard, threads)
+	for i := range guards {
+		guards[i] = m.Register()
+	}
+	m.BumpWithAction(func() { count.Add(1) })
+	for _, g := range guards {
+		wg.Add(1)
+		go func(g *Guard) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Refresh()
+			}
+			g.Unregister()
+		}(g)
+	}
+	wg.Wait()
+	if got := count.Load(); got != 1 {
+		t.Fatalf("action ran %d times, want exactly 1", got)
+	}
+}
+
+func TestManyConcurrentActions(t *testing.T) {
+	m := NewManager()
+	const threads = 4
+	const actions = 500
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+
+	stop := make(chan struct{})
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := m.Register()
+			defer g.Unregister()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					g.Refresh()
+				}
+			}
+		}()
+	}
+
+	var rw sync.WaitGroup
+	for i := 0; i < actions; i++ {
+		rw.Add(1)
+		go func() {
+			defer rw.Done()
+			m.BumpWithAction(func() { fired.Add(1) })
+		}()
+	}
+	rw.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() != actions && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	m.DrainPending()
+	if got := fired.Load(); got != actions {
+		t.Fatalf("fired %d actions, want %d", got, actions)
+	}
+}
+
+func TestSafeEpochTracksLaggard(t *testing.T) {
+	m := NewManager()
+	g1 := m.Register()
+	g2 := m.Register()
+	start := m.Current()
+	m.Bump()
+	m.Bump()
+	g1.Refresh()
+	// g2 still at start.
+	if safe := m.ComputeSafeEpoch(); safe != start {
+		t.Fatalf("safe epoch %d, want laggard's %d", safe, start)
+	}
+	g2.Refresh()
+	if safe := m.ComputeSafeEpoch(); safe != m.Current() {
+		t.Fatalf("safe epoch %d, want %d after both refresh", safe, m.Current())
+	}
+	g1.Unregister()
+	g2.Unregister()
+}
+
+func TestTIDReuse(t *testing.T) {
+	m := NewManager()
+	g := m.Register()
+	tid := g.tid
+	g.Unregister()
+	g2 := m.Register()
+	if g2.tid != tid {
+		t.Fatalf("expected tid %d to be reused, got %d", tid, g2.tid)
+	}
+	g2.Unregister()
+}
+
+// TestOrderingAcrossCut verifies the global-cut ordering contract used by
+// checkpointing (§2.1): every operation a thread performs before its Refresh
+// that observes v+1 is strictly before the trigger action.
+func TestOrderingAcrossCut(t *testing.T) {
+	m := NewManager()
+	const threads = 4
+	var preCut [threads]atomic.Int64
+	var atAction [threads]int64
+	var wg sync.WaitGroup
+
+	guards := make([]*Guard, threads)
+	for i := range guards {
+		guards[i] = m.Register()
+	}
+
+	var actionRan atomic.Bool
+	m.BumpWithAction(func() {
+		for i := range preCut {
+			atAction[i] = preCut[i].Load()
+		}
+		actionRan.Store(true)
+	})
+
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := guards[i]
+			// Work before crossing the cut.
+			for j := 0; j < 50; j++ {
+				preCut[i].Add(1)
+			}
+			g.Refresh() // crosses the cut
+			g.Unregister()
+		}(i)
+	}
+	wg.Wait()
+	m.DrainPending()
+	if !actionRan.Load() {
+		t.Fatal("action never ran")
+	}
+	for i := range atAction {
+		if atAction[i] != 50 {
+			t.Fatalf("thread %d: action observed %d pre-cut ops, want all 50",
+				i, atAction[i])
+		}
+	}
+}
+
+func BenchmarkRefreshNoAction(b *testing.B) {
+	m := NewManager()
+	g := m.Register()
+	defer g.Unregister()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Refresh()
+	}
+}
+
+func BenchmarkRefreshParallel(b *testing.B) {
+	m := NewManager()
+	b.RunParallel(func(pb *testing.PB) {
+		g := m.Register()
+		defer g.Unregister()
+		for pb.Next() {
+			g.Refresh()
+		}
+	})
+}

@@ -1,0 +1,317 @@
+package faster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/hlog"
+	"repro/internal/storage"
+)
+
+func TestCheckpointRecoverQuiesced(t *testing.T) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	cfg := Config{
+		IndexBuckets: 1 << 10,
+		Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+			Device: dev, LogID: "ckpt"},
+	}
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := s.NewSession()
+	const n = 2500 // spills to "SSD"
+	for i := 0; i < n; i++ {
+		sess.Upsert(key(i), val(i), nil)
+	}
+	sess.Delete(key(3), nil)
+	sess.Close()
+
+	var blob bytes.Buffer
+	info, err := s.CheckpointSync(&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Tail == 0 {
+		t.Fatalf("checkpoint info: %+v", info)
+	}
+	s.Close() // "crash": memory gone, device + blob survive
+
+	cfg2 := cfg
+	cfg2.Log.Epoch = nil
+	r, err := Recover(cfg2, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.CurrentVersion() != 2 {
+		t.Fatalf("recovered version %d, want 2", r.CurrentVersion())
+	}
+
+	rs := r.NewSession()
+	defer rs.Close()
+	for i := 0; i < n; i++ {
+		got, st := mustRead(t, rs, key(i))
+		if i == 3 {
+			if st != StatusNotFound {
+				t.Fatalf("deleted key %d resurrected: %v", i, st)
+			}
+			continue
+		}
+		if st != StatusOK || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d after recovery: %v %q", i, st, got)
+		}
+	}
+	// The recovered store accepts new writes.
+	rs.Upsert([]byte("post-recovery"), []byte("yes"), nil)
+	got, st := mustRead(t, rs, []byte("post-recovery"))
+	if st != StatusOK || string(got) != "yes" {
+		t.Fatal("recovered store rejects writes")
+	}
+}
+
+func TestCheckpointWhileConcurrentWrites(t *testing.T) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	cfg := Config{
+		IndexBuckets: 1 << 10,
+		Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+			Device: dev, LogID: "ckpt2"},
+	}
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: stable prefix that the checkpoint must capture.
+	sess := s.NewSession()
+	const stable = 1000
+	for i := 0; i < stable; i++ {
+		sess.Upsert(key(i), val(i), nil)
+	}
+	sess.Close()
+
+	// Phase 2: checkpoint while other threads keep writing disjoint keys.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := s.NewSession()
+			defer ws.Close()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ws.Upsert([]byte(fmt.Sprintf("conc-%d-%d", w, i)), val(i), nil)
+				i++
+				ws.Refresh()
+			}
+		}(w)
+	}
+	var blob bytes.Buffer
+	if _, err := s.CheckpointSync(&blob); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	s.Close()
+
+	cfg2 := cfg
+	cfg2.Log.Epoch = nil
+	r, err := Recover(cfg2, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	// Everything written before the checkpoint started must be present.
+	for i := 0; i < stable; i++ {
+		got, st := mustRead(t, rs, key(i))
+		if st != StatusOK || !bytes.Equal(got, val(i)) {
+			t.Fatalf("pre-cut key %d lost: %v %q", i, st, got)
+		}
+	}
+}
+
+func TestRecoverRejectsGarbage(t *testing.T) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 1)
+	defer dev.Close()
+	cfg := Config{Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8, Device: dev}}
+	if _, err := Recover(cfg, bytes.NewReader([]byte("not a checkpoint blob......."))); err == nil {
+		t.Fatal("garbage blob accepted")
+	}
+	if _, err := Recover(cfg, bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	// Overwrite each key several times so the stable prefix is mostly
+	// stale, then delete a few.
+	const n = 600
+	for round := 0; round < 4; round++ {
+		for i := 0; i < n; i++ {
+			sess.Upsert(key(i), []byte(fmt.Sprintf("r%d-%s", round, val(i))), nil)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		sess.Delete(key(i), nil)
+	}
+	lg := s.Log()
+	if lg.SafeHeadAddress() == 0 {
+		t.Fatal("nothing evicted; compaction test needs a stable region")
+	}
+
+	st, err := sess.Compact(lg.SafeHeadAddress(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned == 0 || st.Dropped == 0 {
+		t.Fatalf("compaction did nothing: %+v", st)
+	}
+	if lg.BeginAddress() <= hlog.MinAddress {
+		t.Fatal("begin address did not advance")
+	}
+
+	// All data intact after compaction.
+	for i := 0; i < n; i++ {
+		got, stt := mustRead(t, sess, key(i))
+		if i < 10 {
+			if stt != StatusNotFound {
+				t.Fatalf("deleted key %d resurrected after compaction", i)
+			}
+			continue
+		}
+		want := fmt.Sprintf("r3-%s", val(i))
+		if stt != StatusOK || string(got) != want {
+			t.Fatalf("key %d after compaction: %v %q want %q", i, stt, got, want)
+		}
+	}
+}
+
+func TestCompactionRelocatesDisowned(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	const n = 1200
+	for i := 0; i < n; i++ {
+		sess.Upsert(key(i), val(i), nil)
+	}
+	for i := 0; i < n; i++ { // second round pushes round 1 to storage
+		sess.Upsert(key(i), val(i+1), nil)
+	}
+	lg := s.Log()
+	if lg.SafeHeadAddress() == 0 {
+		t.Skip("no stable region formed")
+	}
+	// Disown the lower half of the hash space.
+	mid := uint64(1) << 63
+	var relocated []CollectedRecord
+	st, err := sess.Compact(lg.SafeHeadAddress(),
+		func(h uint64) bool { return h >= mid },
+		func(r CollectedRecord) { relocated = append(relocated, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Relocated == 0 || len(relocated) != st.Relocated {
+		t.Fatalf("relocation accounting: %+v vs %d", st, len(relocated))
+	}
+	for _, r := range relocated {
+		if r.Hash >= mid {
+			t.Fatal("relocated an owned record")
+		}
+		if len(r.Key) == 0 {
+			t.Fatal("relocated record missing key")
+		}
+	}
+}
+
+func BenchmarkUpsertInMemory(b *testing.B) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	s, err := NewStore(Config{
+		IndexBuckets: 1 << 16,
+		Log: hlog.Config{PageBits: 20, MemPages: 64, MutablePages: 32,
+			Device: dev},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	keys := make([][]byte, 1<<14)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	v := val(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Upsert(keys[i&(len(keys)-1)], v, nil)
+	}
+}
+
+func BenchmarkRMWInMemory(b *testing.B) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	s, err := NewStore(Config{
+		IndexBuckets: 1 << 16,
+		Log: hlog.Config{PageBits: 20, MemPages: 64, MutablePages: 32,
+			Device: dev},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	keys := make([][]byte, 1<<14)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	d := delta(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.RMW(keys[i&(len(keys)-1)], d, nil)
+	}
+}
+
+func BenchmarkReadInMemory(b *testing.B) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	s, err := NewStore(Config{
+		IndexBuckets: 1 << 16,
+		Log: hlog.Config{PageBits: 20, MemPages: 64, MutablePages: 32,
+			Device: dev},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	keys := make([][]byte, 1<<14)
+	for i := range keys {
+		keys[i] = key(i)
+		sess.Upsert(keys[i], val(i), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Read(keys[i&(len(keys)-1)], nil)
+	}
+}

@@ -1,0 +1,145 @@
+package faster
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/hlog"
+)
+
+// Log compaction (§3.3.3): the stable prefix is scanned sequentially; live
+// records are copied forward to the tail, stale versions are dropped, and —
+// the Shadowfax twist — records whose hash range this server no longer owns
+// are handed to relocate() for transmission to the current owner, which is
+// also how indirection records between logs get cleaned up lazily.
+
+// CompactStats reports what a compaction pass did.
+type CompactStats struct {
+	Scanned   int
+	Kept      int // live records copied forward
+	Dropped   int // superseded versions, tombstones, invalid, indirection
+	Relocated int // records in hash ranges this server no longer owns
+}
+
+// Compact scans [BeginAddress, upTo) from the device, copying live owned
+// records to the tail and handing disowned records to relocate (may be nil
+// to drop them). upTo is clamped to the safe head (only device-resident
+// pages are scanned). owned may be nil, meaning "owns everything". The
+// session must be exclusive to this call for its duration.
+func (sess *Session) Compact(upTo hlog.Address, owned func(hash uint64) bool,
+	relocate func(rec CollectedRecord)) (CompactStats, error) {
+	var st CompactStats
+	lg := sess.s.log
+	if upTo > lg.SafeHeadAddress() {
+		upTo = lg.SafeHeadAddress()
+	}
+	begin := lg.BeginAddress()
+	if upTo <= begin {
+		return st, nil
+	}
+	pageBits := uint(0)
+	for 1<<pageBits != lg.PageSize() {
+		pageBits++
+	}
+	buf := lg.NewPageBuffer()
+	endPage := upTo.Page(pageBits) // scan whole pages strictly below upTo's page
+	for p := begin.Page(pageBits); p < endPage; p++ {
+		if err := lg.ReadPageFromDevice(p, buf); err != nil {
+			return st, fmt.Errorf("faster: compaction read of page %d: %w", p, err)
+		}
+		base := hlog.Address(p << pageBits)
+		var cerr error
+		hlog.ScanPageBuffer(base, buf, func(addr hlog.Address, r hlog.Record) bool {
+			st.Scanned++
+			m := r.Meta()
+			if m.Invalid() || m.Indirection() {
+				// Indirection records in the stable prefix are dead: any
+				// lookup that needed them resolved or will resolve through
+				// the in-memory splice; the cross-log dependency is being
+				// compacted away right now.
+				st.Dropped++
+				return true
+			}
+			key := r.Key()
+			hash := HashOf(key)
+			if owned != nil && !owned(hash) {
+				if relocate != nil {
+					relocate(CollectedRecord{
+						Hash:      hash,
+						Key:       append([]byte(nil), key...),
+						Value:     append([]byte(nil), r.Value()...),
+						Tombstone: m.Tombstone(),
+					})
+				}
+				st.Relocated++
+				return true
+			}
+			live, err := sess.isNewestVersion(key, hash, addr)
+			if err != nil {
+				cerr = err
+				return false
+			}
+			if !live || m.Tombstone() {
+				// Superseded versions always die here. A live tombstone
+				// also dies: everything older is inside the compacted
+				// prefix, so dropping both erases the key completely.
+				st.Dropped++
+				return true
+			}
+			if sess.copyForward(key, hash, addr, r.Value()) {
+				st.Kept++
+			} else {
+				// Lost the race to a concurrent writer: their version is
+				// newer, ours is garbage.
+				st.Dropped++
+			}
+			sess.g.Refresh()
+			return true
+		})
+		if cerr != nil {
+			return st, cerr
+		}
+		sess.g.Refresh()
+	}
+	lg.TruncateUntil(hlog.Address(endPage << pageBits))
+	return st, nil
+}
+
+// isNewestVersion reports whether addr holds key's newest version, following
+// the chain through storage synchronously if needed (compaction is a
+// background task; blocking reads are fine).
+func (sess *Session) isNewestVersion(key []byte, hash uint64, addr hlog.Address) (bool, error) {
+	slot := sess.s.index.FindEntry(hash)
+	res := sess.walkMemory(slot, key, hash)
+	switch res.status {
+	case walkFound, walkTombstone:
+		return res.addr == addr, nil
+	case walkNotFound, walkIndirection:
+		return false, nil
+	}
+	// Chain continues on storage: the first storage match decides.
+	cur := res.addr
+	lg := sess.s.log
+	for cur != hlog.InvalidAddress && cur >= lg.BeginAddress() {
+		rec, err := lg.ReadRecordFromDevice(cur, sess.s.cfg.ReadHintBytes+len(key))
+		if err != nil {
+			return false, err
+		}
+		m := rec.Meta()
+		if !m.Invalid() && !m.Indirection() && bytes.Equal(rec.Key(), key) {
+			return cur == addr, nil
+		}
+		cur = m.Previous()
+	}
+	return false, nil
+}
+
+// copyForward re-appends a live record at the tail with a single-shot CAS
+// against the current chain head; failure means a concurrent writer
+// installed something newer, which supersedes the compacted copy anyway.
+func (sess *Session) copyForward(key []byte, hash uint64, oldAddr hlog.Address, value []byte) bool {
+	slot := sess.s.index.FindOrCreateEntry(hash)
+	entry := slot.Load()
+	res := walkResult{slot: slot, entry: entry, hash: hash}
+	return sess.condAppend(res, key, value, false)
+}

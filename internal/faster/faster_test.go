@@ -1,0 +1,440 @@
+package faster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/hlog"
+	"repro/internal/storage"
+)
+
+// testStore builds a small store: 4 KiB pages, 16 frames (64 KiB memory),
+// 8 mutable.
+func testStore(t testing.TB) (*Store, *storage.MemDevice) {
+	t.Helper()
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	s, err := NewStore(Config{
+		IndexBuckets: 1 << 10,
+		Log: hlog.Config{
+			PageBits: 12, MemPages: 16, MutablePages: 8,
+			Device: dev, LogID: "test-store",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); dev.Close() })
+	return s, dev
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%08d", i)) }
+
+func mustRead(t *testing.T, sess *Session, k []byte) ([]byte, Status) {
+	t.Helper()
+	var got []byte
+	var final Status
+	st := sess.Read(k, func(st Status, v []byte) {
+		final = st
+		got = append([]byte(nil), v...)
+	})
+	if st == StatusPending {
+		sess.CompletePending(true)
+	}
+	return got, final
+}
+
+func TestUpsertRead(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	if st := sess.Upsert(key(1), val(1), nil); st != StatusOK {
+		t.Fatalf("upsert: %v", st)
+	}
+	got, st := mustRead(t, sess, key(1))
+	if st != StatusOK || !bytes.Equal(got, val(1)) {
+		t.Fatalf("read: %v %q", st, got)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, st := mustRead(t, sess, []byte("nope")); st != StatusNotFound {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestUpsertOverwriteInPlace(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	sess.Upsert(key(1), []byte("aaaa"), nil)
+	before := s.Stats().InPlaceUpdates.Load()
+	sess.Upsert(key(1), []byte("bbbb"), nil) // same length: in-place
+	if s.Stats().InPlaceUpdates.Load() != before+1 {
+		t.Fatal("same-length overwrite should update in place")
+	}
+	got, _ := mustRead(t, sess, key(1))
+	if string(got) != "bbbb" {
+		t.Fatalf("got %q", got)
+	}
+
+	sess.Upsert(key(1), []byte("cc"), nil) // different length: RCU
+	got, _ = mustRead(t, sess, key(1))
+	if string(got) != "cc" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	sess.Upsert(key(1), val(1), nil)
+	if st := sess.Delete(key(1), nil); st != StatusOK {
+		t.Fatalf("delete: %v", st)
+	}
+	if _, st := mustRead(t, sess, key(1)); st != StatusNotFound {
+		t.Fatalf("read after delete: %v", st)
+	}
+	// Upsert resurrects.
+	sess.Upsert(key(1), val(2), nil)
+	got, st := mustRead(t, sess, key(1))
+	if st != StatusOK || !bytes.Equal(got, val(2)) {
+		t.Fatalf("resurrect: %v %q", st, got)
+	}
+}
+
+func TestDeleteMissingIsOK(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	if st := sess.Delete([]byte("ghost"), nil); st != StatusOK {
+		t.Fatalf("delete missing: %v", st)
+	}
+	if _, st := mustRead(t, sess, []byte("ghost")); st != StatusNotFound {
+		t.Fatal("ghost appeared")
+	}
+}
+
+func counterVal(t *testing.T, sess *Session, k []byte) uint64 {
+	t.Helper()
+	got, st := mustRead(t, sess, k)
+	if st != StatusOK || len(got) != 8 {
+		t.Fatalf("counter read: %v %d bytes", st, len(got))
+	}
+	return binary.LittleEndian.Uint64(got)
+}
+
+func delta(n uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, n)
+	return b
+}
+
+func TestRMWCounter(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	for i := 0; i < 10; i++ {
+		if st := sess.RMW(key(7), delta(1), nil); st != StatusOK {
+			t.Fatalf("rmw %d: %v", i, st)
+		}
+	}
+	if got := counterVal(t, sess, key(7)); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	// Larger delta.
+	sess.RMW(key(7), delta(32), nil)
+	if got := counterVal(t, sess, key(7)); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestRMWUsesInPlaceInMutableRegion(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.RMW(key(1), delta(1), nil) // creates
+	before := s.Stats().InPlaceUpdates.Load()
+	sess.RMW(key(1), delta(1), nil) // hot record: in-place
+	if s.Stats().InPlaceUpdates.Load() != before+1 {
+		t.Fatal("RMW on mutable record should be in-place")
+	}
+}
+
+func TestConcurrentRMWNoLostUpdates(t *testing.T) {
+	s, _ := testStore(t)
+	const threads = 4
+	const perThread = 2500
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			for j := 0; j < perThread; j++ {
+				if st := sess.RMW(key(0), delta(1), nil); st == StatusPending {
+					sess.CompletePending(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sess := s.NewSession()
+	defer sess.Close()
+	if got := counterVal(t, sess, key(0)); got != threads*perThread {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, threads*perThread)
+	}
+}
+
+func TestManyKeysAcrossEviction(t *testing.T) {
+	// Write far more than the 64 KiB memory budget so cold keys go to
+	// "SSD", then read everything back (pending I/O path).
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	const n = 3000 // * ~48B records ≈ 144 KiB > 64 KiB memory
+	for i := 0; i < n; i++ {
+		if st := sess.Upsert(key(i), val(i), nil); st != StatusOK {
+			t.Fatalf("upsert %d: %v", i, st)
+		}
+	}
+	if s.Log().SafeHeadAddress() == 0 {
+		t.Fatal("expected eviction to storage")
+	}
+	pendingSeen := false
+	for i := 0; i < n; i++ {
+		var got []byte
+		var final Status
+		st := sess.Read(key(i), func(st Status, v []byte) {
+			final = st
+			got = append(got[:0], v...)
+		})
+		if st == StatusPending {
+			pendingSeen = true
+			sess.CompletePending(true)
+		}
+		if final != StatusOK || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d: %v %q (want %q)", i, final, got, val(i))
+		}
+	}
+	if !pendingSeen {
+		t.Fatal("no read required I/O; test not exercising the pending path")
+	}
+}
+
+func TestRMWPendingFromStorage(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	// Seed counters, then push them to storage with filler writes.
+	const counters = 50
+	for i := 0; i < counters; i++ {
+		sess.RMW(key(i), delta(5), nil)
+	}
+	for i := 0; i < 3000; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("filler-%06d", i)), val(i), nil)
+	}
+	// RMW the cold counters: must fetch old value from storage.
+	pendingSeen := false
+	for i := 0; i < counters; i++ {
+		if st := sess.RMW(key(i), delta(2), nil); st == StatusPending {
+			pendingSeen = true
+			sess.CompletePending(true)
+		}
+	}
+	for i := 0; i < counters; i++ {
+		if got := counterVal(t, sess, key(i)); got != 7 {
+			t.Fatalf("counter %d = %d, want 7", i, got)
+		}
+	}
+	if !pendingSeen {
+		t.Fatal("no RMW required I/O")
+	}
+}
+
+func TestDeleteShadowsStorageVersion(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	sess.Upsert(key(1), val(1), nil)
+	for i := 0; i < 3000; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("filler-%06d", i)), val(i), nil)
+	}
+	sess.Delete(key(1), nil)
+	if _, st := mustRead(t, sess, key(1)); st != StatusNotFound {
+		t.Fatalf("deleted key readable: %v", st)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	s, _ := testStore(t)
+	const threads = 4
+	const keys = 200
+	const opsPer = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			for i := 0; i < opsPer; i++ {
+				k := key(i % keys)
+				switch i % 3 {
+				case 0:
+					sess.RMW(k, delta(1), nil)
+				case 1:
+					sess.Read(k, nil)
+				case 2:
+					sess.Upsert([]byte(fmt.Sprintf("w%d-%d", w, i)), val(i), nil)
+				}
+				if sess.Pending() > 64 {
+					sess.CompletePending(true)
+				}
+			}
+			sess.CompletePending(true)
+		}(w)
+	}
+	wg.Wait()
+	// The store must still be consistent: all per-writer upserts readable.
+	sess := s.NewSession()
+	defer sess.Close()
+	for w := 0; w < threads; w++ {
+		k := []byte(fmt.Sprintf("w%d-%d", w, 2))
+		got, st := mustRead(t, sess, k)
+		if st != StatusOK || !bytes.Equal(got, val(2)) {
+			t.Fatalf("writer %d key: %v %q", w, st, got)
+		}
+	}
+}
+
+func TestConditionalInsert(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	// Absent: installs.
+	if st := sess.ConditionalInsert(key(1), val(1), false, nil); st != StatusOK {
+		t.Fatalf("install: %v", st)
+	}
+	got, _ := mustRead(t, sess, key(1))
+	if !bytes.Equal(got, val(1)) {
+		t.Fatal("conditional insert not readable")
+	}
+	// Present: drops (migrated record older than local).
+	if st := sess.ConditionalInsert(key(1), val(99), false, nil); st != StatusNotFound {
+		t.Fatalf("dup insert: %v", st)
+	}
+	got, _ = mustRead(t, sess, key(1))
+	if !bytes.Equal(got, val(1)) {
+		t.Fatal("conditional insert overwrote newer value")
+	}
+	// Tombstone present: also drops.
+	sess.Delete(key(2), nil)
+	if st := sess.ConditionalInsert(key(2), val(2), false, nil); st != StatusNotFound {
+		t.Fatalf("insert over tombstone: %v", st)
+	}
+	// Migrated tombstone installs for fresh key.
+	if st := sess.ConditionalInsert(key(3), nil, true, nil); st != StatusOK {
+		t.Fatalf("tombstone insert: %v", st)
+	}
+	if _, st := mustRead(t, sess, key(3)); st != StatusNotFound {
+		t.Fatal("migrated tombstone not honored")
+	}
+}
+
+func TestConditionalInsertPendingPath(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	sess.Upsert(key(1), val(1), nil)
+	for i := 0; i < 3000; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("filler-%06d", i)), val(i), nil)
+	}
+	// key(1) is on storage; conditional insert must check there and drop.
+	st := sess.ConditionalInsert(key(1), val(42), false, func(st Status, _ []byte) {
+		if st != StatusNotFound {
+			t.Errorf("storage-resident dup insert: %v", st)
+		}
+	})
+	if st == StatusPending {
+		sess.CompletePending(true)
+	}
+	got, _ := mustRead(t, sess, key(1))
+	if !bytes.Equal(got, val(1)) {
+		t.Fatal("conditional insert shadowed storage version")
+	}
+}
+
+func TestSampleFilterCopiesToTail(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	for i := 0; i < 100; i++ {
+		sess.Upsert(key(i), val(i), nil)
+	}
+	cut := s.Log().TailAddress()
+	s.SetSampleFilter(func(hash uint64, addr hlog.Address) bool {
+		return addr < cut
+	})
+	for i := 0; i < 10; i++ {
+		mustRead(t, sess, key(i))
+	}
+	s.SetSampleFilter(nil)
+	if got := s.Stats().SampledCopies.Load(); got != 10 {
+		t.Fatalf("sampled %d records, want 10", got)
+	}
+	// Re-reading does not copy again (records now above the cut).
+	s.SetSampleFilter(func(hash uint64, addr hlog.Address) bool {
+		return addr < cut
+	})
+	for i := 0; i < 10; i++ {
+		mustRead(t, sess, key(i))
+	}
+	s.SetSampleFilter(nil)
+	if got := s.Stats().SampledCopies.Load(); got != 10 {
+		t.Fatalf("re-sampled already-hot records: %d", got)
+	}
+	// Values survived the copy.
+	for i := 0; i < 10; i++ {
+		got, st := mustRead(t, sess, key(i))
+		if st != StatusOK || !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d after sampling: %v %q", i, st, got)
+		}
+	}
+}
+
+func TestRMWDuringSamplingCopiesToTail(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	sess.RMW(key(1), delta(1), nil)
+	cut := s.Log().TailAddress()
+	s.SetSampleFilter(func(hash uint64, addr hlog.Address) bool { return addr < cut })
+	sess.RMW(key(1), delta(1), nil) // should RCU-copy, not update in place
+	s.SetSampleFilter(nil)
+	if s.Stats().SampledCopies.Load() == 0 {
+		t.Fatal("RMW under sampling did not copy to tail")
+	}
+	if got := counterVal(t, sess, key(1)); got != 2 {
+		t.Fatalf("counter = %d, want 2", got)
+	}
+}

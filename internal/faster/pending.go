@@ -1,0 +1,171 @@
+package faster
+
+import (
+	"bytes"
+
+	"repro/internal/hlog"
+)
+
+// opKind distinguishes pending-operation continuations.
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opRMW
+	opCondInsert
+)
+
+// pendingOp is an operation suspended on storage I/O. The continuation
+// walks the on-storage portion of the hash chain one record read at a time,
+// exactly as FASTER's pending contexts do.
+type pendingOp struct {
+	kind  opKind
+	key   []byte
+	hash  uint64
+	addr  hlog.Address // next chain address to read from the device
+	input []byte       // RMW input / conditional-insert value
+	meta  hlog.Meta    // conditional-insert record flags
+	cb    Callback
+}
+
+// issueRead starts an asynchronous device read of the record at p.addr. The
+// device callback parses the record (issuing a follow-up read if the record
+// is longer than the hint) and then queues the continuation onto the
+// session's completion channel.
+func (sess *Session) issueRead(p *pendingOp) {
+	sess.inflight.Add(1)
+	sess.s.stats.PendingIssued.Add(1)
+	lg := sess.s.log
+	go func() {
+		rec, err := lg.ReadRecordFromDevice(p.addr, sess.s.cfg.ReadHintBytes+len(p.key))
+		sess.completions <- func() { sess.resume(p, rec, err) }
+	}()
+}
+
+// resume continues a pending operation with the record read from storage.
+// It runs on the session goroutine (inside CompletePending).
+func (sess *Session) resume(p *pendingOp, rec hlog.Record, err error) {
+	sess.inflight.Add(-1)
+	if err != nil {
+		invoke(p.cb, StatusError, nil)
+		return
+	}
+	m := rec.Meta()
+	match := !m.Invalid() && !m.Indirection() && bytes.Equal(rec.Key(), p.key)
+
+	switch p.kind {
+	case opRead:
+		if match {
+			if m.Tombstone() {
+				invoke(p.cb, StatusNotFound, nil)
+				return
+			}
+			invoke(p.cb, StatusOK, rec.Value())
+			return
+		}
+		if m.Indirection() && !m.Invalid() {
+			if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
+				p.hash >= ip.RangeStart && p.hash < ip.RangeEnd {
+				invoke(p.cb, StatusIndirection, rec.Value())
+				return
+			}
+		}
+		sess.followOrFinish(p, m, func() { invoke(p.cb, StatusNotFound, nil) })
+
+	case opRMW:
+		// The chain may have gained an in-memory version while the read
+		// was in flight; prefer memory (it is strictly newer).
+		slot := sess.s.index.FindOrCreateEntry(p.hash)
+		res := sess.walkMemory(slot, p.key, p.hash)
+		if res.status != walkBelowHead {
+			sess.rmwFrom(slot, p.key, p.hash, p.input, p.cb)
+			return
+		}
+		if match {
+			var old []byte
+			if !m.Tombstone() {
+				old = rec.Value()
+			}
+			sess.finishRMWWithValue(p, old)
+			return
+		}
+		if m.Indirection() && !m.Invalid() {
+			if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
+				p.hash >= ip.RangeStart && p.hash < ip.RangeEnd {
+				invoke(p.cb, StatusIndirection, rec.Value())
+				return
+			}
+		}
+		sess.followOrFinish(p, m, func() { sess.finishRMWWithValue(p, nil) })
+
+	case opCondInsert:
+		if match {
+			// A version (even a tombstone) exists: the incoming migrated
+			// record is older; drop it.
+			invoke(p.cb, StatusNotFound, nil)
+			return
+		}
+		sess.followOrFinish(p, m, func() { sess.finishCondInsert(p) })
+	}
+}
+
+// followOrFinish either issues the next chain read or, at the chain's end,
+// runs atEnd.
+func (sess *Session) followOrFinish(p *pendingOp, m hlog.Meta, atEnd func()) {
+	prev := m.Previous()
+	if prev == hlog.InvalidAddress || prev < sess.s.log.BeginAddress() {
+		atEnd()
+		return
+	}
+	p.addr = prev
+	sess.issueRead(p)
+}
+
+// finishRMWWithValue applies the RMW against the storage-resident value (nil
+// when absent) and appends the result, retrying against memory if the chain
+// head moved.
+func (sess *Session) finishRMWWithValue(p *pendingOp, old []byte) {
+	var newVal []byte
+	if old == nil {
+		newVal = sess.s.rmw.Initial(p.input)
+	} else {
+		newVal = sess.s.rmw.Apply(old, p.input)
+	}
+	slot := sess.s.index.FindOrCreateEntry(p.hash)
+	for {
+		res := sess.walkMemory(slot, p.key, p.hash)
+		if res.status != walkBelowHead {
+			// Memory changed while we worked: recompute from memory.
+			sess.rmwFrom(slot, p.key, p.hash, p.input, p.cb)
+			return
+		}
+		if sess.appendRMW(res, p.key, newVal) {
+			invoke(p.cb, StatusOK, nil)
+			return
+		}
+	}
+}
+
+// finishCondInsert installs the migrated record now that the full chain was
+// checked without finding the key.
+func (sess *Session) finishCondInsert(p *pendingOp) {
+	slot := sess.s.index.FindOrCreateEntry(p.hash)
+	for {
+		res := sess.walkMemory(slot, p.key, p.hash)
+		switch res.status {
+		case walkFound, walkTombstone:
+			invoke(p.cb, StatusNotFound, nil)
+			return
+		case walkBelowHead:
+			// The chain gained new storage-resident links (eviction moved
+			// head); re-verifying from storage would loop, and a young
+			// target log has already been checked: install.
+			fallthrough
+		case walkNotFound:
+			if sess.condAppend(res, p.key, p.input, p.meta.Tombstone()) {
+				invoke(p.cb, StatusOK, nil)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package faster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hlog"
+	"repro/internal/storage"
+)
+
+// TestPropertyStoreMatchesMap checks the fundamental store invariant: under
+// any sequence of upserts, deletes and RMWs, FASTER agrees with a plain map
+// executed sequentially — including across the memory/SSD boundary.
+func TestPropertyStoreMatchesMap(t *testing.T) {
+	type opDesc struct {
+		Kind  uint8 // % 3: upsert, delete, rmw
+		Key   uint8 // small key space forces chains and overwrites
+		Value uint8
+	}
+	f := func(ops []opDesc) bool {
+		s, _ := testStore(t)
+		sess := s.NewSession()
+		defer sess.Close()
+		model := make(map[string][]byte)
+		counters := make(map[string]uint64)
+
+		for _, od := range ops {
+			key := []byte(fmt.Sprintf("k%03d", od.Key))
+			switch od.Kind % 3 {
+			case 0:
+				val := bytes.Repeat([]byte{od.Value}, 16)
+				sess.Upsert(key, val, nil)
+				model[string(key)] = val
+				delete(counters, string(key))
+			case 1:
+				sess.Delete(key, nil)
+				delete(model, string(key))
+				delete(counters, string(key))
+			case 2:
+				if st := sess.RMW(key, delta(uint64(od.Value)), nil); st == StatusPending {
+					sess.CompletePending(true)
+				}
+				if _, isBlob := model[string(key)]; isBlob {
+					// RMW over a non-counter value replaces it via Apply
+					// (CounterRMW reads the first 8 bytes).
+					old := model[string(key)]
+					var cur uint64
+					if len(old) >= 8 {
+						cur = leU64(old)
+					}
+					counters[string(key)] = cur + uint64(od.Value)
+					delete(model, string(key))
+				} else {
+					counters[string(key)] += uint64(od.Value)
+				}
+			}
+		}
+		// Verify every key against the model.
+		for k, v := range model {
+			got, st := mustReadQ(sess, []byte(k))
+			if st != StatusOK || !bytes.Equal(got, v) {
+				t.Logf("blob key %q: %v %q want %q", k, st, got, v)
+				return false
+			}
+		}
+		for k, c := range counters {
+			got, st := mustReadQ(sess, []byte(k))
+			if st != StatusOK || len(got) < 8 || leU64(got) != c {
+				t.Logf("counter key %q: %v %v want %d", k, st, got, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustReadQ(sess *Session, key []byte) ([]byte, Status) {
+	var got []byte
+	var final Status
+	st := sess.Read(key, func(st Status, v []byte) {
+		final = st
+		got = append([]byte(nil), v...)
+	})
+	if st == StatusPending {
+		sess.CompletePending(true)
+	}
+	return got, final
+}
+
+// TestPropertyChainNewestWins: after any overwrite sequence for one key,
+// the chain head must resolve to the last write even when older versions
+// have been evicted to storage.
+func TestPropertyChainNewestWins(t *testing.T) {
+	f := func(writes []uint8, filler uint8) bool {
+		if len(writes) == 0 {
+			return true
+		}
+		s, _ := testStore(t)
+		sess := s.NewSession()
+		defer sess.Close()
+		key := []byte("the-key")
+		for i, w := range writes {
+			sess.Upsert(key, bytes.Repeat([]byte{w}, 24), nil)
+			// Interleave filler traffic to push older versions down the
+			// log (and eventually off memory).
+			for j := 0; j < int(filler%8)+1; j++ {
+				sess.Upsert([]byte(fmt.Sprintf("f-%d-%d", i, j)), make([]byte, 48), nil)
+			}
+		}
+		want := bytes.Repeat([]byte{writes[len(writes)-1]}, 24)
+		got, st := mustReadQ(sess, key)
+		return st == StatusOK && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCheckpointPreservesQuiescedState: any quiesced store state
+// survives a checkpoint/recover cycle byte-for-byte.
+func TestPropertyCheckpointPreservesQuiescedState(t *testing.T) {
+	f := func(keys []uint16, seed uint8) bool {
+		dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+		defer dev.Close()
+		cfg := Config{
+			IndexBuckets: 1 << 10,
+			Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+				Device: dev, LogID: "prop"},
+		}
+		s, err := NewStore(cfg)
+		if err != nil {
+			return false
+		}
+		sess := s.NewSession()
+		model := make(map[string][]byte)
+		for i, k := range keys {
+			key := []byte(fmt.Sprintf("key-%05d", k))
+			val := bytes.Repeat([]byte{byte(i) ^ seed}, 16)
+			sess.Upsert(key, val, nil)
+			model[string(key)] = val
+		}
+		sess.Close()
+
+		var blob bytes.Buffer
+		if _, err := s.CheckpointSync(&blob); err != nil {
+			return false
+		}
+		s.Close()
+
+		cfg2 := cfg
+		cfg2.Log.Epoch = nil
+		r, err := Recover(cfg2, bytes.NewReader(blob.Bytes()))
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		rs := r.NewSession()
+		defer rs.Close()
+		for k, v := range model {
+			got, st := mustReadQ(rs, []byte(k))
+			if st != StatusOK || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCollectChainNewestOnly: migration collection must emit the
+// newest version of each in-range key exactly once.
+func TestPropertyCollectChainNewestOnly(t *testing.T) {
+	f := func(nKeys uint8, rounds uint8) bool {
+		n := int(nKeys%32) + 1
+		r := int(rounds%4) + 1
+		s, _ := testStore(t)
+		sess := s.NewSession()
+		defer sess.Close()
+		want := make(map[string]uint64)
+		for round := 0; round < r; round++ {
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("ck-%03d", i)
+				sess.Upsert([]byte(k), delta(uint64(round*100+i)), nil)
+				want[k] = uint64(round*100 + i)
+			}
+		}
+		got := make(map[string]uint64)
+		seen := make(map[string]struct{})
+		ix := s.Index()
+		ix.ForEachEntryInBuckets(0, ix.NumBuckets(), func(b uint64, slot IndexSlot) bool {
+			sess.CollectChain(b, slot, 0, ^uint64(0), false, seen,
+				func(rec CollectedRecord) {
+					if rec.Indirection {
+						return
+					}
+					if _, dup := got[string(rec.Key)]; dup {
+						t.Log("duplicate emission")
+					}
+					got[string(rec.Key)] = leU64(rec.Value)
+				})
+			return true
+		})
+		for k, v := range want {
+			if got[k] != v {
+				t.Logf("key %q: collected %d want %d", k, got[k], v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,396 @@
+package faster
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/hashidx"
+	"repro/internal/hlog"
+)
+
+// Session is one thread's handle onto a shared Store. A Session is owned by
+// exactly one goroutine: operations, CompletePending and Refresh must not be
+// called concurrently. Pending-operation callbacks run on the session's
+// goroutine, inside CompletePending.
+//
+// Every operation takes a callback that is invoked exactly once: inline when
+// the operation completes immediately, or from CompletePending when it
+// needed storage I/O (the operation then returns StatusPending).
+type Session struct {
+	s *Store
+	g *epoch.Guard
+
+	completions chan func()
+	inflight    atomic.Int64
+	closed      bool
+
+	opsSinceRefresh int
+
+	// scratch buffers reused across operations to keep the data path
+	// allocation-free.
+	valBuf []byte
+}
+
+// Callback receives an operation's final status and, for reads, the value
+// (valid only during the call; callers must copy to retain). For
+// StatusIndirection the payload is the encoded indirection pointer.
+type Callback func(st Status, value []byte)
+
+// NewSession registers a new thread with the store.
+func (s *Store) NewSession() *Session {
+	return &Session{
+		s:           s,
+		g:           s.epoch.Register(),
+		completions: make(chan func(), s.cfg.MaxPendingPerSession),
+	}
+}
+
+// Close unregisters the session. Outstanding pending operations are drained
+// first.
+func (sess *Session) Close() {
+	if sess.closed {
+		return
+	}
+	sess.CompletePending(true)
+	sess.closed = true
+	sess.g.Unregister()
+}
+
+// Refresh synchronizes the session's epoch view; server loops call this
+// between request batches.
+func (sess *Session) Refresh() { sess.g.Refresh() }
+
+// Guard exposes the epoch guard (the server layer refreshes it while
+// spinning on transport queues).
+func (sess *Session) Guard() *epoch.Guard { return sess.g }
+
+// maybeRefresh keeps long-running single-session workloads participating in
+// global cuts even if the caller never calls Refresh explicitly.
+func (sess *Session) maybeRefresh() {
+	sess.opsSinceRefresh++
+	if sess.opsSinceRefresh >= 256 {
+		sess.opsSinceRefresh = 0
+		sess.g.Refresh()
+	}
+}
+
+// Pending returns the number of operations awaiting storage I/O.
+func (sess *Session) Pending() int { return int(sess.inflight.Load()) }
+
+// CompletePending runs completions for finished storage I/O. With wait set
+// it blocks until no operations remain in flight; otherwise it drains what
+// is ready and returns. Returns the number of completions processed.
+func (sess *Session) CompletePending(wait bool) int {
+	n := 0
+	for {
+		select {
+		case fn := <-sess.completions:
+			fn()
+			n++
+			continue
+		default:
+		}
+		if !wait || sess.inflight.Load() == 0 {
+			return n
+		}
+		// Block for the next completion; keep the epoch unprotected so
+		// flush/eviction cuts are not held up by an idle session.
+		sess.g.Suspend()
+		fn := <-sess.completions
+		sess.g.Resume()
+		fn()
+		n++
+	}
+}
+
+// walkResult describes where a chain walk for a key ended.
+type walkResult struct {
+	rec     hlog.Record  // valid when status is walkFound/walkIndirection
+	addr    hlog.Address // address of rec, or first non-resident address
+	status  walkStatus
+	entry   hashidx.Entry // chain head observed at walk start
+	slot    hashidx.Slot
+	hash    uint64
+	mutable bool // rec lies in the in-place-update region
+}
+
+type walkStatus uint8
+
+const (
+	walkFound       walkStatus = iota // matching live record in memory
+	walkTombstone                     // matching tombstone in memory
+	walkNotFound                      // chain exhausted without a match
+	walkBelowHead                     // chain continues on storage at addr
+	walkIndirection                   // indirection record covering the hash
+)
+
+// walkMemory traverses the in-memory portion of key's hash chain.
+func (sess *Session) walkMemory(slot hashidx.Slot, key []byte, hash uint64) walkResult {
+	res := walkResult{slot: slot, hash: hash, status: walkNotFound}
+	if !slot.Valid() {
+		return res
+	}
+	res.entry = slot.Load()
+	lg := sess.s.log
+	head := lg.HeadAddress()
+	readOnly := lg.ReadOnlyAddress()
+	begin := lg.BeginAddress()
+	addr := res.entry.Address()
+	for addr != hlog.InvalidAddress {
+		if addr < head {
+			if addr < begin {
+				res.status = walkNotFound
+				return res
+			}
+			res.status = walkBelowHead
+			res.addr = addr
+			return res
+		}
+		rec := lg.RecordAt(addr)
+		m := rec.Meta()
+		if m.Invalid() {
+			addr = m.Previous()
+			continue
+		}
+		if m.Indirection() {
+			if p, ok := hlog.DecodeIndirection(rec.Value()); ok &&
+				hash >= p.RangeStart && hash < p.RangeEnd {
+				res.status = walkIndirection
+				res.rec, res.addr = rec, addr
+				return res
+			}
+			addr = m.Previous()
+			continue
+		}
+		if bytes.Equal(rec.Key(), key) {
+			res.rec, res.addr = rec, addr
+			res.mutable = addr >= readOnly
+			if m.Tombstone() {
+				res.status = walkTombstone
+			} else {
+				res.status = walkFound
+			}
+			return res
+		}
+		addr = m.Previous()
+	}
+	return res
+}
+
+// Read looks up key. The callback receives the value on StatusOK; it runs
+// inline unless the result is StatusPending.
+func (sess *Session) Read(key []byte, cb Callback) Status {
+	sess.maybeRefresh()
+	sess.s.stats.Reads.Add(1)
+	hash := HashOf(key)
+	slot := sess.s.index.FindEntry(hash)
+	res := sess.walkMemory(slot, key, hash)
+	switch res.status {
+	case walkFound:
+		sess.maybeSample(hash, res)
+		sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
+		invoke(cb, StatusOK, sess.valBuf)
+		return StatusOK
+	case walkTombstone, walkNotFound:
+		invoke(cb, StatusNotFound, nil)
+		return StatusNotFound
+	case walkIndirection:
+		sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
+		invoke(cb, StatusIndirection, sess.valBuf)
+		return StatusIndirection
+	default: // walkBelowHead
+		sess.issueRead(&pendingOp{kind: opRead, key: append([]byte(nil), key...),
+			hash: hash, addr: res.addr, cb: cb})
+		return StatusPending
+	}
+}
+
+// Upsert blindly writes value for key. It never needs storage I/O: a version
+// in memory is updated in place or shadowed; a version on storage is
+// shadowed by the append.
+func (sess *Session) Upsert(key, value []byte, cb Callback) Status {
+	sess.maybeRefresh()
+	sess.s.stats.Upserts.Add(1)
+	hash := HashOf(key)
+	slot := sess.s.index.FindOrCreateEntry(hash)
+	for {
+		res := sess.walkMemory(slot, key, hash)
+		if res.status == walkFound && res.mutable &&
+			res.rec.ValueLen() == len(value) {
+			// In-place update under the record's write seal.
+			pre := res.rec.Seal()
+			res.rec.StoreValueBytes(value)
+			res.rec.Unseal(pre)
+			sess.s.stats.InPlaceUpdates.Add(1)
+			invoke(cb, StatusOK, nil)
+			return StatusOK
+		}
+		// RCU / blind append path.
+		if sess.tryAppend(res, key, value, false) {
+			sess.s.stats.RCUUpdates.Add(1)
+			invoke(cb, StatusOK, nil)
+			return StatusOK
+		}
+	}
+}
+
+// Delete writes a tombstone for key.
+func (sess *Session) Delete(key []byte, cb Callback) Status {
+	sess.maybeRefresh()
+	sess.s.stats.Deletes.Add(1)
+	hash := HashOf(key)
+	slot := sess.s.index.FindOrCreateEntry(hash)
+	for {
+		res := sess.walkMemory(slot, key, hash)
+		if res.status == walkTombstone {
+			invoke(cb, StatusOK, nil)
+			return StatusOK
+		}
+		if sess.tryAppend(res, key, nil, true) {
+			invoke(cb, StatusOK, nil)
+			return StatusOK
+		}
+	}
+}
+
+// RMW reads key's value, applies the store's RMW function with input, and
+// writes the result. The callback receives no value (use Read to observe).
+func (sess *Session) RMW(key, input []byte, cb Callback) Status {
+	sess.maybeRefresh()
+	sess.s.stats.RMWs.Add(1)
+	hash := HashOf(key)
+	slot := sess.s.index.FindOrCreateEntry(hash)
+	return sess.rmwFrom(slot, key, hash, input, cb)
+}
+
+// rmwFrom runs the RMW state machine starting with an in-memory walk; the
+// pending-I/O continuation re-enters here.
+func (sess *Session) rmwFrom(slot hashidx.Slot, key []byte, hash uint64, input []byte, cb Callback) Status {
+	for {
+		res := sess.walkMemory(slot, key, hash)
+		switch res.status {
+		case walkFound:
+			// During Sampling (§3.3) updates to matching records go through
+			// the copy path so the updated record lands at the tail; the
+			// in-place fast path would leave it below the sampling cut.
+			sampling := sess.samplerMatch(hash, res.addr)
+			if !sampling && res.mutable && sess.s.rmw.TryInPlace(res.rec, input) {
+				sess.s.stats.InPlaceUpdates.Add(1)
+				invoke(cb, StatusOK, nil)
+				return StatusOK
+			}
+			// Copy-on-write from the current value.
+			old := res.rec.ReadValueStable(nil)
+			if sess.appendRMW(res, key, sess.s.rmw.Apply(old, input)) {
+				if sampling {
+					sess.s.stats.SampledCopies.Add(1)
+				}
+				invoke(cb, StatusOK, nil)
+				return StatusOK
+			}
+		case walkTombstone, walkNotFound:
+			if sess.appendRMW(res, key, sess.s.rmw.Initial(input)) {
+				invoke(cb, StatusOK, nil)
+				return StatusOK
+			}
+		case walkIndirection:
+			sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
+			invoke(cb, StatusIndirection, sess.valBuf)
+			return StatusIndirection
+		case walkBelowHead:
+			sess.issueRead(&pendingOp{kind: opRMW, key: append([]byte(nil), key...),
+				hash: hash, addr: res.addr, input: append([]byte(nil), input...), cb: cb})
+			return StatusPending
+		}
+	}
+}
+
+// tryAppend appends a record (or tombstone) and CASes it in as the chain
+// head. For blind writes a CAS failure just relinks and retries against the
+// fresh head, so it cannot fail permanently; it returns false only when the
+// walk must be redone (the in-place fast path may now apply).
+func (sess *Session) tryAppend(res walkResult, key, value []byte, tombstone bool) bool {
+	addr, rec, err := sess.append(res.entry.Address(), key, value, tombstone)
+	if err != nil {
+		return false
+	}
+	entry := res.entry
+	for {
+		if res.slot.CompareAndSwap(entry,
+			newEntryFor(res.hash, addr)) {
+			return true
+		}
+		entry = res.slot.Load()
+		// Relink our record to the new chain head and retry: safe for
+		// blind writes because the record's payload is independent of the
+		// prior value.
+		rec.SetMeta(rec.Meta().WithPrevious(entry.Address()))
+	}
+}
+
+// appendRMW appends a computed value; a CAS failure invalidates the record
+// and reports false so the caller recomputes against the fresh head (the
+// value may depend on state that just changed).
+func (sess *Session) appendRMW(res walkResult, key, value []byte) bool {
+	addr, rec, err := sess.append(res.entry.Address(), key, value, false)
+	if err != nil {
+		return false
+	}
+	if res.slot.CompareAndSwap(res.entry, newEntryFor(res.hash, addr)) {
+		sess.s.stats.RCUUpdates.Add(1)
+		return true
+	}
+	rec.SetMeta(rec.Meta().WithInvalid())
+	return false
+}
+
+// append allocates and writes a record; the caller installs it in the index.
+func (sess *Session) append(prev hlog.Address, key, value []byte, tombstone bool) (hlog.Address, hlog.Record, error) {
+	size := hlog.RecordSize(len(key), len(value))
+	addr, buf, err := sess.s.log.Allocate(sess.g, size)
+	if err != nil {
+		return hlog.InvalidAddress, nil, err
+	}
+	meta := hlog.NewMeta(prev, sess.s.version.Load(), false, tombstone)
+	rec := hlog.WriteRecord(buf, meta, key, value)
+	return addr, rec, nil
+}
+
+// newEntryFor packs an index entry pointing at addr for hash.
+func newEntryFor(hash uint64, addr hlog.Address) hashidx.Entry {
+	return hashidx.PackEntry(hashidx.TagOf(hash), addr)
+}
+
+// samplerMatch reports whether the Sampling-phase filter wants the record at
+// addr copied to the tail.
+func (sess *Session) samplerMatch(hash uint64, addr hlog.Address) bool {
+	fn := sess.s.sampler()
+	return fn != nil && fn(hash, addr)
+}
+
+// maybeSample implements the Sampling phase's copy-to-tail (§3.3) for reads:
+// the accessed record is re-verified as the current chain head and copied to
+// the tail with a single-shot CAS. A failed CAS means a concurrent writer
+// moved the chain — the copy is abandoned (invalidated) rather than risking
+// shadowing the newer value.
+func (sess *Session) maybeSample(hash uint64, res walkResult) {
+	if !sess.samplerMatch(hash, res.addr) {
+		return
+	}
+	cur := sess.walkMemory(res.slot, res.rec.Key(), hash)
+	if cur.status != walkFound || cur.addr != res.addr {
+		return // record no longer newest; its replacement is already hot
+	}
+	val := cur.rec.ReadValueStable(nil)
+	key := append([]byte(nil), cur.rec.Key()...)
+	if sess.appendRMW(cur, key, val) {
+		sess.s.stats.SampledCopies.Add(1)
+	}
+}
+
+func invoke(cb Callback, st Status, v []byte) {
+	if cb != nil {
+		cb(st, v)
+	}
+}

@@ -1,0 +1,111 @@
+// Package hashfn provides the 64-bit key hash used throughout the store.
+//
+// Shadowfax hash-partitions records across servers and uses the high bits of
+// the same hash as the in-bucket tag of the FASTER index, so the hash must be
+// strong across its whole width. This is a from-scratch implementation of the
+// xxHash64 algorithm (Yann Collet's public-domain specification), which mixes
+// well in both the high and low bits and needs no per-process seed, keeping
+// hash-range ownership stable across machines and restarts.
+package hashfn
+
+import "encoding/binary"
+
+const (
+	prime1 = 0x9E3779B185EBCA87
+	prime2 = 0xC2B2AE3D27D4EB4F
+	prime3 = 0x165667B19E3779F9
+	prime4 = 0x85EBCA77C2B2AE63
+	prime5 = 0x27D4EB2F165667C5
+)
+
+// Hash returns the 64-bit xxHash of b with seed 0.
+func Hash(b []byte) uint64 {
+	return HashSeed(b, 0)
+}
+
+// HashSeed returns the 64-bit xxHash of b with the given seed.
+func HashSeed(b []byte, seed uint64) uint64 {
+	n := len(b)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+
+	h += uint64(n)
+
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b[0:8]))
+		h = rotl(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[0:4])) * prime1
+		h = rotl(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = rotl(h, 11) * prime1
+	}
+
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// Hash64 hashes a uint64 key directly (a fast path for fixed 8-byte keys).
+func Hash64(k uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], k)
+	return Hash(buf[:])
+}
+
+// Mix64 is a cheap avalanche finalizer (splitmix64's mixer). It is used where
+// a full xxHash is unnecessary, e.g. spreading already-random values.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = rotl(acc, 31)
+	acc *= prime1
+	return acc
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	acc = acc*prime1 + prime4
+	return acc
+}
+
+func rotl(x uint64, r uint) uint64 {
+	return (x << r) | (x >> (64 - r))
+}

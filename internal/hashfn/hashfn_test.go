@@ -1,0 +1,130 @@
+package hashfn
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors computed with the canonical xxHash64 implementation.
+var vectors = []struct {
+	in   string
+	seed uint64
+	want uint64
+}{
+	{"", 0, 0xEF46DB3751D8E999},
+	{"", 1, 0xD5AFBA1336A3BE4B},
+	{"a", 0, 0xD24EC4F1A98C6E5B},
+	{"as", 0, 0x1C330FB2D66BE179},
+	{"asd", 0, 0x631C37CE72A97393},
+	{"asdf", 0, 0x415872F599CEA71E},
+	{"Call me Ishmael.", 0, 0x6D04390FC9D61A90},
+	{"Some years ago--never mind how long precisely-", 0, 0x8F26F2B986AFDC52},
+	// Exactly 63 characters, exercising the 32-byte lanes plus three 8-byte
+	// tail rounds (regression pin; path correctness is established by the
+	// canonical vectors above, which cover each tail size once).
+	{"Call me Ishmael. Some years ago--never mind how long precisely", 0, 0x80907A3AA97C91CB},
+}
+
+func TestHashVectors(t *testing.T) {
+	for _, v := range vectors {
+		if got := HashSeed([]byte(v.in), v.seed); got != v.want {
+			t.Errorf("HashSeed(%q, %d) = %#x, want %#x", v.in, v.seed, got, v.want)
+		}
+	}
+}
+
+func TestHashMatchesSeedZero(t *testing.T) {
+	for _, v := range vectors {
+		if v.seed != 0 {
+			continue
+		}
+		if Hash([]byte(v.in)) != HashSeed([]byte(v.in), 0) {
+			t.Errorf("Hash(%q) != HashSeed(seed=0)", v.in)
+		}
+	}
+}
+
+func TestHash64MatchesBytes(t *testing.T) {
+	for _, k := range []uint64{0, 1, 42, 1 << 40, ^uint64(0)} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], k)
+		if Hash64(k) != Hash(buf[:]) {
+			t.Errorf("Hash64(%d) disagrees with Hash of its bytes", k)
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	f := func(b []byte) bool { return Hash(b) == Hash(b) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashHighBitsSpread checks the property the FASTER index relies on: the
+// top 14 bits (used as the in-bucket tag) must be well distributed.
+func TestHashHighBitsSpread(t *testing.T) {
+	const n = 1 << 14
+	seen := make(map[uint64]int)
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(i))
+		tag := Hash(buf[:]) >> 50
+		seen[tag]++
+	}
+	// With 16384 samples into 16384 tag values, expect a large number of
+	// distinct tags (balls-into-bins: ~63% occupancy).
+	if len(seen) < n/2 {
+		t.Errorf("tag distribution too narrow: %d distinct of %d", len(seen), n)
+	}
+}
+
+// TestHashLowBitsSpread checks bucket-index distribution for sequential keys.
+func TestHashLowBitsSpread(t *testing.T) {
+	const buckets = 1024
+	counts := make([]int, buckets)
+	var buf [8]byte
+	for i := 0; i < buckets*16; i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(i))
+		counts[Hash(buf[:])&(buckets-1)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("bucket %d empty after 16x load", i)
+		}
+		if c > 64 {
+			t.Fatalf("bucket %d badly overloaded: %d", i, c)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 must not collide on small distinct inputs (it is a bijection;
+	// spot-check a window).
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 4096; i++ {
+		m := Mix64(i)
+		if prev, dup := seen[m]; dup {
+			t.Fatalf("Mix64 collision: %d and %d -> %#x", prev, i, m)
+		}
+		seen[m] = i
+	}
+}
+
+func BenchmarkHash8(b *testing.B) {
+	buf := make([]byte, 8)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(buf, uint64(i))
+		Hash(buf)
+	}
+}
+
+func BenchmarkHash256(b *testing.B) {
+	buf := make([]byte, 256)
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		Hash(buf)
+	}
+}

@@ -1,0 +1,375 @@
+// Package hashidx implements FASTER's lock-free hash index (§2): an array of
+// cacheline-sized buckets of eight 8-byte words — seven entries plus an
+// overflow pointer. Each entry packs a 48-bit HybridLog address with
+// additional high bits of the key hash (the tag), which disambiguates what a
+// bucket entry points to without extra cache misses or full key comparisons.
+// Entries are only ever updated with compare-and-swap; the index itself
+// never blocks.
+package hashidx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/hlog"
+)
+
+const (
+	// EntriesPerBucket is the number of usable entries per bucket; the
+	// eighth word links an overflow bucket.
+	EntriesPerBucket = 7
+	bucketWords      = 8
+
+	tagBits  = 14
+	tagShift = 64 - tagBits
+
+	addrMask = hlog.AddressMask
+	tagMask  = ((uint64(1) << tagBits) - 1) << hlog.AddressBits
+
+	tentativeBit = uint64(1) << 62
+)
+
+// Entry is one packed hash-table entry: tag | address (+ tentative bit
+// during two-phase insertion).
+type Entry uint64
+
+// Address returns the HybridLog address the entry points to.
+func (e Entry) Address() hlog.Address { return hlog.Address(uint64(e) & addrMask) }
+
+// Tag returns the entry's stored tag bits.
+func (e Entry) Tag() uint16 { return uint16((uint64(e) & tagMask) >> hlog.AddressBits) }
+
+// Tentative reports whether the entry is mid-insertion.
+func (e Entry) Tentative() bool { return uint64(e)&tentativeBit != 0 }
+
+// Free reports whether the entry slot is unused.
+func (e Entry) Free() bool { return e == 0 }
+
+func packEntry(tag uint16, addr hlog.Address, tentative bool) Entry {
+	e := uint64(addr) & addrMask
+	e |= uint64(tag) << hlog.AddressBits
+	if tentative {
+		e |= tentativeBit
+	}
+	return Entry(e)
+}
+
+// TagOf extracts the tag bits the index uses from a 64-bit key hash.
+func TagOf(hash uint64) uint16 { return uint16(hash >> tagShift) }
+
+// PackEntry builds a committed entry pointing at addr; the store uses it as
+// the new value in chain-head CAS operations.
+func PackEntry(tag uint16, addr hlog.Address) Entry {
+	return packEntry(tag, addr, false)
+}
+
+// Slot is a handle to one entry word; Load and CompareAndSwap operate on it
+// atomically.
+type Slot struct{ p *uint64 }
+
+// Load atomically reads the slot's entry.
+func (s Slot) Load() Entry { return Entry(atomic.LoadUint64(s.p)) }
+
+// CompareAndSwap atomically replaces old with new.
+func (s Slot) CompareAndSwap(old, new Entry) bool {
+	return atomic.CompareAndSwapUint64(s.p, uint64(old), uint64(new))
+}
+
+// Valid reports whether the Slot refers to an entry.
+func (s Slot) Valid() bool { return s.p != nil }
+
+// Index is the lock-free hash table.
+type Index struct {
+	mask uint64
+	main []uint64 // numBuckets * bucketWords
+
+	ovfMu     sync.Mutex   // guards growth of the block list
+	ovfBlocks atomic.Value // [][]uint64, blocks of ovfBlockBuckets buckets
+	ovfNext   atomic.Uint64
+}
+
+const ovfBlockBuckets = 4096
+
+// New creates an index with numBuckets main buckets (power of two).
+func New(numBuckets int) (*Index, error) {
+	if numBuckets < 1 || numBuckets&(numBuckets-1) != 0 {
+		return nil, fmt.Errorf("hashidx: buckets %d must be a power of two", numBuckets)
+	}
+	ix := &Index{
+		mask: uint64(numBuckets - 1),
+		main: make([]uint64, numBuckets*bucketWords),
+	}
+	ix.ovfBlocks.Store([][]uint64{})
+	return ix, nil
+}
+
+// NumBuckets returns the number of main buckets.
+func (ix *Index) NumBuckets() uint64 { return ix.mask + 1 }
+
+// bucketOf returns the main-bucket index for a hash.
+func (ix *Index) bucketOf(hash uint64) uint64 { return hash & ix.mask }
+
+func (ix *Index) mainBucket(b uint64) []uint64 {
+	return ix.main[b*bucketWords : (b+1)*bucketWords]
+}
+
+func (ix *Index) ovfBucket(id uint64) []uint64 {
+	blocks := ix.ovfBlocks.Load().([][]uint64)
+	blk := blocks[id/ovfBlockBuckets]
+	off := (id % ovfBlockBuckets) * bucketWords
+	return blk[off : off+bucketWords]
+}
+
+// allocOvfBucket returns the id+1 of a fresh overflow bucket (so 0 remains
+// the nil link).
+func (ix *Index) allocOvfBucket() uint64 {
+	id := ix.ovfNext.Add(1) - 1
+	ix.ovfMu.Lock()
+	blocks := ix.ovfBlocks.Load().([][]uint64)
+	for uint64(len(blocks))*ovfBlockBuckets <= id {
+		// Copy-on-append so lock-free readers never see a racing slice
+		// header.
+		next := make([][]uint64, len(blocks)+1)
+		copy(next, blocks)
+		next[len(blocks)] = make([]uint64, ovfBlockBuckets*bucketWords)
+		blocks = next
+	}
+	ix.ovfBlocks.Store(blocks)
+	ix.ovfMu.Unlock()
+	return id + 1
+}
+
+// ovfLink returns the overflow-bucket handle stored in a bucket's last word.
+func ovfLink(bucket []uint64) uint64 {
+	return atomic.LoadUint64(&bucket[bucketWords-1])
+}
+
+// FindEntry locates the entry for hash, returning an invalid Slot if absent.
+func (ix *Index) FindEntry(hash uint64) Slot {
+	tag := TagOf(hash)
+	bucket := ix.mainBucket(ix.bucketOf(hash))
+	for {
+		for i := 0; i < EntriesPerBucket; i++ {
+			e := Entry(atomic.LoadUint64(&bucket[i]))
+			if !e.Free() && !e.Tentative() && e.Tag() == tag {
+				return Slot{&bucket[i]}
+			}
+		}
+		link := ovfLink(bucket)
+		if link == 0 {
+			return Slot{}
+		}
+		bucket = ix.ovfBucket(link - 1)
+	}
+}
+
+// FindOrCreateEntry locates the entry for hash, creating it (with an invalid
+// address) if absent. Creation uses FASTER's two-phase tentative protocol so
+// two racing creators for the same tag converge on one entry.
+func (ix *Index) FindOrCreateEntry(hash uint64) Slot {
+	tag := TagOf(hash)
+	b := ix.bucketOf(hash)
+	for {
+		if s := ix.FindEntry(hash); s.Valid() {
+			return s
+		}
+		// Claim a free slot tentatively.
+		slot, bucketHead := ix.claimFreeSlot(b, tag)
+		if !slot.Valid() {
+			continue // new overflow bucket appeared; rescan
+		}
+		// If another non-tentative or earlier tentative entry with our tag
+		// exists elsewhere in the chain, back off and rescan.
+		if ix.tagConflict(bucketHead, tag, slot) {
+			slot.CompareAndSwap(packEntry(tag, hlog.InvalidAddress, true), 0)
+			continue
+		}
+		// Commit: clear the tentative bit.
+		if slot.CompareAndSwap(packEntry(tag, hlog.InvalidAddress, true),
+			packEntry(tag, hlog.InvalidAddress, false)) {
+			return slot
+		}
+	}
+}
+
+// claimFreeSlot CASes a tentative entry into the first free slot of the
+// bucket chain, extending the chain with an overflow bucket if needed.
+func (ix *Index) claimFreeSlot(b uint64, tag uint16) (Slot, []uint64) {
+	head := ix.mainBucket(b)
+	bucket := head
+	for {
+		for i := 0; i < EntriesPerBucket; i++ {
+			e := Entry(atomic.LoadUint64(&bucket[i]))
+			if e.Free() {
+				if atomic.CompareAndSwapUint64(&bucket[i], 0,
+					uint64(packEntry(tag, hlog.InvalidAddress, true))) {
+					return Slot{&bucket[i]}, head
+				}
+			}
+		}
+		link := ovfLink(bucket)
+		if link == 0 {
+			// Extend the chain. Racing extenders: first CAS wins, loser's
+			// bucket is leaked into the pool (bounded, rare).
+			newLink := ix.allocOvfBucket()
+			if !atomic.CompareAndSwapUint64(&bucket[bucketWords-1], 0, newLink) {
+				link = ovfLink(bucket)
+			} else {
+				link = newLink
+			}
+		}
+		bucket = ix.ovfBucket(link - 1)
+	}
+}
+
+// tagConflict reports whether an entry with tag exists in the chain rooted
+// at head other than ours.
+func (ix *Index) tagConflict(head []uint64, tag uint16, ours Slot) bool {
+	bucket := head
+	for {
+		for i := 0; i < EntriesPerBucket; i++ {
+			p := &bucket[i]
+			if p == ours.p {
+				continue
+			}
+			e := Entry(atomic.LoadUint64(p))
+			if !e.Free() && e.Tag() == tag {
+				// A committed entry always wins; among tentative entries,
+				// the one at the lower chain position wins. We conservatively
+				// treat any other same-tag entry as a conflict unless it is
+				// tentative and at a later address than ours, in which case
+				// the other inserter will back off.
+				if !e.Tentative() {
+					return true
+				}
+				if uintptr(unsafe.Pointer(p)) < uintptr(unsafe.Pointer(ours.p)) {
+					return true
+				}
+			}
+		}
+		link := ovfLink(bucket)
+		if link == 0 {
+			return false
+		}
+		bucket = ix.ovfBucket(link - 1)
+	}
+}
+
+// ForEachEntryInBuckets iterates entries of main buckets [lo, hi) including
+// their overflow chains, calling fn with each non-free committed entry and
+// its main-bucket index. Iteration is a racy snapshot: concurrent updates
+// may or may not be observed, which is the contract migration needs.
+func (ix *Index) ForEachEntryInBuckets(lo, hi uint64, fn func(bucket uint64, s Slot) bool) {
+	if hi > ix.NumBuckets() {
+		hi = ix.NumBuckets()
+	}
+	for b := lo; b < hi; b++ {
+		bucket := ix.mainBucket(b)
+		for {
+			for i := 0; i < EntriesPerBucket; i++ {
+				e := Entry(atomic.LoadUint64(&bucket[i]))
+				if e.Free() || e.Tentative() {
+					continue
+				}
+				if !fn(b, Slot{&bucket[i]}) {
+					return
+				}
+			}
+			link := ovfLink(bucket)
+			if link == 0 {
+				break
+			}
+			ix.ovfMu.Lock()
+			bucket = ix.ovfBucket(link - 1)
+			ix.ovfMu.Unlock()
+		}
+	}
+}
+
+// Stats summarizes occupancy.
+type Stats struct {
+	MainBuckets     uint64
+	OverflowBuckets uint64
+	UsedEntries     uint64
+}
+
+// Stats scans the table and returns occupancy counters.
+func (ix *Index) Stats() Stats {
+	st := Stats{MainBuckets: ix.NumBuckets(), OverflowBuckets: ix.ovfNext.Load()}
+	ix.ForEachEntryInBuckets(0, ix.NumBuckets(), func(_ uint64, s Slot) bool {
+		if s.Load().Address() != hlog.InvalidAddress {
+			st.UsedEntries++
+		}
+		return true
+	})
+	return st
+}
+
+// Snapshot serializes the index (fuzzy if concurrent with writers; callers
+// needing a sharp image take it after a CPR cut). Format: numBuckets,
+// numOverflow, main words, overflow words.
+func (ix *Index) Snapshot(w io.Writer) error {
+	var hdr [16]byte
+	nOvf := ix.ovfNext.Load()
+	binary.LittleEndian.PutUint64(hdr[0:8], ix.NumBuckets())
+	binary.LittleEndian.PutUint64(hdr[8:16], nOvf)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for i := range ix.main {
+		binary.LittleEndian.PutUint64(buf, atomic.LoadUint64(&ix.main[i]))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	for id := uint64(0); id < nOvf; id++ {
+		bucket := ix.ovfBucket(id)
+		for i := range bucket {
+			binary.LittleEndian.PutUint64(buf, atomic.LoadUint64(&bucket[i]))
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RestoreSnapshot loads an image written by Snapshot into a fresh Index.
+func RestoreSnapshot(r io.Reader) (*Index, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	nBuckets := binary.LittleEndian.Uint64(hdr[0:8])
+	nOvf := binary.LittleEndian.Uint64(hdr[8:16])
+	ix, err := New(int(nBuckets))
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8)
+	for i := range ix.main {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		ix.main[i] = binary.LittleEndian.Uint64(buf)
+	}
+	for id := uint64(0); id < nOvf; id++ {
+		ix.allocOvfBucket()
+	}
+	ix.ovfNext.Store(nOvf)
+	for id := uint64(0); id < nOvf; id++ {
+		bucket := ix.ovfBucket(id)
+		for i := range bucket {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			bucket[i] = binary.LittleEndian.Uint64(buf)
+		}
+	}
+	return ix, nil
+}

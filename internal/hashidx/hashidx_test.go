@@ -1,0 +1,311 @@
+package hashidx
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashfn"
+	"repro/internal/hlog"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, 3, 12, -8} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) should fail", n)
+		}
+	}
+	if _, err := New(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryPacking(t *testing.T) {
+	f := func(tag uint16, addr uint64, tentative bool) bool {
+		tag &= (1 << tagBits) - 1
+		a := hlog.Address(addr & addrMask)
+		e := packEntry(tag, a, tentative)
+		return e.Tag() == tag && e.Address() == a && e.Tentative() == tentative
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindAbsent(t *testing.T) {
+	ix, _ := New(64)
+	if s := ix.FindEntry(hashfn.Hash64(99)); s.Valid() {
+		t.Fatal("found an entry in an empty index")
+	}
+}
+
+func TestFindOrCreateThenFind(t *testing.T) {
+	ix, _ := New(64)
+	h := hashfn.Hash64(1)
+	s := ix.FindOrCreateEntry(h)
+	if !s.Valid() {
+		t.Fatal("create failed")
+	}
+	if e := s.Load(); e.Address() != hlog.InvalidAddress || e.Tentative() {
+		t.Fatalf("fresh entry should be committed with invalid address: %#x", e)
+	}
+	// CAS an address in.
+	if !s.CompareAndSwap(s.Load(), packEntry(TagOf(h), hlog.Address(4096), false)) {
+		t.Fatal("CAS failed")
+	}
+	s2 := ix.FindEntry(h)
+	if !s2.Valid() || s2.Load().Address() != hlog.Address(4096) {
+		t.Fatal("re-find did not see the address")
+	}
+	// FindOrCreate must return the same entry, not create another.
+	s3 := ix.FindOrCreateEntry(h)
+	if s3.p != s2.p {
+		t.Fatal("FindOrCreate duplicated an existing entry")
+	}
+}
+
+func TestOverflowChains(t *testing.T) {
+	// 1 main bucket forces everything through overflow chains.
+	ix, _ := New(1)
+	const n = 200
+	slots := make(map[uint64]Slot)
+	for i := uint64(0); i < n; i++ {
+		h := hashfn.Hash64(i)
+		s := ix.FindOrCreateEntry(h)
+		s.CompareAndSwap(s.Load(), packEntry(TagOf(h), hlog.Address(64+i*8), false))
+		slots[i] = s
+	}
+	// All entries findable with correct addresses. Distinct keys can share a
+	// tag (chain collision), in which case they legitimately share an entry,
+	// so check via the slot map instead of assuming distinctness.
+	for i := uint64(0); i < n; i++ {
+		h := hashfn.Hash64(i)
+		s := ix.FindEntry(h)
+		if !s.Valid() {
+			t.Fatalf("key %d vanished", i)
+		}
+		if s.p != slots[i].p {
+			t.Fatalf("key %d resolved to a different slot", i)
+		}
+	}
+	if st := ix.Stats(); st.OverflowBuckets == 0 {
+		t.Fatal("expected overflow buckets")
+	}
+}
+
+func TestConcurrentFindOrCreateConverges(t *testing.T) {
+	// Many goroutines race to create the same small key set; every key must
+	// end with exactly one committed entry.
+	ix, _ := New(4)
+	const keys = 16
+	const workers = 8
+	var wg sync.WaitGroup
+	slotsCh := make(chan [keys]Slot, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine [keys]Slot
+			for i := 0; i < keys; i++ {
+				mine[i] = ix.FindOrCreateEntry(hashfn.Hash64(uint64(i)))
+			}
+			slotsCh <- mine
+		}()
+	}
+	wg.Wait()
+	close(slotsCh)
+	var first [keys]Slot
+	got := false
+	for mine := range slotsCh {
+		if !got {
+			first = mine
+			got = true
+			continue
+		}
+		for i := range mine {
+			if mine[i].p != first[i].p {
+				t.Fatalf("key %d: racing creators got different entries", i)
+			}
+		}
+	}
+	// No tentative entries must survive.
+	ix.ForEachEntryInBuckets(0, ix.NumBuckets(), func(_ uint64, s Slot) bool {
+		if s.Load().Tentative() {
+			t.Error("tentative entry leaked")
+		}
+		return true
+	})
+}
+
+func TestConcurrentInsertAndUpdate(t *testing.T) {
+	ix, _ := New(256)
+	const keys = 2000
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < keys; i += workers {
+				h := hashfn.Hash64(uint64(i))
+				s := ix.FindOrCreateEntry(h)
+				for {
+					old := s.Load()
+					if s.CompareAndSwap(old, packEntry(TagOf(h), hlog.Address(64+uint64(i)), false)) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every key readable; address plausibly set (tag collisions mean last
+	// writer wins on shared entries, but the address must be one of ours).
+	for i := 0; i < keys; i++ {
+		h := hashfn.Hash64(uint64(i))
+		s := ix.FindEntry(h)
+		if !s.Valid() {
+			t.Fatalf("key %d missing", i)
+		}
+		a := uint64(s.Load().Address())
+		if a < 64 || a >= 64+keys {
+			t.Fatalf("key %d has foreign address %d", i, a)
+		}
+	}
+}
+
+func TestForEachEntryInBuckets(t *testing.T) {
+	ix, _ := New(64)
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		h := hashfn.Hash64(i)
+		s := ix.FindOrCreateEntry(h)
+		s.CompareAndSwap(s.Load(), packEntry(TagOf(h), hlog.Address(64+i), false))
+	}
+	seen := 0
+	ix.ForEachEntryInBuckets(0, ix.NumBuckets(), func(b uint64, s Slot) bool {
+		seen++
+		return true
+	})
+	if seen == 0 || seen > n {
+		t.Fatalf("iterated %d entries", seen)
+	}
+	// Partial ranges partition the full scan.
+	half1, half2 := 0, 0
+	ix.ForEachEntryInBuckets(0, 32, func(uint64, Slot) bool { half1++; return true })
+	ix.ForEachEntryInBuckets(32, 64, func(uint64, Slot) bool { half2++; return true })
+	if half1+half2 != seen {
+		t.Fatalf("partition mismatch: %d + %d != %d", half1, half2, seen)
+	}
+	// Early termination.
+	count := 0
+	ix.ForEachEntryInBuckets(0, ix.NumBuckets(), func(uint64, Slot) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop at %d", count)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	ix, _ := New(16)
+	const n = 300 // forces overflow on 16 buckets
+	addrs := make(map[uint64]hlog.Address)
+	for i := uint64(0); i < n; i++ {
+		h := hashfn.Hash64(i)
+		s := ix.FindOrCreateEntry(h)
+		a := hlog.Address(64 + i*16)
+		for {
+			old := s.Load()
+			if s.CompareAndSwap(old, packEntry(TagOf(h), a, false)) {
+				break
+			}
+		}
+		addrs[i] = a
+	}
+	var buf bytes.Buffer
+	if err := ix.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		h := hashfn.Hash64(i)
+		s := ix2.FindEntry(h)
+		if !s.Valid() {
+			t.Fatalf("key %d missing after restore", i)
+		}
+		// Same-tag collisions share entries; the restored address must
+		// match the original index's resolution, not necessarily addrs[i].
+		orig := ix.FindEntry(h)
+		if s.Load() != orig.Load() {
+			t.Fatalf("key %d: restored entry %#x != original %#x",
+				i, s.Load(), orig.Load())
+		}
+	}
+	if ix2.Stats().UsedEntries != ix.Stats().UsedEntries {
+		t.Fatal("restored occupancy differs")
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix, _ := New(64)
+	st := ix.Stats()
+	if st.UsedEntries != 0 || st.MainBuckets != 64 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	for i := uint64(0); i < 10; i++ {
+		h := hashfn.Hash64(i)
+		s := ix.FindOrCreateEntry(h)
+		s.CompareAndSwap(s.Load(), packEntry(TagOf(h), hlog.Address(64), false))
+	}
+	st = ix.Stats()
+	if st.UsedEntries == 0 || st.UsedEntries > 10 {
+		t.Fatalf("used entries %d", st.UsedEntries)
+	}
+}
+
+func BenchmarkFindEntry(b *testing.B) {
+	ix, _ := New(1 << 16)
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		h := hashfn.Hash64(i)
+		s := ix.FindOrCreateEntry(h)
+		s.CompareAndSwap(s.Load(), packEntry(TagOf(h), hlog.Address(64+i), false))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.FindEntry(hashfn.Hash64(uint64(i % n)))
+	}
+}
+
+func BenchmarkFindOrCreateParallel(b *testing.B) {
+	ix, _ := New(1 << 16)
+	var ctr uint64
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		base := ctr
+		ctr += 1 << 32
+		mu.Unlock()
+		i := base
+		for pb.Next() {
+			ix.FindOrCreateEntry(hashfn.Hash64(i))
+			i++
+		}
+	})
+}
+
+func ExampleIndex() {
+	ix, _ := New(64)
+	h := hashfn.Hash([]byte("user:42"))
+	slot := ix.FindOrCreateEntry(h)
+	slot.CompareAndSwap(slot.Load(), packEntry(TagOf(h), hlog.Address(4096), false))
+	fmt.Println(ix.FindEntry(h).Load().Address())
+	// Output: 4096
+}

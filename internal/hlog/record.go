@@ -1,0 +1,302 @@
+package hlog
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Record layout, 8-byte aligned within a page (records never span pages):
+//
+//	offset 0:  meta word   uint64 (atomic): prev address | version | flags
+//	offset 8:  length word uint64: keyLen (low 32) | valueLen (high 32)
+//	offset 16: key bytes, zero-padded to 8
+//	offset 16+pad8(keyLen): value bytes, zero-padded to 8
+//
+// The meta word packs, from the low bit:
+//
+//	bits  0..47  previous address in this key's hash chain (reverse list)
+//	bits 48..58  CPR checkpoint version (11 bits, compared for equality)
+//	bit  59      invalid: an abandoned append (lost a hash-chain CAS race);
+//	             scanners must ignore the record
+//	bit  60      write stamp: toggled when an in-place write completes, so
+//	             lock-free readers can detect a write that raced their copy
+//	bit  61      indirection: this is an indirection record (§3.3.2) whose
+//	             value encodes a pointer into another server's shared-tier log
+//	bit  62      tombstone: the key is deleted
+//	bit  63      sealed: write lock for variable-length in-place updates
+//
+// A zero length word marks the end of a page's written records (frames are
+// zeroed before reuse), which is how sequential scans detect padding.
+const (
+	// HeaderBytes is the fixed portion of every record.
+	HeaderBytes = 16
+
+	versionShift = 48
+	versionBits  = 11
+	// VersionMask bounds CPR checkpoint versions stored in records.
+	VersionMask = (uint64(1) << versionBits) - 1
+
+	invalidBit     = uint64(1) << 59
+	wstampBit      = uint64(1) << 60
+	indirectionBit = uint64(1) << 61
+	tombstoneBit   = uint64(1) << 62
+	sealedBit      = uint64(1) << 63
+)
+
+// Meta is a decoded record meta word.
+type Meta uint64
+
+// Previous returns the next-older address in the key's hash chain.
+func (m Meta) Previous() Address { return Address(uint64(m) & AddressMask) }
+
+// Version returns the CPR checkpoint version stamped on the record.
+func (m Meta) Version() uint32 {
+	return uint32((uint64(m) >> versionShift) & VersionMask)
+}
+
+// Indirection reports whether this is an indirection record.
+func (m Meta) Indirection() bool { return uint64(m)&indirectionBit != 0 }
+
+// Tombstone reports whether the record deletes its key.
+func (m Meta) Tombstone() bool { return uint64(m)&tombstoneBit != 0 }
+
+// Sealed reports whether a writer currently holds the record's write lock.
+func (m Meta) Sealed() bool { return uint64(m)&sealedBit != 0 }
+
+// Invalid reports whether the record is an abandoned append that scanners
+// must skip.
+func (m Meta) Invalid() bool { return uint64(m)&invalidBit != 0 }
+
+// WithInvalid returns m with the invalid flag set.
+func (m Meta) WithInvalid() Meta { return Meta(uint64(m) | invalidBit) }
+
+// WithPrevious returns m with the previous address replaced.
+func (m Meta) WithPrevious(prev Address) Meta {
+	return Meta((uint64(m) &^ AddressMask) | (uint64(prev) & AddressMask))
+}
+
+// NewMeta packs a meta word.
+func NewMeta(prev Address, version uint32, indirection, tombstone bool) Meta {
+	m := uint64(prev) & AddressMask
+	m |= (uint64(version) & VersionMask) << versionShift
+	if indirection {
+		m |= indirectionBit
+	}
+	if tombstone {
+		m |= tombstoneBit
+	}
+	return Meta(m)
+}
+
+// RecordSize returns the total padded size of a record with the given key
+// and value lengths.
+func RecordSize(keyLen, valueLen int) int {
+	return HeaderBytes + pad8(keyLen) + pad8(valueLen)
+}
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// Record is a view over a record's bytes inside a page frame (or a copied
+// buffer). Accessors that use atomics require the underlying buffer to be
+// 8-byte aligned, which page frames guarantee.
+type Record []byte
+
+// metaPtr returns the meta word for atomic access.
+func (r Record) metaPtr() *uint64 { return (*uint64)(unsafe.Pointer(&r[0])) }
+
+// Meta atomically loads the record's meta word.
+func (r Record) Meta() Meta { return Meta(atomic.LoadUint64(r.metaPtr())) }
+
+// SetMeta atomically stores the record's meta word.
+func (r Record) SetMeta(m Meta) { atomic.StoreUint64(r.metaPtr(), uint64(m)) }
+
+// CASMeta atomically replaces the meta word if it equals old.
+func (r Record) CASMeta(old, new Meta) bool {
+	return atomic.CompareAndSwapUint64(r.metaPtr(), uint64(old), uint64(new))
+}
+
+// lenWord atomically loads the packed key/value length word; records live
+// in page frames that scanners read concurrently with writers.
+func (r Record) lenWord() uint64 {
+	return atomic.LoadUint64((*uint64)(unsafe.Pointer(&r[8])))
+}
+
+// KeyLen returns the record's key length in bytes.
+func (r Record) KeyLen() int { return int(uint32(r.lenWord())) }
+
+// ValueLen returns the record's value length in bytes.
+func (r Record) ValueLen() int { return int(uint32(r.lenWord() >> 32)) }
+
+// Size returns the record's total padded size.
+func (r Record) Size() int { return RecordSize(r.KeyLen(), r.ValueLen()) }
+
+// Key returns the record's key bytes (aliasing the frame; do not retain).
+func (r Record) Key() []byte { return r[HeaderBytes : HeaderBytes+r.KeyLen()] }
+
+// valueOff returns the byte offset of the value region.
+func (r Record) valueOff() int { return HeaderBytes + pad8(r.KeyLen()) }
+
+// Value returns the record's value bytes (aliasing the frame).
+func (r Record) Value() []byte {
+	off := r.valueOff()
+	return r[off : off+r.ValueLen()]
+}
+
+// ValueWordPtr returns the first 8 bytes of the value region for atomic
+// counter operations (valid when ValueLen >= 8).
+func (r Record) ValueWordPtr() *uint64 {
+	return (*uint64)(unsafe.Pointer(&r[r.valueOff()]))
+}
+
+// LoadValueWord atomically reads an 8-byte value.
+func (r Record) LoadValueWord() uint64 { return atomic.LoadUint64(r.ValueWordPtr()) }
+
+// StoreValueWord atomically writes an 8-byte value.
+func (r Record) StoreValueWord(v uint64) { atomic.StoreUint64(r.ValueWordPtr(), v) }
+
+// AddValueWord atomically adds to an 8-byte value and returns the new value.
+func (r Record) AddValueWord(delta uint64) uint64 {
+	return atomic.AddUint64(r.ValueWordPtr(), delta)
+}
+
+// WriteRecord serializes a record into buf, which must be at least
+// RecordSize(len(key), len(value)) bytes and 8-byte aligned. Every word is
+// written with an atomic store: records live in page frames that concurrent
+// fuzzy snapshots (checkpoints, flushes) read with atomic loads. The meta
+// word is written last so a concurrent sequential scanner that reads a
+// non-zero length word still sees a fully-written header once meta is
+// non-zero.
+func WriteRecord(buf []byte, meta Meta, key, value []byte) Record {
+	r := Record(buf)
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&buf[8])),
+		uint64(uint32(len(key)))|uint64(uint32(len(value)))<<32)
+	storeBytesAtomic(buf[HeaderBytes:], key)
+	vo := HeaderBytes + pad8(len(key))
+	storeBytesAtomic(buf[vo:], value)
+	r.SetMeta(meta)
+	return r
+}
+
+// storeBytesAtomic writes src into the (8-aligned) region at dst using
+// 8-byte atomic stores, zero-padding the final word.
+func storeBytesAtomic(dst, src []byte) {
+	var word [8]byte
+	for i := 0; i < len(src); i += 8 {
+		word = [8]byte{}
+		copy(word[:], src[i:])
+		atomic.StoreUint64((*uint64)(unsafe.Pointer(&dst[i])),
+			binary.LittleEndian.Uint64(word[:]))
+	}
+}
+
+// Seal acquires the record's write lock, spinning until it is free, and
+// returns the pre-seal meta word.
+func (r Record) Seal() Meta {
+	for {
+		m := r.Meta()
+		if m.Sealed() {
+			continue
+		}
+		if r.CASMeta(m, Meta(uint64(m)|sealedBit)) {
+			return m
+		}
+	}
+}
+
+// Unseal releases the write lock taken by Seal and toggles the write stamp
+// so optimistic readers retry.
+func (r Record) Unseal(preSeal Meta) {
+	r.SetMeta(Meta((uint64(preSeal) &^ sealedBit) ^ wstampBit))
+}
+
+// ReadValueStable copies the record's value using an optimistic
+// seqlock-style protocol: it retries while a writer holds the seal or if the
+// write stamp changed during the copy. The copy itself is done with 8-byte
+// atomic loads (the value region is 8-aligned and zero-padded to 8), so it
+// also composes with lock-free in-place counter updates that bypass the
+// seal. dst is grown as needed and returned.
+func (r Record) ReadValueStable(dst []byte) []byte {
+	for {
+		m1 := r.Meta()
+		if m1.Sealed() {
+			continue
+		}
+		n := r.ValueLen()
+		if cap(dst) < n {
+			dst = make([]byte, n)
+		}
+		dst = dst[:n]
+		off := r.valueOff()
+		var word [8]byte
+		for i := 0; i < n; i += 8 {
+			w := atomic.LoadUint64((*uint64)(unsafe.Pointer(&r[off+i])))
+			binary.LittleEndian.PutUint64(word[:], w)
+			copy(dst[i:], word[:])
+		}
+		if r.Meta() == m1 {
+			return dst
+		}
+	}
+}
+
+// StoreValueBytes overwrites the record's value region with src (which must
+// have length ValueLen) using 8-byte atomic stores; in-place writers call it
+// between Seal and Unseal so optimistic readers never observe torn words.
+func (r Record) StoreValueBytes(src []byte) {
+	off := r.valueOff()
+	var word [8]byte
+	for i := 0; i < len(src); i += 8 {
+		word = [8]byte{}
+		copy(word[:], src[i:])
+		atomic.StoreUint64((*uint64)(unsafe.Pointer(&r[off+i])),
+			binary.LittleEndian.Uint64(word[:]))
+	}
+}
+
+// IndirectionPayload is the value carried by an indirection record (§3.3.2):
+// enough information for the target to fetch the actual record chain from
+// the source's log in the shared tier.
+type IndirectionPayload struct {
+	// NextAddress is the first on-SSD/shared-tier address of the remainder
+	// of the hash chain in the source's log.
+	NextAddress Address
+	// LogID identifies the source's log in the shared tier.
+	LogID string
+	// RangeStart and RangeEnd delimit the migrated hash range the chain
+	// belonged to (half-open interval of key hashes).
+	RangeStart, RangeEnd uint64
+	// HashBucket is the source hash-table entry's bucket index image, kept
+	// so the target can disambiguate chains if its index geometry differs.
+	HashBucket uint64
+}
+
+// EncodeIndirection serializes p as a record value.
+func EncodeIndirection(p IndirectionPayload) []byte {
+	buf := make([]byte, 8+8+8+8+2+len(p.LogID))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(p.NextAddress))
+	binary.LittleEndian.PutUint64(buf[8:16], p.RangeStart)
+	binary.LittleEndian.PutUint64(buf[16:24], p.RangeEnd)
+	binary.LittleEndian.PutUint64(buf[24:32], p.HashBucket)
+	binary.LittleEndian.PutUint16(buf[32:34], uint16(len(p.LogID)))
+	copy(buf[34:], p.LogID)
+	return buf
+}
+
+// DecodeIndirection parses a value written by EncodeIndirection.
+func DecodeIndirection(v []byte) (IndirectionPayload, bool) {
+	if len(v) < 34 {
+		return IndirectionPayload{}, false
+	}
+	n := int(binary.LittleEndian.Uint16(v[32:34]))
+	if len(v) < 34+n {
+		return IndirectionPayload{}, false
+	}
+	return IndirectionPayload{
+		NextAddress: Address(binary.LittleEndian.Uint64(v[0:8])),
+		RangeStart:  binary.LittleEndian.Uint64(v[8:16]),
+		RangeEnd:    binary.LittleEndian.Uint64(v[16:24]),
+		HashBucket:  binary.LittleEndian.Uint64(v[24:32]),
+		LogID:       string(v[34 : 34+n]),
+	}, true
+}

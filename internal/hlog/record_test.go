@@ -1,0 +1,206 @@
+package hlog
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetaPacking(t *testing.T) {
+	m := NewMeta(Address(0xDEADBEEF), 1234, false, false)
+	if m.Previous() != Address(0xDEADBEEF) {
+		t.Fatalf("prev = %#x", m.Previous())
+	}
+	if m.Version() != 1234 {
+		t.Fatalf("version = %d", m.Version())
+	}
+	if m.Indirection() || m.Tombstone() || m.Sealed() {
+		t.Fatal("flags should be clear")
+	}
+
+	m = NewMeta(InvalidAddress, 0, true, true)
+	if !m.Indirection() || !m.Tombstone() {
+		t.Fatal("flags should be set")
+	}
+}
+
+func TestMetaPackingQuick(t *testing.T) {
+	f := func(prev uint64, version uint16, ind, tomb bool) bool {
+		p := Address(prev & AddressMask)
+		v := uint32(version) & uint32(VersionMask)
+		m := NewMeta(p, v, ind, tomb)
+		return m.Previous() == p && m.Version() == v &&
+			m.Indirection() == ind && m.Tombstone() == tomb && !m.Sealed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordSizeAligned(t *testing.T) {
+	cases := []struct{ k, v, want int }{
+		{0, 0, 16},
+		{1, 1, 32},
+		{8, 8, 32},
+		{9, 8, 40},
+		{8, 256, 280},
+	}
+	for _, c := range cases {
+		if got := RecordSize(c.k, c.v); got != c.want {
+			t.Errorf("RecordSize(%d,%d) = %d, want %d", c.k, c.v, got, c.want)
+		}
+		if RecordSize(c.k, c.v)%8 != 0 {
+			t.Errorf("RecordSize(%d,%d) not 8-aligned", c.k, c.v)
+		}
+	}
+}
+
+func TestWriteReadRecord(t *testing.T) {
+	key := []byte("sensor-42")
+	val := []byte("some value bytes")
+	buf := alignedBuf(RecordSize(len(key), len(val)))
+	meta := NewMeta(Address(777), 3, false, false)
+	r := WriteRecord(buf, meta, key, val)
+
+	if r.Meta() != meta {
+		t.Fatalf("meta = %#x, want %#x", r.Meta(), meta)
+	}
+	if !bytes.Equal(r.Key(), key) {
+		t.Fatalf("key = %q", r.Key())
+	}
+	if !bytes.Equal(r.Value(), val) {
+		t.Fatalf("value = %q", r.Value())
+	}
+	if r.Size() != RecordSize(len(key), len(val)) {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if r.LenWordZero() {
+		t.Fatal("written record must not look like padding")
+	}
+}
+
+func TestRecordAtomicValueWord(t *testing.T) {
+	key := []byte("counter")
+	val := make([]byte, 8)
+	buf := alignedBuf(RecordSize(len(key), len(val)))
+	r := WriteRecord(buf, NewMeta(InvalidAddress, 0, false, false), key, val)
+
+	r.StoreValueWord(41)
+	if got := r.AddValueWord(1); got != 42 {
+		t.Fatalf("AddValueWord = %d", got)
+	}
+	if r.LoadValueWord() != 42 {
+		t.Fatalf("LoadValueWord = %d", r.LoadValueWord())
+	}
+}
+
+func TestRecordSealUnseal(t *testing.T) {
+	buf := alignedBuf(RecordSize(1, 8))
+	r := WriteRecord(buf, NewMeta(Address(5), 1, false, false), []byte("k"), make([]byte, 8))
+	pre := r.Seal()
+	if !r.Meta().Sealed() {
+		t.Fatal("record should be sealed")
+	}
+	if pre.Sealed() {
+		t.Fatal("pre-seal meta should be unsealed")
+	}
+	r.Unseal(pre)
+	m := r.Meta()
+	if m.Sealed() {
+		t.Fatal("record should be unsealed")
+	}
+	if m.Previous() != Address(5) || m.Version() != 1 {
+		t.Fatal("unseal corrupted meta fields")
+	}
+	// Write stamp must have toggled so optimistic readers retry.
+	if m == pre {
+		t.Fatal("write stamp did not toggle")
+	}
+}
+
+func TestReadValueStableUnderWriters(t *testing.T) {
+	const vlen = 64
+	buf := alignedBuf(RecordSize(8, vlen))
+	r := WriteRecord(buf, NewMeta(InvalidAddress, 0, false, false),
+		[]byte("thekey12"), bytes.Repeat([]byte{0}, vlen))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x := byte(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x++
+			pre := r.Seal()
+			r.StoreValueBytes(bytes.Repeat([]byte{x}, vlen))
+			r.Unseal(pre)
+		}
+	}()
+
+	var dst []byte
+	for i := 0; i < 5000; i++ {
+		dst = r.ReadValueStable(dst)
+		first := dst[0]
+		for j, b := range dst {
+			if b != first {
+				t.Fatalf("torn read at iteration %d, byte %d: %d != %d",
+					i, j, b, first)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestIndirectionRoundTrip(t *testing.T) {
+	p := IndirectionPayload{
+		NextAddress: Address(1 << 30),
+		LogID:       "server-A",
+		RangeStart:  100,
+		RangeEnd:    200,
+		HashBucket:  77,
+	}
+	got, ok := DecodeIndirection(EncodeIndirection(p))
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got != p {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestIndirectionDecodeShort(t *testing.T) {
+	if _, ok := DecodeIndirection([]byte("short")); ok {
+		t.Fatal("short buffer must not decode")
+	}
+	// Truncated log id.
+	enc := EncodeIndirection(IndirectionPayload{LogID: "abcdef"})
+	if _, ok := DecodeIndirection(enc[:len(enc)-2]); ok {
+		t.Fatal("truncated log id must not decode")
+	}
+}
+
+func TestIndirectionQuick(t *testing.T) {
+	f := func(next uint64, rs, re, hb uint64, id string) bool {
+		if len(id) > 1<<15 {
+			id = id[:1<<15]
+		}
+		p := IndirectionPayload{
+			NextAddress: Address(next & AddressMask),
+			LogID:       id,
+			RangeStart:  rs, RangeEnd: re, HashBucket: hb,
+		}
+		got, ok := DecodeIndirection(EncodeIndirection(p))
+		return ok && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,363 @@
+// Package metadata implements the fault-tolerant external metadata store
+// Shadowfax relies on (§3; ZooKeeper in the paper). It durably maintains
+// per-server strictly-increasing view numbers, the mapping between hash
+// ranges and servers, and migration dependencies with completion and
+// cancellation flags.
+//
+// The paper needs three properties from this component: linearizable
+// updates, atomic multi-key transitions (ownership remap + view increments +
+// dependency registration in one step), and client-visible reads. A single
+// in-process store guarded by a mutex provides all three with identical
+// semantics; ZooKeeper's replication is orthogonal to every experiment
+// (DESIGN.md §2 documents the substitution).
+package metadata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// HashRange is a half-open interval [Start, End) of 64-bit key hashes.
+type HashRange struct {
+	Start, End uint64
+}
+
+// Contains reports whether h falls in the range.
+func (r HashRange) Contains(h uint64) bool { return h >= r.Start && h < r.End }
+
+// Overlaps reports whether two ranges intersect.
+func (r HashRange) Overlaps(o HashRange) bool { return r.Start < o.End && o.Start < r.End }
+
+func (r HashRange) String() string { return fmt.Sprintf("[%#x,%#x)", r.Start, r.End) }
+
+// FullRange covers the entire hash space.
+var FullRange = HashRange{Start: 0, End: ^uint64(0)}
+
+// View is a server's ownership view: a strictly-increasing number plus the
+// hash ranges owned at that number.
+type View struct {
+	Number uint64
+	Ranges []HashRange
+}
+
+// Owns reports whether the view covers hash h.
+func (v View) Owns(h uint64) bool {
+	for _, r := range v.Ranges {
+		if r.Contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the view.
+func (v View) Clone() View {
+	out := View{Number: v.Number, Ranges: make([]HashRange, len(v.Ranges))}
+	copy(out.Ranges, v.Ranges)
+	return out
+}
+
+// MigrationState tracks one in-flight migration's fault-tolerance record
+// (§3.3.1).
+type MigrationState struct {
+	ID             uint64
+	Source, Target string
+	Range          HashRange
+	SourceDone     bool
+	TargetDone     bool
+	Cancelled      bool
+}
+
+// Complete reports whether both sides finished (dependency collectable).
+func (m MigrationState) Complete() bool { return m.SourceDone && m.TargetDone }
+
+// Errors returned by Store operations.
+var (
+	ErrUnknownServer    = errors.New("metadata: unknown server")
+	ErrNotOwner         = errors.New("metadata: server does not own the range")
+	ErrOverlap          = errors.New("metadata: range overlaps another server's ownership")
+	ErrUnknownMigration = errors.New("metadata: unknown migration")
+	ErrMigrationDone    = errors.New("metadata: migration already completed")
+)
+
+// Store is the metadata service. All methods are safe for concurrent use.
+type Store struct {
+	mu         sync.Mutex
+	views      map[string]*View
+	addrs      map[string]string
+	migrations map[uint64]*MigrationState
+	nextMigID  uint64
+	watchers   []chan struct{}
+}
+
+// NewStore returns an empty metadata store.
+func NewStore() *Store {
+	return &Store{
+		views:      make(map[string]*View),
+		addrs:      make(map[string]string),
+		migrations: make(map[uint64]*MigrationState),
+		nextMigID:  1,
+	}
+}
+
+// SetServerAddr records a server's transport address so peers and clients
+// can dial it.
+func (s *Store) SetServerAddr(id, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addrs[id] = addr
+	s.notifyLocked()
+}
+
+// ServerAddr returns a server's transport address.
+func (s *Store) ServerAddr(id string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.addrs[id]
+	if !ok {
+		return "", fmt.Errorf("%w: no address for %q", ErrUnknownServer, id)
+	}
+	return a, nil
+}
+
+// RegisterServer creates (or resets) a server's view with the given ranges
+// at view number 1.
+func (s *Store) RegisterServer(id string, ranges ...HashRange) View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := &View{Number: 1, Ranges: mergeRanges(append([]HashRange(nil), ranges...))}
+	s.views[id] = v
+	s.notifyLocked()
+	return v.Clone()
+}
+
+// GetView returns a server's current view.
+func (s *Store) GetView(id string) (View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
+	if !ok {
+		return View{}, fmt.Errorf("%w: %q", ErrUnknownServer, id)
+	}
+	return v.Clone(), nil
+}
+
+// Servers returns the ids of all registered servers, sorted.
+func (s *Store) Servers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.views))
+	for id := range s.views {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwnerOf returns the server owning hash h and its view.
+func (s *Store) OwnerOf(h uint64) (string, View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, v := range s.views {
+		if v.Owns(h) {
+			return id, v.Clone(), nil
+		}
+	}
+	return "", View{}, fmt.Errorf("%w: no owner for %#x", ErrUnknownServer, h)
+}
+
+// Ownership returns every server's view (the client library's cached map).
+func (s *Store) Ownership() map[string]View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]View, len(s.views))
+	for id, v := range s.views {
+		out[id] = v.Clone()
+	}
+	return out
+}
+
+// StartMigration atomically (one linearization point, §3.3 Sampling step 1):
+// remaps ownership of rng from source to target, increments both servers'
+// view numbers, and registers the migration dependency. Returns the
+// migration record and the two new views.
+func (s *Store) StartMigration(source, target string, rng HashRange) (MigrationState, View, View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.views[source]
+	if !ok {
+		return MigrationState{}, View{}, View{}, fmt.Errorf("%w: %q", ErrUnknownServer, source)
+	}
+	tv, ok := s.views[target]
+	if !ok {
+		return MigrationState{}, View{}, View{}, fmt.Errorf("%w: %q", ErrUnknownServer, target)
+	}
+	rest, carved := carve(sv.Ranges, rng)
+	if !carved {
+		return MigrationState{}, View{}, View{}, fmt.Errorf("%w: %s does not own %s", ErrNotOwner, source, rng)
+	}
+	sv.Ranges = rest
+	sv.Number++
+	tv.Ranges = mergeRanges(append(tv.Ranges, rng))
+	tv.Number++
+	m := &MigrationState{ID: s.nextMigID, Source: source, Target: target, Range: rng}
+	s.nextMigID++
+	s.migrations[m.ID] = m
+	s.notifyLocked()
+	return *m, sv.Clone(), tv.Clone(), nil
+}
+
+// MarkMigrationDone sets one side's completion flag; when both are set the
+// dependency is garbage-collectable.
+func (s *Store) MarkMigrationDone(id uint64, server string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.migrations[id]
+	if !ok {
+		return ErrUnknownMigration
+	}
+	switch server {
+	case m.Source:
+		m.SourceDone = true
+	case m.Target:
+		m.TargetDone = true
+	default:
+		return fmt.Errorf("%w: %q not part of migration %d", ErrUnknownServer, server, id)
+	}
+	s.notifyLocked()
+	return nil
+}
+
+// CancelMigration implements §3.3.1's cancellation: it sets the cancellation
+// flag and transfers ownership of the range back to the source, incrementing
+// both views again. Fails if both completion flags are already set.
+func (s *Store) CancelMigration(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.migrations[id]
+	if !ok {
+		return ErrUnknownMigration
+	}
+	if m.Complete() {
+		return ErrMigrationDone
+	}
+	if m.Cancelled {
+		return nil // idempotent
+	}
+	m.Cancelled = true
+	sv := s.views[m.Source]
+	tv := s.views[m.Target]
+	if tv != nil {
+		if rest, carved := carve(tv.Ranges, m.Range); carved {
+			tv.Ranges = rest
+		}
+		tv.Number++
+	}
+	if sv != nil {
+		sv.Ranges = mergeRanges(append(sv.Ranges, m.Range))
+		sv.Number++
+	}
+	s.notifyLocked()
+	return nil
+}
+
+// GetMigration returns a migration's state.
+func (s *Store) GetMigration(id uint64) (MigrationState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.migrations[id]
+	if !ok {
+		return MigrationState{}, ErrUnknownMigration
+	}
+	return *m, nil
+}
+
+// PendingMigrationsFor returns migrations involving server whose dependency
+// has not been collected (used by recovery, §3.3.1).
+func (s *Store) PendingMigrationsFor(server string) []MigrationState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []MigrationState
+	for _, m := range s.migrations {
+		if (m.Source == server || m.Target == server) && !m.Complete() && !m.Cancelled {
+			out = append(out, *m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CollectMigration removes a completed (or cancelled) migration dependency.
+func (s *Store) CollectMigration(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.migrations[id]
+	if !ok {
+		return ErrUnknownMigration
+	}
+	if !m.Complete() && !m.Cancelled {
+		return fmt.Errorf("metadata: migration %d still in flight", id)
+	}
+	delete(s.migrations, id)
+	return nil
+}
+
+// Watch returns a channel that receives a token after every metadata
+// change; servers and clients use it to refresh cached views lazily.
+func (s *Store) Watch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan struct{}, 1)
+	s.watchers = append(s.watchers, ch)
+	return ch
+}
+
+func (s *Store) notifyLocked() {
+	for _, ch := range s.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// carve removes rng from ranges; ok is false when rng is not fully covered
+// by a single owned range.
+func carve(ranges []HashRange, rng HashRange) ([]HashRange, bool) {
+	for i, r := range ranges {
+		if rng.Start >= r.Start && rng.End <= r.End {
+			out := append([]HashRange(nil), ranges[:i]...)
+			if r.Start < rng.Start {
+				out = append(out, HashRange{r.Start, rng.Start})
+			}
+			if rng.End < r.End {
+				out = append(out, HashRange{rng.End, r.End})
+			}
+			out = append(out, ranges[i+1:]...)
+			return out, true
+		}
+	}
+	return ranges, false
+}
+
+// mergeRanges sorts and coalesces adjacent/overlapping ranges.
+func mergeRanges(ranges []HashRange) []HashRange {
+	if len(ranges) <= 1 {
+		return ranges
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Start < ranges[j].Start })
+	out := ranges[:1]
+	for _, r := range ranges[1:] {
+		last := &out[len(out)-1]
+		if r.Start <= last.End {
+			if r.End > last.End {
+				last.End = r.End
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package seastar
+
+import (
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Client is the harness-side driver for the Seastar baseline: one pipelined
+// connection to one server core, batching BatchOps operations per request
+// (the paper batches 100, which maximized the baseline's throughput).
+type Client struct {
+	conn        transport.Conn
+	batchOps    int
+	maxInflight int // batches pipelined before buffering locally
+
+	building    wire.RequestBatch
+	nextSeq     uint32
+	inflight    map[uint32]Callback
+	sentBatches int
+	outstanding int
+	encodeBuf   []byte
+}
+
+// Callback receives an operation's result.
+type Callback func(status wire.ResultStatus, value []byte)
+
+// NewClient dials a Seastar server.
+func NewClient(tr transport.Transport, addr string, batchOps int) (*Client, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if batchOps <= 0 {
+		batchOps = 100
+	}
+	return &Client{conn: conn, batchOps: batchOps, maxInflight: 32,
+		inflight: make(map[uint32]Callback)}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() { c.conn.Close() }
+
+// Read issues an asynchronous read.
+func (c *Client) Read(key []byte, cb Callback) { c.issue(wire.OpRead, key, nil, cb) }
+
+// Upsert issues an asynchronous write.
+func (c *Client) Upsert(key, value []byte, cb Callback) { c.issue(wire.OpUpsert, key, value, cb) }
+
+// RMW issues an asynchronous read-modify-write.
+func (c *Client) RMW(key, input []byte, cb Callback) { c.issue(wire.OpRMW, key, input, cb) }
+
+func (c *Client) issue(kind wire.OpKind, key, value []byte, cb Callback) {
+	seq := c.nextSeq
+	c.nextSeq++
+	c.building.Ops = append(c.building.Ops, wire.Op{Kind: kind, Seq: seq,
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...)})
+	c.inflight[seq] = cb
+	c.outstanding++
+	if len(c.building.Ops) >= c.batchOps {
+		c.Flush()
+	}
+}
+
+// Flush sends buffered operations in batchOps-sized batches, up to the
+// pipelining window; the rest stays buffered until Poll frees window slots.
+// Blocking in Send with an unbounded flood would deadlock against a server
+// blocked sending responses back.
+func (c *Client) Flush() {
+	for len(c.building.Ops) > 0 && c.sentBatches < c.maxInflight {
+		n := len(c.building.Ops)
+		if n > c.batchOps {
+			n = c.batchOps
+		}
+		chunk := wire.RequestBatch{View: c.building.View,
+			SessionID: c.building.SessionID, Ops: c.building.Ops[:n]}
+		c.encodeBuf = wire.AppendRequestBatch(c.encodeBuf[:0], &chunk)
+		if c.conn.Send(c.encodeBuf) != nil {
+			return
+		}
+		c.sentBatches++
+		m := copy(c.building.Ops, c.building.Ops[n:])
+		c.building.Ops = c.building.Ops[:m]
+	}
+}
+
+// Poll completes available responses; returns completions processed.
+func (c *Client) Poll() int {
+	n := 0
+	for {
+		frame, ok, err := c.conn.TryRecv()
+		if err != nil || !ok {
+			return n
+		}
+		var resp wire.ResponseBatch
+		if err := wire.DecodeResponseBatch(frame, &resp); err != nil {
+			continue
+		}
+		if c.sentBatches > 0 {
+			c.sentBatches--
+		}
+		for i := range resp.Results {
+			r := &resp.Results[i]
+			cb, ok := c.inflight[r.Seq]
+			if !ok {
+				continue
+			}
+			delete(c.inflight, r.Seq)
+			c.outstanding--
+			n++
+			if cb != nil {
+				cb(r.Status, r.Value)
+			}
+		}
+		// Window slots freed: push buffered operations out.
+		c.Flush()
+	}
+}
+
+// Outstanding returns issued-but-uncompleted operations.
+func (c *Client) Outstanding() int { return c.outstanding }
+
+// Drain flushes and polls until all operations complete or timeout.
+func (c *Client) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for c.outstanding > 0 {
+		c.Flush()
+		if c.Poll() == 0 {
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return true
+}

@@ -1,0 +1,360 @@
+// Package seastar implements the paper's Seastar+memcached baseline (§4.1):
+// a shared-nothing, multi-core key-value server. Records are statically
+// partitioned across cores by key hash; each core owns a private hash table
+// and polls its own connections, and a request for another core's record is
+// forwarded to the owning core over a message-passing queue (Go channels
+// standing in for Seastar's shared-memory SPSC queues) and answered after
+// the owner replies.
+//
+// This is the design Shadowfax argues against: it avoids locks entirely but
+// pays software inter-core routing on the critical path, which is what
+// Figure 9 measures. The implementation mirrors the open-source
+// memcached-on-Seastar port: lock-free within a core, message passing
+// between cores, 100-op batches.
+package seastar
+
+import (
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hashfn"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config describes a Seastar-style server.
+type Config struct {
+	Addr      string
+	Cores     int
+	Transport transport.Transport
+	// InboxDepth is the per-core cross-core queue depth.
+	InboxDepth int
+}
+
+// Stats counts server activity.
+type Stats struct {
+	OpsCompleted atomic.Uint64
+	// CrossCoreOps counts operations that had to be forwarded to another
+	// core — the software routing Shadowfax eliminates.
+	CrossCoreOps atomic.Uint64
+	LocalOps     atomic.Uint64
+}
+
+// Server is a shared-nothing multicore KVS.
+type Server struct {
+	cfg      Config
+	listener transport.Listener
+	cores    []*score
+	stopping atomic.Bool
+	wg       sync.WaitGroup
+	stats    Stats
+}
+
+// score is one core: a private partition plus its message queues. (The name
+// avoids shadowing "core", the Shadowfax package.)
+type score struct {
+	s        *Server
+	idx      int
+	part     map[string][]byte
+	newConns chan transport.Conn
+	conns    []transport.Conn
+	inbox    chan fwdOp
+	done     chan *batchCtx
+
+	reqBatch wire.RequestBatch
+	respBuf  []byte
+
+	// overflowDone holds completed batch contexts whose origin's done
+	// queue was full; retried every loop. Sends between cores must never
+	// block outright or two cores with full queues deadlock.
+	overflowDone []*batchCtx
+}
+
+// fwdOp is a cross-core forwarded operation.
+type fwdOp struct {
+	ctx *batchCtx
+	idx int
+	op  wire.Op
+}
+
+// batchCtx tracks a batch whose operations may complete on several cores.
+type batchCtx struct {
+	conn      transport.Conn
+	sessionID uint64
+	results   []wire.Result
+	remaining atomic.Int32
+	origin    *score
+}
+
+// NewServer starts a Seastar-style server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Transport == nil || cfg.Addr == "" {
+		return nil, errors.New("seastar: Addr and Transport required")
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = runtime.GOMAXPROCS(0)
+	}
+	if cfg.InboxDepth == 0 {
+		cfg.InboxDepth = 4096
+	}
+	l, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, listener: l}
+	s.cores = make([]*score, cfg.Cores)
+	for i := range s.cores {
+		s.cores[i] = &score{
+			s: s, idx: i,
+			part:     make(map[string][]byte),
+			newConns: make(chan transport.Conn, 64),
+			inbox:    make(chan fwdOp, cfg.InboxDepth),
+			done:     make(chan *batchCtx, 1024),
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	for _, c := range s.cores {
+		s.wg.Add(1)
+		go c.run()
+	}
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Stats returns server counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.stopping.Swap(true) {
+		return nil
+	}
+	s.listener.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	next := 0
+	for {
+		c, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.cores[next%len(s.cores)].newConns <- c
+		next++
+	}
+}
+
+// ownerOf returns the core that owns a key.
+func (s *Server) ownerOf(key []byte) int {
+	return int(hashfn.Hash(key) % uint64(len(s.cores)))
+}
+
+func (c *score) run() {
+	defer c.s.wg.Done()
+	idle := 0
+	for !c.s.stopping.Load() {
+		progress := false
+		for {
+			select {
+			case nc := <-c.newConns:
+				c.conns = append(c.conns, nc)
+				progress = true
+				continue
+			default:
+			}
+			break
+		}
+		if c.serviceQueues() {
+			progress = true
+		}
+		// Poll this core's connections for new batches.
+		for i := 0; i < len(c.conns); i++ {
+			conn := c.conns[i]
+			frame, ok, err := conn.TryRecv()
+			if err != nil {
+				conn.Close()
+				c.conns = append(c.conns[:i], c.conns[i+1:]...)
+				i--
+				continue
+			}
+			if !ok {
+				continue
+			}
+			progress = true
+			c.handleBatch(conn, frame)
+		}
+		if !progress {
+			idle++
+			if idle > 64 {
+				time.Sleep(50 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+		} else {
+			idle = 0
+		}
+	}
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+}
+
+func (c *score) handleBatch(conn transport.Conn, frame []byte) {
+	if err := wire.DecodeRequestBatch(frame, &c.reqBatch); err != nil {
+		return
+	}
+	b := &c.reqBatch
+	ctx := &batchCtx{conn: conn, sessionID: b.SessionID,
+		results: make([]wire.Result, len(b.Ops)), origin: c}
+	ctx.remaining.Store(int32(len(b.Ops)))
+
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		owner := c.s.ownerOf(op.Key)
+		if owner == c.idx {
+			c.execLocal(op, &ctx.results[i])
+			c.s.stats.LocalOps.Add(1)
+			if ctx.remaining.Add(-1) == 0 {
+				c.respond(ctx)
+			}
+			continue
+		}
+		// Cross-core: copy (the batch buffer is reused) and forward.
+		f := fwdOp{ctx: ctx, idx: i, op: wire.Op{
+			Kind: op.Kind, Seq: op.Seq,
+			Key:   append([]byte(nil), op.Key...),
+			Value: append([]byte(nil), op.Value...),
+		}}
+		c.sendFwd(c.s.cores[owner], f)
+	}
+}
+
+// serviceQueues drains this core's inbox and done queue without blocking;
+// reports whether any work was done.
+func (c *score) serviceQueues() bool {
+	progress := false
+	// Retry completions that could not be handed to their origin earlier.
+	if len(c.overflowDone) > 0 {
+		kept := c.overflowDone[:0]
+		for _, ctx := range c.overflowDone {
+			if !c.trySendDone(ctx) {
+				kept = append(kept, ctx)
+			} else {
+				progress = true
+			}
+		}
+		c.overflowDone = kept
+	}
+	for {
+		select {
+		case f := <-c.inbox:
+			c.execLocal(&f.op, &f.ctx.results[f.idx])
+			c.s.stats.CrossCoreOps.Add(1)
+			if f.ctx.remaining.Add(-1) == 0 && !c.trySendDone(f.ctx) {
+				c.overflowDone = append(c.overflowDone, f.ctx)
+			}
+			progress = true
+			continue
+		default:
+		}
+		break
+	}
+	for {
+		select {
+		case ctx := <-c.done:
+			c.respond(ctx)
+			progress = true
+			continue
+		default:
+		}
+		break
+	}
+	return progress
+}
+
+// trySendDone hands a completed batch to its origin core (or responds
+// directly if this core is the origin) without blocking.
+func (c *score) trySendDone(ctx *batchCtx) bool {
+	if ctx.origin == c {
+		c.respond(ctx)
+		return true
+	}
+	select {
+	case ctx.origin.done <- ctx:
+		return true
+	default:
+		return false
+	}
+}
+
+// sendFwd forwards an operation to its owner, servicing this core's own
+// queues while the owner's inbox is full (never block with work pending:
+// two mutually-blocked cores would deadlock).
+func (c *score) sendFwd(dst *score, f fwdOp) {
+	for {
+		select {
+		case dst.inbox <- f:
+			return
+		default:
+		}
+		if !c.serviceQueues() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// execLocal runs one operation against this core's private partition. No
+// synchronization: the partition is only ever touched by its owner.
+func (c *score) execLocal(op *wire.Op, res *wire.Result) {
+	res.Seq = op.Seq
+	switch op.Kind {
+	case wire.OpRead:
+		if v, ok := c.part[string(op.Key)]; ok {
+			res.Status = wire.StatusOK
+			res.Value = append([]byte(nil), v...)
+		} else {
+			res.Status = wire.StatusNotFound
+		}
+	case wire.OpUpsert:
+		c.part[string(op.Key)] = append([]byte(nil), op.Value...)
+		res.Status = wire.StatusOK
+	case wire.OpRMW:
+		cur := c.part[string(op.Key)]
+		var acc uint64
+		if len(cur) >= 8 {
+			acc = binary.LittleEndian.Uint64(cur)
+		}
+		var delta uint64 = 1
+		if len(op.Value) >= 8 {
+			delta = binary.LittleEndian.Uint64(op.Value)
+		}
+		nv := make([]byte, 8)
+		binary.LittleEndian.PutUint64(nv, acc+delta)
+		c.part[string(op.Key)] = nv
+		res.Status = wire.StatusOK
+	case wire.OpDelete:
+		delete(c.part, string(op.Key))
+		res.Status = wire.StatusOK
+	default:
+		res.Status = wire.StatusErr
+	}
+}
+
+// respond sends a completed batch. Only the origin core (owner of the
+// connection) calls this.
+func (c *score) respond(ctx *batchCtx) {
+	resp := wire.ResponseBatch{SessionID: ctx.sessionID, Results: ctx.results}
+	c.respBuf = wire.AppendResponseBatch(c.respBuf[:0], &resp)
+	ctx.conn.Send(c.respBuf)
+	c.s.stats.OpsCompleted.Add(uint64(len(ctx.results)))
+}

@@ -1,0 +1,154 @@
+package seastar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/ycsb"
+)
+
+func newPair(t *testing.T, cores int) (*Server, *Client) {
+	t.Helper()
+	tr := transport.NewInMem(transport.Free)
+	s, err := NewServer(Config{Addr: "seastar", Cores: cores, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(tr, s.Addr(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return s, c
+}
+
+func TestBasicOps(t *testing.T) {
+	_, c := newPair(t, 2)
+	c.Upsert([]byte("k"), []byte("v"), nil)
+	var got string
+	var st wire.ResultStatus = 255
+	c.Read([]byte("k"), func(s wire.ResultStatus, v []byte) {
+		st = s
+		got = string(v)
+	})
+	if !c.Drain(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	if st != wire.StatusOK || got != "v" {
+		t.Fatalf("read %v %q", st, got)
+	}
+	missing := wire.ResultStatus(255)
+	c.Read([]byte("missing"), func(s wire.ResultStatus, _ []byte) { missing = s })
+	c.Drain(5 * time.Second)
+	if missing != wire.StatusNotFound {
+		t.Fatalf("missing: %v", missing)
+	}
+}
+
+func TestRMWCounters(t *testing.T) {
+	_, c := newPair(t, 4)
+	d := make([]byte, 8)
+	binary.LittleEndian.PutUint64(d, 1)
+	const n = 500
+	// Spread over keys owned by all cores.
+	for i := 0; i < n; i++ {
+		c.RMW(ycsb.KeyBytes(uint64(i%8)), d, nil)
+	}
+	if !c.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	total := uint64(0)
+	for i := 0; i < 8; i++ {
+		c.Read(ycsb.KeyBytes(uint64(i)), func(st wire.ResultStatus, v []byte) {
+			if st == wire.StatusOK {
+				total += binary.LittleEndian.Uint64(v)
+			}
+		})
+	}
+	c.Drain(5 * time.Second)
+	if total != n {
+		t.Fatalf("counters sum to %d, want %d", total, n)
+	}
+}
+
+func TestCrossCoreForwarding(t *testing.T) {
+	s, c := newPair(t, 4)
+	// With 4 cores and one connection (pinned to core 0), ~3/4 of uniform
+	// keys need forwarding.
+	for i := uint64(0); i < 400; i++ {
+		c.Upsert(ycsb.KeyBytes(i), []byte("x"), nil)
+	}
+	if !c.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	cross := s.Stats().CrossCoreOps.Load()
+	local := s.Stats().LocalOps.Load()
+	if cross == 0 {
+		t.Fatal("no cross-core forwarding happened; baseline not exercised")
+	}
+	if cross+local != 400 {
+		t.Fatalf("ops accounting: %d cross + %d local != 400", cross, local)
+	}
+	t.Logf("cross=%d local=%d", cross, local)
+}
+
+func TestDeleteAndBatchOrdering(t *testing.T) {
+	_, c := newPair(t, 2)
+	for i := 0; i < 50; i++ {
+		c.Upsert([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)), nil)
+	}
+	c.Drain(5 * time.Second)
+	// Interleave reads and deletes in one batch: per-op results must match
+	// per-op seqs regardless of which core executed them.
+	results := map[string]wire.ResultStatus{}
+	for i := 0; i < 50; i += 2 {
+		key := fmt.Sprintf("k%d", i)
+		c.issue(wire.OpDelete, []byte(key), nil, nil)
+	}
+	c.Drain(5 * time.Second)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Read([]byte(key), func(st wire.ResultStatus, _ []byte) {
+			results[key] = st
+		})
+	}
+	c.Drain(5 * time.Second)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		want := wire.StatusOK
+		if i%2 == 0 {
+			want = wire.StatusNotFound
+		}
+		if results[key] != want {
+			t.Fatalf("%s: %v, want %v", key, results[key], want)
+		}
+	}
+}
+
+func TestUniformThroughputSmoke(t *testing.T) {
+	s, c := newPair(t, 2)
+	u := ycsb.NewUniform(1000, 42)
+	d := make([]byte, 8)
+	binary.LittleEndian.PutUint64(d, 1)
+	start := time.Now()
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		c.RMW(ycsb.KeyBytes(u.Next()), d, nil)
+		if c.Outstanding() > 2048 {
+			c.Poll()
+		}
+	}
+	if !c.Drain(30 * time.Second) {
+		t.Fatal("smoke did not drain")
+	}
+	rate := float64(ops) / time.Since(start).Seconds()
+	t.Logf("seastar smoke: %.0f ops/s (cross=%d local=%d)",
+		rate, s.Stats().CrossCoreOps.Load(), s.Stats().LocalOps.Load())
+	if rate < 1000 {
+		t.Fatalf("pathologically slow: %.0f ops/s", rate)
+	}
+}

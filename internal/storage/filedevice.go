@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FileDevice is a file-backed Device; the durable variant of MemDevice used
+// when the stable region should survive process restarts (recovery tests and
+// the larger-than-memory example).
+type FileDevice struct {
+	model LatencyModel
+
+	mu      sync.RWMutex
+	f       *os.File
+	written uint64
+
+	jobs     chan ioJob
+	throttle *throttle
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+
+	stats deviceStats
+}
+
+// NewFileDevice opens (creating if needed) a file-backed device at path.
+func NewFileDevice(path string, model LatencyModel, workers int) (*FileDevice, error) {
+	if workers < 1 {
+		workers = 4
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d := &FileDevice{
+		model:    model,
+		f:        f,
+		written:  uint64(st.Size()),
+		jobs:     make(chan ioJob, 1024),
+		throttle: newThrottle(model.IOPS, model.BytesPerSec),
+	}
+	for i := 0; i < workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	return d, nil
+}
+
+func (d *FileDevice) worker() {
+	defer d.wg.Done()
+	for job := range d.jobs {
+		d.throttle.acquire(len(job.buf))
+		if job.write {
+			if d.model.WriteLatency > 0 {
+				time.Sleep(d.model.WriteLatency)
+			}
+			_, err := d.f.WriteAt(job.buf, int64(job.off))
+			if err == nil {
+				d.mu.Lock()
+				if end := job.off + uint64(len(job.buf)); end > d.written {
+					d.written = end
+				}
+				d.mu.Unlock()
+			}
+			d.stats.writes.Add(1)
+			d.stats.writtenBytes.Add(uint64(len(job.buf)))
+			job.done(err)
+		} else {
+			if d.model.ReadLatency > 0 {
+				time.Sleep(d.model.ReadLatency)
+			}
+			_, err := d.f.ReadAt(job.buf, int64(job.off))
+			d.stats.reads.Add(1)
+			d.stats.readBytes.Add(uint64(len(job.buf)))
+			job.done(err)
+		}
+	}
+}
+
+// WriteAt implements Device.
+func (d *FileDevice) WriteAt(p []byte, off uint64, done func(error)) {
+	if d.closed.Load() {
+		done(ErrClosed)
+		return
+	}
+	d.jobs <- ioJob{write: true, buf: p, off: off, done: done}
+}
+
+// ReadAt implements Device.
+func (d *FileDevice) ReadAt(p []byte, off uint64, done func(error)) {
+	if d.closed.Load() {
+		done(ErrClosed)
+		return
+	}
+	d.jobs <- ioJob{buf: p, off: off, done: done}
+}
+
+// Stats implements Device.
+func (d *FileDevice) Stats() DeviceStats { return d.stats.snapshot() }
+
+// WrittenBytes returns the file's high-water mark.
+func (d *FileDevice) WrittenBytes() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.written
+}
+
+// Close implements Device.
+func (d *FileDevice) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	close(d.jobs)
+	d.wg.Wait()
+	return d.f.Close()
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SharedTier simulates the shared remote storage tier (Azure page blobs in
+// the paper, §3.3.2). Every server's HybridLog eventually flushes its stable
+// region here under its own log ID; after a migration the target resolves
+// indirection records by reading from the *source's* log through this tier.
+//
+// The simulation models the properties the experiments depend on: the tier
+// is shared (any server can read any log), slow (configurable latency), and
+// throttled (configurable IOPS), which is what makes post-migration pending
+// queues drain gradually in Figure 12(b).
+type SharedTier struct {
+	model LatencyModel
+
+	mu   sync.RWMutex
+	logs map[string]*blobLog
+
+	throttle *throttle
+	closed   atomic.Bool
+
+	stats deviceStats
+}
+
+// blobLog is one server's uploaded log: a sparse extent map like MemDevice.
+type blobLog struct {
+	mu      sync.RWMutex
+	extents map[uint64][]byte
+	written uint64
+}
+
+// NewSharedTier returns an empty shared tier with the given model. The
+// paper's premium page blobs are approximated by
+// LatencyModel{ReadLatency: 2ms, IOPS: 7500, BytesPerSec: 250 << 20}.
+func NewSharedTier(model LatencyModel) *SharedTier {
+	return &SharedTier{
+		model:    model,
+		logs:     make(map[string]*blobLog),
+		throttle: newThrottle(model.IOPS, model.BytesPerSec),
+	}
+}
+
+// DefaultBlobModel mirrors the paper's premium-storage page blob figures,
+// scaled to wall-clock simulation.
+func DefaultBlobModel() LatencyModel {
+	return LatencyModel{
+		ReadLatency:  2 * time.Millisecond,
+		WriteLatency: 2 * time.Millisecond,
+		IOPS:         7500,
+		BytesPerSec:  250 << 20,
+	}
+}
+
+func (t *SharedTier) log(id string) *blobLog {
+	t.mu.RLock()
+	l, ok := t.logs[id]
+	t.mu.RUnlock()
+	if ok {
+		return l
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok = t.logs[id]; ok {
+		return l
+	}
+	l = &blobLog{extents: make(map[uint64][]byte)}
+	t.logs[id] = l
+	return l
+}
+
+// Upload synchronously stores p at byte offset off in logID's blob. The
+// HybridLog flusher calls this in the background after local-SSD flushes, so
+// its latency is off the operation path.
+func (t *SharedTier) Upload(logID string, p []byte, off uint64) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	n := len(p)
+	t.throttle.acquire(n)
+	if t.model.WriteLatency > 0 {
+		time.Sleep(t.model.WriteLatency)
+	}
+	l := t.log(logID)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(p) > 0 {
+		ext := off / extentSize
+		within := off % extentSize
+		buf, ok := l.extents[ext]
+		if !ok {
+			buf = make([]byte, extentSize)
+			l.extents[ext] = buf
+		}
+		n := copy(buf[within:], p)
+		p = p[n:]
+		off += uint64(n)
+	}
+	if off > l.written {
+		l.written = off
+	}
+	t.stats.writes.Add(1)
+	t.stats.writtenBytes.Add(uint64(n))
+	return nil
+}
+
+// Read synchronously fills p from logID's blob at byte offset off. Callers
+// run it on their own goroutines (the target's indirection fetches are
+// asynchronous with respect to request processing).
+func (t *SharedTier) Read(logID string, p []byte, off uint64) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	n := len(p)
+	t.throttle.acquire(n)
+	if t.model.ReadLatency > 0 {
+		time.Sleep(t.model.ReadLatency)
+	}
+	t.mu.RLock()
+	l, ok := t.logs[logID]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: unknown log %q", ErrOutOfRange, logID)
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if off+uint64(len(p)) > l.written {
+		return fmt.Errorf("%w: log %q [%d,%d) beyond %d", ErrOutOfRange,
+			logID, off, off+uint64(len(p)), l.written)
+	}
+	for len(p) > 0 {
+		ext := off / extentSize
+		within := off % extentSize
+		buf, ok := l.extents[ext]
+		if !ok {
+			return fmt.Errorf("%w: log %q hole at %d", ErrOutOfRange, logID, off)
+		}
+		n := copy(p, buf[within:])
+		p = p[n:]
+		off += uint64(n)
+	}
+	t.stats.reads.Add(1)
+	t.stats.readBytes.Add(uint64(n))
+	return nil
+}
+
+// UploadedBytes returns logID's high-water mark (0 if the log is unknown).
+func (t *SharedTier) UploadedBytes(logID string) uint64 {
+	t.mu.RLock()
+	l, ok := t.logs[logID]
+	t.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.written
+}
+
+// Stats returns cumulative tier-wide counters.
+func (t *SharedTier) Stats() DeviceStats { return t.stats.snapshot() }
+
+// Close marks the tier closed; subsequent operations fail.
+func (t *SharedTier) Close() error {
+	t.closed.Store(true)
+	return nil
+}

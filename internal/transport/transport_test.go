@@ -1,0 +1,310 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func transports(t *testing.T) map[string]Transport {
+	return map[string]Transport{
+		"inmem": NewInMem(Free),
+		"tcp":   NewTCP(Free),
+	}
+}
+
+func addrFor(name string, i int) string {
+	if name == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return fmt.Sprintf("srv-%d", i)
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			l, err := tr.Listen(addrFor(name, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			done := make(chan error, 1)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					done <- err
+					return
+				}
+				defer c.Close()
+				for i := 0; i < 10; i++ {
+					msg, err := c.Recv()
+					if err != nil {
+						done <- err
+						return
+					}
+					if err := c.Send(append([]byte("echo:"), msg...)); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+			c, err := tr.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			for i := 0; i < 10; i++ {
+				msg := []byte(fmt.Sprintf("frame-%d", i))
+				if err := c.Send(msg); err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := append([]byte("echo:"), msg...)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("got %q want %q", got, want)
+				}
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTryRecvNonBlocking(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			l, err := tr.Listen(addrFor(name, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			connCh := make(chan Conn, 1)
+			go func() {
+				c, err := l.Accept()
+				if err == nil {
+					connCh <- c
+				}
+			}()
+			c, err := tr.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			server := <-connCh
+			defer server.Close()
+
+			// Empty: TryRecv returns immediately with ok=false.
+			start := time.Now()
+			if _, ok, err := server.TryRecv(); ok || err != nil {
+				t.Fatalf("TryRecv on empty: ok=%v err=%v", ok, err)
+			}
+			if time.Since(start) > 50*time.Millisecond {
+				t.Fatal("TryRecv blocked")
+			}
+			// After a send it eventually yields the frame.
+			if err := c.Send([]byte("ping")); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				msg, ok, err := server.TryRecv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					if string(msg) != "ping" {
+						t.Fatalf("got %q", msg)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("frame never arrived")
+				}
+			}
+		})
+	}
+}
+
+func TestLargeFrames(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			l, _ := tr.Listen(addrFor(name, 3))
+			defer l.Close()
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				msg, err := c.Recv()
+				if err != nil {
+					return
+				}
+				c.Send(msg)
+			}()
+			c, err := tr.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			big := bytes.Repeat([]byte{0xAB}, 1<<20)
+			if err := c.Send(big); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, big) {
+				t.Fatal("1 MiB frame corrupted")
+			}
+		})
+	}
+}
+
+func TestSenderBufferReuseSafe(t *testing.T) {
+	tr := NewInMem(Free)
+	l, _ := tr.Listen("reuse")
+	defer l.Close()
+	var got [][]byte
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for i := 0; i < 5; i++ {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			got = append(got, msg)
+			mu.Unlock()
+		}
+	}()
+	c, _ := tr.Dial("reuse")
+	buf := make([]byte, 8)
+	for i := 0; i < 5; i++ {
+		copy(buf, fmt.Sprintf("msg-%03d", i))
+		if err := c.Send(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	for i, msg := range got {
+		want := fmt.Sprintf("msg-%03d", i)
+		if string(msg[:7]) != want {
+			t.Fatalf("frame %d = %q, want %q (sender buffer reuse corrupted it)", i, msg[:7], want)
+		}
+	}
+}
+
+func TestDialUnknownAddr(t *testing.T) {
+	tr := NewInMem(Free)
+	if _, err := tr.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	tr := NewInMem(Free)
+	l, _ := tr.Listen("closer")
+	defer l.Close()
+	go func() { l.Accept() }()
+	c, _ := tr.Dial("closer")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv returned nil after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestCostModelCharges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	expensive := CostModel{Name: "x", SendPerOp: 2 * time.Millisecond}
+	tr := NewInMem(expensive)
+	l, _ := tr.Listen("cost")
+	defer l.Close()
+	go func() { l.Accept() }()
+	c, _ := tr.Dial("cost")
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		c.Send([]byte("x"))
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("cost model not applied: 10 sends in %v", el)
+	}
+}
+
+func TestCostModelProfilesOrdered(t *testing.T) {
+	// The software stack must charge more than the accelerated one, which
+	// must charge more than Infrc — the premise of Figure 8 and Table 2.
+	per := func(m CostModel, n int) time.Duration {
+		return m.SendPerOp + time.Duration(n)*m.SendPerByte +
+			m.RecvPerOp + time.Duration(n)*m.RecvPerByte
+	}
+	const batch = 32 << 10
+	if !(per(SoftwareTCP, batch) > per(AcceleratedTCP, batch)) {
+		t.Fatal("software TCP must cost more than accelerated TCP")
+	}
+	if !(per(AcceleratedTCP, batch) > per(Infrc, 1<<10)) {
+		t.Fatal("accelerated TCP must cost more than Infrc")
+	}
+}
+
+func BenchmarkInMemSendRecv(b *testing.B) {
+	tr := NewInMem(Free)
+	l, _ := tr.Listen("bench")
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(msg); err != nil {
+				return
+			}
+		}
+	}()
+	c, _ := tr.Dial("bench")
+	defer c.Close()
+	frame := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(frame); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,479 @@
+// Package wire defines Shadowfax's binary message formats (§3.1, §3.3):
+// view-tagged request/response batches between clients and servers, and the
+// migration RPCs between source and target. Encoding is hand-rolled
+// little-endian with zero reflection so the hot path allocates nothing
+// beyond the batch buffers themselves.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MsgType identifies a frame.
+type MsgType uint8
+
+// Frame types.
+const (
+	// MsgRequestBatch is a client→server batch of operations tagged with
+	// the client's cached view number.
+	MsgRequestBatch MsgType = iota + 1
+	// MsgResponseBatch is the server's per-op results, or a batch-level
+	// view rejection.
+	MsgResponseBatch
+	// MsgMigrate asks a source server to migrate a hash range to a target
+	// (the Migrate() RPC of §3.3).
+	MsgMigrate
+	// MsgPrepForTransfer tells the target ownership transfer is imminent.
+	MsgPrepForTransfer
+	// MsgTransferOwnership moves the target into Target-Receive and carries
+	// the sampled hot records.
+	MsgTransferOwnership
+	// MsgMigrationRecords is a batch of migrating records (Migrate phase).
+	MsgMigrationRecords
+	// MsgCompleteMigration moves the target into Target-Complete.
+	MsgCompleteMigration
+	// MsgAck acknowledges a migration RPC.
+	MsgAck
+	// MsgCompacted carries a record relocated during log compaction to the
+	// hash range's current owner (§3.3.3).
+	MsgCompacted
+)
+
+// OpKind is a client operation within a request batch.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpUpsert
+	OpRMW
+	OpDelete
+)
+
+// ResultStatus is a per-operation outcome.
+type ResultStatus uint8
+
+// Result statuses.
+const (
+	StatusOK ResultStatus = iota
+	StatusNotFound
+	StatusPending // internal: never leaves the server
+	StatusErr
+)
+
+// Errors.
+var (
+	ErrShortFrame = errors.New("wire: short frame")
+	ErrBadType    = errors.New("wire: unexpected message type")
+)
+
+// Op is one operation in a request batch.
+type Op struct {
+	Kind  OpKind
+	Seq   uint32 // client-assigned sequence within the session
+	Key   []byte
+	Value []byte // upsert value / RMW input
+}
+
+// RequestBatch is the unit of client→server traffic.
+type RequestBatch struct {
+	View      uint64 // client's cached view number for the server
+	SessionID uint64
+	Ops       []Op
+}
+
+// Result is one operation's outcome.
+type Result struct {
+	Seq    uint32
+	Status ResultStatus
+	Value  []byte
+}
+
+// ResponseBatch carries results, or a rejection when the view check failed.
+type ResponseBatch struct {
+	SessionID  uint64
+	Rejected   bool
+	ServerView uint64 // server's current view (hint on rejection)
+	Results    []Result
+}
+
+// AppendRequestBatch encodes b after dst and returns the extended slice.
+// Layout: type, view, session, count, then per op: kind, seq, klen(u16),
+// vlen(u32), key, value.
+func AppendRequestBatch(dst []byte, b *RequestBatch) []byte {
+	dst = append(dst, byte(MsgRequestBatch))
+	dst = appendU64(dst, b.View)
+	dst = appendU64(dst, b.SessionID)
+	dst = appendU32(dst, uint32(len(b.Ops)))
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		dst = append(dst, byte(op.Kind))
+		dst = appendU32(dst, op.Seq)
+		dst = appendU16(dst, uint16(len(op.Key)))
+		dst = appendU32(dst, uint32(len(op.Value)))
+		dst = append(dst, op.Key...)
+		dst = append(dst, op.Value...)
+	}
+	return dst
+}
+
+// DecodeRequestBatch parses a frame produced by AppendRequestBatch. The
+// returned batch aliases buf; ops are decoded into b.Ops (reused).
+func DecodeRequestBatch(buf []byte, b *RequestBatch) error {
+	d := decoder{buf: buf}
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgRequestBatch {
+		return fmt.Errorf("%w: request batch", ErrBadType)
+	}
+	var err error
+	if b.View, err = d.u64(); err != nil {
+		return err
+	}
+	if b.SessionID, err = d.u64(); err != nil {
+		return err
+	}
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if cap(b.Ops) < int(n) {
+		b.Ops = make([]Op, n)
+	}
+	b.Ops = b.Ops[:n]
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		k, err := d.u8()
+		if err != nil {
+			return err
+		}
+		op.Kind = OpKind(k)
+		if op.Seq, err = d.u32(); err != nil {
+			return err
+		}
+		klen, err := d.u16()
+		if err != nil {
+			return err
+		}
+		vlen, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if op.Key, err = d.bytes(int(klen)); err != nil {
+			return err
+		}
+		if op.Value, err = d.bytes(int(vlen)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendResponseBatch encodes r after dst.
+func AppendResponseBatch(dst []byte, r *ResponseBatch) []byte {
+	dst = append(dst, byte(MsgResponseBatch))
+	dst = appendU64(dst, r.SessionID)
+	if r.Rejected {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendU64(dst, r.ServerView)
+	dst = appendU32(dst, uint32(len(r.Results)))
+	for i := range r.Results {
+		res := &r.Results[i]
+		dst = appendU32(dst, res.Seq)
+		dst = append(dst, byte(res.Status))
+		dst = appendU32(dst, uint32(len(res.Value)))
+		dst = append(dst, res.Value...)
+	}
+	return dst
+}
+
+// DecodeResponseBatch parses a response frame; the result aliases buf.
+func DecodeResponseBatch(buf []byte, r *ResponseBatch) error {
+	d := decoder{buf: buf}
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgResponseBatch {
+		return fmt.Errorf("%w: response batch", ErrBadType)
+	}
+	var err error
+	if r.SessionID, err = d.u64(); err != nil {
+		return err
+	}
+	rej, err := d.u8()
+	if err != nil {
+		return err
+	}
+	r.Rejected = rej != 0
+	if r.ServerView, err = d.u64(); err != nil {
+		return err
+	}
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if cap(r.Results) < int(n) {
+		r.Results = make([]Result, n)
+	}
+	r.Results = r.Results[:n]
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Seq, err = d.u32(); err != nil {
+			return err
+		}
+		st, err := d.u8()
+		if err != nil {
+			return err
+		}
+		res.Status = ResultStatus(st)
+		vlen, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if res.Value, err = d.bytes(int(vlen)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MigrateCmd asks a server to migrate a hash range (client→source).
+type MigrateCmd struct {
+	Target     string
+	RangeStart uint64
+	RangeEnd   uint64
+}
+
+// EncodeMigrate builds a MsgMigrate frame.
+func EncodeMigrate(c MigrateCmd) []byte {
+	dst := []byte{byte(MsgMigrate)}
+	dst = appendU64(dst, c.RangeStart)
+	dst = appendU64(dst, c.RangeEnd)
+	dst = appendU16(dst, uint16(len(c.Target)))
+	dst = append(dst, c.Target...)
+	return dst
+}
+
+// DecodeMigrate parses a MsgMigrate frame.
+func DecodeMigrate(buf []byte) (MigrateCmd, error) {
+	d := decoder{buf: buf}
+	var c MigrateCmd
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgMigrate {
+		return c, fmt.Errorf("%w: migrate", ErrBadType)
+	}
+	var err error
+	if c.RangeStart, err = d.u64(); err != nil {
+		return c, err
+	}
+	if c.RangeEnd, err = d.u64(); err != nil {
+		return c, err
+	}
+	n, err := d.u16()
+	if err != nil {
+		return c, err
+	}
+	tb, err := d.bytes(int(n))
+	if err != nil {
+		return c, err
+	}
+	c.Target = string(tb)
+	return c, nil
+}
+
+// MigrationRecord is one record inside migration RPC payloads.
+type MigrationRecord struct {
+	Hash  uint64
+	Flags uint8 // bit 0: tombstone, bit 1: indirection
+	Key   []byte
+	Value []byte
+}
+
+// Record flag bits.
+const (
+	RecFlagTombstone   = 1 << 0
+	RecFlagIndirection = 1 << 1
+)
+
+// MigrationMsg is the payload shared by PrepForTransfer, TransferOwnership,
+// MigrationRecords, CompleteMigration and Ack frames.
+type MigrationMsg struct {
+	Type        MsgType
+	MigrationID uint64
+	SourceID    string
+	RangeStart  uint64
+	RangeEnd    uint64
+	ViewNumber  uint64 // target's new view number (TransferOwnership)
+	Final       bool   // MigrationRecords: last batch from this thread
+	Records     []MigrationRecord
+}
+
+// EncodeMigrationMsg builds a migration frame of m.Type.
+func EncodeMigrationMsg(m *MigrationMsg) []byte {
+	dst := []byte{byte(m.Type)}
+	dst = appendU64(dst, m.MigrationID)
+	dst = appendU16(dst, uint16(len(m.SourceID)))
+	dst = append(dst, m.SourceID...)
+	dst = appendU64(dst, m.RangeStart)
+	dst = appendU64(dst, m.RangeEnd)
+	dst = appendU64(dst, m.ViewNumber)
+	if m.Final {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendU32(dst, uint32(len(m.Records)))
+	for i := range m.Records {
+		r := &m.Records[i]
+		dst = appendU64(dst, r.Hash)
+		dst = append(dst, r.Flags)
+		dst = appendU16(dst, uint16(len(r.Key)))
+		dst = appendU32(dst, uint32(len(r.Value)))
+		dst = append(dst, r.Key...)
+		dst = append(dst, r.Value...)
+	}
+	return dst
+}
+
+// DecodeMigrationMsg parses any migration frame; records alias buf.
+func DecodeMigrationMsg(buf []byte) (MigrationMsg, error) {
+	d := decoder{buf: buf}
+	var m MigrationMsg
+	t, err := d.u8()
+	if err != nil {
+		return m, err
+	}
+	m.Type = MsgType(t)
+	switch m.Type {
+	case MsgPrepForTransfer, MsgTransferOwnership, MsgMigrationRecords,
+		MsgCompleteMigration, MsgAck, MsgCompacted:
+	default:
+		return m, fmt.Errorf("%w: migration msg got %d", ErrBadType, t)
+	}
+	if m.MigrationID, err = d.u64(); err != nil {
+		return m, err
+	}
+	n, err := d.u16()
+	if err != nil {
+		return m, err
+	}
+	src, err := d.bytes(int(n))
+	if err != nil {
+		return m, err
+	}
+	m.SourceID = string(src)
+	if m.RangeStart, err = d.u64(); err != nil {
+		return m, err
+	}
+	if m.RangeEnd, err = d.u64(); err != nil {
+		return m, err
+	}
+	if m.ViewNumber, err = d.u64(); err != nil {
+		return m, err
+	}
+	fin, err := d.u8()
+	if err != nil {
+		return m, err
+	}
+	m.Final = fin != 0
+	cnt, err := d.u32()
+	if err != nil {
+		return m, err
+	}
+	m.Records = make([]MigrationRecord, cnt)
+	for i := range m.Records {
+		r := &m.Records[i]
+		if r.Hash, err = d.u64(); err != nil {
+			return m, err
+		}
+		if r.Flags, err = d.u8(); err != nil {
+			return m, err
+		}
+		klen, err := d.u16()
+		if err != nil {
+			return m, err
+		}
+		vlen, err := d.u32()
+		if err != nil {
+			return m, err
+		}
+		if r.Key, err = d.bytes(int(klen)); err != nil {
+			return m, err
+		}
+		if r.Value, err = d.bytes(int(vlen)); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+// PeekType returns a frame's message type without decoding it.
+func PeekType(buf []byte) (MsgType, error) {
+	if len(buf) == 0 {
+		return 0, ErrShortFrame
+	}
+	return MsgType(buf[0]), nil
+}
+
+// decoder is a bounds-checked little-endian reader.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.off+1 > len(d.buf) {
+		return 0, ErrShortFrame
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.off+2 > len(d.buf) {
+		return 0, ErrShortFrame
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, ErrShortFrame
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, ErrShortFrame
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.buf) {
+		return nil, ErrShortFrame
+	}
+	v := d.buf[d.off : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestBatchRoundTrip(t *testing.T) {
+	in := RequestBatch{
+		View:      7,
+		SessionID: 99,
+		Ops: []Op{
+			{Kind: OpRead, Seq: 1, Key: []byte("k1")},
+			{Kind: OpUpsert, Seq: 2, Key: []byte("k2"), Value: []byte("v2")},
+			{Kind: OpRMW, Seq: 3, Key: []byte("k3"), Value: []byte("12345678")},
+			{Kind: OpDelete, Seq: 4, Key: []byte("k4")},
+		},
+	}
+	frame := AppendRequestBatch(nil, &in)
+	var out RequestBatch
+	if err := DecodeRequestBatch(frame, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.View != in.View || out.SessionID != in.SessionID || len(out.Ops) != len(in.Ops) {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	for i := range in.Ops {
+		if out.Ops[i].Kind != in.Ops[i].Kind || out.Ops[i].Seq != in.Ops[i].Seq ||
+			!bytes.Equal(out.Ops[i].Key, in.Ops[i].Key) ||
+			!bytes.Equal(out.Ops[i].Value, in.Ops[i].Value) {
+			t.Fatalf("op %d mismatch: %+v vs %+v", i, out.Ops[i], in.Ops[i])
+		}
+	}
+}
+
+func TestRequestBatchQuick(t *testing.T) {
+	f := func(view, sid uint64, key, val []byte, seq uint32) bool {
+		in := RequestBatch{View: view, SessionID: sid,
+			Ops: []Op{{Kind: OpUpsert, Seq: seq, Key: key, Value: val}}}
+		frame := AppendRequestBatch(nil, &in)
+		var out RequestBatch
+		if err := DecodeRequestBatch(frame, &out); err != nil {
+			return false
+		}
+		return out.View == view && out.SessionID == sid &&
+			bytes.Equal(out.Ops[0].Key, key) && bytes.Equal(out.Ops[0].Value, val) &&
+			out.Ops[0].Seq == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponseBatchRoundTrip(t *testing.T) {
+	in := ResponseBatch{
+		SessionID: 5, ServerView: 9,
+		Results: []Result{
+			{Seq: 1, Status: StatusOK, Value: []byte("hello")},
+			{Seq: 2, Status: StatusNotFound},
+			{Seq: 3, Status: StatusErr, Value: []byte("boom")},
+		},
+	}
+	frame := AppendResponseBatch(nil, &in)
+	var out ResponseBatch
+	if err := DecodeResponseBatch(frame, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rejected || out.ServerView != 9 || len(out.Results) != 3 {
+		t.Fatalf("decoded %+v", out)
+	}
+	if out.Results[0].Status != StatusOK || !bytes.Equal(out.Results[0].Value, []byte("hello")) {
+		t.Fatal("result 0 mismatch")
+	}
+}
+
+func TestRejectionRoundTrip(t *testing.T) {
+	in := ResponseBatch{SessionID: 5, Rejected: true, ServerView: 42}
+	frame := AppendResponseBatch(nil, &in)
+	var out ResponseBatch
+	if err := DecodeResponseBatch(frame, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Rejected || out.ServerView != 42 || len(out.Results) != 0 {
+		t.Fatalf("rejection decoded as %+v", out)
+	}
+}
+
+func TestMigrateRoundTrip(t *testing.T) {
+	in := MigrateCmd{Target: "server-b", RangeStart: 100, RangeEnd: 900}
+	out, err := DecodeMigrate(EncodeMigrate(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("%+v != %+v", out, in)
+	}
+}
+
+func TestMigrationMsgRoundTrip(t *testing.T) {
+	for _, typ := range []MsgType{MsgPrepForTransfer, MsgTransferOwnership,
+		MsgMigrationRecords, MsgCompleteMigration, MsgAck, MsgCompacted} {
+		in := MigrationMsg{
+			Type: typ, MigrationID: 77, SourceID: "src-1",
+			RangeStart: 10, RangeEnd: 20, ViewNumber: 3, Final: typ == MsgMigrationRecords,
+			Records: []MigrationRecord{
+				{Hash: 15, Flags: RecFlagTombstone, Key: []byte("k"), Value: nil},
+				{Hash: 16, Flags: RecFlagIndirection, Value: []byte("payload")},
+				{Hash: 17, Key: []byte("k2"), Value: []byte("v2")},
+			},
+		}
+		frame := EncodeMigrationMsg(&in)
+		if pt, _ := PeekType(frame); pt != typ {
+			t.Fatalf("peek %d != %d", pt, typ)
+		}
+		out, err := DecodeMigrationMsg(frame)
+		if err != nil {
+			t.Fatalf("type %d: %v", typ, err)
+		}
+		if out.Type != typ || out.MigrationID != 77 || out.SourceID != "src-1" ||
+			out.RangeStart != 10 || out.RangeEnd != 20 || out.ViewNumber != 3 ||
+			out.Final != in.Final || len(out.Records) != 3 {
+			t.Fatalf("type %d decoded %+v", typ, out)
+		}
+		if out.Records[0].Flags&RecFlagTombstone == 0 ||
+			out.Records[1].Flags&RecFlagIndirection == 0 {
+			t.Fatal("flags lost")
+		}
+		if !bytes.Equal(out.Records[2].Value, []byte("v2")) {
+			t.Fatal("record value lost")
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var rb RequestBatch
+	if err := DecodeRequestBatch(nil, &rb); err == nil {
+		t.Fatal("nil frame accepted")
+	}
+	if err := DecodeRequestBatch([]byte{byte(MsgResponseBatch)}, &rb); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	// Truncated mid-op.
+	full := AppendRequestBatch(nil, &RequestBatch{Ops: []Op{{Kind: OpRead, Key: []byte("abcdef")}}})
+	for cut := 1; cut < len(full); cut++ {
+		if err := DecodeRequestBatch(full[:cut], &rb); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeMigrationMsg([]byte{byte(MsgRequestBatch)}); err == nil {
+		t.Fatal("request frame decoded as migration msg")
+	}
+	if _, err := PeekType(nil); err == nil {
+		t.Fatal("empty peek accepted")
+	}
+}
+
+func TestDecodeReusesOpSlice(t *testing.T) {
+	frame := AppendRequestBatch(nil, &RequestBatch{
+		Ops: []Op{{Kind: OpRead, Key: []byte("a")}, {Kind: OpRead, Key: []byte("b")}}})
+	b := RequestBatch{Ops: make([]Op, 0, 16)}
+	if err := DecodeRequestBatch(frame, &b); err != nil {
+		t.Fatal(err)
+	}
+	if cap(b.Ops) != 16 {
+		t.Fatal("decode reallocated a sufficient ops slice")
+	}
+}
+
+func BenchmarkEncodeDecodeBatch(b *testing.B) {
+	ops := make([]Op, 64)
+	for i := range ops {
+		ops[i] = Op{Kind: OpRMW, Seq: uint32(i), Key: []byte("key-12345678"),
+			Value: []byte("delta678")}
+	}
+	in := RequestBatch{View: 3, SessionID: 1, Ops: ops}
+	var frame []byte
+	var out RequestBatch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame = AppendRequestBatch(frame[:0], &in)
+		if err := DecodeRequestBatch(frame, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package ycsb generates the workloads the paper evaluates with (§4.1):
+// YCSB workload F (read-modify-write) over 8-byte keys and 256-byte values,
+// with keys drawn from a Zipfian (θ=0.99, YCSB's default) or uniform
+// distribution.
+//
+// The Zipfian generator is the standard Gray et al. "Quickly generating
+// billion-record synthetic databases" algorithm, the same one YCSB uses, so
+// skew matches the paper's workload.
+package ycsb
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Default paper parameters (Table/§4.1): 250M records of 8B keys + 256B
+// values; this reproduction scales record count down but keeps shapes.
+const (
+	// DefaultKeyBytes is the paper's 8-byte key size.
+	DefaultKeyBytes = 8
+	// DefaultValueBytes is the paper's 256-byte value size.
+	DefaultValueBytes = 256
+	// DefaultTheta is YCSB's default Zipfian skew.
+	DefaultTheta = 0.99
+)
+
+// Generator yields key indexes in [0, N).
+type Generator interface {
+	Next() uint64
+	N() uint64
+}
+
+// rng is a splitmix64 PRNG: tiny, fast, seedable, stdlib-only.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Uniform draws keys uniformly — the distribution Figure 9 uses (the only
+// one Seastar's client harness supports).
+type Uniform struct {
+	n uint64
+	r rng
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n uint64, seed uint64) *Uniform {
+	return &Uniform{n: n, r: rng{state: seed}}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() uint64 { return u.r.next() % u.n }
+
+// N implements Generator.
+func (u *Uniform) N() uint64 { return u.n }
+
+// Zipfian draws keys Zipf-distributed with parameter theta over [0, n),
+// scattered (like YCSB's ScrambledZipfian) so the hot keys are spread across
+// the key space rather than clustered at low indexes.
+type Zipfian struct {
+	n         uint64
+	theta     float64
+	alpha     float64
+	zetan     float64
+	eta       float64
+	zeta2     float64
+	r         rng
+	scrambled bool
+}
+
+// NewZipfian returns a scrambled-Zipfian generator over [0, n) with the
+// given skew (use DefaultTheta for YCSB's 0.99).
+func NewZipfian(n uint64, theta float64, seed uint64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, r: rng{state: seed}, scrambled: true}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// NewZipfianUnscrambled keeps rank order (key 0 hottest); used by tests that
+// verify the frequency profile.
+func NewZipfianUnscrambled(n uint64, theta float64, seed uint64) *Zipfian {
+	z := NewZipfian(n, theta, seed)
+	z.scrambled = false
+	return z
+}
+
+// zetaStatic computes the Riemann zeta partial sum sum_{i=1..n} 1/i^theta.
+// O(n); computed once per generator. For the scaled n used here this is
+// instant; a production YCSB caches increments.
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Generator using Gray et al.'s rejection-free inversion.
+func (z *Zipfian) Next() uint64 {
+	u := z.r.float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	if !z.scrambled {
+		return rank
+	}
+	// FNV-style scatter (YCSB uses FNV64); splitmix's mixer spreads equally
+	// well and is already here.
+	x := rank
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x % z.n
+}
+
+// N implements Generator.
+func (z *Zipfian) N() uint64 { return z.n }
+
+// OpKind is a workload operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpsert
+	OpRMW
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64 // key index; format with KeyBytes
+}
+
+// Mix describes an operation mix; fields sum to 100.
+type Mix struct {
+	ReadPct, UpsertPct, RMWPct int
+}
+
+// WorkloadF is YCSB-F: 100% read-modify-write, the paper's headline ingest
+// workload (sensor heartbeats, click counts).
+var WorkloadF = Mix{RMWPct: 100}
+
+// WorkloadB is YCSB-B (95% reads / 5% updates), used by ablations.
+var WorkloadB = Mix{ReadPct: 95, UpsertPct: 5}
+
+// WorkloadC is YCSB-C (100% reads).
+var WorkloadC = Mix{ReadPct: 100}
+
+// Workload draws operations from a key Generator and a Mix.
+type Workload struct {
+	gen Generator
+	mix Mix
+	r   rng
+}
+
+// NewWorkload builds a workload; seed decorrelates the op-kind stream from
+// the key stream.
+func NewWorkload(gen Generator, mix Mix, seed uint64) *Workload {
+	return &Workload{gen: gen, mix: mix, r: rng{state: seed ^ 0xABCD}}
+}
+
+// Next returns the next operation.
+func (w *Workload) Next() Op {
+	k := w.gen.Next()
+	p := int(w.r.next() % 100)
+	switch {
+	case p < w.mix.ReadPct:
+		return Op{Kind: OpRead, Key: k}
+	case p < w.mix.ReadPct+w.mix.UpsertPct:
+		return Op{Kind: OpUpsert, Key: k}
+	default:
+		return Op{Kind: OpRMW, Key: k}
+	}
+}
+
+// KeyBytes formats a key index as the paper's fixed 8-byte key.
+func KeyBytes(idx uint64) []byte {
+	b := make([]byte, DefaultKeyBytes)
+	binary.LittleEndian.PutUint64(b, idx)
+	return b
+}
+
+// FillKey formats idx into an existing 8-byte buffer (allocation-free hot
+// paths).
+func FillKey(dst []byte, idx uint64) {
+	binary.LittleEndian.PutUint64(dst, idx)
+}
+
+// Value returns a value of the paper's default size whose first 8 bytes are
+// a counter field (what workload F increments).
+func Value(counter uint64, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	v := make([]byte, size)
+	binary.LittleEndian.PutUint64(v, counter)
+	return v
+}

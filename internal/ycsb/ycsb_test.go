@@ -1,0 +1,192 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(1000, 42)
+	for i := 0; i < 100000; i++ {
+		if k := u.Next(); k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	const n = 100
+	u := NewUniform(n, 7)
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[u.Next()]++
+	}
+	for k, c := range counts {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("key %d drawn %d times (expected ~%d)", k, c, draws/n)
+		}
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	z := NewZipfian(1000, DefaultTheta, 42)
+	for i := 0; i < 100000; i++ {
+		if k := z.Next(); k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// Unscrambled: rank 0 must dominate; the top 10% of keys should take
+	// the large majority of draws at theta=0.99.
+	const n = 1000
+	z := NewZipfianUnscrambled(n, DefaultTheta, 42)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < counts[n/2]*10 {
+		t.Fatalf("rank 0 (%d) not dominating rank %d (%d)", counts[0], n/2, counts[n/2])
+	}
+	top := 0
+	for i := 0; i < n/10; i++ {
+		top += counts[i]
+	}
+	if frac := float64(top) / draws; frac < 0.6 {
+		t.Fatalf("top 10%% of keys got only %.2f of draws", frac)
+	}
+}
+
+func TestZipfianFrequencyRatio(t *testing.T) {
+	// For Zipf, P(rank 1)/P(rank 2) = 2^theta. Check loosely.
+	const n = 10000
+	z := NewZipfianUnscrambled(n, DefaultTheta, 9)
+	counts := make(map[uint64]int)
+	const draws = 500000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	want := math.Pow(2, DefaultTheta)
+	if ratio < want*0.7 || ratio > want*1.4 {
+		t.Fatalf("rank0/rank1 ratio %.2f, want ~%.2f", ratio, want)
+	}
+}
+
+func TestZipfianScrambledSpreadsHotKeys(t *testing.T) {
+	const n = 1000
+	z := NewZipfian(n, DefaultTheta, 42)
+	counts := make([]int, n)
+	for i := 0; i < 200000; i++ {
+		counts[z.Next()]++
+	}
+	// Hottest key should NOT be key 0 systematically... it may be by luck;
+	// instead check hot keys are not all in the low range.
+	hot := 0
+	hotLow := 0
+	for k, c := range counts {
+		if c > 2000 {
+			hot++
+			if k < n/10 {
+				hotLow++
+			}
+		}
+	}
+	if hot == 0 {
+		t.Fatal("no hot keys under Zipfian")
+	}
+	if hot > 2 && hotLow == hot {
+		t.Fatal("scrambling left all hot keys clustered at low indexes")
+	}
+}
+
+func TestZipfianDeterministicPerSeed(t *testing.T) {
+	a := NewZipfian(500, DefaultTheta, 1)
+	b := NewZipfian(500, DefaultTheta, 1)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewZipfian(500, DefaultTheta, 2)
+	same := 0
+	d := NewZipfian(500, DefaultTheta, 1)
+	for i := 0; i < 1000; i++ {
+		if c.Next() == d.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatal("different seeds produced near-identical streams")
+	}
+}
+
+func TestWorkloadMix(t *testing.T) {
+	w := NewWorkload(NewUniform(100, 3), Mix{ReadPct: 50, UpsertPct: 30, RMWPct: 20}, 3)
+	var reads, upserts, rmws int
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		switch w.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpsert:
+			upserts++
+		case OpRMW:
+			rmws++
+		}
+	}
+	if reads < draws*45/100 || reads > draws*55/100 {
+		t.Fatalf("reads %d out of tolerance", reads)
+	}
+	if upserts < draws*25/100 || upserts > draws*35/100 {
+		t.Fatalf("upserts %d out of tolerance", upserts)
+	}
+	if rmws < draws*15/100 || rmws > draws*25/100 {
+		t.Fatalf("rmws %d out of tolerance", rmws)
+	}
+}
+
+func TestWorkloadF100RMW(t *testing.T) {
+	w := NewWorkload(NewUniform(100, 3), WorkloadF, 3)
+	for i := 0; i < 1000; i++ {
+		if op := w.Next(); op.Kind != OpRMW {
+			t.Fatal("workload F emitted a non-RMW op")
+		}
+	}
+}
+
+func TestKeyValueHelpers(t *testing.T) {
+	k := KeyBytes(0xDEAD)
+	if len(k) != DefaultKeyBytes {
+		t.Fatal("bad key size")
+	}
+	var buf [8]byte
+	FillKey(buf[:], 0xDEAD)
+	if string(buf[:]) != string(k) {
+		t.Fatal("FillKey mismatch")
+	}
+	v := Value(42, DefaultValueBytes)
+	if len(v) != DefaultValueBytes || v[0] != 42 {
+		t.Fatal("bad value")
+	}
+	if len(Value(1, 2)) != 8 {
+		t.Fatal("value must hold the 8-byte counter")
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(1<<20, DefaultTheta, 42)
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+func BenchmarkUniformNext(b *testing.B) {
+	u := NewUniform(1<<20, 42)
+	for i := 0; i < b.N; i++ {
+		u.Next()
+	}
+}
