@@ -1,5 +1,7 @@
 // Command shadowfax-cli issues ad-hoc operations against a shadowfax-server
-// over TCP: get / set / del / rmw <key> [value|delta].
+// over TCP: get / set / del / rmw <key> [value|delta], plus the checkpoint
+// admin command (takes a durable checkpoint on the server, see -data /
+// -recover-from on shadowfax-server).
 package main
 
 import (
@@ -19,8 +21,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "server address")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: shadowfax-cli [-addr host:port] <get|set|del|rmw> <key> [value|delta]")
+	if len(args) < 1 || (args[0] != "checkpoint" && len(args) < 2) {
+		fmt.Fprintln(os.Stderr, "usage: shadowfax-cli [-addr host:port] <get|set|del|rmw|checkpoint> [key] [value|delta]")
 		os.Exit(2)
 	}
 
@@ -30,6 +32,26 @@ func main() {
 		log.Fatal(err)
 	}
 	defer conn.Close()
+
+	if args[0] == "checkpoint" {
+		if err := conn.Send(wire.EncodeCheckpointReq()); err != nil {
+			log.Fatal(err)
+		}
+		frame, err := recvWithTimeout(conn, 30*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := wire.DecodeCheckpointResp(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !resp.OK {
+			log.Fatalf("checkpoint failed: %s", resp.Err)
+		}
+		fmt.Printf("checkpoint committed: version %d, log prefix %#x\n",
+			resp.Version, resp.Tail)
+		return
+	}
 
 	op := wire.Op{Seq: 1, Key: []byte(args[1])}
 	switch args[0] {

@@ -5,6 +5,14 @@
 // use and for driving the store with cmd/shadowfax-cli. Multi-server
 // clusters live in examples/cluster and examples/scaleout (single process,
 // shared metadata), matching the simulation substitutions in DESIGN.md §2.
+//
+// Durability: with -data the server keeps its HybridLog in <dir>/hlog.dat
+// and checkpoint images in <dir>/checkpoints.dat. Checkpoints are taken
+// periodically (-checkpoint-every) and on demand (the MsgCheckpoint admin
+// message; `shadowfax-cli checkpoint`). After a crash, restart with
+// -recover-from <dir> to rebuild the store from the latest committed image:
+// every key durable at the checkpoint is served again and client sessions
+// resume past their recovered prefix.
 package main
 
 import (
@@ -26,14 +34,28 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
 	threads := flag.Int("threads", 2, "dispatcher threads (vCPUs)")
-	dir := flag.String("data", "", "data directory (empty = in-memory device)")
+	dir := flag.String("data", "", "data directory (empty = in-memory devices, no durability)")
 	pageBits := flag.Uint("page-bits", 16, "log2 page size")
 	memPages := flag.Int("mem-pages", 256, "in-memory page frames")
+	ckptEvery := flag.Duration("checkpoint-every", 0,
+		"periodic checkpoint interval (0 = on demand only)")
+	recoverFrom := flag.String("recover-from", "",
+		"recover from the latest checkpoint image in this data directory (implies -data)")
 	flag.Parse()
 
-	var dev storage.Device
+	if *recoverFrom != "" {
+		*dir = *recoverFrom
+	}
+
+	var logDev storage.Device
+	var ckptDev storage.Device
 	if *dir == "" {
-		dev = storage.NewMemDevice(storage.LatencyModel{}, 4)
+		logDev = storage.NewMemDevice(storage.LatencyModel{}, 4)
+		if *ckptEvery > 0 {
+			// Durability onto a memory device is pointless; catch the
+			// misconfiguration instead of silently "checkpointing".
+			log.Fatal("shadowfax-server: -checkpoint-every requires -data")
+		}
 	} else {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
 			log.Fatal(err)
@@ -43,9 +65,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dev = fd
+		logDev = fd
+		cd, err := storage.NewFileDevice(filepath.Join(*dir, "checkpoints.dat"),
+			storage.LatencyModel{}, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ckptDev = cd
 	}
-	defer dev.Close()
+	defer logDev.Close()
+	if ckptDev != nil {
+		defer ckptDev.Close()
+	}
 
 	meta := metadata.NewStore()
 	tr := transport.NewTCP(transport.AcceleratedTCP)
@@ -56,15 +87,23 @@ func main() {
 			IndexBuckets: 1 << 16,
 			Log: hlog.Config{
 				PageBits: *pageBits, MemPages: *memPages,
-				MutablePages: *memPages / 2, Device: dev, LogID: "server-1",
+				MutablePages: *memPages / 2, Device: logDev, LogID: "server-1",
 			},
 		},
+		CheckpointDevice: ckptDev,
+		CheckpointEvery:  *ckptEvery,
+		Recover:          *recoverFrom != "",
 	}, metadata.FullRange)
 	if err != nil {
 		log.Fatal(err)
 	}
 	meta.SetServerAddr("server-1", srv.Addr())
-	fmt.Printf("shadowfax-server listening on %s (%d threads)\n", srv.Addr(), *threads)
+	mode := "fresh"
+	if *recoverFrom != "" {
+		mode = fmt.Sprintf("recovered from %s", *recoverFrom)
+	}
+	fmt.Printf("shadowfax-server listening on %s (%d threads, %s)\n",
+		srv.Addr(), *threads, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -10,7 +10,7 @@ package client
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
+	"math/rand/v2"
 	"time"
 
 	"repro/internal/faster"
@@ -66,6 +66,10 @@ type session struct {
 	conn     transport.Conn
 	view     metadata.View
 	id       uint64
+	// broken marks a dead connection (server crash/restart). Operations in
+	// inflight are preserved for RecoverSessions to replay (§3.3.1
+	// client-assisted recovery) rather than failed.
+	broken bool
 
 	building wire.RequestBatch
 	buildSz  int
@@ -110,17 +114,21 @@ type ThreadStats struct {
 	Refreshes       uint64
 }
 
-var threadCounter atomic.Uint64
-
 // NewThread builds a client thread with a fresh ownership cache. Threads
 // may be created from any goroutine; each Thread is then single-owner.
+//
+// The thread id seeds session identifiers, which index the server's durable
+// session table across crashes — so it is drawn at random (48 bits) rather
+// than from a process-local counter: a restarted client process must not
+// reuse a previous process's session id, or a recovered server would hand
+// it the old session's durable prefix and falsely complete its fresh writes.
 func NewThread(cfg Config) (*Thread, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
 	t := &Thread{
 		cfg:      cfg,
-		id:       threadCounter.Add(1),
+		id:       rand.Uint64() >> 16,
 		sessions: make(map[string]*session),
 	}
 	t.refreshOwnership()
@@ -249,20 +257,19 @@ func (t *Thread) flushSession(s *session) {
 	if len(s.building.Ops) == 0 {
 		return
 	}
+	if s.broken {
+		return // ops stay buffered until RecoverSessions replays them
+	}
 	if s.sentBatches >= t.cfg.MaxInflightBatches {
 		return // pipeline full; Poll will drain and re-flush
 	}
 	s.building.View = s.view.Number
 	s.encodeBuf = wire.AppendRequestBatch(s.encodeBuf[:0], &s.building)
 	if err := s.conn.Send(s.encodeBuf); err != nil {
-		// Connection lost: fail the batch's ops.
-		for _, op := range s.building.Ops {
-			if q, ok := s.inflight[op.Seq]; ok {
-				delete(s.inflight, op.Seq)
-				delete(s.calls, op.Seq)
-				t.complete(q, wire.StatusErr, nil)
-			}
-		}
+		// Connection lost: keep the ops in inflight for session recovery —
+		// the server may have applied earlier batches, and only a recovered
+		// server can say which (RecoverSessions asks it).
+		s.broken = true
 	} else {
 		t.stats.BatchesSent++
 		s.sentBatches++
@@ -281,6 +288,7 @@ func (t *Thread) Poll() int {
 		for {
 			frame, ok, err := s.conn.TryRecv()
 			if err != nil {
+				s.broken = true
 				break
 			}
 			if !ok {

@@ -1,0 +1,196 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file implements the client half of Shadowfax's crash recovery
+// (§3.3.1): checkpoint administration and client-assisted session recovery.
+// A server checkpoint durably records, per client session, the last applied
+// operation sequence number. After the server restarts from that image, each
+// client asks it where its session's durable prefix ends and then replays
+// exactly the in-flight operations past it — writes at or below the prefix
+// are acknowledged locally (they are durable; only the ack was lost), writes
+// and reads above it are re-issued. The result is exactly-once semantics for
+// updates across a server crash without any server-side redo log.
+
+// Checkpoint asks serverID to take a durable checkpoint now and waits for
+// the server's acknowledgment. It is an admin RPC on its own connection,
+// like Migrate.
+func (t *Thread) Checkpoint(serverID string) (wire.CheckpointResp, error) {
+	addr, err := t.cfg.Meta.ServerAddr(serverID)
+	if err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	conn, err := t.cfg.Transport.Dial(addr)
+	if err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeCheckpointReq()); err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	frame, err := conn.Recv()
+	if err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	resp, err := wire.DecodeCheckpointResp(frame)
+	if err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("client: checkpoint on %s failed: %s", serverID, resp.Err)
+	}
+	return resp, nil
+}
+
+// RecoverSessions re-establishes every session against its (possibly
+// restarted) server and reconciles in-flight operations against the server's
+// durable session table: writes at or below the recovered sequence complete
+// immediately (durable; only the ack was lost), everything past it is
+// replayed in order. Responses still buffered on the old connection are
+// discarded — every affected operation is settled by the reconciliation,
+// exactly once.
+//
+// Call it after a server crash/restart (a session whose sends or receives
+// fail is also marked broken and stops transmitting until recovered). The
+// thread must be quiescent in the sense that it is not concurrently issuing
+// new operations — its natural state, since Thread is single-goroutine.
+// Against a server that never crashed the reconciliation is still correct
+// only once the server has drained the session's in-transit batches; the
+// intended use is after a restart, where none exist.
+//
+// The handshake phase runs against every server before any session state is
+// touched, so on error (server still down, metadata stale) nothing is lost:
+// the call can simply be retried.
+func (t *Thread) RecoverSessions(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	t.refreshOwnership()
+
+	// Phase 1: dial and handshake every session on fresh connections,
+	// without touching session state.
+	type handshake struct {
+		s    *session
+		conn transport.Conn
+		resp wire.SessionRecoverResp
+	}
+	handshakes := make([]handshake, 0, len(t.sessions))
+	fail := func(err error) error {
+		for _, h := range handshakes {
+			h.conn.Close()
+		}
+		return err
+	}
+	for id, s := range t.sessions {
+		addr, err := t.cfg.Meta.ServerAddr(id)
+		if err != nil {
+			return fail(err)
+		}
+		conn, err := t.cfg.Transport.Dial(addr)
+		if err != nil {
+			return fail(fmt.Errorf("client: redialing %s: %w", id, err))
+		}
+		if err := conn.Send(wire.EncodeSessionRecover(
+			wire.SessionRecover{SessionID: s.id})); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("client: session-recover to %s: %w", id, err))
+		}
+		resp, err := awaitSessionRecoverResp(conn, s.id, deadline)
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("client: session-recover to %s: %w", id, err))
+		}
+		handshakes = append(handshakes, handshake{s: s, conn: conn, resp: resp})
+	}
+
+	// Phase 2: every server answered — adopt connections and reconcile.
+	var replay []queuedOp
+	for _, h := range handshakes {
+		s, resp := h.s, h.resp
+		// The session object (and its sequence counter) lives on.
+		s.conn.Close()
+		s.conn = h.conn
+		s.broken = false
+		s.sentBatches = 0
+		s.building.Ops = s.building.Ops[:0]
+		s.buildSz = 0
+		if v, ok := t.ownership[s.serverID]; ok {
+			s.view = v
+		}
+
+		// Partition the in-flight set at the durable prefix, in sequence
+		// order so replay preserves the session's operation order.
+		seqs := make([]uint32, 0, len(s.inflight))
+		for seq := range s.inflight {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			op := s.inflight[seq]
+			delete(s.inflight, seq)
+			delete(s.calls, seq)
+			if resp.Known && seq <= resp.LastSeq && op.kind != wire.OpRead {
+				// Durable before the crash; only the ack was lost. Complete
+				// without re-executing (re-running an RMW would double-apply).
+				// StatusOK is the status the server actually produced: in
+				// this store every write op completes OK (upserts are blind,
+				// deletes of absent keys write a tombstone and report OK,
+				// RMWs initialize absent keys) — only reads distinguish
+				// outcomes, and reads are re-executed below.
+				t.complete(op, wire.StatusOK, nil)
+				continue
+			}
+			replay = append(replay, op)
+		}
+	}
+	for _, op := range replay {
+		t.outstanding-- // issueRequeued re-counts
+		t.stats.OpsIssued--
+		t.issueRequeued(op)
+	}
+	t.Flush()
+	return nil
+}
+
+// BrokenSessions reports how many sessions are awaiting recovery.
+func (t *Thread) BrokenSessions() int {
+	n := 0
+	for _, s := range t.sessions {
+		if s.broken {
+			n++
+		}
+	}
+	return n
+}
+
+// awaitSessionRecoverResp polls conn for the MsgSessionRecoverResp matching
+// sessionID, discarding unrelated frames, until deadline.
+func awaitSessionRecoverResp(conn transport.Conn, sessionID uint64, deadline time.Time) (wire.SessionRecoverResp, error) {
+	for {
+		frame, ok, err := conn.TryRecv()
+		if err != nil {
+			return wire.SessionRecoverResp{}, err
+		}
+		if ok {
+			if typ, _ := wire.PeekType(frame); typ == wire.MsgSessionRecoverResp {
+				resp, err := wire.DecodeSessionRecoverResp(frame)
+				if err != nil {
+					return wire.SessionRecoverResp{}, err
+				}
+				if resp.SessionID == sessionID {
+					return resp, nil
+				}
+			}
+			continue
+		}
+		if time.Now().After(deadline) {
+			return wire.SessionRecoverResp{}, fmt.Errorf("timed out awaiting session-recover response")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/metadata"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file is the server-level half of Shadowfax's durability story (§2.1,
+// §3.3.1): a checkpoint coordinator that snapshots the FASTER store plus the
+// server's own recovery state (ownership view, client session table) into one
+// image on a storage device, and the recovery path that rebuilds a server
+// from the latest committed image.
+//
+// Checkpoints piggyback on FASTER's CPR cut: Store.CheckpointCut fires the
+// server-section serializer on the far side of the asynchronous global cut,
+// so the session table captured in the image is exactly the state whose
+// operations the flushed log prefix covers. Dispatchers never stall — they
+// cross the cut at their next Refresh and keep serving.
+
+const (
+	serverImageMagic   = 0x53465843 // "SFXC"
+	serverImageVersion = 1
+)
+
+// sessionTable tracks, per client session, the highest operation sequence
+// number the server has applied, tagged with the CPR version the batch was
+// stamped under. It is the server half of client-assisted session recovery:
+// a checkpoint sealing version S snapshots each session's prefix restricted
+// to versions <= S — exactly the records recovery's version filter keeps —
+// so the table a reconnecting client consults and the recovered store agree
+// operation-for-operation.
+type sessionTable struct {
+	mu   sync.Mutex
+	seqs map[uint64][]verSeq
+}
+
+// verSeq is one version's sequence high-water mark. Per session the slice
+// holds at most two entries — a floor of all prior versions and the current
+// one — because versions only advance at checkpoints, which serialize.
+type verSeq struct {
+	ver uint32
+	seq uint32
+}
+
+func newSessionTable() *sessionTable {
+	return &sessionTable{seqs: make(map[uint64][]verSeq)}
+}
+
+// advance records that every operation of session id up to seq has been
+// applied under CPR version ver. Sequence numbers and versions only move
+// forward (client seqs are monotonic; ver is the dispatcher session's
+// thread-local version, which only grows).
+func (t *sessionTable) advance(id uint64, seq uint32, ver uint32) {
+	t.mu.Lock()
+	es := t.seqs[id]
+	if n := len(es); n > 0 && es[n-1].ver >= ver {
+		if seq > es[n-1].seq {
+			es[n-1].seq = seq
+		}
+	} else {
+		if len(es) >= 2 {
+			// Merge the floor: the older entry's seq is subsumed by the
+			// newer one (seqs are monotonic), and no future checkpoint can
+			// seal below an already-recorded version.
+			es = es[len(es)-1:]
+		}
+		es = append(es, verSeq{ver: ver, seq: seq})
+	}
+	t.seqs[id] = es
+	t.mu.Unlock()
+}
+
+// get returns the session's last applied sequence number across all
+// versions (what a live server tells a reconciling client).
+func (t *sessionTable) get(id uint64) (uint32, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	es, ok := t.seqs[id]
+	if !ok || len(es) == 0 {
+		return 0, false
+	}
+	return es[len(es)-1].seq, true
+}
+
+// sessionIdleVersions is how many sealed versions a session may sit idle
+// before its table entry is evicted (bounding table and image growth under
+// client churn). An evicted session that reconnects recovers as Known=false
+// and replays everything in flight — safe unless it held unacknowledged
+// RMWs across that many checkpoints, which a live client never does (it
+// drains or retries long before).
+const sessionIdleVersions = 8
+
+// snapshotUpTo copies the table restricted to versions <= sealed (taken
+// inside the checkpoint cut), evicting sessions idle since sealed -
+// sessionIdleVersions. Sessions whose every batch is post-cut are omitted:
+// their durable prefix is empty.
+func (t *sessionTable) snapshotUpTo(sealed uint32) map[uint64]uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint64]uint32, len(t.seqs))
+	for id, es := range t.seqs {
+		if n := len(es); n > 0 && sealed > sessionIdleVersions &&
+			es[n-1].ver < sealed-sessionIdleVersions {
+			delete(t.seqs, id)
+			continue
+		}
+		for _, e := range es { // ordered by version; later seqs are larger
+			if e.ver <= sealed {
+				out[id] = e.seq
+			}
+		}
+	}
+	return out
+}
+
+// restore replaces the table with a recovered image's copy. Restored
+// entries carry the image's sealed version: any future checkpoint covers
+// them (future seals are strictly higher), and the idle-eviction clock
+// starts at the recovery point rather than treating every recovered session
+// as ancient.
+func (t *sessionTable) restore(m map[uint64]uint32, sealed uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seqs = make(map[uint64][]verSeq, len(m))
+	for id, seq := range m {
+		t.seqs[id] = []verSeq{{ver: sealed, seq: seq}}
+	}
+}
+
+// CheckpointResult describes a committed server checkpoint.
+type CheckpointResult struct {
+	Info       faster.CheckpointInfo
+	Generation uint64 // image store generation holding the image
+	Sessions   int    // client sessions captured in the image
+}
+
+// ErrNoCheckpointDevice is returned when checkpointing is not configured.
+var ErrNoCheckpointDevice = errors.New("core: no checkpoint device configured")
+
+// Checkpoint takes a durable server checkpoint: the FASTER store via its CPR
+// cut, plus the ownership view and client session table captured on the cut,
+// all streamed into one image on the configured checkpoint device and
+// committed atomically. It blocks until the image is committed and must not
+// be called from a dispatcher goroutine (the cut needs dispatchers free to
+// refresh); the admin-message handler and the periodic loop call it from
+// their own goroutines. Concurrent calls serialize.
+func (s *Server) Checkpoint() (CheckpointResult, error) {
+	if s.images == nil {
+		return CheckpointResult{}, ErrNoCheckpointDevice
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	// Checked under ckptMu: Close's teardown handshake also takes ckptMu, so
+	// a checkpoint that sees stopping==false here finishes before the store
+	// is closed, and one arriving later is rejected instead of touching a
+	// closed store.
+	if s.stopping.Load() {
+		return CheckpointResult{}, errors.New("core: server closing")
+	}
+
+	w := s.images.NewWriter()
+	sessions := 0
+	type outcome struct {
+		info faster.CheckpointInfo
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	s.store.CheckpointCut(w,
+		func(sealed uint32) {
+			// On the cut: snapshot the session table restricted to the
+			// sealed version — the exact operation set recovery's version
+			// filter will keep in the store image.
+			view := s.view.Load().Clone()
+			tab := s.sessTab.snapshotUpTo(sealed)
+			sessions = len(tab)
+			writeServerSection(w, view, tab)
+		},
+		func(info faster.CheckpointInfo, err error) {
+			ch <- outcome{info, err}
+		})
+	out := <-ch
+	if out.err != nil {
+		s.stats.CheckpointFailures.Add(1)
+		return CheckpointResult{Info: out.info}, out.err
+	}
+	if err := w.Commit(); err != nil {
+		s.stats.CheckpointFailures.Add(1)
+		return CheckpointResult{Info: out.info}, err
+	}
+	res := CheckpointResult{
+		Info:       out.info,
+		Generation: s.images.Generation(),
+		Sessions:   sessions,
+	}
+	s.stats.Checkpoints.Add(1)
+	return res, nil
+}
+
+// checkpointLoop takes periodic checkpoints until the server closes.
+func (s *Server) checkpointLoop(every time.Duration) {
+	defer s.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ckptQuit:
+			return
+		case <-tick.C:
+			// Failures are counted inside Checkpoint (shared with the
+			// admin-message and direct-call paths).
+			s.Checkpoint() //nolint:errcheck // best-effort periodic attempt
+		}
+	}
+}
+
+// writeServerSection serializes the server's recovery state ahead of the
+// FASTER blob. Errors stick inside the ImageWriter and surface when the
+// store blob is written.
+func writeServerSection(w io.Writer, view metadata.View, sessions map[uint64]uint32) {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, serverImageMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, serverImageVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, view.Number)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(view.Ranges)))
+	for _, r := range view.Ranges {
+		buf = binary.LittleEndian.AppendUint64(buf, r.Start)
+		buf = binary.LittleEndian.AppendUint64(buf, r.End)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sessions)))
+	for id, seq := range sessions {
+		buf = binary.LittleEndian.AppendUint64(buf, id)
+		buf = binary.LittleEndian.AppendUint32(buf, seq)
+	}
+	w.Write(buf)
+}
+
+// readServerSection parses the server section, leaving r positioned at the
+// FASTER checkpoint blob.
+func readServerSection(r io.Reader) (metadata.View, map[uint64]uint32, error) {
+	var fixed [20]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return metadata.View{}, nil, fmt.Errorf("core: reading server image header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(fixed[0:4]) != serverImageMagic {
+		return metadata.View{}, nil, errors.New("core: bad server image magic")
+	}
+	if v := binary.LittleEndian.Uint32(fixed[4:8]); v != serverImageVersion {
+		return metadata.View{}, nil, fmt.Errorf("core: server image version %d unsupported", v)
+	}
+	view := metadata.View{Number: binary.LittleEndian.Uint64(fixed[8:16])}
+	nRanges := binary.LittleEndian.Uint32(fixed[16:20])
+	var u16buf [16]byte
+	for i := uint32(0); i < nRanges; i++ {
+		if _, err := io.ReadFull(r, u16buf[:]); err != nil {
+			return metadata.View{}, nil, fmt.Errorf("core: reading ranges: %w", err)
+		}
+		view.Ranges = append(view.Ranges, metadata.HashRange{
+			Start: binary.LittleEndian.Uint64(u16buf[0:8]),
+			End:   binary.LittleEndian.Uint64(u16buf[8:16]),
+		})
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return metadata.View{}, nil, fmt.Errorf("core: reading session count: %w", err)
+	}
+	nSess := binary.LittleEndian.Uint32(cnt[:])
+	sessions := make(map[uint64]uint32, nSess)
+	var sbuf [12]byte
+	for i := uint32(0); i < nSess; i++ {
+		if _, err := io.ReadFull(r, sbuf[:]); err != nil {
+			return metadata.View{}, nil, fmt.Errorf("core: reading session table: %w", err)
+		}
+		sessions[binary.LittleEndian.Uint64(sbuf[0:8])] = binary.LittleEndian.Uint32(sbuf[8:12])
+	}
+	return view, sessions, nil
+}
+
+// handleCheckpointReq serves the MsgCheckpoint admin message. The checkpoint
+// runs on its own goroutine so the dispatcher keeps polling (and crossing the
+// cut); the response ships when the image is committed.
+func (s *Server) handleCheckpointReq(c transport.Conn) {
+	go func() {
+		res, err := s.Checkpoint()
+		resp := wire.CheckpointResp{OK: err == nil,
+			Version: res.Info.Version, Tail: uint64(res.Info.Tail)}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		c.Send(wire.EncodeCheckpointResp(resp))
+	}()
+}
+
+// handleSessionRecover answers a reconnecting client with the session's last
+// durable sequence number from the (possibly recovered) session table.
+func (d *dispatcher) handleSessionRecover(c transport.Conn, frame []byte) {
+	req, err := wire.DecodeSessionRecover(frame)
+	if err != nil {
+		return
+	}
+	last, known := d.s.sessTab.get(req.SessionID)
+	c.Send(wire.EncodeSessionRecoverResp(wire.SessionRecoverResp{
+		SessionID: req.SessionID, Known: known, LastSeq: last}))
+}

@@ -838,6 +838,9 @@ func (s *Server) fetchSession() *faster.Session {
 	} else {
 		s.fetchSess.Guard().Resume()
 	}
+	// Adopt the current CPR version: this session can sit suspended across
+	// checkpoints, and its appends must not be stamped with a stale version.
+	s.fetchSess.Refresh()
 	return s.fetchSess
 }
 

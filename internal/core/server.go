@@ -13,6 +13,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/faster"
 	"repro/internal/metadata"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -38,6 +40,23 @@ type ServerConfig struct {
 	Meta *metadata.Store
 	// Store configures the server's FASTER instance.
 	Store faster.Config
+
+	// Durability (checkpoint/recovery subsystem).
+
+	// CheckpointDevice, when set, holds the server's checkpoint images
+	// (ownership view + client session table + FASTER CPR image). Without
+	// it the server runs memory-only: Checkpoint returns
+	// ErrNoCheckpointDevice and MsgCheckpoint admin requests fail.
+	CheckpointDevice storage.Device
+	// CheckpointEvery takes a checkpoint on this period (0 = on demand
+	// only, via Server.Checkpoint or the MsgCheckpoint admin message).
+	CheckpointEvery time.Duration
+	// Recover rebuilds the server from the latest committed image on
+	// CheckpointDevice instead of starting empty. Store.Log.Device must be
+	// the same device (or a copy of it) the image was checkpointed against.
+	// The server's ownership view is restored into Meta and its client
+	// session table is reinstated for session recovery.
+	Recover bool
 
 	// Migration tuning.
 
@@ -101,6 +120,9 @@ type ServerStats struct {
 	RemoteFetches atomic.Uint64
 	// ViewRefreshes counts metadata refreshes.
 	ViewRefreshes atomic.Uint64
+	// Checkpoints / CheckpointFailures count durable checkpoint outcomes.
+	Checkpoints        atomic.Uint64
+	CheckpointFailures atomic.Uint64
 }
 
 // Server is a Shadowfax server node.
@@ -134,11 +156,24 @@ type Server struct {
 	fetchSessMu sync.Mutex
 	fetchSess   *faster.Session
 
+	// Durability state (see checkpoint.go).
+	images   *storage.ImageStore
+	sessTab  *sessionTable
+	ckptMu   sync.Mutex // serializes checkpoint image writes
+	ckptQuit chan struct{}
+
 	stats ServerStats
 }
 
 // NewServer builds a Shadowfax server, registers it in the metadata store
 // with the given initial ranges, and starts its dispatchers.
+//
+// With cfg.Recover set the server instead rebuilds itself from the latest
+// checkpoint image on cfg.CheckpointDevice: the FASTER store is recovered
+// against the (surviving) log device, the checkpointed ownership view is
+// restored into the metadata store, and the client session table is
+// reinstated so reconnecting clients can replay past their durable prefix
+// (client-assisted recovery, §3.3.1). initial ranges are ignored on recovery.
 func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
@@ -146,22 +181,65 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 	if cfg.Store.Log.LogID == "" {
 		cfg.Store.Log.LogID = cfg.ID
 	}
-	st, err := faster.NewStore(cfg.Store)
-	if err != nil {
-		return nil, err
+
+	var images *storage.ImageStore
+	if cfg.CheckpointDevice != nil {
+		var err error
+		if images, err = storage.OpenImageStore(cfg.CheckpointDevice); err != nil {
+			return nil, err
+		}
 	}
+
 	s := &Server{
 		cfg:      cfg,
-		store:    st,
 		meta:     cfg.Meta,
 		fetching: make(map[string]struct{}),
+		images:   images,
+		sessTab:  newSessionTable(),
+		ckptQuit: make(chan struct{}),
 	}
-	v := cfg.Meta.RegisterServer(cfg.ID, initial...)
-	s.view.Store(&v)
+
+	if cfg.Recover {
+		if images == nil {
+			return nil, ErrNoCheckpointDevice
+		}
+		img, _, err := images.Latest()
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering %s: %w", cfg.ID, err)
+		}
+		view, sessions, err := readServerSection(img)
+		if err != nil {
+			return nil, err
+		}
+		st, err := faster.Recover(cfg.Store, img)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering %s: %w", cfg.ID, err)
+		}
+		s.store = st
+		s.sessTab.restore(sessions, st.CurrentVersion()-1)
+		v := cfg.Meta.RestoreServer(cfg.ID, view)
+		s.view.Store(&v)
+	} else {
+		if images != nil && images.Generation() > 0 {
+			// Starting fresh would append the new log over the one the
+			// committed image still references — a crash before the first
+			// new checkpoint would then "recover" garbage. Make the
+			// operator choose explicitly.
+			return nil, fmt.Errorf("core: %s: checkpoint device holds committed image (generation %d); "+
+				"recover from it or point at clean devices", cfg.ID, images.Generation())
+		}
+		st, err := faster.NewStore(cfg.Store)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		v := cfg.Meta.RegisterServer(cfg.ID, initial...)
+		s.view.Store(&v)
+	}
 
 	l, err := cfg.Transport.Listen(cfg.Addr)
 	if err != nil {
-		st.Close()
+		s.store.Close()
 		return nil, err
 	}
 	s.listener = l
@@ -175,6 +253,10 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 	for _, d := range s.threads {
 		s.wg.Add(1)
 		go d.run()
+	}
+	if cfg.CheckpointEvery > 0 && images != nil {
+		s.wg.Add(1)
+		go s.checkpointLoop(cfg.CheckpointEvery)
 	}
 	return s, nil
 }
@@ -203,8 +285,13 @@ func (s *Server) Close() error {
 	if s.stopping.Swap(true) {
 		return nil
 	}
+	close(s.ckptQuit)
 	s.listener.Close()
 	s.wg.Wait()
+	// Wait out any in-flight admin-triggered checkpoint before closing the
+	// store it is serializing.
+	s.ckptMu.Lock()
+	s.ckptMu.Unlock() //nolint:staticcheck // empty critical section is the point
 	return s.store.Close()
 }
 
@@ -363,9 +450,13 @@ func (d *dispatcher) run() {
 			idle++
 			if idle > 64 {
 				// Nothing to do: yield without holding up global cuts.
+				// Resume via Session.Refresh, not Guard().Resume(): a
+				// checkpoint cut may complete during the sleep, and the next
+				// batch must be stamped (and table-tagged) with the post-cut
+				// version.
 				d.sess.Guard().Suspend()
 				time.Sleep(50 * time.Microsecond)
-				d.sess.Guard().Resume()
+				d.sess.Refresh()
 			} else {
 				runtime.Gosched()
 			}
@@ -402,6 +493,10 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 			return
 		}
 		d.handleMigrationMsg(c, &m)
+	case wire.MsgCheckpoint:
+		d.s.handleCheckpointReq(c)
+	case wire.MsgSessionRecover:
+		d.handleSessionRecover(c, frame)
 	case wire.MsgAck:
 		// Acks are informational; the protocol is fully asynchronous.
 	}
@@ -447,6 +542,23 @@ func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 		d.execOp(c, b.SessionID, &b.Ops[i], tm)
 	}
 	d.assembling = false
+	// Record the session's high-water sequence before acknowledging, tagged
+	// with the CPR version this batch's appends were stamped under (the
+	// session's thread-local version, constant across the batch). A
+	// checkpoint sealing version S snapshots exactly the entries with
+	// version <= S, matching the records its version-filtered image keeps.
+	// (Operations parked for pending I/O or migration are counted here too;
+	// an op whose I/O completes on the far side of a cut is the residual
+	// fuzziness this reproduction accepts relative to full CPR.)
+	if len(b.Ops) > 0 {
+		maxSeq := b.Ops[0].Seq
+		for i := 1; i < len(b.Ops); i++ {
+			if b.Ops[i].Seq > maxSeq {
+				maxSeq = b.Ops[i].Seq
+			}
+		}
+		d.s.sessTab.advance(b.SessionID, maxSeq, d.sess.Version())
+	}
 	resp := wire.ResponseBatch{SessionID: b.SessionID, ServerView: view.Number,
 		Results: d.results}
 	d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)

@@ -38,10 +38,30 @@ type CheckpointInfo struct {
 // the store to w on a background goroutine. done receives the result
 // exactly once. The store remains fully available throughout.
 func (s *Store) Checkpoint(w io.Writer, done func(CheckpointInfo, error)) {
+	s.CheckpointCut(w, nil, done)
+}
+
+// CheckpointCut is Checkpoint with a cut hook: onCut runs on the background
+// goroutine after every thread has crossed the version cut and before any
+// checkpoint bytes are written to w, receiving the sealed version. The
+// server layer uses it to serialize its own section (ownership view, client
+// session table restricted to operations stamped <= sealed) into the same
+// image — recovery then filters the fuzzy log to exactly that version
+// prefix, so the two sections agree record-for-record.
+func (s *Store) CheckpointCut(w io.Writer, onCut func(sealed uint32), done func(CheckpointInfo, error)) {
+	// The cut tail is captured before the version bump: every record stamped
+	// sealed+1 is allocated after the bump, hence at or above this address.
+	// Recovery only applies its version filter above it, which keeps the
+	// 11-bit masked version comparison unambiguous (within one checkpoint
+	// window only sealed and sealed+1 exist).
+	cutTail := s.log.TailAddress()
 	sealed := s.version.Add(1) - 1
 	s.epoch.BumpWithAction(func() {
 		go func() {
-			info, err := s.writeCheckpoint(sealed, w)
+			if onCut != nil {
+				onCut(sealed)
+			}
+			info, err := s.writeCheckpoint(sealed, cutTail, w)
 			done(info, err)
 		}()
 	})
@@ -61,7 +81,7 @@ func (s *Store) CheckpointSync(w io.Writer) (CheckpointInfo, error) {
 	return r.info, r.err
 }
 
-func (s *Store) writeCheckpoint(sealed uint32, w io.Writer) (CheckpointInfo, error) {
+func (s *Store) writeCheckpoint(sealed uint32, cutTail hlog.Address, w io.Writer) (CheckpointInfo, error) {
 	lg := s.log
 	tail := lg.TailAddress()
 
@@ -101,7 +121,7 @@ func (s *Store) writeCheckpoint(sealed uint32, w io.Writer) (CheckpointInfo, err
 		PageBits: pageBits, IndexSize: idx.Len(),
 	}
 
-	var hdr [44]byte
+	var hdr [52]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], checkpointMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], sealed)
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(tail))
@@ -109,6 +129,7 @@ func (s *Store) writeCheckpoint(sealed uint32, w io.Writer) (CheckpointInfo, err
 	binary.LittleEndian.PutUint32(hdr[24:28], uint32(pageBits))
 	binary.LittleEndian.PutUint64(hdr[28:36], uint64(idx.Len()))
 	binary.LittleEndian.PutUint64(hdr[36:44], uint64(len(partial)))
+	binary.LittleEndian.PutUint64(hdr[44:52], uint64(cutTail))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return info, err
 	}
@@ -125,7 +146,7 @@ func (s *Store) writeCheckpoint(sealed uint32, w io.Writer) (CheckpointInfo, err
 // taken against (cfg.Log.Device). The store is ready for new sessions on
 // return.
 func Recover(cfg Config, r io.Reader) (*Store, error) {
-	var hdr [44]byte
+	var hdr [52]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("faster: reading checkpoint header: %w", err)
 	}
@@ -138,6 +159,7 @@ func Recover(cfg Config, r io.Reader) (*Store, error) {
 	pageBits := uint(binary.LittleEndian.Uint32(hdr[24:28]))
 	idxLen := binary.LittleEndian.Uint64(hdr[28:36])
 	partialLen := binary.LittleEndian.Uint64(hdr[36:44])
+	cutTail := hlog.Address(binary.LittleEndian.Uint64(hdr[44:52]))
 
 	if cfg.Log.PageBits != pageBits {
 		return nil, fmt.Errorf("faster: checkpoint page bits %d != config %d",
@@ -166,6 +188,81 @@ func Recover(cfg Config, r io.Reader) (*Store, error) {
 	}
 	s.log.RestoreMarkers(tail, tailPageStart, tailPageStart, tailPageStart)
 	s.log.TruncateUntil(begin)
+	if err := s.truncateChainsTo(sealed, cutTail); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("faster: filtering recovered chains: %w", err)
+	}
 	s.version.Store(sealed + 1)
 	return s, nil
+}
+
+// truncateChainsTo implements CPR recovery's version filter (§2.1, [41]):
+// the checkpoint's index snapshot is fuzzy — it may reference records
+// appended after the cut (stamped sealed+1) — so every chain is re-pointed
+// at its newest pre-cut record. Post-cut records can only live at or above
+// cutTail, which is what makes the 11-bit masked version stamp unambiguous
+// here: within that window only sealed and sealed+1 coexist. Dropped suffix
+// records stay in the log as garbage; they are unreachable and compaction
+// reclaims them.
+//
+// Residual fuzziness relative to full CPR (which fences version-crossing
+// threads with a phase protocol): a post-cut record spliced *below* a
+// pre-cut chain head — two sessions racing the same bucket on opposite
+// sides of the cut — is not unlinked, since its on-device predecessor
+// pointer cannot be rewritten. The filter truncates head prefixes, which
+// covers the systematic case (every chain whose head moved after the cut).
+func (s *Store) truncateChainsTo(sealed uint32, cutTail hlog.Address) error {
+	begin := s.log.BeginAddress()
+	var walkErr error
+	s.index.ForEachEntryInBuckets(0, s.index.NumBuckets(), func(_ uint64, slot hashidx.Slot) bool {
+		e := slot.Load()
+		if e.Free() {
+			return true
+		}
+		addr, changed, err := s.newestPreCut(e.Address(), sealed, cutTail, begin)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if !changed {
+			return true
+		}
+		if addr == hlog.InvalidAddress {
+			slot.CompareAndSwap(e, 0) // whole chain is post-cut: free the slot
+		} else {
+			slot.CompareAndSwap(e, hashidx.PackEntry(e.Tag(), addr))
+		}
+		return true
+	})
+	return walkErr
+}
+
+// newestPreCut walks a chain from addr to the newest live record that is not
+// stamped with the post-cut version, reading from the restored frames or the
+// device as needed.
+func (s *Store) newestPreCut(addr hlog.Address, sealed uint32, cutTail, begin hlog.Address) (hlog.Address, bool, error) {
+	lg := s.log
+	changed := false
+	for addr != hlog.InvalidAddress && addr >= begin {
+		if addr < cutTail {
+			// Allocated before the version bump: pre-cut by construction.
+			return addr, changed, nil
+		}
+		var m hlog.Meta
+		if lg.InMemory(addr) {
+			m = lg.RecordAt(addr).Meta()
+		} else {
+			rec, err := lg.ReadRecordFromDevice(addr, s.cfg.ReadHintBytes)
+			if err != nil {
+				return hlog.InvalidAddress, false, err
+			}
+			m = rec.Meta()
+		}
+		if !m.Invalid() && !hlog.SameVersion(m.Version(), sealed+1) {
+			return addr, changed, nil
+		}
+		changed = true
+		addr = m.Previous()
+	}
+	return hlog.InvalidAddress, changed, nil
 }

@@ -143,6 +143,98 @@ func TestCheckpointWhileConcurrentWrites(t *testing.T) {
 	}
 }
 
+// TestCheckpointCutExcludesPostCutOps pins the CPR version semantics the
+// server's exactly-once session replay depends on: operations performed
+// after a thread crosses the checkpoint cut are stamped with the next
+// version, and even though the fuzzy image absorbs their records, recovery's
+// version filter drops them. Without this, a post-cut RMW would be both in
+// the recovered state and above the checkpointed session table's durable
+// prefix — and get applied twice after client replay.
+func TestCheckpointCutExcludesPostCutOps(t *testing.T) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	cfg := Config{
+		IndexBuckets: 1 << 10,
+		Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+			Device: dev, LogID: "cut"},
+	}
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSession()
+
+	// Pre-cut state (version 1): a counter at 5, a key that will be deleted
+	// post-cut, and a plain key that will be overwritten post-cut.
+	for i := 0; i < 5; i++ {
+		sess.RMW([]byte("counter"), delta(1), nil)
+	}
+	sess.Upsert([]byte("survivor"), []byte("pre-cut"), nil)
+	sess.Upsert([]byte("stable"), []byte("old"), nil)
+
+	cutFired := make(chan uint32, 1)
+	postCutDone := make(chan struct{})
+	type outcome struct {
+		info CheckpointInfo
+		err  error
+	}
+	res := make(chan outcome, 1)
+	var blob bytes.Buffer
+	s.CheckpointCut(&blob,
+		func(sealed uint32) {
+			cutFired <- sealed
+			<-postCutDone // hold the image write until post-cut ops landed
+		},
+		func(info CheckpointInfo, err error) { res <- outcome{info, err} })
+
+	// Cross the cut, then race operations into the flush window: they are
+	// stamped version 2 and will be absorbed by the fuzzy image.
+	sess.Refresh()
+	sealed := <-cutFired
+	if sealed != 1 {
+		t.Fatalf("sealed version %d, want 1", sealed)
+	}
+	for i := 0; i < 3; i++ {
+		sess.RMW([]byte("counter"), delta(1), nil) // would make it 8
+	}
+	sess.Delete([]byte("survivor"), nil)
+	sess.Upsert([]byte("stable"), []byte("new"), nil)
+	sess.Upsert([]byte("post-cut-key"), []byte("x"), nil)
+	close(postCutDone)
+
+	out := <-res
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	sess.Close()
+	s.Close()
+
+	cfg2 := cfg
+	cfg2.Log.Epoch = nil
+	r, err := Recover(cfg2, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+
+	// The recovered state must be exactly the version-1 prefix.
+	got, st := mustRead(t, rs, []byte("counter"))
+	if st != StatusOK || leU64(got) != 5 {
+		t.Fatalf("counter after recovery: %v %d, want 5 (post-cut RMWs excluded)", st, leU64(got))
+	}
+	if got, st := mustRead(t, rs, []byte("survivor")); st != StatusOK || string(got) != "pre-cut" {
+		t.Fatalf("post-cut delete leaked into the image: %v %q", st, got)
+	}
+	if got, st := mustRead(t, rs, []byte("stable")); st != StatusOK || string(got) != "old" {
+		t.Fatalf("post-cut overwrite leaked into the image: %v %q", st, got)
+	}
+	if _, st := mustRead(t, rs, []byte("post-cut-key")); st != StatusNotFound {
+		t.Fatalf("post-cut insert leaked into the image: %v", st)
+	}
+}
+
 func TestRecoverRejectsGarbage(t *testing.T) {
 	dev := storage.NewMemDevice(storage.LatencyModel{}, 1)
 	defer dev.Close()

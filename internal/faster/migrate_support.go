@@ -82,7 +82,7 @@ func (sess *Session) SpliceIndirection(repHash uint64, payload []byte) Status {
 	if err != nil {
 		return StatusError
 	}
-	meta := hlog.NewMeta(hlog.InvalidAddress, sess.s.version.Load(), true, false)
+	meta := hlog.NewMeta(hlog.InvalidAddress, sess.ver, true, false)
 	hlog.WriteRecord(buf, meta, nil, payload)
 
 	for {

@@ -174,6 +174,117 @@ func TestPropertyCheckpointPreservesQuiescedState(t *testing.T) {
 	}
 }
 
+// TestPropertyCheckpointRecoverMixedOps: checkpoint→recover round-trip
+// equivalence against an in-memory model under randomized upsert/RMW/delete
+// workloads — the durability analogue of TestPropertyStoreMatchesMap. The
+// workload is applied, the store checkpointed and "crashed" (memory
+// discarded; device and image survive), and the recovered store must agree
+// with the model key-for-key, including tombstones and counter values, and
+// keep accepting writes.
+func TestPropertyCheckpointRecoverMixedOps(t *testing.T) {
+	type opDesc struct {
+		Kind  uint8 // % 3: upsert, delete, rmw
+		Key   uint8 // small key space forces chains and overwrites
+		Value uint8
+	}
+	f := func(ops []opDesc) bool {
+		dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+		defer dev.Close()
+		cfg := Config{
+			IndexBuckets: 1 << 10,
+			Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+				Device: dev, LogID: "prop-mixed"},
+		}
+		s, err := NewStore(cfg)
+		if err != nil {
+			return false
+		}
+		sess := s.NewSession()
+		model := make(map[string][]byte)
+		counters := make(map[string]uint64)
+		deleted := make(map[string]bool)
+
+		for _, od := range ops {
+			key := []byte(fmt.Sprintf("k%03d", od.Key))
+			switch od.Kind % 3 {
+			case 0:
+				val := bytes.Repeat([]byte{od.Value}, 16)
+				sess.Upsert(key, val, nil)
+				model[string(key)] = val
+				delete(counters, string(key))
+				delete(deleted, string(key))
+			case 1:
+				sess.Delete(key, nil)
+				delete(model, string(key))
+				delete(counters, string(key))
+				deleted[string(key)] = true
+			case 2:
+				if st := sess.RMW(key, delta(uint64(od.Value)), nil); st == StatusPending {
+					sess.CompletePending(true)
+				}
+				if old, isBlob := model[string(key)]; isBlob {
+					var cur uint64
+					if len(old) >= 8 {
+						cur = leU64(old)
+					}
+					counters[string(key)] = cur + uint64(od.Value)
+					delete(model, string(key))
+				} else {
+					counters[string(key)] += uint64(od.Value)
+				}
+				delete(deleted, string(key))
+			}
+		}
+		sess.Close()
+
+		var blob bytes.Buffer
+		if _, err := s.CheckpointSync(&blob); err != nil {
+			t.Log(err)
+			return false
+		}
+		s.Close() // crash: memory gone, device + image survive
+
+		cfg2 := cfg
+		cfg2.Log.Epoch = nil
+		r, err := Recover(cfg2, bytes.NewReader(blob.Bytes()))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer r.Close()
+		rs := r.NewSession()
+		defer rs.Close()
+
+		for k, v := range model {
+			got, st := mustReadQ(rs, []byte(k))
+			if st != StatusOK || !bytes.Equal(got, v) {
+				t.Logf("blob key %q after recovery: %v %q want %q", k, st, got, v)
+				return false
+			}
+		}
+		for k, c := range counters {
+			got, st := mustReadQ(rs, []byte(k))
+			if st != StatusOK || len(got) < 8 || leU64(got) != c {
+				t.Logf("counter key %q after recovery: %v %v want %d", k, st, got, c)
+				return false
+			}
+		}
+		for k := range deleted {
+			if _, st := mustReadQ(rs, []byte(k)); st != StatusNotFound {
+				t.Logf("deleted key %q resurrected after recovery: %v", k, st)
+				return false
+			}
+		}
+		// The recovered store must remain writable and consistent.
+		rs.Upsert([]byte("post-recovery"), []byte("ok"), nil)
+		got, st := mustReadQ(rs, []byte("post-recovery"))
+		return st == StatusOK && bytes.Equal(got, []byte("ok"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestPropertyCollectChainNewestOnly: migration collection must emit the
 // newest version of each in-range key exactly once.
 func TestPropertyCollectChainNewestOnly(t *testing.T) {

@@ -27,6 +27,13 @@ type Session struct {
 
 	opsSinceRefresh int
 
+	// ver is the session's thread-local CPR version (§2.1): every append is
+	// stamped with it, and it advances only at Refresh — so all operations
+	// between two Refresh calls (one server batch) belong to one version,
+	// which is what lets recovery draw an exact cut through the fuzzy
+	// checkpoint image.
+	ver uint32
+
 	// scratch buffers reused across operations to keep the data path
 	// allocation-free.
 	valBuf []byte
@@ -43,6 +50,7 @@ func (s *Store) NewSession() *Session {
 		s:           s,
 		g:           s.epoch.Register(),
 		completions: make(chan func(), s.cfg.MaxPendingPerSession),
+		ver:         s.version.Load(),
 	}
 }
 
@@ -57,9 +65,17 @@ func (sess *Session) Close() {
 	sess.g.Unregister()
 }
 
-// Refresh synchronizes the session's epoch view; server loops call this
-// between request batches.
-func (sess *Session) Refresh() { sess.g.Refresh() }
+// Refresh synchronizes the session's epoch view and adopts the current CPR
+// version; server loops call this between request batches.
+func (sess *Session) Refresh() {
+	sess.g.Refresh()
+	sess.ver = sess.s.version.Load()
+}
+
+// Version returns the CPR version the session currently stamps appends
+// with. The server layer tags its session table with it so the checkpointed
+// durable prefix and the log's version stamps agree exactly.
+func (sess *Session) Version() uint32 { return sess.ver }
 
 // Guard exposes the epoch guard (the server layer refreshes it while
 // spinning on transport queues).
@@ -217,8 +233,13 @@ func (sess *Session) Upsert(key, value []byte, cb Callback) Status {
 	for {
 		res := sess.walkMemory(slot, key, hash)
 		if res.status == walkFound && res.mutable &&
-			res.rec.ValueLen() == len(value) {
-			// In-place update under the record's write seal.
+			res.rec.ValueLen() == len(value) &&
+			hlog.SameVersion(res.rec.Meta().Version(), sess.ver) {
+			// In-place update under the record's write seal. Gated on the
+			// CPR version (§2.1): updating a prior-version record in place
+			// would smuggle a post-cut write into the checkpoint's prefix,
+			// so version-crossing updates take the copy path below and get
+			// stamped with the session's version instead.
 			pre := res.rec.Seal()
 			res.rec.StoreValueBytes(value)
 			res.rec.Unseal(pre)
@@ -274,8 +295,13 @@ func (sess *Session) rmwFrom(slot hashidx.Slot, key []byte, hash uint64, input [
 			// During Sampling (§3.3) updates to matching records go through
 			// the copy path so the updated record lands at the tail; the
 			// in-place fast path would leave it below the sampling cut.
+			// Prior-version records likewise go through the copy path (CPR:
+			// an in-place RMW on a pre-cut record would be invisible to the
+			// version filter recovery applies).
 			sampling := sess.samplerMatch(hash, res.addr)
-			if !sampling && res.mutable && sess.s.rmw.TryInPlace(res.rec, input) {
+			if !sampling && res.mutable &&
+				hlog.SameVersion(res.rec.Meta().Version(), sess.ver) &&
+				sess.s.rmw.TryInPlace(res.rec, input) {
 				sess.s.stats.InPlaceUpdates.Add(1)
 				invoke(cb, StatusOK, nil)
 				return StatusOK
@@ -352,7 +378,7 @@ func (sess *Session) append(prev hlog.Address, key, value []byte, tombstone bool
 	if err != nil {
 		return hlog.InvalidAddress, nil, err
 	}
-	meta := hlog.NewMeta(prev, sess.s.version.Load(), false, tombstone)
+	meta := hlog.NewMeta(prev, sess.ver, false, tombstone)
 	rec := hlog.WriteRecord(buf, meta, key, value)
 	return addr, rec, nil
 }

@@ -47,6 +47,15 @@ const (
 // Meta is a decoded record meta word.
 type Meta uint64
 
+// SameVersion reports whether two CPR versions are equal modulo the record
+// meta word's version field width. Record stamps are truncated to
+// versionBits, so any comparison between a stamp and the store's full
+// uint32 version must go through this helper — direct ==/<= silently breaks
+// once the store version exceeds VersionMask.
+func SameVersion(a, b uint32) bool {
+	return a&uint32(VersionMask) == b&uint32(VersionMask)
+}
+
 // Previous returns the next-older address in the key's hash chain.
 func (m Meta) Previous() Address { return Address(uint64(m) & AddressMask) }
 

@@ -133,6 +133,26 @@ func (s *Store) RegisterServer(id string, ranges ...HashRange) View {
 	return v.Clone()
 }
 
+// RestoreServer reinstates a recovered server's ownership view exactly as it
+// was checkpointed — number included — so clients holding the pre-crash view
+// keep validating and the server's batches keep matching (§3.3.1: recovery
+// re-registers the server under its durable metadata state). If a view
+// already exists with a higher number (e.g. a migration completed while the
+// server was down), the higher number wins and the recovered ranges are
+// discarded in favor of the current ones.
+func (s *Store) RestoreServer(id string, v View) View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.views[id]; ok && cur.Number > v.Number {
+		return cur.Clone()
+	}
+	nv := v.Clone()
+	nv.Ranges = mergeRanges(nv.Ranges)
+	s.views[id] = &nv
+	s.notifyLocked()
+	return nv.Clone()
+}
+
 // GetView returns a server's current view.
 func (s *Store) GetView(id string) (View, error) {
 	s.mu.Lock()

@@ -246,7 +246,7 @@ func (c *inMemConn) Recv() ([]byte, error) {
 			c.t.stats.BytesRecv.Add(uint64(len(msg)))
 			return msg, nil
 		case <-time.After(5 * time.Millisecond):
-			if c.closed.Load() {
+			if c.closed.Load() || c.peer.closed.Load() {
 				return nil, ErrClosed
 			}
 		}
@@ -267,6 +267,11 @@ func (c *inMemConn) TryRecv() ([]byte, bool, error) {
 		c.t.stats.BytesRecv.Add(uint64(len(msg)))
 		return msg, true, nil
 	default:
+		// Like a TCP read returning EOF: a dead peer surfaces as an error,
+		// but only after every already-delivered frame has been consumed.
+		if c.peer.closed.Load() {
+			return nil, false, ErrClosed
+		}
 		return nil, false, nil
 	}
 }

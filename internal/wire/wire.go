@@ -39,6 +39,15 @@ const (
 	// MsgCompacted carries a record relocated during log compaction to the
 	// hash range's current owner (§3.3.3).
 	MsgCompacted
+	// MsgCheckpoint asks a server to take a durable checkpoint now (admin).
+	MsgCheckpoint
+	// MsgCheckpointResp reports a completed (or failed) checkpoint.
+	MsgCheckpointResp
+	// MsgSessionRecover asks a recovered server for a client session's last
+	// durable sequence number (client-assisted recovery, §3.3.1).
+	MsgSessionRecover
+	// MsgSessionRecoverResp answers MsgSessionRecover.
+	MsgSessionRecoverResp
 )
 
 // OpKind is a client operation within a request batch.
@@ -404,6 +413,135 @@ func DecodeMigrationMsg(buf []byte) (MigrationMsg, error) {
 		}
 	}
 	return m, nil
+}
+
+// CheckpointResp is a server's answer to a MsgCheckpoint admin request.
+type CheckpointResp struct {
+	OK      bool
+	Version uint32 // sealed CPR version
+	Tail    uint64 // log prefix the image covers
+	Err     string // failure detail when !OK
+}
+
+// EncodeCheckpointReq builds a MsgCheckpoint frame.
+func EncodeCheckpointReq() []byte {
+	return []byte{byte(MsgCheckpoint)}
+}
+
+// EncodeCheckpointResp builds a MsgCheckpointResp frame.
+func EncodeCheckpointResp(r CheckpointResp) []byte {
+	dst := []byte{byte(MsgCheckpointResp)}
+	if r.OK {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendU32(dst, r.Version)
+	dst = appendU64(dst, r.Tail)
+	dst = appendU16(dst, uint16(len(r.Err)))
+	dst = append(dst, r.Err...)
+	return dst
+}
+
+// DecodeCheckpointResp parses a MsgCheckpointResp frame.
+func DecodeCheckpointResp(buf []byte) (CheckpointResp, error) {
+	d := decoder{buf: buf}
+	var r CheckpointResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgCheckpointResp {
+		return r, fmt.Errorf("%w: checkpoint resp", ErrBadType)
+	}
+	ok, err := d.u8()
+	if err != nil {
+		return r, err
+	}
+	r.OK = ok != 0
+	if r.Version, err = d.u32(); err != nil {
+		return r, err
+	}
+	if r.Tail, err = d.u64(); err != nil {
+		return r, err
+	}
+	n, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	eb, err := d.bytes(int(n))
+	if err != nil {
+		return r, err
+	}
+	r.Err = string(eb)
+	return r, nil
+}
+
+// SessionRecover asks a recovered server where a client session's durable
+// prefix ends.
+type SessionRecover struct {
+	SessionID uint64
+}
+
+// SessionRecoverResp carries the session's last durable sequence number.
+// Known is false when the server's recovered image has no record of the
+// session (every in-flight operation must then be replayed).
+type SessionRecoverResp struct {
+	SessionID uint64
+	Known     bool
+	LastSeq   uint32
+}
+
+// EncodeSessionRecover builds a MsgSessionRecover frame.
+func EncodeSessionRecover(r SessionRecover) []byte {
+	dst := []byte{byte(MsgSessionRecover)}
+	dst = appendU64(dst, r.SessionID)
+	return dst
+}
+
+// DecodeSessionRecover parses a MsgSessionRecover frame.
+func DecodeSessionRecover(buf []byte) (SessionRecover, error) {
+	d := decoder{buf: buf}
+	var r SessionRecover
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgSessionRecover {
+		return r, fmt.Errorf("%w: session recover", ErrBadType)
+	}
+	var err error
+	if r.SessionID, err = d.u64(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// EncodeSessionRecoverResp builds a MsgSessionRecoverResp frame.
+func EncodeSessionRecoverResp(r SessionRecoverResp) []byte {
+	dst := []byte{byte(MsgSessionRecoverResp)}
+	dst = appendU64(dst, r.SessionID)
+	if r.Known {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendU32(dst, r.LastSeq)
+	return dst
+}
+
+// DecodeSessionRecoverResp parses a MsgSessionRecoverResp frame.
+func DecodeSessionRecoverResp(buf []byte) (SessionRecoverResp, error) {
+	d := decoder{buf: buf}
+	var r SessionRecoverResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgSessionRecoverResp {
+		return r, fmt.Errorf("%w: session recover resp", ErrBadType)
+	}
+	var err error
+	if r.SessionID, err = d.u64(); err != nil {
+		return r, err
+	}
+	known, err := d.u8()
+	if err != nil {
+		return r, err
+	}
+	r.Known = known != 0
+	if r.LastSeq, err = d.u32(); err != nil {
+		return r, err
+	}
+	return r, nil
 }
 
 // PeekType returns a frame's message type without decoding it.

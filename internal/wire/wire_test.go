@@ -132,6 +132,49 @@ func TestMigrationMsgRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCheckpointRoundTrip(t *testing.T) {
+	req := EncodeCheckpointReq()
+	if typ, err := PeekType(req); err != nil || typ != MsgCheckpoint {
+		t.Fatalf("checkpoint req type: %v %v", typ, err)
+	}
+	for _, in := range []CheckpointResp{
+		{OK: true, Version: 7, Tail: 0xdeadbeef},
+		{OK: false, Err: "no checkpoint device configured"},
+	} {
+		out, err := DecodeCheckpointResp(EncodeCheckpointResp(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("checkpoint resp mismatch: %+v vs %+v", out, in)
+		}
+	}
+	if _, err := DecodeCheckpointResp(req); err == nil {
+		t.Fatal("decoded a request frame as a response")
+	}
+}
+
+func TestSessionRecoverRoundTrip(t *testing.T) {
+	f := func(sid uint64, known bool, lastSeq uint32) bool {
+		req, err := DecodeSessionRecover(EncodeSessionRecover(SessionRecover{SessionID: sid}))
+		if err != nil || req.SessionID != sid {
+			return false
+		}
+		in := SessionRecoverResp{SessionID: sid, Known: known, LastSeq: lastSeq}
+		out, err := DecodeSessionRecoverResp(EncodeSessionRecoverResp(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if _, err := DecodeSessionRecover([]byte{byte(MsgSessionRecover)}); err == nil {
+		t.Fatal("short session-recover frame accepted")
+	}
+	if _, err := DecodeSessionRecoverResp([]byte{byte(MsgSessionRecoverResp), 1}); err == nil {
+		t.Fatal("short session-recover response accepted")
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	var rb RequestBatch
 	if err := DecodeRequestBatch(nil, &rb); err == nil {
