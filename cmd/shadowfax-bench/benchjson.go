@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Machine-readable benchmark output: with -json-dir every experiment also
+// writes BENCH_<experiment>.json, one file per experiment, so CI can archive
+// the perf trajectory next to the human-readable tables.
+
+// benchJSONDir is the -json-dir flag value ("" = no JSON output).
+var benchJSONDir string
+
+// BenchMetric is one measured series point.
+type BenchMetric struct {
+	// Name identifies the point within the experiment, e.g.
+	// "shadowfax_mops/threads=4".
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// NsPerOp is the per-operation cost where the metric is a throughput
+	// (0 otherwise).
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+}
+
+// BenchReport is the BENCH_<experiment>.json document.
+type BenchReport struct {
+	Benchmark  string        `json:"benchmark"` // "shadowfax-bench/<experiment>"
+	Experiment string        `json:"experiment"`
+	GitSHA     string        `json:"git_sha"`
+	Timestamp  string        `json:"timestamp"` // RFC 3339 UTC
+	Metrics    []BenchMetric `json:"metrics"`
+}
+
+// mopsMetric builds a throughput metric with its derived ns/op.
+func mopsMetric(name string, mops float64) BenchMetric {
+	m := BenchMetric{Name: name, Value: mops, Unit: "Mops/s"}
+	if mops > 0 {
+		m.NsPerOp = 1000 / mops // 1e9 ns/s ÷ (mops × 1e6 op/s)
+	}
+	return m
+}
+
+// gitSHA best-efforts the current commit: CI exports GITHUB_SHA; local runs
+// ask git; failing both, the field is "unknown".
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// emitBenchJSON writes BENCH_<experiment>.json when -json-dir is set.
+// Failures are reported but never fail the experiment: the tables already
+// printed are the primary output.
+func emitBenchJSON(experiment string, metrics []BenchMetric) {
+	if benchJSONDir == "" || len(metrics) == 0 {
+		return
+	}
+	rep := BenchReport{
+		Benchmark:  "shadowfax-bench/" + experiment,
+		Experiment: experiment,
+		GitSHA:     gitSHA(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Metrics:    metrics,
+	}
+	if err := os.MkdirAll(benchJSONDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "bench json:", err)
+		return
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench json:", err)
+		return
+	}
+	path := filepath.Join(benchJSONDir, "BENCH_"+experiment+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench json:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

@@ -44,7 +44,10 @@ func main() {
 	serversFlag := fs.String("servers", "1,2,4", "cluster experiment server counts")
 	ssdLat := fs.Duration("ssd-latency", 0, "local SSD read latency for spill modes (0=100µs)")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	jsonDir := fs.String("json-dir", "",
+		"also write machine-readable BENCH_<experiment>.json files into this directory")
 	fs.Parse(os.Args[2:])
+	benchJSONDir = *jsonDir
 
 	o := bench.Options{
 		Keys: *keys, ValueBytes: *valueBytes, Duration: *duration,
@@ -151,10 +154,16 @@ func runFig8(threads []int, o bench.Options) error {
 	}
 	fmt.Println("# Figure 8: YCSB-F, Zipfian(0.99), throughput vs threads (Mops/s)")
 	fmt.Printf("%-8s %-12s %-12s %-12s\n", "threads", "faster", "shadowfax", "w/o-accel")
+	var metrics []BenchMetric
 	for _, r := range rows {
 		fmt.Printf("%-8d %-12.3f %-12.3f %-12.3f\n",
 			r.Threads, r.FasterMops, r.ShadowfaxMops, r.NoAccelMops)
+		metrics = append(metrics,
+			mopsMetric(fmt.Sprintf("faster_mops/threads=%d", r.Threads), r.FasterMops),
+			mopsMetric(fmt.Sprintf("shadowfax_mops/threads=%d", r.Threads), r.ShadowfaxMops),
+			mopsMetric(fmt.Sprintf("noaccel_mops/threads=%d", r.Threads), r.NoAccelMops))
 	}
+	emitBenchJSON("fig8", metrics)
 	return nil
 }
 
@@ -165,6 +174,7 @@ func runFig9(threads []int, o bench.Options) error {
 	}
 	fmt.Println("# Figure 9: YCSB-F, uniform, throughput vs threads (Mops/s)")
 	fmt.Printf("%-8s %-12s %-12s %-8s\n", "threads", "shadowfax", "seastar", "ratio")
+	var metrics []BenchMetric
 	for _, r := range rows {
 		ratio := 0.0
 		if r.SeastarMops > 0 {
@@ -172,7 +182,11 @@ func runFig9(threads []int, o bench.Options) error {
 		}
 		fmt.Printf("%-8d %-12.3f %-12.3f %-8.1fx\n",
 			r.Threads, r.ShadowfaxMops, r.SeastarMops, ratio)
+		metrics = append(metrics,
+			mopsMetric(fmt.Sprintf("shadowfax_mops/threads=%d", r.Threads), r.ShadowfaxMops),
+			mopsMetric(fmt.Sprintf("seastar_mops/threads=%d", r.Threads), r.SeastarMops))
 	}
+	emitBenchJSON("fig9", metrics)
 	return nil
 }
 
@@ -184,11 +198,17 @@ func runTable2(threads int, o bench.Options) error {
 	fmt.Println("# Table 2: saturation throughput / batch size / median latency / queue depth")
 	fmt.Printf("%-12s %-14s %-12s %-14s %-10s\n",
 		"network", "Mops/s", "batch(B)", "median-lat", "queue")
+	var metrics []BenchMetric
 	for _, r := range rows {
 		fmt.Printf("%-12s %-14.3f %-12d %-14v %-10.0f\n",
 			r.Network, r.ThroughputMops, r.BatchBytes, r.MedianLatency,
 			r.MeanQueueDepth)
+		metrics = append(metrics,
+			mopsMetric(fmt.Sprintf("throughput_mops/network=%s", r.Network), r.ThroughputMops),
+			BenchMetric{Name: fmt.Sprintf("median_latency_us/network=%s", r.Network),
+				Value: float64(r.MedianLatency.Microseconds()), Unit: "us"})
 	}
+	emitBenchJSON("table2", metrics)
 	return nil
 }
 
@@ -251,10 +271,17 @@ func runFig13(so bench.ScaleOutOptions) error {
 	}
 	fmt.Println("# Figure 13: data migrated from main memory")
 	fmt.Printf("%-24s %-16s %-12s\n", "mode", "bytes-from-mem", "took")
+	var metrics []BenchMetric
 	for _, r := range rows {
 		fmt.Printf("%-24s %-16d %-12v\n", r.Mode, r.MigratedFromMemoryBytes,
 			r.MigrationTook.Round(time.Millisecond))
+		metrics = append(metrics,
+			BenchMetric{Name: fmt.Sprintf("bytes_from_memory/mode=%v", r.Mode),
+				Value: float64(r.MigratedFromMemoryBytes), Unit: "bytes"},
+			BenchMetric{Name: fmt.Sprintf("migration_seconds/mode=%v", r.Mode),
+				Value: r.MigrationTook.Seconds(), Unit: "s"})
 	}
+	emitBenchJSON("fig13", metrics)
 	return nil
 }
 
@@ -287,10 +314,15 @@ func runFig15(splits []int, threads int, o bench.Options) error {
 	}
 	fmt.Println("# Figure 15: ownership validation overhead vs hash splits")
 	fmt.Printf("%-8s %-12s %-12s %-10s\n", "splits", "view-Mops", "hash-Mops", "view-gain")
+	var metrics []BenchMetric
 	for _, r := range rows {
 		fmt.Printf("%-8d %-12.3f %-12.3f %+.1f%%\n",
 			r.Splits, r.ViewMops, r.HashMops, r.ImprovementPct)
+		metrics = append(metrics,
+			mopsMetric(fmt.Sprintf("view_mops/splits=%d", r.Splits), r.ViewMops),
+			mopsMetric(fmt.Sprintf("hash_mops/splits=%d", r.Splits), r.HashMops))
 	}
+	emitBenchJSON("fig15", metrics)
 	return nil
 }
 
@@ -301,9 +333,13 @@ func runCluster(servers []int, threadsPer int, o bench.Options) error {
 	}
 	fmt.Println("# Cluster scaling (§4: 8 servers reach 400 Mops/s in the paper)")
 	fmt.Printf("%-10s %-12s\n", "servers", "Mops/s")
+	var metrics []BenchMetric
 	for _, r := range rows {
 		fmt.Printf("%-10d %-12.3f\n", r.Servers, r.Mops)
+		metrics = append(metrics,
+			mopsMetric(fmt.Sprintf("aggregate_mops/servers=%d", r.Servers), r.Mops))
 	}
+	emitBenchJSON("cluster", metrics)
 	return nil
 }
 

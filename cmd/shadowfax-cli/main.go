@@ -1,7 +1,8 @@
 // Command shadowfax-cli issues ad-hoc operations against a shadowfax-server
-// over TCP: get / set / del / rmw <key> [value|delta], plus the checkpoint
-// admin command (takes a durable checkpoint on the server, see -data /
-// -recover-from on shadowfax-server).
+// over TCP: get / set / del / rmw <key> [value|delta], plus the admin
+// commands checkpoint (takes a durable checkpoint on the server, see -data /
+// -recover-from on shadowfax-server) and compact (runs one log-compaction
+// pass and prints its statistics, see -compact-every / -compact-watermark).
 package main
 
 import (
@@ -21,8 +22,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "server address")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) < 1 || (args[0] != "checkpoint" && len(args) < 2) {
-		fmt.Fprintln(os.Stderr, "usage: shadowfax-cli [-addr host:port] <get|set|del|rmw|checkpoint> [key] [value|delta]")
+	if len(args) < 1 || (args[0] != "checkpoint" && args[0] != "compact" && len(args) < 2) {
+		fmt.Fprintln(os.Stderr, "usage: shadowfax-cli [-addr host:port] <get|set|del|rmw|checkpoint|compact> [key] [value|delta]")
 		os.Exit(2)
 	}
 
@@ -50,6 +51,28 @@ func main() {
 		}
 		fmt.Printf("checkpoint committed: version %d, log prefix %#x\n",
 			resp.Version, resp.Tail)
+		return
+	}
+
+	if args[0] == "compact" {
+		if err := conn.Send(wire.EncodeCompactReq()); err != nil {
+			log.Fatal(err)
+		}
+		frame, err := recvWithTimeout(conn, 60*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := wire.DecodeCompactResp(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !resp.OK {
+			log.Fatalf("compaction failed: %s", resp.Err)
+		}
+		fmt.Printf("compaction pass: scanned %d, kept %d, dropped %d, relocated %d\n",
+			resp.Scanned, resp.Kept, resp.Dropped, resp.Relocated)
+		fmt.Printf("log begins at %#x; reclaimed %d device bytes, %d shared-tier bytes\n",
+			resp.Begin, resp.ReclaimedBytes, resp.TierReclaimed)
 		return
 	}
 
@@ -89,13 +112,20 @@ func main() {
 		if err := conn.Send(wire.AppendRequestBatch(nil, &batch)); err != nil {
 			log.Fatal(err)
 		}
-		frame, err := recvWithTimeout(conn, 5*time.Second)
-		if err != nil {
-			log.Fatal(err)
-		}
 		var resp wire.ResponseBatch
-		if err := wire.DecodeResponseBatch(frame, &resp); err != nil {
-			log.Fatal(err)
+		for {
+			frame, err := recvWithTimeout(conn, 5*time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := wire.DecodeResponseBatch(frame, &resp); err != nil {
+				log.Fatal(err)
+			}
+			if resp.Rejected || len(resp.Results) > 0 {
+				break
+			}
+			// Empty batch ack: the operation went to storage (pending I/O)
+			// and its result rides a later deferred-results frame.
 		}
 		if resp.Rejected {
 			view = resp.ServerView

@@ -13,6 +13,13 @@
 // -recover-from <dir> to rebuild the store from the latest committed image:
 // every key durable at the checkpoint is served again and client sessions
 // resume past their recovered prefix.
+//
+// Space management: -compact-every starts the background compaction service,
+// which runs a log-compaction pass (§3.3.3) whenever the disk-resident log
+// prefix exceeds -compact-watermark bytes, then punches the compacted prefix
+// out of hlog.dat (never below the latest committed checkpoint image's begin
+// address, so -recover-from keeps working). `shadowfax-cli compact` runs a
+// pass on demand.
 package main
 
 import (
@@ -41,6 +48,10 @@ func main() {
 		"periodic checkpoint interval (0 = on demand only)")
 	recoverFrom := flag.String("recover-from", "",
 		"recover from the latest checkpoint image in this data directory (implies -data)")
+	compactEvery := flag.Duration("compact-every", 0,
+		"compaction service polling period (0 = on demand only, via `shadowfax-cli compact`)")
+	compactWatermark := flag.Uint64("compact-watermark", 64<<20,
+		"stable-prefix log bytes above which the compaction service runs a pass")
 	flag.Parse()
 
 	if *recoverFrom != "" {
@@ -93,6 +104,8 @@ func main() {
 		CheckpointDevice: ckptDev,
 		CheckpointEvery:  *ckptEvery,
 		Recover:          *recoverFrom != "",
+		CompactEvery:     *compactEvery,
+		CompactWatermark: *compactWatermark,
 	}, metadata.FullRange)
 	if err != nil {
 		log.Fatal(err)

@@ -49,6 +49,36 @@ func (t *Thread) Checkpoint(serverID string) (wire.CheckpointResp, error) {
 	return resp, nil
 }
 
+// Compact asks serverID to run one log-compaction pass now (§3.3.3) and
+// waits for the pass's statistics. Like Checkpoint, it is an admin RPC on
+// its own connection.
+func (t *Thread) Compact(serverID string) (wire.CompactResp, error) {
+	addr, err := t.cfg.Meta.ServerAddr(serverID)
+	if err != nil {
+		return wire.CompactResp{}, err
+	}
+	conn, err := t.cfg.Transport.Dial(addr)
+	if err != nil {
+		return wire.CompactResp{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeCompactReq()); err != nil {
+		return wire.CompactResp{}, err
+	}
+	frame, err := conn.Recv()
+	if err != nil {
+		return wire.CompactResp{}, err
+	}
+	resp, err := wire.DecodeCompactResp(frame)
+	if err != nil {
+		return wire.CompactResp{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("client: compaction on %s failed: %s", serverID, resp.Err)
+	}
+	return resp, nil
+}
+
 // RecoverSessions re-establishes every session against its (possibly
 // restarted) server and reconciles in-flight operations against the server's
 // durable session table: writes at or below the recovered sequence complete

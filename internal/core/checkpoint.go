@@ -196,6 +196,10 @@ func (s *Server) Checkpoint() (CheckpointResult, error) {
 		s.stats.CheckpointFailures.Add(1)
 		return CheckpointResult{Info: out.info}, err
 	}
+	// The committed image references log bytes from its begin address up; the
+	// compaction service may now reclaim device space below it (and no
+	// further — recovery reads from here).
+	s.committedBegin.Store(uint64(out.info.Begin))
 	res := CheckpointResult{
 		Info:       out.info,
 		Generation: s.images.Generation(),
@@ -212,7 +216,7 @@ func (s *Server) checkpointLoop(every time.Duration) {
 	defer tick.Stop()
 	for {
 		select {
-		case <-s.ckptQuit:
+		case <-s.bgQuit:
 			return
 		case <-tick.C:
 			// Failures are counted inside Checkpoint (shared with the

@@ -142,6 +142,12 @@ func (s *Server) StartMigration(target string, rng metadata.HashRange) (uint64, 
 		s.migMu.Unlock()
 		return 0, fmt.Errorf("core: migration already in progress")
 	}
+	if s.compactPass {
+		// A compaction pass is scanning (and will truncate) the stable
+		// prefix this migration would also read; let it finish and retry.
+		s.migMu.Unlock()
+		return 0, fmt.Errorf("core: compaction pass in flight; retry migration shortly")
+	}
 	tgtAddr, err := s.meta.ServerAddr(target)
 	if err != nil {
 		s.migMu.Unlock()
@@ -570,14 +576,45 @@ func (d *dispatcher) handleMigrationMsg(c transport.Conn, m *wire.MigrationMsg) 
 	case wire.MsgCompacted:
 		// §3.3.3: a record relocated by another server's compaction. If a
 		// lookup runs into a covering indirection record, the key was never
-		// fetched from the shared tier: install it. Otherwise discard.
+		// fetched from the shared tier: install it. Otherwise discard. The
+		// ack tells the compacting server this frame's records are decided,
+		// so it may reclaim the storage their indirection chains point into —
+		// which is why every record must be fully decided (pending I/O
+		// drained, installs applied) before the ack leaves: a probe that
+		// pends on a disk-resident indirection record and is acked
+		// undecided would let the source truncate the very suffix the
+		// install still needs.
+		undecided := false
 		for i := range m.Records {
 			r := &m.Records[i]
-			st := d.sess.Read(r.Key, nil)
-			if st == faster.StatusIndirection {
-				d.sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
-			}
+			key, val := r.Key, r.Value
+			tomb := r.Flags&wire.RecFlagTombstone != 0
+			d.sess.Read(key, func(st faster.Status, _ []byte) {
+				switch st {
+				case faster.StatusIndirection:
+					d.sess.ConditionalInsert(key, val, tomb, func(st2 faster.Status, _ []byte) {
+						if st2 == faster.StatusError {
+							undecided = true
+						}
+					})
+				case faster.StatusError:
+					undecided = true
+				}
+			})
 		}
+		// Drain until quiescent: probes may pend on storage, and their
+		// installs may pend again. The frame buffer stays valid throughout
+		// (next TryRecv happens after this handler returns).
+		for d.sess.Pending() > 0 {
+			d.sess.CompletePending(true)
+		}
+		if undecided {
+			// A probe or install errored: withholding the ack makes the
+			// source's pass fail, keep its prefix, and re-send later.
+			return
+		}
+		ack := wire.MigrationMsg{Type: wire.MsgAck}
+		c.Send(wire.EncodeMigrationMsg(&ack))
 	}
 }
 

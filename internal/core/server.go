@@ -58,6 +58,17 @@ type ServerConfig struct {
 	// session table is reinstated for session recovery.
 	Recover bool
 
+	// Space management (log-compaction subsystem, §3.3.3).
+
+	// CompactEvery is the background compaction service's polling period
+	// (0 = no service; passes run on demand via Server.Compact or the
+	// MsgCompact admin message).
+	CompactEvery time.Duration
+	// CompactWatermark is the stable-prefix byte threshold ([BeginAddress,
+	// SafeHead) — the span a pass can actually scan) above which the service
+	// considers a pass; defaults to 64 MiB when CompactEvery is set.
+	CompactWatermark uint64
+
 	// Migration tuning.
 
 	// MigrationBatchRecords is how many records ride in one migration
@@ -103,6 +114,9 @@ func (c *ServerConfig) applyDefaults() error {
 	if c.SampleDuration == 0 {
 		c.SampleDuration = 50 * time.Millisecond
 	}
+	if c.CompactEvery > 0 && c.CompactWatermark == 0 {
+		c.CompactWatermark = 64 << 20
+	}
 	return nil
 }
 
@@ -123,6 +137,14 @@ type ServerStats struct {
 	// Checkpoints / CheckpointFailures count durable checkpoint outcomes.
 	Checkpoints        atomic.Uint64
 	CheckpointFailures atomic.Uint64
+	// Compactions / CompactionFailures count compaction pass outcomes;
+	// CompactRelocated counts disowned records shipped to their current
+	// owner and CompactReclaimedBytes the storage (device + shared tier)
+	// freed by post-pass truncation.
+	Compactions           atomic.Uint64
+	CompactionFailures    atomic.Uint64
+	CompactRelocated      atomic.Uint64
+	CompactReclaimedBytes atomic.Uint64
 }
 
 // Server is a Shadowfax server node.
@@ -146,6 +168,9 @@ type Server struct {
 	source     *sourceMigration
 	target     *targetMigration
 	lastReport MigrationReport
+	// compactPass (under migMu) marks an in-flight compaction pass;
+	// StartMigration refuses while it is set (see Server.Compact).
+	compactPass bool
 
 	// fetchMu dedups in-flight shared-tier fetches by key.
 	fetchMu  sync.Mutex
@@ -157,10 +182,20 @@ type Server struct {
 	fetchSess   *faster.Session
 
 	// Durability state (see checkpoint.go).
-	images   *storage.ImageStore
-	sessTab  *sessionTable
-	ckptMu   sync.Mutex // serializes checkpoint image writes
-	ckptQuit chan struct{}
+	images  *storage.ImageStore
+	sessTab *sessionTable
+	ckptMu  sync.Mutex    // serializes checkpoint image writes
+	bgQuit  chan struct{} // stops the checkpoint and compaction loops
+
+	// Space-management state (see compaction.go).
+	compactMu      sync.Mutex // serializes compaction passes
+	compactSess    *faster.Session
+	committedBegin atomic.Uint64 // begin address of the latest committed image
+	prevPassBegin  atomic.Uint64 // begin after the previous pass (reclaim grace)
+	liveFrac       atomic.Uint64 // last pass's live fraction, per-mille
+	lastPassDisk   atomic.Uint64 // scannable stable-prefix bytes after that pass
+	lastCompactMu  sync.Mutex
+	lastCompact    CompactStats
 
 	stats ServerStats
 }
@@ -196,7 +231,7 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		fetching: make(map[string]struct{}),
 		images:   images,
 		sessTab:  newSessionTable(),
-		ckptQuit: make(chan struct{}),
+		bgQuit:   make(chan struct{}),
 	}
 
 	if cfg.Recover {
@@ -217,6 +252,11 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		}
 		s.store = st
 		s.sessTab.restore(sessions, st.CurrentVersion()-1)
+		// The recovered image's begin address is the reclaim clamp until the
+		// next checkpoint commits (recovery needs every byte above it); it
+		// also seeds the reclaim grace point — bytes below it are gone.
+		s.committedBegin.Store(uint64(st.Log().BeginAddress()))
+		s.prevPassBegin.Store(uint64(st.Log().BeginAddress()))
 		v := cfg.Meta.RestoreServer(cfg.ID, view)
 		s.view.Store(&v)
 	} else {
@@ -258,6 +298,10 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		s.wg.Add(1)
 		go s.checkpointLoop(cfg.CheckpointEvery)
 	}
+	if cfg.CompactEvery > 0 {
+		s.wg.Add(1)
+		go s.compactLoop(cfg.CompactEvery, cfg.CompactWatermark)
+	}
 	return s, nil
 }
 
@@ -285,13 +329,15 @@ func (s *Server) Close() error {
 	if s.stopping.Swap(true) {
 		return nil
 	}
-	close(s.ckptQuit)
+	close(s.bgQuit)
 	s.listener.Close()
 	s.wg.Wait()
-	// Wait out any in-flight admin-triggered checkpoint before closing the
-	// store it is serializing.
+	// Wait out any in-flight admin-triggered checkpoint or compaction pass
+	// before closing the store they serialize against.
 	s.ckptMu.Lock()
 	s.ckptMu.Unlock() //nolint:staticcheck // empty critical section is the point
+	s.compactMu.Lock()
+	s.compactMu.Unlock() //nolint:staticcheck // empty critical section is the point
 	return s.store.Close()
 }
 
@@ -495,6 +541,8 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 		d.handleMigrationMsg(c, &m)
 	case wire.MsgCheckpoint:
 		d.s.handleCheckpointReq(c)
+	case wire.MsgCompact:
+		d.s.handleCompactReq(c)
 	case wire.MsgSessionRecover:
 		d.handleSessionRecover(c, frame)
 	case wire.MsgAck:

@@ -300,12 +300,14 @@ func TestCompactionRelocatesDisowned(t *testing.T) {
 	sess := s.NewSession()
 	defer sess.Close()
 
-	const n = 1200
+	// One version per key, then filler traffic on other keys so the keyed
+	// records land in the stable prefix as their keys' newest versions.
+	const n = 600
 	for i := 0; i < n; i++ {
 		sess.Upsert(key(i), val(i), nil)
 	}
-	for i := 0; i < n; i++ { // second round pushes round 1 to storage
-		sess.Upsert(key(i), val(i+1), nil)
+	for i := 0; i < 3*n; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("filler-%05d", i)), val(i), nil)
 	}
 	lg := s.Log()
 	if lg.SafeHeadAddress() == 0 {
@@ -316,7 +318,7 @@ func TestCompactionRelocatesDisowned(t *testing.T) {
 	var relocated []CollectedRecord
 	st, err := sess.Compact(lg.SafeHeadAddress(),
 		func(h uint64) bool { return h >= mid },
-		func(r CollectedRecord) { relocated = append(relocated, r) })
+		func(r CollectedRecord) bool { relocated = append(relocated, r); return true })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,6 +331,57 @@ func TestCompactionRelocatesDisowned(t *testing.T) {
 		}
 		if len(r.Key) == 0 {
 			t.Fatal("relocated record missing key")
+		}
+	}
+}
+
+// TestCompactionRelocatesOnlyNewest: a disowned key whose stable prefix
+// holds several versions must be relocated exactly once, with the newest
+// value — the receiver installs conditionally, so a stale version arriving
+// first would shadow the newest forever.
+func TestCompactionRelocatesOnlyNewest(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	const n = 400
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			sess.Upsert(key(i), []byte(fmt.Sprintf("r%d-%s", round, val(i))), nil)
+		}
+	}
+	// Filler traffic evicts all three rounds into the stable prefix.
+	for i := 0; i < 3*n; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("filler-%05d", i)), val(i), nil)
+	}
+	lg := s.Log()
+	if lg.SafeHeadAddress() == 0 {
+		t.Skip("no stable region formed")
+	}
+	seen := make(map[string][]byte)
+	st, err := sess.Compact(lg.SafeHeadAddress(),
+		func(h uint64) bool { return false }, // disown everything
+		func(r CollectedRecord) bool {
+			if prior, dup := seen[string(r.Key)]; dup {
+				t.Fatalf("key %q relocated twice (%q then %q)", r.Key, prior, r.Value)
+			}
+			seen[string(r.Key)] = append([]byte(nil), r.Value...)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Relocated == 0 {
+		t.Fatalf("nothing relocated: %+v", st)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := seen[string(key(i))]
+		if !ok {
+			continue // newest version still in memory; not in this pass's range
+		}
+		want := fmt.Sprintf("r2-%s", val(i))
+		if string(got) != want {
+			t.Fatalf("key %d relocated stale version %q, want %q", i, got, want)
 		}
 	}
 }

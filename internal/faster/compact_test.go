@@ -1,0 +1,108 @@
+package faster
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/hlog"
+)
+
+// TestCompactConcurrentOverwrites: compaction passes racing a foreground
+// writer must never shadow an acknowledged write with a stale compacted
+// copy — the newest-version verification and the copy-forward CAS share one
+// chain-head snapshot, so the race forces a retry instead. After the writer
+// quiesces, every key must read its final round's value.
+func TestCompactConcurrentOverwrites(t *testing.T) {
+	s, _ := testStore(t)
+	writer := s.NewSession()
+	defer writer.Close()
+	compactor := s.NewSession()
+
+	const keys = 300
+	const rounds = 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < keys; i++ {
+				writer.Upsert(key(i), []byte(fmt.Sprintf("r%03d-%s", round, val(i))), nil)
+			}
+		}
+	}()
+	lg := s.Log()
+	for {
+		select {
+		case <-done:
+		default:
+			if _, err := compactor.Compact(lg.SafeHeadAddress(), nil, nil); err != nil {
+				t.Error(err)
+			}
+			runtime.Gosched()
+			continue
+		}
+		break
+	}
+	// One final pass against the quiesced log, then verify.
+	if _, err := compactor.Compact(lg.SafeHeadAddress(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	compactor.Close()
+	for i := 0; i < keys; i++ {
+		want := fmt.Sprintf("r%03d-%s", rounds-1, val(i))
+		got, st := mustRead(t, writer, key(i))
+		if st != StatusOK || string(got) != want {
+			t.Fatalf("key %d after concurrent compaction: %v %q, want %q", i, st, got, want)
+		}
+	}
+}
+
+// TestCompactionDropsIndirection: an indirection record in the stable prefix
+// is dead weight (§3.3.3) — the cross-log dependency it represents is being
+// compacted away — so a pass must drop it and lookups that used to defer to
+// the remote suffix must become locally decidable.
+func TestCompactionDropsIndirection(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	// Splice an indirection record covering the whole hash space into the
+	// (empty) chain a probe key hashes to: reads of the probe key must defer
+	// to the "remote log".
+	probe := []byte("never-written-locally")
+	h := HashOf(probe)
+	payload := hlog.EncodeIndirection(hlog.IndirectionPayload{
+		NextAddress: 0x4242, LogID: "remote-log",
+		RangeStart: 0, RangeEnd: ^uint64(0), HashBucket: h,
+	})
+	if st := sess.SpliceIndirection(h, payload); st != StatusOK {
+		t.Fatalf("splice: %v", st)
+	}
+	if st := sess.Read(probe, nil); st != StatusIndirection {
+		t.Fatalf("read before compaction: %v, want StatusIndirection", st)
+	}
+
+	// Filler traffic pushes the indirection record into the stable prefix.
+	for i := 0; i < 2000; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("filler-%05d", i)), val(i), nil)
+	}
+	lg := s.Log()
+	if lg.SafeHeadAddress() == 0 {
+		t.Fatal("no stable region formed")
+	}
+
+	st, err := sess.Compact(lg.SafeHeadAddress(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("compaction dropped nothing: %+v", st)
+	}
+	if got := sess.Read(probe, nil); got != StatusNotFound {
+		t.Fatalf("read after compaction: %v, want StatusNotFound (indirection dropped)", got)
+	}
+	// Filler keys copied forward must still be served.
+	if got, stt := mustRead(t, sess, []byte("filler-00000")); stt != StatusOK || string(got) != string(val(0)) {
+		t.Fatalf("filler key after compaction: %v %q", stt, got)
+	}
+}

@@ -592,6 +592,42 @@ func ScanPageBuffer(base Address, buf []byte, fn func(addr Address, r Record) bo
 // copying live records forward.
 func (l *Log) TruncateUntil(addr Address) { casMax(&l.begin, uint64(addr)) }
 
+// DiskResidentBytes returns the log's disk footprint span ([BeginAddress,
+// FlushedUntil)) — a telemetry gauge. Note the compaction service's
+// watermark deliberately triggers on the narrower scannable span
+// [BeginAddress, SafeHead) instead (FlushedUntil can run ahead of SafeHead
+// when checkpoints flush without evicting, and a pass can only scan below
+// the safe head).
+func (l *Log) DiskResidentBytes() uint64 {
+	fu := l.flushedUntil.Load()
+	b := uint64(l.BeginAddress())
+	if fu <= b {
+		return 0
+	}
+	return fu - b
+}
+
+// ReclaimUntil releases device and shared-tier storage below
+// min(limit, BeginAddress): TruncateUntil only retires the address range;
+// this is what actually gives disk back. The limit lets the caller hold
+// space that recovery still needs (never below the latest committed
+// checkpoint image's begin address). Returns the bytes freed from the local
+// device and from the shared tier.
+func (l *Log) ReclaimUntil(limit Address) (deviceFreed, tierFreed uint64, err error) {
+	target := uint64(l.BeginAddress())
+	if uint64(limit) < target {
+		target = uint64(limit)
+	}
+	if target <= uint64(MinAddress) {
+		return 0, 0, nil // nothing below the start-of-log pad to free
+	}
+	deviceFreed, err = storage.TruncateBefore(l.cfg.Device, target)
+	if l.cfg.Tier != nil {
+		tierFreed = l.cfg.Tier.Truncate(l.cfg.LogID, target)
+	}
+	return deviceFreed, tierFreed, err
+}
+
 // FlushUntil forces the read-only boundary up to at least addr's page start
 // and waits until the device holds everything below it. Used by checkpoints.
 // The caller must NOT hold epoch protection (the cut must complete).

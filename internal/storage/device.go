@@ -43,6 +43,30 @@ type Device interface {
 type DeviceStats struct {
 	Reads, Writes           uint64
 	ReadBytes, WrittenBytes uint64
+	// TrimmedBytes counts storage released through TruncateBefore.
+	TrimmedBytes uint64
+}
+
+// Truncator is the optional space-reclaim hook on a Device. Log compaction
+// calls it after advancing the HybridLog's begin address: bytes below off are
+// dead (every live record was copied forward), so the device may release the
+// backing storage. Implementations must keep bytes at or above off readable
+// and must tolerate repeated calls with non-decreasing offsets.
+type Truncator interface {
+	// TruncateBefore releases storage backing all bytes below off and
+	// returns how many bytes were actually freed (0 when the platform or
+	// granularity allows none — e.g. a partial extent, or a filesystem
+	// without hole punching).
+	TruncateBefore(off uint64) (uint64, error)
+}
+
+// TruncateBefore invokes d's Truncator hook if it has one; devices without
+// the hook reclaim nothing, harmlessly.
+func TruncateBefore(d Device, off uint64) (uint64, error) {
+	if tr, ok := d.(Truncator); ok {
+		return tr.TruncateBefore(off)
+	}
+	return 0, nil
 }
 
 // LatencyModel describes the simulated performance of a device.
@@ -84,6 +108,7 @@ type MemDevice struct {
 type deviceStats struct {
 	reads, writes           atomic.Uint64
 	readBytes, writtenBytes atomic.Uint64
+	trimmedBytes            atomic.Uint64
 }
 
 func (s *deviceStats) snapshot() DeviceStats {
@@ -92,6 +117,7 @@ func (s *deviceStats) snapshot() DeviceStats {
 		Writes:       s.writes.Load(),
 		ReadBytes:    s.readBytes.Load(),
 		WrittenBytes: s.writtenBytes.Load(),
+		TrimmedBytes: s.trimmedBytes.Load(),
 	}
 }
 
@@ -218,6 +244,34 @@ func (d *MemDevice) WrittenBytes() uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.written
+}
+
+// AllocatedBytes returns the memory currently backing the device; compaction
+// tests watch it shrink after TruncateBefore.
+func (d *MemDevice) AllocatedBytes() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return uint64(len(d.extents)) * extentSize
+}
+
+// TruncateBefore implements Truncator: extents wholly below off are dropped
+// and their memory released. A partial leading extent is kept (reads just
+// above off must keep working), so reclaim granularity is extentSize.
+func (d *MemDevice) TruncateBefore(off uint64) (uint64, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	d.mu.Lock()
+	var freed uint64
+	for ext := range d.extents {
+		if (ext+1)*extentSize <= off {
+			delete(d.extents, ext)
+			freed += extentSize
+		}
+	}
+	d.mu.Unlock()
+	d.stats.trimmedBytes.Add(freed)
+	return freed, nil
 }
 
 // Close implements Device.

@@ -16,6 +16,7 @@ type FileDevice struct {
 	mu      sync.RWMutex
 	f       *os.File
 	written uint64
+	trimmed uint64 // bytes below this released via TruncateBefore
 
 	jobs     chan ioJob
 	throttle *throttle
@@ -110,6 +111,37 @@ func (d *FileDevice) WrittenBytes() uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.written
+}
+
+// AllocatedBytes returns the bytes of disk the backing file actually
+// occupies (not its logical size — punched holes don't count).
+func (d *FileDevice) AllocatedBytes() (uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return fileAllocatedBytes(d.f)
+}
+
+// TruncateBefore implements Truncator by punching a hole over [trimmed, off)
+// where the platform supports it (Linux fallocate). The file's logical size
+// is unchanged — offsets stay stable for the log's absolute addressing — but
+// the freed range stops occupying disk blocks. On platforms without hole
+// punching the call records the logical trim and frees nothing.
+func (d *FileDevice) TruncateBefore(off uint64) (uint64, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off <= d.trimmed {
+		return 0, nil
+	}
+	freed, err := punchHole(d.f, int64(d.trimmed), int64(off-d.trimmed))
+	if err != nil {
+		return 0, err
+	}
+	d.trimmed = off
+	d.stats.trimmedBytes.Add(freed)
+	return freed, nil
 }
 
 // Close implements Device.

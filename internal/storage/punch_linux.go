@@ -1,0 +1,41 @@
+//go:build linux
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// fallocate flags (linux/falloc.h); the stdlib syscall package exposes the
+// Fallocate call but not the mode constants.
+const (
+	fallocKeepSize  = 0x1
+	fallocPunchHole = 0x2
+)
+
+// punchHole deallocates [off, off+n) of f without changing its logical size.
+// Returns the bytes freed (0 when the filesystem doesn't support punching).
+func punchHole(f *os.File, off, n int64) (uint64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	err := syscall.Fallocate(int(f.Fd()), fallocKeepSize|fallocPunchHole, off, n)
+	switch err {
+	case nil:
+		return uint64(n), nil
+	case syscall.EOPNOTSUPP, syscall.ENOSYS:
+		return 0, nil // filesystem can't punch: logical trim only
+	default:
+		return 0, err
+	}
+}
+
+// fileAllocatedBytes reports the disk blocks the file occupies.
+func fileAllocatedBytes(f *os.File) (uint64, error) {
+	var st syscall.Stat_t
+	if err := syscall.Fstat(int(f.Fd()), &st); err != nil {
+		return 0, err
+	}
+	return uint64(st.Blocks) * 512, nil
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package storage
+
+import "os"
+
+// punchHole is unavailable off Linux: the trim is logical only.
+func punchHole(_ *os.File, _, _ int64) (uint64, error) { return 0, nil }
+
+// fileAllocatedBytes falls back to the logical size where block counts are
+// not portably available.
+func fileAllocatedBytes(f *os.File) (uint64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return uint64(st.Size()), nil
+}

@@ -149,6 +149,47 @@ func (t *SharedTier) Read(logID string, p []byte, off uint64) error {
 	return nil
 }
 
+// Truncate drops logID's extents wholly below off, releasing the shared
+// tier's copy of a compacted-away log prefix (§3.3.3: after lazy compaction
+// relocates disowned records to their current owners, nothing references the
+// prefix any more). Returns the bytes freed. Unknown logs free nothing.
+func (t *SharedTier) Truncate(logID string, off uint64) uint64 {
+	if t.closed.Load() {
+		return 0
+	}
+	t.mu.RLock()
+	l, ok := t.logs[logID]
+	t.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var freed uint64
+	for ext := range l.extents {
+		if (ext+1)*extentSize <= off {
+			delete(l.extents, ext)
+			freed += extentSize
+		}
+	}
+	t.stats.trimmedBytes.Add(freed)
+	return freed
+}
+
+// AllocatedBytes returns the memory currently backing logID's blob (0 if the
+// log is unknown); compaction tests watch it shrink after Truncate.
+func (t *SharedTier) AllocatedBytes(logID string) uint64 {
+	t.mu.RLock()
+	l, ok := t.logs[logID]
+	t.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.extents)) * extentSize
+}
+
 // UploadedBytes returns logID's high-water mark (0 if the log is unknown).
 func (t *SharedTier) UploadedBytes(logID string) uint64 {
 	t.mu.RLock()

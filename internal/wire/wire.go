@@ -48,6 +48,11 @@ const (
 	MsgSessionRecover
 	// MsgSessionRecoverResp answers MsgSessionRecover.
 	MsgSessionRecoverResp
+	// MsgCompact asks a server to run one log-compaction pass now (admin).
+	MsgCompact
+	// MsgCompactResp reports a completed (or failed) compaction pass with
+	// its per-pass statistics.
+	MsgCompactResp
 )
 
 // OpKind is a client operation within a request batch.
@@ -146,6 +151,12 @@ func DecodeRequestBatch(buf []byte, b *RequestBatch) error {
 	if err != nil {
 		return err
 	}
+	// Each op encodes to at least 11 bytes (kind+seq+klen+vlen); a count the
+	// remaining frame cannot hold is a corrupt or hostile frame, not an
+	// allocation request.
+	if uint64(n) > uint64(d.remaining())/11 {
+		return ErrShortFrame
+	}
 	if cap(b.Ops) < int(n) {
 		b.Ops = make([]Op, n)
 	}
@@ -220,6 +231,10 @@ func DecodeResponseBatch(buf []byte, r *ResponseBatch) error {
 	n, err := d.u32()
 	if err != nil {
 		return err
+	}
+	// Each result encodes to at least 9 bytes (seq+status+vlen).
+	if uint64(n) > uint64(d.remaining())/9 {
+		return ErrShortFrame
 	}
 	if cap(r.Results) < int(n) {
 		r.Results = make([]Result, n)
@@ -388,6 +403,10 @@ func DecodeMigrationMsg(buf []byte) (MigrationMsg, error) {
 	if err != nil {
 		return m, err
 	}
+	// Each record encodes to at least 15 bytes (hash+flags+klen+vlen).
+	if uint64(cnt) > uint64(d.remaining())/15 {
+		return m, ErrShortFrame
+	}
 	m.Records = make([]MigrationRecord, cnt)
 	for i := range m.Records {
 		r := &m.Records[i]
@@ -460,6 +479,77 @@ func DecodeCheckpointResp(buf []byte) (CheckpointResp, error) {
 	}
 	if r.Tail, err = d.u64(); err != nil {
 		return r, err
+	}
+	n, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	eb, err := d.bytes(int(n))
+	if err != nil {
+		return r, err
+	}
+	r.Err = string(eb)
+	return r, nil
+}
+
+// CompactResp is a server's answer to a MsgCompact admin request: the
+// per-pass compaction statistics (§3.3.3).
+type CompactResp struct {
+	OK  bool
+	Err string // failure detail when !OK
+
+	Scanned   uint64 // records examined in the stable prefix
+	Kept      uint64 // live records copied forward to the tail
+	Dropped   uint64 // superseded versions, tombstones, indirection records
+	Relocated uint64 // disowned records shipped to their current owner
+
+	Begin          uint64 // log begin address after the pass
+	ReclaimedBytes uint64 // local device bytes freed
+	TierReclaimed  uint64 // shared-tier bytes freed
+}
+
+// EncodeCompactReq builds a MsgCompact frame.
+func EncodeCompactReq() []byte {
+	return []byte{byte(MsgCompact)}
+}
+
+// EncodeCompactResp builds a MsgCompactResp frame.
+func EncodeCompactResp(r CompactResp) []byte {
+	dst := []byte{byte(MsgCompactResp)}
+	if r.OK {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendU64(dst, r.Scanned)
+	dst = appendU64(dst, r.Kept)
+	dst = appendU64(dst, r.Dropped)
+	dst = appendU64(dst, r.Relocated)
+	dst = appendU64(dst, r.Begin)
+	dst = appendU64(dst, r.ReclaimedBytes)
+	dst = appendU64(dst, r.TierReclaimed)
+	dst = appendU16(dst, uint16(len(r.Err)))
+	dst = append(dst, r.Err...)
+	return dst
+}
+
+// DecodeCompactResp parses a MsgCompactResp frame.
+func DecodeCompactResp(buf []byte) (CompactResp, error) {
+	d := decoder{buf: buf}
+	var r CompactResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgCompactResp {
+		return r, fmt.Errorf("%w: compact resp", ErrBadType)
+	}
+	ok, err := d.u8()
+	if err != nil {
+		return r, err
+	}
+	r.OK = ok != 0
+	for _, p := range []*uint64{&r.Scanned, &r.Kept, &r.Dropped, &r.Relocated,
+		&r.Begin, &r.ReclaimedBytes, &r.TierReclaimed} {
+		if *p, err = d.u64(); err != nil {
+			return r, err
+		}
 	}
 	n, err := d.u16()
 	if err != nil {
@@ -557,6 +647,8 @@ type decoder struct {
 	buf []byte
 	off int
 }
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
 
 func (d *decoder) u8() (uint8, error) {
 	if d.off+1 > len(d.buf) {
