@@ -27,6 +27,13 @@ type BenchMetric struct {
 	// NsPerOp is the per-operation cost where the metric is a throughput
 	// (0 otherwise).
 	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// AllocsPerOp / BytesPerOp record per-operation heap allocation
+	// behavior where the experiment measures it (the hotpath experiment),
+	// so the CI artifact trajectory catches allocation regressions, not
+	// just throughput ones. Pointers so a measured 0.0 still appears in
+	// the JSON (reaching zero is the goal, not "not measured").
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 }
 
 // BenchReport is the BENCH_<experiment>.json document.

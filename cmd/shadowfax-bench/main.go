@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/bench"
@@ -72,6 +73,8 @@ func main() {
 	switch exp {
 	case "table1":
 		printTable1()
+	case "hotpath":
+		err = runHotPath(o)
 	case "fig8":
 		err = runFig8(parseInts(*threadsFlag), o)
 	case "fig9":
@@ -106,6 +109,7 @@ func usage() {
 
 experiments:
   table1    print the simulated environment model (paper Table 1)
+  hotpath   dispatch hot-path microbenchmark: ns/op + allocs/op per mix
   fig8      thread scalability: FASTER vs Shadowfax vs w/o accel
   fig9      Shadowfax vs Seastar (uniform keys)
   table2    throughput/batch/latency/queue depth per network stack
@@ -145,6 +149,72 @@ func printTable1() {
 	fmt.Println("Network        30 Gbps, HW accelerated       transport.CostModel (per-frame + per-byte CPU burn)")
 	fmt.Println("Remote tier    Azure premium page blobs      storage.SharedTier (2ms, 7500 IOPS, 250 MB/s)")
 	fmt.Println("OS             Ubuntu 18.04                  host Go runtime")
+}
+
+// runHotPath measures the normal-operation dispatch path per mix: ns, heap
+// allocations and heap bytes per KV operation (everything served from
+// memory; see internal/bench/hotpath.go). The RMW mix uses 8-byte values so
+// the store's in-place counter path applies.
+func runHotPath(o bench.Options) error {
+	fmt.Println("# Hot path: per-op dispatch cost, all ops served from memory (paper Fig. 5 baseline)")
+	fmt.Printf("%-18s %-10s %-10s %-12s %-12s\n",
+		"mix", "Mops/s", "ns/op", "allocs/op", "bytes/op")
+	cases := []struct {
+		mix        bench.HotPathMix
+		valueBytes int
+	}{
+		{bench.HotPathMixed, o.ValueBytes},
+		{bench.HotPathRead, o.ValueBytes},
+		{bench.HotPathUpsert, o.ValueBytes},
+		{bench.HotPathRMW, 8},
+	}
+	var metrics []BenchMetric
+	for _, c := range cases {
+		ho := o
+		ho.ValueBytes = c.valueBytes
+		h, err := bench.NewHotPathHarness(ho)
+		if err != nil {
+			return err
+		}
+		mix := c.mix
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := h.RunBatch(mix); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		h.Close()
+		// b.Fatal aborts the benchmark goroutine and testing.Benchmark
+		// returns a zero result; surface that as a failure instead of
+		// writing 0.0 metrics into the perf trajectory.
+		if benchErr != nil {
+			return fmt.Errorf("hotpath %s: %w", mix.Name, benchErr)
+		}
+		if r.N == 0 {
+			return fmt.Errorf("hotpath %s: benchmark produced no iterations", mix.Name)
+		}
+		ops := float64(h.BatchOps())
+		nsPerOp := float64(r.NsPerOp()) / ops
+		allocsPerOp := float64(r.AllocsPerOp()) / ops
+		bytesPerOp := float64(r.AllocedBytesPerOp()) / ops
+		mops := 0.0
+		if nsPerOp > 0 {
+			mops = 1000 / nsPerOp
+		}
+		fmt.Printf("%-18s %-10.3f %-10.1f %-12.3f %-12.1f\n",
+			mix.Name, mops, nsPerOp, allocsPerOp, bytesPerOp)
+		metrics = append(metrics, BenchMetric{
+			Name:  fmt.Sprintf("hotpath_mops/mix=%s", mix.Name),
+			Value: mops, Unit: "Mops/s", NsPerOp: nsPerOp,
+			AllocsPerOp: &allocsPerOp, BytesPerOp: &bytesPerOp,
+		})
+	}
+	emitBenchJSON("hotpath", metrics)
+	return nil
 }
 
 func runFig8(threads []int, o bench.Options) error {

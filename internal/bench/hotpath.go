@@ -1,0 +1,175 @@
+package bench
+
+// The dispatch hot-path microbenchmark (BenchmarkDispatchHotPath and the
+// shadowfax-bench "hotpath" experiment): one server, one dispatcher thread,
+// one wire-level driver session, everything served from memory. It measures
+// exactly the normal-operation path the paper's single-server throughput
+// rests on (§3.1–3.2, Fig. 5): RequestBatch in → execute against the shared
+// store → ResponseBatch out, with no migration, no pending I/O and no view
+// churn. The driver speaks raw wire frames over a cost-free in-process
+// transport and reuses every buffer, so allocations measured around RunBatch
+// are dominated by the server's dispatch path — which is what the
+// allocation-budget guard in internal/core pins down.
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/metadata"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/ycsb"
+)
+
+// HotPathMix is an operation mix for the dispatch hot-path microbenchmark.
+// Percentages must sum to 100.
+type HotPathMix struct {
+	Name      string
+	ReadPct   int
+	UpsertPct int
+	RMWPct    int
+}
+
+// The standard mixes reported in BENCH_hotpath.json.
+var (
+	// HotPathMixed is the headline read/upsert blend (YCSB-A shaped).
+	HotPathMixed = HotPathMix{Name: "read50_upsert50", ReadPct: 50, UpsertPct: 50}
+	// HotPathRead is 100% in-memory reads (YCSB-C shaped).
+	HotPathRead = HotPathMix{Name: "read100", ReadPct: 100}
+	// HotPathUpsert is 100% blind upserts (in-place updates at steady state).
+	HotPathUpsert = HotPathMix{Name: "upsert100", UpsertPct: 100}
+	// HotPathRMW is 100% counter RMWs (YCSB-F shaped; use 8-byte values so
+	// the in-place counter path applies).
+	HotPathRMW = HotPathMix{Name: "rmw100", RMWPct: 100}
+)
+
+// hotPathSessionID is the driver's client session ID.
+const hotPathSessionID = 0x710a
+
+// HotPathHarness drives one dispatcher's normal-operation path with reused
+// buffers. It is not safe for concurrent use; each goroutine needs its own.
+type HotPathHarness struct {
+	cl   *Cluster
+	conn transport.Conn
+	o    Options
+
+	view uint64
+	seq  uint32
+	gen  ycsb.Generator
+	lcg  uint64 // op-kind selector
+
+	req     wire.RequestBatch
+	resp    wire.ResponseBatch
+	reqBuf  []byte
+	keyBufs [][]byte
+	val     []byte
+	delta   []byte
+}
+
+// NewHotPathHarness boots a one-server cluster over a cost-free in-process
+// transport, loads the dataset, and dials a driver connection. The dataset
+// is sized to stay fully in memory: the benchmark measures the inline path.
+func NewHotPathHarness(o Options) (*HotPathHarness, error) {
+	o = o.withDefaults()
+	cl := NewCluster(transport.Free)
+	if _, err := cl.AddServer(ServerSpec{
+		ID: "hot", Threads: 1, PageBits: o.PageBits, MemPages: o.MemPages,
+		Ranges: []metadata.HashRange{metadata.FullRange},
+	}); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	if err := cl.Load(o); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	conn, err := cl.Tr.Dial(cl.Servers[0].Addr())
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	h := &HotPathHarness{
+		cl:      cl,
+		conn:    conn,
+		o:       o,
+		view:    cl.Servers[0].CurrentView().Number,
+		gen:     ycsb.NewUniform(o.Keys, 1),
+		lcg:     1,
+		keyBufs: make([][]byte, o.BatchOps),
+		val:     make([]byte, o.ValueBytes),
+		delta:   make([]byte, 8),
+	}
+	for i := range h.keyBufs {
+		h.keyBufs[i] = make([]byte, ycsb.DefaultKeyBytes)
+	}
+	h.delta[0] = 1
+	h.req.Ops = make([]wire.Op, 0, o.BatchOps)
+	return h, nil
+}
+
+// BatchOps returns the number of operations per RunBatch call.
+func (h *HotPathHarness) BatchOps() int { return h.o.BatchOps }
+
+// Close tears the harness down.
+func (h *HotPathHarness) Close() {
+	h.conn.Close()
+	h.cl.Close()
+}
+
+// pickOp selects the next operation kind from the mix (cheap LCG, no
+// allocation) and returns its value/input payload.
+func (h *HotPathHarness) pickOp(mix HotPathMix) (wire.OpKind, []byte) {
+	h.lcg = h.lcg*6364136223846793005 + 1442695040888963407
+	r := int((h.lcg >> 33) % 100)
+	switch {
+	case r < mix.ReadPct:
+		return wire.OpRead, nil
+	case r < mix.ReadPct+mix.UpsertPct:
+		return wire.OpUpsert, h.val
+	default:
+		return wire.OpRMW, h.delta
+	}
+}
+
+// RunBatch issues one request batch of the given mix and spins until every
+// operation's result has come back. All buffers are reused across calls.
+func (h *HotPathHarness) RunBatch(mix HotPathMix) error {
+	b := &h.req
+	b.View = h.view
+	b.SessionID = hotPathSessionID
+	b.Ops = b.Ops[:0]
+	n := h.o.BatchOps
+	for i := 0; i < n; i++ {
+		h.seq++
+		k := h.keyBufs[i]
+		ycsb.FillKey(k, h.gen.Next())
+		kind, val := h.pickOp(mix)
+		b.Ops = append(b.Ops, wire.Op{Kind: kind, Seq: h.seq, Key: k, Value: val})
+	}
+	h.reqBuf = wire.AppendRequestBatch(h.reqBuf[:0], b)
+	if err := h.conn.Send(h.reqBuf); err != nil {
+		return err
+	}
+	got := 0
+	for got < n {
+		frame, ok, err := h.conn.TryRecv()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if err := wire.DecodeResponseBatch(frame, &h.resp); err != nil {
+			return err
+		}
+		if h.resp.Rejected {
+			// No migrations or view churn run here; a rejection means the
+			// harness view bootstrap is broken, not a transient.
+			return fmt.Errorf("bench: hot-path batch rejected (server view %d, ours %d)",
+				h.resp.ServerView, h.view)
+		}
+		got += len(h.resp.Results)
+	}
+	return nil
+}

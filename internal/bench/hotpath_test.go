@@ -1,0 +1,58 @@
+package bench
+
+import "testing"
+
+// hotPathOptions scales the dispatch microbenchmark: a dataset small enough
+// to stay fully in memory (no pending I/O — the inline path is the subject)
+// but large enough that the hash index sees realistic chains.
+func hotPathOptions(valueBytes int) Options {
+	return Options{Keys: 20_000, ValueBytes: valueBytes, BatchOps: 64, MemPages: 256}
+}
+
+func benchHotPath(b *testing.B, mix HotPathMix, o Options) {
+	h, err := NewHotPathHarness(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	// Warm one batch so lazily-grown buffers (response path, arena, index)
+	// reach steady state before counting.
+	if err := h.RunBatch(mix); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.RunBatch(mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// One iteration is a whole batch; also report the per-KV-op cost the
+	// paper's Fig. 5 throughput numbers are quoted in.
+	ops := float64(b.N * h.BatchOps())
+	if ops > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/ops, "ns/kvop")
+	}
+}
+
+// BenchmarkDispatchHotPath is the headline normal-operation microbenchmark:
+// a 50/50 read/upsert mix served entirely from memory, measured per batch
+// (allocs/op is allocations per 64-op batch).
+func BenchmarkDispatchHotPath(b *testing.B) {
+	benchHotPath(b, HotPathMixed, hotPathOptions(64))
+}
+
+func BenchmarkDispatchHotPathRead(b *testing.B) {
+	benchHotPath(b, HotPathRead, hotPathOptions(64))
+}
+
+func BenchmarkDispatchHotPathUpsert(b *testing.B) {
+	benchHotPath(b, HotPathUpsert, hotPathOptions(64))
+}
+
+// BenchmarkDispatchHotPathRMW uses 8-byte values so the store's in-place
+// counter path applies (YCSB-F's increment).
+func BenchmarkDispatchHotPathRMW(b *testing.B) {
+	benchHotPath(b, HotPathRMW, hotPathOptions(8))
+}

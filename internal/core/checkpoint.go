@@ -38,9 +38,25 @@ const (
 // to versions <= S — exactly the records recovery's version filter keeps —
 // so the table a reconnecting client consults and the recovered store agree
 // operation-for-operation.
+//
+// The table is sharded per dispatcher: advance (once per batch, on the hot
+// path) touches only the calling dispatcher's shard, whose mutex no other
+// dispatcher ever takes — the per-batch lock is contention-free. Only the
+// off-hot-path readers (snapshotUpTo during a checkpoint cut, get during
+// session recovery, restore at boot) visit foreign shards, merging entries
+// by maximum sequence (a session that reconnects onto a different
+// dispatcher leaves an older entry in its previous shard; sequence numbers
+// are monotonic, so the max is the truth).
 type sessionTable struct {
+	shards []sessionShard
+}
+
+type sessionShard struct {
 	mu   sync.Mutex
 	seqs map[uint64][]verSeq
+	// Pad shards apart: each shard's mutex and map header are hot on
+	// exactly one dispatcher's per-batch path.
+	_ cachePad
 }
 
 // verSeq is one version's sequence high-water mark. Per session the slice
@@ -51,17 +67,26 @@ type verSeq struct {
 	seq uint32
 }
 
-func newSessionTable() *sessionTable {
-	return &sessionTable{seqs: make(map[uint64][]verSeq)}
+func newSessionTable(shards int) *sessionTable {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &sessionTable{shards: make([]sessionShard, shards)}
+	for i := range t.shards {
+		t.shards[i].seqs = make(map[uint64][]verSeq)
+	}
+	return t
 }
 
 // advance records that every operation of session id up to seq has been
-// applied under CPR version ver. Sequence numbers and versions only move
-// forward (client seqs are monotonic; ver is the dispatcher session's
-// thread-local version, which only grows).
-func (t *sessionTable) advance(id uint64, seq uint32, ver uint32) {
-	t.mu.Lock()
-	es := t.seqs[id]
+// applied under CPR version ver; shard is the calling dispatcher's index.
+// Sequence numbers and versions only move forward (client seqs are
+// monotonic; ver is the dispatcher session's thread-local version, which
+// only grows).
+func (t *sessionTable) advance(shard int, id uint64, seq uint32, ver uint32) {
+	sh := &t.shards[shard]
+	sh.mu.Lock()
+	es := sh.seqs[id]
 	if n := len(es); n > 0 && es[n-1].ver >= ver {
 		if seq > es[n-1].seq {
 			es[n-1].seq = seq
@@ -75,20 +100,27 @@ func (t *sessionTable) advance(id uint64, seq uint32, ver uint32) {
 		}
 		es = append(es, verSeq{ver: ver, seq: seq})
 	}
-	t.seqs[id] = es
-	t.mu.Unlock()
+	sh.seqs[id] = es
+	sh.mu.Unlock()
 }
 
 // get returns the session's last applied sequence number across all
-// versions (what a live server tells a reconciling client).
+// versions and shards (what a live server tells a reconciling client).
 func (t *sessionTable) get(id uint64) (uint32, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	es, ok := t.seqs[id]
-	if !ok || len(es) == 0 {
-		return 0, false
+	var best uint32
+	found := false
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if es := sh.seqs[id]; len(es) > 0 {
+			if s := es[len(es)-1].seq; !found || s > best {
+				best = s
+			}
+			found = true
+		}
+		sh.mu.Unlock()
 	}
-	return es[len(es)-1].seq, true
+	return best, found
 }
 
 // sessionIdleVersions is how many sealed versions a session may sit idle
@@ -99,40 +131,53 @@ func (t *sessionTable) get(id uint64) (uint32, bool) {
 // drains or retries long before).
 const sessionIdleVersions = 8
 
-// snapshotUpTo copies the table restricted to versions <= sealed (taken
+// snapshotUpTo merges all shards restricted to versions <= sealed (taken
 // inside the checkpoint cut), evicting sessions idle since sealed -
 // sessionIdleVersions. Sessions whose every batch is post-cut are omitted:
-// their durable prefix is empty.
+// their durable prefix is empty. A session present in several shards
+// (dispatcher reassignment) contributes its maximum covered sequence.
 func (t *sessionTable) snapshotUpTo(sealed uint32) map[uint64]uint32 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make(map[uint64]uint32, len(t.seqs))
-	for id, es := range t.seqs {
-		if n := len(es); n > 0 && sealed > sessionIdleVersions &&
-			es[n-1].ver < sealed-sessionIdleVersions {
-			delete(t.seqs, id)
-			continue
-		}
-		for _, e := range es { // ordered by version; later seqs are larger
-			if e.ver <= sealed {
-				out[id] = e.seq
+	out := make(map[uint64]uint32)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for id, es := range sh.seqs {
+			if n := len(es); n > 0 && sealed > sessionIdleVersions &&
+				es[n-1].ver < sealed-sessionIdleVersions {
+				delete(sh.seqs, id)
+				continue
+			}
+			for _, e := range es { // ordered by version; later seqs are larger
+				if e.ver <= sealed {
+					if cur, ok := out[id]; !ok || e.seq > cur {
+						out[id] = e.seq
+					}
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// restore replaces the table with a recovered image's copy. Restored
+// restore replaces the table with a recovered image's copy (into shard 0 —
+// dispatchers repopulate their own shards as sessions reconnect). Restored
 // entries carry the image's sealed version: any future checkpoint covers
 // them (future seals are strictly higher), and the idle-eviction clock
 // starts at the recovery point rather than treating every recovered session
 // as ancient.
 func (t *sessionTable) restore(m map[uint64]uint32, sealed uint32) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.seqs = make(map[uint64][]verSeq, len(m))
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		sh.seqs = make(map[uint64][]verSeq)
+		sh.mu.Unlock()
+	}
+	sh := &t.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for id, seq := range m {
-		t.seqs[id] = []verSeq{{ver: sealed, seq: seq}}
+		sh.seqs[id] = []verSeq{{ver: sealed, seq: seq}}
 	}
 }
 
@@ -308,6 +353,7 @@ func (s *Server) handleCheckpointReq(c transport.Conn) {
 func (d *dispatcher) handleSessionRecover(c transport.Conn, frame []byte) {
 	req, err := wire.DecodeSessionRecover(frame)
 	if err != nil {
+		d.s.stats.DecodeErrors.Add(1)
 		return
 	}
 	last, known := d.s.sessTab.get(req.SessionID)

@@ -574,3 +574,95 @@ func TestMain(m *testing.M) {
 	fmt.Print() // keep fmt imported for debug convenience
 	m.Run()
 }
+
+// TestDecodeErrorsCounted verifies undecodable frames are dropped but
+// visible: every decode-failure return path bumps Stats().DecodeErrors.
+func TestDecodeErrorsCounted(t *testing.T) {
+	cl := newCluster()
+	s := cl.newServer(t, "s1", 1, metadata.FullRange)
+	conn, err := cl.tr.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	bad := [][]byte{
+		{},                                   // empty: PeekType fails
+		{0xFF},                               // unknown type is routed nowhere but decodes: PeekType ok
+		{byte(wire.MsgRequestBatch), 1},      // truncated request batch
+		{byte(wire.MsgMigrate), 9},           // truncated migrate command
+		{byte(wire.MsgTransferOwnership), 2}, // truncated migration msg
+		{byte(wire.MsgSessionRecover)},       // truncated session recover
+	}
+	want := uint64(0)
+	for _, f := range bad {
+		if err := conn.Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Empty, truncated batch, migrate, migration msg, session recover = 5
+	// (the unknown-type frame decodes its type byte fine and is ignored).
+	want = 5
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().DecodeErrors.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Stats().DecodeErrors.Load(); got != want {
+		t.Fatalf("DecodeErrors = %d, want %d", got, want)
+	}
+
+	// A well-formed batch still works on the same conn afterwards.
+	req := wire.RequestBatch{View: s.CurrentView().Number, SessionID: 1,
+		Ops: []wire.Op{{Kind: wire.OpUpsert, Seq: 1, Key: []byte("k"), Value: []byte("v")}}}
+	if err := conn.Send(wire.AppendRequestBatch(nil, &req)); err != nil {
+		t.Fatal(err)
+	}
+	for time.Now().Before(deadline) {
+		frame, ok, err := conn.TryRecv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		var resp wire.ResponseBatch
+		if err := wire.DecodeResponseBatch(frame, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Rejected || len(resp.Results) != 1 {
+			t.Fatalf("unexpected response: rejected=%v results=%d", resp.Rejected, len(resp.Results))
+		}
+		return
+	}
+	t.Fatal("no response to valid batch after decode errors")
+}
+
+// TestSessionTableShardMerge pins the sharded table's merge semantics: a
+// session that reconnects onto a different dispatcher leaves an older entry
+// in its previous shard, and all readers resolve by maximum sequence.
+func TestSessionTableShardMerge(t *testing.T) {
+	tab := newSessionTable(3)
+	tab.advance(0, 42, 10, 1)
+	tab.advance(1, 42, 25, 2) // same session, new dispatcher, newer version
+
+	if got, ok := tab.get(42); !ok || got != 25 {
+		t.Fatalf("get(42) = %d,%v want 25,true", got, ok)
+	}
+	if snap := tab.snapshotUpTo(2); snap[42] != 25 {
+		t.Fatalf("snapshotUpTo(2)[42] = %d, want 25", snap[42])
+	}
+	// Sealing at version 1 covers only the old shard's prefix.
+	if snap := tab.snapshotUpTo(1); snap[42] != 10 {
+		t.Fatalf("snapshotUpTo(1)[42] = %d, want 10", snap[42])
+	}
+
+	// restore replaces every shard's contents.
+	tab.restore(map[uint64]uint32{7: 99}, 5)
+	if got, ok := tab.get(7); !ok || got != 99 {
+		t.Fatalf("get(7) after restore = %d,%v want 99,true", got, ok)
+	}
+	if _, ok := tab.get(42); ok {
+		t.Fatal("session 42 survived restore")
+	}
+}

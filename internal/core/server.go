@@ -120,16 +120,30 @@ func (c *ServerConfig) applyDefaults() error {
 	return nil
 }
 
-// ServerStats exposes the counters the benchmark harness samples.
+// cachePad separates hot atomic counters onto their own cache lines so
+// per-op updates from different dispatcher cores do not false-share.
+type cachePad [56]byte
+
+// ServerStats exposes the counters the benchmark harness samples. The
+// dispatcher-written hot counters are cache-line padded apart from each
+// other and from the background-subsystem counters.
 type ServerStats struct {
 	// OpsCompleted counts client operations answered (including those that
 	// completed after pending I/O).
 	OpsCompleted atomic.Uint64
+	_            cachePad
 	// BatchesAccepted / BatchesRejected count view validation outcomes.
 	BatchesAccepted atomic.Uint64
 	BatchesRejected atomic.Uint64
+	_               cachePad
+	// DecodeErrors counts inbound frames dropped because they failed to
+	// decode (corrupt, truncated, or hostile); without this counter such
+	// drops are invisible to operators.
+	DecodeErrors atomic.Uint64
+	_            cachePad
 	// PendingOps is the target-side pending set (Figure 12).
 	PendingOps atomic.Int64
+	_          cachePad
 	// RemoteFetches counts indirection resolutions from the shared tier.
 	RemoteFetches atomic.Uint64
 	// ViewRefreshes counts metadata refreshes.
@@ -230,7 +244,7 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		meta:     cfg.Meta,
 		fetching: make(map[string]struct{}),
 		images:   images,
-		sessTab:  newSessionTable(),
+		sessTab:  newSessionTable(cfg.Threads),
 		bgQuit:   make(chan struct{}),
 	}
 
@@ -403,6 +417,12 @@ func (s *Server) refreshView() metadata.View {
 
 // dispatcher is one server thread (§3.1): a pinned loop with a private
 // FASTER session and private connections.
+//
+// The normal-operation path is allocation-free: per-op state for operations
+// that leave the inline path lives in a pooled slot array (ops/freeOps,
+// addressed by the token passed into the store's hash entry points), inline
+// read values are copied into a per-batch arena (valArena), and every
+// request/response buffer is reused.
 type dispatcher struct {
 	s        *Server
 	idx      int
@@ -417,6 +437,23 @@ type dispatcher struct {
 	// completions arriving outside that window are deferred.
 	assembling bool
 
+	// valArena backs inline read results until they are serialized into
+	// the response frame; reset at the start of every batch. Growth keeps
+	// earlier slices valid (they alias the previous backing array, which is
+	// never written again), so a plain append arena suffices.
+	valArena []byte
+
+	// ops is the pooled per-op state for operations parked on pending
+	// storage I/O; freeOps holds the recycled slot indices. The slot index
+	// is the completion token handed to the store session.
+	ops     []srvOp
+	freeOps []uint32
+
+	// dirty tracks the coalescing conns (transport.BatchedSender) that
+	// buffered frames this poll iteration; only these are flushed, so idle
+	// conns cost nothing on the flush sweep.
+	dirty []transport.BatchedSender
+
 	// deferred collects results that completed after their batch was
 	// answered (pending I/O, migration pends); flushed each loop.
 	deferred map[transport.Conn][]wire.Result
@@ -430,14 +467,107 @@ type dispatcher struct {
 	migDone  bool
 }
 
+// srvOp is the dispatcher-side state of one client operation that went
+// pending inside the store (storage I/O). Slots are pooled and their
+// key/input buffers reused, so parking an operation allocates nothing at
+// steady state.
+type srvOp struct {
+	c         transport.Conn
+	sessionID uint64
+	seq       uint32
+	kind      wire.OpKind
+	key       []byte
+	input     []byte
+}
+
 func newDispatcher(s *Server, idx int) *dispatcher {
-	return &dispatcher{
+	d := &dispatcher{
 		s:        s,
 		idx:      idx,
 		sess:     s.store.NewSession(),
 		newConns: make(chan transport.Conn, 64),
 		deferred: make(map[transport.Conn][]wire.Result),
 	}
+	// One handler closure per dispatcher, for the lifetime of the session —
+	// the per-op completion state travels as a pooled-slot token instead.
+	d.sess.SetCompletionHandler(d.completePending)
+	return d
+}
+
+// claimOp takes a pooled slot for an operation about to be issued and
+// returns its token. Key/input are captured only if the operation actually
+// goes pending (captureOp) — the inline path never copies them.
+func (d *dispatcher) claimOp(c transport.Conn, sessionID uint64, seq uint32, kind wire.OpKind) uint64 {
+	var idx uint32
+	if n := len(d.freeOps); n > 0 {
+		idx = d.freeOps[n-1]
+		d.freeOps = d.freeOps[:n-1]
+	} else {
+		d.ops = append(d.ops, srvOp{})
+		idx = uint32(len(d.ops) - 1)
+	}
+	so := &d.ops[idx]
+	so.c, so.sessionID, so.seq, so.kind = c, sessionID, seq, kind
+	return uint64(idx)
+}
+
+// captureOp copies the operation's key and input into the slot's reused
+// buffers; called while the batch frame is still live, right after the
+// store reported StatusPending.
+func (d *dispatcher) captureOp(tok uint64, key, input []byte) {
+	so := &d.ops[tok]
+	so.key = append(so.key[:0], key...)
+	so.input = append(so.input[:0], input...)
+}
+
+// srvOpBufKeep is the largest key/input capacity a recycled slot retains
+// (one op with a huge payload should not pin its footprint in the pool for
+// the server's lifetime).
+const srvOpBufKeep = 8 << 10
+
+func (d *dispatcher) releaseOp(tok uint64) {
+	so := &d.ops[tok]
+	so.c = nil
+	if cap(so.key) > srvOpBufKeep {
+		so.key = nil
+	}
+	if cap(so.input) > srvOpBufKeep {
+		so.input = nil
+	}
+	d.freeOps = append(d.freeOps, uint32(tok))
+}
+
+// completePending is the session's CompletionHandler: it receives results
+// for operations that went pending on storage I/O, keyed by their pooled
+// slot. It runs on the dispatcher goroutine inside CompletePending, so the
+// batch that issued the op has already been answered — results are deferred
+// onto the conn (shipped in a later response frame keyed by Seq).
+func (d *dispatcher) completePending(tok uint64, st faster.Status, v []byte) {
+	so := &d.ops[tok]
+	c, sessionID, seq, kind := so.c, so.sessionID, so.seq, so.kind
+	key, input := so.key, so.input
+	switch st {
+	case faster.StatusIndirection:
+		// The key's chain continues in another server's shared-tier log
+		// (§3.3.2): fetch asynchronously and pend the operation.
+		d.s.fetchFromSharedTier(key, v)
+		op := wire.Op{Kind: kind, Seq: seq, Key: key, Value: input}
+		d.s.pendOp(c, d, sessionID, &op) // pendOp copies out of the slot
+	case faster.StatusNotFound:
+		if kind == wire.OpRead {
+			tm := d.s.targetState()
+			if tm != nil && !tm.completed.Load() && tm.rng.Contains(faster.HashOf(key)) {
+				// The record may simply not have arrived yet.
+				op := wire.Op{Kind: kind, Seq: seq, Key: key}
+				d.s.pendOp(c, d, sessionID, &op)
+				break
+			}
+		}
+		d.emit(c, seq, st, nil)
+	default:
+		d.emit(c, seq, st, v)
+	}
+	d.releaseOp(tok)
 }
 
 func (d *dispatcher) run() {
@@ -490,6 +620,7 @@ func (d *dispatcher) run() {
 			progress = true
 		}
 		d.flushDeferred()
+		d.flushConns()
 
 		d.sess.Refresh()
 		if !progress {
@@ -515,10 +646,13 @@ func (d *dispatcher) run() {
 	}
 }
 
-// handleFrame routes one inbound frame.
+// handleFrame routes one inbound frame. Undecodable frames are dropped (a
+// malformed frame has no session/seq to answer on) but always counted in
+// Stats().DecodeErrors so the drops are observable.
 func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 	t, err := wire.PeekType(frame)
 	if err != nil {
+		d.s.stats.DecodeErrors.Add(1)
 		return
 	}
 	switch t {
@@ -527,6 +661,7 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 	case wire.MsgMigrate:
 		cmd, err := wire.DecodeMigrate(frame)
 		if err != nil {
+			d.s.stats.DecodeErrors.Add(1)
 			return
 		}
 		go d.s.StartMigration(cmd.Target, metadata.HashRange{Start: cmd.RangeStart, End: cmd.RangeEnd})
@@ -536,6 +671,7 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 		wire.MsgMigrationRecords, wire.MsgCompleteMigration, wire.MsgCompacted:
 		m, err := wire.DecodeMigrationMsg(frame)
 		if err != nil {
+			d.s.stats.DecodeErrors.Add(1)
 			return
 		}
 		d.handleMigrationMsg(c, &m)
@@ -550,9 +686,15 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 	}
 }
 
-// handleRequestBatch is the normal-operation hot path.
+// handleRequestBatch is the normal-operation hot path. At steady state it
+// performs no per-op heap allocation when every op is served from memory:
+// the batch decodes into reused buffers, each op's hash is computed once
+// and shared between the ownership/migration checks and the store, results
+// land in a reused slice with values backed by the per-batch arena, and the
+// response is serialized into a reused buffer and coalesced onto the conn.
 func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 	if err := wire.DecodeRequestBatch(frame, &d.reqBatch); err != nil {
+		d.s.stats.DecodeErrors.Add(1)
 		return
 	}
 	b := &d.reqBatch
@@ -584,6 +726,7 @@ func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 	d.s.stats.BatchesAccepted.Add(1)
 
 	d.results = d.results[:0]
+	d.valArena = d.valArena[:0]
 	d.assembling = true
 	tm := d.s.targetState()
 	for i := range b.Ops {
@@ -605,12 +748,12 @@ func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 				maxSeq = b.Ops[i].Seq
 			}
 		}
-		d.s.sessTab.advance(b.SessionID, maxSeq, d.sess.Version())
+		d.s.sessTab.advance(d.idx, b.SessionID, maxSeq, d.sess.Version())
 	}
 	resp := wire.ResponseBatch{SessionID: b.SessionID, ServerView: view.Number,
 		Results: d.results}
 	d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
-	c.Send(d.respBuf)
+	d.send(c, d.respBuf)
 	d.s.stats.OpsCompleted.Add(uint64(len(d.results)))
 }
 
@@ -618,35 +761,63 @@ func (d *dispatcher) reject(c transport.Conn, b *wire.RequestBatch, serverView u
 	d.s.stats.BatchesRejected.Add(1)
 	// Echo the rejected operations' sequence numbers so the client can
 	// requeue exactly this batch (an RMW requeued twice would double-apply).
-	resp := wire.ResponseBatch{SessionID: b.SessionID, Rejected: true,
-		ServerView: serverView}
+	// d.results is free here: a rejected batch executes nothing.
+	d.results = d.results[:0]
 	for i := range b.Ops {
-		resp.Results = append(resp.Results, wire.Result{Seq: b.Ops[i].Seq})
+		d.results = append(d.results, wire.Result{Seq: b.Ops[i].Seq})
 	}
+	resp := wire.ResponseBatch{SessionID: b.SessionID, Rejected: true,
+		ServerView: serverView, Results: d.results}
 	d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
-	c.Send(d.respBuf)
+	d.send(c, d.respBuf)
+}
+
+// send ships a frame on c, coalescing onto the conn's write buffer when the
+// transport supports it; dirty conns are flushed once per poll iteration
+// (flushConns), so back-to-back batch responses and deferred results in one
+// iteration cost one wire write per conn.
+func (d *dispatcher) send(c transport.Conn, frame []byte) {
+	if bs, ok := c.(transport.BatchedSender); ok {
+		bs.SendNoFlush(frame)          //nolint:errcheck // conn errors surface on the next poll
+		for _, seen := range d.dirty { // few conns answer per iteration
+			if seen == bs {
+				return
+			}
+		}
+		d.dirty = append(d.dirty, bs)
+		return
+	}
+	c.Send(frame) //nolint:errcheck // conn errors surface on the next poll
+}
+
+// flushConns pushes the dirty conns' buffered frames to the wire; called
+// once per poll iteration.
+func (d *dispatcher) flushConns() {
+	for i, bs := range d.dirty {
+		bs.Flush() //nolint:errcheck // conn errors surface on the next poll
+		d.dirty[i] = nil
+	}
+	d.dirty = d.dirty[:0]
 }
 
 // execOp runs one client operation against the shared store. Results that
-// complete inline land in d.results; async completions (storage I/O,
-// migration pends) are deferred and shipped in later response frames keyed
-// by Seq.
+// complete inline land in d.results (values backed by the batch arena);
+// async completions (storage I/O via the pooled-slot token, migration
+// pends) are deferred and shipped in later response frames keyed by Seq.
 //
-// Keys (and RMW inputs) are copied before issuing reads and RMWs: their
-// completion callbacks may run after the batch buffer has been reused, and
-// the migration machinery needs the key to park or re-route the operation.
+// The key's hash is computed exactly once, here, and shared between the
+// migration-range check and the store's hash entry points. Nothing is
+// copied on the inline path: keys alias the batch frame, which outlives the
+// batch; only operations that park (pending I/O, migration) promote their
+// key/input into owned buffers.
 func (d *dispatcher) execOp(c transport.Conn, sessionID uint64, op *wire.Op, tm *targetMigration) {
-	seq, kind := op.Seq, op.Kind
-	switch kind {
+	h := faster.HashOf(op.Key)
+	switch op.Kind {
 	case wire.OpUpsert:
-		d.sess.Upsert(op.Key, op.Value, func(st faster.Status, _ []byte) {
-			d.emit(c, seq, st, nil)
-		})
+		d.emitInline(op.Seq, d.sess.UpsertHash(op.Key, op.Value, h), nil)
 		return
 	case wire.OpDelete:
-		d.sess.Delete(op.Key, func(st faster.Status, _ []byte) {
-			d.emit(c, seq, st, nil)
-		})
+		d.emitInline(op.Seq, d.sess.DeleteHash(op.Key, h), nil)
 		return
 	}
 
@@ -654,31 +825,62 @@ func (d *dispatcher) execOp(c transport.Conn, sessionID uint64, op *wire.Op, tm 
 	// migration (§3.3): before ownership transfer they pend outright; after
 	// it, a miss in the migrating range pends until the record arrives.
 	inMig := false
-	if tm != nil && !tm.completed.Load() {
-		if h := faster.HashOf(op.Key); tm.rng.Contains(h) {
-			if !tm.serving.Load() {
-				d.s.pendOp(c, d, sessionID, op)
-				return
-			}
-			inMig = true
-		}
-	}
-
-	key := append([]byte(nil), op.Key...)
-	if kind == wire.OpRMW {
-		input := append([]byte(nil), op.Value...)
-		if inMig {
-			d.probeRMW(c, sessionID, seq, key, input)
+	if tm != nil && !tm.completed.Load() && tm.rng.Contains(h) {
+		if !tm.serving.Load() {
+			d.s.pendOp(c, d, sessionID, op)
 			return
 		}
-		d.sess.RMW(key, input, func(st faster.Status, v []byte) {
-			d.finishReadRMW(c, sessionID, seq, kind, key, input, st, v)
-		})
+		inMig = true
+	}
+
+	if op.Kind == wire.OpRMW {
+		if inMig {
+			// Migration slow path: the probe/pend machinery owns its
+			// buffers, so copy off the batch frame.
+			key := append([]byte(nil), op.Key...)
+			input := append([]byte(nil), op.Value...)
+			d.probeRMW(c, sessionID, op.Seq, key, input)
+			return
+		}
+		tok := d.claimOp(c, sessionID, op.Seq, wire.OpRMW)
+		st, v := d.sess.RMWHash(op.Key, op.Value, h, tok)
+		if st == faster.StatusPending {
+			d.captureOp(tok, op.Key, op.Value)
+			return
+		}
+		d.releaseOp(tok)
+		if st == faster.StatusIndirection {
+			d.s.fetchFromSharedTier(op.Key, v)
+			d.s.pendOp(c, d, sessionID, op)
+			return
+		}
+		d.emitInline(op.Seq, st, nil)
 		return
 	}
-	d.sess.Read(key, func(st faster.Status, v []byte) {
-		d.finishReadRMW(c, sessionID, seq, kind, key, nil, st, v)
-	})
+
+	tok := d.claimOp(c, sessionID, op.Seq, wire.OpRead)
+	st, v := d.sess.ReadHash(op.Key, h, tok)
+	if st == faster.StatusPending {
+		d.captureOp(tok, op.Key, nil)
+		return
+	}
+	d.releaseOp(tok)
+	switch st {
+	case faster.StatusIndirection:
+		// The key's chain continues in another server's shared-tier log
+		// (§3.3.2): fetch asynchronously and pend the operation.
+		d.s.fetchFromSharedTier(op.Key, v)
+		d.s.pendOp(c, d, sessionID, op)
+	case faster.StatusNotFound:
+		if inMig {
+			// The record may simply not have arrived yet.
+			d.s.pendOp(c, d, sessionID, op)
+			return
+		}
+		d.emitInline(op.Seq, st, nil)
+	default:
+		d.emitInline(op.Seq, st, v)
+	}
 }
 
 // probeRMW handles an RMW in a migrating range: blindly applying the
@@ -704,44 +906,32 @@ func (d *dispatcher) probeRMW(c transport.Conn, sessionID uint64, seq uint32, ke
 	})
 }
 
-// finishReadRMW translates a read/RMW completion into a wire result, a
-// pend, or a shared-tier fetch. It runs inline or from CompletePending.
-func (d *dispatcher) finishReadRMW(c transport.Conn, sessionID uint64, seq uint32,
-	kind wire.OpKind, key, input []byte, st faster.Status, v []byte) {
-	switch st {
-	case faster.StatusIndirection:
-		// The key's chain continues in another server's shared-tier log
-		// (§3.3.2): fetch asynchronously and pend the operation.
-		d.s.fetchFromSharedTier(key, v)
-		d.s.pendOpStruct(c, d, sessionID,
-			&wire.Op{Kind: kind, Seq: seq, Key: key, Value: input})
-		return
-	case faster.StatusNotFound:
-		if kind == wire.OpRead {
-			tm := d.s.targetState()
-			if tm != nil && !tm.completed.Load() && tm.rng.Contains(faster.HashOf(key)) {
-				// The record may simply not have arrived yet.
-				d.s.pendOpStruct(c, d, sessionID,
-					&wire.Op{Kind: kind, Seq: seq, Key: key})
-				return
-			}
-		}
+// emitInline appends an inline result to the in-flight batch response. Read
+// values are copied into the per-batch arena (they must survive until the
+// response is serialized; the store's value buffer is reused per op).
+func (d *dispatcher) emitInline(seq uint32, st faster.Status, v []byte) {
+	res := wire.Result{Seq: seq, Status: toWireStatus(st)}
+	if st == faster.StatusOK && v != nil {
+		n := len(d.valArena)
+		d.valArena = append(d.valArena, v...)
+		res.Value = d.valArena[n : n+len(v) : n+len(v)]
 	}
-	d.emit(c, seq, st, v)
+	d.results = append(d.results, res)
 }
 
 // emit queues a final result: into the in-flight batch response when still
-// assembling it, otherwise onto the connection's deferred results.
+// assembling it, otherwise onto the connection's deferred results (with an
+// owned value copy — deferred results outlive the batch and its arena).
 func (d *dispatcher) emit(c transport.Conn, seq uint32, st faster.Status, v []byte) {
+	if d.assembling {
+		d.emitInline(seq, st, v)
+		return
+	}
 	res := wire.Result{Seq: seq, Status: toWireStatus(st)}
 	if st == faster.StatusOK && v != nil {
 		res.Value = append([]byte(nil), v...)
 	}
-	if d.assembling {
-		d.results = append(d.results, res)
-	} else {
-		d.deferred[c] = append(d.deferred[c], res)
-	}
+	d.deferred[c] = append(d.deferred[c], res)
 }
 
 func (d *dispatcher) flushDeferred() {
@@ -751,7 +941,7 @@ func (d *dispatcher) flushDeferred() {
 		}
 		resp := wire.ResponseBatch{ServerView: d.s.view.Load().Number, Results: results}
 		d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
-		c.Send(d.respBuf)
+		d.send(c, d.respBuf)
 		d.s.stats.OpsCompleted.Add(uint64(len(results)))
 		delete(d.deferred, c)
 	}

@@ -438,3 +438,118 @@ func TestRMWDuringSamplingCopiesToTail(t *testing.T) {
 		t.Fatalf("counter = %d, want 2", got)
 	}
 }
+
+// TestHashEntryPointsInlineAndPending pins the token-based API contract:
+// inline results come back as return values (the CompletionHandler is NOT
+// invoked), and operations that go pending on storage I/O are delivered to
+// the handler under the caller's token.
+func TestHashEntryPointsInlineAndPending(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+
+	type done struct {
+		token uint64
+		st    Status
+		val   []byte
+	}
+	var completed []done
+	sess.SetCompletionHandler(func(token uint64, st Status, v []byte) {
+		completed = append(completed, done{token, st, append([]byte(nil), v...)})
+	})
+
+	// Inline upsert + read round trip, handler untouched.
+	k0, v0 := key(0), val(0)
+	h0 := HashOf(k0)
+	if st := sess.UpsertHash(k0, v0, h0); st != StatusOK {
+		t.Fatalf("UpsertHash = %v", st)
+	}
+	st, got := sess.ReadHash(k0, h0, 77)
+	if st != StatusOK || !bytes.Equal(got, v0) {
+		t.Fatalf("ReadHash = %v %q, want OK %q", st, got, v0)
+	}
+	if st, _ := sess.ReadHash([]byte("absent"), HashOf([]byte("absent")), 78); st != StatusNotFound {
+		t.Fatalf("ReadHash(absent) = %v", st)
+	}
+	if st := sess.DeleteHash(k0, h0); st != StatusOK {
+		t.Fatalf("DeleteHash = %v", st)
+	}
+	if st, _ := sess.ReadHash(k0, h0, 79); st != StatusNotFound {
+		t.Fatalf("ReadHash after delete = %v", st)
+	}
+	if len(completed) != 0 {
+		t.Fatalf("handler invoked %d times for inline ops", len(completed))
+	}
+
+	// Overflow memory so early keys evict, then read one back: the result
+	// must arrive via the handler under the right token.
+	for i := 1; i < 2000; i++ {
+		kk := key(i)
+		if st := sess.UpsertHash(kk, val(i), HashOf(kk)); st != StatusOK {
+			t.Fatalf("UpsertHash(%d) = %v", i, st)
+		}
+	}
+	target := -1
+	for i := 1; i < 2000; i++ {
+		kk := key(i)
+		st, _ := sess.ReadHash(kk, HashOf(kk), uint64(1000+i))
+		switch st {
+		case StatusPending:
+			target = i
+		case StatusOK:
+			continue
+		default:
+			t.Fatalf("ReadHash(%d) = %v", i, st)
+		}
+		if target >= 0 {
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no read went pending despite eviction")
+	}
+	sess.CompletePending(true)
+	if len(completed) != 1 {
+		t.Fatalf("handler invoked %d times, want 1", len(completed))
+	}
+	d := completed[0]
+	if d.token != uint64(1000+target) || d.st != StatusOK || !bytes.Equal(d.val, val(target)) {
+		t.Fatalf("pending completion = token %d st %v val %q, want %d OK %q",
+			d.token, d.st, d.val, 1000+target, val(target))
+	}
+
+	// And a pending RMW under a token on a counter key.
+	ctr := []byte("pending-ctr")
+	if st := sess.UpsertHash(ctr, delta(5), HashOf(ctr)); st != StatusOK {
+		t.Fatalf("seed counter: %v", st)
+	}
+	for i := 2000; i < 4000; i++ {
+		kk := key(i)
+		if st := sess.UpsertHash(kk, val(i), HashOf(kk)); st != StatusOK {
+			t.Fatalf("UpsertHash(%d) = %v", i, st)
+		}
+	}
+	st, _ = sess.RMWHash(ctr, delta(3), HashOf(ctr), 555)
+	if st == StatusPending {
+		sess.CompletePending(true)
+		last := completed[len(completed)-1]
+		if last.token != 555 || last.st != StatusOK {
+			t.Fatalf("pending RMW completion = token %d st %v", last.token, last.st)
+		}
+	} else if st != StatusOK {
+		t.Fatalf("RMWHash = %v", st)
+	}
+	want := uint64(8)
+	var gotCtr []byte
+	rst := sess.Read(ctr, func(st Status, v []byte) {
+		if st == StatusOK {
+			gotCtr = append([]byte(nil), v...)
+		}
+	})
+	if rst == StatusPending {
+		sess.CompletePending(true)
+	}
+	if len(gotCtr) != 8 || binary.LittleEndian.Uint64(gotCtr) != want {
+		t.Fatalf("counter = %x, want %d", gotCtr, want)
+	}
+}

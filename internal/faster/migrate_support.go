@@ -33,10 +33,10 @@ func (sess *Session) ConditionalInsert(key, value []byte, tombstone bool, cb Cal
 				return StatusOK
 			}
 		case walkBelowHead:
-			sess.issueRead(&pendingOp{kind: opCondInsert,
-				key: append([]byte(nil), key...), hash: hash, addr: res.addr,
-				input: append([]byte(nil), value...),
-				meta:  boolMeta(tombstone), cb: cb})
+			p := sess.newPendingOp(opCondInsert, key, value, hash, res.addr,
+				completion{cb: cb})
+			p.meta = boolMeta(tombstone)
+			sess.issueRead(p)
 			return StatusPending
 		case walkNotFound:
 			if sess.condAppend(res, key, value, tombstone) {

@@ -18,6 +18,10 @@ const (
 // pendingOp is an operation suspended on storage I/O. The continuation
 // walks the on-storage portion of the hash chain one record read at a time,
 // exactly as FASTER's pending contexts do.
+//
+// pendingOps are pooled per session (key/input buffers are reused) and flow
+// back to the session goroutine through the completions channel carrying the
+// device read's result inline — completing an I/O allocates no closure.
 type pendingOp struct {
 	kind  opKind
 	key   []byte
@@ -25,31 +29,105 @@ type pendingOp struct {
 	addr  hlog.Address // next chain address to read from the device
 	input []byte       // RMW input / conditional-insert value
 	meta  hlog.Meta    // conditional-insert record flags
-	cb    Callback
+	comp  completion
+
+	// Device read result, filled by the I/O goroutine before the op is
+	// queued on the completions channel.
+	rec hlog.Record
+	err error
+}
+
+// pendingOpPoolCap bounds how many recycled pending ops a session retains;
+// pendingOpBufKeep is the largest key/input buffer capacity kept across
+// recycling (one conditional-insert of a huge migrated value should not pin
+// its footprint in the pool for the session's lifetime).
+const (
+	pendingOpPoolCap = 128
+	pendingOpBufKeep = 8 << 10
+)
+
+// newPendingOp takes a pending op from the session's pool (or allocates one)
+// and fills it, copying key and input into the op's reused buffers: the
+// caller's batch buffers will be recycled long before the I/O completes.
+func (sess *Session) newPendingOp(kind opKind, key, input []byte, hash uint64,
+	addr hlog.Address, comp completion) *pendingOp {
+	var p *pendingOp
+	if n := len(sess.opFree); n > 0 {
+		p = sess.opFree[n-1]
+		sess.opFree[n-1] = nil
+		sess.opFree = sess.opFree[:n-1]
+	} else {
+		p = new(pendingOp)
+	}
+	p.kind = kind
+	p.key = append(p.key[:0], key...)
+	p.input = append(p.input[:0], input...)
+	p.hash = hash
+	p.addr = addr
+	p.meta = 0
+	p.comp = comp
+	return p
+}
+
+// freePendingOp recycles p. Only the terminal paths call it; a reissued op
+// (follow) keeps its struct.
+func (sess *Session) freePendingOp(p *pendingOp) {
+	p.comp = completion{}
+	p.rec, p.err = nil, nil
+	if cap(p.key) > pendingOpBufKeep {
+		p.key = nil
+	}
+	if cap(p.input) > pendingOpBufKeep {
+		p.input = nil
+	}
+	if len(sess.opFree) < pendingOpPoolCap {
+		sess.opFree = append(sess.opFree, p)
+	}
+}
+
+// finishPending recycles p and delivers its final result. The value may
+// alias p.rec's buffer; recycling only drops the reference, so the bytes
+// stay valid for the duration of the delivery.
+func (sess *Session) finishPending(p *pendingOp, st Status, v []byte) {
+	comp := p.comp
+	sess.freePendingOp(p)
+	sess.deliver(comp, st, v)
+}
+
+// finishOrRelease delivers a terminal result, or — when a continuation
+// re-entered the state machine and went pending again under a fresh op that
+// inherited p's completion — just recycles p.
+func (sess *Session) finishOrRelease(p *pendingOp, st Status, v []byte) {
+	if st == StatusPending {
+		sess.freePendingOp(p)
+		return
+	}
+	sess.finishPending(p, st, v)
 }
 
 // issueRead starts an asynchronous device read of the record at p.addr. The
-// device callback parses the record (issuing a follow-up read if the record
-// is longer than the hint) and then queues the continuation onto the
+// device goroutine parses the record (issuing a follow-up read if the record
+// is longer than the hint), stores the result on p, and queues p onto the
 // session's completion channel.
 func (sess *Session) issueRead(p *pendingOp) {
 	sess.inflight.Add(1)
 	sess.s.stats.PendingIssued.Add(1)
 	lg := sess.s.log
 	go func() {
-		rec, err := lg.ReadRecordFromDevice(p.addr, sess.s.cfg.ReadHintBytes+len(p.key))
-		sess.completions <- func() { sess.resume(p, rec, err) }
+		p.rec, p.err = lg.ReadRecordFromDevice(p.addr, sess.s.cfg.ReadHintBytes+len(p.key))
+		sess.completions <- p
 	}()
 }
 
 // resume continues a pending operation with the record read from storage.
 // It runs on the session goroutine (inside CompletePending).
-func (sess *Session) resume(p *pendingOp, rec hlog.Record, err error) {
+func (sess *Session) resume(p *pendingOp) {
 	sess.inflight.Add(-1)
-	if err != nil {
-		invoke(p.cb, StatusError, nil)
+	if p.err != nil {
+		sess.finishPending(p, StatusError, nil)
 		return
 	}
+	rec := p.rec
 	m := rec.Meta()
 	match := !m.Invalid() && !m.Indirection() && bytes.Equal(rec.Key(), p.key)
 
@@ -57,20 +135,22 @@ func (sess *Session) resume(p *pendingOp, rec hlog.Record, err error) {
 	case opRead:
 		if match {
 			if m.Tombstone() {
-				invoke(p.cb, StatusNotFound, nil)
+				sess.finishPending(p, StatusNotFound, nil)
 				return
 			}
-			invoke(p.cb, StatusOK, rec.Value())
+			sess.finishPending(p, StatusOK, rec.Value())
 			return
 		}
 		if m.Indirection() && !m.Invalid() {
 			if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
 				p.hash >= ip.RangeStart && p.hash < ip.RangeEnd {
-				invoke(p.cb, StatusIndirection, rec.Value())
+				sess.finishPending(p, StatusIndirection, rec.Value())
 				return
 			}
 		}
-		sess.followOrFinish(p, m, func() { invoke(p.cb, StatusNotFound, nil) })
+		if !sess.follow(p, m) {
+			sess.finishPending(p, StatusNotFound, nil)
+		}
 
 	case opRMW:
 		// The chain may have gained an in-memory version while the read
@@ -78,7 +158,8 @@ func (sess *Session) resume(p *pendingOp, rec hlog.Record, err error) {
 		slot := sess.s.index.FindOrCreateEntry(p.hash)
 		res := sess.walkMemory(slot, p.key, p.hash)
 		if res.status != walkBelowHead {
-			sess.rmwFrom(slot, p.key, p.hash, p.input, p.cb)
+			st, v := sess.rmwFrom(slot, p.key, p.hash, p.input, p.comp)
+			sess.finishOrRelease(p, st, v)
 			return
 		}
 		if match {
@@ -86,45 +167,52 @@ func (sess *Session) resume(p *pendingOp, rec hlog.Record, err error) {
 			if !m.Tombstone() {
 				old = rec.Value()
 			}
-			sess.finishRMWWithValue(p, old)
+			st, v := sess.finishRMWWithValue(p, old)
+			sess.finishOrRelease(p, st, v)
 			return
 		}
 		if m.Indirection() && !m.Invalid() {
 			if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
 				p.hash >= ip.RangeStart && p.hash < ip.RangeEnd {
-				invoke(p.cb, StatusIndirection, rec.Value())
+				sess.finishPending(p, StatusIndirection, rec.Value())
 				return
 			}
 		}
-		sess.followOrFinish(p, m, func() { sess.finishRMWWithValue(p, nil) })
+		if !sess.follow(p, m) {
+			st, v := sess.finishRMWWithValue(p, nil)
+			sess.finishOrRelease(p, st, v)
+		}
 
 	case opCondInsert:
 		if match {
 			// A version (even a tombstone) exists: the incoming migrated
 			// record is older; drop it.
-			invoke(p.cb, StatusNotFound, nil)
+			sess.finishPending(p, StatusNotFound, nil)
 			return
 		}
-		sess.followOrFinish(p, m, func() { sess.finishCondInsert(p) })
+		if !sess.follow(p, m) {
+			sess.finishCondInsert(p)
+		}
 	}
 }
 
-// followOrFinish either issues the next chain read or, at the chain's end,
-// runs atEnd.
-func (sess *Session) followOrFinish(p *pendingOp, m hlog.Meta, atEnd func()) {
+// follow issues the next chain read and reports true; at the chain's end it
+// reports false and the caller finishes the operation.
+func (sess *Session) follow(p *pendingOp, m hlog.Meta) bool {
 	prev := m.Previous()
 	if prev == hlog.InvalidAddress || prev < sess.s.log.BeginAddress() {
-		atEnd()
-		return
+		return false
 	}
 	p.addr = prev
 	sess.issueRead(p)
+	return true
 }
 
 // finishRMWWithValue applies the RMW against the storage-resident value (nil
 // when absent) and appends the result, retrying against memory if the chain
-// head moved.
-func (sess *Session) finishRMWWithValue(p *pendingOp, old []byte) {
+// head moved. Like rmwFrom it returns the terminal status instead of
+// delivering it; a StatusPending return means a fresh op inherited p.comp.
+func (sess *Session) finishRMWWithValue(p *pendingOp, old []byte) (Status, []byte) {
 	var newVal []byte
 	if old == nil {
 		newVal = sess.s.rmw.Initial(p.input)
@@ -136,12 +224,10 @@ func (sess *Session) finishRMWWithValue(p *pendingOp, old []byte) {
 		res := sess.walkMemory(slot, p.key, p.hash)
 		if res.status != walkBelowHead {
 			// Memory changed while we worked: recompute from memory.
-			sess.rmwFrom(slot, p.key, p.hash, p.input, p.cb)
-			return
+			return sess.rmwFrom(slot, p.key, p.hash, p.input, p.comp)
 		}
 		if sess.appendRMW(res, p.key, newVal) {
-			invoke(p.cb, StatusOK, nil)
-			return
+			return StatusOK, nil
 		}
 	}
 }
@@ -154,8 +240,17 @@ func (sess *Session) finishCondInsert(p *pendingOp) {
 		res := sess.walkMemory(slot, p.key, p.hash)
 		switch res.status {
 		case walkFound, walkTombstone:
-			invoke(p.cb, StatusNotFound, nil)
+			sess.finishPending(p, StatusNotFound, nil)
 			return
+		case walkIndirection:
+			// The chain gained an indirection record while we worked; the
+			// migrated record is at least as new as the remote suffix the
+			// indirection defers to, so install in front (same decision as
+			// ConditionalInsert's inline path).
+			if sess.condAppend(res, p.key, p.input, p.meta.Tombstone()) {
+				sess.finishPending(p, StatusOK, nil)
+				return
+			}
 		case walkBelowHead:
 			// The chain gained new storage-resident links (eviction moved
 			// head); re-verifying from storage would loop, and a young
@@ -163,7 +258,7 @@ func (sess *Session) finishCondInsert(p *pendingOp) {
 			fallthrough
 		case walkNotFound:
 			if sess.condAppend(res, p.key, p.input, p.meta.Tombstone()) {
-				invoke(p.cb, StatusOK, nil)
+				sess.finishPending(p, StatusOK, nil)
 				return
 			}
 		}

@@ -14,16 +14,31 @@ import (
 // called concurrently. Pending-operation callbacks run on the session's
 // goroutine, inside CompletePending.
 //
-// Every operation takes a callback that is invoked exactly once: inline when
-// the operation completes immediately, or from CompletePending when it
-// needed storage I/O (the operation then returns StatusPending).
+// Two completion styles coexist:
+//
+//   - Callback-based (Read/Upsert/RMW/Delete): the callback is invoked
+//     exactly once — inline when the operation completes immediately, or
+//     from CompletePending when it needed storage I/O.
+//   - Token-based (ReadHash/UpsertHash/RMWHash/DeleteHash): the caller
+//     supplies the key hash it already computed plus an opaque token, and
+//     inline results come back as return values — no per-operation closure.
+//     Only operations that go pending are routed to the session's
+//     CompletionHandler, keyed by token. This is the server dispatch loop's
+//     allocation-free hot path.
 type Session struct {
 	s *Store
 	g *epoch.Guard
 
-	completions chan func()
+	// completions carries finished storage I/O back to the session
+	// goroutine as the pending-op structs themselves (no closure per
+	// completion); opFree recycles them.
+	completions chan *pendingOp
+	opFree      []*pendingOp
 	inflight    atomic.Int64
 	closed      bool
+
+	// handler receives token-based pending completions.
+	handler CompletionHandler
 
 	opsSinceRefresh int
 
@@ -44,15 +59,45 @@ type Session struct {
 // StatusIndirection the payload is the encoded indirection pointer.
 type Callback func(st Status, value []byte)
 
+// CompletionHandler receives the final status of token-based operations that
+// returned StatusPending. It runs on the session goroutine, inside
+// CompletePending; value (reads) is valid only during the call.
+type CompletionHandler func(token uint64, st Status, value []byte)
+
+// completion routes one operation's final result: to a caller-supplied
+// callback, or — for token-based operations — to the session's
+// CompletionHandler. Passed by value so the inline paths allocate nothing.
+type completion struct {
+	cb        Callback
+	token     uint64
+	tokenized bool
+}
+
+// deliver invokes the completion's sink.
+func (sess *Session) deliver(comp completion, st Status, v []byte) {
+	if comp.tokenized {
+		if sess.handler != nil {
+			sess.handler(comp.token, st, v)
+		}
+		return
+	}
+	invoke(comp.cb, st, v)
+}
+
 // NewSession registers a new thread with the store.
 func (s *Store) NewSession() *Session {
 	return &Session{
 		s:           s,
 		g:           s.epoch.Register(),
-		completions: make(chan func(), s.cfg.MaxPendingPerSession),
+		completions: make(chan *pendingOp, s.cfg.MaxPendingPerSession),
 		ver:         s.version.Load(),
 	}
 }
+
+// SetCompletionHandler installs the sink for token-based pending
+// completions. Must be set before the first ReadHash/RMWHash that can go
+// pending; a nil handler drops token-based completions.
+func (sess *Session) SetCompletionHandler(h CompletionHandler) { sess.handler = h }
 
 // Close unregisters the session. Outstanding pending operations are drained
 // first.
@@ -101,8 +146,8 @@ func (sess *Session) CompletePending(wait bool) int {
 	n := 0
 	for {
 		select {
-		case fn := <-sess.completions:
-			fn()
+		case p := <-sess.completions:
+			sess.resume(p)
 			n++
 			continue
 		default:
@@ -113,9 +158,9 @@ func (sess *Session) CompletePending(wait bool) int {
 		// Block for the next completion; keep the epoch unprotected so
 		// flush/eviction cuts are not held up by an idle session.
 		sess.g.Suspend()
-		fn := <-sess.completions
+		p := <-sess.completions
 		sess.g.Resume()
-		fn()
+		sess.resume(p)
 		n++
 	}
 }
@@ -197,28 +242,42 @@ func (sess *Session) walkMemory(slot hashidx.Slot, key []byte, hash uint64) walk
 // Read looks up key. The callback receives the value on StatusOK; it runs
 // inline unless the result is StatusPending.
 func (sess *Session) Read(key []byte, cb Callback) Status {
+	st, v := sess.readHash(key, HashOf(key), completion{cb: cb})
+	if st != StatusPending {
+		invoke(cb, st, v)
+	}
+	return st
+}
+
+// ReadHash is Read for callers that already computed the key's hash (the
+// server dispatch loop computes it for ownership checks) and want no per-op
+// callback. Inline results are returned directly — the value is valid until
+// the session's next operation. A StatusPending result is delivered to the
+// session's CompletionHandler under token.
+func (sess *Session) ReadHash(key []byte, hash uint64, token uint64) (Status, []byte) {
+	return sess.readHash(key, hash, completion{token: token, tokenized: true})
+}
+
+// readHash is the shared read path; it never delivers inline results (the
+// wrappers do), so token-based callers pay no closure.
+func (sess *Session) readHash(key []byte, hash uint64, comp completion) (Status, []byte) {
 	sess.maybeRefresh()
 	sess.s.stats.Reads.Add(1)
-	hash := HashOf(key)
 	slot := sess.s.index.FindEntry(hash)
 	res := sess.walkMemory(slot, key, hash)
 	switch res.status {
 	case walkFound:
 		sess.maybeSample(hash, res)
 		sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
-		invoke(cb, StatusOK, sess.valBuf)
-		return StatusOK
+		return StatusOK, sess.valBuf
 	case walkTombstone, walkNotFound:
-		invoke(cb, StatusNotFound, nil)
-		return StatusNotFound
+		return StatusNotFound, nil
 	case walkIndirection:
 		sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
-		invoke(cb, StatusIndirection, sess.valBuf)
-		return StatusIndirection
+		return StatusIndirection, sess.valBuf
 	default: // walkBelowHead
-		sess.issueRead(&pendingOp{kind: opRead, key: append([]byte(nil), key...),
-			hash: hash, addr: res.addr, cb: cb})
-		return StatusPending
+		sess.issueRead(sess.newPendingOp(opRead, key, nil, hash, res.addr, comp))
+		return StatusPending, nil
 	}
 }
 
@@ -226,9 +285,16 @@ func (sess *Session) Read(key []byte, cb Callback) Status {
 // in memory is updated in place or shadowed; a version on storage is
 // shadowed by the append.
 func (sess *Session) Upsert(key, value []byte, cb Callback) Status {
+	st := sess.UpsertHash(key, value, HashOf(key))
+	invoke(cb, st, nil)
+	return st
+}
+
+// UpsertHash is Upsert with a caller-computed hash and no callback; upserts
+// never go pending, so the returned status is always final.
+func (sess *Session) UpsertHash(key, value []byte, hash uint64) Status {
 	sess.maybeRefresh()
 	sess.s.stats.Upserts.Add(1)
-	hash := HashOf(key)
 	slot := sess.s.index.FindOrCreateEntry(hash)
 	for {
 		res := sess.walkMemory(slot, key, hash)
@@ -244,13 +310,11 @@ func (sess *Session) Upsert(key, value []byte, cb Callback) Status {
 			res.rec.StoreValueBytes(value)
 			res.rec.Unseal(pre)
 			sess.s.stats.InPlaceUpdates.Add(1)
-			invoke(cb, StatusOK, nil)
 			return StatusOK
 		}
 		// RCU / blind append path.
 		if sess.tryAppend(res, key, value, false) {
 			sess.s.stats.RCUUpdates.Add(1)
-			invoke(cb, StatusOK, nil)
 			return StatusOK
 		}
 	}
@@ -258,36 +322,60 @@ func (sess *Session) Upsert(key, value []byte, cb Callback) Status {
 
 // Delete writes a tombstone for key.
 func (sess *Session) Delete(key []byte, cb Callback) Status {
+	st := sess.DeleteHash(key, HashOf(key))
+	invoke(cb, st, nil)
+	return st
+}
+
+// DeleteHash is Delete with a caller-computed hash and no callback; deletes
+// never go pending.
+func (sess *Session) DeleteHash(key []byte, hash uint64) Status {
 	sess.maybeRefresh()
 	sess.s.stats.Deletes.Add(1)
-	hash := HashOf(key)
 	slot := sess.s.index.FindOrCreateEntry(hash)
 	for {
 		res := sess.walkMemory(slot, key, hash)
 		if res.status == walkTombstone {
-			invoke(cb, StatusOK, nil)
 			return StatusOK
 		}
 		if sess.tryAppend(res, key, nil, true) {
-			invoke(cb, StatusOK, nil)
 			return StatusOK
 		}
 	}
 }
 
 // RMW reads key's value, applies the store's RMW function with input, and
-// writes the result. The callback receives no value (use Read to observe).
+// writes the result. The callback receives no value (use Read to observe),
+// except for StatusIndirection where it carries the indirection pointer.
 func (sess *Session) RMW(key, input []byte, cb Callback) Status {
 	sess.maybeRefresh()
 	sess.s.stats.RMWs.Add(1)
 	hash := HashOf(key)
 	slot := sess.s.index.FindOrCreateEntry(hash)
-	return sess.rmwFrom(slot, key, hash, input, cb)
+	st, v := sess.rmwFrom(slot, key, hash, input, completion{cb: cb})
+	if st != StatusPending {
+		invoke(cb, st, v)
+	}
+	return st
+}
+
+// RMWHash is RMW with a caller-computed hash and no per-op callback. Inline
+// results are returned directly (for StatusIndirection the returned bytes
+// are the encoded indirection pointer, valid until the session's next
+// operation); a StatusPending result is delivered to the CompletionHandler
+// under token.
+func (sess *Session) RMWHash(key, input []byte, hash uint64, token uint64) (Status, []byte) {
+	sess.maybeRefresh()
+	sess.s.stats.RMWs.Add(1)
+	slot := sess.s.index.FindOrCreateEntry(hash)
+	return sess.rmwFrom(slot, key, hash, input, completion{token: token, tokenized: true})
 }
 
 // rmwFrom runs the RMW state machine starting with an in-memory walk; the
-// pending-I/O continuation re-enters here.
-func (sess *Session) rmwFrom(slot hashidx.Slot, key []byte, hash uint64, input []byte, cb Callback) Status {
+// pending-I/O continuation re-enters here. It never delivers the result
+// itself: terminal statuses are returned to the caller, and only the
+// pending path hands comp to a pending op for later delivery.
+func (sess *Session) rmwFrom(slot hashidx.Slot, key []byte, hash uint64, input []byte, comp completion) (Status, []byte) {
 	for {
 		res := sess.walkMemory(slot, key, hash)
 		switch res.status {
@@ -303,8 +391,7 @@ func (sess *Session) rmwFrom(slot hashidx.Slot, key []byte, hash uint64, input [
 				hlog.SameVersion(res.rec.Meta().Version(), sess.ver) &&
 				sess.s.rmw.TryInPlace(res.rec, input) {
 				sess.s.stats.InPlaceUpdates.Add(1)
-				invoke(cb, StatusOK, nil)
-				return StatusOK
+				return StatusOK, nil
 			}
 			// Copy-on-write from the current value.
 			old := res.rec.ReadValueStable(nil)
@@ -312,22 +399,18 @@ func (sess *Session) rmwFrom(slot hashidx.Slot, key []byte, hash uint64, input [
 				if sampling {
 					sess.s.stats.SampledCopies.Add(1)
 				}
-				invoke(cb, StatusOK, nil)
-				return StatusOK
+				return StatusOK, nil
 			}
 		case walkTombstone, walkNotFound:
 			if sess.appendRMW(res, key, sess.s.rmw.Initial(input)) {
-				invoke(cb, StatusOK, nil)
-				return StatusOK
+				return StatusOK, nil
 			}
 		case walkIndirection:
 			sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
-			invoke(cb, StatusIndirection, sess.valBuf)
-			return StatusIndirection
+			return StatusIndirection, sess.valBuf
 		case walkBelowHead:
-			sess.issueRead(&pendingOp{kind: opRMW, key: append([]byte(nil), key...),
-				hash: hash, addr: res.addr, input: append([]byte(nil), input...), cb: cb})
-			return StatusPending
+			sess.issueRead(sess.newPendingOp(opRMW, key, input, hash, res.addr, comp))
+			return StatusPending, nil
 		}
 	}
 }

@@ -107,12 +107,28 @@ type Store struct {
 	stats StoreStats
 }
 
-// StoreStats aggregates operation counters across sessions.
+// cachePad separates hot atomic counters onto their own cache lines so
+// per-op updates from different session threads do not false-share.
+type cachePad [56]byte
+
+// StoreStats aggregates operation counters across sessions. Each per-op
+// counter group sits on its own cache line: under a mixed workload
+// different dispatcher cores bump different counters, and without padding
+// every bump would invalidate the others' lines.
 type StoreStats struct {
-	Reads, Upserts, RMWs, Deletes atomic.Uint64
-	InPlaceUpdates, RCUUpdates    atomic.Uint64
-	PendingIssued                 atomic.Uint64
-	SampledCopies                 atomic.Uint64
+	Reads          atomic.Uint64
+	_              cachePad
+	Upserts        atomic.Uint64
+	_              cachePad
+	RMWs           atomic.Uint64
+	_              cachePad
+	Deletes        atomic.Uint64
+	_              cachePad
+	InPlaceUpdates atomic.Uint64
+	RCUUpdates     atomic.Uint64
+	_              cachePad
+	PendingIssued  atomic.Uint64
+	SampledCopies  atomic.Uint64
 }
 
 // NewStore creates a Store. The log device must be set in cfg.Log.Device.

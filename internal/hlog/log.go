@@ -75,15 +75,22 @@ type Log struct {
 	memCap     uint64 // MemPages << PageBits
 	mutableCap uint64 // MutablePages << PageBits
 
-	// Region markers; all are byte addresses and only grow.
-	tail         atomic.Uint64 // next allocation point
+	// Region markers; all are byte addresses and only grow. Cache-line
+	// padding keeps the allocation-CASed tail and the flusher-advanced
+	// flushedUntil off the lines holding the read-mostly markers that every
+	// chain walk loads — otherwise each allocation invalidates every
+	// dispatcher's cached copy of head/readOnly/begin (false sharing).
+	tail         atomic.Uint64 // next allocation point (CASed per alloc: hot write)
+	_            cachePad
 	readOnly     atomic.Uint64 // below this: no in-place updates (intent)
 	safeReadOnly atomic.Uint64 // below this: flushable (all threads observed)
 	head         atomic.Uint64 // below this: may not be in memory (intent)
 	evictAllowed atomic.Uint64 // head cut completed up to here
 	safeHead     atomic.Uint64 // below this: frames may be reused
-	flushedUntil atomic.Uint64 // device has everything below
 	begin        atomic.Uint64 // log truncation point (compaction)
+	_            cachePad
+	flushedUntil atomic.Uint64 // device has everything below (flusher-written)
+	_            cachePad
 
 	frames   [][]byte // frame i backs pages p where p & frameMask == i
 	frameFor []atomic.Uint64
@@ -109,12 +116,19 @@ type Log struct {
 	stats LogStats
 }
 
-// LogStats counts allocator events.
+// cachePad separates hot atomics onto their own cache lines so updates from
+// different cores do not false-share.
+type cachePad [56]byte
+
+// LogStats counts allocator events. PageRolls/RollStalls are bumped by
+// allocating dispatchers, PagesFlushed/PagesEvicted by the flusher
+// goroutine; the pad keeps the two writer groups off one line.
 type LogStats struct {
 	PageRolls    atomic.Uint64
+	RollStalls   atomic.Uint64
+	_            cachePad
 	PagesFlushed atomic.Uint64
 	PagesEvicted atomic.Uint64
-	RollStalls   atomic.Uint64
 }
 
 // New creates a HybridLog.

@@ -51,6 +51,19 @@ type Transport interface {
 	Dial(addr string) (Conn, error)
 }
 
+// BatchedSender is an optional Conn extension for send coalescing:
+// SendNoFlush enqueues a frame into a per-connection write buffer and Flush
+// pushes the whole buffer to the wire in a single write. Server dispatch
+// loops use it so every response produced in one poll iteration costs one
+// syscall per connection instead of one per frame. Send remains valid on
+// such conns and flushes any buffered frames first (frame order is
+// preserved). The in-process transport does not implement it — a channel
+// send has no per-call kernel cost to amortize.
+type BatchedSender interface {
+	SendNoFlush(frame []byte) error
+	Flush() error
+}
+
 // CostModel charges CPU for network processing. Costs are burned (busy
 // spin) on the calling goroutine: offloaded stacks charge almost nothing,
 // software stacks charge per byte, mirroring where the paper's throughput
@@ -308,14 +321,27 @@ type tcpListener struct {
 }
 
 type tcpConn struct {
-	t      *TCP
-	c      net.Conn
-	wmu    sync.Mutex
-	frames chan []byte
-	rerr   atomic.Value // error
-	closed atomic.Bool
-	lenBuf [4]byte
+	t       *TCP
+	c       net.Conn
+	wmu     sync.Mutex
+	wbuf    []byte // length-prefixed frames awaiting one writev-style flush
+	wframes uint64 // frames in wbuf (stats are counted on successful flush)
+	wbytes  uint64 // payload bytes in wbuf
+	frames  chan []byte
+	rerr    atomic.Value // error
+	closed  atomic.Bool
 }
+
+const (
+	// tcpCoalesceBytes caps the per-conn send buffer: SendNoFlush flushes
+	// eagerly past this point so a long poll iteration cannot buffer
+	// unbounded response bytes.
+	tcpCoalesceBytes = 256 << 10
+	// tcpSendBufKeep is the largest buffer capacity retained across
+	// flushes (a single huge migration frame should not pin its footprint
+	// on the conn forever).
+	tcpSendBufKeep = 1 << 20
+)
 
 // Listen implements Transport.
 func (t *TCP) Listen(addr string) (Listener, error) {
@@ -383,6 +409,9 @@ func (c *tcpConn) readLoop() {
 	}
 }
 
+// Send writes one frame. The length prefix and payload go out in a single
+// Write (one syscall), together with any frames buffered by SendNoFlush —
+// ordering between buffered and direct sends on one conn is preserved.
 func (c *tcpConn) Send(frame []byte) error {
 	if c.closed.Load() {
 		return ErrClosed
@@ -390,16 +419,59 @@ func (c *tcpConn) Send(frame []byte) error {
 	c.t.Cost.chargeSend(len(frame))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	binary.LittleEndian.PutUint32(c.lenBuf[:], uint32(len(frame)))
-	if _, err := c.c.Write(c.lenBuf[:]); err != nil {
-		return err
+	c.appendFrameLocked(frame)
+	return c.flushLocked()
+}
+
+// SendNoFlush implements BatchedSender: the frame is queued on the conn's
+// write buffer and hits the wire at the next Flush (or when the buffer
+// exceeds tcpCoalesceBytes).
+func (c *tcpConn) SendNoFlush(frame []byte) error {
+	if c.closed.Load() {
+		return ErrClosed
 	}
-	if _, err := c.c.Write(frame); err != nil {
-		return err
+	c.t.Cost.chargeSend(len(frame))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.appendFrameLocked(frame)
+	if len(c.wbuf) >= tcpCoalesceBytes {
+		return c.flushLocked()
 	}
-	c.t.stats.FramesSent.Add(1)
-	c.t.stats.BytesSent.Add(uint64(len(frame)))
 	return nil
+}
+
+// Flush implements BatchedSender: buffered frames go out in one write.
+func (c *tcpConn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *tcpConn) appendFrameLocked(frame []byte) {
+	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, uint32(len(frame)))
+	c.wbuf = append(c.wbuf, frame...)
+	c.wframes++
+	c.wbytes += uint64(len(frame))
+}
+
+func (c *tcpConn) flushLocked() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.c.Write(c.wbuf)
+	if err == nil {
+		// Stats count frames that actually reached the wire; a failed
+		// flush drops its frames from buffer and counters alike.
+		c.t.stats.FramesSent.Add(c.wframes)
+		c.t.stats.BytesSent.Add(c.wbytes)
+	}
+	c.wframes, c.wbytes = 0, 0
+	if cap(c.wbuf) > tcpSendBufKeep {
+		c.wbuf = nil
+	} else {
+		c.wbuf = c.wbuf[:0]
+	}
+	return err
 }
 
 func (c *tcpConn) Recv() ([]byte, error) {

@@ -3,7 +3,9 @@ package transport
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -306,5 +308,108 @@ func BenchmarkInMemSendRecv(b *testing.B) {
 		if _, err := c.Recv(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// countingConn wraps a net.Conn and counts Write syscall-equivalents.
+type countingConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(p)
+}
+
+// TestTCPSendSingleWrite verifies a frame's length prefix and payload leave
+// in one Write call (one syscall on a real socket).
+func TestTCPSendSingleWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	tr := NewTCP(Free)
+	cc := &countingConn{Conn: a}
+	conn := tr.wrap(cc)
+	defer conn.Close()
+
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if err := conn.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.writes.Load(); got != 1 {
+		t.Fatalf("Send used %d writes, want 1", got)
+	}
+}
+
+// TestTCPSendCoalescing verifies SendNoFlush buffers frames and Flush ships
+// them all in a single write, preserving frame boundaries and order — also
+// interleaved with a direct Send.
+func TestTCPSendCoalescing(t *testing.T) {
+	a, b := net.Pipe()
+	tr := NewTCP(Free)
+	cc := &countingConn{Conn: a}
+	conn := tr.wrap(cc)
+	peer := tr.wrap(b)
+	defer conn.Close()
+	defer peer.Close()
+
+	bs, ok := Conn(conn).(BatchedSender)
+	if !ok {
+		t.Fatal("tcpConn does not implement BatchedSender")
+	}
+	frames := [][]byte{[]byte("one"), []byte("two-two"), []byte("three")}
+	for _, f := range frames {
+		if err := bs.SendNoFlush(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cc.writes.Load(); got != 0 {
+		t.Fatalf("SendNoFlush hit the wire early: %d writes", got)
+	}
+	done := make(chan error, 1)
+	go func() { done <- bs.Flush() }()
+	for i, want := range frames {
+		got, err := peer.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.writes.Load(); got != 1 {
+		t.Fatalf("Flush used %d writes, want 1", got)
+	}
+
+	// A direct Send after buffering more frames flushes buffer + frame
+	// together, in order.
+	if err := bs.SendNoFlush([]byte("four")); err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- conn.Send([]byte("five")) }()
+	for _, want := range []string{"four", "five"} {
+		got, err := peer.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.writes.Load(); got != 2 {
+		t.Fatalf("Send-after-buffer used %d total writes, want 2", got)
 	}
 }
