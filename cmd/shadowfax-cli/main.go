@@ -1,12 +1,20 @@
 // Command shadowfax-cli issues ad-hoc operations against a shadowfax-server
-// over TCP: get / set / del / rmw <key> [value|delta], plus the admin
-// commands checkpoint (takes a durable checkpoint on the server, see -data /
-// -recover-from on shadowfax-server) and compact (runs one log-compaction
-// pass and prints its statistics, see -compact-every / -compact-watermark).
+// over TCP, through the public repro/shadowfax package: get / set / del /
+// rmw <key> [value|delta] on the data plane, plus the admin commands
+// checkpoint (takes a durable checkpoint on the server, see -data /
+// -recover-from on shadowfax-server), compact (runs one log-compaction pass
+// and prints its statistics, see -compact-every / -compact-watermark) and
+// stats (prints the server's counters and view).
+//
+// The CLI bootstraps with the Discover handshake: it contacts the server by
+// address, learns its identity and ownership view, and then routes like any
+// other client.
 package main
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -14,82 +22,99 @@ import (
 	"strconv"
 	"time"
 
-	"repro/internal/transport"
-	"repro/internal/wire"
+	"repro/shadowfax"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "server address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-command timeout")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) < 1 || (args[0] != "checkpoint" && args[0] != "compact" && len(args) < 2) {
-		fmt.Fprintln(os.Stderr, "usage: shadowfax-cli [-addr host:port] <get|set|del|rmw|checkpoint|compact> [key] [value|delta]")
+	admin := map[string]bool{"checkpoint": true, "compact": true, "stats": true}
+	if len(args) < 1 || (!admin[args[0]] && len(args) < 2) {
+		fmt.Fprintln(os.Stderr, "usage: shadowfax-cli [-addr host:port] <get|set|del|rmw|checkpoint|compact|stats> [key] [value|delta]")
 		os.Exit(2)
 	}
 
-	tr := transport.NewTCP(transport.Free)
-	conn, err := tr.Dial(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cluster := shadowfax.NewCluster(shadowfax.WithTCPNetwork(shadowfax.NetFree))
+	st, err := cluster.Discover(ctx, *addr)
+	if err != nil {
+		log.Fatalf("discovering server at %s: %v", *addr, err)
+	}
+	serverID := st.ServerID
+
+	switch args[0] {
+	case "checkpoint":
+		info, err := shadowfax.NewAdmin(cluster).Checkpoint(ctx, serverID)
+		if err != nil {
+			log.Fatalf("checkpoint failed: %v", err)
+		}
+		fmt.Printf("checkpoint committed: version %d, log prefix %#x\n",
+			info.Version, info.LogTail)
+		return
+	case "compact":
+		cs, err := shadowfax.NewAdmin(cluster).Compact(ctx, serverID)
+		if err != nil {
+			log.Fatalf("compaction failed: %v", err)
+		}
+		fmt.Printf("compaction pass: scanned %d, kept %d, dropped %d, relocated %d\n",
+			cs.Scanned, cs.Kept, cs.Dropped, cs.Relocated)
+		fmt.Printf("log begins at %#x; reclaimed %d device bytes, %d shared-tier bytes\n",
+			cs.Begin, cs.ReclaimedBytes, cs.TierReclaimed)
+		return
+	case "stats":
+		fmt.Printf("server %s (view #%d)\n", st.ServerID, st.ViewNumber)
+		fmt.Printf("  ops completed      %d\n", st.OpsCompleted)
+		fmt.Printf("  batches            %d accepted, %d rejected, %d undecodable\n",
+			st.BatchesAccepted, st.BatchesRejected, st.DecodeErrors)
+		fmt.Printf("  pending ops        %d (store reads issued: %d)\n",
+			st.PendingOps, st.StorePendingReads)
+		fmt.Printf("  checkpoints        %d (%d failed)\n",
+			st.Checkpoints, st.CheckpointFailures)
+		fmt.Printf("  compaction passes  %d (%d failed), %d records relocated, %d bytes reclaimed\n",
+			st.Compactions, st.CompactionFailures, st.CompactRelocated,
+			st.CompactReclaimedBytes)
+		return
+	}
+
+	cl, err := shadowfax.Dial(cluster)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
+	defer cl.Close()
 
-	if args[0] == "checkpoint" {
-		if err := conn.Send(wire.EncodeCheckpointReq()); err != nil {
-			log.Fatal(err)
-		}
-		frame, err := recvWithTimeout(conn, 30*time.Second)
-		if err != nil {
-			log.Fatal(err)
-		}
-		resp, err := wire.DecodeCheckpointResp(frame)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !resp.OK {
-			log.Fatalf("checkpoint failed: %s", resp.Err)
-		}
-		fmt.Printf("checkpoint committed: version %d, log prefix %#x\n",
-			resp.Version, resp.Tail)
-		return
-	}
-
-	if args[0] == "compact" {
-		if err := conn.Send(wire.EncodeCompactReq()); err != nil {
-			log.Fatal(err)
-		}
-		frame, err := recvWithTimeout(conn, 60*time.Second)
-		if err != nil {
-			log.Fatal(err)
-		}
-		resp, err := wire.DecodeCompactResp(frame)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !resp.OK {
-			log.Fatalf("compaction failed: %s", resp.Err)
-		}
-		fmt.Printf("compaction pass: scanned %d, kept %d, dropped %d, relocated %d\n",
-			resp.Scanned, resp.Kept, resp.Dropped, resp.Relocated)
-		fmt.Printf("log begins at %#x; reclaimed %d device bytes, %d shared-tier bytes\n",
-			resp.Begin, resp.ReclaimedBytes, resp.TierReclaimed)
-		return
-	}
-
-	op := wire.Op{Seq: 1, Key: []byte(args[1])}
+	key := []byte(args[1])
 	switch args[0] {
 	case "get":
-		op.Kind = wire.OpRead
+		v, err := cl.Get(ctx, key)
+		switch {
+		case errors.Is(err, shadowfax.ErrNotFound):
+			fmt.Println("(not found)")
+		case err != nil:
+			log.Fatal(err)
+		case len(v) == 8:
+			fmt.Printf("%q = %d (8-byte counter)\n", args[1],
+				binary.LittleEndian.Uint64(v))
+		default:
+			fmt.Printf("%q = %q\n", args[1], v)
+		}
 	case "set":
 		if len(args) < 3 {
 			log.Fatal("set needs a value")
 		}
-		op.Kind = wire.OpUpsert
-		op.Value = []byte(args[2])
+		if err := cl.Set(ctx, key, []byte(args[2])); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("OK")
 	case "del":
-		op.Kind = wire.OpDelete
+		if err := cl.Delete(ctx, key); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("OK")
 	case "rmw":
-		op.Kind = wire.OpRMW
 		delta := uint64(1)
 		if len(args) >= 3 {
 			d, err := strconv.ParseUint(args[2], 10, 64)
@@ -98,74 +123,13 @@ func main() {
 			}
 			delta = d
 		}
-		op.Value = make([]byte, 8)
-		binary.LittleEndian.PutUint64(op.Value, delta)
+		input := make([]byte, 8)
+		binary.LittleEndian.PutUint64(input, delta)
+		if err := cl.RMW(ctx, key, input); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("OK")
 	default:
 		log.Fatalf("unknown op %q", args[0])
 	}
-
-	// The view number is learned by probing: send with view 1 and follow
-	// the server's hint on rejection.
-	view := uint64(1)
-	for attempt := 0; attempt < 3; attempt++ {
-		batch := wire.RequestBatch{View: view, SessionID: 1, Ops: []wire.Op{op}}
-		if err := conn.Send(wire.AppendRequestBatch(nil, &batch)); err != nil {
-			log.Fatal(err)
-		}
-		var resp wire.ResponseBatch
-		for {
-			frame, err := recvWithTimeout(conn, 5*time.Second)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := wire.DecodeResponseBatch(frame, &resp); err != nil {
-				log.Fatal(err)
-			}
-			if resp.Rejected || len(resp.Results) > 0 {
-				break
-			}
-			// Empty batch ack: the operation went to storage (pending I/O)
-			// and its result rides a later deferred-results frame.
-		}
-		if resp.Rejected {
-			view = resp.ServerView
-			continue
-		}
-		for _, r := range resp.Results {
-			switch r.Status {
-			case wire.StatusOK:
-				if op.Kind == wire.OpRead {
-					if len(r.Value) == 8 {
-						fmt.Printf("%q = %d (8-byte counter)\n", args[1],
-							binary.LittleEndian.Uint64(r.Value))
-					} else {
-						fmt.Printf("%q = %q\n", args[1], r.Value)
-					}
-				} else {
-					fmt.Println("OK")
-				}
-			case wire.StatusNotFound:
-				fmt.Println("(not found)")
-			default:
-				fmt.Println("error")
-			}
-		}
-		return
-	}
-	log.Fatal("could not agree on a view with the server")
-}
-
-func recvWithTimeout(conn transport.Conn, d time.Duration) ([]byte, error) {
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		frame, ok, err := conn.TryRecv()
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			return frame, nil
-		}
-		time.Sleep(time.Millisecond)
-	}
-	return nil, fmt.Errorf("timeout after %v", d)
 }

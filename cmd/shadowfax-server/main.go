@@ -1,18 +1,20 @@
-// Command shadowfax-server runs a single Shadowfax server over real TCP.
+// Command shadowfax-server runs a single Shadowfax server over real TCP,
+// built entirely on the public repro/shadowfax package.
 //
 // For multi-server deployments every server needs the same metadata store;
 // this binary embeds an in-process one, so it is intended for single-node
-// use and for driving the store with cmd/shadowfax-cli. Multi-server
-// clusters live in examples/cluster and examples/scaleout (single process,
-// shared metadata), matching the simulation substitutions in DESIGN.md §2.
+// use and for driving the store with cmd/shadowfax-cli (which bootstraps via
+// the Discover handshake). Multi-server clusters live in examples/cluster
+// and examples/scaleout (single process, shared metadata), matching the
+// simulation substitutions in DESIGN.md §2.
 //
 // Durability: with -data the server keeps its HybridLog in <dir>/hlog.dat
 // and checkpoint images in <dir>/checkpoints.dat. Checkpoints are taken
-// periodically (-checkpoint-every) and on demand (the MsgCheckpoint admin
-// message; `shadowfax-cli checkpoint`). After a crash, restart with
-// -recover-from <dir> to rebuild the store from the latest committed image:
-// every key durable at the checkpoint is served again and client sessions
-// resume past their recovered prefix.
+// periodically (-checkpoint-every) and on demand (`shadowfax-cli
+// checkpoint`). After a crash, restart with -recover-from <dir> to rebuild
+// the store from the latest committed image: every key durable at the
+// checkpoint is served again and client sessions resume past their
+// recovered prefix.
 //
 // Space management: -compact-every starts the background compaction service,
 // which runs a log-compaction pass (§3.3.3) whenever the disk-resident log
@@ -30,12 +32,7 @@ import (
 	"os/signal"
 	"path/filepath"
 
-	"repro/internal/core"
-	"repro/internal/faster"
-	"repro/internal/hlog"
-	"repro/internal/metadata"
-	"repro/internal/storage"
-	"repro/internal/transport"
+	"repro/shadowfax"
 )
 
 func main() {
@@ -58,59 +55,54 @@ func main() {
 		*dir = *recoverFrom
 	}
 
-	var logDev storage.Device
-	var ckptDev storage.Device
+	cluster := shadowfax.NewCluster(shadowfax.WithTCPNetwork(shadowfax.NetAccelerated))
+	opts := []shadowfax.ServerOption{
+		shadowfax.WithListenAddr(*addr),
+		shadowfax.WithThreads(*threads),
+		shadowfax.WithIndexBuckets(1 << 16),
+		shadowfax.WithMemoryBudget(*pageBits, *memPages, *memPages/2),
+	}
+
 	if *dir == "" {
-		logDev = storage.NewMemDevice(storage.LatencyModel{}, 4)
 		if *ckptEvery > 0 {
 			// Durability onto a memory device is pointless; catch the
 			// misconfiguration instead of silently "checkpointing".
 			log.Fatal("shadowfax-server: -checkpoint-every requires -data")
 		}
+		// No -data: the server keeps its log on a private in-memory device
+		// (the NewServer default).
 	} else {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		fd, err := storage.NewFileDevice(filepath.Join(*dir, "hlog.dat"),
-			storage.LatencyModel{}, 4)
+		logDev, err := shadowfax.NewFileDevice(filepath.Join(*dir, "hlog.dat"),
+			shadowfax.LatencyModel{}, 4)
 		if err != nil {
 			log.Fatal(err)
 		}
-		logDev = fd
-		cd, err := storage.NewFileDevice(filepath.Join(*dir, "checkpoints.dat"),
-			storage.LatencyModel{}, 2)
+		defer logDev.Close()
+		ckptDev, err := shadowfax.NewFileDevice(filepath.Join(*dir, "checkpoints.dat"),
+			shadowfax.LatencyModel{}, 2)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ckptDev = cd
-	}
-	defer logDev.Close()
-	if ckptDev != nil {
 		defer ckptDev.Close()
+		opts = append(opts,
+			shadowfax.WithLogDevice(logDev),
+			shadowfax.WithCheckpointDevice(ckptDev),
+			shadowfax.WithCheckpointEvery(*ckptEvery))
+	}
+	if *compactEvery > 0 {
+		opts = append(opts, shadowfax.WithCompaction(*compactEvery, *compactWatermark))
+	}
+	if *recoverFrom != "" {
+		opts = append(opts, shadowfax.WithRecovery())
 	}
 
-	meta := metadata.NewStore()
-	tr := transport.NewTCP(transport.AcceleratedTCP)
-	srv, err := core.NewServer(core.ServerConfig{
-		ID: "server-1", Addr: *addr, Threads: *threads,
-		Transport: tr, Meta: meta,
-		Store: faster.Config{
-			IndexBuckets: 1 << 16,
-			Log: hlog.Config{
-				PageBits: *pageBits, MemPages: *memPages,
-				MutablePages: *memPages / 2, Device: logDev, LogID: "server-1",
-			},
-		},
-		CheckpointDevice: ckptDev,
-		CheckpointEvery:  *ckptEvery,
-		Recover:          *recoverFrom != "",
-		CompactEvery:     *compactEvery,
-		CompactWatermark: *compactWatermark,
-	}, metadata.FullRange)
+	srv, err := shadowfax.NewServer(cluster, "server-1", opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	meta.SetServerAddr("server-1", srv.Addr())
 	mode := "fresh"
 	if *recoverFrom != "" {
 		mode = fmt.Sprintf("recovered from %s", *recoverFrom)

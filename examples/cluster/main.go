@@ -5,20 +5,14 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/faster"
-	"repro/internal/hlog"
-	"repro/internal/metadata"
-	"repro/internal/storage"
-	"repro/internal/transport"
-	"repro/internal/wire"
 	"repro/internal/ycsb"
+	"repro/shadowfax"
 )
 
 const (
@@ -27,12 +21,11 @@ const (
 )
 
 func main() {
-	meta := metadata.NewStore()
-	tr := transport.NewInMem(transport.AcceleratedTCP)
+	cluster := shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetAccelerated))
 
 	// Carve the hash space into equal quarters.
 	width := ^uint64(0) / servers
-	var nodes []*core.Server
+	var nodes []*shadowfax.Server
 	for i := 0; i < servers; i++ {
 		start := uint64(i) * width
 		end := start + width
@@ -40,61 +33,51 @@ func main() {
 			end = ^uint64(0)
 		}
 		id := fmt.Sprintf("node-%d", i+1)
-		dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
-		defer dev.Close()
-		srv, err := core.NewServer(core.ServerConfig{
-			ID: id, Addr: id, Threads: 1,
-			Transport: tr, Meta: meta,
-			Store: faster.Config{
-				IndexBuckets: 1 << 12,
-				Log: hlog.Config{PageBits: 16, MemPages: 64, MutablePages: 32,
-					Device: dev, LogID: id},
-			},
-		}, metadata.HashRange{Start: start, End: end})
+		srv, err := shadowfax.NewServer(cluster, id,
+			shadowfax.WithThreads(1),
+			shadowfax.WithIndexBuckets(1<<12),
+			shadowfax.WithOwnership(shadowfax.HashRange{Start: start, End: end}))
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		meta.SetServerAddr(id, srv.Addr())
 		nodes = append(nodes, srv)
 	}
 
-	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	// The client hashes each key and routes it to its owner; WithMaxOutstanding
+	// is the flow control the old callback API made callers hand-roll.
+	cl, err := shadowfax.Dial(cluster, shadowfax.WithMaxOutstanding(2048))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ct.Close()
+	defer cl.Close()
+	ctx := context.Background()
 
-	// Ingest: the client hashes each key and routes it to its owner.
 	one := make([]byte, 8)
 	binary.LittleEndian.PutUint64(one, 1)
 	start := time.Now()
 	for i := uint64(0); i < keys; i++ {
-		ct.RMW(ycsb.KeyBytes(i), one, nil)
-		for ct.Outstanding() > 2048 {
-			ct.Poll()
-		}
+		cl.RMWAsync(ycsb.KeyBytes(i), one).Release()
 	}
-	if !ct.Drain(60 * time.Second) {
-		log.Fatal("load did not drain")
+	if err := cl.Drain(ctx); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("ingested %d keys in %v\n", keys, time.Since(start).Round(time.Millisecond))
 
 	for _, n := range nodes {
+		st := n.Stats()
 		v := n.CurrentView()
 		fmt.Printf("  %-8s view #%d served %7d ops for %s\n",
-			n.ID(), v.Number, n.Stats().OpsCompleted.Load(), v.Ranges[0])
+			n.ID(), st.ViewNumber, st.OpsCompleted, v.Ranges[0])
 	}
 
 	// Spot-check a few keys land with the right counters.
 	bad := 0
 	for i := uint64(0); i < 100; i++ {
-		ct.Read(ycsb.KeyBytes(i), func(st wire.ResultStatus, v []byte) {
-			if st != wire.StatusOK || binary.LittleEndian.Uint64(v) != 1 {
-				bad++
-			}
-		})
+		v, err := cl.Get(ctx, ycsb.KeyBytes(i))
+		if err != nil || binary.LittleEndian.Uint64(v) != 1 {
+			bad++
+		}
 	}
-	ct.Drain(10 * time.Second)
 	fmt.Printf("verification: %d/100 keys wrong\n", bad)
 }

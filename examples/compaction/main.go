@@ -12,20 +12,14 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/faster"
-	"repro/internal/hlog"
-	"repro/internal/metadata"
-	"repro/internal/storage"
-	"repro/internal/transport"
-	"repro/internal/wire"
 	"repro/internal/ycsb"
+	"repro/shadowfax"
 )
 
 const (
@@ -34,59 +28,52 @@ const (
 )
 
 func main() {
-	meta := metadata.NewStore()
-	tr := transport.NewInMem(transport.AcceleratedTCP)
-	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	cluster := shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetAccelerated))
+	dev := shadowfax.NewMemDevice(shadowfax.LatencyModel{}, 4)
 	defer dev.Close()
-	ckptDev := storage.NewMemDevice(storage.LatencyModel{}, 2)
+	ckptDev := shadowfax.NewMemDevice(shadowfax.LatencyModel{}, 2)
 	defer ckptDev.Close()
 
-	srv, err := core.NewServer(core.ServerConfig{
-		ID: "server-1", Addr: "server-1", Threads: 2,
-		Transport: tr, Meta: meta,
-		Store: faster.Config{
-			IndexBuckets: 1 << 12,
-			Log: hlog.Config{
-				PageBits: 14, MemPages: 16, MutablePages: 8, // 256 KiB budget
-				Device: dev, LogID: "server-1",
-			},
-		},
-		CheckpointDevice: ckptDev,
-		CheckpointEvery:  300 * time.Millisecond,
-		CompactEvery:     100 * time.Millisecond,
-		CompactWatermark: 1 << 20, // compact once ~1 MiB of dead prefix piles up
-	}, metadata.FullRange)
+	srv, err := shadowfax.NewServer(cluster, "server-1",
+		shadowfax.WithThreads(2),
+		shadowfax.WithIndexBuckets(1<<12),
+		shadowfax.WithMemoryBudget(14, 16, 8), // 256 KiB budget
+		shadowfax.WithLogDevice(dev),
+		shadowfax.WithCheckpointDevice(ckptDev),
+		shadowfax.WithCheckpointEvery(300*time.Millisecond),
+		shadowfax.WithCompaction(100*time.Millisecond, 1<<20)) // ~1 MiB watermark
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	meta.SetServerAddr("server-1", srv.Addr())
 
-	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	cl, err := shadowfax.Dial(cluster, shadowfax.WithMaxOutstanding(1024))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ct.Close()
+	defer cl.Close()
+	ctx := context.Background()
 
-	lg := srv.Store().Log()
 	fmt.Println("round  log-span(KiB)  disk-resident(KiB)  device-alloc(KiB)  begin")
 	val := make([]byte, 64)
 	for round := 0; round < overwrite; round++ {
 		for i := uint64(0); i < liveKeys; i++ {
 			binary.LittleEndian.PutUint64(val, uint64(round))
-			ct.Upsert(ycsb.KeyBytes(i), val, nil)
-			for ct.Outstanding() > 1024 {
-				ct.Poll()
-			}
+			cl.SetAsync(ycsb.KeyBytes(i), val).Release()
 		}
-		if !ct.Drain(30 * time.Second) {
-			log.Fatal("overwrite round did not drain")
+		if err := cl.Drain(ctx); err != nil {
+			log.Fatal(err)
 		}
+		// Pace the rounds: this demo is about a *sustained* overwrite
+		// workload coexisting with the background services, not a burst
+		// that outruns their polling periods.
+		time.Sleep(50 * time.Millisecond)
 		if round%5 == 4 {
-			span := uint64(lg.TailAddress()-lg.BeginAddress()) >> 10
-			fmt.Printf("%5d  %13d  %18d  %17d  %#x\n", round+1, span,
-				lg.DiskResidentBytes()>>10, dev.AllocatedBytes()>>10,
-				uint64(lg.BeginAddress()))
+			lg := srv.LogStats()
+			fmt.Printf("%5d  %13d  %18d  %17d  %#x\n", round+1,
+				(lg.TailAddress-lg.BeginAddress)>>10,
+				lg.DiskResidentBytes>>10, dev.AllocatedBytes()>>10,
+				lg.BeginAddress)
 		}
 	}
 
@@ -94,30 +81,28 @@ func main() {
 	time.Sleep(500 * time.Millisecond)
 	st := srv.Stats()
 	last := srv.LastCompaction()
+	lg := srv.LogStats()
 	fmt.Printf("\ncompaction passes: %d (failures %d)\n",
-		st.Compactions.Load(), st.CompactionFailures.Load())
+		st.Compactions, st.CompactionFailures)
 	fmt.Printf("reclaimed %d KiB of storage in total; last pass scanned %d, kept %d, dropped %d\n",
-		st.CompactReclaimedBytes.Load()>>10, last.Scanned, last.Kept, last.Dropped)
+		st.CompactReclaimedBytes>>10, last.Scanned, last.Kept, last.Dropped)
 	fmt.Printf("log: begin=%#x tail=%#x — live span %d KiB for a %d KiB working set\n",
-		uint64(lg.BeginAddress()), uint64(lg.TailAddress()),
-		uint64(lg.TailAddress()-lg.BeginAddress())>>10, liveKeys*88>>10)
+		lg.BeginAddress, lg.TailAddress,
+		(lg.TailAddress-lg.BeginAddress)>>10, liveKeys*88>>10)
 	fmt.Printf("device: %d KiB allocated, %d KiB trimmed over the run\n",
 		dev.AllocatedBytes()>>10, dev.Stats().TrimmedBytes>>10)
 
 	// Every live key must still be served with its final value.
 	bad := 0
 	for i := uint64(0); i < liveKeys; i++ {
-		ct.Read(ycsb.KeyBytes(i), func(stt wire.ResultStatus, v []byte) {
-			if stt != wire.StatusOK || len(v) < 8 ||
-				binary.LittleEndian.Uint64(v) != overwrite-1 {
-				bad++
-			}
-		})
+		v, err := cl.Get(ctx, ycsb.KeyBytes(i))
+		if err != nil || len(v) < 8 || binary.LittleEndian.Uint64(v) != overwrite-1 {
+			bad++
+		}
 	}
-	ct.Drain(30 * time.Second)
 	if bad != 0 {
 		log.Fatalf("%d keys lost or stale after compaction", bad)
 	}
 	fmt.Printf("verified: all %d live keys intact after %d compaction passes\n",
-		liveKeys, st.Compactions.Load())
+		liveKeys, st.Compactions)
 }

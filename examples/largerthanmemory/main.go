@@ -6,71 +6,56 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/faster"
-	"repro/internal/hlog"
-	"repro/internal/metadata"
-	"repro/internal/storage"
-	"repro/internal/transport"
-	"repro/internal/wire"
 	"repro/internal/ycsb"
+	"repro/shadowfax"
 )
 
 const keys = 60_000 // * ~88B records ≈ 5 MiB, vs a 1 MiB memory budget
 
 func main() {
-	meta := metadata.NewStore()
-	tr := transport.NewInMem(transport.AcceleratedTCP)
-	tier := storage.NewSharedTier(storage.LatencyModel{ReadLatency: 2 * time.Millisecond})
+	cluster := shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetAccelerated))
+	tier := shadowfax.NewSharedTier(shadowfax.LatencyModel{ReadLatency: 2 * time.Millisecond})
 	// A local "SSD" with realistic-ish latency.
-	dev := storage.NewMemDevice(storage.LatencyModel{
+	dev := shadowfax.NewMemDevice(shadowfax.LatencyModel{
 		ReadLatency: 100 * time.Microsecond, WriteLatency: 100 * time.Microsecond}, 8)
 	defer dev.Close()
 
-	srv, err := core.NewServer(core.ServerConfig{
-		ID: "server-1", Addr: "server-1", Threads: 2,
-		Transport: tr, Meta: meta,
-		Store: faster.Config{
-			IndexBuckets: 1 << 14,
-			Log: hlog.Config{
-				PageBits: 14, MemPages: 64, MutablePages: 32, // 1 MiB budget
-				Device: dev, Tier: tier, LogID: "server-1",
-			},
-		},
-	}, metadata.FullRange)
+	srv, err := shadowfax.NewServer(cluster, "server-1",
+		shadowfax.WithThreads(2),
+		shadowfax.WithIndexBuckets(1<<14),
+		shadowfax.WithMemoryBudget(14, 64, 32), // 1 MiB budget
+		shadowfax.WithLogDevice(dev),
+		shadowfax.WithSharedTier(tier))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	meta.SetServerAddr("server-1", srv.Addr())
 
-	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	cl, err := shadowfax.Dial(cluster, shadowfax.WithMaxOutstanding(2048))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ct.Close()
+	defer cl.Close()
+	ctx := context.Background()
 
 	// Ingest way past the memory budget.
 	val := make([]byte, 64)
 	for i := uint64(0); i < keys; i++ {
 		binary.LittleEndian.PutUint64(val, i)
-		ct.Upsert(ycsb.KeyBytes(i), val, nil)
-		for ct.Outstanding() > 2048 {
-			ct.Poll()
-		}
+		cl.SetAsync(ycsb.KeyBytes(i), val).Release()
 	}
-	if !ct.Drain(60 * time.Second) {
-		log.Fatal("load did not drain")
+	if err := cl.Drain(ctx); err != nil {
+		log.Fatal(err)
 	}
-	lg := srv.Store().Log()
+	lg := srv.LogStats()
 	fmt.Printf("ingested %d keys: log tail=%d, in-memory head=%d, flushed=%d bytes\n",
-		keys, lg.TailAddress(), lg.HeadAddress(), lg.FlushedUntilAddress())
+		keys, lg.TailAddress, lg.HeadAddress, lg.FlushedUntilAddress)
 	fmt.Printf("shared tier holds %d bytes of server-1's log\n",
 		tier.UploadedBytes("server-1"))
 
@@ -78,31 +63,25 @@ func main() {
 	start := time.Now()
 	var coldOK int
 	for i := uint64(0); i < 500; i++ {
-		want := i
-		ct.Read(ycsb.KeyBytes(i), func(st wire.ResultStatus, v []byte) {
-			if st == wire.StatusOK && binary.LittleEndian.Uint64(v) == want {
-				coldOK++
-			}
-		})
+		v, err := cl.Get(ctx, ycsb.KeyBytes(i))
+		if err == nil && binary.LittleEndian.Uint64(v) == i {
+			coldOK++
+		}
 	}
-	ct.Drain(60 * time.Second)
 	fmt.Printf("cold reads: %d/500 correct in %v (served via async pending I/O)\n",
 		coldOK, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("store issued %d pending storage reads\n",
-		srv.Store().Stats().PendingIssued.Load())
+		srv.Stats().StorePendingReads)
 
 	// Hot reads: recent keys stay in the mutable region.
 	start = time.Now()
 	var hotOK int
 	for i := uint64(keys - 500); i < keys; i++ {
-		want := i
-		ct.Read(ycsb.KeyBytes(i), func(st wire.ResultStatus, v []byte) {
-			if st == wire.StatusOK && binary.LittleEndian.Uint64(v) == want {
-				hotOK++
-			}
-		})
+		v, err := cl.Get(ctx, ycsb.KeyBytes(i))
+		if err == nil && binary.LittleEndian.Uint64(v) == i {
+			hotOK++
+		}
 	}
-	ct.Drain(60 * time.Second)
 	fmt.Printf("hot reads:  %d/500 correct in %v (all in memory)\n",
 		hotOK, time.Since(start).Round(time.Millisecond))
 }

@@ -1,82 +1,73 @@
-// Quickstart: boot a Shadowfax server in-process, connect the asynchronous
-// client library, and run reads, upserts, read-modify-writes and deletes.
+// Quickstart: boot a Shadowfax server in-process, connect through the
+// public shadowfax package, and run reads, upserts, read-modify-writes and
+// deletes — synchronously with contexts, and asynchronously with futures.
 package main
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"log"
-	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/faster"
-	"repro/internal/hlog"
-	"repro/internal/metadata"
-	"repro/internal/storage"
-	"repro/internal/transport"
-	"repro/internal/wire"
+	"repro/shadowfax"
 )
 
 func main() {
-	// Every deployment shares three fixtures: a metadata store (ZooKeeper's
-	// stand-in), a transport (with its network cost model), and a shared
-	// remote storage tier.
-	meta := metadata.NewStore()
-	tr := transport.NewInMem(transport.AcceleratedTCP)
-	tier := storage.NewSharedTier(storage.LatencyModel{})
-	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
-	defer dev.Close()
+	// A Cluster bundles the deployment-wide fixtures: the metadata store
+	// (ZooKeeper's stand-in) and the transport with its network cost model.
+	cluster := shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetAccelerated))
 
-	srv, err := core.NewServer(core.ServerConfig{
-		ID: "server-1", Addr: "server-1", Threads: 2,
-		Transport: tr, Meta: meta,
-		Store: faster.Config{
-			IndexBuckets: 1 << 12,
-			Log: hlog.Config{PageBits: 16, MemPages: 64, MutablePages: 32,
-				Device: dev, Tier: tier, LogID: "server-1"},
-		},
-	}, metadata.FullRange) // owns the whole hash space
+	tier := shadowfax.NewSharedTier(shadowfax.LatencyModel{})
+	srv, err := shadowfax.NewServer(cluster, "server-1",
+		shadowfax.WithThreads(2),
+		shadowfax.WithIndexBuckets(1<<12),
+		shadowfax.WithSharedTier(tier))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	meta.SetServerAddr("server-1", srv.Addr())
 
-	// One client thread: all operations are asynchronous; callbacks run
-	// during Poll/Drain on this goroutine.
-	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	cl, err := shadowfax.Dial(cluster)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ct.Close()
+	defer cl.Close()
+	ctx := context.Background()
 
-	// Blind write, then read back.
-	ct.Upsert([]byte("greeting"), []byte("hello, shadowfax"), nil)
-	ct.Read([]byte("greeting"), func(st wire.ResultStatus, v []byte) {
-		fmt.Printf("greeting = %q (%v)\n", v, st)
-	})
+	// Blind write, then read back — synchronous, context-aware.
+	if err := cl.Set(ctx, []byte("greeting"), []byte("hello, shadowfax")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := cl.Get(ctx, []byte("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greeting = %q\n", v)
 
-	// Read-modify-write: 8-byte little-endian counters (YCSB-F's op).
+	// Read-modify-write: 8-byte little-endian counters (YCSB-F's op),
+	// pipelined asynchronously and settled with one Drain.
 	delta := make([]byte, 8)
 	binary.LittleEndian.PutUint64(delta, 1)
-	for i := 0; i < 41; i++ {
-		ct.RMW([]byte("clicks"), delta, nil)
+	for i := 0; i < 42; i++ {
+		cl.RMWAsync([]byte("clicks"), delta).Release()
 	}
-	binary.LittleEndian.PutUint64(delta, 1)
-	ct.RMW([]byte("clicks"), delta, nil)
-	ct.Read([]byte("clicks"), func(st wire.ResultStatus, v []byte) {
-		fmt.Printf("clicks = %d\n", binary.LittleEndian.Uint64(v))
-	})
-
-	// Delete.
-	ct.Delete([]byte("greeting"), nil)
-	ct.Read([]byte("greeting"), func(st wire.ResultStatus, v []byte) {
-		fmt.Printf("after delete: %v\n", st)
-	})
-
-	if !ct.Drain(10 * time.Second) {
-		log.Fatal("operations did not complete")
+	if err := cl.Drain(ctx); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("server completed %d operations\n", srv.Stats().OpsCompleted.Load())
+	v, err = cl.Get(ctx, []byte("clicks"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clicks = %d\n", binary.LittleEndian.Uint64(v))
+
+	// Delete; a subsequent read reports ErrNotFound.
+	if err := cl.Delete(ctx, []byte("greeting")); err != nil {
+		log.Fatal(err)
+	}
+	_, err = cl.Get(ctx, []byte("greeting"))
+	fmt.Printf("after delete: %v (is ErrNotFound: %v)\n",
+		err, errors.Is(err, shadowfax.ErrNotFound))
+
+	fmt.Printf("server completed %d operations\n", srv.Stats().OpsCompleted)
 }

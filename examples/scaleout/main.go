@@ -1,76 +1,69 @@
 // Scaleout: the paper's headline elasticity demo (§3.3). Two servers, all
 // data initially on the source; under live YCSB-F load, 10% of the hash
-// space is migrated to the idle target with the five-phase protocol, and
-// the migration's phases, throughput and report are printed.
+// space is migrated to the idle target through the Admin Migrate RPC with
+// the five-phase protocol, and the migration's phases, throughput and
+// report are printed.
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/faster"
-	"repro/internal/hlog"
-	"repro/internal/metadata"
-	"repro/internal/storage"
-	"repro/internal/transport"
 	"repro/internal/ycsb"
+	"repro/shadowfax"
 )
 
 const keys = 50_000
 
-func newServer(id string, meta *metadata.Store, tr transport.Transport,
-	tier *storage.SharedTier, ranges ...metadata.HashRange) (*core.Server, func()) {
-	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
-	srv, err := core.NewServer(core.ServerConfig{
-		ID: id, Addr: id, Threads: 2,
-		Transport: tr, Meta: meta,
-		Store: faster.Config{
-			IndexBuckets: 1 << 14,
-			Log: hlog.Config{PageBits: 16, MemPages: 128, MutablePages: 64,
-				Device: dev, Tier: tier, LogID: id},
-		},
-		SampleDuration: 200 * time.Millisecond,
-	}, ranges...)
+func newServer(cluster *shadowfax.Cluster, tier *shadowfax.SharedTier,
+	id string, ranges ...shadowfax.HashRange) *shadowfax.Server {
+	srv, err := shadowfax.NewServer(cluster, id,
+		shadowfax.WithThreads(2),
+		shadowfax.WithIndexBuckets(1<<14),
+		shadowfax.WithMemoryBudget(16, 128, 64),
+		shadowfax.WithSharedTier(tier),
+		shadowfax.WithSampleDuration(200*time.Millisecond),
+		shadowfax.WithOwnership(ranges...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	meta.SetServerAddr(id, srv.Addr())
-	return srv, func() { srv.Close(); dev.Close() }
+	return srv
 }
 
 func main() {
-	meta := metadata.NewStore()
-	tr := transport.NewInMem(transport.AcceleratedTCP)
-	tier := storage.NewSharedTier(storage.LatencyModel{ReadLatency: 2 * time.Millisecond})
-	src, closeSrc := newServer("source", meta, tr, tier, metadata.FullRange)
-	tgt, closeTgt := newServer("target", meta, tr, tier)
-	defer closeTgt()
-	defer closeSrc()
+	cluster := shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetAccelerated))
+	tier := shadowfax.NewSharedTier(shadowfax.LatencyModel{ReadLatency: 2 * time.Millisecond})
+	src := newServer(cluster, tier, "source", shadowfax.FullRange)
+	defer src.Close()
+	tgt := newServer(cluster, tier, "target")
+	defer tgt.Close()
+	ctx := context.Background()
 
 	// Load.
-	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	cl, err := shadowfax.Dial(cluster, shadowfax.WithMaxOutstanding(2048))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cl.Close()
 	one := make([]byte, 8)
 	binary.LittleEndian.PutUint64(one, 1)
 	for i := uint64(0); i < keys; i++ {
-		ct.RMW(ycsb.KeyBytes(i), one, nil)
-		for ct.Outstanding() > 2048 {
-			ct.Poll()
-		}
+		cl.RMWAsync(ycsb.KeyBytes(i), one).Release()
 	}
-	ct.Drain(30 * time.Second)
+	if err := cl.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("loaded %d keys on %s\n", keys, src.ID())
 
-	// Live load in the background.
+	// Live load in the background: its own client, Zipfian keys.
 	stop := make(chan struct{})
+	loadDone := make(chan struct{})
 	go func() {
-		wc, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+		defer close(loadDone)
+		wc, err := shadowfax.Dial(cluster, shadowfax.WithMaxOutstanding(2048))
 		if err != nil {
 			return
 		}
@@ -79,43 +72,40 @@ func main() {
 		for {
 			select {
 			case <-stop:
-				wc.Drain(10 * time.Second)
+				dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				wc.Drain(dctx)
+				cancel()
 				return
 			default:
 			}
 			for i := 0; i < 128; i++ {
-				wc.RMW(ycsb.KeyBytes(z.Next()), one, nil)
+				wc.RMWAsync(ycsb.KeyBytes(z.Next()), one).Release()
 			}
 			wc.Flush()
-			for wc.Outstanding() > 2048 {
-				if wc.Poll() == 0 {
-					time.Sleep(10 * time.Microsecond)
-				}
-			}
 		}
 	}()
 	time.Sleep(time.Second)
 
-	// Migrate 10% of the hash space while serving.
-	tenPct := metadata.HashRange{Start: 0, End: ^uint64(0) / 10}
+	// Migrate 10% of the hash space while serving, via the admin RPC.
+	tenPct := shadowfax.HashRange{Start: 0, End: ^uint64(0) / 10}
 	fmt.Printf("migrating %s from %s to %s...\n", tenPct, src.ID(), tgt.ID())
-	if _, err := src.StartMigration("target", tenPct); err != nil {
+	if err := shadowfax.NewAdmin(cluster).Migrate(ctx, "source", "target", tenPct); err != nil {
 		log.Fatal(err)
 	}
 
 	// Watch until both sides mark the dependency done.
 	for {
 		time.Sleep(250 * time.Millisecond)
-		pend := len(meta.PendingMigrationsFor("source")) +
-			len(meta.PendingMigrationsFor("target"))
+		pend := len(cluster.PendingMigrations("source")) +
+			len(cluster.PendingMigrations("target"))
 		fmt.Printf("  source=%-9d target=%-9d pending-deps=%d\n",
-			src.Stats().OpsCompleted.Load(), tgt.Stats().OpsCompleted.Load(), pend)
+			src.Stats().OpsCompleted, tgt.Stats().OpsCompleted, pend)
 		if pend == 0 {
 			break
 		}
 	}
 	close(stop)
-	time.Sleep(200 * time.Millisecond)
+	<-loadDone
 
 	rep := src.LastMigrationReport()
 	fmt.Printf("migration done: %d records (%d sampled hot, %d indirections), "+
@@ -125,9 +115,9 @@ func main() {
 		rep.OwnershipAt.Sub(rep.Started).Round(time.Millisecond),
 		rep.Finished.Sub(rep.Started).Round(time.Millisecond))
 
-	// Both servers now serve their halves.
-	sv, _ := meta.GetView("source")
-	tv, _ := meta.GetView("target")
+	// Both servers now serve their shares.
+	sv, _ := cluster.View("source")
+	tv, _ := cluster.View("target")
 	fmt.Printf("views: source #%d owns %d ranges; target #%d owns %d ranges\n",
 		sv.Number, len(sv.Ranges), tv.Number, len(tv.Ranges))
 }

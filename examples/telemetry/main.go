@@ -6,20 +6,14 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/faster"
-	"repro/internal/hlog"
-	"repro/internal/metadata"
-	"repro/internal/storage"
-	"repro/internal/transport"
-	"repro/internal/wire"
 	"repro/internal/ycsb"
+	"repro/shadowfax"
 )
 
 const (
@@ -35,33 +29,25 @@ func deviceKey(id uint64) []byte {
 }
 
 func main() {
-	meta := metadata.NewStore()
-	tr := transport.NewInMem(transport.AcceleratedTCP)
-	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
-	defer dev.Close()
-
-	srv, err := core.NewServer(core.ServerConfig{
-		ID: "ingest-1", Addr: "ingest-1", Threads: 2,
-		Transport: tr, Meta: meta,
-		Store: faster.Config{
-			IndexBuckets: 1 << 14,
-			Log: hlog.Config{PageBits: 16, MemPages: 128, MutablePages: 64,
-				Device: dev, LogID: "ingest-1"},
-		},
-	}, metadata.FullRange)
+	cluster := shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetAccelerated))
+	srv, err := shadowfax.NewServer(cluster, "ingest-1",
+		shadowfax.WithThreads(2),
+		shadowfax.WithIndexBuckets(1<<14),
+		shadowfax.WithMemoryBudget(16, 128, 64))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	meta.SetServerAddr("ingest-1", srv.Addr())
+	ctx := context.Background()
 
-	// Ingest threads: Zipfian device activity (a few chatty sensors, a
-	// long tail), one RMW increment per heartbeat.
+	// Ingest clients: Zipfian device activity (a few chatty sensors, a
+	// long tail), one async RMW increment per heartbeat; WithMaxOutstanding
+	// provides the flow control.
 	stop := make(chan struct{})
 	done := make(chan uint64, ingesters)
 	for t := 0; t < ingesters; t++ {
 		go func(seed uint64) {
-			ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+			ct, err := shadowfax.Dial(cluster, shadowfax.WithMaxOutstanding(2048))
 			if err != nil {
 				done <- 0
 				return
@@ -74,28 +60,25 @@ func main() {
 			for {
 				select {
 				case <-stop:
-					ct.Drain(10 * time.Second)
+					dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+					ct.Drain(dctx)
+					cancel()
 					done <- sent
 					return
 				default:
 				}
 				for i := 0; i < 128; i++ {
-					ct.RMW(deviceKey(z.Next()), one, nil)
+					ct.RMWAsync(deviceKey(z.Next()), one).Release()
 					sent++
 				}
 				ct.Flush()
-				for ct.Outstanding() > 2048 {
-					if ct.Poll() == 0 {
-						time.Sleep(10 * time.Microsecond)
-					}
-				}
 			}
 		}(uint64(t + 1))
 	}
 
 	// Analytics: periodically sample a handful of devices' heartbeat
 	// totals while ingest continues.
-	qc, err := client.NewThread(client.Config{Transport: tr, Meta: meta})
+	qc, err := shadowfax.Dial(cluster)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,14 +89,14 @@ func main() {
 		var total uint64
 		var found int
 		for d := uint64(0); d < 16; d++ {
-			qc.Read(deviceKey(d), func(st wire.ResultStatus, v []byte) {
-				if st == wire.StatusOK && len(v) >= 8 {
-					total += binary.LittleEndian.Uint64(v)
-					found++
-				}
-			})
+			qctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			v, err := qc.Get(qctx, deviceKey(d))
+			cancel()
+			if err == nil && len(v) >= 8 {
+				total += binary.LittleEndian.Uint64(v)
+				found++
+			}
 		}
-		qc.Drain(5 * time.Second)
 		fmt.Printf("t=%-6s sampled %2d devices, %8d heartbeats among them\n",
 			time.Until(deadline).Round(time.Second), found, total)
 	}

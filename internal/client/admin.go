@@ -1,0 +1,157 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Admin issues Shadowfax's control-plane RPCs — checkpoint, compaction,
+// migration and stats — each on its own short-lived connection, exactly the
+// paper's Migrate() RPC model (§3.3). The control plane is deliberately
+// separate from the data-plane Thread: an Admin holds no session state, so
+// unlike a Thread it is stateless and safe for concurrent use, and closing a
+// Thread never strands an admin operation.
+//
+// Every method observes its context each poll iteration; deadline expiry and
+// cancellation surface as the context's error.
+type Admin struct {
+	tr   transport.Transport
+	meta *metadata.Store
+}
+
+// NewAdmin builds an admin handle over the cluster's transport and metadata
+// store.
+func NewAdmin(tr transport.Transport, meta *metadata.Store) *Admin {
+	return &Admin{tr: tr, meta: meta}
+}
+
+func (a *Admin) dial(serverID string) (transport.Conn, error) {
+	addr, err := a.meta.ServerAddr(serverID)
+	if err != nil {
+		return nil, err
+	}
+	return a.tr.Dial(addr)
+}
+
+// awaitFrame polls conn until a frame of type want arrives (unrelated frames
+// are discarded) or ctx is done.
+func awaitFrame(ctx context.Context, conn transport.Conn, want wire.MsgType) ([]byte, error) {
+	for {
+		frame, ok, err := conn.TryRecv()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if typ, _ := wire.PeekType(frame); typ == want {
+				return frame, nil
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Checkpoint asks serverID to take a durable checkpoint now and waits for
+// the server's acknowledgment.
+func (a *Admin) Checkpoint(ctx context.Context, serverID string) (wire.CheckpointResp, error) {
+	conn, err := a.dial(serverID)
+	if err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeCheckpointReq()); err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	frame, err := awaitFrame(ctx, conn, wire.MsgCheckpointResp)
+	if err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	resp, err := wire.DecodeCheckpointResp(frame)
+	if err != nil {
+		return wire.CheckpointResp{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("client: checkpoint on %s failed: %s", serverID, resp.Err)
+	}
+	return resp, nil
+}
+
+// Compact asks serverID to run one log-compaction pass now (§3.3.3) and
+// waits for the pass's statistics.
+func (a *Admin) Compact(ctx context.Context, serverID string) (wire.CompactResp, error) {
+	conn, err := a.dial(serverID)
+	if err != nil {
+		return wire.CompactResp{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeCompactReq()); err != nil {
+		return wire.CompactResp{}, err
+	}
+	frame, err := awaitFrame(ctx, conn, wire.MsgCompactResp)
+	if err != nil {
+		return wire.CompactResp{}, err
+	}
+	resp, err := wire.DecodeCompactResp(frame)
+	if err != nil {
+		return wire.CompactResp{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("client: compaction on %s failed: %s", serverID, resp.Err)
+	}
+	return resp, nil
+}
+
+// Migrate sends the Migrate() RPC (§3.3) to source, asking it to move
+// [rng.Start, rng.End) to target. It returns once the source acknowledges
+// that the migration has begun.
+func (a *Admin) Migrate(ctx context.Context, source, target string, rng metadata.HashRange) error {
+	conn, err := a.dial(source)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeMigrate(wire.MigrateCmd{
+		Target: target, RangeStart: rng.Start, RangeEnd: rng.End})); err != nil {
+		return err
+	}
+	_, err = awaitFrame(ctx, conn, wire.MsgAck)
+	return err
+}
+
+// Stats fetches a snapshot of serverID's identity, ownership view and
+// counters.
+func (a *Admin) Stats(ctx context.Context, serverID string) (wire.StatsResp, error) {
+	addr, err := a.meta.ServerAddr(serverID)
+	if err != nil {
+		return wire.StatsResp{}, err
+	}
+	return a.StatsAddr(ctx, addr)
+}
+
+// StatsAddr is Stats against a transport address rather than a registered
+// server ID. It is the bootstrap path for out-of-process servers: the
+// response carries the server's ID and ownership view, which is everything
+// needed to register it in a fresh metadata store.
+func (a *Admin) StatsAddr(ctx context.Context, addr string) (wire.StatsResp, error) {
+	conn, err := a.tr.Dial(addr)
+	if err != nil {
+		return wire.StatsResp{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeStatsReq()); err != nil {
+		return wire.StatsResp{}, err
+	}
+	frame, err := awaitFrame(ctx, conn, wire.MsgStatsResp)
+	if err != nil {
+		return wire.StatsResp{}, err
+	}
+	return wire.DecodeStatsResp(frame)
+}

@@ -8,9 +8,11 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"time"
 
 	"repro/internal/faster"
@@ -18,6 +20,9 @@ import (
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// ErrClosed is returned by operations issued after Close.
+var ErrClosed = errors.New("client: thread closed")
 
 // Config tunes a client thread.
 type Config struct {
@@ -54,11 +59,6 @@ func (c *Config) applyDefaults() error {
 // call.
 type Callback func(status wire.ResultStatus, value []byte)
 
-// pendingCall tracks one issued operation awaiting its result.
-type pendingCall struct {
-	cb Callback
-}
-
 // session is one connection to one server thread, with its view cache and
 // pipelined batches (§3.1.1).
 type session struct {
@@ -75,8 +75,7 @@ type session struct {
 	buildSz  int
 	nextSeq  uint32
 
-	inflight    map[uint32]queuedOp // seq -> op (for rejection replay)
-	calls       map[uint32]*pendingCall
+	inflight    map[uint32]queuedOp // seq -> op (for result routing + rejection replay)
 	sentBatches int
 
 	encodeBuf []byte
@@ -99,8 +98,8 @@ type Thread struct {
 	id          uint64
 	sessions    map[string]*session
 	ownership   map[string]metadata.View
-	backlog     []queuedOp // ops awaiting a session slot
 	outstanding int
+	closed      bool
 
 	stats ThreadStats
 }
@@ -176,7 +175,6 @@ func (t *Thread) sessionFor(serverID string) (*session, error) {
 		view:     t.ownership[serverID],
 		id:       t.id<<16 | uint64(len(t.sessions)),
 		inflight: make(map[uint32]queuedOp),
-		calls:    make(map[uint32]*pendingCall),
 	}
 	s.building.SessionID = s.id
 	t.sessions[serverID] = s
@@ -207,6 +205,14 @@ func (t *Thread) Delete(key []byte, cb Callback) error {
 // "buffers the request inside the session, enqueues a completion callback,
 // and returns").
 func (t *Thread) issue(kind wire.OpKind, key, value []byte, cb Callback) error {
+	if t.closed {
+		// The completion guarantee holds even for late arrivals: the
+		// callback fires (with StatusClosed) before the error returns.
+		if cb != nil {
+			cb(wire.StatusClosed, nil)
+		}
+		return ErrClosed
+	}
 	op := queuedOp{kind: kind,
 		key:   append([]byte(nil), key...),
 		value: append([]byte(nil), value...),
@@ -222,7 +228,7 @@ func (t *Thread) enqueue(op queuedOp) error {
 	if !ok {
 		t.refreshOwnership()
 		if owner, ok = t.ownerOf(h); !ok {
-			t.complete(op, wire.StatusErr, nil)
+			t.complete(op, wire.StatusNotOwner, nil)
 			return fmt.Errorf("client: no owner for key hash %#x", h)
 		}
 	}
@@ -237,7 +243,6 @@ func (t *Thread) enqueue(op queuedOp) error {
 		Kind: op.kind, Seq: seq, Key: op.key, Value: op.value})
 	s.buildSz += 19 + len(op.key) + len(op.value)
 	s.inflight[seq] = op
-	s.calls[seq] = &pendingCall{cb: op.cb}
 	if len(s.building.Ops) >= t.cfg.BatchOps || s.buildSz >= t.cfg.BatchBytes {
 		t.flushSession(s)
 	}
@@ -326,7 +331,6 @@ func (t *Thread) handleResponse(s *session, frame []byte) int {
 			if op, ok := s.inflight[seq]; ok {
 				requeue = append(requeue, op)
 				delete(s.inflight, seq)
-				delete(s.calls, seq)
 			}
 		}
 		requeue = append(requeue, t.unbucketBuffered()...)
@@ -348,7 +352,6 @@ func (t *Thread) handleResponse(s *session, frame []byte) int {
 			continue
 		}
 		delete(s.inflight, r.Seq)
-		delete(s.calls, r.Seq)
 		t.complete(op, r.Status, r.Value)
 		n++
 	}
@@ -369,7 +372,6 @@ func (t *Thread) unbucketBuffered() []queuedOp {
 			if op, ok := s.inflight[wop.Seq]; ok {
 				out = append(out, op)
 				delete(s.inflight, wop.Seq)
-				delete(s.calls, wop.Seq)
 			}
 		}
 		s.building.Ops = s.building.Ops[:0]
@@ -403,49 +405,62 @@ func (t *Thread) Stats() ThreadStats { return t.stats }
 func (t *Thread) Drain(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for t.outstanding > 0 {
+		// Checked every iteration, not just on idle polls: a session making
+		// steady partial progress (frames keep arriving but the outstanding
+		// set never empties) must still stop at the deadline.
+		if time.Now().After(deadline) {
+			return false
+		}
 		t.Flush()
 		if t.Poll() == 0 {
-			if time.Now().After(deadline) {
-				return false
-			}
 			time.Sleep(50 * time.Microsecond)
 		}
 	}
 	return true
 }
 
-// Close tears down all sessions. Outstanding callbacks never fire after
-// Close.
-func (t *Thread) Close() {
-	for _, s := range t.sessions {
-		s.conn.Close()
-	}
-	t.sessions = map[string]*session{}
-}
-
-// Migrate sends the Migrate() RPC (§3.3) to the server owning the range,
-// asking it to move [start, end) to target. It returns once the source
-// acknowledges that the migration has begun.
-func (t *Thread) Migrate(source, target string, rng metadata.HashRange) error {
-	addr, err := t.cfg.Meta.ServerAddr(source)
-	if err != nil {
-		return err
-	}
-	conn, err := t.cfg.Transport.Dial(addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	if err := conn.Send(wire.EncodeMigrate(wire.MigrateCmd{
-		Target: target, RangeStart: rng.Start, RangeEnd: rng.End})); err != nil {
-		return err
-	}
-	frame, err := conn.Recv()
-	if err != nil {
-		return err
-	}
-	if typ, _ := wire.PeekType(frame); typ != wire.MsgAck {
-		return fmt.Errorf("client: migrate got frame type %d", typ)
+// DrainContext is Drain with context semantics: it flushes and polls until
+// no operations are outstanding, the context's deadline expires, or the
+// context is cancelled. Cancellation is observed every iteration, whether or
+// not the poll made progress.
+func (t *Thread) DrainContext(ctx context.Context) error {
+	for t.outstanding > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t.Flush()
+		if t.Poll() == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
 	return nil
+}
+
+// Close tears down all sessions. Every operation still outstanding —
+// buffered, in flight, or parked on a broken session — completes through its
+// callback with StatusClosed before Close returns, so an issued operation
+// always receives exactly one completion. Operations issued after Close fail
+// the same way immediately.
+func (t *Thread) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, s := range t.sessions {
+		s.conn.Close()
+		// Complete in sequence order: the order the ops were issued in.
+		seqs := make([]uint32, 0, len(s.inflight))
+		for seq := range s.inflight {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			op := s.inflight[seq]
+			delete(s.inflight, seq)
+			t.complete(op, wire.StatusClosed, nil)
+		}
+		s.building.Ops = s.building.Ops[:0]
+		s.buildSz = 0
+	}
+	t.sessions = map[string]*session{}
 }

@@ -1,7 +1,10 @@
 package client_test
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -168,7 +171,9 @@ func TestMigrateRPC(t *testing.T) {
 	}
 	ct.Drain(10 * time.Second)
 
-	if err := ct.Migrate("s1", "s2", metadata.HashRange{Start: 0, End: 1 << 62}); err != nil {
+	admin := client.NewAdmin(tr, meta)
+	if err := admin.Migrate(context.Background(), "s1", "s2",
+		metadata.HashRange{Start: 0, End: 1 << 62}); err != nil {
 		t.Fatal(err)
 	}
 	// Migration registered at the metadata store.
@@ -195,4 +200,152 @@ func TestMigrateRPC(t *testing.T) {
 		t.Fatalf("%d/100 ops after migration", ok)
 	}
 	_ = srv
+}
+
+// trickleTransport is a deterministic fake: every Send of a request batch
+// enqueues one single-result response frame per op, and TryRecv hands back at
+// most one frame per Poll (it reports empty every other call), each delivery
+// costing a fixed delay. A drain over N ops therefore takes ~N*delay of wall
+// clock while almost every Poll makes progress — the "steady partial
+// progress" schedule that used to keep Drain looping past its deadline.
+type trickleTransport struct {
+	delay time.Duration
+}
+
+func (tt *trickleTransport) Listen(addr string) (transport.Listener, error) {
+	return nil, fmt.Errorf("trickle: listen unsupported")
+}
+
+func (tt *trickleTransport) Dial(addr string) (transport.Conn, error) {
+	return &trickleConn{delay: tt.delay}, nil
+}
+
+type trickleConn struct {
+	delay time.Duration
+	queue [][]byte
+	gate  bool
+}
+
+func (c *trickleConn) Send(frame []byte) error {
+	var rb wire.RequestBatch
+	if err := wire.DecodeRequestBatch(frame, &rb); err != nil {
+		return nil // admin frames etc.: ignore
+	}
+	for i := range rb.Ops {
+		resp := wire.ResponseBatch{SessionID: rb.SessionID,
+			Results: []wire.Result{{Seq: rb.Ops[i].Seq, Status: wire.StatusOK}}}
+		c.queue = append(c.queue, wire.AppendResponseBatch(nil, &resp))
+	}
+	return nil
+}
+
+func (c *trickleConn) Recv() ([]byte, error) {
+	f, ok, err := c.TryRecv()
+	if err != nil || !ok {
+		return nil, fmt.Errorf("trickle: empty")
+	}
+	return f, nil
+}
+
+func (c *trickleConn) TryRecv() ([]byte, bool, error) {
+	if c.gate || len(c.queue) == 0 {
+		c.gate = false
+		return nil, false, nil
+	}
+	c.gate = true
+	f := c.queue[0]
+	c.queue = c.queue[1:]
+	time.Sleep(c.delay)
+	return f, true, nil
+}
+
+func (c *trickleConn) Close() error { return nil }
+
+// TestDrainDeadlineUnderPartialProgress: a session that keeps completing
+// operations — but too slowly to ever empty the outstanding set before the
+// timeout — must still stop Drain at the deadline. The deadline is checked
+// every iteration, not only on idle polls.
+func TestDrainDeadlineUnderPartialProgress(t *testing.T) {
+	meta := metadata.NewStore()
+	meta.RegisterServer("slow", metadata.FullRange)
+	meta.SetServerAddr("slow", "slow")
+	ct, err := client.NewThread(client.Config{
+		Transport: &trickleTransport{delay: 100 * time.Microsecond},
+		Meta:      meta, BatchOps: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	const n = 3000 // ~300ms of trickled completions
+	for i := 0; i < n; i++ {
+		ct.Upsert(ycsb.KeyBytes(uint64(i)), []byte("v"), nil)
+	}
+	start := time.Now()
+	const timeout = 30 * time.Millisecond
+	if ct.Drain(timeout) {
+		t.Fatal("drain completed against a server that cannot finish in time")
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("drain overshot its deadline: ran %v with a %v timeout", elapsed, timeout)
+	}
+	if ct.Outstanding() == 0 {
+		t.Fatal("test premise broken: nothing left outstanding")
+	}
+}
+
+// TestCloseCompletesOutstanding: Close must fire every outstanding
+// operation's callback with StatusClosed — buffered and in-flight alike — and
+// operations issued after Close must fail the same way. An issued operation
+// always gets exactly one completion.
+func TestCloseCompletesOutstanding(t *testing.T) {
+	meta := metadata.NewStore()
+	tr := transport.NewInMem(transport.Free)
+	if _, err := tr.Listen("dead"); err != nil {
+		t.Fatal(err)
+	}
+	meta.RegisterServer("dead", metadata.FullRange)
+	meta.SetServerAddr("dead", "dead")
+
+	ct, err := client.NewThread(client.Config{Transport: tr, Meta: meta, BatchOps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10 // crosses the batch threshold: some flushed, some buffered
+	status := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ct.Upsert(ycsb.KeyBytes(uint64(i)), []byte("v"), func(st wire.ResultStatus, _ []byte) {
+			status[i]++
+			if st != wire.StatusClosed {
+				t.Errorf("op %d completed with %v, want StatusClosed", i, st)
+			}
+		})
+	}
+	ct.Close()
+	for i, c := range status {
+		if c != 1 {
+			t.Fatalf("op %d callback ran %d times, want exactly once", i, c)
+		}
+	}
+	if got := ct.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after Close = %d, want 0", got)
+	}
+
+	// Post-Close issue: immediate StatusClosed completion plus ErrClosed.
+	fired := false
+	err = ct.Read([]byte("late"), func(st wire.ResultStatus, _ []byte) {
+		fired = true
+		if st != wire.StatusClosed {
+			t.Errorf("post-close op completed with %v, want StatusClosed", st)
+		}
+	})
+	if !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("post-close issue returned %v, want ErrClosed", err)
+	}
+	if !fired {
+		t.Fatal("post-close op's callback never fired")
+	}
+	ct.Close() // idempotent
 }

@@ -10,7 +10,8 @@ import (
 )
 
 // This file implements the client half of Shadowfax's crash recovery
-// (§3.3.1): checkpoint administration and client-assisted session recovery.
+// (§3.3.1): client-assisted session recovery. (Checkpoint administration
+// lives on Admin with the rest of the control plane; see admin.go.)
 // A server checkpoint durably records, per client session, the last applied
 // operation sequence number. After the server restarts from that image, each
 // client asks it where its session's durable prefix ends and then replays
@@ -18,66 +19,6 @@ import (
 // are acknowledged locally (they are durable; only the ack was lost), writes
 // and reads above it are re-issued. The result is exactly-once semantics for
 // updates across a server crash without any server-side redo log.
-
-// Checkpoint asks serverID to take a durable checkpoint now and waits for
-// the server's acknowledgment. It is an admin RPC on its own connection,
-// like Migrate.
-func (t *Thread) Checkpoint(serverID string) (wire.CheckpointResp, error) {
-	addr, err := t.cfg.Meta.ServerAddr(serverID)
-	if err != nil {
-		return wire.CheckpointResp{}, err
-	}
-	conn, err := t.cfg.Transport.Dial(addr)
-	if err != nil {
-		return wire.CheckpointResp{}, err
-	}
-	defer conn.Close()
-	if err := conn.Send(wire.EncodeCheckpointReq()); err != nil {
-		return wire.CheckpointResp{}, err
-	}
-	frame, err := conn.Recv()
-	if err != nil {
-		return wire.CheckpointResp{}, err
-	}
-	resp, err := wire.DecodeCheckpointResp(frame)
-	if err != nil {
-		return wire.CheckpointResp{}, err
-	}
-	if !resp.OK {
-		return resp, fmt.Errorf("client: checkpoint on %s failed: %s", serverID, resp.Err)
-	}
-	return resp, nil
-}
-
-// Compact asks serverID to run one log-compaction pass now (§3.3.3) and
-// waits for the pass's statistics. Like Checkpoint, it is an admin RPC on
-// its own connection.
-func (t *Thread) Compact(serverID string) (wire.CompactResp, error) {
-	addr, err := t.cfg.Meta.ServerAddr(serverID)
-	if err != nil {
-		return wire.CompactResp{}, err
-	}
-	conn, err := t.cfg.Transport.Dial(addr)
-	if err != nil {
-		return wire.CompactResp{}, err
-	}
-	defer conn.Close()
-	if err := conn.Send(wire.EncodeCompactReq()); err != nil {
-		return wire.CompactResp{}, err
-	}
-	frame, err := conn.Recv()
-	if err != nil {
-		return wire.CompactResp{}, err
-	}
-	resp, err := wire.DecodeCompactResp(frame)
-	if err != nil {
-		return wire.CompactResp{}, err
-	}
-	if !resp.OK {
-		return resp, fmt.Errorf("client: compaction on %s failed: %s", serverID, resp.Err)
-	}
-	return resp, nil
-}
 
 // RecoverSessions re-establishes every session against its (possibly
 // restarted) server and reconciles in-flight operations against the server's
@@ -163,7 +104,6 @@ func (t *Thread) RecoverSessions(timeout time.Duration) error {
 		for _, seq := range seqs {
 			op := s.inflight[seq]
 			delete(s.inflight, seq)
-			delete(s.calls, seq)
 			if resp.Known && seq <= resp.LastSeq && op.kind != wire.OpRead {
 				// Durable before the crash; only the ack was lost. Complete
 				// without re-executing (re-running an RMW would double-apply).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"testing"
@@ -401,7 +402,7 @@ func TestCompactAdminRoundTrip(t *testing.T) {
 		t.Fatal("load did not drain")
 	}
 
-	resp, err := ct.Compact("s1")
+	resp, err := cl.newAdmin().Compact(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,6 +66,11 @@ func (cl *cluster) newClient(t testing.TB) *client.Thread {
 	return ct
 }
 
+// newAdmin builds a control-plane handle over the cluster fixtures.
+func (cl *cluster) newAdmin() *client.Admin {
+	return client.NewAdmin(cl.tr, cl.meta)
+}
+
 func d8(n uint64) []byte {
 	b := make([]byte, 8)
 	binary.LittleEndian.PutUint64(b, n)

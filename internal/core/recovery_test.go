@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -66,7 +67,7 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	}
 
 	// Checkpoint through the admin message, like an operator would.
-	resp, err := ct.Checkpoint("s1")
+	resp, err := cl.newAdmin().Checkpoint(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	if !ct.Drain(5 * time.Second) {
 		t.Fatal("post-recovery write timed out")
 	}
-	if _, err := ct.Checkpoint("s1"); err != nil {
+	if _, err := cl.newAdmin().Checkpoint(context.Background(), "s1"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -179,8 +180,7 @@ func TestRecoverUnknownSessionReplaysAll(t *testing.T) {
 	cl.meta.SetServerAddr("s1", srv1.Addr())
 
 	// Checkpoint an empty store via the server API (no sessions yet).
-	admin := cl.newClient(t)
-	if _, err := admin.Checkpoint("s1"); err != nil {
+	if _, err := cl.newAdmin().Checkpoint(context.Background(), "s1"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -252,8 +252,7 @@ func TestFreshStartRefusesCommittedImages(t *testing.T) {
 func TestCheckpointWithoutDeviceFails(t *testing.T) {
 	cl := newCluster()
 	cl.newServer(t, "s1", 2, metadata.FullRange)
-	ct := cl.newClient(t)
-	resp, err := ct.Checkpoint("s1")
+	resp, err := cl.newAdmin().Checkpoint(context.Background(), "s1")
 	if err == nil {
 		t.Fatalf("checkpoint on memory-only server succeeded: %+v", resp)
 	}

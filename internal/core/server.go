@@ -322,6 +322,46 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 // Stats returns the server's counters.
 func (s *Server) Stats() *ServerStats { return &s.stats }
 
+// StatsSnapshot captures the server's identity, current ownership view and
+// counters as one wire-level value. It backs both the MsgStats admin RPC and
+// the public API's Server.Stats, so in-process and remote observers see the
+// same shape.
+func (s *Server) StatsSnapshot() wire.StatsResp {
+	view := s.view.Load()
+	resp := wire.StatsResp{
+		ServerID:   s.cfg.ID,
+		ViewNumber: view.Number,
+		Ranges:     make([]wire.Range, len(view.Ranges)),
+
+		OpsCompleted:    s.stats.OpsCompleted.Load(),
+		BatchesAccepted: s.stats.BatchesAccepted.Load(),
+		BatchesRejected: s.stats.BatchesRejected.Load(),
+		DecodeErrors:    s.stats.DecodeErrors.Load(),
+		PendingOps:      s.stats.PendingOps.Load(),
+		RemoteFetches:   s.stats.RemoteFetches.Load(),
+		ViewRefreshes:   s.stats.ViewRefreshes.Load(),
+
+		Checkpoints:        s.stats.Checkpoints.Load(),
+		CheckpointFailures: s.stats.CheckpointFailures.Load(),
+
+		Compactions:           s.stats.Compactions.Load(),
+		CompactionFailures:    s.stats.CompactionFailures.Load(),
+		CompactRelocated:      s.stats.CompactRelocated.Load(),
+		CompactReclaimedBytes: s.stats.CompactReclaimedBytes.Load(),
+
+		StorePendingReads: s.store.Stats().PendingIssued.Load(),
+	}
+	for i, r := range view.Ranges {
+		resp.Ranges[i] = wire.Range{Start: r.Start, End: r.End}
+	}
+	return resp
+}
+
+// handleStatsReq serves the MsgStats admin message.
+func (s *Server) handleStatsReq(c transport.Conn) {
+	c.Send(wire.EncodeStatsResp(s.StatsSnapshot())) //nolint:errcheck // conn errors surface on the next poll
+}
+
 // Store exposes the underlying FASTER instance (examples embed servers).
 func (s *Server) Store() *faster.Store { return s.store }
 
@@ -679,6 +719,8 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 		d.s.handleCheckpointReq(c)
 	case wire.MsgCompact:
 		d.s.handleCompactReq(c)
+	case wire.MsgStats:
+		d.s.handleStatsReq(c)
 	case wire.MsgSessionRecover:
 		d.handleSessionRecover(c, frame)
 	case wire.MsgAck:

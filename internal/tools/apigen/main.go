@@ -1,0 +1,189 @@
+// Command apigen prints a package's exported API surface as a deterministic
+// text listing: one entry per exported constant, variable, type, function
+// and method, with doc comments and function bodies stripped, sorted
+// lexically. The output is stable across Go versions (it depends only on
+// go/printer's formatting of declarations), which makes it suitable as a
+// checked-in golden file — CI regenerates it and fails on any uncommitted
+// public-API change.
+//
+// Usage: apigen <package-dir>
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: apigen <package-dir>")
+		os.Exit(2)
+	}
+	entries, err := surface(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apigen:", err)
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		fmt.Println(e)
+	}
+}
+
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				entries = append(entries, declEntries(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(entries)
+	return entries, nil
+}
+
+// declEntries renders the exported parts of one top-level declaration.
+func declEntries(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !exportedFunc(d) {
+			return nil
+		}
+		fn := *d
+		fn.Doc, fn.Body = nil, nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		if d.Tok == token.IMPORT {
+			return nil
+		}
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				ts.Type = exportedType(ts.Type)
+				out = append(out, "type "+render(fset, &ts))
+			case *ast.ValueSpec:
+				vs := exportedValues(s)
+				if vs == nil {
+					continue
+				}
+				out = append(out, d.Tok.String()+" "+render(fset, vs))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedFunc reports whether fn is an exported function or an exported
+// method on an exported receiver type.
+func exportedFunc(fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return false
+}
+
+// exportedType strips unexported members from struct and interface types —
+// they are implementation detail, not API, and listing them would churn the
+// golden file on private refactors.
+func exportedType(t ast.Expr) ast.Expr {
+	switch tt := t.(type) {
+	case *ast.StructType:
+		out := *tt
+		out.Fields = exportedFields(tt.Fields)
+		return &out
+	case *ast.InterfaceType:
+		out := *tt
+		out.Methods = exportedFields(tt.Methods)
+		return &out
+	}
+	return t
+}
+
+func exportedFields(fl *ast.FieldList) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			out.List = append(out.List, f) // embedded type / interface embed
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		nf := *f
+		nf.Names, nf.Doc, nf.Comment = names, nil, nil
+		out.List = append(out.List, &nf)
+	}
+	return out
+}
+
+// exportedValues strips unexported names from a const/var spec; nil when
+// nothing exported remains. Values are dropped (only names and types are
+// API), except for single-name specs whose type is inferred from the value —
+// there the value is the only signature available, so it is kept.
+func exportedValues(s *ast.ValueSpec) *ast.ValueSpec {
+	var names []*ast.Ident
+	for _, n := range s.Names {
+		if n.IsExported() {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	out := &ast.ValueSpec{Names: names, Type: s.Type}
+	if s.Type == nil && len(s.Names) == 1 && len(s.Values) == 1 {
+		out.Values = s.Values
+	}
+	return out
+}
+
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<!render error: %v>", err)
+	}
+	// Collapse to one line per entry so the golden file diffs cleanly.
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

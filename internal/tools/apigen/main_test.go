@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenSurfaceUpToDate regenerates the public shadowfax API surface and
+// compares it against the checked-in golden file. A mismatch means the
+// public API changed without updating the snapshot:
+//
+//	go run ./internal/tools/apigen ./shadowfax > api/shadowfax.txt
+func TestGoldenSurfaceUpToDate(t *testing.T) {
+	entries, err := surface("../../../shadowfax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(entries, "\n") + "\n"
+	golden, err := os.ReadFile("../../../api/shadowfax.txt")
+	if err != nil {
+		t.Fatalf("reading golden surface: %v", err)
+	}
+	if got != string(golden) {
+		gotLines := make(map[string]bool, len(entries))
+		for _, e := range entries {
+			gotLines[e] = true
+		}
+		for _, e := range strings.Split(strings.TrimRight(string(golden), "\n"), "\n") {
+			if !gotLines[e] {
+				t.Errorf("removed from surface: %s", e)
+			}
+		}
+		goldenLines := make(map[string]bool)
+		for _, e := range strings.Split(strings.TrimRight(string(golden), "\n"), "\n") {
+			goldenLines[e] = true
+		}
+		for _, e := range entries {
+			if !goldenLines[e] {
+				t.Errorf("added to surface: %s", e)
+			}
+		}
+		t.Fatal("public API surface changed; regenerate api/shadowfax.txt (see test doc)")
+	}
+}

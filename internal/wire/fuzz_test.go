@@ -49,6 +49,13 @@ func fuzzSeeds() [][]byte {
 			Relocated: 10, Begin: 0x20000, ReclaimedBytes: 1 << 20, TierReclaimed: 1 << 20}),
 		EncodeSessionRecover(SessionRecover{SessionID: 9}),
 		EncodeSessionRecoverResp(SessionRecoverResp{SessionID: 9, Known: true, LastSeq: 44}),
+		EncodeStatsReq(),
+		EncodeStatsResp(StatsResp{
+			ServerID: "s1", ViewNumber: 3,
+			Ranges:       []Range{{Start: 0, End: 1 << 62}, {Start: 1 << 63, End: ^uint64(0)}},
+			OpsCompleted: 1000, BatchesAccepted: 10, BatchesRejected: 1,
+			PendingOps: 5, Checkpoints: 2, CompactReclaimedBytes: 1 << 20,
+		}),
 	}
 }
 
@@ -112,6 +119,18 @@ func FuzzDecode(f *testing.F) {
 		if r, err := DecodeSessionRecoverResp(buf); err == nil {
 			if r2, err := DecodeSessionRecoverResp(EncodeSessionRecoverResp(r)); err != nil || r2 != r {
 				t.Fatalf("session recover resp round trip: %v", err)
+			}
+		}
+		if r, err := DecodeStatsResp(buf); err == nil {
+			// StatsResp holds a slice, so compare via canonical re-encoding:
+			// the re-decoded value must re-encode to the same bytes.
+			re := EncodeStatsResp(r)
+			r2, err := DecodeStatsResp(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded stats resp failed: %v", err)
+			}
+			if !bytes.Equal(EncodeStatsResp(r2), re) {
+				t.Fatal("stats resp round trip not canonical")
 			}
 		}
 	})
@@ -200,7 +219,7 @@ func TestFuzzSeedsDecode(t *testing.T) {
 			MsgCompleteMigration, MsgAck, MsgCompacted:
 			m, err := DecodeMigrationMsg(seed)
 			ok = err == nil && bytes.Equal(EncodeMigrationMsg(&m), seed)
-		case MsgCheckpoint, MsgCompact, MsgSessionRecover:
+		case MsgCheckpoint, MsgCompact, MsgStats, MsgSessionRecover:
 			ok = true // bare request frames
 			if typ == MsgSessionRecover {
 				_, err := DecodeSessionRecover(seed)
@@ -215,6 +234,9 @@ func TestFuzzSeedsDecode(t *testing.T) {
 		case MsgSessionRecoverResp:
 			_, err := DecodeSessionRecoverResp(seed)
 			ok = err == nil
+		case MsgStatsResp:
+			r, err := DecodeStatsResp(seed)
+			ok = err == nil && bytes.Equal(EncodeStatsResp(r), seed)
 		}
 		if !ok {
 			t.Fatalf("seed %d (type %d) does not decode", i, typ)

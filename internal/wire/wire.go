@@ -53,6 +53,13 @@ const (
 	// MsgCompactResp reports a completed (or failed) compaction pass with
 	// its per-pass statistics.
 	MsgCompactResp
+	// MsgStats asks a server for a snapshot of its counters, identity and
+	// current ownership view (admin). It doubles as the public API's
+	// bootstrap handshake: the response carries everything a client needs
+	// to register an out-of-process server in its metadata cache.
+	MsgStats
+	// MsgStatsResp answers MsgStats.
+	MsgStatsResp
 )
 
 // OpKind is a client operation within a request batch.
@@ -69,12 +76,21 @@ const (
 // ResultStatus is a per-operation outcome.
 type ResultStatus uint8
 
-// Result statuses.
+// Result statuses. StatusOK..StatusErr travel on the wire; the remaining
+// statuses are produced by the client library itself (they complete
+// callbacks for operations that never reached, or never returned from, a
+// server) and share the enum so one completion path handles both.
 const (
 	StatusOK ResultStatus = iota
 	StatusNotFound
 	StatusPending // internal: never leaves the server
 	StatusErr
+	// StatusNotOwner: no server owns the key's hash range, even after a
+	// metadata refresh (client-side).
+	StatusNotOwner
+	// StatusClosed: the client was closed with the operation still
+	// outstanding; it was never acknowledged by a server (client-side).
+	StatusClosed
 )
 
 // Errors.
@@ -560,6 +576,121 @@ func DecodeCompactResp(buf []byte) (CompactResp, error) {
 		return r, err
 	}
 	r.Err = string(eb)
+	return r, nil
+}
+
+// Range is a half-open hash interval inside a StatsResp (the wire twin of
+// metadata.HashRange; the wire package depends on nothing internal).
+type Range struct {
+	Start, End uint64
+}
+
+// StatsResp is a server's answer to a MsgStats admin request: identity,
+// current ownership view, and a snapshot of the operational counters. It is
+// also the public API's discovery handshake — ServerID plus the view let a
+// client register an out-of-process server in its metadata cache.
+type StatsResp struct {
+	ServerID   string
+	ViewNumber uint64
+	Ranges     []Range // ranges owned at ViewNumber
+
+	OpsCompleted    uint64
+	BatchesAccepted uint64
+	BatchesRejected uint64
+	DecodeErrors    uint64
+	PendingOps      int64 // target-side pending set (may be mid-flight negative-free)
+	RemoteFetches   uint64
+	ViewRefreshes   uint64
+
+	Checkpoints        uint64
+	CheckpointFailures uint64
+
+	Compactions           uint64
+	CompactionFailures    uint64
+	CompactRelocated      uint64
+	CompactReclaimedBytes uint64
+
+	StorePendingReads uint64 // pending storage I/Os the store has issued
+}
+
+// EncodeStatsReq builds a MsgStats frame.
+func EncodeStatsReq() []byte {
+	return []byte{byte(MsgStats)}
+}
+
+// EncodeStatsResp builds a MsgStatsResp frame.
+func EncodeStatsResp(r StatsResp) []byte {
+	dst := []byte{byte(MsgStatsResp)}
+	dst = appendU16(dst, uint16(len(r.ServerID)))
+	dst = append(dst, r.ServerID...)
+	dst = appendU64(dst, r.ViewNumber)
+	dst = appendU32(dst, uint32(len(r.Ranges)))
+	for _, rng := range r.Ranges {
+		dst = appendU64(dst, rng.Start)
+		dst = appendU64(dst, rng.End)
+	}
+	for _, v := range []uint64{
+		r.OpsCompleted, r.BatchesAccepted, r.BatchesRejected, r.DecodeErrors,
+		uint64(r.PendingOps), r.RemoteFetches, r.ViewRefreshes,
+		r.Checkpoints, r.CheckpointFailures,
+		r.Compactions, r.CompactionFailures, r.CompactRelocated,
+		r.CompactReclaimedBytes, r.StorePendingReads,
+	} {
+		dst = appendU64(dst, v)
+	}
+	return dst
+}
+
+// DecodeStatsResp parses a MsgStatsResp frame.
+func DecodeStatsResp(buf []byte) (StatsResp, error) {
+	d := decoder{buf: buf}
+	var r StatsResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgStatsResp {
+		return r, fmt.Errorf("%w: stats resp", ErrBadType)
+	}
+	n, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	id, err := d.bytes(int(n))
+	if err != nil {
+		return r, err
+	}
+	r.ServerID = string(id)
+	if r.ViewNumber, err = d.u64(); err != nil {
+		return r, err
+	}
+	cnt, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	// Each range encodes to 16 bytes; a count the remaining frame cannot
+	// hold is a corrupt or hostile frame, not an allocation request.
+	if uint64(cnt) > uint64(d.remaining())/16 {
+		return r, ErrShortFrame
+	}
+	r.Ranges = make([]Range, cnt)
+	for i := range r.Ranges {
+		if r.Ranges[i].Start, err = d.u64(); err != nil {
+			return r, err
+		}
+		if r.Ranges[i].End, err = d.u64(); err != nil {
+			return r, err
+		}
+	}
+	var pend uint64
+	for _, p := range []*uint64{
+		&r.OpsCompleted, &r.BatchesAccepted, &r.BatchesRejected, &r.DecodeErrors,
+		&pend, &r.RemoteFetches, &r.ViewRefreshes,
+		&r.Checkpoints, &r.CheckpointFailures,
+		&r.Compactions, &r.CompactionFailures, &r.CompactRelocated,
+		&r.CompactReclaimedBytes, &r.StorePendingReads,
+	} {
+		if *p, err = d.u64(); err != nil {
+			return r, err
+		}
+	}
+	r.PendingOps = int64(pend)
 	return r, nil
 }
 

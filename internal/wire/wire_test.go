@@ -227,3 +227,50 @@ func BenchmarkEncodeDecodeBatch(b *testing.B) {
 		}
 	}
 }
+
+func TestStatsRoundTrip(t *testing.T) {
+	req := EncodeStatsReq()
+	if typ, err := PeekType(req); err != nil || typ != MsgStats {
+		t.Fatalf("stats req type: %v %v", typ, err)
+	}
+	for _, in := range []StatsResp{
+		{ServerID: "server-1", ViewNumber: 12,
+			Ranges:       []Range{{Start: 0, End: 1 << 40}, {Start: 1 << 41, End: ^uint64(0)}},
+			OpsCompleted: 123456, BatchesAccepted: 2000, BatchesRejected: 3,
+			DecodeErrors: 1, PendingOps: -2, RemoteFetches: 9, ViewRefreshes: 4,
+			Checkpoints: 5, CheckpointFailures: 1,
+			Compactions: 7, CompactionFailures: 2, CompactRelocated: 88,
+			CompactReclaimedBytes: 1 << 30, StorePendingReads: 42},
+		{}, // zero value (no id, no ranges) must survive too
+	} {
+		out, err := DecodeStatsResp(EncodeStatsResp(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ServerID != in.ServerID || out.ViewNumber != in.ViewNumber ||
+			len(out.Ranges) != len(in.Ranges) || out.PendingOps != in.PendingOps ||
+			out.OpsCompleted != in.OpsCompleted ||
+			out.CompactReclaimedBytes != in.CompactReclaimedBytes ||
+			out.StorePendingReads != in.StorePendingReads {
+			t.Fatalf("stats resp mismatch: %+v vs %+v", out, in)
+		}
+		for i := range in.Ranges {
+			if out.Ranges[i] != in.Ranges[i] {
+				t.Fatalf("range %d mismatch: %+v vs %+v", i, out.Ranges[i], in.Ranges[i])
+			}
+		}
+	}
+	if _, err := DecodeStatsResp(req); err == nil {
+		t.Fatal("decoded a request frame as a response")
+	}
+
+	// Count guard: an absurd range count must be rejected before allocation.
+	huge := []byte{byte(MsgStatsResp)}
+	huge = appendU16(huge, 2)
+	huge = append(huge, 's', '1')
+	huge = appendU64(huge, 1) // view number
+	huge = appendU32(huge, 0xFFFFFFFF)
+	if _, err := DecodeStatsResp(huge); err == nil {
+		t.Fatal("stats resp with absurd range count accepted")
+	}
+}

@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wire"
+	"repro/shadowfax"
 )
 
 // TestSmokeEndToEnd is the root sanity check: a tiny put/get workload
@@ -69,6 +72,50 @@ func TestSmokeEndToEnd(t *testing.T) {
 		}
 	}
 	if ops := srv.Stats().OpsCompleted.Load(); ops < n*2 {
+		t.Fatalf("server completed %d ops, want >= %d", ops, n*2)
+	}
+}
+
+// TestPublicAPISmoke is TestSmokeEndToEnd through the public shadowfax
+// package: the supported surface (cluster, functional options, futures,
+// typed errors) assembled exactly the way cmd/ and examples/ use it.
+func TestPublicAPISmoke(t *testing.T) {
+	cluster := shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetFree))
+	srv, err := shadowfax.NewServer(cluster, "smoke",
+		shadowfax.WithThreads(2),
+		shadowfax.WithIndexBuckets(1<<10),
+		shadowfax.WithMemoryBudget(12, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := shadowfax.Dial(cluster, shadowfax.WithBatchOps(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		cl.SetAsync([]byte(fmt.Sprintf("smoke-%02d", i)),
+			[]byte(fmt.Sprintf("v%02d", i))).Release()
+	}
+	if err := cl.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, err := cl.Get(ctx, []byte(fmt.Sprintf("smoke-%02d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("key %d: %q, %v", i, v, err)
+		}
+	}
+	if _, err := cl.Get(ctx, []byte("absent")); !errors.Is(err, shadowfax.ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	if ops := srv.Stats().OpsCompleted; ops < n*2 {
 		t.Fatalf("server completed %d ops, want >= %d", ops, n*2)
 	}
 }

@@ -1,0 +1,70 @@
+package shadowfax
+
+import (
+	"context"
+
+	"repro/internal/client"
+)
+
+// Admin is the unified control-plane handle: durable checkpoints, log
+// compaction, migration, and stats — each an RPC on its own short-lived
+// connection, the paper's Migrate() RPC model (§3.3). Admin operations are
+// deliberately not on Client: the data plane stays a pure key-value session
+// API, and admin traffic never competes with a session's pipelined batches.
+//
+// An Admin is stateless and safe for concurrent use. Every method observes
+// its context while awaiting the server's response.
+type Admin struct {
+	rpc *client.Admin
+}
+
+// NewAdmin builds an admin handle over the cluster's transport and metadata
+// store. Out-of-process servers must be registered first (Cluster.Discover).
+func NewAdmin(cluster *Cluster) *Admin {
+	return &Admin{rpc: client.NewAdmin(cluster.tr, cluster.meta)}
+}
+
+// Checkpoint asks serverID to take a durable checkpoint now and waits for
+// the committed image's identity. A server without a checkpoint device
+// refuses with ErrRejected.
+func (a *Admin) Checkpoint(ctx context.Context, serverID string) (CheckpointInfo, error) {
+	resp, err := a.rpc.Checkpoint(ctx, serverID)
+	if err != nil {
+		if resp.Err != "" {
+			return CheckpointInfo{}, rejectionError(err)
+		}
+		return CheckpointInfo{}, err
+	}
+	return CheckpointInfo{Version: resp.Version, LogTail: resp.Tail}, nil
+}
+
+// Compact asks serverID to run one log-compaction pass now (§3.3.3) and
+// waits for the pass's statistics. A refusal (e.g. a migration is in flight)
+// surfaces as ErrRejected.
+func (a *Admin) Compact(ctx context.Context, serverID string) (CompactionStats, error) {
+	resp, err := a.rpc.Compact(ctx, serverID)
+	if err != nil {
+		if resp.Err != "" {
+			return CompactionStats{}, rejectionError(err)
+		}
+		return CompactionStats{}, err
+	}
+	return compactionStatsFromWire(resp), nil
+}
+
+// Migrate sends the Migrate() RPC to source, asking it to move
+// [rng.Start, rng.End) to target (§3.3). It returns once the source
+// acknowledges that the migration has begun; progress is observable via
+// Cluster.PendingMigrations and Stats.
+func (a *Admin) Migrate(ctx context.Context, source, target string, rng HashRange) error {
+	return a.rpc.Migrate(ctx, source, target, rng)
+}
+
+// Stats fetches a snapshot of serverID's identity, view number and counters.
+func (a *Admin) Stats(ctx context.Context, serverID string) (ServerStats, error) {
+	resp, err := a.rpc.Stats(ctx, serverID)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return serverStatsFromWire(resp), nil
+}

@@ -1,0 +1,181 @@
+package shadowfax
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdminStatsAndCheckpoint(t *testing.T) {
+	cluster := NewCluster(WithInProcessNetwork(NetFree))
+	logDev := NewMemDevice(LatencyModel{}, 2)
+	defer logDev.Close()
+	ckptDev := NewMemDevice(LatencyModel{}, 2)
+	defer ckptDev.Close()
+	srv, err := NewServer(cluster, "s1", WithThreads(1),
+		WithLogDevice(logDev), WithCheckpointDevice(ckptDev),
+		WithMemoryBudget(12, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		cl.SetAsync(k(i), val(i))
+	}
+	if err := cl.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	admin := NewAdmin(cluster)
+	st, err := admin.Stats(ctx, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ServerID != "s1" || st.OpsCompleted < 100 || st.ViewNumber == 0 {
+		t.Fatalf("stats over the wire: %+v", st)
+	}
+	// The wire snapshot and the in-process snapshot agree on identity.
+	if local := srv.Stats(); local.ServerID != st.ServerID ||
+		local.ViewNumber != st.ViewNumber {
+		t.Fatalf("wire stats %+v disagree with local %+v", st, local)
+	}
+
+	info, err := admin.Checkpoint(ctx, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version == 0 || info.LogTail == 0 {
+		t.Fatalf("checkpoint info: %+v", info)
+	}
+}
+
+func TestAdminCheckpointRejected(t *testing.T) {
+	cluster, _ := testCluster(t) // no checkpoint device
+	admin := NewAdmin(cluster)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := admin.Checkpoint(ctx, "s1"); !errors.Is(err, ErrRejected) {
+		t.Fatalf("checkpoint without device = %v, want ErrRejected", err)
+	}
+}
+
+func TestAdminCompact(t *testing.T) {
+	cluster, _ := testCluster(t)
+	cl, err := Dial(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	// Two overwrite rounds so the stable prefix holds dead versions.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 2000; i++ {
+			cl.SetAsync(k(i), val(round*10000+i))
+		}
+		if err := cl.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := NewAdmin(cluster).Compact(ctx, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned == 0 {
+		t.Fatalf("compaction scanned nothing: %+v", st)
+	}
+}
+
+func TestAdminMigrate(t *testing.T) {
+	cluster := NewCluster(WithInProcessNetwork(NetFree))
+	for _, id := range []string{"src", "dst"} {
+		ranges := []HashRange{}
+		if id == "src" {
+			ranges = append(ranges, FullRange)
+		}
+		srv, err := NewServer(cluster, id, WithThreads(1),
+			WithIndexBuckets(1<<10), WithMemoryBudget(12, 16, 8),
+			WithOwnership(ranges...), WithSampleDuration(10*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+	}
+	cl, err := Dial(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	for i := 0; i < 500; i++ {
+		cl.SetAsync(k(i), val(i))
+	}
+	if err := cl.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := NewAdmin(cluster).Migrate(ctx, "src", "dst",
+		HashRange{Start: 0, End: 1 << 63}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for len(cluster.PendingMigrations("src")) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("migration never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Every key still readable after the ownership change.
+	for i := 0; i < 500; i++ {
+		v, err := cl.Get(ctx, k(i))
+		if err != nil || !bytes.Equal(v, val(i)) {
+			t.Fatalf("key %d after migration: %q, %v", i, v, err)
+		}
+	}
+	if v, err := cluster.View("dst"); err != nil || len(v.Ranges) == 0 {
+		t.Fatalf("target view after migration: %+v, %v", v, err)
+	}
+}
+
+// TestDiscover: a fresh cluster handle adopts an out-of-process-style server
+// purely through the Stats handshake.
+func TestDiscover(t *testing.T) {
+	cluster, _ := testCluster(t)
+	cl, err := Dial(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.Set(ctx, []byte("shared"), []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+
+	// A second cluster handle shares only the transport — its metadata
+	// store starts empty, like a separate process would.
+	fresh := NewCluster(WithTransport(cluster.tr))
+	st, err := fresh.Discover(ctx, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ServerID != "s1" {
+		t.Fatalf("discovered %q", st.ServerID)
+	}
+	cl2, err := Dial(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	v, err := cl2.Get(ctx, []byte("shared"))
+	if err != nil || !bytes.Equal(v, []byte("state")) {
+		t.Fatalf("read through discovered cluster: %q, %v", v, err)
+	}
+}

@@ -1,0 +1,422 @@
+package shadowfax
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// Client is a cluster-aware handle over one or more client threads
+// (§3.1.1). Operations are hashed to their owning server, buffered into
+// view-tagged batches, pipelined, and transparently re-routed when ownership
+// moves. The synchronous methods (Get/Set/RMW/Delete) block on a context;
+// the *Async variants return pooled Futures.
+//
+// A Client is safe for concurrent use: each underlying thread is guarded by
+// a mutex, and waiters drive the thread's poll loop themselves unless a
+// background pump goroutine was enabled with WithBackgroundPump.
+type Client struct {
+	shards []*shard
+	next   atomic.Uint64 // round-robin shard picker
+
+	maxOutstanding int
+	pumped         bool
+	pumpStop       chan struct{}
+	pumpDone       chan struct{}
+	closed         atomic.Bool
+
+	futures sync.Pool
+}
+
+// shard is one single-owner client thread plus the lock that serializes its
+// users (issuers, waiters, the pump).
+type shard struct {
+	mu sync.Mutex
+	t  *client.Thread
+}
+
+type dialConfig struct {
+	threads        int
+	maxOutstanding int
+	pump           bool
+	cfg            client.Config
+}
+
+// DialOption configures Dial.
+type DialOption func(*dialConfig)
+
+// WithClientThreads shards the client across n independent threads
+// (round-robin); each thread owns its sessions and batches. Default 1.
+func WithClientThreads(n int) DialOption {
+	return func(dc *dialConfig) { dc.threads = n }
+}
+
+// WithBatchOps flushes a session's buffer at this many operations
+// (default 256).
+func WithBatchOps(n int) DialOption {
+	return func(dc *dialConfig) { dc.cfg.BatchOps = n }
+}
+
+// WithBatchBytes flushes earlier if the encoded batch reaches this size
+// (default 32 KiB).
+func WithBatchBytes(n int) DialOption {
+	return func(dc *dialConfig) { dc.cfg.BatchBytes = n }
+}
+
+// WithMaxInflightBatches bounds pipelining per session (default 8).
+func WithMaxInflightBatches(n int) DialOption {
+	return func(dc *dialConfig) { dc.cfg.MaxInflightBatches = n }
+}
+
+// WithMaxOutstanding bounds issued-but-uncompleted operations per thread;
+// issuing past the bound drives the poll loop until there is room
+// (default 4096). This is the client-side flow control the examples used to
+// hand-roll.
+func WithMaxOutstanding(n int) DialOption {
+	return func(dc *dialConfig) { dc.maxOutstanding = n }
+}
+
+// WithBackgroundPump starts a goroutine that continuously flushes and polls
+// every shard, so fire-and-forget operations complete without anyone
+// waiting on them. Without it, progress is driven by Wait/Drain/Flush
+// callers (the classic poll-driven mode).
+func WithBackgroundPump() DialOption {
+	return func(dc *dialConfig) { dc.pump = true }
+}
+
+// Dial connects a client to the cluster. The connection to each server is
+// established lazily, on the first operation routed to it.
+func Dial(cluster *Cluster, opts ...DialOption) (*Client, error) {
+	dc := dialConfig{threads: 1, maxOutstanding: 4096}
+	for _, o := range opts {
+		o(&dc)
+	}
+	if dc.threads < 1 {
+		dc.threads = 1
+	}
+	if dc.maxOutstanding < 1 {
+		dc.maxOutstanding = 4096
+	}
+	dc.cfg.Transport = cluster.tr
+	dc.cfg.Meta = cluster.meta
+
+	c := &Client{maxOutstanding: dc.maxOutstanding}
+	for i := 0; i < dc.threads; i++ {
+		th, err := client.NewThread(dc.cfg)
+		if err != nil {
+			for _, sh := range c.shards {
+				sh.t.Close()
+			}
+			return nil, err
+		}
+		c.shards = append(c.shards, &shard{t: th})
+	}
+	if dc.pump {
+		c.pumped = true
+		c.pumpStop = make(chan struct{})
+		c.pumpDone = make(chan struct{})
+		go c.pumpLoop()
+	}
+	return c, nil
+}
+
+// pick selects the shard for a new operation.
+func (c *Client) pick() *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	return c.shards[c.next.Add(1)%uint64(len(c.shards))]
+}
+
+// newFuture takes a pooled Future and arms it for one completion.
+func (c *Client) newFuture(sh *shard) *Future {
+	f, _ := c.futures.Get().(*Future)
+	if f == nil {
+		f = &Future{c: c, ch: make(chan struct{}, 1)}
+		f.cb = f.complete
+	}
+	f.sh = sh
+	f.status = wire.StatusOK
+	f.val = f.val[:0]
+	f.done.Store(false)
+	select {
+	case <-f.ch: // drop any stale token from an abandoned lifetime
+	default:
+	}
+	return f
+}
+
+// issue routes one operation to a shard and returns its armed Future. With
+// flush set, the shard's partial batch is pushed out immediately (the
+// synchronous methods are about to wait on it). ctx bounds only the
+// flow-control wait; the operation itself is bounded by whatever waits on
+// the Future.
+func (c *Client) issue(ctx context.Context, kind wire.OpKind, key, value []byte, flush bool) *Future {
+	sh := c.pick()
+	f := c.newFuture(sh)
+	sh.mu.Lock()
+	c.backpressureLocked(ctx, sh)
+	switch kind {
+	case wire.OpRead:
+		sh.t.Read(key, f.cb) //nolint:errcheck // issue failures complete f via the callback
+	case wire.OpUpsert:
+		sh.t.Upsert(key, value, f.cb) //nolint:errcheck
+	case wire.OpRMW:
+		sh.t.RMW(key, value, f.cb) //nolint:errcheck
+	case wire.OpDelete:
+		sh.t.Delete(key, f.cb) //nolint:errcheck
+	}
+	if flush {
+		sh.t.Flush()
+	}
+	sh.mu.Unlock()
+	return f
+}
+
+// backpressureLocked enforces WithMaxOutstanding: the caller holds sh.mu.
+// Flow control is advisory — when ctx is done (a synchronous caller's
+// deadline) the wait stops and the operation is issued anyway, so the
+// caller's Wait can surface the context error instead of wedging here.
+func (c *Client) backpressureLocked(ctx context.Context, sh *shard) {
+	for sh.t.Outstanding() >= c.maxOutstanding {
+		if c.closed.Load() {
+			return // Close is waiting for the lock; let it settle the ops
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		sh.t.Flush()
+		if sh.t.Poll() == 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// step drives one flush+poll iteration on a shard (used by waiters when no
+// background pump runs).
+func (c *Client) step(sh *shard) {
+	sh.mu.Lock()
+	sh.t.Flush()
+	n := sh.t.Poll()
+	sh.mu.Unlock()
+	if n == 0 {
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+func (c *Client) pumpLoop() {
+	defer close(c.pumpDone)
+	for {
+		select {
+		case <-c.pumpStop:
+			return
+		default:
+		}
+		progress := 0
+		for _, sh := range c.shards {
+			sh.mu.Lock()
+			sh.t.Flush()
+			progress += sh.t.Poll()
+			sh.mu.Unlock()
+		}
+		if progress == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// GetAsync issues an asynchronous read.
+func (c *Client) GetAsync(key []byte) *Future {
+	return c.issue(context.Background(), wire.OpRead, key, nil, false)
+}
+
+// SetAsync issues an asynchronous blind write.
+func (c *Client) SetAsync(key, value []byte) *Future {
+	return c.issue(context.Background(), wire.OpUpsert, key, value, false)
+}
+
+// RMWAsync issues an asynchronous read-modify-write with the given input
+// (the default store semantics treat values as 8-byte little-endian
+// counters and inputs as deltas).
+func (c *Client) RMWAsync(key, input []byte) *Future {
+	return c.issue(context.Background(), wire.OpRMW, key, input, false)
+}
+
+// DeleteAsync issues an asynchronous delete.
+func (c *Client) DeleteAsync(key []byte) *Future {
+	return c.issue(context.Background(), wire.OpDelete, key, nil, false)
+}
+
+// Get reads key and returns a copy of its value. A missing key returns
+// ErrNotFound.
+func (c *Client) Get(ctx context.Context, key []byte) ([]byte, error) {
+	f := c.issue(ctx, wire.OpRead, key, nil, true)
+	v, err := f.Wait(ctx)
+	if err != nil {
+		f.Release()
+		return nil, err
+	}
+	out := append([]byte(nil), v...)
+	f.Release()
+	return out, nil
+}
+
+// Set writes value under key (blind upsert).
+func (c *Client) Set(ctx context.Context, key, value []byte) error {
+	return c.waitRelease(ctx, c.issue(ctx, wire.OpUpsert, key, value, true))
+}
+
+// RMW applies a read-modify-write with the given input to key, initializing
+// the key if absent.
+func (c *Client) RMW(ctx context.Context, key, input []byte) error {
+	return c.waitRelease(ctx, c.issue(ctx, wire.OpRMW, key, input, true))
+}
+
+// Delete removes key. Deleting an absent key succeeds (a tombstone is
+// written).
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	return c.waitRelease(ctx, c.issue(ctx, wire.OpDelete, key, nil, true))
+}
+
+func (c *Client) waitRelease(ctx context.Context, f *Future) error {
+	_, err := f.Wait(ctx)
+	f.Release()
+	return err
+}
+
+// Flush pushes every shard's partial batches to the wire.
+func (c *Client) Flush() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.t.Flush()
+		sh.mu.Unlock()
+	}
+}
+
+// Drain flushes and polls until no operations are outstanding or ctx is
+// done. The context is observed every iteration, even while completions keep
+// arriving.
+func (c *Client) Drain(ctx context.Context) error {
+	for {
+		outstanding, progress := 0, 0
+		for _, sh := range c.shards {
+			sh.mu.Lock()
+			sh.t.Flush()
+			progress += sh.t.Poll()
+			outstanding += sh.t.Outstanding()
+			sh.mu.Unlock()
+		}
+		if outstanding == 0 {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return c.ctxError(err)
+		}
+		if progress == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// Outstanding returns the number of issued-but-uncompleted operations across
+// all shards.
+func (c *Client) Outstanding() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.t.Outstanding()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// BrokenSessions reports how many server connections died and await
+// RecoverSessions.
+func (c *Client) BrokenSessions() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.t.BrokenSessions()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// RecoverSessions reconciles every session against its (possibly restarted)
+// server: operations at or below the server's durable prefix complete
+// without re-execution, the rest replay in order — exactly-once update
+// semantics across a server crash (§3.3.1). Call it after a crash/restart;
+// it can be retried on error.
+func (c *Client) RecoverSessions(ctx context.Context) error {
+	for _, sh := range c.shards {
+		// Cancellation is observed between shards; each shard's handshake
+		// is bounded by the context's *remaining* time (recomputed every
+		// iteration so N shards cannot stack N full timeouts), capped at a
+		// 5s default for deadline-less contexts.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		timeout := 5 * time.Second
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < timeout {
+				timeout = rem
+			}
+		}
+		sh.mu.Lock()
+		err := sh.t.RecoverSessions(timeout)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the client's counters across its shards.
+func (c *Client) Stats() ClientStats {
+	var out ClientStats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st := sh.t.Stats()
+		sh.mu.Unlock()
+		out.OpsIssued += st.OpsIssued
+		out.OpsCompleted += st.OpsCompleted
+		out.BatchesSent += st.BatchesSent
+		out.BatchesRejected += st.BatchesRejected
+		out.Refreshes += st.Refreshes
+	}
+	return out
+}
+
+// Close stops the pump and tears down every session. Outstanding operations
+// complete with ErrClosed — their Futures unblock and their callbacks fire;
+// none are silently dropped. Operations issued after Close fail with
+// ErrClosed immediately. Close is idempotent.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.pumpStop != nil {
+		close(c.pumpStop)
+		<-c.pumpDone
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.t.Close()
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// ctxError decorates a context error with ErrSessionBroken when the stall is
+// explained by dead server connections.
+func (c *Client) ctxError(err error) error {
+	if n := c.BrokenSessions(); n > 0 {
+		return &sessionBrokenError{sessions: n, cause: err}
+	}
+	return err
+}

@@ -1,0 +1,140 @@
+package shadowfax
+
+import (
+	"context"
+
+	"repro/internal/client"
+	"repro/internal/metadata"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Transport moves frames between clients and servers. The concrete
+// implementations are constructed through Cluster options (in-process
+// channels or real TCP), each charging the CPU cost model of the network
+// stack it simulates.
+type Transport = transport.Transport
+
+// NetworkProfile is the CPU cost model of a simulated network stack
+// (per-frame and per-byte busy-spin on both sides; Table 2 of the paper).
+type NetworkProfile = transport.CostModel
+
+// The paper's network configurations, plus a free profile for tests.
+var (
+	// NetAccelerated models SmartNIC-offloaded Linux TCP.
+	NetAccelerated = transport.AcceleratedTCP
+	// NetSoftware models the full software TCP stack.
+	NetSoftware = transport.SoftwareTCP
+	// NetInfrc models two-sided RDMA (hardware stack, near-zero CPU).
+	NetInfrc = transport.Infrc
+	// NetTCPIPoIB models TCP over IPoIB.
+	NetTCPIPoIB = transport.TCPIPoIB
+	// NetFree charges nothing (unit tests, functional runs).
+	NetFree = transport.Free
+)
+
+// Cluster bundles the fixtures every deployment shares: the metadata store
+// (the paper's ZooKeeper stand-in) and the transport. Servers and clients
+// are created against a Cluster; multiple servers on one Cluster form a
+// hash-partitioned deployment.
+type Cluster struct {
+	meta *metadata.Store
+	tr   Transport
+}
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*Cluster)
+
+// WithInProcessNetwork selects the in-process channel transport with the
+// given cost profile (single-binary deployments; the default, with
+// NetAccelerated).
+func WithInProcessNetwork(profile NetworkProfile) ClusterOption {
+	return func(c *Cluster) { c.tr = transport.NewInMem(profile) }
+}
+
+// WithTCPNetwork selects real kernel TCP with length-prefixed frames and the
+// given cost profile.
+func WithTCPNetwork(profile NetworkProfile) ClusterOption {
+	return func(c *Cluster) { c.tr = transport.NewTCP(profile) }
+}
+
+// WithTransport installs a caller-provided transport (custom cost models,
+// test doubles).
+func WithTransport(tr Transport) ClusterOption {
+	return func(c *Cluster) { c.tr = tr }
+}
+
+// NewCluster creates the shared fixtures for one deployment. The default
+// transport is in-process with the accelerated-TCP cost profile.
+func NewCluster(opts ...ClusterOption) *Cluster {
+	c := &Cluster{
+		meta: metadata.NewStore(),
+		tr:   transport.NewInMem(transport.AcceleratedTCP),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Servers returns the ids of all servers registered in the metadata store,
+// sorted.
+func (c *Cluster) Servers() []string { return c.meta.Servers() }
+
+// View returns a server's current ownership view.
+func (c *Cluster) View(serverID string) (View, error) { return c.meta.GetView(serverID) }
+
+// PendingMigrations returns the migrations involving serverID whose
+// dependency has not been collected yet (§3.3.1); an empty result means the
+// server has no migration in flight.
+func (c *Cluster) PendingMigrations(serverID string) []MigrationState {
+	return c.meta.PendingMigrationsFor(serverID)
+}
+
+// Discover contacts a server directly by transport address, registers its
+// identity, address and ownership view in this cluster's metadata store, and
+// returns its stats snapshot. It is the bootstrap handshake for talking to
+// an out-of-process server (e.g. shadowfax-cli against shadowfax-server):
+// after Discover, Dial and NewAdmin route to the server by its id.
+func (c *Cluster) Discover(ctx context.Context, addr string) (ServerStats, error) {
+	resp, err := client.NewAdmin(c.tr, c.meta).StatsAddr(ctx, addr)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	c.meta.RestoreServer(resp.ServerID, viewFromWire(resp))
+	c.meta.SetServerAddr(resp.ServerID, addr)
+	return serverStatsFromWire(resp), nil
+}
+
+// Device is a simulated (or file-backed) storage device for HybridLogs and
+// checkpoint images.
+type Device = storage.Device
+
+// MemDevice is an in-memory Device with a latency/IOPS model.
+type MemDevice = storage.MemDevice
+
+// FileDevice is a real file-backed Device.
+type FileDevice = storage.FileDevice
+
+// SharedTier is the shared remote storage tier (the paper's cloud blobs,
+// §2.2) that decouples migration from local SSD I/O.
+type SharedTier = storage.SharedTier
+
+// LatencyModel parameterizes a Device's simulated performance.
+type LatencyModel = storage.LatencyModel
+
+// NewMemDevice creates an in-memory device with the given latency model and
+// I/O worker count.
+func NewMemDevice(model LatencyModel, workers int) *MemDevice {
+	return storage.NewMemDevice(model, workers)
+}
+
+// NewFileDevice creates (or reopens) a file-backed device.
+func NewFileDevice(path string, model LatencyModel, workers int) (*FileDevice, error) {
+	return storage.NewFileDevice(path, model, workers)
+}
+
+// NewSharedTier creates a shared remote tier with the given latency model.
+func NewSharedTier(model LatencyModel) *SharedTier {
+	return storage.NewSharedTier(model)
+}

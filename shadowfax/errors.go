@@ -1,0 +1,73 @@
+package shadowfax
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// The error taxonomy. Every operation and admin RPC resolves to nil or to an
+// error chain containing exactly one of these sentinels, so callers branch
+// with errors.Is instead of inspecting wire-level status codes.
+var (
+	// ErrNotFound: the key does not exist (reads and deletes of absent
+	// keys; deletes still succeed — this surfaces only from Get).
+	ErrNotFound = errors.New("shadowfax: key not found")
+	// ErrNotOwner: no server in the metadata store owns the key's hash
+	// range, even after a refresh.
+	ErrNotOwner = errors.New("shadowfax: no owner for key's hash range")
+	// ErrSessionBroken: a server connection died mid-session; the
+	// operations are preserved and RecoverSessions will reconcile them
+	// against the (restarted) server's durable state (§3.3.1).
+	ErrSessionBroken = errors.New("shadowfax: session broken; RecoverSessions required")
+	// ErrClosed: the client was closed; outstanding operations complete
+	// with this error and new operations fail with it immediately.
+	ErrClosed = errors.New("shadowfax: client closed")
+	// ErrRejected: the server refused an admin request (e.g. checkpointing
+	// without a checkpoint device, compacting during a migration).
+	ErrRejected = errors.New("shadowfax: request rejected by server")
+	// ErrInternal: the server reported a failure with no more specific
+	// classification.
+	ErrInternal = errors.New("shadowfax: internal server error")
+)
+
+// errorFromStatus maps a wire-level per-operation status onto the taxonomy.
+// StatusOK maps to nil; StatusPending never escapes the server, so seeing it
+// here is itself an internal error.
+func errorFromStatus(st wire.ResultStatus) error {
+	switch st {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	case wire.StatusNotOwner:
+		return ErrNotOwner
+	case wire.StatusClosed:
+		return ErrClosed
+	default: // StatusErr, StatusPending, unknown
+		return ErrInternal
+	}
+}
+
+// sessionBrokenError wraps a context error with the broken-session
+// diagnosis, satisfying errors.Is for both ErrSessionBroken and the
+// underlying context error.
+type sessionBrokenError struct {
+	sessions int
+	cause    error
+}
+
+func (e *sessionBrokenError) Error() string {
+	return fmt.Sprintf("shadowfax: %d broken session(s); RecoverSessions required (%v)", e.sessions, e.cause)
+}
+
+func (e *sessionBrokenError) Is(target error) bool { return target == ErrSessionBroken }
+
+func (e *sessionBrokenError) Unwrap() error { return e.cause }
+
+// rejectionError classifies a server-side admin refusal or failure under
+// ErrRejected, keeping the server's detail text.
+func rejectionError(err error) error {
+	return fmt.Errorf("%w: %v", ErrRejected, err)
+}

@@ -1,0 +1,108 @@
+package shadowfax
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// statusFromError is errorFromStatus's inverse, used only to assert the
+// taxonomy round-trips: it classifies an error chain back onto the wire
+// status that produced it (ErrInternal and unclassified errors both
+// collapse onto StatusErr, which is also where StatusPending round-trips to
+// — it has no public twin by design).
+func statusFromError(err error) wire.ResultStatus {
+	switch {
+	case err == nil:
+		return wire.StatusOK
+	case errors.Is(err, ErrNotFound):
+		return wire.StatusNotFound
+	case errors.Is(err, ErrNotOwner):
+		return wire.StatusNotOwner
+	case errors.Is(err, ErrClosed):
+		return wire.StatusClosed
+	default:
+		return wire.StatusErr
+	}
+}
+
+// TestErrorTaxonomyRoundTrip walks every wire.ResultStatus through the
+// taxonomy and back. StatusPending is the one deliberate non-identity: it
+// never leaves a server, so it classifies as ErrInternal and returns as
+// StatusErr.
+func TestErrorTaxonomyRoundTrip(t *testing.T) {
+	cases := []struct {
+		status wire.ResultStatus
+		want   error             // sentinel the mapped error must satisfy
+		back   wire.ResultStatus // status the error classifies back to
+	}{
+		{wire.StatusOK, nil, wire.StatusOK},
+		{wire.StatusNotFound, ErrNotFound, wire.StatusNotFound},
+		{wire.StatusPending, ErrInternal, wire.StatusErr},
+		{wire.StatusErr, ErrInternal, wire.StatusErr},
+		{wire.StatusNotOwner, ErrNotOwner, wire.StatusNotOwner},
+		{wire.StatusClosed, ErrClosed, wire.StatusClosed},
+	}
+	covered := make(map[wire.ResultStatus]bool)
+	for _, c := range cases {
+		covered[c.status] = true
+		err := errorFromStatus(c.status)
+		if c.want == nil {
+			if err != nil {
+				t.Fatalf("status %d mapped to %v, want nil", c.status, err)
+			}
+		} else if !errors.Is(err, c.want) {
+			t.Fatalf("status %d mapped to %v, want errors.Is(%v)", c.status, err, c.want)
+		}
+		if got := statusFromError(err); got != c.back {
+			t.Fatalf("status %d round-tripped to %d, want %d", c.status, got, c.back)
+		}
+	}
+	// The table must cover the whole enum; a new wire status without a
+	// taxonomy decision fails here.
+	for st := wire.StatusOK; st <= wire.StatusClosed; st++ {
+		if !covered[st] {
+			t.Fatalf("wire.ResultStatus %d has no taxonomy mapping in this test", st)
+		}
+	}
+}
+
+// TestErrorSentinelsDistinct: each sentinel matches itself and nothing else,
+// so errors.Is branching is unambiguous.
+func TestErrorSentinelsDistinct(t *testing.T) {
+	sentinels := []error{ErrNotFound, ErrNotOwner, ErrSessionBroken,
+		ErrClosed, ErrRejected, ErrInternal}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("errors.Is(%v, %v) = %v", a, b, i == j)
+			}
+		}
+	}
+}
+
+// TestSessionBrokenError: the decorated context error satisfies errors.Is
+// for both the sentinel and its cause.
+func TestSessionBrokenError(t *testing.T) {
+	cause := errors.New("deadline exceeded")
+	err := error(&sessionBrokenError{sessions: 2, cause: cause})
+	if !errors.Is(err, ErrSessionBroken) {
+		t.Fatal("sessionBrokenError does not match ErrSessionBroken")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("sessionBrokenError does not unwrap to its cause")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatal("sessionBrokenError matches an unrelated sentinel")
+	}
+}
+
+// TestRejectionError: admin refusals keep the server's detail while matching
+// ErrRejected.
+func TestRejectionError(t *testing.T) {
+	err := rejectionError(errors.New("no checkpoint device configured"))
+	if !errors.Is(err, ErrRejected) {
+		t.Fatal("rejectionError does not match ErrRejected")
+	}
+}

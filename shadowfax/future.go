@@ -1,0 +1,112 @@
+package shadowfax
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Future is the completion handle of an asynchronous operation. Futures are
+// pooled per client: the underlying completion rides the client library's
+// zero-allocation callback path, and Release recycles the handle (and its
+// value buffer) so steady-state async traffic creates no per-operation
+// garbage beyond the pool's amortized growth.
+//
+// A Future is completed exactly once — by a server response, by session
+// recovery, or by Close (with ErrClosed). Wait may be called from any
+// goroutine, but by one goroutine at a time.
+type Future struct {
+	c  *Client
+	sh *shard
+
+	ch   chan struct{} // capacity 1; signalled on completion
+	done atomic.Bool   // set after the signal: completion fields are stable
+
+	status wire.ResultStatus
+	val    []byte // reused buffer; the result value is copied into it
+
+	cb func(st wire.ResultStatus, v []byte) // bound once; handed to the thread
+}
+
+// complete is the thread callback: it runs while the issuing shard's lock is
+// held (inside Poll/Flush/Close), copies the value out of the batch frame,
+// and wakes the waiter. The signal is sent before done is set so that
+// done==true implies the channel token exists (Release relies on that to
+// drain safely).
+func (f *Future) complete(st wire.ResultStatus, v []byte) {
+	f.status = st
+	f.val = append(f.val[:0], v...)
+	select {
+	case f.ch <- struct{}{}:
+	default:
+	}
+	f.done.Store(true)
+}
+
+// Wait blocks until the operation completes or ctx is done.
+//
+// On completion it returns the operation's value (reads only; nil
+// otherwise) and the operation's error from the package taxonomy. The value
+// aliases the Future's internal buffer: it is valid until Release (or until
+// the caller copies it).
+//
+// On ctx expiry/cancellation the operation is still in flight — its
+// completion will arrive later (or at Close) — and Wait returns the context
+// error, wrapped with ErrSessionBroken when the delay is explained by a dead
+// server connection.
+func (f *Future) Wait(ctx context.Context) ([]byte, error) {
+	if f.c.pumped {
+		// A background pump goroutine drives the shards; just block.
+		select {
+		case <-f.ch:
+			return f.result()
+		case <-ctx.Done():
+			return nil, f.c.ctxError(ctx.Err())
+		}
+	}
+	for {
+		select {
+		case <-f.ch:
+			return f.result()
+		default:
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, f.c.ctxError(err)
+		}
+		f.c.step(f.sh)
+	}
+}
+
+func (f *Future) result() ([]byte, error) {
+	// The completion token is sent before done is stored; when the waiter
+	// runs on a different goroutine than complete() (pump mode), done may
+	// trail the token by an instant. Wait it out so a Release immediately
+	// after Wait reliably sees done==true and recycles the Future.
+	for !f.done.Load() {
+		runtime.Gosched()
+	}
+	if err := errorFromStatus(f.status); err != nil {
+		return nil, err
+	}
+	return f.val, nil
+}
+
+// Release returns the Future to its client's pool for reuse, after Wait
+// observed the completion. It is a safe no-op on a Future whose operation is
+// still in flight (e.g. Wait returned a context error — the handle is
+// simply left for the garbage collector once the late completion fires) and
+// on a Future already released (a second Release must not double-pool the
+// handle). The value returned by Wait is invalid after Release.
+func (f *Future) Release() {
+	if f == nil || !f.done.Load() || f.sh == nil {
+		return
+	}
+	select {
+	case <-f.ch: // drop an unconsumed completion token (abandoned Wait)
+	default:
+	}
+	f.sh = nil // marks the handle released until newFuture re-arms it
+	f.c.futures.Put(f)
+}

@@ -1,0 +1,228 @@
+package shadowfax
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/storage"
+)
+
+// Server is a running Shadowfax server node: partitioned dispatchers over a
+// shared FASTER instance with view-validated batches (§3.1–3.2), plus the
+// durability, space-management and migration subsystems behind them.
+type Server struct {
+	core     *core.Server
+	ownedDev Device // log device created by default options; closed with the server
+}
+
+type serverConfig struct {
+	cfg    core.ServerConfig
+	ranges []HashRange
+}
+
+// ServerOption configures NewServer. Unset options fall back to small,
+// functional defaults (two dispatcher threads, an in-memory log device, a
+// 4 MiB memory budget); config evolution adds options, never breaks
+// signatures.
+type ServerOption func(*serverConfig)
+
+// WithListenAddr sets the transport listen address. The default is the
+// server id itself, which is what the in-process transport expects; TCP
+// deployments pass a host:port here.
+func WithListenAddr(addr string) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.Addr = addr }
+}
+
+// WithThreads sets the number of dispatcher goroutines ("vCPUs", §3.1).
+func WithThreads(n int) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.Threads = n }
+}
+
+// WithOwnership sets the hash ranges the server initially owns. The default
+// is the full hash space; pass it explicitly in multi-server deployments.
+// Ignored when recovering (the checkpointed view wins).
+func WithOwnership(ranges ...HashRange) ServerOption {
+	return func(sc *serverConfig) { sc.ranges = ranges }
+}
+
+// WithIndexBuckets sets the store's main hash-bucket count (a power of two).
+func WithIndexBuckets(n int) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.Store.IndexBuckets = n }
+}
+
+// WithLogDevice installs the device backing the HybridLog's stable region.
+// The default is a fresh in-memory device owned (and closed) by the server;
+// a caller-provided device is the caller's to close — which is what lets it
+// survive a Server.Close and back a recovered instance.
+func WithLogDevice(dev Device) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.Store.Log.Device = dev }
+}
+
+// WithMemoryBudget shapes the HybridLog's in-memory region: page size
+// (1<<pageBits bytes), total in-memory page frames, and how many trailing
+// frames allow in-place updates (§2.2). The default is 64 KiB pages, 64
+// frames, 32 mutable.
+func WithMemoryBudget(pageBits uint, memPages, mutablePages int) ServerOption {
+	return func(sc *serverConfig) {
+		sc.cfg.Store.Log.PageBits = pageBits
+		sc.cfg.Store.Log.MemPages = memPages
+		sc.cfg.Store.Log.MutablePages = mutablePages
+	}
+}
+
+// WithSharedTier mirrors every flushed page to the shared remote tier,
+// enabling indirection records during migration (§3.3.2).
+func WithSharedTier(tier *SharedTier) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.Store.Log.Tier = tier }
+}
+
+// WithCheckpointDevice enables durable checkpoints onto dev (§3.3.1 + CPR).
+// Without it the server is memory-only and checkpoint requests fail.
+func WithCheckpointDevice(dev Device) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.CheckpointDevice = dev }
+}
+
+// WithCheckpointEvery takes a checkpoint on this period (0 = on demand only).
+func WithCheckpointEvery(d time.Duration) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.CheckpointEvery = d }
+}
+
+// WithRecovery rebuilds the server from the latest committed image on the
+// checkpoint device instead of starting empty; the log device must be the
+// same device the image was checkpointed against. Ownership passed via
+// WithOwnership is ignored — the checkpointed view is restored.
+func WithRecovery() ServerOption {
+	return func(sc *serverConfig) { sc.cfg.Recover = true }
+}
+
+// WithCompaction starts the background space-management service (§3.3.3): a
+// log-compaction pass runs whenever the stable prefix exceeds watermark
+// bytes, checked every period.
+func WithCompaction(every time.Duration, watermark uint64) ServerOption {
+	return func(sc *serverConfig) {
+		sc.cfg.CompactEvery = every
+		sc.cfg.CompactWatermark = watermark
+	}
+}
+
+// WithSampleDuration sets how long the migration Sampling phase collects hot
+// records before ownership transfer (§3.3).
+func WithSampleDuration(d time.Duration) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.SampleDuration = d }
+}
+
+// NewServer boots a server named id on the cluster, registers its address in
+// the metadata store, and starts its dispatchers. By default it owns the
+// full hash space, listens on its own id over the cluster transport, and
+// keeps its log on a private in-memory device.
+func NewServer(cluster *Cluster, id string, opts ...ServerOption) (*Server, error) {
+	sc := serverConfig{
+		cfg: core.ServerConfig{
+			ID: id, Addr: id, Threads: 2,
+			Transport: cluster.tr, Meta: cluster.meta,
+			Store: faster.Config{
+				IndexBuckets: 1 << 14,
+				Log: hlog.Config{
+					PageBits: 16, MemPages: 64, MutablePages: 32, LogID: id,
+				},
+			},
+		},
+		ranges: []HashRange{FullRange},
+	}
+	for _, o := range opts {
+		o(&sc)
+	}
+	var owned Device
+	if sc.cfg.Store.Log.Device == nil {
+		owned = storage.NewMemDevice(storage.LatencyModel{}, 4)
+		sc.cfg.Store.Log.Device = owned
+	}
+	srv, err := core.NewServer(sc.cfg, sc.ranges...)
+	if err != nil {
+		if owned != nil {
+			owned.Close()
+		}
+		return nil, err
+	}
+	cluster.meta.SetServerAddr(id, srv.Addr())
+	return &Server{core: srv, ownedDev: owned}, nil
+}
+
+// ID returns the server's identity in the metadata store.
+func (s *Server) ID() string { return s.core.ID() }
+
+// Addr returns the server's transport listen address.
+func (s *Server) Addr() string { return s.core.Addr() }
+
+// Close stops the dispatchers and background services and shuts the store
+// down. Devices installed with WithLogDevice/WithCheckpointDevice survive
+// (they may back a recovered instance); the default in-memory device is
+// closed with the server.
+func (s *Server) Close() error {
+	err := s.core.Close()
+	if s.ownedDev != nil {
+		s.ownedDev.Close()
+	}
+	return err
+}
+
+// CurrentView returns the server's active ownership view.
+func (s *Server) CurrentView() View { return s.core.CurrentView() }
+
+// Stats returns a snapshot of the server's counters — the same shape
+// Admin.Stats reports over the wire.
+func (s *Server) Stats() ServerStats { return serverStatsFromWire(s.core.StatsSnapshot()) }
+
+// LogStats returns a snapshot of the server's HybridLog geometry.
+func (s *Server) LogStats() LogStats {
+	lg := s.core.Store().Log()
+	return LogStats{
+		BeginAddress:        uint64(lg.BeginAddress()),
+		HeadAddress:         uint64(lg.HeadAddress()),
+		FlushedUntilAddress: uint64(lg.FlushedUntilAddress()),
+		TailAddress:         uint64(lg.TailAddress()),
+		DiskResidentBytes:   lg.DiskResidentBytes(),
+	}
+}
+
+// Checkpoint takes a durable checkpoint now and returns once the image is
+// committed. Requires WithCheckpointDevice; fails with ErrRejected
+// otherwise. Remote equivalent: Admin.Checkpoint.
+func (s *Server) Checkpoint() (CheckpointInfo, error) {
+	res, err := s.core.Checkpoint()
+	if err != nil {
+		return CheckpointInfo{}, rejectionError(err)
+	}
+	return CheckpointInfo{Version: res.Info.Version, LogTail: uint64(res.Info.Tail)}, nil
+}
+
+// Compact runs one log-compaction pass now and returns its statistics.
+// Remote equivalent: Admin.Compact.
+func (s *Server) Compact() (CompactionStats, error) {
+	st, err := s.core.Compact()
+	if err != nil {
+		return CompactionStats{}, rejectionError(err)
+	}
+	return compactionStatsFromCore(st), nil
+}
+
+// LastCompaction returns the most recent completed pass's statistics.
+func (s *Server) LastCompaction() CompactionStats {
+	return compactionStatsFromCore(s.core.LastCompaction())
+}
+
+// StartMigration begins migrating [rng.Start, rng.End) to the server named
+// target with the five-phase protocol (§3.3) and returns once the migration
+// is registered; it proceeds in the background while both servers keep
+// serving. Remote equivalent: Admin.Migrate.
+func (s *Server) StartMigration(target string, rng HashRange) error {
+	_, err := s.core.StartMigration(target, rng)
+	return err
+}
+
+// LastMigrationReport returns the most recent source-side migration report.
+func (s *Server) LastMigrationReport() MigrationReport {
+	return s.core.LastMigrationReport()
+}

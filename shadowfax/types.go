@@ -1,0 +1,163 @@
+package shadowfax
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metadata"
+	"repro/internal/wire"
+)
+
+// Re-exported metadata types. These are aliases, not copies: values returned
+// by this package interoperate with values a program builds itself.
+type (
+	// HashRange is a half-open interval [Start, End) of 64-bit key hashes.
+	HashRange = metadata.HashRange
+	// View is a server's ownership view: a strictly-increasing number plus
+	// the hash ranges owned at that number (§3.2).
+	View = metadata.View
+	// MigrationState is one in-flight migration's fault-tolerance record in
+	// the metadata store (§3.3.1).
+	MigrationState = metadata.MigrationState
+	// MigrationReport summarizes a finished (or running) migration on the
+	// source server.
+	MigrationReport = core.MigrationReport
+)
+
+// FullRange covers the entire hash space.
+var FullRange = metadata.FullRange
+
+// ServerStats is a point-in-time snapshot of a server's identity, ownership
+// view number and operational counters. The same snapshot shape is returned
+// by Server.Stats (in-process) and Admin.Stats (over the wire).
+type ServerStats struct {
+	ServerID   string
+	ViewNumber uint64
+
+	OpsCompleted    uint64
+	BatchesAccepted uint64
+	BatchesRejected uint64
+	DecodeErrors    uint64
+	PendingOps      int64 // target-side pending set during migration (Fig. 12)
+	RemoteFetches   uint64
+	ViewRefreshes   uint64
+
+	Checkpoints        uint64
+	CheckpointFailures uint64
+
+	Compactions           uint64
+	CompactionFailures    uint64
+	CompactRelocated      uint64
+	CompactReclaimedBytes uint64
+
+	// StorePendingReads counts the pending storage I/Os the FASTER store
+	// has issued (cold reads served off the SSD path).
+	StorePendingReads uint64
+}
+
+func serverStatsFromWire(r wire.StatsResp) ServerStats {
+	return ServerStats{
+		ServerID:   r.ServerID,
+		ViewNumber: r.ViewNumber,
+
+		OpsCompleted:    r.OpsCompleted,
+		BatchesAccepted: r.BatchesAccepted,
+		BatchesRejected: r.BatchesRejected,
+		DecodeErrors:    r.DecodeErrors,
+		PendingOps:      r.PendingOps,
+		RemoteFetches:   r.RemoteFetches,
+		ViewRefreshes:   r.ViewRefreshes,
+
+		Checkpoints:        r.Checkpoints,
+		CheckpointFailures: r.CheckpointFailures,
+
+		Compactions:           r.Compactions,
+		CompactionFailures:    r.CompactionFailures,
+		CompactRelocated:      r.CompactRelocated,
+		CompactReclaimedBytes: r.CompactReclaimedBytes,
+
+		StorePendingReads: r.StorePendingReads,
+	}
+}
+
+// viewFromWire rebuilds a metadata view from a stats response.
+func viewFromWire(r wire.StatsResp) View {
+	v := View{Number: r.ViewNumber, Ranges: make([]HashRange, len(r.Ranges))}
+	for i, rng := range r.Ranges {
+		v.Ranges[i] = HashRange{Start: rng.Start, End: rng.End}
+	}
+	return v
+}
+
+// LogStats is a snapshot of a server's HybridLog geometry (§2.2): addresses
+// grow monotonically; [BeginAddress, TailAddress) is the live span,
+// [BeginAddress, HeadAddress) lives on storage, and DiskResidentBytes is the
+// portion a compaction pass could reclaim from.
+type LogStats struct {
+	BeginAddress        uint64
+	HeadAddress         uint64
+	FlushedUntilAddress uint64
+	TailAddress         uint64
+	DiskResidentBytes   uint64
+}
+
+// CheckpointInfo describes a committed durable checkpoint.
+type CheckpointInfo struct {
+	// Version is the sealed CPR version.
+	Version uint32
+	// LogTail is the log prefix the image covers.
+	LogTail uint64
+}
+
+// CompactionStats reports one log-compaction pass (§3.3.3).
+type CompactionStats struct {
+	Scanned   uint64 // records examined in the stable prefix
+	Kept      uint64 // live records copied forward to the tail
+	Dropped   uint64 // superseded versions, tombstones, indirection records
+	Relocated uint64 // disowned records shipped to their current owner
+
+	Begin          uint64 // log begin address after the pass
+	ReclaimedBytes uint64 // local device bytes freed
+	TierReclaimed  uint64 // shared-tier bytes freed
+
+	// Took is the pass's wall-clock duration; zero when the pass was
+	// observed over the wire (the RPC does not carry it).
+	Took time.Duration
+}
+
+func compactionStatsFromCore(st core.CompactStats) CompactionStats {
+	return CompactionStats{
+		Scanned:   uint64(st.Scanned),
+		Kept:      uint64(st.Kept),
+		Dropped:   uint64(st.Dropped),
+		Relocated: uint64(st.Relocated),
+
+		Begin:          uint64(st.Begin),
+		ReclaimedBytes: st.ReclaimedBytes,
+		TierReclaimed:  st.TierReclaimed,
+
+		Took: st.Took,
+	}
+}
+
+func compactionStatsFromWire(r wire.CompactResp) CompactionStats {
+	return CompactionStats{
+		Scanned:   r.Scanned,
+		Kept:      r.Kept,
+		Dropped:   r.Dropped,
+		Relocated: r.Relocated,
+
+		Begin:          r.Begin,
+		ReclaimedBytes: r.ReclaimedBytes,
+		TierReclaimed:  r.TierReclaimed,
+	}
+}
+
+// ClientStats aggregates a client's counters across its threads.
+type ClientStats struct {
+	OpsIssued       uint64
+	OpsCompleted    uint64
+	BatchesSent     uint64
+	BatchesRejected uint64
+	Refreshes       uint64
+}
