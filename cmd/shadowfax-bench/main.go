@@ -44,6 +44,8 @@ func main() {
 	splitsFlag := fs.String("splits", "1,2,4,8,16,32,64,256,2048", "fig15 hash split counts")
 	serversFlag := fs.String("servers", "1,2,4", "cluster experiment server counts")
 	ssdLat := fs.Duration("ssd-latency", 0, "local SSD read latency for spill modes (0=100µs)")
+	shiftAt := fs.Duration("shift-at", 0,
+		"autoscale experiment: jump the hot key set at this offset (0 = no shift)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	jsonDir := fs.String("json-dir", "",
 		"also write machine-readable BENCH_<experiment>.json files into this directory")
@@ -83,6 +85,13 @@ func main() {
 		err = runTable2(*serverThreads, o)
 	case "fig10", "fig11", "fig12":
 		err = runTimeline(exp, *mode, so)
+	case "autoscale":
+		err = runAutoScale(bench.AutoScaleOptions{
+			Options:      o,
+			TotalRuntime: *runtime, SampleEvery: *sample,
+			ShiftAt:       *shiftAt,
+			ServerThreads: *serverThreads, DriveThreads: *serverThreads,
+		})
 	case "fig13":
 		err = runFig13(so)
 	case "fig14":
@@ -113,6 +122,7 @@ experiments:
   fig8      thread scalability: FASTER vs Shadowfax vs w/o accel
   fig9      Shadowfax vs Seastar (uniform keys)
   table2    throughput/batch/latency/queue depth per network stack
+  autoscale balancer-driven scale-out under a (shifting) hotspot — no manual Migrate()
   fig10     system throughput during scale-out (-mode=mem|indirection|rocksteady)
   fig11     per-server throughput during scale-out
   fig12     pending-set size during scale-out
@@ -300,6 +310,7 @@ func runTimeline(which, mode string, so bench.ScaleOutOptions) error {
 	if m, ok := parseMode(mode); ok {
 		modes = []bench.ScaleOutMode{m}
 	}
+	var metrics []BenchMetric
 	for _, m := range modes {
 		run := so
 		run.Mode = m
@@ -307,10 +318,11 @@ func runTimeline(which, mode string, so bench.ScaleOutOptions) error {
 		if err != nil {
 			return err
 		}
+		took := res.Report.Finished.Sub(res.Report.Started)
 		fmt.Printf("# %s (%s): migration at %v, recovered in %v, took %v\n",
 			strings.ToUpper(which), m, res.MigrationAt.Round(time.Millisecond),
 			res.ThroughputRecoveredIn.Round(time.Millisecond),
-			res.Report.Finished.Sub(res.Report.Started).Round(time.Millisecond))
+			took.Round(time.Millisecond))
 		switch which {
 		case "fig10":
 			fmt.Printf("%-10s %-12s\n", "t(s)", "system-Mops")
@@ -330,7 +342,61 @@ func runTimeline(which, mode string, so bench.ScaleOutOptions) error {
 			}
 		}
 		fmt.Println()
+		metrics = append(metrics, timelineMetrics(m, res)...)
 	}
+	emitBenchJSON(which, metrics)
+	return nil
+}
+
+// timelineMetrics flattens one scale-out run into trajectory metrics: the
+// system-throughput timeline around the migration (the paper's scale-out
+// figure), plus the end-to-end migration duration and the time until
+// throughput regained 90% of its pre-migration mean.
+func timelineMetrics(m bench.ScaleOutMode, res *bench.ScaleOutResult) []BenchMetric {
+	tag := strings.ReplaceAll(strings.ToLower(m.String()), " ", "_")
+	out := []BenchMetric{
+		{Name: fmt.Sprintf("migration_seconds/mode=%s", tag),
+			Value: res.Report.Finished.Sub(res.Report.Started).Seconds(), Unit: "s"},
+		{Name: fmt.Sprintf("recovered_in_seconds/mode=%s", tag),
+			Value: res.ThroughputRecoveredIn.Seconds(), Unit: "s"},
+	}
+	for _, s := range res.Samples {
+		out = append(out, BenchMetric{
+			Name:  fmt.Sprintf("system_mops_timeline/mode=%s/t=%06.2f", tag, s.At.Seconds()),
+			Value: s.SystemMops, Unit: "Mops/s",
+		})
+	}
+	return out
+}
+
+// runAutoScale prints the hotspot-shift timeline: per-server throughput and
+// the balancer's cumulative migrations, with every split balancer-triggered.
+func runAutoScale(ao bench.AutoScaleOptions) error {
+	res, err := bench.AutoScaleOut(ao)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Auto-scale-out: balancer-driven splits (first at %v, %d total",
+		res.FirstSplitAt.Round(time.Millisecond), res.MigrationsTriggered)
+	if res.ShiftAt > 0 {
+		fmt.Printf("; hotspot shifted at %v", res.ShiftAt.Round(time.Millisecond))
+	}
+	fmt.Println(")")
+	fmt.Printf("%-10s %-12s %-12s %-12s %-11s\n",
+		"t(s)", "system-Mops", "source-Mops", "target-Mops", "migrations")
+	var metrics []BenchMetric
+	for _, s := range res.Samples {
+		fmt.Printf("%-10.2f %-12.4f %-12.4f %-12.4f %-11d\n",
+			s.At.Seconds(), s.SystemMops, s.SourceMops, s.TargetMops, s.Migrations)
+		metrics = append(metrics, BenchMetric{
+			Name:  fmt.Sprintf("system_mops_timeline/t=%06.2f", s.At.Seconds()),
+			Value: s.SystemMops, Unit: "Mops/s",
+		})
+	}
+	metrics = append(metrics,
+		BenchMetric{Name: "first_split_seconds", Value: res.FirstSplitAt.Seconds(), Unit: "s"},
+		BenchMetric{Name: "balancer_migrations", Value: float64(res.MigrationsTriggered), Unit: "count"})
+	emitBenchJSON("autoscale", metrics)
 	return nil
 }
 

@@ -1,14 +1,22 @@
-// Command shadowfax-cli issues ad-hoc operations against a shadowfax-server
-// over TCP, through the public repro/shadowfax package: get / set / del /
-// rmw <key> [value|delta] on the data plane, plus the admin commands
+// Command shadowfax-cli issues ad-hoc operations against shadowfax-server
+// processes over TCP, through the public repro/shadowfax package: get / set /
+// del / rmw <key> [value|delta] on the data plane, plus the admin commands
 // checkpoint (takes a durable checkpoint on the server, see -data /
 // -recover-from on shadowfax-server), compact (runs one log-compaction pass
-// and prints its statistics, see -compact-every / -compact-watermark) and
-// stats (prints the server's counters and view).
+// and prints its statistics, see -compact-every / -compact-watermark), stats
+// (prints the server's counters and view), migrate (triggers a manual
+// scale-out of a hash range to another server), rebalance (asks the hosted
+// balancer for one planning pass, see -autoscale on shadowfax-server) and
+// balance-status (prints the balancer's counters, cooldown, last decision
+// and observed per-server load).
 //
-// The CLI bootstraps with the Discover handshake: it contacts the server by
-// address, learns its identity and ownership view, and then routes like any
-// other client.
+// Single-server use bootstraps with the Discover handshake: the CLI
+// contacts the server by address, learns its identity and ownership view,
+// and routes like any other client. Multi-process clusters pass -meta (the
+// metadata endpoint's address, normally the first server's -addr): the CLI
+// then shares the cluster's live ownership views through the remote
+// metadata provider — data-plane commands route to whichever server owns
+// the key, and stats prints the whole cluster's view map.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
@@ -27,19 +36,36 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "server address")
+	meta := flag.String("meta", "",
+		"cluster metadata endpoint address; enables live multi-server routing")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-command timeout")
 	flag.Parse()
 	args := flag.Args()
-	admin := map[string]bool{"checkpoint": true, "compact": true, "stats": true}
-	if len(args) < 1 || (!admin[args[0]] && len(args) < 2) {
-		fmt.Fprintln(os.Stderr, "usage: shadowfax-cli [-addr host:port] <get|set|del|rmw|checkpoint|compact|stats> [key] [value|delta]")
+	minArgs := map[string]int{
+		"checkpoint": 1, "compact": 1, "stats": 1,
+		"rebalance": 1, "balance-status": 1,
+		"get": 2, "set": 3, "del": 2, "rmw": 2,
+		"migrate": 4,
+	}
+	if len(args) < 1 || minArgs[args[0]] == 0 || len(args) < minArgs[args[0]] {
+		fmt.Fprintln(os.Stderr, `usage: shadowfax-cli [-addr host:port] [-meta host:port] <command> [args]
+
+data plane:   get <key> | set <key> <value> | del <key> | rmw <key> [delta]
+admin:        checkpoint | compact | stats
+elasticity:   migrate <targetID> <rangeStart> <rangeEnd>   (hex or decimal)
+              rebalance | balance-status`)
 		os.Exit(2)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	cluster := shadowfax.NewCluster(shadowfax.WithTCPNetwork(shadowfax.NetFree))
+	clusterOpts := []shadowfax.ClusterOption{shadowfax.WithTCPNetwork(shadowfax.NetFree)}
+	if *meta != "" {
+		clusterOpts = append(clusterOpts, shadowfax.WithRemoteMetadata(*meta))
+	}
+	cluster := shadowfax.NewCluster(clusterOpts...)
+	defer cluster.Close()
 	st, err := cluster.Discover(ctx, *addr)
 	if err != nil {
 		log.Fatalf("discovering server at %s: %v", *addr, err)
@@ -66,17 +92,65 @@ func main() {
 			cs.Begin, cs.ReclaimedBytes, cs.TierReclaimed)
 		return
 	case "stats":
-		fmt.Printf("server %s (view #%d)\n", st.ServerID, st.ViewNumber)
-		fmt.Printf("  ops completed      %d\n", st.OpsCompleted)
-		fmt.Printf("  batches            %d accepted, %d rejected, %d undecodable\n",
-			st.BatchesAccepted, st.BatchesRejected, st.DecodeErrors)
-		fmt.Printf("  pending ops        %d (store reads issued: %d)\n",
-			st.PendingOps, st.StorePendingReads)
-		fmt.Printf("  checkpoints        %d (%d failed)\n",
-			st.Checkpoints, st.CheckpointFailures)
-		fmt.Printf("  compaction passes  %d (%d failed), %d records relocated, %d bytes reclaimed\n",
-			st.Compactions, st.CompactionFailures, st.CompactRelocated,
-			st.CompactReclaimedBytes)
+		printStats(st)
+		if *meta != "" {
+			printClusterViews(cluster)
+		}
+		return
+	case "migrate":
+		target := args[1]
+		start, err1 := parseHash(args[2])
+		end, err2 := parseHash(args[3])
+		if err1 != nil || err2 != nil {
+			log.Fatalf("bad range bounds %q %q (hex or decimal)", args[2], args[3])
+		}
+		rng := shadowfax.HashRange{Start: start, End: end}
+		if err := shadowfax.NewAdmin(cluster).Migrate(ctx, serverID, target, rng); err != nil {
+			log.Fatalf("migrate failed: %v", err)
+		}
+		fmt.Printf("migration of %v from %s to %s started\n", rng, serverID, target)
+		return
+	case "rebalance":
+		d, err := shadowfax.NewAdmin(cluster).Rebalance(ctx, serverID)
+		if err != nil {
+			log.Fatalf("rebalance failed: %v", err)
+		}
+		if d.Acted {
+			fmt.Printf("rebalance: migrating %v from %s to %s\n", d.Range, d.Source, d.Target)
+		} else {
+			fmt.Printf("rebalance: no action (%s)\n", d.Reason)
+		}
+		return
+	case "balance-status":
+		bs, err := shadowfax.NewAdmin(cluster).BalanceStatus(ctx, serverID)
+		if err != nil {
+			log.Fatalf("balance-status failed: %v", err)
+		}
+		if !bs.Enabled {
+			fmt.Println("balancer: not enabled on this server (start it with -autoscale)")
+			return
+		}
+		fmt.Printf("balancer: %d passes, %d migrations triggered", bs.Passes, bs.Migrations)
+		if bs.Cooldown > 0 {
+			fmt.Printf(", cooling down for %v", bs.Cooldown.Round(time.Millisecond))
+		}
+		fmt.Println()
+		if bs.Last.Source != "" || bs.Last.Reason != "" {
+			if bs.Last.Acted {
+				fmt.Printf("  last decision: migrate %v from %s to %s\n",
+					bs.Last.Range, bs.Last.Source, bs.Last.Target)
+			} else {
+				fmt.Printf("  last decision: no action (%s)\n", bs.Last.Reason)
+			}
+		}
+		ids := make([]string, 0, len(bs.Rates))
+		for id := range bs.Rates {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("  load %-12s %.0f ops/s\n", id, bs.Rates[id])
+		}
 		return
 	}
 
@@ -102,9 +176,6 @@ func main() {
 			fmt.Printf("%q = %q\n", args[1], v)
 		}
 	case "set":
-		if len(args) < 3 {
-			log.Fatal("set needs a value")
-		}
 		if err := cl.Set(ctx, key, []byte(args[2])); err != nil {
 			log.Fatal(err)
 		}
@@ -131,5 +202,55 @@ func main() {
 		fmt.Println("OK")
 	default:
 		log.Fatalf("unknown op %q", args[0])
+	}
+}
+
+// parseHash accepts hex (with or without 0x) and decimal range bounds.
+func parseHash(s string) (uint64, error) {
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return v, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+func printStats(st shadowfax.ServerStats) {
+	fmt.Printf("server %s (view #%d)\n", st.ServerID, st.ViewNumber)
+	fmt.Printf("  ops completed      %d\n", st.OpsCompleted)
+	fmt.Printf("  batches            %d accepted, %d rejected, %d undecodable\n",
+		st.BatchesAccepted, st.BatchesRejected, st.DecodeErrors)
+	fmt.Printf("  pending ops        %d (store reads issued: %d)\n",
+		st.PendingOps, st.StorePendingReads)
+	fmt.Printf("  log footprint      %d bytes\n", st.LogBytes)
+	fmt.Printf("  checkpoints        %d (%d failed)\n",
+		st.Checkpoints, st.CheckpointFailures)
+	fmt.Printf("  compaction passes  %d (%d failed), %d records relocated, %d bytes reclaimed\n",
+		st.Compactions, st.CompactionFailures, st.CompactRelocated,
+		st.CompactReclaimedBytes)
+	if st.BalancePasses > 0 {
+		fmt.Printf("  balancer           %d passes, %d migrations triggered\n",
+			st.BalancePasses, st.BalanceMigrations)
+	}
+}
+
+// printClusterViews prints every server's live ownership view from the
+// shared metadata provider (multi-process clusters, -meta).
+func printClusterViews(cluster *shadowfax.Cluster) {
+	views := cluster.Ownership()
+	ids := make([]string, 0, len(views))
+	for id := range views {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Println("cluster ownership:")
+	for _, id := range ids {
+		v := views[id]
+		fmt.Printf("  %-12s view #%-4d", id, v.Number)
+		if len(v.Ranges) == 0 {
+			fmt.Print(" (no ranges)")
+		}
+		for _, r := range v.Ranges {
+			fmt.Printf(" %v", r)
+		}
+		fmt.Println()
 	}
 }

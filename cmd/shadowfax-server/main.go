@@ -1,12 +1,23 @@
 // Command shadowfax-server runs a single Shadowfax server over real TCP,
 // built entirely on the public repro/shadowfax package.
 //
-// For multi-server deployments every server needs the same metadata store;
-// this binary embeds an in-process one, so it is intended for single-node
-// use and for driving the store with cmd/shadowfax-cli (which bootstraps via
-// the Discover handshake). Multi-server clusters live in examples/cluster
-// and examples/scaleout (single process, shared metadata), matching the
-// simulation substitutions in DESIGN.md §2.
+// Clustering: every server answers metadata RPCs against its own metadata
+// provider, so the first server of a deployment (run without -meta) is the
+// cluster's designated metadata endpoint — the state of record for
+// ownership views. Additional servers join from other processes with
+// -meta <endpoint-addr>: they register themselves in the shared store,
+// initially owning no hash ranges, and receive load when a migration (manual
+// `shadowfax-cli migrate`, or the automatic balancer) splits a hot range
+// onto them. shadowfax-cli routes across the whole cluster with the same
+// -meta flag.
+//
+// Elasticity: -autoscale hosts the load-aware balancer on this server
+// (exactly one server per deployment should pass it). The balancer polls
+// every server's stats; when the hottest server's ops/sec exceeds the
+// coolest's by -autoscale-imbalance it splits the hot server's sampled hash
+// distribution at the load median and migrates the hot half — no operator
+// involved. Inspect with `shadowfax-cli balance-status`, force a pass with
+// `shadowfax-cli rebalance`.
 //
 // Durability: with -data the server keeps its HybridLog in <dir>/hlog.dat
 // and checkpoint images in <dir>/checkpoints.dat. Checkpoints are taken
@@ -31,13 +42,18 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"time"
 
 	"repro/shadowfax"
 )
 
 func main() {
+	id := flag.String("id", "server-1", "server identity in the metadata store (unique per cluster)")
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
 	threads := flag.Int("threads", 2, "dispatcher threads (vCPUs)")
+	meta := flag.String("meta", "",
+		"join an existing cluster through the metadata endpoint at this address "+
+			"(the first server's -addr); the server starts owning no hash ranges")
 	dir := flag.String("data", "", "data directory (empty = in-memory devices, no durability)")
 	pageBits := flag.Uint("page-bits", 16, "log2 page size")
 	memPages := flag.Int("mem-pages", 256, "in-memory page frames")
@@ -49,18 +65,62 @@ func main() {
 		"compaction service polling period (0 = on demand only, via `shadowfax-cli compact`)")
 	compactWatermark := flag.Uint64("compact-watermark", 64<<20,
 		"stable-prefix log bytes above which the compaction service runs a pass")
+	autoscale := flag.Bool("autoscale", false,
+		"host the load-aware balancer on this server (one per cluster)")
+	autoscaleEvery := flag.Duration("autoscale-every", time.Second,
+		"balancer planning-pass period")
+	autoscaleImbalance := flag.Float64("autoscale-imbalance", 3.0,
+		"hottest/coolest ops-rate ratio that triggers a split")
+	autoscaleCooldown := flag.Duration("autoscale-cooldown", 10*time.Second,
+		"hold-off after a triggered migration")
+	autoscaleMinRate := flag.Float64("autoscale-min-rate", 500,
+		"ops/sec floor below which the cluster is considered idle")
 	flag.Parse()
 
 	if *recoverFrom != "" {
 		*dir = *recoverFrom
 	}
 
-	cluster := shadowfax.NewCluster(shadowfax.WithTCPNetwork(shadowfax.NetAccelerated))
+	clusterOpts := []shadowfax.ClusterOption{
+		shadowfax.WithTCPNetwork(shadowfax.NetAccelerated),
+	}
+	if *meta != "" {
+		clusterOpts = append(clusterOpts, shadowfax.WithRemoteMetadata(*meta))
+	}
+	cluster := shadowfax.NewCluster(clusterOpts...)
+	defer cluster.Close()
+
+	if *meta != "" && *recoverFrom == "" {
+		// Re-registering an id that already owns ranges would reset its view
+		// and orphan those ranges cluster-wide (no server would own them, and
+		// migration needs an owner to move them back). A joiner that crashed
+		// after acquiring ranges must come back via -recover-from (which
+		// restores its checkpointed view) or under a fresh -id.
+		if v, err := cluster.View(*id); err == nil && len(v.Ranges) > 0 {
+			log.Fatalf("shadowfax-server: %q is already registered owning %d range(s) (view #%d); "+
+				"restart it with -recover-from, or join with a different -id",
+				*id, len(v.Ranges), v.Number)
+		}
+	}
+
 	opts := []shadowfax.ServerOption{
 		shadowfax.WithListenAddr(*addr),
 		shadowfax.WithThreads(*threads),
 		shadowfax.WithIndexBuckets(1 << 16),
 		shadowfax.WithMemoryBudget(*pageBits, *memPages, *memPages/2),
+	}
+	if *meta != "" {
+		// Joining servers own nothing until a migration (manual or
+		// balancer-driven) moves a range onto them.
+		opts = append(opts, shadowfax.WithOwnership())
+	}
+	if *autoscale {
+		opts = append(opts, shadowfax.WithAutoScale(shadowfax.AutoScaleConfig{
+			Every:        *autoscaleEvery,
+			Imbalance:    *autoscaleImbalance,
+			Cooldown:     *autoscaleCooldown,
+			MinOpsPerSec: *autoscaleMinRate,
+		}))
 	}
 
 	if *dir == "" {
@@ -99,16 +159,26 @@ func main() {
 		opts = append(opts, shadowfax.WithRecovery())
 	}
 
-	srv, err := shadowfax.NewServer(cluster, "server-1", opts...)
+	srv, err := shadowfax.NewServer(cluster, *id, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	mode := "fresh"
-	if *recoverFrom != "" {
+	switch {
+	case *recoverFrom != "":
 		mode = fmt.Sprintf("recovered from %s", *recoverFrom)
+	case *meta != "":
+		mode = fmt.Sprintf("joined cluster via metadata endpoint %s", *meta)
 	}
-	fmt.Printf("shadowfax-server listening on %s (%d threads, %s)\n",
-		srv.Addr(), *threads, mode)
+	role := ""
+	if *meta == "" {
+		role = ", metadata endpoint"
+	}
+	if *autoscale {
+		role += ", balancer"
+	}
+	fmt.Printf("shadowfax-server %s listening on %s (%d threads, %s%s)\n",
+		*id, srv.Addr(), *threads, mode, role)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

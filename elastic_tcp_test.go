@@ -1,0 +1,199 @@
+package repro_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faster"
+)
+
+// TestElasticTCPMultiProcess runs the elastic control plane across real OS
+// processes: two shadowfax-server processes over TCP — the first the
+// designated metadata endpoint, the second joining it with -meta and owning
+// nothing — plus shadowfax-cli invocations as further separate processes.
+// After a CLI-triggered split, every participant observes the new ownership
+// through the remote metadata provider: `shadowfax-cli stats` (a fresh
+// process) prints the post-split cluster view, and a CLI get routes to the
+// server that now owns the key.
+func TestElasticTCPMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test builds binaries and runs TCP servers")
+	}
+
+	bin := t.TempDir()
+	server := filepath.Join(bin, "shadowfax-server")
+	cli := filepath.Join(bin, "shadowfax-cli")
+	for path, pkg := range map[string]string{
+		server: "./cmd/shadowfax-server",
+		cli:    "./cmd/shadowfax-cli",
+	} {
+		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	addr1 := freeAddr(t)
+	addr2 := freeAddr(t)
+
+	// Server 1: metadata endpoint + balancer host (idle floor keeps the
+	// balancer from acting; the test drives the split explicitly so it is
+	// deterministic — automatic splitting is covered in-process).
+	srv1 := startProc(t, server, "-id", "server-1", "-addr", addr1,
+		"-autoscale", "-autoscale-min-rate", "1000000")
+	defer srv1.stop()
+	waitTCP(t, addr1)
+
+	// Server 2: separate process, joins via the remote metadata provider.
+	srv2 := startProc(t, server, "-id", "server-2", "-addr", addr2, "-meta", addr1)
+	defer srv2.stop()
+	waitTCP(t, addr2)
+
+	runCLI := func(args ...string) (string, error) {
+		out, err := exec.Command(cli, args...).CombinedOutput()
+		return string(out), err
+	}
+
+	// Both processes share the endpoint's views: a fresh CLI process must
+	// see server-2 registered (and empty) before any split.
+	waitFor(t, 30*time.Second, "server-2 registration", func() (bool, string) {
+		out, err := runCLI("-addr", addr1, "-meta", addr1, "stats")
+		if err != nil {
+			return false, out
+		}
+		return strings.Contains(out, "server-2") && strings.Contains(out, "(no ranges)"), out
+	})
+
+	// A key that hashes into the upper half of the hash space — the range
+	// about to move to server-2.
+	var upperKey string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("elastic-key-%d", i)
+		if faster.HashOf([]byte(k)) >= 1<<63 {
+			upperKey = k
+			break
+		}
+	}
+	if out, err := runCLI("-addr", addr1, "-meta", addr1, "set", upperKey, "hello-elastic"); err != nil {
+		t.Fatalf("cli set: %v\n%s", err, out)
+	}
+
+	// The balancer answers over the new admin RPCs from yet another
+	// process (it declines to act: the cluster is idle by configuration).
+	if out, err := runCLI("-addr", addr1, "balance-status"); err != nil ||
+		!strings.Contains(out, "balancer:") {
+		t.Fatalf("cli balance-status: %v\n%s", err, out)
+	}
+	if out, err := runCLI("-addr", addr1, "rebalance"); err != nil ||
+		!strings.Contains(out, "no action") {
+		t.Fatalf("cli rebalance: %v\n%s", err, out)
+	}
+
+	// Split: migrate the upper half to server-2, triggered from a CLI
+	// process.
+	if out, err := runCLI("-addr", addr1, "migrate", "server-2",
+		"0x8000000000000000", "0xffffffffffffffff"); err != nil {
+		t.Fatalf("cli migrate: %v\n%s", err, out)
+	}
+
+	// A fresh CLI process reflects the post-split view through the remote
+	// metadata provider: server-2 now owns the upper half.
+	waitFor(t, 60*time.Second, "post-split view in cli stats", func() (bool, string) {
+		out, err := runCLI("-addr", addr2, "-meta", addr1, "stats")
+		if err != nil {
+			return false, out
+		}
+		return strings.Contains(out, "[0x8000000000000000,0xffffffffffffffff)") &&
+			!strings.Contains(out, "(no ranges)"), out
+	})
+
+	// Data-plane routing over the shared views: the key now lives on
+	// server-2, and a CLI get (routed via -meta) still finds it.
+	waitFor(t, 60*time.Second, "get after migration", func() (bool, string) {
+		out, err := runCLI("-addr", addr1, "-meta", addr1, "get", upperKey)
+		if err != nil {
+			return false, out
+		}
+		return strings.Contains(out, "hello-elastic"), out
+	})
+}
+
+// freeAddr reserves a TCP port and releases it for the server to claim.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+type proc struct {
+	t   *testing.T
+	cmd *exec.Cmd
+	out *strings.Builder
+}
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{t: t, cmd: exec.Command(bin, args...), out: &strings.Builder{}}
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func (p *proc) stop() {
+	p.cmd.Process.Signal(os.Interrupt)
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+	if p.t.Failed() {
+		p.t.Logf("process %v output:\n%s", p.cmd.Args, p.out.String())
+	}
+}
+
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never came up", addr)
+}
+
+// waitFor polls check until it reports success or the deadline passes; the
+// last observed output is reported on failure.
+func waitFor(t *testing.T, timeout time.Duration, what string, check func() (bool, string)) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		ok, out := check()
+		if ok {
+			return
+		}
+		last = out
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; last output:\n%s", what, last)
+}

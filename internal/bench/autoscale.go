@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/transport"
+	"repro/internal/ycsb"
+)
+
+// The hotspot-shift scenario exercises the elastic control plane end to
+// end: a loaded server and an idle joiner, a skewed workload whose hot set
+// JUMPS mid-run, and no manual Migrate() anywhere — the balancer alone must
+// detect each imbalance and split. It measures what the paper's scale-out
+// timeline figures measure (system throughput around a migration), with the
+// trigger moved from the operator to the policy layer.
+
+// AutoScaleOptions parameterizes the hotspot-shift experiment.
+type AutoScaleOptions struct {
+	Options
+	// TotalRuntime is the whole experiment duration.
+	TotalRuntime time.Duration
+	// SampleEvery sets the timeline resolution.
+	SampleEvery time.Duration
+	// ShiftAt, when nonzero, jumps the workload's hot set to a different
+	// key region at this offset (the hotspot shift). Zero disables the
+	// shift: the scenario is then plain automatic scale-out.
+	ShiftAt time.Duration
+	// ServerThreads / DriveThreads size the deployment.
+	ServerThreads int
+	DriveThreads  int
+
+	// Balancer knobs (zero = the balancer's defaults, except the pass
+	// period and floors which are scaled for bench runs).
+	BalancerEvery time.Duration
+	Imbalance     float64
+	Cooldown      time.Duration
+	MinOpsPerSec  float64
+}
+
+func (ao AutoScaleOptions) withDefaults() AutoScaleOptions {
+	ao.Options = ao.Options.withDefaults()
+	if ao.TotalRuntime == 0 {
+		ao.TotalRuntime = 12 * time.Second
+	}
+	if ao.SampleEvery == 0 {
+		ao.SampleEvery = 250 * time.Millisecond
+	}
+	if ao.ServerThreads == 0 {
+		ao.ServerThreads = 2
+	}
+	if ao.DriveThreads == 0 {
+		ao.DriveThreads = 2
+	}
+	if ao.BalancerEvery == 0 {
+		ao.BalancerEvery = 250 * time.Millisecond
+	}
+	if ao.Imbalance == 0 {
+		ao.Imbalance = 2.0
+	}
+	if ao.Cooldown == 0 {
+		ao.Cooldown = 3 * time.Second
+	}
+	if ao.MinOpsPerSec == 0 {
+		ao.MinOpsPerSec = 1000
+	}
+	return ao
+}
+
+// AutoScaleSample is one sampling interval of the hotspot-shift timeline.
+type AutoScaleSample struct {
+	At         time.Duration
+	SystemMops float64
+	SourceMops float64 // the initially-loaded server
+	TargetMops float64 // the joiner
+	// Migrations is the cumulative count the balancer has triggered.
+	Migrations uint64
+}
+
+// AutoScaleResult is a full hotspot-shift experiment record.
+type AutoScaleResult struct {
+	Samples []AutoScaleSample
+	// FirstSplitAt is when the balancer's first migration was observed
+	// (-1 when it never acted).
+	FirstSplitAt time.Duration
+	// ShiftAt echoes the hot-set jump offset (0 = no shift).
+	ShiftAt time.Duration
+	// MigrationsTriggered is the balancer's final migration count.
+	MigrationsTriggered uint64
+}
+
+// shiftGen wraps a Zipfian generator with a shared, atomically-shifting
+// offset: the hot head of the distribution maps to a different key region
+// after the shift, re-imbalancing whatever split the balancer found first.
+type shiftGen struct {
+	inner  ycsb.Generator
+	offset *atomic.Uint64
+}
+
+func (g *shiftGen) Next() uint64 { return (g.inner.Next() + g.offset.Load()) % g.inner.N() }
+func (g *shiftGen) N() uint64    { return g.inner.N() }
+
+// AutoScaleOut runs the hotspot-shift scenario: "source" starts owning the
+// full hash space with the balancer enabled, "target" joins idle and empty,
+// YCSB-F Zipfian load drives only source — and every migration in the run
+// is balancer-triggered. With ShiftAt set, the hot key set jumps mid-run;
+// the balancer re-evaluates each pass and acts again only if the shifted
+// hot mass lands unevenly across the split (hash partitioning spreads hot
+// keys, so a median split usually absorbs the shift — the scenario verifies
+// the balancer stays quiet exactly then).
+func AutoScaleOut(ao AutoScaleOptions) (*AutoScaleResult, error) {
+	ao = ao.withDefaults()
+	o := ao.Options
+
+	cl := NewCluster(transport.AcceleratedTCP)
+	defer cl.Close()
+	src, err := cl.AddServer(ServerSpec{
+		ID: "source", Threads: ao.ServerThreads,
+		PageBits: o.PageBits, MemPages: o.MemPages,
+		Ranges:         []metadata.HashRange{metadata.FullRange},
+		AutoScale:      true,
+		AutoScaleEvery: ao.BalancerEvery,
+		Imbalance:      ao.Imbalance,
+		Cooldown:       ao.Cooldown,
+		MinOpsPerSec:   ao.MinOpsPerSec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := cl.AddServer(ServerSpec{
+		ID: "target", Threads: ao.ServerThreads,
+		PageBits: o.PageBits, MemPages: o.MemPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Load(o); err != nil {
+		return nil, err
+	}
+
+	var offset atomic.Uint64
+	gf := func(seed uint64) ycsb.Generator {
+		return &shiftGen{
+			inner:  ycsb.NewZipfian(o.Keys, ycsb.DefaultTheta, seed),
+			offset: &offset,
+		}
+	}
+
+	stop := make(chan struct{})
+	driveDone := make(chan error, 1)
+	go func() {
+		_, err := cl.drive(o, ao.DriveThreads, gf, ao.TotalRuntime, false, stop)
+		driveDone <- err
+	}()
+
+	res := &AutoScaleResult{FirstSplitAt: -1, ShiftAt: ao.ShiftAt}
+	start := time.Now()
+	var lastSrc, lastTgt uint64
+	shifted := ao.ShiftAt == 0
+	ticker := time.NewTicker(ao.SampleEvery)
+	defer ticker.Stop()
+	for time.Since(start) < ao.TotalRuntime {
+		<-ticker.C
+		at := time.Since(start)
+		curSrc := src.Stats().OpsCompleted.Load()
+		curTgt := tgt.Stats().OpsCompleted.Load()
+		interval := ao.SampleEvery.Seconds()
+		sample := AutoScaleSample{
+			At:         at,
+			SourceMops: float64(curSrc-lastSrc) / interval / 1e6,
+			TargetMops: float64(curTgt-lastTgt) / interval / 1e6,
+			Migrations: src.StatsSnapshot().BalanceMigrations,
+		}
+		sample.SystemMops = sample.SourceMops + sample.TargetMops
+		lastSrc, lastTgt = curSrc, curTgt
+		res.Samples = append(res.Samples, sample)
+		if res.FirstSplitAt < 0 && sample.Migrations > 0 {
+			res.FirstSplitAt = at
+		}
+		if !shifted && at >= ao.ShiftAt {
+			shifted = true
+			// Jump the hot set half the keyspace away: the Zipfian head now
+			// lands on different keys (and so different hash ranges).
+			offset.Store(o.Keys / 2)
+			o.logf("autoscale: hotspot shifted at %v", at.Round(time.Millisecond))
+		}
+	}
+	close(stop)
+	if err := <-driveDone; err != nil {
+		return res, err
+	}
+	res.MigrationsTriggered = src.StatsSnapshot().BalanceMigrations
+	if res.MigrationsTriggered == 0 {
+		return res, fmt.Errorf("bench: balancer never split (is the load above MinOpsPerSec?)")
+	}
+	return res, nil
+}

@@ -109,6 +109,14 @@ type ServerSpec struct {
 	NoSampling bool
 	SSDModel   storage.LatencyModel
 	Ranges     []metadata.HashRange
+
+	// AutoScale hosts the elastic control plane's balancer on this server
+	// (the hotspot-shift scenario); the remaining fields are its knobs.
+	AutoScale      bool
+	AutoScaleEvery time.Duration
+	Imbalance      float64
+	Cooldown       time.Duration
+	MinOpsPerSec   float64
 }
 
 // AddServer boots a server into the cluster.
@@ -131,6 +139,12 @@ func (cl *Cluster) AddServer(spec ServerSpec) (*core.Server, error) {
 		Rocksteady:      spec.Rocksteady,
 		DisableSampling: spec.NoSampling,
 		SampleDuration:  100 * time.Millisecond,
+
+		AutoScale:          spec.AutoScale,
+		AutoScaleEvery:     spec.AutoScaleEvery,
+		AutoScaleImbalance: spec.Imbalance,
+		AutoScaleCooldown:  spec.Cooldown,
+		AutoScaleMinRate:   spec.MinOpsPerSec,
 	}, spec.Ranges...)
 	if err != nil {
 		dev.Close()

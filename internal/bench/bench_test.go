@@ -93,6 +93,33 @@ func TestScaleOutSmoke(t *testing.T) {
 	}
 }
 
+func TestAutoScaleOutSmoke(t *testing.T) {
+	res, err := AutoScaleOut(AutoScaleOptions{
+		Options:       tiny(),
+		TotalRuntime:  3 * time.Second,
+		SampleEvery:   100 * time.Millisecond,
+		BalancerEvery: 100 * time.Millisecond,
+		Imbalance:     1.5,
+		MinOpsPerSec:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigrationsTriggered == 0 || res.FirstSplitAt < 0 {
+		t.Fatalf("balancer never split: %+v", res)
+	}
+	// The joiner must end up serving traffic it was never manually given.
+	servedTarget := false
+	for _, s := range res.Samples {
+		if s.TargetMops > 0 {
+			servedTarget = true
+		}
+	}
+	if !servedTarget {
+		t.Fatal("target never served traffic after the balancer split")
+	}
+}
+
 func TestScaleOutIndirectionSmoke(t *testing.T) {
 	o := tiny()
 	o.Keys = 20_000

@@ -21,12 +21,12 @@ import (
 // cancellation surface as the context's error.
 type Admin struct {
 	tr   transport.Transport
-	meta *metadata.Store
+	meta metadata.Provider
 }
 
 // NewAdmin builds an admin handle over the cluster's transport and metadata
-// store.
-func NewAdmin(tr transport.Transport, meta *metadata.Store) *Admin {
+// provider.
+func NewAdmin(tr transport.Transport, meta metadata.Provider) *Admin {
 	return &Admin{tr: tr, meta: meta}
 }
 
@@ -124,6 +124,49 @@ func (a *Admin) Migrate(ctx context.Context, source, target string, rng metadata
 	}
 	_, err = awaitFrame(ctx, conn, wire.MsgAck)
 	return err
+}
+
+// Rebalance asks serverID's hosted balancer to run one planning pass now
+// and returns its decision. A server without a balancer refuses.
+func (a *Admin) Rebalance(ctx context.Context, serverID string) (wire.RebalanceResp, error) {
+	conn, err := a.dial(serverID)
+	if err != nil {
+		return wire.RebalanceResp{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeRebalanceReq()); err != nil {
+		return wire.RebalanceResp{}, err
+	}
+	frame, err := awaitFrame(ctx, conn, wire.MsgRebalanceResp)
+	if err != nil {
+		return wire.RebalanceResp{}, err
+	}
+	resp, err := wire.DecodeRebalanceResp(frame)
+	if err != nil {
+		return wire.RebalanceResp{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("client: rebalance on %s failed: %s", serverID, resp.Err)
+	}
+	return resp, nil
+}
+
+// BalanceStatus fetches serverID's balancer status (counters, cooldown,
+// last decision, observed per-server load rates).
+func (a *Admin) BalanceStatus(ctx context.Context, serverID string) (wire.BalanceStatusResp, error) {
+	conn, err := a.dial(serverID)
+	if err != nil {
+		return wire.BalanceStatusResp{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeBalanceStatusReq()); err != nil {
+		return wire.BalanceStatusResp{}, err
+	}
+	frame, err := awaitFrame(ctx, conn, wire.MsgBalanceStatusResp)
+	if err != nil {
+		return wire.BalanceStatusResp{}, err
+	}
+	return wire.DecodeBalanceStatusResp(frame)
 }
 
 // Stats fetches a snapshot of serverID's identity, ownership view and

@@ -28,8 +28,9 @@ var ErrClosed = errors.New("client: thread closed")
 type Config struct {
 	// Transport dials servers (must match the cluster's transport).
 	Transport transport.Transport
-	// Meta is the metadata store for ownership lookups.
-	Meta *metadata.Store
+	// Meta is the metadata provider for ownership lookups (the in-process
+	// store, or a remote provider against a metadata endpoint).
+	Meta metadata.Provider
 	// BatchOps flushes a session's buffer at this many operations.
 	BatchOps int
 	// BatchBytes flushes earlier if the encoded batch reaches this size

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ctlplane"
 	"repro/internal/faster"
 	"repro/internal/metadata"
 	"repro/internal/storage"
@@ -36,8 +37,10 @@ type ServerConfig struct {
 	Threads int
 	// Transport carries sessions; it embeds the network cost model.
 	Transport transport.Transport
-	// Meta is the external metadata store (ZooKeeper stand-in).
-	Meta *metadata.Store
+	// Meta is the external metadata provider (ZooKeeper stand-in): the
+	// in-process store, or a remote provider against a designated metadata
+	// endpoint for multi-process deployments.
+	Meta metadata.Provider
 	// Store configures the server's FASTER instance.
 	Store faster.Config
 
@@ -68,6 +71,28 @@ type ServerConfig struct {
 	// SafeHead) — the span a pass can actually scan) above which the service
 	// considers a pass; defaults to 64 MiB when CompactEvery is set.
 	CompactWatermark uint64
+
+	// Elastic control plane (automatic scale-out, the balancer in
+	// internal/ctlplane).
+
+	// AutoScale hosts the load-aware balancer on this server: it polls
+	// every server's stats, and when the hottest server's ops/sec exceeds
+	// the coolest's by AutoScaleImbalance it splits the hot server's
+	// sampled hash distribution at the load median and drives the ordinary
+	// Migrate() RPC — no operator involved. One server per deployment
+	// should host it.
+	AutoScale bool
+	// AutoScaleEvery is the balancer's planning-pass period (default 1s).
+	AutoScaleEvery time.Duration
+	// AutoScaleImbalance is the hottest/coolest ops-rate ratio that arms a
+	// split (default 3.0).
+	AutoScaleImbalance float64
+	// AutoScaleCooldown is the hold-off after a triggered migration
+	// (default 10s).
+	AutoScaleCooldown time.Duration
+	// AutoScaleMinRate is the ops/sec floor below which the cluster is
+	// considered idle and never split (default 500).
+	AutoScaleMinRate float64
 
 	// Migration tuning.
 
@@ -117,6 +142,8 @@ func (c *ServerConfig) applyDefaults() error {
 	if c.CompactEvery > 0 && c.CompactWatermark == 0 {
 		c.CompactWatermark = 64 << 20
 	}
+	// AutoScale* zero values fall through to ctlplane.BalancerConfig's
+	// defaults (the single source of truth for balancer tuning).
 	return nil
 }
 
@@ -165,7 +192,7 @@ type ServerStats struct {
 type Server struct {
 	cfg   ServerConfig
 	store *faster.Store
-	meta  *metadata.Store
+	meta  metadata.Provider
 
 	view atomic.Pointer[metadata.View]
 
@@ -200,6 +227,9 @@ type Server struct {
 	sessTab *sessionTable
 	ckptMu  sync.Mutex    // serializes checkpoint image writes
 	bgQuit  chan struct{} // stops the checkpoint and compaction loops
+
+	// Elastic control plane: the hosted balancer (nil unless AutoScale).
+	balancer *ctlplane.Balancer
 
 	// Space-management state (see compaction.go).
 	compactMu      sync.Mutex // serializes compaction passes
@@ -272,6 +302,14 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		s.committedBegin.Store(uint64(st.Log().BeginAddress()))
 		s.prevPassBegin.Store(uint64(st.Log().BeginAddress()))
 		v := cfg.Meta.RestoreServer(cfg.ID, view)
+		if v.Number == 0 {
+			// A restored view always has number ≥ 1; zero means a remote
+			// metadata provider could not reach its endpoint — fail startup
+			// rather than run unregistered (same guard as fresh
+			// registration below).
+			s.store.Close()
+			return nil, fmt.Errorf("core: %s: metadata provider unavailable (restore failed)", cfg.ID)
+		}
 		s.view.Store(&v)
 	} else {
 		if images != nil && images.Generation() > 0 {
@@ -288,6 +326,12 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		}
 		s.store = st
 		v := cfg.Meta.RegisterServer(cfg.ID, initial...)
+		if v.Number == 0 {
+			// A registered view always has number ≥ 1; zero means a remote
+			// metadata provider could not reach its endpoint.
+			s.store.Close()
+			return nil, fmt.Errorf("core: %s: metadata provider unavailable (registration failed)", cfg.ID)
+		}
 		s.view.Store(&v)
 	}
 
@@ -315,6 +359,14 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 	if cfg.CompactEvery > 0 {
 		s.wg.Add(1)
 		go s.compactLoop(cfg.CompactEvery, cfg.CompactWatermark)
+	}
+	if cfg.AutoScale {
+		s.balancer = ctlplane.NewBalancer(ctlplane.BalancerConfig{
+			Self: cfg.ID, Meta: cfg.Meta, Transport: cfg.Transport,
+			Every: cfg.AutoScaleEvery, Imbalance: cfg.AutoScaleImbalance,
+			Cooldown: cfg.AutoScaleCooldown, MinOpsPerSec: cfg.AutoScaleMinRate,
+		})
+		s.balancer.Run()
 	}
 	return s, nil
 }
@@ -350,6 +402,13 @@ func (s *Server) StatsSnapshot() wire.StatsResp {
 		CompactReclaimedBytes: s.stats.CompactReclaimedBytes.Load(),
 
 		StorePendingReads: s.store.Stats().PendingIssued.Load(),
+
+		LogBytes:   uint64(s.store.Log().TailAddress()) - uint64(s.store.Log().BeginAddress()),
+		HashSample: s.sampleLoad(1024),
+	}
+	if b := s.balancer; b != nil {
+		resp.BalancePasses = b.Passes()
+		resp.BalanceMigrations = b.Triggered()
 	}
 	for i, r := range view.Ranges {
 		resp.Ranges[i] = wire.Range{Start: r.Start, End: r.End}
@@ -382,6 +441,11 @@ func (s *Server) SetHashValidation(on bool) { s.hashValidate.Store(on) }
 func (s *Server) Close() error {
 	if s.stopping.Swap(true) {
 		return nil
+	}
+	if s.balancer != nil {
+		// Stop planning (and its RPCs against this very server) before the
+		// listener goes away.
+		s.balancer.Stop()
 	}
 	close(s.bgQuit)
 	s.listener.Close()
@@ -505,6 +569,11 @@ type dispatcher struct {
 	migBatch []wire.MigrationRecord
 	migConn  transport.Conn
 	migDone  bool
+
+	// Load accounting: a ring of sampled op hashes (see ctlplane.go).
+	// loadN is dispatcher-private; the ring slots are read by the balancer.
+	loadN    uint64
+	loadRing [loadRingSlots]atomic.Uint64
 }
 
 // srvOp is the dispatcher-side state of one client operation that went
@@ -721,6 +790,12 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 		d.s.handleCompactReq(c)
 	case wire.MsgStats:
 		d.s.handleStatsReq(c)
+	case wire.MsgMetaReq:
+		d.s.handleMetaReq(c, frame)
+	case wire.MsgRebalance:
+		d.s.handleRebalanceReq(c)
+	case wire.MsgBalanceStatus:
+		d.s.handleBalanceStatusReq(c)
 	case wire.MsgSessionRecover:
 		d.handleSessionRecover(c, frame)
 	case wire.MsgAck:
@@ -854,6 +929,7 @@ func (d *dispatcher) flushConns() {
 // key/input into owned buffers.
 func (d *dispatcher) execOp(c transport.Conn, sessionID uint64, op *wire.Op, tm *targetMigration) {
 	h := faster.HashOf(op.Key)
+	d.recordLoad(h)
 	switch op.Kind {
 	case wire.OpUpsert:
 		d.emitInline(op.Seq, d.sess.UpsertHash(op.Key, op.Value, h), nil)

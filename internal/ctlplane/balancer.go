@@ -1,0 +1,367 @@
+package ctlplane
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metadata"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// BalancerConfig tunes the automatic scale-out balancer.
+type BalancerConfig struct {
+	// Self is the hosting server's id (status/reporting only; the balancer
+	// considers every registered server as a migration source or target).
+	Self string
+	// Meta is the deployment's metadata provider.
+	Meta metadata.Provider
+	// Transport dials servers for Stats and Migrate RPCs.
+	Transport transport.Transport
+
+	// Every is the planning-pass period (default 1s).
+	Every time.Duration
+	// Imbalance is the load-imbalance threshold: a pass acts only when the
+	// hottest server's ops/sec exceeds the coolest's by this factor
+	// (default 3.0).
+	Imbalance float64
+	// Cooldown is the hold-off after a triggered migration, giving views,
+	// clients and the sampled load time to settle before the next decision
+	// (default 10s).
+	Cooldown time.Duration
+	// MinOpsPerSec is the source-load floor below which the cluster is
+	// considered idle and never split (default 500).
+	MinOpsPerSec float64
+	// MinSplitSamples is the minimum number of in-range hash samples needed
+	// to pick a split point (default 16).
+	MinSplitSamples int
+	// RPCTimeout bounds each individual RPC a pass issues (default 2s), so
+	// one hung server costs a pass at most one timeout, not the cluster.
+	RPCTimeout time.Duration
+}
+
+func (c BalancerConfig) withDefaults() BalancerConfig {
+	if c.Every == 0 {
+		c.Every = time.Second
+	}
+	if c.Imbalance == 0 {
+		c.Imbalance = 3.0
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.MinOpsPerSec == 0 {
+		c.MinOpsPerSec = 500
+	}
+	if c.MinSplitSamples == 0 {
+		c.MinSplitSamples = 16
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Decision is one planning pass's outcome.
+type Decision struct {
+	At     time.Time
+	Acted  bool
+	Source string
+	Target string
+	Range  metadata.HashRange
+	Reason string
+}
+
+// Status is a balancer snapshot for operators (the MsgBalanceStatus RPC).
+type Status struct {
+	Config    BalancerConfig
+	Passes    uint64
+	Triggered uint64
+	// CooldownRemaining is how long the balancer will keep holding off
+	// after the last triggered migration (0 = armed).
+	CooldownRemaining time.Duration
+	Last              Decision
+	// Rates is the last pass's observed per-server ops/sec.
+	Rates map[string]float64
+}
+
+// Balancer watches per-server load (ops/sec deltas of the MsgStats
+// counters), detects sustained imbalance, picks a split point from the hot
+// server's sampled hash distribution, and drives the ordinary Migrate()
+// RPC — the policy layer over the paper's §3.3 mechanism. At most one
+// migration is in flight at a time: a pass never acts while any migration
+// dependency is uncollected, and a cooldown separates consecutive actions.
+type Balancer struct {
+	cfg   BalancerConfig
+	admin *client.Admin
+
+	// passMu serializes planning passes (the periodic loop vs. RPC-driven
+	// RunOnce). It is held across the pass's RPCs, so nothing a dispatcher
+	// calls may ever take it: dispatchers answer the very Stats RPCs a pass
+	// waits on.
+	passMu sync.Mutex
+
+	// mu guards the observed state below; it is held only for brief local
+	// reads/writes, never across an RPC (Status and the stats counters must
+	// stay responsive mid-pass).
+	mu            sync.Mutex
+	prev          map[string]counterSample
+	rates         map[string]float64
+	last          Decision
+	cooldownUntil time.Time
+
+	passes    atomic.Uint64
+	triggered atomic.Uint64
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+type counterSample struct {
+	ops uint64
+	at  time.Time
+}
+
+// NewBalancer builds a balancer; call Run to start the periodic loop, or
+// drive passes manually with RunOnce.
+func NewBalancer(cfg BalancerConfig) *Balancer {
+	cfg = cfg.withDefaults()
+	return &Balancer{
+		cfg:   cfg,
+		admin: client.NewAdmin(cfg.Transport, cfg.Meta),
+		prev:  make(map[string]counterSample),
+		rates: make(map[string]float64),
+		quit:  make(chan struct{}),
+	}
+}
+
+// Run executes planning passes every cfg.Every until Stop.
+func (b *Balancer) Run() {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		t := time.NewTicker(b.cfg.Every)
+		defer t.Stop()
+		for {
+			select {
+			case <-b.quit:
+				return
+			case <-t.C:
+				// No overall deadline: each RPC inside the pass carries its
+				// own RPCTimeout, bounding the pass at (servers+1)×timeout.
+				b.RunOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop terminates the Run loop.
+func (b *Balancer) Stop() {
+	b.once.Do(func() { close(b.quit) })
+	b.wg.Wait()
+}
+
+// Status returns the balancer's current state. It never blocks on an
+// in-flight pass (dispatchers serve it inline).
+func (b *Balancer) Status() Status {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := Status{
+		Config:    b.cfg,
+		Passes:    b.passes.Load(),
+		Triggered: b.triggered.Load(),
+		Last:      b.last,
+		Rates:     make(map[string]float64, len(b.rates)),
+	}
+	if rem := time.Until(b.cooldownUntil); rem > 0 {
+		st.CooldownRemaining = rem
+	}
+	for id, r := range b.rates {
+		st.Rates[id] = r
+	}
+	return st
+}
+
+// Passes reports the number of planning passes run (for MsgStats; lock-free
+// so the stats path can never block behind a pass).
+func (b *Balancer) Passes() uint64 { return b.passes.Load() }
+
+// Triggered reports how many migrations the balancer has started.
+func (b *Balancer) Triggered() uint64 { return b.triggered.Load() }
+
+// RunOnce executes one planning pass: refresh per-server rates, check the
+// guards (pending migration, cooldown, idle cluster, balance), and — when
+// all pass — pick a split and trigger the migration. The returned Decision
+// describes what happened either way. Passes are serialized; state is
+// published under b.mu between (never across) the pass's RPCs.
+func (b *Balancer) RunOnce(ctx context.Context) Decision {
+	b.passMu.Lock()
+	defer b.passMu.Unlock()
+	b.passes.Add(1)
+	d := b.plan(ctx)
+	d.At = time.Now()
+	b.mu.Lock()
+	b.last = d
+	if d.Acted {
+		b.cooldownUntil = time.Now().Add(b.cfg.Cooldown)
+	}
+	b.mu.Unlock()
+	if d.Acted {
+		b.triggered.Add(1)
+	}
+	return d
+}
+
+func (b *Balancer) plan(ctx context.Context) Decision {
+	ids := b.cfg.Meta.Servers()
+	if len(ids) < 2 {
+		return Decision{Reason: "need at least two servers"}
+	}
+
+	// Refresh counters and rates for every reachable server; an
+	// unreachable server is skipped (and excluded as source or target)
+	// rather than aborting the pass — one crashed server must not disable
+	// elasticity for the rest of the cluster. Rates need two observations;
+	// the first pass primes.
+	stats := make(map[string]wire.StatsResp, len(ids))
+	var reachable []string
+	primed := true
+	for _, id := range ids {
+		resp, err := b.statsRPC(ctx, id)
+		if err != nil {
+			continue
+		}
+		reachable = append(reachable, id)
+		now := time.Now()
+		stats[id] = resp
+		b.mu.Lock()
+		prev, ok := b.prev[id]
+		b.prev[id] = counterSample{ops: resp.OpsCompleted, at: now}
+		if !ok || now.Sub(prev.at) <= 0 {
+			primed = false
+		} else {
+			b.rates[id] = float64(resp.OpsCompleted-prev.ops) / now.Sub(prev.at).Seconds()
+		}
+		b.mu.Unlock()
+	}
+	if len(reachable) < 2 {
+		return Decision{Reason: fmt.Sprintf("only %d of %d servers reachable", len(reachable), len(ids))}
+	}
+	if !primed {
+		return Decision{Reason: "priming load counters"}
+	}
+	ids = reachable
+
+	// One migration at a time, cluster-wide: an uncollected dependency
+	// means the previous move (or its checkpoints) is still settling.
+	for _, m := range b.cfg.Meta.Migrations() {
+		if !m.Complete() && !m.Cancelled {
+			return Decision{Reason: fmt.Sprintf("migration %d still in flight", m.ID)}
+		}
+	}
+	b.mu.Lock()
+	rem := time.Until(b.cooldownUntil)
+	// Hottest server is the source candidate, coolest the target.
+	src, tgt := "", ""
+	for _, id := range ids {
+		r := b.rates[id]
+		if src == "" || r > b.rates[src] {
+			src = id
+		}
+		if tgt == "" || r < b.rates[tgt] {
+			tgt = id
+		}
+	}
+	srcRate, tgtRate := b.rates[src], b.rates[tgt]
+	b.mu.Unlock()
+	if rem > 0 {
+		return Decision{Reason: fmt.Sprintf("cooling down for %v", rem.Round(time.Millisecond))}
+	}
+	if src == tgt {
+		return Decision{Reason: "load is uniform"}
+	}
+	if srcRate < b.cfg.MinOpsPerSec {
+		return Decision{Reason: fmt.Sprintf("cluster idle (%.0f ops/s < %.0f floor)", srcRate, b.cfg.MinOpsPerSec)}
+	}
+	if srcRate < b.cfg.Imbalance*tgtRate {
+		return Decision{Reason: fmt.Sprintf("balanced (%.0f vs %.0f ops/s, threshold %.1fx)",
+			srcRate, tgtRate, b.cfg.Imbalance)}
+	}
+
+	rng, reason := splitPoint(stats[src], b.cfg.MinSplitSamples)
+	if reason != "" {
+		return Decision{Source: src, Target: tgt, Reason: reason}
+	}
+
+	mctx, cancel := context.WithTimeout(ctx, b.cfg.RPCTimeout)
+	err := b.admin.Migrate(mctx, src, tgt, rng)
+	cancel()
+	if err != nil {
+		return Decision{Source: src, Target: tgt, Range: rng,
+			Reason: fmt.Sprintf("migrate RPC failed: %v", err)}
+	}
+	return Decision{
+		Acted: true, Source: src, Target: tgt, Range: rng,
+		Reason: fmt.Sprintf("%s at %.0f ops/s vs %s at %.0f: split %s",
+			src, srcRate, tgt, tgtRate, rng),
+	}
+}
+
+// statsRPC fetches one server's stats under the per-RPC timeout, so a hung
+// server cannot consume the whole pass's budget.
+func (b *Balancer) statsRPC(ctx context.Context, id string) (wire.StatsResp, error) {
+	rctx, cancel := context.WithTimeout(ctx, b.cfg.RPCTimeout)
+	defer cancel()
+	return b.admin.Stats(rctx, id)
+}
+
+// splitPoint picks the range to migrate off an overloaded server: the owned
+// range holding the most load samples, split at the sampled median so
+// roughly half that range's observed load moves. Returns a non-empty reason
+// when no usable split exists.
+func splitPoint(st wire.StatsResp, minSamples int) (metadata.HashRange, string) {
+	if len(st.Ranges) == 0 {
+		return metadata.HashRange{}, "source owns no ranges"
+	}
+	// Bucket the samples by owned range; keep the hottest range.
+	var hot metadata.HashRange
+	var hotSamples []uint64
+	for _, wr := range st.Ranges {
+		r := metadata.HashRange{Start: wr.Start, End: wr.End}
+		var in []uint64
+		for _, h := range st.HashSample {
+			if r.Contains(h) {
+				in = append(in, h)
+			}
+		}
+		if len(in) > len(hotSamples) {
+			hot, hotSamples = r, in
+		}
+	}
+	if len(hotSamples) < minSamples {
+		return metadata.HashRange{}, fmt.Sprintf("only %d in-range load samples (need %d)",
+			len(hotSamples), minSamples)
+	}
+	sort.Slice(hotSamples, func(i, j int) bool { return hotSamples[i] < hotSamples[j] })
+	split := hotSamples[len(hotSamples)/2]
+	if split <= hot.Start {
+		// The median sits on the range's first hash; move everything above
+		// the first distinct sample instead, if any.
+		for _, h := range hotSamples {
+			if h > hot.Start {
+				split = h
+				break
+			}
+		}
+		if split <= hot.Start {
+			return metadata.HashRange{}, "sampled load is a single hash; nothing to split"
+		}
+	}
+	return metadata.HashRange{Start: split, End: hot.End}, ""
+}

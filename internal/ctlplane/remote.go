@@ -1,0 +1,628 @@
+// Package ctlplane is Shadowfax's elastic control plane: the remote
+// metadata provider that lets out-of-process servers, clients and the CLI
+// share one live metadata store over MsgMeta* RPCs, and the load-aware
+// balancer that turns the manually-triggered migration machinery (§3.3)
+// into automatic scale-out.
+//
+// The data plane stays untouched: the control plane only reads counters and
+// drives the same Migrate() RPC an operator would.
+package ctlplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrMetaUnavailable reports that the metadata endpoint could not be
+// reached and no cached snapshot exists to answer from.
+var ErrMetaUnavailable = errors.New("ctlplane: metadata endpoint unavailable")
+
+// RemoteOptions tunes a RemoteProvider.
+type RemoteOptions struct {
+	// Timeout bounds one metadata RPC (default 3s).
+	Timeout time.Duration
+	// PollEvery is the watch loop's snapshot period (default 50ms). The
+	// loop starts with the first Watch call.
+	PollEvery time.Duration
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.Timeout == 0 {
+		o.Timeout = 3 * time.Second
+	}
+	if o.PollEvery == 0 {
+		o.PollEvery = 50 * time.Millisecond
+	}
+	return o
+}
+
+// RemoteProvider implements metadata.Provider against a designated metadata
+// endpoint (a server backed by the in-process Store, which serves MsgMeta*
+// frames). Every mutation is one RPC — linearized by the backing Store —
+// and every response carries a full snapshot, which the provider caches.
+// Reads issue a snapshot RPC and fall back to the cache when the endpoint
+// is briefly unreachable, so a dispatcher refreshing its view never wedges
+// on a control-plane hiccup.
+type RemoteProvider struct {
+	tr   transport.Transport
+	addr string
+	opts RemoteOptions
+
+	// connMu serializes RPCs on the one persistent connection.
+	connMu sync.Mutex
+	conn   transport.Conn
+
+	// cacheMu guards the last observed snapshot and the watcher list.
+	cacheMu    sync.Mutex
+	haveSnap   bool
+	lastSnap   time.Time
+	revision   uint64
+	servers    map[string]remoteServer
+	migrations []metadata.MigrationState
+	watchers   []chan struct{}
+
+	pollOnce sync.Once
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+type remoteServer struct {
+	addr string
+	view metadata.View
+}
+
+// NewRemoteProvider builds a provider that forwards to the metadata
+// endpoint at addr over tr. The endpoint does not need to be up yet;
+// connections are (re)dialed lazily per RPC.
+func NewRemoteProvider(tr transport.Transport, addr string, opts RemoteOptions) *RemoteProvider {
+	return &RemoteProvider{
+		tr: tr, addr: addr, opts: opts.withDefaults(),
+		servers: make(map[string]remoteServer),
+		quit:    make(chan struct{}),
+	}
+}
+
+// Close stops the watch loop and closes the endpoint connection.
+func (p *RemoteProvider) Close() error {
+	p.cacheMu.Lock()
+	if p.closed {
+		p.cacheMu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.quit)
+	p.cacheMu.Unlock()
+	p.wg.Wait()
+	p.connMu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.connMu.Unlock()
+	return nil
+}
+
+// do performs one metadata RPC: send req, await the MsgMetaResp, retry once
+// on a broken connection, and fold the response's snapshot into the cache.
+//
+// Retry discipline: dial and send failures always retry (a length-prefixed
+// frame that failed to send was never decodable at the endpoint, so the op
+// did not execute). A failure while AWAITING the response retries only
+// idempotent ops — the endpoint may well have executed the request, and
+// re-sending a StartMigration or Collect would execute it twice (the first
+// remapping ownership, the "retry" then failing with ErrNotOwner while the
+// caller never learns the migration is registered).
+func (p *RemoteProvider) do(req *wire.MetaReq) (wire.MetaResp, error) {
+	idempotent := req.Op != wire.MetaOpStartMigration && req.Op != wire.MetaOpCollect
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	frame := wire.EncodeMetaReq(req)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if p.conn == nil {
+			c, err := p.tr.Dial(p.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			p.conn = c
+		}
+		if err := p.conn.Send(frame); err != nil {
+			p.conn.Close()
+			p.conn = nil
+			lastErr = err
+			continue
+		}
+		respFrame, err := p.await(wire.MsgMetaResp)
+		if err != nil {
+			p.conn.Close()
+			p.conn = nil
+			lastErr = err
+			if !idempotent {
+				break // the endpoint may have executed it; never re-send
+			}
+			continue
+		}
+		resp, err := wire.DecodeMetaResp(respFrame)
+		if err != nil {
+			lastErr = err
+			if !idempotent {
+				break // a response arrived, so the endpoint executed it
+			}
+			continue
+		}
+		p.absorb(&resp)
+		return resp, nil
+	}
+	return wire.MetaResp{}, fmt.Errorf("%w: %v", ErrMetaUnavailable, lastErr)
+}
+
+// await polls the connection for a frame of the wanted type until Timeout;
+// unrelated frames are discarded (the connection is private to the
+// provider, so none are expected).
+func (p *RemoteProvider) await(want wire.MsgType) ([]byte, error) {
+	deadline := time.Now().Add(p.opts.Timeout)
+	for {
+		frame, ok, err := p.conn.TryRecv()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if typ, _ := wire.PeekType(frame); typ == want {
+				return frame, nil
+			}
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("ctlplane: metadata RPC timed out after %v", p.opts.Timeout)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// absorb folds a response's snapshot into the cache and wakes watchers on a
+// revision change.
+func (p *RemoteProvider) absorb(resp *wire.MetaResp) {
+	p.cacheMu.Lock()
+	changed := !p.haveSnap || resp.Revision != p.revision
+	p.haveSnap = true
+	p.lastSnap = time.Now()
+	p.revision = resp.Revision
+	p.servers = make(map[string]remoteServer, len(resp.Servers))
+	for i := range resp.Servers {
+		s := &resp.Servers[i]
+		p.servers[s.ID] = remoteServer{
+			addr: s.Addr,
+			view: metadata.View{Number: s.ViewNumber, Ranges: rangesFromWire(s.Ranges)},
+		}
+	}
+	p.migrations = p.migrations[:0]
+	for i := range resp.Migrations {
+		p.migrations = append(p.migrations, migrationFromWire(&resp.Migrations[i]))
+	}
+	var wake []chan struct{}
+	if changed {
+		wake = append(wake, p.watchers...)
+	}
+	p.cacheMu.Unlock()
+	for _, ch := range wake {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// refresh brings the cache up to date, issuing a snapshot RPC unless one
+// landed within the last PollEvery (every mutation response and the watch
+// loop also refresh the cache, so read bursts — a CLI stats invocation, a
+// client re-resolving ownership during a migration — coalesce into one RPC
+// instead of serializing on the connection). Returns false when the
+// endpoint was unreachable AND no cache exists to answer from.
+func (p *RemoteProvider) refresh() bool {
+	p.cacheMu.Lock()
+	fresh := p.haveSnap && time.Since(p.lastSnap) < p.opts.PollEvery
+	p.cacheMu.Unlock()
+	if fresh {
+		return true
+	}
+	if _, err := p.do(&wire.MetaReq{Op: wire.MetaOpSnapshot}); err != nil {
+		p.cacheMu.Lock()
+		ok := p.haveSnap
+		p.cacheMu.Unlock()
+		return ok
+	}
+	return true
+}
+
+// metaError rebuilds the metadata package's sentinel errors from a
+// response's error class, so errors.Is works across the wire.
+func metaError(resp *wire.MetaResp) error {
+	if resp.OK {
+		return nil
+	}
+	var sentinel error
+	switch resp.ErrCode {
+	case wire.MetaErrUnknownServer:
+		sentinel = metadata.ErrUnknownServer
+	case wire.MetaErrNotOwner:
+		sentinel = metadata.ErrNotOwner
+	case wire.MetaErrOverlap:
+		sentinel = metadata.ErrOverlap
+	case wire.MetaErrUnknownMigration:
+		sentinel = metadata.ErrUnknownMigration
+	case wire.MetaErrMigrationDone:
+		sentinel = metadata.ErrMigrationDone
+	default:
+		return errors.New(resp.Err)
+	}
+	return fmt.Errorf("%w (remote: %s)", sentinel, resp.Err)
+}
+
+// --- metadata.Provider implementation -------------------------------------
+
+// SetServerAddr records a server's transport address in the shared store.
+// The Provider signature has no error return (the in-process store cannot
+// fail); callers that must know the address landed verify with ServerAddr
+// afterwards (shadowfax.NewServer does).
+func (p *RemoteProvider) SetServerAddr(id, addr string) {
+	p.do(&wire.MetaReq{Op: wire.MetaOpSetAddr, ServerID: id, Addr: addr}) //nolint:errcheck // see above
+}
+
+// ServerAddr returns a server's transport address.
+func (p *RemoteProvider) ServerAddr(id string) (string, error) {
+	if !p.refresh() {
+		return "", ErrMetaUnavailable
+	}
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	s, ok := p.servers[id]
+	if !ok || s.addr == "" {
+		return "", fmt.Errorf("%w: no address for %q", metadata.ErrUnknownServer, id)
+	}
+	return s.addr, nil
+}
+
+// RegisterServer creates (or resets) a server's view in the shared store.
+func (p *RemoteProvider) RegisterServer(id string, ranges ...metadata.HashRange) metadata.View {
+	resp, err := p.do(&wire.MetaReq{
+		Op: wire.MetaOpRegister, ServerID: id, Ranges: rangesToWire(ranges),
+	})
+	if err != nil {
+		return metadata.View{}
+	}
+	return viewOf(&resp, id)
+}
+
+// RestoreServer reinstates a recovered server's checkpointed view.
+func (p *RemoteProvider) RestoreServer(id string, v metadata.View) metadata.View {
+	resp, err := p.do(&wire.MetaReq{
+		Op: wire.MetaOpRestore, ServerID: id,
+		ViewNumber: v.Number, Ranges: rangesToWire(v.Ranges),
+	})
+	if err != nil {
+		return metadata.View{}
+	}
+	return viewOf(&resp, id)
+}
+
+// GetView returns a server's current view.
+func (p *RemoteProvider) GetView(id string) (metadata.View, error) {
+	if !p.refresh() {
+		return metadata.View{}, ErrMetaUnavailable
+	}
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	s, ok := p.servers[id]
+	if !ok {
+		return metadata.View{}, fmt.Errorf("%w: %q", metadata.ErrUnknownServer, id)
+	}
+	return s.view.Clone(), nil
+}
+
+// Servers returns the ids of all registered servers, sorted.
+func (p *RemoteProvider) Servers() []string {
+	p.refresh()
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	out := make([]string, 0, len(p.servers))
+	for id := range p.servers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwnerOf returns the server owning hash h and its view.
+func (p *RemoteProvider) OwnerOf(h uint64) (string, metadata.View, error) {
+	if !p.refresh() {
+		return "", metadata.View{}, ErrMetaUnavailable
+	}
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	for id, s := range p.servers {
+		if s.view.Owns(h) {
+			return id, s.view.Clone(), nil
+		}
+	}
+	return "", metadata.View{}, fmt.Errorf("%w: no owner for %#x", metadata.ErrUnknownServer, h)
+}
+
+// Ownership returns every server's view.
+func (p *RemoteProvider) Ownership() map[string]metadata.View {
+	p.refresh()
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	out := make(map[string]metadata.View, len(p.servers))
+	for id, s := range p.servers {
+		out[id] = s.view.Clone()
+	}
+	return out
+}
+
+// StartMigration performs the atomic remap/bump/register transition at the
+// metadata endpoint.
+func (p *RemoteProvider) StartMigration(source, target string, rng metadata.HashRange) (metadata.MigrationState, metadata.View, metadata.View, error) {
+	resp, err := p.do(&wire.MetaReq{
+		Op: wire.MetaOpStartMigration, ServerID: source, Target: target,
+		RangeStart: rng.Start, RangeEnd: rng.End,
+	})
+	if err != nil {
+		return metadata.MigrationState{}, metadata.View{}, metadata.View{}, err
+	}
+	if err := metaError(&resp); err != nil {
+		return metadata.MigrationState{}, metadata.View{}, metadata.View{}, err
+	}
+	return migrationFromWire(&resp.Migration), viewOf(&resp, source), viewOf(&resp, target), nil
+}
+
+// MarkMigrationDone sets one side's completion flag.
+func (p *RemoteProvider) MarkMigrationDone(id uint64, server string) error {
+	resp, err := p.do(&wire.MetaReq{Op: wire.MetaOpMarkDone, MigrationID: id, ServerID: server})
+	if err != nil {
+		return err
+	}
+	return metaError(&resp)
+}
+
+// CancelMigration cancels an in-flight migration (§3.3.1).
+func (p *RemoteProvider) CancelMigration(id uint64) error {
+	resp, err := p.do(&wire.MetaReq{Op: wire.MetaOpCancel, MigrationID: id})
+	if err != nil {
+		return err
+	}
+	return metaError(&resp)
+}
+
+// GetMigration returns a migration's state from the live snapshot.
+func (p *RemoteProvider) GetMigration(id uint64) (metadata.MigrationState, error) {
+	if !p.refresh() {
+		return metadata.MigrationState{}, ErrMetaUnavailable
+	}
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	for _, m := range p.migrations {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return metadata.MigrationState{}, metadata.ErrUnknownMigration
+}
+
+// PendingMigrationsFor returns migrations involving server whose dependency
+// has not been collected.
+func (p *RemoteProvider) PendingMigrationsFor(server string) []metadata.MigrationState {
+	p.refresh()
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	var out []metadata.MigrationState
+	for _, m := range p.migrations {
+		if (m.Source == server || m.Target == server) && !m.Complete() && !m.Cancelled {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Migrations returns every uncollected migration.
+func (p *RemoteProvider) Migrations() []metadata.MigrationState {
+	p.refresh()
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	return append([]metadata.MigrationState(nil), p.migrations...)
+}
+
+// CollectMigration removes a completed (or cancelled) dependency.
+func (p *RemoteProvider) CollectMigration(id uint64) error {
+	resp, err := p.do(&wire.MetaReq{Op: wire.MetaOpCollect, MigrationID: id})
+	if err != nil {
+		return err
+	}
+	return metaError(&resp)
+}
+
+// Revision returns the last observed snapshot revision.
+func (p *RemoteProvider) Revision() uint64 {
+	p.refresh()
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	return p.revision
+}
+
+// Watch returns a channel that receives a token when the endpoint's state
+// is observed to have changed. Remote watches are poll-based: the first
+// call starts a background loop snapshotting every PollEvery.
+func (p *RemoteProvider) Watch() <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	p.cacheMu.Lock()
+	p.watchers = append(p.watchers, ch)
+	closed := p.closed
+	p.cacheMu.Unlock()
+	if closed {
+		return ch
+	}
+	p.pollOnce.Do(func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			t := time.NewTicker(p.opts.PollEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-p.quit:
+					return
+				case <-t.C:
+					p.refresh()
+				}
+			}
+		}()
+	})
+	return ch
+}
+
+// --- wire conversions ------------------------------------------------------
+
+func rangesToWire(in []metadata.HashRange) []wire.Range {
+	out := make([]wire.Range, len(in))
+	for i, r := range in {
+		out[i] = wire.Range{Start: r.Start, End: r.End}
+	}
+	return out
+}
+
+func rangesFromWire(in []wire.Range) []metadata.HashRange {
+	out := make([]metadata.HashRange, len(in))
+	for i, r := range in {
+		out[i] = metadata.HashRange{Start: r.Start, End: r.End}
+	}
+	return out
+}
+
+func migrationFromWire(m *wire.MetaMigration) metadata.MigrationState {
+	return metadata.MigrationState{
+		ID: m.ID, Source: m.Source, Target: m.Target,
+		Range:      metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd},
+		SourceDone: m.SourceDone, TargetDone: m.TargetDone, Cancelled: m.Cancelled,
+	}
+}
+
+func migrationToWire(m metadata.MigrationState) wire.MetaMigration {
+	return wire.MetaMigration{
+		ID: m.ID, Source: m.Source, Target: m.Target,
+		RangeStart: m.Range.Start, RangeEnd: m.Range.End,
+		SourceDone: m.SourceDone, TargetDone: m.TargetDone, Cancelled: m.Cancelled,
+	}
+}
+
+// viewOf extracts one server's view from a response snapshot.
+func viewOf(resp *wire.MetaResp, id string) metadata.View {
+	for i := range resp.Servers {
+		if resp.Servers[i].ID == id {
+			return metadata.View{
+				Number: resp.Servers[i].ViewNumber,
+				Ranges: rangesFromWire(resp.Servers[i].Ranges),
+			}
+		}
+	}
+	return metadata.View{}
+}
+
+var _ metadata.Provider = (*RemoteProvider)(nil)
+
+// --- serving side ----------------------------------------------------------
+
+// ServeMetaReq executes one metadata-service request against p and builds
+// the response, snapshot included. Servers call this from their dispatch
+// loop for inbound MsgMetaReq frames; any server whose provider is the
+// local in-process store is thereby a metadata endpoint (a server pointed
+// at a remote provider would merely proxy).
+func ServeMetaReq(p metadata.Provider, req *wire.MetaReq) wire.MetaResp {
+	resp := wire.MetaResp{OK: true}
+	switch req.Op {
+	case wire.MetaOpSnapshot:
+		// Pure read; the snapshot below is the whole answer.
+	case wire.MetaOpSetAddr:
+		p.SetServerAddr(req.ServerID, req.Addr)
+	case wire.MetaOpRegister:
+		p.RegisterServer(req.ServerID, rangesFromWire(req.Ranges)...)
+	case wire.MetaOpRestore:
+		p.RestoreServer(req.ServerID, metadata.View{
+			Number: req.ViewNumber, Ranges: rangesFromWire(req.Ranges),
+		})
+	case wire.MetaOpStartMigration:
+		mig, _, _, err := p.StartMigration(req.ServerID, req.Target,
+			metadata.HashRange{Start: req.RangeStart, End: req.RangeEnd})
+		if err != nil {
+			fillMetaErr(&resp, err)
+		} else {
+			resp.MigValid = true
+			resp.Migration = migrationToWire(mig)
+		}
+	case wire.MetaOpMarkDone:
+		fillMetaErr(&resp, p.MarkMigrationDone(req.MigrationID, req.ServerID))
+	case wire.MetaOpCancel:
+		fillMetaErr(&resp, p.CancelMigration(req.MigrationID))
+	case wire.MetaOpCollect:
+		fillMetaErr(&resp, p.CollectMigration(req.MigrationID))
+	default:
+		resp.OK = false
+		resp.ErrCode = wire.MetaErrOther
+		resp.Err = fmt.Sprintf("unknown meta op %d", req.Op)
+	}
+
+	// Revision is read before the content, and all views come from ONE
+	// Ownership() call (atomic under the store lock): a snapshot must never
+	// show a hash range owner-less or doubly-owned mid-StartMigration. A
+	// concurrent mutation can only make the content newer than Revision,
+	// which the poller resolves on its next refresh.
+	resp.Revision = p.Revision()
+	views := p.Ownership()
+	ids := make([]string, 0, len(views))
+	for id := range views {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		v := views[id]
+		addr, _ := p.ServerAddr(id) // a server may not have an address yet
+		resp.Servers = append(resp.Servers, wire.MetaServer{
+			ID: id, Addr: addr, ViewNumber: v.Number, Ranges: rangesToWire(v.Ranges),
+		})
+	}
+	for _, m := range p.Migrations() {
+		resp.Migrations = append(resp.Migrations, migrationToWire(m))
+	}
+	return resp
+}
+
+// fillMetaErr records err (if any) in the response with its wire error
+// class.
+func fillMetaErr(resp *wire.MetaResp, err error) {
+	if err == nil {
+		return
+	}
+	resp.OK = false
+	resp.Err = err.Error()
+	switch {
+	case errors.Is(err, metadata.ErrUnknownServer):
+		resp.ErrCode = wire.MetaErrUnknownServer
+	case errors.Is(err, metadata.ErrNotOwner):
+		resp.ErrCode = wire.MetaErrNotOwner
+	case errors.Is(err, metadata.ErrOverlap):
+		resp.ErrCode = wire.MetaErrOverlap
+	case errors.Is(err, metadata.ErrUnknownMigration):
+		resp.ErrCode = wire.MetaErrUnknownMigration
+	case errors.Is(err, metadata.ErrMigrationDone):
+		resp.ErrCode = wire.MetaErrMigrationDone
+	default:
+		resp.ErrCode = wire.MetaErrOther
+	}
+}

@@ -1,0 +1,137 @@
+package ctlplane_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctlplane"
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/metadata"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// startEndpoint boots a minimal server whose provider is the local store —
+// i.e. a designated metadata endpoint serving MsgMeta* frames.
+func startEndpoint(t *testing.T, store *metadata.Store, tr transport.Transport) *core.Server {
+	t.Helper()
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 2)
+	t.Cleanup(func() { dev.Close() })
+	srv, err := core.NewServer(core.ServerConfig{
+		ID: "ep", Addr: "ep", Threads: 2, Transport: tr, Meta: store,
+		Store: faster.Config{
+			IndexBuckets: 1 << 10,
+			Log:          hlog.Config{PageBits: 14, MemPages: 8, MutablePages: 4, Device: dev},
+		},
+	}, metadata.FullRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	store.SetServerAddr("ep", srv.Addr())
+	return srv
+}
+
+// TestRemoteProviderRoundTrip exercises every Provider method over the wire
+// against a live metadata endpoint and checks the mutations land in the
+// backing store (and vice versa: store-side changes become visible through
+// the provider).
+func TestRemoteProviderRoundTrip(t *testing.T) {
+	store := metadata.NewStore()
+	tr := transport.NewInMem(transport.Free)
+	startEndpoint(t, store, tr)
+
+	rp := ctlplane.NewRemoteProvider(tr, "ep", ctlplane.RemoteOptions{PollEvery: 5 * time.Millisecond})
+	defer rp.Close()
+
+	// Registration + addressing through the provider.
+	v := rp.RegisterServer("joiner")
+	if v.Number != 1 || len(v.Ranges) != 0 {
+		t.Fatalf("joiner view = %+v, want empty view #1", v)
+	}
+	rp.SetServerAddr("joiner", "joiner-addr")
+	if addr, err := rp.ServerAddr("joiner"); err != nil || addr != "joiner-addr" {
+		t.Fatalf("ServerAddr = %q, %v", addr, err)
+	}
+	if got, err := store.ServerAddr("joiner"); err != nil || got != "joiner-addr" {
+		t.Fatalf("mutation did not land in the backing store: %q, %v", got, err)
+	}
+	ids := rp.Servers()
+	if len(ids) != 2 || ids[0] != "ep" || ids[1] != "joiner" {
+		t.Fatalf("Servers() = %v", ids)
+	}
+
+	// Reads see live store state.
+	if owner, _, err := rp.OwnerOf(42); err != nil || owner != "ep" {
+		t.Fatalf("OwnerOf = %q, %v", owner, err)
+	}
+	own := rp.Ownership()
+	if len(own) != 2 || !own["ep"].Owns(42) {
+		t.Fatalf("Ownership() = %+v", own)
+	}
+
+	// Sentinel errors survive the wire.
+	if _, _, _, err := rp.StartMigration("nope", "joiner", metadata.FullRange); !errors.Is(err, metadata.ErrUnknownServer) {
+		t.Fatalf("StartMigration unknown source: %v", err)
+	}
+
+	// The atomic transition: remap + bump + register, observed remotely.
+	rng := metadata.HashRange{Start: 1 << 62, End: 1 << 63}
+	mig, sv, tv, err := rp.StartMigration("ep", "joiner", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Number != 2 || tv.Number != 2 {
+		t.Fatalf("post-migration views #%d/#%d, want #2/#2", sv.Number, tv.Number)
+	}
+	if got := rp.PendingMigrationsFor("joiner"); len(got) != 1 || got[0].ID != mig.ID {
+		t.Fatalf("PendingMigrationsFor = %+v", got)
+	}
+	if m, err := rp.GetMigration(mig.ID); err != nil || m.Range != rng {
+		t.Fatalf("GetMigration = %+v, %v", m, err)
+	}
+	if err := rp.MarkMigrationDone(mig.ID, "ep"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.MarkMigrationDone(mig.ID, "joiner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.CancelMigration(mig.ID); !errors.Is(err, metadata.ErrMigrationDone) {
+		t.Fatalf("cancel of complete migration: %v", err)
+	}
+	if err := rp.CollectMigration(mig.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := rp.Migrations(); len(got) != 0 {
+		t.Fatalf("Migrations() after collect = %+v", got)
+	}
+
+	// Watch: a store-side change must produce a token via the poll loop.
+	ch := rp.Watch()
+	store.SetServerAddr("joiner", "joiner-addr-2")
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watch never fired after a store mutation")
+	}
+	if addr, err := rp.ServerAddr("joiner"); err != nil || addr != "joiner-addr-2" {
+		t.Fatalf("provider did not observe the new addr: %q, %v", addr, err)
+	}
+}
+
+// TestRemoteProviderEndpointDown pins the failure mode: no endpoint, no
+// cache — reads fail with ErrMetaUnavailable instead of hanging.
+func TestRemoteProviderEndpointDown(t *testing.T) {
+	tr := transport.NewInMem(transport.Free)
+	rp := ctlplane.NewRemoteProvider(tr, "nowhere", ctlplane.RemoteOptions{Timeout: 50 * time.Millisecond})
+	defer rp.Close()
+	if _, err := rp.GetView("x"); !errors.Is(err, ctlplane.ErrMetaUnavailable) {
+		t.Fatalf("GetView with endpoint down: %v", err)
+	}
+	if _, err := rp.ServerAddr("x"); !errors.Is(err, ctlplane.ErrMetaUnavailable) {
+		t.Fatalf("ServerAddr with endpoint down: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package ctlplane
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestSplitPointMedian(t *testing.T) {
+	st := wire.StatsResp{
+		Ranges: []wire.Range{{Start: 0, End: 1000}},
+	}
+	for i := uint64(0); i < 100; i++ {
+		st.HashSample = append(st.HashSample, i*10)
+	}
+	rng, reason := splitPoint(st, 16)
+	if reason != "" {
+		t.Fatalf("no split: %s", reason)
+	}
+	if rng.End != 1000 {
+		t.Fatalf("split range end = %d, want the owned range's end", rng.End)
+	}
+	if rng.Start < 400 || rng.Start > 600 {
+		t.Fatalf("split at %d, want near the sample median 500", rng.Start)
+	}
+}
+
+func TestSplitPointPicksHottestRange(t *testing.T) {
+	st := wire.StatsResp{
+		Ranges: []wire.Range{{Start: 0, End: 1000}, {Start: 5000, End: 6000}},
+	}
+	// Load concentrated in the second range.
+	for i := uint64(0); i < 4; i++ {
+		st.HashSample = append(st.HashSample, i*100)
+	}
+	for i := uint64(0); i < 64; i++ {
+		st.HashSample = append(st.HashSample, 5000+i*10)
+	}
+	rng, reason := splitPoint(st, 16)
+	if reason != "" {
+		t.Fatalf("no split: %s", reason)
+	}
+	if rng.Start < 5000 || rng.End != 6000 {
+		t.Fatalf("split %v, want inside the hot range [5000,6000)", rng)
+	}
+}
+
+func TestSplitPointGuards(t *testing.T) {
+	// Too few samples.
+	st := wire.StatsResp{
+		Ranges:     []wire.Range{{Start: 0, End: 1000}},
+		HashSample: []uint64{1, 2, 3},
+	}
+	if _, reason := splitPoint(st, 16); reason == "" {
+		t.Fatal("expected a too-few-samples refusal")
+	}
+	// No owned ranges.
+	if _, reason := splitPoint(wire.StatsResp{}, 1); reason == "" {
+		t.Fatal("expected an owns-no-ranges refusal")
+	}
+	// Degenerate distribution: every sample on the range's first hash.
+	st = wire.StatsResp{Ranges: []wire.Range{{Start: 100, End: 1000}}}
+	for i := 0; i < 32; i++ {
+		st.HashSample = append(st.HashSample, 100)
+	}
+	if _, reason := splitPoint(st, 16); reason == "" {
+		t.Fatal("expected a nothing-to-split refusal")
+	}
+	// Median on the first hash but distinct samples above it: split must
+	// land strictly inside the range.
+	st.HashSample = append(st.HashSample[:20], 500, 600, 700)
+	rng, reason := splitPoint(st, 16)
+	if reason != "" {
+		t.Fatalf("no split: %s", reason)
+	}
+	if rng.Start <= 100 || rng.End != 1000 {
+		t.Fatalf("split %v, want strictly inside (100,1000)", rng)
+	}
+}

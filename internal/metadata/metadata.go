@@ -89,6 +89,7 @@ type Store struct {
 	addrs      map[string]string
 	migrations map[uint64]*MigrationState
 	nextMigID  uint64
+	revision   uint64
 	watchers   []chan struct{}
 }
 
@@ -321,7 +322,31 @@ func (s *Store) CollectMigration(id uint64) error {
 		return fmt.Errorf("metadata: migration %d still in flight", id)
 	}
 	delete(s.migrations, id)
+	s.notifyLocked()
 	return nil
+}
+
+// Migrations returns every uncollected migration record (in-flight,
+// complete-but-uncollected, and cancelled), sorted by ID. Remote providers
+// mirror this list so migration state is observable across processes.
+func (s *Store) Migrations() []MigrationState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]MigrationState, 0, len(s.migrations))
+	for _, m := range s.migrations {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Revision returns a counter that increases with every metadata change.
+// Pollers (the remote provider's watch loop) compare revisions to detect
+// staleness without diffing whole snapshots.
+func (s *Store) Revision() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.revision
 }
 
 // Watch returns a channel that receives a token after every metadata
@@ -335,6 +360,7 @@ func (s *Store) Watch() <-chan struct{} {
 }
 
 func (s *Store) notifyLocked() {
+	s.revision++
 	for _, ch := range s.watchers {
 		select {
 		case ch <- struct{}{}:

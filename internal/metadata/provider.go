@@ -1,0 +1,43 @@
+package metadata
+
+// Provider is the metadata-access surface servers, clients and the CLI
+// program against. The in-process *Store is the canonical implementation
+// (and the state of record: exactly one Store backs a deployment); the
+// remote provider in internal/ctlplane implements the same interface over
+// MsgMeta* RPCs against a designated metadata endpoint, so out-of-process
+// participants observe the same live ownership views.
+//
+// Semantics are those documented on Store: linearizable updates, atomic
+// multi-key transitions (StartMigration), client-visible reads. Remote
+// implementations forward every mutation to the single backing Store, which
+// is where linearization happens.
+type Provider interface {
+	// Addressing.
+	SetServerAddr(id, addr string)
+	ServerAddr(id string) (string, error)
+
+	// Ownership views.
+	RegisterServer(id string, ranges ...HashRange) View
+	RestoreServer(id string, v View) View
+	GetView(id string) (View, error)
+	Servers() []string
+	OwnerOf(h uint64) (string, View, error)
+	Ownership() map[string]View
+
+	// Migration dependencies (§3.3.1).
+	StartMigration(source, target string, rng HashRange) (MigrationState, View, View, error)
+	MarkMigrationDone(id uint64, server string) error
+	CancelMigration(id uint64) error
+	GetMigration(id uint64) (MigrationState, error)
+	PendingMigrationsFor(server string) []MigrationState
+	Migrations() []MigrationState
+	CollectMigration(id uint64) error
+
+	// Change observation. Revision is a counter bumped by every mutation
+	// (remote implementations poll it to detect staleness); Watch returns a
+	// channel that receives a token after every observed change.
+	Revision() uint64
+	Watch() <-chan struct{}
+}
+
+var _ Provider = (*Store)(nil)

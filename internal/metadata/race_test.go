@@ -1,0 +1,182 @@
+package metadata
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCancelMigrationEdgeCases pins the cancellation contract (§3.3.1):
+// unknown migrations are reported, cancellation is idempotent, a migration
+// with both completion flags set can no longer be cancelled, and a
+// partially-done migration still can.
+func TestCancelMigrationEdgeCases(t *testing.T) {
+	s := NewStore()
+	s.RegisterServer("src", FullRange)
+	s.RegisterServer("dst")
+
+	if err := s.CancelMigration(99); !errors.Is(err, ErrUnknownMigration) {
+		t.Fatalf("cancel of unknown migration: got %v", err)
+	}
+
+	rng := HashRange{Start: 1 << 62, End: 1 << 63}
+	mig, _, _, err := s.StartMigration("src", "dst", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One side done: still cancellable, and idempotently so.
+	if err := s.MarkMigrationDone(mig.ID, "src"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CancelMigration(mig.ID); err != nil {
+		t.Fatalf("cancel with one side done: %v", err)
+	}
+	if err := s.CancelMigration(mig.ID); err != nil {
+		t.Fatalf("second cancel not idempotent: %v", err)
+	}
+	m, err := s.GetMigration(mig.ID)
+	if err != nil || !m.Cancelled {
+		t.Fatalf("migration not marked cancelled: %+v %v", m, err)
+	}
+	// Ownership is back with the source, both views bumped past the
+	// migration's increments.
+	owner, v, err := s.OwnerOf(rng.Start)
+	if err != nil || owner != "src" {
+		t.Fatalf("owner after cancel: %s %v", owner, err)
+	}
+	if v.Number != 3 { // register=1, migration=2, cancel=3
+		t.Fatalf("source view after cancel = %d, want 3", v.Number)
+	}
+
+	// A collected cancelled migration disappears.
+	if err := s.CollectMigration(mig.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetMigration(mig.ID); !errors.Is(err, ErrUnknownMigration) {
+		t.Fatalf("collected migration still visible: %v", err)
+	}
+
+	// Fully-complete migrations refuse cancellation.
+	mig2, _, _, err := s.StartMigration("src", "dst", HashRange{Start: 1, End: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MarkMigrationDone(mig2.ID, "src")
+	s.MarkMigrationDone(mig2.ID, "dst")
+	if err := s.CancelMigration(mig2.ID); !errors.Is(err, ErrMigrationDone) {
+		t.Fatalf("cancel of complete migration: got %v", err)
+	}
+}
+
+// TestCancelAndRestoreUnderConcurrentReaders drives StartMigration /
+// CancelMigration / RestoreServer mutations while reader goroutines hammer
+// OwnerOf, Ownership, GetView, Migrations and Watch. Run under -race this
+// pins the store's locking; the invariant checked throughout is that every
+// hash always has exactly one owner (cancellation atomically returns the
+// range, so no reader may ever observe it unowned).
+func TestCancelAndRestoreUnderConcurrentReaders(t *testing.T) {
+	s := NewStore()
+	s.RegisterServer("src", FullRange)
+	s.RegisterServer("dst")
+	s.SetServerAddr("src", "src-addr")
+	s.SetServerAddr("dst", "dst-addr")
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	probe := []uint64{0, 1 << 61, 1 << 62, 1<<62 + 1<<61, ^uint64(0) - 1}
+
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			watch := s.Watch()
+			for !stop.Load() {
+				for _, h := range probe {
+					owner, v, err := s.OwnerOf(h)
+					if err != nil {
+						t.Errorf("hash %#x unowned: %v", h, err)
+						return
+					}
+					if !v.Owns(h) {
+						t.Errorf("owner %s view does not cover %#x", owner, h)
+						return
+					}
+				}
+				own := s.Ownership()
+				if len(own) != 2 {
+					t.Errorf("ownership has %d servers", len(own))
+					return
+				}
+				s.Migrations()
+				s.GetView("src")
+				s.Revision()
+				select {
+				case <-watch:
+				default:
+				}
+			}
+		}()
+	}
+
+	// Restorer: replays a stale view for dst; the store must keep the
+	// higher-numbered current view (never resurrecting old ownership under
+	// the readers).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			s.RestoreServer("dst", View{Number: 1})
+		}
+	}()
+
+	rng := HashRange{Start: 1 << 62, End: 1 << 63}
+	for i := 0; i < 300; i++ {
+		mig, _, _, err := s.StartMigration("src", "dst", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := s.CancelMigration(mig.ID); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			s.MarkMigrationDone(mig.ID, "src")
+			s.MarkMigrationDone(mig.ID, "dst")
+			// Undo by migrating back so the next round starts clean.
+			back, _, _, err := s.StartMigration("dst", "src", rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.MarkMigrationDone(back.ID, "dst")
+			s.MarkMigrationDone(back.ID, "src")
+			s.CollectMigration(back.ID)
+		}
+		s.CollectMigration(mig.ID)
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestRestoreServerKeepsNewerView pins the restore-vs-migration race: a
+// recovered server replaying its checkpointed (older) view must not clobber
+// ownership changes that happened while it was down.
+func TestRestoreServerKeepsNewerView(t *testing.T) {
+	s := NewStore()
+	s.RegisterServer("a", FullRange)
+	s.RegisterServer("b")
+	rng := HashRange{Start: 1 << 63, End: ^uint64(0)}
+	checkpointed, _ := s.GetView("a") // view a would have durably saved
+	if _, _, _, err := s.StartMigration("a", "b", rng); err != nil {
+		t.Fatal(err)
+	}
+	// "a" restarts and replays its stale checkpoint.
+	got := s.RestoreServer("a", checkpointed)
+	if got.Number != 2 {
+		t.Fatalf("restore returned view %d, want the current 2", got.Number)
+	}
+	if owner, _, err := s.OwnerOf(rng.Start); err != nil || owner != "b" {
+		t.Fatalf("migrated range reverted to %q (%v), want b", owner, err)
+	}
+}

@@ -38,6 +38,38 @@ func fuzzSeeds() [][]byte {
 		Type: MsgCompacted, SourceID: "s2", RangeStart: 1, RangeEnd: 2,
 		Records: []MigrationRecord{{Hash: 1, Key: []byte("relocated"), Value: []byte("v")}},
 	})
+	metaSnap := EncodeMetaReq(&MetaReq{Op: MetaOpSnapshot})
+	metaStart := EncodeMetaReq(&MetaReq{
+		Op: MetaOpStartMigration, ServerID: "s1", Target: "s2",
+		RangeStart: 1 << 62, RangeEnd: 1 << 63,
+	})
+	metaRestore := EncodeMetaReq(&MetaReq{
+		Op: MetaOpRestore, ServerID: "s1", ViewNumber: 7,
+		Ranges: []Range{{Start: 0, End: 1 << 62}},
+	})
+	metaResp := EncodeMetaResp(&MetaResp{
+		OK: true, Revision: 42,
+		MigValid: true,
+		Migration: MetaMigration{ID: 3, Source: "s1", Target: "s2",
+			RangeStart: 100, RangeEnd: 900, SourceDone: true},
+		Servers: []MetaServer{
+			{ID: "s1", Addr: "127.0.0.1:7777", ViewNumber: 4,
+				Ranges: []Range{{Start: 0, End: 1 << 62}}},
+			{ID: "s2", ViewNumber: 2},
+		},
+		Migrations: []MetaMigration{
+			{ID: 3, Source: "s1", Target: "s2", RangeStart: 100, RangeEnd: 900},
+		},
+	})
+	metaErrResp := EncodeMetaResp(&MetaResp{
+		ErrCode: MetaErrUnknownServer, Err: "metadata: unknown server",
+	})
+	balStatus := EncodeBalanceStatusResp(&BalanceStatusResp{
+		Enabled: true, Passes: 12, Triggered: 1, CooldownMs: 9500,
+		Last: RebalanceResp{OK: true, Acted: true, Source: "s1", Target: "s2",
+			RangeStart: 1 << 62, RangeEnd: ^uint64(0), Reason: "split at load median"},
+		Rates: []ServerRate{{ID: "s1", MilliOps: 1_200_000}, {ID: "s2", MilliOps: 45_000}},
+	})
 	return [][]byte{
 		req, resp, rej, mig, compacted,
 		EncodeMigrate(MigrateCmd{Target: "s2", RangeStart: 10, RangeEnd: 20}),
@@ -55,7 +87,17 @@ func fuzzSeeds() [][]byte {
 			Ranges:       []Range{{Start: 0, End: 1 << 62}, {Start: 1 << 63, End: ^uint64(0)}},
 			OpsCompleted: 1000, BatchesAccepted: 10, BatchesRejected: 1,
 			PendingOps: 5, Checkpoints: 2, CompactReclaimedBytes: 1 << 20,
+			LogBytes: 1 << 24, BalancePasses: 12, BalanceMigrations: 1,
+			HashSample: []uint64{1 << 10, 1 << 40, ^uint64(0)},
 		}),
+		metaSnap, metaStart, metaRestore, metaResp, metaErrResp,
+		EncodeRebalanceReq(),
+		EncodeRebalanceResp(RebalanceResp{OK: true, Acted: true, Source: "s1",
+			Target: "s2", RangeStart: 1 << 62, RangeEnd: ^uint64(0),
+			Reason: "s1 hot"}),
+		EncodeRebalanceResp(RebalanceResp{Err: "balancer not enabled"}),
+		EncodeBalanceStatusReq(),
+		balStatus,
 	}
 }
 
@@ -133,6 +175,41 @@ func FuzzDecode(f *testing.F) {
 				t.Fatal("stats resp round trip not canonical")
 			}
 		}
+		if r, err := DecodeMetaReq(buf); err == nil {
+			re := EncodeMetaReq(&r)
+			r2, err := DecodeMetaReq(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded meta req failed: %v", err)
+			}
+			if !bytes.Equal(EncodeMetaReq(&r2), re) {
+				t.Fatal("meta req round trip not canonical")
+			}
+		}
+		if r, err := DecodeMetaResp(buf); err == nil {
+			re := EncodeMetaResp(&r)
+			r2, err := DecodeMetaResp(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded meta resp failed: %v", err)
+			}
+			if !bytes.Equal(EncodeMetaResp(&r2), re) {
+				t.Fatal("meta resp round trip not canonical")
+			}
+		}
+		if r, err := DecodeRebalanceResp(buf); err == nil {
+			if r2, err := DecodeRebalanceResp(EncodeRebalanceResp(r)); err != nil || r2 != r {
+				t.Fatalf("rebalance resp round trip: %v", err)
+			}
+		}
+		if r, err := DecodeBalanceStatusResp(buf); err == nil {
+			re := EncodeBalanceStatusResp(&r)
+			r2, err := DecodeBalanceStatusResp(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded balance status failed: %v", err)
+			}
+			if !bytes.Equal(EncodeBalanceStatusResp(&r2), re) {
+				t.Fatal("balance status round trip not canonical")
+			}
+		}
 	})
 }
 
@@ -193,6 +270,43 @@ func TestDecodeCountGuards(t *testing.T) {
 	if _, err := DecodeMigrationMsg(hm); err == nil {
 		t.Fatal("migration msg with absurd record count accepted")
 	}
+
+	// MsgMetaReq: an absurd range count must be rejected before allocation.
+	hq := EncodeMetaReq(&MetaReq{Op: MetaOpRegister, ServerID: "s1"})
+	hq = hq[:len(hq)-4] // strip the honest zero range count
+	hq = appendU32(hq, 0xFFFFFFFF)
+	if _, err := DecodeMetaReq(hq); err == nil {
+		t.Fatal("meta req with absurd range count accepted")
+	}
+
+	// MsgMetaResp: absurd server and migration counts.
+	base := EncodeMetaResp(&MetaResp{OK: true})
+	hsrv := append([]byte(nil), base[:len(base)-8]...) // strip both zero counts
+	hsrv = appendU32(hsrv, 0xFFFFFFFF)                 // server count
+	if _, err := DecodeMetaResp(hsrv); err == nil {
+		t.Fatal("meta resp with absurd server count accepted")
+	}
+	hmig := append([]byte(nil), base[:len(base)-4]...) // strip migration count
+	hmig = appendU32(hmig, 0xFFFFFFFF)
+	if _, err := DecodeMetaResp(hmig); err == nil {
+		t.Fatal("meta resp with absurd migration count accepted")
+	}
+
+	// MsgStatsResp: absurd hash-sample count.
+	hs := EncodeStatsResp(StatsResp{ServerID: "s1"})
+	hs = hs[:len(hs)-4] // strip the zero sample count
+	hs = appendU32(hs, 0xFFFFFFFF)
+	if _, err := DecodeStatsResp(hs); err == nil {
+		t.Fatal("stats resp with absurd sample count accepted")
+	}
+
+	// MsgBalanceStatusResp: absurd rate count.
+	hb := EncodeBalanceStatusResp(&BalanceStatusResp{Enabled: true})
+	hb = hb[:len(hb)-4] // strip the zero rate count
+	hb = appendU32(hb, 0xFFFFFFFF)
+	if _, err := DecodeBalanceStatusResp(hb); err == nil {
+		t.Fatal("balance status resp with absurd rate count accepted")
+	}
 }
 
 // TestFuzzSeedsDecode keeps the seed corpus honest: every seed must decode
@@ -237,6 +351,20 @@ func TestFuzzSeedsDecode(t *testing.T) {
 		case MsgStatsResp:
 			r, err := DecodeStatsResp(seed)
 			ok = err == nil && bytes.Equal(EncodeStatsResp(r), seed)
+		case MsgMetaReq:
+			r, err := DecodeMetaReq(seed)
+			ok = err == nil && bytes.Equal(EncodeMetaReq(&r), seed)
+		case MsgMetaResp:
+			r, err := DecodeMetaResp(seed)
+			ok = err == nil && bytes.Equal(EncodeMetaResp(&r), seed)
+		case MsgRebalance, MsgBalanceStatus:
+			ok = true // bare request frames
+		case MsgRebalanceResp:
+			r, err := DecodeRebalanceResp(seed)
+			ok = err == nil && bytes.Equal(EncodeRebalanceResp(r), seed)
+		case MsgBalanceStatusResp:
+			r, err := DecodeBalanceStatusResp(seed)
+			ok = err == nil && bytes.Equal(EncodeBalanceStatusResp(&r), seed)
 		}
 		if !ok {
 			t.Fatalf("seed %d (type %d) does not decode", i, typ)

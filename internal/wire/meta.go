@@ -1,0 +1,547 @@
+package wire
+
+import "fmt"
+
+// Control-plane frames for the elastic metadata service and the load
+// balancer. A designated metadata endpoint (any server backed by the local
+// in-process metadata store) serves MsgMetaReq so out-of-process servers,
+// clients and the CLI all observe the same live ownership views; MsgRebalance
+// and MsgBalanceStatus drive and inspect the automatic scale-out balancer.
+
+// Additional frame types (continuing the MsgType enum in wire.go).
+const (
+	// MsgMetaReq is a metadata-service request: one read (snapshot) or one
+	// linearizable mutation against the designated metadata endpoint.
+	MsgMetaReq MsgType = iota + 18
+	// MsgMetaResp answers MsgMetaReq; every response carries a full snapshot
+	// so the caller's cache is refreshed by any round trip.
+	MsgMetaResp
+	// MsgRebalance asks a balancer-enabled server to run one planning pass
+	// now (admin).
+	MsgRebalance
+	// MsgRebalanceResp reports the pass's decision.
+	MsgRebalanceResp
+	// MsgBalanceStatus asks a server for its balancer status (admin).
+	MsgBalanceStatus
+	// MsgBalanceStatusResp answers MsgBalanceStatus.
+	MsgBalanceStatusResp
+)
+
+// MetaOp selects the metadata-service operation inside a MsgMetaReq.
+type MetaOp uint8
+
+// Metadata-service operations. Each maps 1:1 onto a metadata.Provider
+// method; MetaOpSnapshot is the pure read the remote provider polls with.
+const (
+	MetaOpSnapshot MetaOp = iota + 1
+	MetaOpSetAddr
+	MetaOpRegister
+	MetaOpRestore
+	MetaOpStartMigration
+	MetaOpMarkDone
+	MetaOpCancel
+	MetaOpCollect
+)
+
+// MetaErr is a machine-readable error class inside a MsgMetaResp, so the
+// remote provider can surface the metadata package's sentinel errors across
+// the wire.
+type MetaErr uint8
+
+// Metadata-service error classes.
+const (
+	MetaErrNone MetaErr = iota
+	MetaErrUnknownServer
+	MetaErrNotOwner
+	MetaErrOverlap
+	MetaErrUnknownMigration
+	MetaErrMigrationDone
+	MetaErrOther
+)
+
+// MetaReq is one metadata-service call. Fields are a union over the ops:
+// ServerID/Addr/Ranges for registration, ServerID/Target/RangeStart/End for
+// StartMigration, MigrationID/ServerID for migration-state transitions,
+// ViewNumber/Ranges for Restore.
+type MetaReq struct {
+	Op          MetaOp
+	ServerID    string
+	Target      string
+	Addr        string
+	MigrationID uint64
+	ViewNumber  uint64
+	RangeStart  uint64
+	RangeEnd    uint64
+	Ranges      []Range
+}
+
+// MetaServer is one server's entry in a metadata snapshot.
+type MetaServer struct {
+	ID         string
+	Addr       string
+	ViewNumber uint64
+	Ranges     []Range
+}
+
+// MetaMigration is one uncollected migration's record in a snapshot.
+type MetaMigration struct {
+	ID             uint64
+	Source, Target string
+	RangeStart     uint64
+	RangeEnd       uint64
+	SourceDone     bool
+	TargetDone     bool
+	Cancelled      bool
+}
+
+// MetaResp answers a MetaReq. OK/ErrCode/Err report the mutation's outcome;
+// Migration carries the record StartMigration created (MigValid set); the
+// snapshot (Revision, Servers, Migrations) rides on every response so one
+// round trip always refreshes the caller's whole cache.
+type MetaResp struct {
+	OK      bool
+	ErrCode MetaErr
+	Err     string
+
+	MigValid  bool
+	Migration MetaMigration
+
+	Revision   uint64
+	Servers    []MetaServer
+	Migrations []MetaMigration
+}
+
+// EncodeMetaReq builds a MsgMetaReq frame.
+func EncodeMetaReq(r *MetaReq) []byte {
+	dst := []byte{byte(MsgMetaReq), byte(r.Op)}
+	dst = appendString(dst, r.ServerID)
+	dst = appendString(dst, r.Target)
+	dst = appendString(dst, r.Addr)
+	dst = appendU64(dst, r.MigrationID)
+	dst = appendU64(dst, r.ViewNumber)
+	dst = appendU64(dst, r.RangeStart)
+	dst = appendU64(dst, r.RangeEnd)
+	dst = appendU32(dst, uint32(len(r.Ranges)))
+	for _, rng := range r.Ranges {
+		dst = appendU64(dst, rng.Start)
+		dst = appendU64(dst, rng.End)
+	}
+	return dst
+}
+
+// DecodeMetaReq parses a MsgMetaReq frame.
+func DecodeMetaReq(buf []byte) (MetaReq, error) {
+	d := decoder{buf: buf}
+	var r MetaReq
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgMetaReq {
+		return r, fmt.Errorf("%w: meta req", ErrBadType)
+	}
+	op, err := d.u8()
+	if err != nil {
+		return r, err
+	}
+	r.Op = MetaOp(op)
+	if r.ServerID, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.Target, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.Addr, err = d.str(); err != nil {
+		return r, err
+	}
+	for _, p := range []*uint64{&r.MigrationID, &r.ViewNumber, &r.RangeStart, &r.RangeEnd} {
+		if *p, err = d.u64(); err != nil {
+			return r, err
+		}
+	}
+	if r.Ranges, err = decodeRanges(&d); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// appendMetaMigration encodes one migration record (shared by the Migration
+// field and the Migrations list).
+func appendMetaMigration(dst []byte, m *MetaMigration) []byte {
+	dst = appendU64(dst, m.ID)
+	var flags uint8
+	if m.SourceDone {
+		flags |= 1
+	}
+	if m.TargetDone {
+		flags |= 2
+	}
+	if m.Cancelled {
+		flags |= 4
+	}
+	dst = append(dst, flags)
+	dst = appendU64(dst, m.RangeStart)
+	dst = appendU64(dst, m.RangeEnd)
+	dst = appendString(dst, m.Source)
+	dst = appendString(dst, m.Target)
+	return dst
+}
+
+// metaMigrationMinBytes is the smallest encoding of one migration record
+// (id + flags + range + two empty strings); count-guard denominator.
+const metaMigrationMinBytes = 8 + 1 + 8 + 8 + 2 + 2
+
+func decodeMetaMigration(d *decoder) (MetaMigration, error) {
+	var m MetaMigration
+	var err error
+	if m.ID, err = d.u64(); err != nil {
+		return m, err
+	}
+	flags, err := d.u8()
+	if err != nil {
+		return m, err
+	}
+	m.SourceDone = flags&1 != 0
+	m.TargetDone = flags&2 != 0
+	m.Cancelled = flags&4 != 0
+	if m.RangeStart, err = d.u64(); err != nil {
+		return m, err
+	}
+	if m.RangeEnd, err = d.u64(); err != nil {
+		return m, err
+	}
+	if m.Source, err = d.str(); err != nil {
+		return m, err
+	}
+	if m.Target, err = d.str(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// EncodeMetaResp builds a MsgMetaResp frame.
+func EncodeMetaResp(r *MetaResp) []byte {
+	dst := []byte{byte(MsgMetaResp)}
+	dst = appendBool(dst, r.OK)
+	dst = append(dst, byte(r.ErrCode))
+	dst = appendString(dst, r.Err)
+	dst = appendBool(dst, r.MigValid)
+	dst = appendMetaMigration(dst, &r.Migration)
+	dst = appendU64(dst, r.Revision)
+	dst = appendU32(dst, uint32(len(r.Servers)))
+	for i := range r.Servers {
+		s := &r.Servers[i]
+		dst = appendString(dst, s.ID)
+		dst = appendString(dst, s.Addr)
+		dst = appendU64(dst, s.ViewNumber)
+		dst = appendU32(dst, uint32(len(s.Ranges)))
+		for _, rng := range s.Ranges {
+			dst = appendU64(dst, rng.Start)
+			dst = appendU64(dst, rng.End)
+		}
+	}
+	dst = appendU32(dst, uint32(len(r.Migrations)))
+	for i := range r.Migrations {
+		dst = appendMetaMigration(dst, &r.Migrations[i])
+	}
+	return dst
+}
+
+// DecodeMetaResp parses a MsgMetaResp frame.
+func DecodeMetaResp(buf []byte) (MetaResp, error) {
+	d := decoder{buf: buf}
+	var r MetaResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgMetaResp {
+		return r, fmt.Errorf("%w: meta resp", ErrBadType)
+	}
+	var err error
+	if r.OK, err = d.bool(); err != nil {
+		return r, err
+	}
+	ec, err := d.u8()
+	if err != nil {
+		return r, err
+	}
+	r.ErrCode = MetaErr(ec)
+	if r.Err, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.MigValid, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.Migration, err = decodeMetaMigration(&d); err != nil {
+		return r, err
+	}
+	if r.Revision, err = d.u64(); err != nil {
+		return r, err
+	}
+	nsrv, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	// Each server entry encodes to at least 16 bytes (two empty strings +
+	// view number + range count); a count the remaining frame cannot hold is
+	// a corrupt or hostile frame, not an allocation request.
+	if uint64(nsrv) > uint64(d.remaining())/16 {
+		return r, ErrShortFrame
+	}
+	if nsrv > 0 {
+		r.Servers = make([]MetaServer, nsrv)
+	}
+	for i := range r.Servers {
+		s := &r.Servers[i]
+		if s.ID, err = d.str(); err != nil {
+			return r, err
+		}
+		if s.Addr, err = d.str(); err != nil {
+			return r, err
+		}
+		if s.ViewNumber, err = d.u64(); err != nil {
+			return r, err
+		}
+		if s.Ranges, err = decodeRanges(&d); err != nil {
+			return r, err
+		}
+	}
+	nmig, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	if uint64(nmig) > uint64(d.remaining())/metaMigrationMinBytes {
+		return r, ErrShortFrame
+	}
+	if nmig > 0 {
+		r.Migrations = make([]MetaMigration, nmig)
+	}
+	for i := range r.Migrations {
+		if r.Migrations[i], err = decodeMetaMigration(&d); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// RebalanceResp reports one balancer planning pass: whether it acted, the
+// migration it triggered (Source/Target/Range), and the human-readable
+// reason either way.
+type RebalanceResp struct {
+	OK     bool
+	Err    string // failure detail when !OK (e.g. balancer not enabled)
+	Acted  bool
+	Source string
+	Target string
+	RangeStart,
+	RangeEnd uint64
+	Reason string
+}
+
+// EncodeRebalanceReq builds a MsgRebalance frame.
+func EncodeRebalanceReq() []byte {
+	return []byte{byte(MsgRebalance)}
+}
+
+// EncodeRebalanceResp builds a MsgRebalanceResp frame.
+func EncodeRebalanceResp(r RebalanceResp) []byte {
+	dst := []byte{byte(MsgRebalanceResp)}
+	dst = appendBool(dst, r.OK)
+	dst = appendString(dst, r.Err)
+	dst = appendBool(dst, r.Acted)
+	dst = appendString(dst, r.Source)
+	dst = appendString(dst, r.Target)
+	dst = appendU64(dst, r.RangeStart)
+	dst = appendU64(dst, r.RangeEnd)
+	dst = appendString(dst, r.Reason)
+	return dst
+}
+
+// DecodeRebalanceResp parses a MsgRebalanceResp frame.
+func DecodeRebalanceResp(buf []byte) (RebalanceResp, error) {
+	d := decoder{buf: buf}
+	var r RebalanceResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgRebalanceResp {
+		return r, fmt.Errorf("%w: rebalance resp", ErrBadType)
+	}
+	var err error
+	if r.OK, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.Err, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.Acted, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.Source, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.Target, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.RangeStart, err = d.u64(); err != nil {
+		return r, err
+	}
+	if r.RangeEnd, err = d.u64(); err != nil {
+		return r, err
+	}
+	if r.Reason, err = d.str(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ServerRate is one server's observed load inside a BalanceStatusResp.
+// MilliOps is the ops/sec rate in thousandths, so the wire stays integer.
+type ServerRate struct {
+	ID       string
+	MilliOps uint64
+}
+
+// BalanceStatusResp is a balancer-enabled server's status snapshot: counters,
+// remaining cooldown, the last planning decision, and the per-server load
+// rates the next decision will be based on.
+type BalanceStatusResp struct {
+	Enabled    bool
+	Passes     uint64
+	Triggered  uint64
+	CooldownMs uint64 // remaining cooldown, milliseconds
+	Last       RebalanceResp
+	Rates      []ServerRate
+}
+
+// EncodeBalanceStatusReq builds a MsgBalanceStatus frame.
+func EncodeBalanceStatusReq() []byte {
+	return []byte{byte(MsgBalanceStatus)}
+}
+
+// EncodeBalanceStatusResp builds a MsgBalanceStatusResp frame.
+func EncodeBalanceStatusResp(r *BalanceStatusResp) []byte {
+	dst := []byte{byte(MsgBalanceStatusResp)}
+	dst = appendBool(dst, r.Enabled)
+	dst = appendU64(dst, r.Passes)
+	dst = appendU64(dst, r.Triggered)
+	dst = appendU64(dst, r.CooldownMs)
+	last := r.Last
+	dst = appendBool(dst, last.Acted)
+	dst = appendString(dst, last.Source)
+	dst = appendString(dst, last.Target)
+	dst = appendU64(dst, last.RangeStart)
+	dst = appendU64(dst, last.RangeEnd)
+	dst = appendString(dst, last.Reason)
+	dst = appendU32(dst, uint32(len(r.Rates)))
+	for i := range r.Rates {
+		dst = appendString(dst, r.Rates[i].ID)
+		dst = appendU64(dst, r.Rates[i].MilliOps)
+	}
+	return dst
+}
+
+// DecodeBalanceStatusResp parses a MsgBalanceStatusResp frame.
+func DecodeBalanceStatusResp(buf []byte) (BalanceStatusResp, error) {
+	d := decoder{buf: buf}
+	var r BalanceStatusResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgBalanceStatusResp {
+		return r, fmt.Errorf("%w: balance status resp", ErrBadType)
+	}
+	var err error
+	if r.Enabled, err = d.bool(); err != nil {
+		return r, err
+	}
+	for _, p := range []*uint64{&r.Passes, &r.Triggered, &r.CooldownMs} {
+		if *p, err = d.u64(); err != nil {
+			return r, err
+		}
+	}
+	if r.Last.Acted, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.Last.Source, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.Last.Target, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.Last.RangeStart, err = d.u64(); err != nil {
+		return r, err
+	}
+	if r.Last.RangeEnd, err = d.u64(); err != nil {
+		return r, err
+	}
+	if r.Last.Reason, err = d.str(); err != nil {
+		return r, err
+	}
+	n, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	// Each rate entry encodes to at least 10 bytes (empty id + rate).
+	if uint64(n) > uint64(d.remaining())/10 {
+		return r, ErrShortFrame
+	}
+	if n > 0 {
+		r.Rates = make([]ServerRate, n)
+	}
+	for i := range r.Rates {
+		if r.Rates[i].ID, err = d.str(); err != nil {
+			return r, err
+		}
+		if r.Rates[i].MilliOps, err = d.u64(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// decodeRanges parses a u32-counted list of 16-byte ranges with the standard
+// count guard.
+func decodeRanges(d *decoder) ([]Range, error) {
+	cnt, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each range encodes to 16 bytes.
+	if uint64(cnt) > uint64(d.remaining())/16 {
+		return nil, ErrShortFrame
+	}
+	if cnt == 0 {
+		return nil, nil
+	}
+	out := make([]Range, cnt)
+	for i := range out {
+		if out[i].Start, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if out[i].End, err = d.u64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// appendString encodes a u16-length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = appendU16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// str reads a u16-length-prefixed string.
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// bool reads a single byte as a boolean.
+func (d *decoder) bool() (bool, error) {
+	v, err := d.u8()
+	return v != 0, err
+}
+
+// appendBool encodes a boolean as one byte.
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}

@@ -611,6 +611,21 @@ type StatsResp struct {
 	CompactReclaimedBytes uint64
 
 	StorePendingReads uint64 // pending storage I/Os the store has issued
+
+	// LogBytes is the server's HybridLog footprint (tail − begin), the
+	// balancer's per-server space-accounting input.
+	LogBytes uint64
+	// BalancePasses / BalanceMigrations count the hosted balancer's planning
+	// passes and the migrations it triggered (zero unless the server runs
+	// the auto-scale balancer).
+	BalancePasses     uint64
+	BalanceMigrations uint64
+
+	// HashSample is a snapshot of recently served key hashes, drawn from the
+	// dispatchers' per-thread sampling rings. The balancer derives both the
+	// per-hash-range load split and the migration split point from this
+	// distribution (hot keys appear proportionally more often).
+	HashSample []uint64
 }
 
 // EncodeStatsReq builds a MsgStats frame.
@@ -635,8 +650,13 @@ func EncodeStatsResp(r StatsResp) []byte {
 		r.Checkpoints, r.CheckpointFailures,
 		r.Compactions, r.CompactionFailures, r.CompactRelocated,
 		r.CompactReclaimedBytes, r.StorePendingReads,
+		r.LogBytes, r.BalancePasses, r.BalanceMigrations,
 	} {
 		dst = appendU64(dst, v)
+	}
+	dst = appendU32(dst, uint32(len(r.HashSample)))
+	for _, h := range r.HashSample {
+		dst = appendU64(dst, h)
 	}
 	return dst
 }
@@ -685,12 +705,29 @@ func DecodeStatsResp(buf []byte) (StatsResp, error) {
 		&r.Checkpoints, &r.CheckpointFailures,
 		&r.Compactions, &r.CompactionFailures, &r.CompactRelocated,
 		&r.CompactReclaimedBytes, &r.StorePendingReads,
+		&r.LogBytes, &r.BalancePasses, &r.BalanceMigrations,
 	} {
 		if *p, err = d.u64(); err != nil {
 			return r, err
 		}
 	}
 	r.PendingOps = int64(pend)
+	scnt, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	// Each sampled hash encodes to 8 bytes (count guard as above).
+	if uint64(scnt) > uint64(d.remaining())/8 {
+		return r, ErrShortFrame
+	}
+	if scnt > 0 {
+		r.HashSample = make([]uint64, scnt)
+	}
+	for i := range r.HashSample {
+		if r.HashSample[i], err = d.u64(); err != nil {
+			return r, err
+		}
+	}
 	return r, nil
 }
 

@@ -68,3 +68,29 @@ func (a *Admin) Stats(ctx context.Context, serverID string) (ServerStats, error)
 	}
 	return serverStatsFromWire(resp), nil
 }
+
+// Rebalance asks serverID's hosted balancer (WithAutoScale) to run one
+// planning pass now and returns its decision — which may be "no action"
+// with the reason. A server without a balancer refuses with ErrRejected.
+func (a *Admin) Rebalance(ctx context.Context, serverID string) (RebalanceDecision, error) {
+	resp, err := a.rpc.Rebalance(ctx, serverID)
+	if err != nil {
+		if resp.Err != "" {
+			return RebalanceDecision{}, rejectionError(err)
+		}
+		return RebalanceDecision{}, err
+	}
+	return rebalanceDecisionFromWire(resp), nil
+}
+
+// BalanceStatus fetches serverID's balancer status: pass/migration
+// counters, remaining cooldown, the last planning decision, and the
+// per-server load rates the next decision will use. Enabled is false when
+// the server hosts no balancer.
+func (a *Admin) BalanceStatus(ctx context.Context, serverID string) (BalancerStatus, error) {
+	resp, err := a.rpc.BalanceStatus(ctx, serverID)
+	if err != nil {
+		return BalancerStatus{}, err
+	}
+	return balancerStatusFromWire(resp), nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/client"
+	"repro/internal/ctlplane"
 	"repro/internal/metadata"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -33,13 +34,21 @@ var (
 	NetFree = transport.Free
 )
 
-// Cluster bundles the fixtures every deployment shares: the metadata store
-// (the paper's ZooKeeper stand-in) and the transport. Servers and clients
-// are created against a Cluster; multiple servers on one Cluster form a
-// hash-partitioned deployment.
+// Cluster bundles the fixtures every deployment shares: the metadata
+// provider (the paper's ZooKeeper stand-in) and the transport. Servers and
+// clients are created against a Cluster; multiple servers on one Cluster
+// form a hash-partitioned deployment.
+//
+// By default the metadata provider is the in-process store — the state of
+// record, served to other processes over MsgMeta* RPCs by every server
+// created on this cluster. WithRemoteMetadata instead points the cluster at
+// such a metadata endpoint in another process, so multi-process deployments
+// share one set of live ownership views.
 type Cluster struct {
-	meta *metadata.Store
-	tr   Transport
+	meta     metadata.Provider
+	tr       Transport
+	metaAddr string
+	remote   *ctlplane.RemoteProvider
 }
 
 // ClusterOption configures NewCluster.
@@ -64,6 +73,17 @@ func WithTransport(tr Transport) ClusterOption {
 	return func(c *Cluster) { c.tr = tr }
 }
 
+// WithRemoteMetadata points the cluster at a metadata endpoint — a
+// shadowfax server in another process, reached over this cluster's
+// transport at addr — instead of an in-process store. Servers, clients and
+// admins created on the cluster then observe (and mutate) the endpoint's
+// live ownership views: the multi-process deployment shares one metadata
+// state of record. Call Cluster.Close when done to stop the provider's
+// background watch loop.
+func WithRemoteMetadata(addr string) ClusterOption {
+	return func(c *Cluster) { c.metaAddr = addr }
+}
+
 // NewCluster creates the shared fixtures for one deployment. The default
 // transport is in-process with the accelerated-TCP cost profile.
 func NewCluster(opts ...ClusterOption) *Cluster {
@@ -74,7 +94,24 @@ func NewCluster(opts ...ClusterOption) *Cluster {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.metaAddr != "" {
+		// Built after the options ran so the provider dials over the
+		// transport the options selected.
+		c.remote = ctlplane.NewRemoteProvider(c.tr, c.metaAddr, ctlplane.RemoteOptions{})
+		c.meta = c.remote
+	}
 	return c
+}
+
+// Close releases the cluster's control-plane resources (the remote metadata
+// provider's connection and watch loop). Servers and clients created on the
+// cluster are closed separately. Close is a no-op for fully in-process
+// clusters.
+func (c *Cluster) Close() error {
+	if c.remote != nil {
+		return c.remote.Close()
+	}
+	return nil
 }
 
 // Servers returns the ids of all servers registered in the metadata store,
@@ -83,6 +120,10 @@ func (c *Cluster) Servers() []string { return c.meta.Servers() }
 
 // View returns a server's current ownership view.
 func (c *Cluster) View(serverID string) (View, error) { return c.meta.GetView(serverID) }
+
+// Ownership returns every server's current ownership view — live cluster
+// state when the metadata provider is remote.
+func (c *Cluster) Ownership() map[string]View { return c.meta.Ownership() }
 
 // PendingMigrations returns the migrations involving serverID whose
 // dependency has not been collected yet (§3.3.1); an empty result means the

@@ -1,6 +1,7 @@
 package shadowfax
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -107,6 +108,38 @@ func WithCompaction(every time.Duration, watermark uint64) ServerOption {
 	}
 }
 
+// AutoScaleConfig tunes the hosted load balancer (WithAutoScale). Zero
+// fields take the documented defaults.
+type AutoScaleConfig struct {
+	// Every is the planning-pass period (default 1s).
+	Every time.Duration
+	// Imbalance is the hottest/coolest ops-rate ratio that arms a split
+	// (default 3.0).
+	Imbalance float64
+	// Cooldown is the hold-off after a triggered migration (default 10s).
+	Cooldown time.Duration
+	// MinOpsPerSec is the load floor below which the cluster is considered
+	// idle and never split (default 500).
+	MinOpsPerSec float64
+}
+
+// WithAutoScale hosts the elastic control plane's load balancer on this
+// server. The balancer polls every registered server's stats, and when load
+// is imbalanced past cfg.Imbalance it splits the hottest server's sampled
+// hash distribution at the load median and migrates the hot half to the
+// coolest server — the paper's scale-out (§3.3), triggered automatically.
+// Exactly one server per deployment should host the balancer. Inspect and
+// drive it with Admin.BalanceStatus / Admin.Rebalance.
+func WithAutoScale(cfg AutoScaleConfig) ServerOption {
+	return func(sc *serverConfig) {
+		sc.cfg.AutoScale = true
+		sc.cfg.AutoScaleEvery = cfg.Every
+		sc.cfg.AutoScaleImbalance = cfg.Imbalance
+		sc.cfg.AutoScaleCooldown = cfg.Cooldown
+		sc.cfg.AutoScaleMinRate = cfg.MinOpsPerSec
+	}
+}
+
 // WithSampleDuration sets how long the migration Sampling phase collects hot
 // records before ownership transfer (§3.3).
 func WithSampleDuration(d time.Duration) ServerOption {
@@ -147,6 +180,18 @@ func NewServer(cluster *Cluster, id string, opts ...ServerOption) (*Server, erro
 		return nil, err
 	}
 	cluster.meta.SetServerAddr(id, srv.Addr())
+	// Verify the address actually landed: over a remote metadata provider
+	// SetServerAddr can fail silently (the Provider signature carries no
+	// error), and a registered-but-unroutable server would break admin RPCs
+	// and the balancer with no symptom at the server itself.
+	if got, aerr := cluster.meta.ServerAddr(id); aerr != nil || got != srv.Addr() {
+		srv.Close()
+		if owned != nil {
+			owned.Close()
+		}
+		return nil, fmt.Errorf("shadowfax: registering %s's address in the metadata store failed (got %q, %v)",
+			id, got, aerr)
+	}
 	return &Server{core: srv, ownedDev: owned}, nil
 }
 

@@ -53,6 +53,15 @@ type ServerStats struct {
 	// StorePendingReads counts the pending storage I/Os the FASTER store
 	// has issued (cold reads served off the SSD path).
 	StorePendingReads uint64
+
+	// LogBytes is the server's HybridLog footprint (tail − begin address).
+	LogBytes uint64
+
+	// BalancePasses / BalanceMigrations report the hosted auto-scale
+	// balancer (zero unless the server was built WithAutoScale): planning
+	// passes run and migrations triggered.
+	BalancePasses     uint64
+	BalanceMigrations uint64
 }
 
 func serverStatsFromWire(r wire.StatsResp) ServerStats {
@@ -77,7 +86,63 @@ func serverStatsFromWire(r wire.StatsResp) ServerStats {
 		CompactReclaimedBytes: r.CompactReclaimedBytes,
 
 		StorePendingReads: r.StorePendingReads,
+
+		LogBytes:          r.LogBytes,
+		BalancePasses:     r.BalancePasses,
+		BalanceMigrations: r.BalanceMigrations,
 	}
+}
+
+// RebalanceDecision is one balancer planning pass's outcome. When Acted is
+// false, Reason explains why the pass held off (priming, cooldown, balanced
+// load, too few samples, ...).
+type RebalanceDecision struct {
+	Acted  bool
+	Source string
+	Target string
+	Range  HashRange
+	Reason string
+}
+
+func rebalanceDecisionFromWire(r wire.RebalanceResp) RebalanceDecision {
+	return RebalanceDecision{
+		Acted: r.Acted, Source: r.Source, Target: r.Target,
+		Range:  HashRange{Start: r.RangeStart, End: r.RangeEnd},
+		Reason: r.Reason,
+	}
+}
+
+// BalancerStatus is a balancer-enabled server's control-plane snapshot.
+type BalancerStatus struct {
+	// Enabled is false when the queried server hosts no balancer.
+	Enabled bool
+	// Passes / Migrations count planning passes and triggered migrations.
+	Passes     uint64
+	Migrations uint64
+	// Cooldown is the remaining hold-off after the last triggered
+	// migration (0 = armed).
+	Cooldown time.Duration
+	// Last is the most recent planning decision.
+	Last RebalanceDecision
+	// Rates is the last pass's observed per-server load (ops/sec).
+	Rates map[string]float64
+}
+
+func balancerStatusFromWire(r wire.BalanceStatusResp) BalancerStatus {
+	st := BalancerStatus{
+		Enabled:    r.Enabled,
+		Passes:     r.Passes,
+		Migrations: r.Triggered,
+		Cooldown:   time.Duration(r.CooldownMs) * time.Millisecond,
+		Last:       rebalanceDecisionFromWire(r.Last),
+	}
+	if len(r.Rates) > 0 {
+		st.Rates = make(map[string]float64, len(r.Rates))
+		for _, sr := range r.Rates {
+			st.Rates[sr.ID] = float64(sr.MilliOps) / 1000
+		}
+	}
+	return st
 }
 
 // viewFromWire rebuilds a metadata view from a stats response.
