@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/soak"
 )
 
 func main() {
@@ -42,7 +43,8 @@ func main() {
 	budgetPages := fs.Int("budget-pages", 0, "constrained memory budget for spill modes (0=mem-pages/4)")
 	mode := fs.String("mode", "", "fig10/11/12 mode: mem | indirection | rocksteady (default: all)")
 	splitsFlag := fs.String("splits", "1,2,4,8,16,32,64,256,2048", "fig15 hash split counts")
-	serversFlag := fs.String("servers", "1,2,4", "cluster experiment server counts")
+	serversFlag := fs.String("servers", "4,8", "cluster experiment server counts (soak minimum 4)")
+	seed := fs.Int64("seed", 42, "cluster experiment soak seed (fixed fault/load schedule)")
 	ssdLat := fs.Duration("ssd-latency", 0, "local SSD read latency for spill modes (0=100µs)")
 	shiftAt := fs.Duration("shift-at", 0,
 		"autoscale experiment: jump the hot key set at this offset (0 = no shift)")
@@ -99,10 +101,10 @@ func main() {
 	case "fig15":
 		err = runFig15(parseInts(*splitsFlag), *serverThreads, o)
 	case "cluster":
-		err = runCluster(parseInts(*serversFlag), *serverThreads, o)
+		err = runCluster(parseInts(*serversFlag), *serverThreads, *duration, *seed, !*quiet)
 	case "all":
 		err = runAll(parseInts(*threadsFlag), parseInts(*splitsFlag),
-			parseInts(*serversFlag), *serverThreads, o, so)
+			parseInts(*serversFlag), *serverThreads, *duration, *seed, !*quiet, o, so)
 	default:
 		usage()
 		os.Exit(2)
@@ -129,7 +131,7 @@ experiments:
   fig13     bytes migrated from memory per mode
   fig14     target ramp-up with/without sampled records
   fig15     view validation vs hash validation vs hash splits
-  cluster   aggregate throughput vs server count
+  cluster   soak-driven: aggregate throughput + migration concurrency vs server count
   all       run everything with the current flags`)
 }
 
@@ -462,24 +464,54 @@ func runFig15(splits []int, threads int, o bench.Options) error {
 	return nil
 }
 
-func runCluster(servers []int, threadsPer int, o bench.Options) error {
-	rows, err := bench.ClusterScale(servers, threadsPer, o)
-	if err != nil {
-		return err
-	}
-	fmt.Println("# Cluster scaling (§4: 8 servers reach 400 Mops/s in the paper)")
-	fmt.Printf("%-10s %-12s\n", "servers", "Mops/s")
+// runCluster drives the soak harness (internal/soak) once per server count:
+// an N-server in-process cluster under skewed shifting load with balancer-
+// driven and forced concurrent disjoint-range migrations, continuously
+// checked for per-key linearizability. It reports aggregate throughput and
+// the peak migration concurrency the metadata store observed, and fails the
+// whole run if the soak records a single violation — the benchmark doubles
+// as a correctness gate.
+func runCluster(servers []int, threadsPer int, d time.Duration, seed int64, verbose bool) error {
+	fmt.Println("# Cluster soak (§4: aggregate throughput vs servers, under concurrent disjoint-range migrations)")
+	fmt.Printf("%-10s %-12s %-14s %-12s\n", "servers", "Mops/s", "max-conc-mig", "migrations")
 	var metrics []BenchMetric
-	for _, r := range rows {
-		fmt.Printf("%-10d %-12.3f\n", r.Servers, r.Mops)
+	for _, n := range servers {
+		cfg := soak.Config{
+			Servers: n, Threads: threadsPer, Duration: d, Seed: seed,
+			// Kill/restart cycles measure recovery, not scaling; keep the
+			// bench load steady. The rest of the fault schedule (forced
+			// concurrent pairs, cancels, overlap attempts) stays on so the
+			// concurrency metrics mean something.
+			Kills: -1,
+		}
+		if verbose {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "cluster: "+format+"\n", args...)
+			}
+		}
+		res, err := soak.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("cluster soak servers=%d: %w", n, err)
+		}
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("cluster soak servers=%d: %d linearizability violations (first: %s)",
+				res.Servers, len(res.Violations), res.Violations[0])
+		}
+		fmt.Printf("%-10d %-12.3f %-14d %-12d\n",
+			res.Servers, res.AggregateMops, res.MaxConcurrentMigrations, res.MigrationsSeen)
 		metrics = append(metrics,
-			mopsMetric(fmt.Sprintf("aggregate_mops/servers=%d", r.Servers), r.Mops))
+			mopsMetric(fmt.Sprintf("aggregate_mops/servers=%d", res.Servers), res.AggregateMops),
+			BenchMetric{Name: fmt.Sprintf("max_concurrent_migrations/servers=%d", res.Servers),
+				Value: float64(res.MaxConcurrentMigrations), Unit: "count"},
+			BenchMetric{Name: fmt.Sprintf("migrations_seen/servers=%d", res.Servers),
+				Value: float64(res.MigrationsSeen), Unit: "count"})
 	}
 	emitBenchJSON("cluster", metrics)
 	return nil
 }
 
 func runAll(threads, splits, servers []int, serverThreads int,
+	duration time.Duration, seed int64, verbose bool,
 	o bench.Options, so bench.ScaleOutOptions) error {
 	printTable1()
 	fmt.Println()
@@ -493,7 +525,7 @@ func runAll(threads, splits, servers []int, serverThreads int,
 		func() error { return runFig13(so) },
 		func() error { return runFig14(so) },
 		func() error { return runFig15(splits, serverThreads, o) },
-		func() error { return runCluster(servers, serverThreads, o) },
+		func() error { return runCluster(servers, serverThreads, duration, seed, verbose) },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {

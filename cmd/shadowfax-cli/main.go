@@ -128,28 +128,43 @@ elasticity:   migrate <targetID> <rangeStart> <rangeEnd>   (hex or decimal)
 		}
 		if !bs.Enabled {
 			fmt.Println("balancer: not enabled on this server (start it with -autoscale)")
-			return
-		}
-		fmt.Printf("balancer: %d passes, %d migrations triggered", bs.Passes, bs.Migrations)
-		if bs.Cooldown > 0 {
-			fmt.Printf(", cooling down for %v", bs.Cooldown.Round(time.Millisecond))
-		}
-		fmt.Println()
-		if bs.Last.Source != "" || bs.Last.Reason != "" {
-			if bs.Last.Acted {
-				fmt.Printf("  last decision: migrate %v from %s to %s\n",
-					bs.Last.Range, bs.Last.Source, bs.Last.Target)
-			} else {
-				fmt.Printf("  last decision: no action (%s)\n", bs.Last.Reason)
+		} else {
+			fmt.Printf("balancer: %d passes, %d migrations triggered", bs.Passes, bs.Migrations)
+			if bs.Cooldown > 0 {
+				fmt.Printf(", cooling down for %v", bs.Cooldown.Round(time.Millisecond))
+			}
+			fmt.Println()
+			if bs.Last.Source != "" || bs.Last.Reason != "" {
+				if bs.Last.Acted {
+					fmt.Printf("  last decision: migrate %v from %s to %s\n",
+						bs.Last.Range, bs.Last.Source, bs.Last.Target)
+				} else {
+					fmt.Printf("  last decision: no action (%s)\n", bs.Last.Reason)
+				}
+			}
+			ids := make([]string, 0, len(bs.Rates))
+			for id := range bs.Rates {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				fmt.Printf("  load %-12s %.0f ops/s\n", id, bs.Rates[id])
 			}
 		}
-		ids := make([]string, 0, len(bs.Rates))
-		for id := range bs.Rates {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			fmt.Printf("  load %-12s %.0f ops/s\n", id, bs.Rates[id])
+		// The in-flight migration set is cluster state: any server reports
+		// it, balancer-enabled or not.
+		if len(bs.InFlight) == 0 {
+			fmt.Println("in-flight migrations: none")
+		} else {
+			fmt.Printf("in-flight migrations: %d\n", len(bs.InFlight))
+			for _, m := range bs.InFlight {
+				state := "transferring"
+				if m.SourceDone {
+					state = "source done"
+				}
+				fmt.Printf("  #%d epoch %d  %s -> %s  %v  (%s)\n",
+					m.ID, m.Epoch, m.Source, m.Target, m.Range, state)
+			}
 		}
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/faster"
+	"repro/internal/hlog"
 	"repro/internal/metadata"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -27,8 +28,10 @@ import (
 // cross the cut at their next Refresh and keep serving.
 
 const (
-	serverImageMagic   = 0x53465843 // "SFXC"
-	serverImageVersion = 1
+	serverImageMagic = 0x53465843 // "SFXC"
+	// serverImageVersion 2 added the ownership-fence section; version 1
+	// images (no fences) are still readable.
+	serverImageVersion = 2
 )
 
 // sessionTable tracks, per client session, the highest operation sequence
@@ -227,7 +230,7 @@ func (s *Server) Checkpoint() (CheckpointResult, error) {
 			view := s.view.Load().Clone()
 			tab := s.sessTab.snapshotUpTo(sealed)
 			sessions = len(tab)
-			writeServerSection(w, view, tab)
+			writeServerSection(w, view, tab, s.store.Fences())
 		},
 		func(info faster.CheckpointInfo, err error) {
 			ch <- outcome{info, err}
@@ -274,7 +277,8 @@ func (s *Server) checkpointLoop(every time.Duration) {
 // writeServerSection serializes the server's recovery state ahead of the
 // FASTER blob. Errors stick inside the ImageWriter and surface when the
 // store blob is written.
-func writeServerSection(w io.Writer, view metadata.View, sessions map[uint64]uint32) {
+func writeServerSection(w io.Writer, view metadata.View, sessions map[uint64]uint32,
+	fences []faster.Fence) {
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint32(buf, serverImageMagic)
 	buf = binary.LittleEndian.AppendUint32(buf, serverImageVersion)
@@ -289,28 +293,38 @@ func writeServerSection(w io.Writer, view metadata.View, sessions map[uint64]uin
 		buf = binary.LittleEndian.AppendUint64(buf, id)
 		buf = binary.LittleEndian.AppendUint32(buf, seq)
 	}
+	// Ownership fences (version 2): the recovered log still holds the stale
+	// records the fences retired, so losing them across a restart would
+	// resurrect overwritten data.
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fences)))
+	for _, f := range fences {
+		buf = binary.LittleEndian.AppendUint64(buf, f.Start)
+		buf = binary.LittleEndian.AppendUint64(buf, f.End)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Below))
+	}
 	w.Write(buf)
 }
 
 // readServerSection parses the server section, leaving r positioned at the
 // FASTER checkpoint blob.
-func readServerSection(r io.Reader) (metadata.View, map[uint64]uint32, error) {
+func readServerSection(r io.Reader) (metadata.View, map[uint64]uint32, []faster.Fence, error) {
 	var fixed [20]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return metadata.View{}, nil, fmt.Errorf("core: reading server image header: %w", err)
+		return metadata.View{}, nil, nil, fmt.Errorf("core: reading server image header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(fixed[0:4]) != serverImageMagic {
-		return metadata.View{}, nil, errors.New("core: bad server image magic")
+		return metadata.View{}, nil, nil, errors.New("core: bad server image magic")
 	}
-	if v := binary.LittleEndian.Uint32(fixed[4:8]); v != serverImageVersion {
-		return metadata.View{}, nil, fmt.Errorf("core: server image version %d unsupported", v)
+	ver := binary.LittleEndian.Uint32(fixed[4:8])
+	if ver < 1 || ver > serverImageVersion {
+		return metadata.View{}, nil, nil, fmt.Errorf("core: server image version %d unsupported", ver)
 	}
 	view := metadata.View{Number: binary.LittleEndian.Uint64(fixed[8:16])}
 	nRanges := binary.LittleEndian.Uint32(fixed[16:20])
 	var u16buf [16]byte
 	for i := uint32(0); i < nRanges; i++ {
 		if _, err := io.ReadFull(r, u16buf[:]); err != nil {
-			return metadata.View{}, nil, fmt.Errorf("core: reading ranges: %w", err)
+			return metadata.View{}, nil, nil, fmt.Errorf("core: reading ranges: %w", err)
 		}
 		view.Ranges = append(view.Ranges, metadata.HashRange{
 			Start: binary.LittleEndian.Uint64(u16buf[0:8]),
@@ -319,18 +333,36 @@ func readServerSection(r io.Reader) (metadata.View, map[uint64]uint32, error) {
 	}
 	var cnt [4]byte
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
-		return metadata.View{}, nil, fmt.Errorf("core: reading session count: %w", err)
+		return metadata.View{}, nil, nil, fmt.Errorf("core: reading session count: %w", err)
 	}
 	nSess := binary.LittleEndian.Uint32(cnt[:])
 	sessions := make(map[uint64]uint32, nSess)
 	var sbuf [12]byte
 	for i := uint32(0); i < nSess; i++ {
 		if _, err := io.ReadFull(r, sbuf[:]); err != nil {
-			return metadata.View{}, nil, fmt.Errorf("core: reading session table: %w", err)
+			return metadata.View{}, nil, nil, fmt.Errorf("core: reading session table: %w", err)
 		}
 		sessions[binary.LittleEndian.Uint64(sbuf[0:8])] = binary.LittleEndian.Uint32(sbuf[8:12])
 	}
-	return view, sessions, nil
+	var fences []faster.Fence
+	if ver >= 2 {
+		if _, err := io.ReadFull(r, cnt[:]); err != nil {
+			return metadata.View{}, nil, nil, fmt.Errorf("core: reading fence count: %w", err)
+		}
+		nFences := binary.LittleEndian.Uint32(cnt[:])
+		var fbuf [24]byte
+		for i := uint32(0); i < nFences; i++ {
+			if _, err := io.ReadFull(r, fbuf[:]); err != nil {
+				return metadata.View{}, nil, nil, fmt.Errorf("core: reading fences: %w", err)
+			}
+			fences = append(fences, faster.Fence{
+				Start: binary.LittleEndian.Uint64(fbuf[0:8]),
+				End:   binary.LittleEndian.Uint64(fbuf[8:16]),
+				Below: hlog.Address(binary.LittleEndian.Uint64(fbuf[16:24])),
+			})
+		}
+	}
+	return view, sessions, fences, nil
 }
 
 // handleCheckpointReq serves the MsgCheckpoint admin message. The checkpoint

@@ -70,7 +70,7 @@ func (s *Server) Compact() (CompactStats, error) {
 	// relocating and read device pages the pass is about to reclaim). Both
 	// sides coordinate under migMu, so the check-and-set is atomic.
 	s.migMu.Lock()
-	if s.source != nil || s.target != nil {
+	if s.source != nil || len(s.targets) != 0 {
 		s.migMu.Unlock()
 		return CompactStats{}, ErrCompactionBusy
 	}

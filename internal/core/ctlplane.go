@@ -69,6 +69,18 @@ func (s *Server) handleBalanceStatusReq(c transport.Conn) {
 			})
 		}
 	}
+	// The in-flight migration set is cluster state, not balancer state:
+	// every server reports it (with per-migration epochs), balancer or not.
+	for _, m := range s.meta.Migrations() {
+		if !m.InFlight() {
+			continue
+		}
+		resp.InFlight = append(resp.InFlight, wire.MetaMigration{
+			ID: m.ID, Epoch: m.Epoch, Source: m.Source, Target: m.Target,
+			RangeStart: m.Range.Start, RangeEnd: m.Range.End,
+			SourceDone: m.SourceDone, TargetDone: m.TargetDone,
+		})
+	}
 	c.Send(wire.EncodeBalanceStatusResp(&resp)) //nolint:errcheck // conn errors surface on the next poll
 }
 

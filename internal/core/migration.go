@@ -126,11 +126,43 @@ func (s *Server) sourceState() *sourceMigration {
 	return s.source
 }
 
-// targetState returns the active inbound migration, if any.
-func (s *Server) targetState() *targetMigration {
+// targetSnapshot fills buf with the current inbound migrations and returns
+// it. Callers hold the snapshot for at most one batch; the common
+// no-migration case returns buf[:0] without allocating.
+func (s *Server) targetSnapshot(buf []*targetMigration) []*targetMigration {
+	buf = buf[:0]
+	s.migMu.Lock()
+	for _, tm := range s.targets {
+		buf = append(buf, tm)
+	}
+	s.migMu.Unlock()
+	return buf
+}
+
+// targetCovering returns the not-yet-completed inbound migration whose
+// range contains h, or nil. Rare-path helper (I/O completions); the batch
+// hot path uses a per-batch targetSnapshot instead.
+func (s *Server) targetCovering(h uint64) *targetMigration {
 	s.migMu.Lock()
 	defer s.migMu.Unlock()
-	return s.target
+	for _, tm := range s.targets {
+		if !tm.completed.Load() && tm.rng.Contains(h) {
+			return tm
+		}
+	}
+	return nil
+}
+
+// coveringTarget scans a snapshot for the not-yet-completed inbound
+// migration whose range contains h. Disjoint in-flight ranges mean at most
+// one can match.
+func coveringTarget(tms []*targetMigration, h uint64) *targetMigration {
+	for _, tm := range tms {
+		if !tm.completed.Load() && tm.rng.Contains(h) {
+			return tm
+		}
+	}
+	return nil
 }
 
 // StartMigration initiates scale-out of rng from this server to target
@@ -209,8 +241,14 @@ func (sm *sourceMigration) afterSamplingCut() {
 // hot records with the TransferedOwnership RPC.
 func (sm *sourceMigration) transfer() {
 	sm.phase.Store(int32(phaseTransfer))
-	nv := sm.newView.Clone()
-	sm.s.view.Store(&nv)
+	// Only move the view forward: a concurrent inbound migration may have
+	// already advanced this server past the view StartMigration returned.
+	if cur := sm.s.view.Load(); sm.newView.Number > cur.Number {
+		nv := sm.newView.Clone()
+		sm.s.view.Store(&nv)
+	} else {
+		sm.s.refreshView()
+	}
 	sm.s.store.Epoch().BumpWithAction(func() {
 		go sm.afterViewCut()
 	})
@@ -299,9 +337,9 @@ func (s *Server) sourceMigrationStep(d *dispatcher) bool {
 	if b0 >= n {
 		// Collection finished; flush this thread's remainder and count it
 		// done exactly once per thread.
-		if !d.migDone {
+		if d.migDoneID != sm.mig.ID {
 			d.flushMigrationBatch(sm, true)
-			d.migDone = true
+			d.migDoneID = sm.mig.ID
 			if sm.threadsDone.Add(1) == int64(s.cfg.Threads) {
 				sm.finishOnce.Do(func() { go sm.afterCollection() })
 			}
@@ -314,9 +352,16 @@ func (s *Server) sourceMigrationStep(d *dispatcher) bool {
 		end = n
 	}
 	seen := make(map[string]struct{})
+	// Indirection records are only useful when the target can resolve them —
+	// they name a (LogID, address) suffix in the shared tier. Without a tier
+	// the target's fetch would come back empty and materialize a tombstone,
+	// silently deleting every key whose chain lives below this server's head
+	// (after a crash-recovery that is the entire recovered range). Fall back
+	// to the Rocksteady-style on-device scan instead (afterCollection).
+	useIndirections := !s.cfg.Rocksteady && s.store.Log().Tier() != nil
 	ix.ForEachEntryInBuckets(b0, end, func(bucket uint64, slot faster.IndexSlot) bool {
 		d.sess.CollectChain(bucket, slot, sm.rng.Start, sm.rng.End,
-			!s.cfg.Rocksteady, seen, func(rec faster.CollectedRecord) {
+			useIndirections, seen, func(rec faster.CollectedRecord) {
 				d.addMigrationRecord(sm, rec)
 			})
 		return true
@@ -354,6 +399,13 @@ func (d *dispatcher) flushMigrationBatch(sm *sourceMigration, final bool) {
 	if len(d.migBatch) == 0 && !final {
 		return
 	}
+	if d.migConn != nil && d.migConnID != sm.mig.ID {
+		// Leftover connection from an earlier migration — possibly to a
+		// different target. Records sent on it would install on the wrong
+		// server and silently vanish from this migration.
+		d.migConn.Close()
+		d.migConn = nil
+	}
 	if d.migConn == nil {
 		c, err := d.s.cfg.Transport.Dial(sm.tgtAddr)
 		if err != nil {
@@ -361,6 +413,7 @@ func (d *dispatcher) flushMigrationBatch(sm *sourceMigration, final bool) {
 			return
 		}
 		d.migConn = c
+		d.migConnID = sm.mig.ID
 	}
 	msg := wire.MigrationMsg{
 		Type: wire.MsgMigrationRecords, MigrationID: sm.mig.ID,
@@ -375,19 +428,70 @@ func (d *dispatcher) flushMigrationBatch(sm *sourceMigration, final bool) {
 // Rocksteady baseline scans the on-SSD log single-threaded; the Shadowfax
 // path (indirection records) is already done.
 func (sm *sourceMigration) afterCollection() {
+	sm.awaitFinalAcks()
 	sm.reportMu.Lock()
 	sm.report.RecordsDone = time.Now()
 	sm.reportMu.Unlock()
-	if sm.s.cfg.Rocksteady {
+	if sm.s.cfg.Rocksteady || sm.s.store.Log().Tier() == nil {
+		// No shared tier means the memory pass shipped no indirection
+		// records for the chains below head; ship the on-device suffix
+		// directly, as the Rocksteady baseline does.
 		sm.phase.Store(int32(phaseDiskScan))
 		sm.diskScan()
 	}
 	sm.complete()
 }
 
-// diskScan is the Rocksteady baseline's second phase: a single thread
-// sequentially scans the stable region on the local SSD and ships live
-// records in the migrating range (§4.1, Figure 10(c)).
+// awaitFinalAcks blocks until the target has acknowledged every dispatcher's
+// final record frame for this migration. CompleteMigration travels on its
+// own connection and would otherwise overtake the record streams; the acks
+// order it strictly after every record is installed (or decided) at the
+// target. Safe to touch the dispatchers' migration connections here: every
+// dispatcher finished its final flush before threadsDone reached the thread
+// count (which is what scheduled this goroutine), and no new outbound
+// migration can claim the connections until complete() clears s.source. A
+// dispatcher whose dial failed has no connection (and its records were
+// already lost on the send path); the deadline keeps a dead target from
+// wedging the source forever.
+func (sm *sourceMigration) awaitFinalAcks() {
+	deadline := time.Now().Add(migrationAckTimeout)
+	for _, d := range sm.s.threads {
+		if d.migConnID != sm.mig.ID || d.migConn == nil {
+			continue
+		}
+		awaitAck(d.migConn, deadline)
+	}
+}
+
+// migrationAckTimeout bounds how long the source waits for the target to
+// acknowledge a final record frame before giving up on the ordering
+// guarantee (the target is presumed dead; completion proceeds so the
+// metadata dependency can still be collected).
+const migrationAckTimeout = 30 * time.Second
+
+// awaitAck polls conn for one frame (the migration ack) until deadline.
+func awaitAck(conn transport.Conn, deadline time.Time) {
+	for {
+		if _, ok, err := conn.TryRecv(); ok || err != nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// diskScan is the second phase for sources that cannot leave indirection
+// records behind (the Rocksteady baseline, or a Shadowfax node with no
+// shared tier): a single thread scans the stable region on the local SSD
+// and ships live records in the migrating range (§4.1, Figure 10(c)).
+//
+// The target installs with ConditionalInsert, which is first-writer-wins —
+// so records must arrive newest-first or a key whose only versions are on
+// disk would be resurrected at its oldest value. Pages are read in
+// descending address order and each page's records are emitted in reverse,
+// making the whole stream strictly newest-first.
 func (sm *sourceMigration) diskScan() {
 	s := sm.s
 	lg := s.store.Log()
@@ -415,11 +519,15 @@ func (sm *sourceMigration) diskScan() {
 		conn.Send(wire.EncodeMigrationMsg(&msg))
 		batch = batch[:0]
 	}
-	for p := lg.BeginAddress().Page(pageBits); p < endPage; p++ {
-		if err := lg.ReadPageFromDevice(p, buf); err != nil {
+	beginPage := lg.BeginAddress().Page(pageBits)
+	var pageRecs []wire.MigrationRecord
+	for p := endPage; p > beginPage; p-- {
+		page := p - 1
+		if err := lg.ReadPageFromDevice(page, buf); err != nil {
 			continue
 		}
-		hlog.ScanPageBuffer(hlog.Address(p<<pageBits), buf, func(addr hlog.Address, r hlog.Record) bool {
+		pageRecs = pageRecs[:0]
+		hlog.ScanPageBuffer(hlog.Address(page<<pageBits), buf, func(addr hlog.Address, r hlog.Record) bool {
 			m := r.Meta()
 			if m.Invalid() || m.Indirection() {
 				return true
@@ -428,23 +536,34 @@ func (sm *sourceMigration) diskScan() {
 			if !sm.rng.Contains(h) {
 				return true
 			}
+			if addr < s.store.FenceBelow(h) {
+				// Retired leftover from an earlier tenancy of the range
+				// (same filter CollectChain applies in the memory pass).
+				return true
+			}
 			var flags uint8
 			if m.Tombstone() {
 				flags |= wire.RecFlagTombstone
 			}
-			batch = append(batch, wire.MigrationRecord{
+			pageRecs = append(pageRecs, wire.MigrationRecord{
 				Hash: h, Flags: flags,
 				Key:   append([]byte(nil), r.Key()...),
 				Value: append([]byte(nil), r.Value()...),
 			})
 			sm.diskScanRecords.Add(1)
+			return true
+		})
+		for i := len(pageRecs) - 1; i >= 0; i-- {
+			batch = append(batch, pageRecs[i])
 			if len(batch) >= s.cfg.MigrationBatchRecords {
 				flush(false)
 			}
-			return true
-		})
+		}
 	}
 	flush(true)
+	// Same ordering requirement as the dispatchers' record streams: the
+	// final frame must be acked before complete() may run.
+	awaitAck(conn, time.Now().Add(migrationAckTimeout))
 }
 
 // complete sends CompleteMigration, takes the source's asynchronous
@@ -499,28 +618,102 @@ func (s *Server) LastMigrationReport() MigrationReport {
 // ---------------------------------------------------------------------------
 // Target side
 
-// discoverTargetMigration checks the metadata store for an inbound
-// migration; the target may learn about it from client traffic (view
-// mismatch → refresh) before the source's PrepForTransfer arrives.
+// discoverTargetMigration checks the metadata store for inbound
+// migrations; the target may learn about them from client traffic (view
+// mismatch → refresh) before the sources' PrepForTransfer frames arrive. It
+// also retires inbound migrations that were cancelled, so operations pended
+// on their ranges become decidable again.
 func (s *Server) discoverTargetMigration() {
+	live := make(map[uint64]bool)
 	for _, m := range s.meta.PendingMigrationsFor(s.cfg.ID) {
 		if m.Target != s.cfg.ID || m.TargetDone || m.Cancelled {
 			continue
 		}
+		live[m.ID] = true
 		s.ensureTargetMigration(m.ID, m.Source, m.Range)
+	}
+	s.migMu.Lock()
+	var stale []*targetMigration
+	for id, tm := range s.targets {
+		if !live[id] {
+			stale = append(stale, tm)
+		}
+	}
+	s.migMu.Unlock()
+	// The metadata reads happen outside migMu: dispatchers take migMu on
+	// every batch and must never wait on a provider call.
+	for _, tm := range stale {
+		m, err := s.meta.GetMigration(tm.migID)
+		if err != nil || !m.Cancelled {
+			continue
+		}
+		tm.completed.Store(true)
+		s.retireTarget(tm.migID)
 	}
 }
 
+// ensureTargetMigration returns the inbound-migration state for id,
+// creating it (and laying its ownership fence) on first sight. It returns
+// nil when the migration is already retired on this server — finished,
+// cancelled, or collected — because re-creating it would lay a fence at the
+// current tail over the live records the migration delivered (see
+// targetsRetired). Callers must treat nil as "this migration is over".
 func (s *Server) ensureTargetMigration(id uint64, source string, rng metadata.HashRange) *targetMigration {
 	s.migMu.Lock()
+	if _, done := s.targetsRetired[id]; done {
+		s.migMu.Unlock()
+		return nil
+	}
+	if tm, ok := s.targets[id]; ok {
+		s.migMu.Unlock()
+		return tm
+	}
+	s.migMu.Unlock()
+
+	// First sight of this id. Confirm against the metadata store (outside
+	// migMu — dispatchers must never wait on a provider call under it) that
+	// the migration is genuinely live: a stale PendingMigrationsFor snapshot
+	// or a recovering source's duplicate control frame can name a migration
+	// this server already finished. An unknown id means the dependency was
+	// collected — equally over.
+	if m, err := s.meta.GetMigration(id); err != nil || m.TargetDone || m.Cancelled {
+		s.retireTarget(id)
+		return nil
+	}
+
+	s.migMu.Lock()
 	defer s.migMu.Unlock()
-	if s.target != nil && s.target.migID == id {
-		return s.target
+	if _, done := s.targetsRetired[id]; done {
+		return nil
 	}
-	if s.target == nil {
-		s.target = &targetMigration{s: s, migID: id, rng: rng, sourceID: source}
+	if tm, ok := s.targets[id]; ok {
+		return tm
 	}
-	return s.target
+	if s.targets == nil {
+		s.targets = make(map[uint64]*targetMigration)
+	}
+	// Ownership fence (see faster/fence.go): everything already in the log
+	// for this range predates the migration — leftovers from an earlier
+	// tenancy that would otherwise shadow the authoritative records the
+	// source is about to ship (ConditionalInsert keeps the first version it
+	// finds). Laid before any shipped record or client write can land, so
+	// the live data appends strictly above it.
+	s.store.AddFence(rng.Start, rng.End, s.store.Log().TailAddress())
+	tm := &targetMigration{s: s, migID: id, rng: rng, sourceID: source}
+	s.targets[id] = tm
+	return tm
+}
+
+// retireTarget marks an inbound migration as permanently over on this
+// server and drops its live state, in one critical section.
+func (s *Server) retireTarget(id uint64) {
+	s.migMu.Lock()
+	if s.targetsRetired == nil {
+		s.targetsRetired = make(map[uint64]struct{})
+	}
+	s.targetsRetired[id] = struct{}{}
+	delete(s.targets, id)
+	s.migMu.Unlock()
 }
 
 // handleMigrationMsg processes source→target protocol frames on the
@@ -540,38 +733,59 @@ func (d *dispatcher) handleMigrationMsg(c transport.Conn, m *wire.MigrationMsg) 
 		s.refreshView()
 		tm := s.ensureTargetMigration(m.MigrationID, m.SourceID,
 			metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd})
-		// Install the sampled hot records, then begin serving the range
-		// (Figure 14's head start).
-		for i := range m.Records {
-			r := &m.Records[i]
-			d.sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
+		if tm != nil {
+			// Install the sampled hot records, then begin serving the range
+			// (Figure 14's head start). A nil tm means the migration already
+			// finished here (duplicate frame): installing would resurrect
+			// stale versions above the range's fence.
+			for i := range m.Records {
+				r := &m.Records[i]
+				d.sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
+			}
+			d.sess.CompletePending(true)
+			tm.serving.Store(true)
 		}
-		d.sess.CompletePending(true)
-		tm.serving.Store(true)
 		ack := wire.MigrationMsg{Type: wire.MsgAck, MigrationID: m.MigrationID}
 		c.Send(wire.EncodeMigrationMsg(&ack))
 
 	case wire.MsgMigrationRecords:
 		tm := s.ensureTargetMigration(m.MigrationID, m.SourceID,
 			metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd})
-		_ = tm
-		for i := range m.Records {
-			r := &m.Records[i]
-			if r.Flags&wire.RecFlagIndirection != 0 {
-				if d.sess.SpliceIndirection(r.Hash, r.Value) != faster.StatusOK {
-					// Fallback (§3.3.2): resolve the remote suffix eagerly.
-					s.fetchRangeFromSharedTier(r.Value)
+		if tm != nil {
+			for i := range m.Records {
+				r := &m.Records[i]
+				if r.Flags&wire.RecFlagIndirection != 0 {
+					if d.sess.SpliceIndirection(r.Hash, r.Value) != faster.StatusOK {
+						// Fallback (§3.3.2): resolve the remote suffix eagerly.
+						s.fetchRangeFromSharedTier(r.Value)
+					}
+				} else {
+					d.sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
 				}
-			} else {
-				d.sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
 			}
+		}
+		if m.Final {
+			// The source holds CompleteMigration until every record stream's
+			// final frame is acked: record frames travel per-dispatcher
+			// connections and would otherwise race the completion (the target
+			// would retire the migration state while records are still in
+			// flight, and a miss in that window reads as NotFound). Drain
+			// pending installs first so the ack means "every record on this
+			// stream is decided".
+			for d.sess.Pending() > 0 {
+				d.sess.CompletePending(true)
+			}
+			ack := wire.MigrationMsg{Type: wire.MsgAck, MigrationID: m.MigrationID}
+			c.Send(wire.EncodeMigrationMsg(&ack))
 		}
 
 	case wire.MsgCompleteMigration:
 		tm := s.ensureTargetMigration(m.MigrationID, m.SourceID,
 			metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd})
-		tm.completed.Store(true)
-		tm.finishOnce.Do(func() { go tm.finish() })
+		if tm != nil {
+			tm.completed.Store(true)
+			tm.finishOnce.Do(func() { go tm.finish() })
+		}
 
 	case wire.MsgCompacted:
 		// §3.3.3: a record relocated by another server's compaction. If a
@@ -630,12 +844,11 @@ func (tm *targetMigration) finish() {
 	done := make(chan struct{})
 	s.store.Checkpoint(&ckpt, func(faster.CheckpointInfo, error) { close(done) })
 	<-done
+	// Retire locally before marking done in the metadata store: once the id
+	// is in targetsRetired no stale snapshot can resurrect the migration, so
+	// the mark's visibility order stops mattering.
+	s.retireTarget(tm.migID)
 	s.meta.MarkMigrationDone(tm.migID, s.cfg.ID)
-	s.migMu.Lock()
-	if s.target == tm {
-		s.target = nil
-	}
-	s.migMu.Unlock()
 }
 
 // targetMigrationStep retries this dispatcher's pended operations; it also
@@ -644,7 +857,7 @@ func (s *Server) targetMigrationStep(d *dispatcher) bool {
 	if len(d.pending) == 0 {
 		return false
 	}
-	tm := s.targetState()
+	d.tmSnap = s.targetSnapshot(d.tmSnap)
 	progress := false
 	kept := d.pending[:0]
 	for _, p := range d.pending {
@@ -652,7 +865,8 @@ func (s *Server) targetMigrationStep(d *dispatcher) bool {
 			kept = append(kept, p)
 			continue
 		}
-		if tm != nil && !tm.serving.Load() && tm.rng.Contains(faster.HashOf(p.op.Key)) {
+		tm := coveringTarget(d.tmSnap, faster.HashOf(p.op.Key))
+		if tm != nil && !tm.serving.Load() {
 			kept = append(kept, p) // ownership transfer not done yet
 			continue
 		}

@@ -93,6 +93,9 @@ type ServerConfig struct {
 	// AutoScaleMinRate is the ops/sec floor below which the cluster is
 	// considered idle and never split (default 500).
 	AutoScaleMinRate float64
+	// AutoScaleMaxConcurrent caps how many migrations one balancer pass may
+	// start concurrently over disjoint ranges (default 4).
+	AutoScaleMaxConcurrent int
 
 	// Migration tuning.
 
@@ -205,10 +208,22 @@ type Server struct {
 	// or per-key hash validation (the Figure 15 baseline).
 	hashValidate atomic.Bool
 
-	migMu      sync.Mutex
-	source     *sourceMigration
-	target     *targetMigration
-	lastReport MigrationReport
+	migMu  sync.Mutex
+	source *sourceMigration
+	// targets holds the inbound migrations by migration id: a server may be
+	// the target of several concurrent disjoint-range migrations at once.
+	targets map[uint64]*targetMigration
+	// targetsRetired remembers inbound migrations this server already
+	// finished (or observed cancelled/collected), so a stale metadata
+	// snapshot or a duplicate control frame can never resurrect one.
+	// Re-creating a finished inbound migration would lay a fresh ownership
+	// fence at the *current* log tail — on top of the live records the
+	// migration delivered — silently killing them. One uint64 per inbound
+	// migration ever targeted at this server; never pruned (a stale
+	// PendingMigrationsFor snapshot may resurface an id long after it was
+	// collected).
+	targetsRetired map[uint64]struct{}
+	lastReport     MigrationReport
 	// compactPass (under migMu) marks an in-flight compaction pass;
 	// StartMigration refuses while it is set (see Server.Compact).
 	compactPass bool
@@ -286,7 +301,7 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		if err != nil {
 			return nil, fmt.Errorf("core: recovering %s: %w", cfg.ID, err)
 		}
-		view, sessions, err := readServerSection(img)
+		view, sessions, fences, err := readServerSection(img)
 		if err != nil {
 			return nil, err
 		}
@@ -294,6 +309,7 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		if err != nil {
 			return nil, fmt.Errorf("core: recovering %s: %w", cfg.ID, err)
 		}
+		st.RestoreFences(fences)
 		s.store = st
 		s.sessTab.restore(sessions, st.CurrentVersion()-1)
 		// The recovered image's begin address is the reclaim clamp until the
@@ -365,6 +381,7 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 			Self: cfg.ID, Meta: cfg.Meta, Transport: cfg.Transport,
 			Every: cfg.AutoScaleEvery, Imbalance: cfg.AutoScaleImbalance,
 			Cooldown: cfg.AutoScaleCooldown, MinOpsPerSec: cfg.AutoScaleMinRate,
+			MaxConcurrent: cfg.AutoScaleMaxConcurrent,
 		})
 		s.balancer.Run()
 	}
@@ -508,6 +525,17 @@ func (s *Server) refreshView() metadata.View {
 		return s.view.Load().Clone()
 	}
 	s.stats.ViewRefreshes.Add(1)
+	// Discover inbound migrations — creating their state and laying their
+	// ownership fences — strictly BEFORE adopting the new view.
+	// StartMigration registers the migration record and the view change at
+	// one linearization point, so a view that grants this server a new range
+	// always arrives with a visible pending migration for it. Adopting the
+	// view first would open a window where another dispatcher accepts a
+	// batch under the new view with no covering migration state: a miss in
+	// the new range would read as authoritative NotFound (an RMW would ack a
+	// fresh initial value), and the fence laid moments later — at a tail
+	// above that write — would kill it.
+	s.discoverTargetMigration()
 	if sm := s.sourceState(); sm == nil || migPhase(sm.phase.Load()) >= phaseTransfer {
 		cur := s.view.Load()
 		if v.Number > cur.Number {
@@ -515,7 +543,6 @@ func (s *Server) refreshView() metadata.View {
 			s.view.Store(&nv)
 		}
 	}
-	s.discoverTargetMigration()
 	return v
 }
 
@@ -565,10 +592,21 @@ type dispatcher struct {
 	// pending holds this dispatcher's parked operations (§3.3).
 	pending []*pendedOp
 
-	// Outbound migration state (Migrate phase).
-	migBatch []wire.MigrationRecord
-	migConn  transport.Conn
-	migDone  bool
+	// tmSnap is the reused per-batch snapshot of inbound migrations, so the
+	// hot path never allocates to consult them.
+	tmSnap []*targetMigration
+
+	// Outbound migration state (Migrate phase). migConn is dialed per
+	// migration (migConnID says which — ids start at 1): reusing a
+	// connection across migrations would ship a later migration's records
+	// to the previous target. migDoneID records which migration this
+	// dispatcher already finished collecting for, so a later outbound
+	// migration starts with a clean slate instead of inheriting a stale
+	// done flag.
+	migBatch  []wire.MigrationRecord
+	migConn   transport.Conn
+	migConnID uint64
+	migDoneID uint64
 
 	// Load accounting: a ring of sampled op hashes (see ctlplane.go).
 	// loadN is dispatcher-private; the ring slots are read by the balancer.
@@ -664,8 +702,7 @@ func (d *dispatcher) completePending(tok uint64, st faster.Status, v []byte) {
 		d.s.pendOp(c, d, sessionID, &op) // pendOp copies out of the slot
 	case faster.StatusNotFound:
 		if kind == wire.OpRead {
-			tm := d.s.targetState()
-			if tm != nil && !tm.completed.Load() && tm.rng.Contains(faster.HashOf(key)) {
+			if tm := d.s.targetCovering(faster.HashOf(key)); tm != nil {
 				// The record may simply not have arrived yet.
 				op := wire.Op{Kind: kind, Seq: seq, Key: key}
 				d.s.pendOp(c, d, sessionID, &op)
@@ -845,9 +882,9 @@ func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 	d.results = d.results[:0]
 	d.valArena = d.valArena[:0]
 	d.assembling = true
-	tm := d.s.targetState()
+	d.tmSnap = d.s.targetSnapshot(d.tmSnap)
 	for i := range b.Ops {
-		d.execOp(c, b.SessionID, &b.Ops[i], tm)
+		d.execOp(c, b.SessionID, &b.Ops[i], d.tmSnap)
 	}
 	d.assembling = false
 	// Record the session's high-water sequence before acknowledging, tagged
@@ -927,7 +964,7 @@ func (d *dispatcher) flushConns() {
 // copied on the inline path: keys alias the batch frame, which outlives the
 // batch; only operations that park (pending I/O, migration) promote their
 // key/input into owned buffers.
-func (d *dispatcher) execOp(c transport.Conn, sessionID uint64, op *wire.Op, tm *targetMigration) {
+func (d *dispatcher) execOp(c transport.Conn, sessionID uint64, op *wire.Op, tms []*targetMigration) {
 	h := faster.HashOf(op.Key)
 	d.recordLoad(h)
 	switch op.Kind {
@@ -942,8 +979,9 @@ func (d *dispatcher) execOp(c transport.Conn, sessionID uint64, op *wire.Op, tm 
 	// Reads and RMWs can observe not-yet-migrated state during an inbound
 	// migration (§3.3): before ownership transfer they pend outright; after
 	// it, a miss in the migrating range pends until the record arrives.
+	// In-flight ranges are disjoint, so at most one migration covers h.
 	inMig := false
-	if tm != nil && !tm.completed.Load() && tm.rng.Contains(h) {
+	if tm := coveringTarget(tms, h); tm != nil {
 		if !tm.serving.Load() {
 			d.s.pendOp(c, d, sessionID, op)
 			return

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,12 @@ type BalancerConfig struct {
 	// RPCTimeout bounds each individual RPC a pass issues (default 2s), so
 	// one hung server costs a pass at most one timeout, not the cluster.
 	RPCTimeout time.Duration
+	// MaxConcurrent caps how many migrations one pass may start: the top-K
+	// hottest free servers each split toward a distinct cool server
+	// (default 4). Servers already party to an in-flight migration sit the
+	// pass out; the metadata store's overlap rejection is the correctness
+	// backstop, this knob is purely a policy throttle.
+	MaxConcurrent int
 }
 
 func (c BalancerConfig) withDefaults() BalancerConfig {
@@ -64,16 +71,32 @@ func (c BalancerConfig) withDefaults() BalancerConfig {
 	if c.RPCTimeout == 0 {
 		c.RPCTimeout = 2 * time.Second
 	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4
+	}
 	return c
 }
 
-// Decision is one planning pass's outcome.
+// Move is one planned (and possibly executed) migration of a pass.
+type Move struct {
+	Source string
+	Target string
+	Range  metadata.HashRange
+	// Err is set when this move's Migrate RPC failed; the pass's other
+	// moves are unaffected.
+	Err string
+}
+
+// Decision is one planning pass's outcome. Source/Target/Range mirror the
+// first successful move for single-move consumers (the wire RebalanceResp);
+// Moves carries the whole multi-way plan.
 type Decision struct {
 	At     time.Time
 	Acted  bool
 	Source string
 	Target string
 	Range  metadata.HashRange
+	Moves  []Move
 	Reason string
 }
 
@@ -91,11 +114,13 @@ type Status struct {
 }
 
 // Balancer watches per-server load (ops/sec deltas of the MsgStats
-// counters), detects sustained imbalance, picks a split point from the hot
-// server's sampled hash distribution, and drives the ordinary Migrate()
-// RPC — the policy layer over the paper's §3.3 mechanism. At most one
-// migration is in flight at a time: a pass never acts while any migration
-// dependency is uncollected, and a cooldown separates consecutive actions.
+// counters), detects sustained imbalance, picks split points from the hot
+// servers' sampled hash distributions, and drives the ordinary Migrate()
+// RPC — the policy layer over the paper's §3.3 mechanism. One pass may
+// start up to MaxConcurrent migrations over disjoint ranges (hottest free
+// servers split toward coolest free servers, each server party to at most
+// one move); servers already mid-migration sit the pass out, and a cooldown
+// separates consecutive acting passes.
 type Balancer struct {
 	cfg   BalancerConfig
 	admin *client.Admin
@@ -196,10 +221,11 @@ func (b *Balancer) Passes() uint64 { return b.passes.Load() }
 func (b *Balancer) Triggered() uint64 { return b.triggered.Load() }
 
 // RunOnce executes one planning pass: refresh per-server rates, check the
-// guards (pending migration, cooldown, idle cluster, balance), and — when
-// all pass — pick a split and trigger the migration. The returned Decision
-// describes what happened either way. Passes are serialized; state is
-// published under b.mu between (never across) the pass's RPCs.
+// guards (cooldown, idle cluster, balance), and — when all pass — plan up
+// to MaxConcurrent disjoint-range splits and trigger them in parallel. The
+// returned Decision describes what happened either way. Passes on this
+// balancer are serialized; state is published under b.mu between (never
+// across) the pass's RPCs.
 func (b *Balancer) RunOnce(ctx context.Context) Decision {
 	b.passMu.Lock()
 	defer b.passMu.Unlock()
@@ -258,59 +284,177 @@ func (b *Balancer) plan(ctx context.Context) Decision {
 	}
 	ids = reachable
 
-	// One migration at a time, cluster-wide: an uncollected dependency
-	// means the previous move (or its checkpoints) is still settling.
+	// Servers party to an in-flight migration sit the pass out: their load
+	// is mid-hand-off and a second move would race the record transfer.
+	// Disjoint moves between the remaining servers proceed concurrently —
+	// the store's overlap rejection is the backstop if another balancer
+	// host races this pass.
+	busy := make(map[string]bool)
 	for _, m := range b.cfg.Meta.Migrations() {
-		if !m.Complete() && !m.Cancelled {
-			return Decision{Reason: fmt.Sprintf("migration %d still in flight", m.ID)}
+		if m.InFlight() {
+			busy[m.Source] = true
+			busy[m.Target] = true
 		}
 	}
+
 	b.mu.Lock()
 	rem := time.Until(b.cooldownUntil)
-	// Hottest server is the source candidate, coolest the target.
-	src, tgt := "", ""
+	cands := make([]moveCandidate, 0, len(ids))
 	for _, id := range ids {
-		r := b.rates[id]
-		if src == "" || r > b.rates[src] {
-			src = id
-		}
-		if tgt == "" || r < b.rates[tgt] {
-			tgt = id
-		}
+		cands = append(cands, moveCandidate{
+			ID: id, Rate: b.rates[id], Stats: stats[id], Busy: busy[id],
+		})
 	}
-	srcRate, tgtRate := b.rates[src], b.rates[tgt]
 	b.mu.Unlock()
-	if rem > 0 {
-		return Decision{Reason: fmt.Sprintf("cooling down for %v", rem.Round(time.Millisecond))}
-	}
-	if src == tgt {
-		return Decision{Reason: "load is uniform"}
-	}
-	if srcRate < b.cfg.MinOpsPerSec {
-		return Decision{Reason: fmt.Sprintf("cluster idle (%.0f ops/s < %.0f floor)", srcRate, b.cfg.MinOpsPerSec)}
-	}
-	if srcRate < b.cfg.Imbalance*tgtRate {
-		return Decision{Reason: fmt.Sprintf("balanced (%.0f vs %.0f ops/s, threshold %.1fx)",
-			srcRate, tgtRate, b.cfg.Imbalance)}
+
+	moves, reason := planMoves(planRequest{
+		Candidates:        cands,
+		MaxMoves:          b.cfg.MaxConcurrent,
+		Imbalance:         b.cfg.Imbalance,
+		MinOpsPerSec:      b.cfg.MinOpsPerSec,
+		MinSplitSamples:   b.cfg.MinSplitSamples,
+		CooldownRemaining: rem,
+	})
+	if len(moves) == 0 {
+		return Decision{Reason: reason}
 	}
 
-	rng, reason := splitPoint(stats[src], b.cfg.MinSplitSamples)
-	if reason != "" {
-		return Decision{Source: src, Target: tgt, Reason: reason}
+	// Independent disjoint-range migrations start in parallel, each under
+	// its own timeout; one failed or hung RPC neither delays nor cancels
+	// the others.
+	var wg sync.WaitGroup
+	for i := range moves {
+		wg.Add(1)
+		go func(m *Move) {
+			defer wg.Done()
+			mctx, cancel := context.WithTimeout(ctx, b.cfg.RPCTimeout)
+			defer cancel()
+			if err := b.admin.Migrate(mctx, m.Source, m.Target, m.Range); err != nil {
+				m.Err = err.Error()
+			}
+		}(&moves[i])
 	}
+	wg.Wait()
 
-	mctx, cancel := context.WithTimeout(ctx, b.cfg.RPCTimeout)
-	err := b.admin.Migrate(mctx, src, tgt, rng)
-	cancel()
-	if err != nil {
-		return Decision{Source: src, Target: tgt, Range: rng,
-			Reason: fmt.Sprintf("migrate RPC failed: %v", err)}
+	d := Decision{Moves: moves}
+	parts := make([]string, 0, len(moves))
+	for _, m := range moves {
+		if m.Err != "" {
+			parts = append(parts, fmt.Sprintf("%s->%s %s: migrate RPC failed: %s",
+				m.Source, m.Target, m.Range, m.Err))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s->%s %s", m.Source, m.Target, m.Range))
+		if !d.Acted {
+			d.Acted, d.Source, d.Target, d.Range = true, m.Source, m.Target, m.Range
+		}
 	}
-	return Decision{
-		Acted: true, Source: src, Target: tgt, Range: rng,
-		Reason: fmt.Sprintf("%s at %.0f ops/s vs %s at %.0f: split %s",
-			src, srcRate, tgt, tgtRate, rng),
+	if d.Acted {
+		d.Reason = fmt.Sprintf("split %d hot server(s): %s", len(moves), strings.Join(parts, "; "))
+	} else {
+		d.Reason = strings.Join(parts, "; ")
 	}
+	return d
+}
+
+// moveCandidate is one reachable server's view as a planning input.
+type moveCandidate struct {
+	ID    string
+	Rate  float64
+	Stats wire.StatsResp
+	// Busy marks a server party to an in-flight migration; it is excluded
+	// as both source and target for this pass.
+	Busy bool
+}
+
+// planRequest bundles everything planMoves consumes, making planning a pure
+// function of its inputs (table-testable without a cluster).
+type planRequest struct {
+	Candidates        []moveCandidate
+	MaxMoves          int
+	Imbalance         float64
+	MinOpsPerSec      float64
+	MinSplitSamples   int
+	CooldownRemaining time.Duration
+}
+
+// planMoves picks up to MaxMoves migrations for one pass: the hottest free
+// servers split at their sampled load medians toward the coolest free
+// servers, each server party to at most one move. Because every planned
+// range is carved from its own source's ownership and ownership is
+// disjoint, the planned ranges are disjoint by construction. Returns the
+// moves, or a reason why the pass planned none.
+func planMoves(req planRequest) ([]Move, string) {
+	if req.CooldownRemaining > 0 {
+		return nil, fmt.Sprintf("cooling down for %v", req.CooldownRemaining.Round(time.Millisecond))
+	}
+	free := make([]moveCandidate, 0, len(req.Candidates))
+	nbusy := 0
+	for _, c := range req.Candidates {
+		if c.Busy {
+			nbusy++
+			continue
+		}
+		free = append(free, c)
+	}
+	if len(free) < 2 {
+		if nbusy > 0 {
+			return nil, fmt.Sprintf("%d server(s) busy with in-flight migrations, %d free", nbusy, len(free))
+		}
+		return nil, "need at least two servers"
+	}
+	// Hottest first; ties broken by id so planning is deterministic.
+	sort.Slice(free, func(i, j int) bool {
+		if free[i].Rate != free[j].Rate {
+			return free[i].Rate > free[j].Rate
+		}
+		return free[i].ID < free[j].ID
+	})
+	maxMoves := req.MaxMoves
+	if maxMoves < 1 {
+		maxMoves = 1
+	}
+	var moves []Move
+	var skipped string
+	lo := len(free) - 1
+	for hi := 0; hi < lo && len(moves) < maxMoves; hi++ {
+		src, tgt := free[hi], free[lo]
+		if src.Rate == tgt.Rate {
+			if len(moves) == 0 {
+				return nil, "load is uniform"
+			}
+			break
+		}
+		if src.Rate < req.MinOpsPerSec {
+			if len(moves) == 0 {
+				return nil, fmt.Sprintf("cluster idle (%.0f ops/s < %.0f floor)", src.Rate, req.MinOpsPerSec)
+			}
+			break
+		}
+		if src.Rate < req.Imbalance*tgt.Rate {
+			if len(moves) == 0 {
+				return nil, fmt.Sprintf("balanced (%.0f vs %.0f ops/s, threshold %.1fx)",
+					src.Rate, tgt.Rate, req.Imbalance)
+			}
+			break
+		}
+		rng, reason := splitPoint(src.Stats, req.MinSplitSamples)
+		if reason != "" {
+			// No usable split on this source; try the next-hottest against
+			// the same target.
+			skipped = fmt.Sprintf("%s: %s", src.ID, reason)
+			continue
+		}
+		moves = append(moves, Move{Source: src.ID, Target: tgt.ID, Range: rng})
+		lo--
+	}
+	if len(moves) == 0 {
+		if skipped != "" {
+			return nil, skipped
+		}
+		return nil, "no usable split"
+	}
+	return moves, ""
 }
 
 // statsRPC fetches one server's stats under the per-RPC timeout, so a hung

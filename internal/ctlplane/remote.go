@@ -261,6 +261,8 @@ func metaError(resp *wire.MetaResp) error {
 		sentinel = metadata.ErrUnknownMigration
 	case wire.MetaErrMigrationDone:
 		sentinel = metadata.ErrMigrationDone
+	case wire.MetaErrMigrationOverlap:
+		sentinel = metadata.ErrMigrationOverlap
 	default:
 		return errors.New(resp.Err)
 	}
@@ -508,7 +510,7 @@ func rangesFromWire(in []wire.Range) []metadata.HashRange {
 
 func migrationFromWire(m *wire.MetaMigration) metadata.MigrationState {
 	return metadata.MigrationState{
-		ID: m.ID, Source: m.Source, Target: m.Target,
+		ID: m.ID, Epoch: m.Epoch, Source: m.Source, Target: m.Target,
 		Range:      metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd},
 		SourceDone: m.SourceDone, TargetDone: m.TargetDone, Cancelled: m.Cancelled,
 	}
@@ -516,7 +518,7 @@ func migrationFromWire(m *wire.MetaMigration) metadata.MigrationState {
 
 func migrationToWire(m metadata.MigrationState) wire.MetaMigration {
 	return wire.MetaMigration{
-		ID: m.ID, Source: m.Source, Target: m.Target,
+		ID: m.ID, Epoch: m.Epoch, Source: m.Source, Target: m.Target,
 		RangeStart: m.Range.Start, RangeEnd: m.Range.End,
 		SourceDone: m.SourceDone, TargetDone: m.TargetDone, Cancelled: m.Cancelled,
 	}
@@ -622,6 +624,8 @@ func fillMetaErr(resp *wire.MetaResp, err error) {
 		resp.ErrCode = wire.MetaErrUnknownMigration
 	case errors.Is(err, metadata.ErrMigrationDone):
 		resp.ErrCode = wire.MetaErrMigrationDone
+	case errors.Is(err, metadata.ErrMigrationOverlap):
+		resp.ErrCode = wire.MetaErrMigrationOverlap
 	default:
 		resp.ErrCode = wire.MetaErrOther
 	}

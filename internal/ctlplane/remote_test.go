@@ -135,3 +135,67 @@ func TestRemoteProviderEndpointDown(t *testing.T) {
 		t.Fatalf("ServerAddr with endpoint down: %v", err)
 	}
 }
+
+// TestRemoteProviderOverlapRejection pins the concurrent-migration contract
+// at the remote provider: disjoint in-flight migrations coexist (with
+// strictly increasing epochs), overlapping starts come back as
+// ErrMigrationOverlap across the wire, and a cancelled migration frees its
+// range.
+func TestRemoteProviderOverlapRejection(t *testing.T) {
+	store := metadata.NewStore()
+	tr := transport.NewInMem(transport.Free)
+	startEndpoint(t, store, tr)
+
+	rp := ctlplane.NewRemoteProvider(tr, "ep", ctlplane.RemoteOptions{PollEvery: 5 * time.Millisecond})
+	defer rp.Close()
+	rp.RegisterServer("t1")
+	rp.RegisterServer("t2")
+
+	m1, _, _, err := rp.StartMigration("ep", "t1", metadata.HashRange{Start: 100, End: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _, err := rp.StartMigration("ep", "t2", metadata.HashRange{Start: 300, End: 400})
+	if err != nil {
+		t.Fatalf("disjoint concurrent migration rejected remotely: %v", err)
+	}
+	if m2.Epoch <= m1.Epoch {
+		t.Fatalf("epochs not strictly increasing over the wire: %d then %d", m1.Epoch, m2.Epoch)
+	}
+
+	// Overlaps with either in-flight range — including one the target now
+	// owns — are rejected with the dedicated sentinel.
+	for _, rng := range []metadata.HashRange{
+		{Start: 100, End: 200}, {Start: 150, End: 160}, {Start: 350, End: 500},
+	} {
+		if _, _, _, err := rp.StartMigration("ep", "t1", rng); !errors.Is(err, metadata.ErrMigrationOverlap) {
+			t.Fatalf("overlapping remote start %v: got %v, want ErrMigrationOverlap", rng, err)
+		}
+	}
+
+	// The in-flight set (with epochs) is visible through the provider.
+	inflight := 0
+	for _, m := range rp.Migrations() {
+		if m.InFlight() {
+			inflight++
+			if m.Epoch == 0 {
+				t.Fatalf("in-flight migration %d lost its epoch over the wire", m.ID)
+			}
+		}
+	}
+	if inflight != 2 {
+		t.Fatalf("in-flight migrations via provider = %d, want 2", inflight)
+	}
+
+	// Cancellation frees the range for a fresh start.
+	if err := rp.CancelMigration(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	m3, _, _, err := rp.StartMigration("ep", "t1", metadata.HashRange{Start: 100, End: 200})
+	if err != nil {
+		t.Fatalf("start over cancelled migration's range: %v", err)
+	}
+	if m3.Epoch <= m2.Epoch {
+		t.Fatalf("epoch did not advance past %d: %d", m2.Epoch, m3.Epoch)
+	}
+}

@@ -159,7 +159,7 @@ func (sess *Session) isNewestVersion(key []byte, hash uint64, addr hlog.Address)
 		return false, nil
 	}
 	// Chain continues on storage: the first storage match decides.
-	return sess.storageNewest(key, res.addr, addr)
+	return sess.storageNewest(key, hash, res.addr, addr)
 }
 
 // compactCopyForward re-appends the record at addr to the tail iff it is
@@ -189,7 +189,7 @@ func (sess *Session) compactCopyForward(key []byte, hash uint64, addr hlog.Addre
 		// Chain continues on storage at res.addr: the first storage match
 		// decides newest-ness (compaction is a background task; blocking
 		// reads are fine).
-		newest, err := sess.storageNewest(key, res.addr, addr)
+		newest, err := sess.storageNewest(key, hash, res.addr, addr)
 		if err != nil {
 			return false, err
 		}
@@ -205,11 +205,14 @@ func (sess *Session) compactCopyForward(key []byte, hash uint64, addr hlog.Addre
 }
 
 // storageNewest walks the on-device chain from start and reports whether
-// addr holds key's first (hence newest) storage match.
-func (sess *Session) storageNewest(key []byte, start, addr hlog.Address) (bool, error) {
+// addr holds key's first (hence newest) storage match. The walk stops at the
+// key's ownership fence: records below it are retired, so a fenced addr is
+// never newest (it is dead and must not be copied forward).
+func (sess *Session) storageNewest(key []byte, hash uint64, start, addr hlog.Address) (bool, error) {
 	lg := sess.s.log
+	fence := sess.s.fenceBelow(hash)
 	cur := start
-	for cur != hlog.InvalidAddress && cur >= lg.BeginAddress() {
+	for cur != hlog.InvalidAddress && cur >= lg.BeginAddress() && cur >= fence {
 		rec, err := lg.ReadRecordFromDevice(cur, sess.s.cfg.ReadHintBytes+len(key))
 		if err != nil {
 			return false, err

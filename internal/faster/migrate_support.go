@@ -180,7 +180,9 @@ func (sess *Session) CollectChain(bucket uint64, slot hashidx.Slot, rangeStart, 
 			continue
 		}
 		h := HashOf(rec.Key())
-		if h >= rangeStart && h < rangeEnd {
+		if h >= rangeStart && h < rangeEnd && addr >= sess.s.fenceBelow(h) {
+			// Records below the hash's ownership fence are retired leftovers
+			// from an earlier tenancy of the range — never ship them.
 			k := string(rec.Key())
 			if _, dup := seen[k]; !dup {
 				seen[k] = struct{}{}

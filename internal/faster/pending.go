@@ -127,6 +127,21 @@ func (sess *Session) resume(p *pendingOp) {
 		sess.finishPending(p, StatusError, nil)
 		return
 	}
+	if p.addr < sess.s.fenceBelow(p.hash) {
+		// An ownership fence retired this depth of the chain (it may have
+		// been laid down while the read was in flight): the record and
+		// everything deeper are stale — finish as if the chain ended.
+		switch p.kind {
+		case opRead:
+			sess.finishPending(p, StatusNotFound, nil)
+		case opRMW:
+			st, v := sess.finishRMWWithValue(p, nil)
+			sess.finishOrRelease(p, st, v)
+		case opCondInsert:
+			sess.finishCondInsert(p)
+		}
+		return
+	}
 	rec := p.rec
 	m := rec.Meta()
 	match := !m.Invalid() && !m.Indirection() && bytes.Equal(rec.Key(), p.key)
@@ -200,7 +215,8 @@ func (sess *Session) resume(p *pendingOp) {
 // reports false and the caller finishes the operation.
 func (sess *Session) follow(p *pendingOp, m hlog.Meta) bool {
 	prev := m.Previous()
-	if prev == hlog.InvalidAddress || prev < sess.s.log.BeginAddress() {
+	if prev == hlog.InvalidAddress || prev < sess.s.log.BeginAddress() ||
+		prev < sess.s.fenceBelow(p.hash) {
 		return false
 	}
 	p.addr = prev

@@ -197,8 +197,16 @@ func (sess *Session) walkMemory(slot hashidx.Slot, key []byte, hash uint64) walk
 	head := lg.HeadAddress()
 	readOnly := lg.ReadOnlyAddress()
 	begin := lg.BeginAddress()
+	fence := sess.s.fenceBelow(hash)
 	addr := res.entry.Address()
 	for addr != hlog.InvalidAddress {
+		if addr < fence {
+			// An ownership fence retired everything deeper in the chain for
+			// this hash (stale records from an earlier tenancy of the range);
+			// addresses only descend, so the walk ends here.
+			res.status = walkNotFound
+			return res
+		}
 		if addr < head {
 			if addr < begin {
 				res.status = walkNotFound

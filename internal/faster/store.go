@@ -104,6 +104,10 @@ type Store struct {
 	// tail to be copied to the tail (Shadowfax's Sampling phase, §3.3).
 	sampleFilter atomic.Value // func(hash uint64, addr hlog.Address) bool
 
+	// fences retire stale records from earlier tenancies of re-acquired
+	// hash ranges (see fence.go).
+	fences fenceSet
+
 	stats StoreStats
 }
 

@@ -65,13 +65,23 @@ type MigrationState struct {
 	ID             uint64
 	Source, Target string
 	Range          HashRange
-	SourceDone     bool
-	TargetDone     bool
-	Cancelled      bool
+	// Epoch is the store-wide migration epoch assigned at StartMigration:
+	// strictly increasing across all migrations, so observers can order
+	// concurrent disjoint-range migrations and detect overlap in time
+	// (two migrations were concurrent iff both were in flight at one
+	// instant; their epochs name them unambiguously).
+	Epoch      uint64
+	SourceDone bool
+	TargetDone bool
+	Cancelled  bool
 }
 
 // Complete reports whether both sides finished (dependency collectable).
 func (m MigrationState) Complete() bool { return m.SourceDone && m.TargetDone }
+
+// InFlight reports whether the migration is still running: not yet finished
+// on both sides and not cancelled.
+func (m MigrationState) InFlight() bool { return !m.Complete() && !m.Cancelled }
 
 // Errors returned by Store operations.
 var (
@@ -80,6 +90,11 @@ var (
 	ErrOverlap          = errors.New("metadata: range overlaps another server's ownership")
 	ErrUnknownMigration = errors.New("metadata: unknown migration")
 	ErrMigrationDone    = errors.New("metadata: migration already completed")
+	// ErrMigrationOverlap rejects a StartMigration whose range overlaps a
+	// migration still in flight: concurrent migrations are allowed only over
+	// disjoint ranges, and the store is where that invariant is enforced
+	// (one linearization point for every balancer and operator).
+	ErrMigrationOverlap = errors.New("metadata: range overlaps an in-flight migration")
 )
 
 // Store is the metadata service. All methods are safe for concurrent use.
@@ -89,6 +104,7 @@ type Store struct {
 	addrs      map[string]string
 	migrations map[uint64]*MigrationState
 	nextMigID  uint64
+	nextEpoch  uint64
 	revision   uint64
 	watchers   []chan struct{}
 }
@@ -204,6 +220,11 @@ func (s *Store) Ownership() map[string]View {
 // remaps ownership of rng from source to target, increments both servers'
 // view numbers, and registers the migration dependency. Returns the
 // migration record and the two new views.
+//
+// Concurrent migrations are allowed as long as their ranges are disjoint: a
+// start whose range overlaps any migration still in flight fails with
+// ErrMigrationOverlap, so independent balancer passes (or an operator racing
+// the balancer) can never double-move the same hash range.
 func (s *Store) StartMigration(source, target string, rng HashRange) (MigrationState, View, View, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -215,6 +236,13 @@ func (s *Store) StartMigration(source, target string, rng HashRange) (MigrationS
 	if !ok {
 		return MigrationState{}, View{}, View{}, fmt.Errorf("%w: %q", ErrUnknownServer, target)
 	}
+	for _, m := range s.migrations {
+		if m.InFlight() && m.Range.Overlaps(rng) {
+			return MigrationState{}, View{}, View{}, fmt.Errorf(
+				"%w: %s overlaps migration %d (epoch %d) %s", ErrMigrationOverlap,
+				rng, m.ID, m.Epoch, m.Range)
+		}
+	}
 	rest, carved := carve(sv.Ranges, rng)
 	if !carved {
 		return MigrationState{}, View{}, View{}, fmt.Errorf("%w: %s does not own %s", ErrNotOwner, source, rng)
@@ -223,7 +251,9 @@ func (s *Store) StartMigration(source, target string, rng HashRange) (MigrationS
 	sv.Number++
 	tv.Ranges = mergeRanges(append(tv.Ranges, rng))
 	tv.Number++
-	m := &MigrationState{ID: s.nextMigID, Source: source, Target: target, Range: rng}
+	s.nextEpoch++
+	m := &MigrationState{ID: s.nextMigID, Source: source, Target: target, Range: rng,
+		Epoch: s.nextEpoch}
 	s.nextMigID++
 	s.migrations[m.ID] = m
 	s.notifyLocked()

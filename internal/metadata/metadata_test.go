@@ -64,9 +64,16 @@ func TestStartMigrationAtomicity(t *testing.T) {
 	if !sv.Owns(99) || !sv.Owns(200) {
 		t.Fatal("source lost non-migrated hashes")
 	}
-	// Migrating a range the source no longer owns fails.
-	if _, _, _, err := s.StartMigration("src", "dst", rng); !errors.Is(err, ErrNotOwner) {
+	// Re-migrating a range whose migration is still in flight fails with the
+	// overlap error (the guard fires before ownership is even consulted).
+	if _, _, _, err := s.StartMigration("src", "dst", rng); !errors.Is(err, ErrMigrationOverlap) {
 		t.Fatalf("double migration: %v", err)
+	}
+	// Once the migration settles, the same start fails on ownership instead.
+	s.MarkMigrationDone(m.ID, "src")
+	s.MarkMigrationDone(m.ID, "dst")
+	if _, _, _, err := s.StartMigration("src", "dst", rng); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("migration of disowned range: %v", err)
 	}
 	// Unknown servers fail.
 	if _, _, _, err := s.StartMigration("nope", "dst", HashRange{0, 1}); !errors.Is(err, ErrUnknownServer) {
@@ -243,6 +250,58 @@ func TestConcurrentMetadataOps(t *testing.T) {
 		if av.Owns(r.Start) {
 			t.Fatalf("hash %#x owned by both servers", r.Start)
 		}
+	}
+}
+
+func TestConcurrentDisjointMigrationsAllowed(t *testing.T) {
+	s := NewStore()
+	s.RegisterServer("a", HashRange{0, 1000})
+	s.RegisterServer("b", HashRange{1000, 2000})
+	s.RegisterServer("c")
+	s.RegisterServer("d")
+
+	// Two disjoint-range migrations from different sources may be in flight
+	// at once.
+	m1, _, _, err := s.StartMigration("a", "c", HashRange{0, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _, err := s.StartMigration("b", "d", HashRange{1000, 1500})
+	if err != nil {
+		t.Fatalf("disjoint concurrent migration rejected: %v", err)
+	}
+	if m2.Epoch <= m1.Epoch {
+		t.Fatalf("epochs not strictly increasing: %d then %d", m1.Epoch, m2.Epoch)
+	}
+	inflight := 0
+	for _, m := range s.Migrations() {
+		if m.InFlight() {
+			inflight++
+		}
+	}
+	if inflight != 2 {
+		t.Fatalf("in-flight migrations = %d, want 2", inflight)
+	}
+
+	// Any overlap with either in-flight range is rejected — including a
+	// range the *target* now owns (re-moving a mid-flight range would race
+	// the record transfer).
+	for _, rng := range []HashRange{{0, 500}, {250, 300}, {400, 1200}, {1499, 1500}} {
+		if _, _, _, err := s.StartMigration("c", "d", rng); !errors.Is(err, ErrMigrationOverlap) {
+			t.Fatalf("overlapping start %v: got %v, want ErrMigrationOverlap", rng, err)
+		}
+	}
+
+	// A cancelled migration no longer blocks its range.
+	if err := s.CancelMigration(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	m3, _, _, err := s.StartMigration("a", "c", HashRange{0, 500})
+	if err != nil {
+		t.Fatalf("start over cancelled migration's range: %v", err)
+	}
+	if m3.Epoch <= m2.Epoch {
+		t.Fatalf("epoch did not advance past %d: %d", m2.Epoch, m3.Epoch)
 	}
 }
 

@@ -1,0 +1,54 @@
+package soak
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// TestSoakDebug is a knob-driven soak driver for chasing a specific failure
+// interactively; it is skipped unless SOAK_DEBUG=1. Fault counts come from
+// the environment (S, SEED, KILLS, CANCELS, PAIRS, OVERLAPS); note that a
+// count of 0 means "use the default" (withDefaults) — pass -1 to genuinely
+// disable a fault class. Example:
+//
+//	SOAK_DEBUG=1 SEED=7 KILLS=2 CANCELS=-1 PAIRS=3 OVERLAPS=-1 \
+//	  go test ./internal/soak -run TestSoakDebug -count=1 -v
+func TestSoakDebug(t *testing.T) {
+	if os.Getenv("SOAK_DEBUG") == "" {
+		t.Skip("set SOAK_DEBUG=1 to run the knob-driven soak driver")
+	}
+	res, err := Run(Config{
+		Servers:         envInt("S", 4),
+		Clients:         4,
+		Keys:            2048,
+		Duration:        time.Duration(envInt("SECS", 6)) * time.Second,
+		Seed:            int64(envInt("SEED", 42)),
+		Kills:           envInt("KILLS", 3),
+		Cancels:         envInt("CANCELS", 3),
+		ConcurrentPairs: envInt("PAIRS", 3),
+		OverlapAttempts: envInt("OVERLAPS", 3),
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, v := range res.Violations {
+		if i >= 10 {
+			break
+		}
+		t.Errorf("violation: %s", v)
+	}
+	t.Logf("violations=%d ops=%d migs=%d maxconc=%d",
+		len(res.Violations), res.Ops, res.MigrationsSeen, res.MaxConcurrentMigrations)
+}

@@ -1,0 +1,911 @@
+// Package soak is the N-server linearizability soak harness: it boots an
+// in-process cluster through the public repro/shadowfax API, drives it with
+// skewed, shifting load from many client workers, and injects a
+// deterministic fault schedule — server kill/restart-with-recovery cycles,
+// migration cancellations, forced pairs of concurrent disjoint-range
+// migrations, and live overlapping-start attempts — while continuously
+// checking a per-key linearizability invariant.
+//
+// The invariant rides on the RMW counter merge (8-byte little-endian
+// additive): every key is a counter, writers only increment it, so a
+// linearizable history must show each read landing between the greatest
+// completed increment the reader could know about and the total number of
+// increments ever issued. Per key the harness keeps three monotonic atomics:
+//
+//	issued   — incremented before an RMW is handed to the client
+//	acked    — incremented after the RMW's future completes OK
+//	observed — CAS-max of every value a read returned
+//
+// A read snapshots lb = max(acked, observed) before it is issued and
+// asserts lb ≤ value ≤ issued (issued re-read after completion) — a stale
+// value, a lost increment, or a double-applied recovery replay all trip it.
+// After the run drains, a final sweep asserts acked ≤ value ≤ issued for
+// every key (all acked writes survived every kill, cancel and migration;
+// nothing was applied twice).
+//
+// The same Run function doubles as the driver for the shadowfax-bench
+// "cluster" scenario, reporting aggregate throughput and the peak migration
+// concurrency the metadata store tracked.
+package soak
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/metadata"
+	"repro/shadowfax"
+)
+
+// Config sizes the cluster, the workload and the fault schedule. Zero
+// fields take the documented defaults.
+type Config struct {
+	// Servers is the in-process cluster size (default 8, minimum 4: the
+	// fault schedule needs two disjoint idle pairs).
+	Servers int
+	// Threads is each server's dispatcher count (default 1).
+	Threads int
+	// Clients is the number of independent client workers (default 4).
+	Clients int
+	// Keys is the keyspace size (default 2048).
+	Keys int
+	// BatchOps is each worker's async ops per flush round (default 64).
+	BatchOps int
+	// Duration bounds the loaded phase of the run (default 5s). Faults are
+	// spread evenly across it.
+	Duration time.Duration
+	// Seed fixes the RNG driving workers and the fault schedule.
+	Seed int64
+
+	// Kills is the number of kill → checkpoint-backed restart → recover
+	// cycles to attempt (default 2).
+	Kills int
+	// Cancels is the number of migration-cancellation faults (default 2).
+	// Cancels target empty hash ranges only: cancelling a range that holds
+	// acked data would require replication this system does not claim.
+	Cancels int
+	// ConcurrentPairs is the number of forced concurrent-migration events:
+	// two disjoint empty-range migrations started back-to-back on disjoint
+	// server pairs, observed via Admin.BalanceStatus (default 2).
+	ConcurrentPairs int
+	// OverlapAttempts is the number of live overlapping StartMigration
+	// attempts, each expected to fail with ErrMigrationOverlap (default 2).
+	OverlapAttempts int
+
+	// Logf, when set, receives progress lines (e.g. testing.T.Logf).
+	Logf func(format string, args ...any)
+}
+
+// Result is one soak run's outcome. A correct run has an empty Violations.
+type Result struct {
+	Servers  int
+	Duration time.Duration
+
+	// Ops counts acked client operations (reads + RMWs); AggregateMops is
+	// Ops over the loaded-phase wall clock, in millions per second.
+	Ops           uint64
+	AggregateMops float64
+
+	// Violations lists every linearizability or liveness breach observed
+	// (capped); empty means the history checked out.
+	Violations []string
+
+	// MaxConcurrentMigrations is the largest in-flight migration count the
+	// harness observed via Admin.BalanceStatus / the metadata store.
+	MaxConcurrentMigrations int
+	// MigrationsSeen counts distinct migration IDs observed in flight
+	// (fault-injected and balancer-triggered).
+	MigrationsSeen int
+
+	// Fault-schedule accounting: events that actually executed.
+	Kills             int
+	Cancels           int
+	OverlapRejections int
+}
+
+func (c *Config) withDefaults() {
+	if c.Servers <= 0 {
+		c.Servers = 8
+	}
+	if c.Servers < 4 {
+		c.Servers = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Keys <= 0 {
+		c.Keys = 2048
+	}
+	if c.BatchOps <= 0 {
+		c.BatchOps = 64
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Kills < 0 {
+		c.Kills = 0
+	} else if c.Kills == 0 {
+		c.Kills = 2
+	}
+	if c.Cancels == 0 {
+		c.Cancels = 2
+	}
+	if c.ConcurrentPairs == 0 {
+		c.ConcurrentPairs = 2
+	}
+	if c.OverlapAttempts == 0 {
+		c.OverlapAttempts = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// keyState is one key's linearizability ledger (see the package comment).
+type keyState struct {
+	issued   atomic.Uint64
+	acked    atomic.Uint64
+	observed atomic.Uint64
+}
+
+// node is one server slot; srv is swapped in place across kill/restart
+// cycles while the devices persist the slot's durable state.
+type node struct {
+	id      string
+	balance bool // hosts a balancer (re-armed on restart)
+
+	mu      sync.Mutex
+	srv     *shadowfax.Server
+	logDev  *shadowfax.MemDevice
+	ckptDev *shadowfax.MemDevice
+}
+
+func (n *node) server() *shadowfax.Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv
+}
+
+type harness struct {
+	cfg     Config
+	cluster *shadowfax.Cluster
+	nodes   []*node
+	clients []*shadowfax.Client
+	admin   *shadowfax.Admin
+
+	keys   [][]byte
+	hashes []uint64 // sorted key hashes, for empty-range discovery
+	states []keyState
+
+	// gate pauses the workers: workers hold it R across one batch; the
+	// fault injector takes it W so a kill never races an in-flight op.
+	gate  sync.RWMutex
+	stop  atomic.Bool
+	start time.Time
+
+	opsAcked atomic.Uint64
+
+	violMu sync.Mutex
+	viol   []string
+
+	migMu   sync.Mutex
+	migSeen map[uint64]bool
+	migMax  int
+
+	// injRng belongs to the fault injector alone (one goroutine).
+	injRng *rand.Rand
+
+	kills, cancels, overlaps int
+}
+
+const (
+	sampleDuration = 20 * time.Millisecond
+	balancerEvery  = 150 * time.Millisecond
+)
+
+// Run executes one soak: boot, preload, load + faults, drain, final sweep.
+// The error return covers harness failures (a server that cannot restart);
+// correctness breaches land in Result.Violations instead.
+func Run(cfg Config) (Result, error) {
+	cfg.withDefaults()
+	h := &harness{
+		cfg: cfg, migSeen: map[uint64]bool{},
+		injRng: rand.New(rand.NewSource(cfg.Seed ^ 0x50a4)),
+	}
+	h.cluster = shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetFree))
+	defer h.cluster.Close()
+
+	if err := h.boot(); err != nil {
+		h.closeAll()
+		return Result{}, err
+	}
+	defer h.closeAll()
+
+	if err := h.preload(); err != nil {
+		return Result{}, err
+	}
+
+	h.start = time.Now()
+	pollDone := make(chan struct{})
+	go h.pollMigrations(pollDone)
+
+	var wg sync.WaitGroup
+	for i, cl := range h.clients {
+		wg.Add(1)
+		go func(idx int, cl *shadowfax.Client) {
+			defer wg.Done()
+			h.worker(idx, cl)
+		}(i, cl)
+	}
+
+	if err := h.injectFaults(); err != nil {
+		h.stop.Store(true)
+		wg.Wait()
+		close(pollDone)
+		return Result{}, err
+	}
+
+	h.stop.Store(true)
+	wg.Wait()
+	loaded := time.Since(h.start)
+	close(pollDone)
+
+	h.settle()
+	h.finalSweep()
+
+	res := Result{
+		Servers:  cfg.Servers,
+		Duration: loaded,
+		Ops:      h.opsAcked.Load(),
+		Kills:    h.kills, Cancels: h.cancels, OverlapRejections: h.overlaps,
+	}
+	if secs := loaded.Seconds(); secs > 0 {
+		res.AggregateMops = float64(res.Ops) / secs / 1e6
+	}
+	h.migMu.Lock()
+	res.MaxConcurrentMigrations = h.migMax
+	res.MigrationsSeen = len(h.migSeen)
+	h.migMu.Unlock()
+	h.violMu.Lock()
+	res.Violations = append(res.Violations, h.viol...)
+	h.violMu.Unlock()
+	return res, nil
+}
+
+// boot partitions the hash space evenly, starts every server on persistent
+// devices (so kill/restart cycles recover from them), hosts balancers on the
+// first two nodes, and dials the client workers.
+func (h *harness) boot() error {
+	n := h.cfg.Servers
+	step := ^uint64(0) / uint64(n)
+	for i := 0; i < n; i++ {
+		nd := &node{
+			id:      fmt.Sprintf("s%02d", i),
+			balance: i < 2,
+			logDev:  shadowfax.NewMemDevice(shadowfax.LatencyModel{}, 2),
+			ckptDev: shadowfax.NewMemDevice(shadowfax.LatencyModel{}, 2),
+		}
+		start := uint64(i) * step
+		end := start + step
+		if i == n-1 {
+			end = ^uint64(0)
+		}
+		srv, err := shadowfax.NewServer(h.cluster, nd.id, h.serverOpts(nd,
+			shadowfax.WithOwnership(shadowfax.HashRange{Start: start, End: end}))...)
+		if err != nil {
+			return fmt.Errorf("soak: booting %s: %w", nd.id, err)
+		}
+		nd.srv = srv
+		h.nodes = append(h.nodes, nd)
+	}
+	for i := 0; i < h.cfg.Clients; i++ {
+		cl, err := shadowfax.Dial(h.cluster, shadowfax.WithClientThreads(1))
+		if err != nil {
+			return fmt.Errorf("soak: dialing client %d: %w", i, err)
+		}
+		h.clients = append(h.clients, cl)
+	}
+	h.admin = shadowfax.NewAdmin(h.cluster)
+
+	h.keys = make([][]byte, h.cfg.Keys)
+	h.hashes = make([]uint64, h.cfg.Keys)
+	h.states = make([]keyState, h.cfg.Keys)
+	for i := range h.keys {
+		h.keys[i] = []byte(fmt.Sprintf("soak-%06d", i))
+		h.hashes[i] = faster.HashOf(h.keys[i])
+	}
+	sort.Slice(h.hashes, func(a, b int) bool { return h.hashes[a] < h.hashes[b] })
+	return nil
+}
+
+// serverOpts is the option set shared by boot and restart-after-kill; the
+// devices come from the node so recovery sees the pre-kill state.
+func (h *harness) serverOpts(nd *node, extra ...shadowfax.ServerOption) []shadowfax.ServerOption {
+	opts := []shadowfax.ServerOption{
+		shadowfax.WithThreads(h.cfg.Threads),
+		shadowfax.WithLogDevice(nd.logDev),
+		shadowfax.WithCheckpointDevice(nd.ckptDev),
+		shadowfax.WithSampleDuration(sampleDuration),
+	}
+	if nd.balance {
+		opts = append(opts, shadowfax.WithAutoScale(shadowfax.AutoScaleConfig{
+			Every:         balancerEvery,
+			Imbalance:     2.0,
+			Cooldown:      1500 * time.Millisecond,
+			MinOpsPerSec:  200,
+			MaxConcurrent: 4,
+		}))
+	}
+	return append(opts, extra...)
+}
+
+func (h *harness) closeAll() {
+	for _, cl := range h.clients {
+		cl.Close()
+	}
+	h.clients = nil
+	for _, nd := range h.nodes {
+		if srv := nd.server(); srv != nil {
+			srv.Close()
+		}
+		nd.logDev.Close()
+		nd.ckptDev.Close()
+	}
+	h.nodes = nil
+}
+
+// preload materializes every key as a zero counter so NotFound is a
+// violation from the first read on.
+func (h *harness) preload() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl := h.clients[0]
+	zero := make([]byte, 8)
+	for i := range h.keys {
+		if err := cl.Set(ctx, h.keys[i], zero); err != nil {
+			return fmt.Errorf("soak: preloading key %d: %w", i, err)
+		}
+	}
+	return cl.Drain(ctx)
+}
+
+func (h *harness) violate(format string, args ...any) {
+	h.violMu.Lock()
+	defer h.violMu.Unlock()
+	if len(h.viol) < 32 {
+		h.viol = append(h.viol, fmt.Sprintf(format, args...))
+	}
+}
+
+// observeInFlight folds one in-flight snapshot into the concurrency ledger.
+func (h *harness) observeInFlight(migs []shadowfax.MigrationState) {
+	live := 0
+	h.migMu.Lock()
+	for _, m := range migs {
+		if !m.InFlight() {
+			continue
+		}
+		live++
+		if !h.migSeen[m.ID] {
+			h.cfg.Logf("mig %d epoch %d %s->%s %s", m.ID, m.Epoch, m.Source, m.Target, m.Range)
+		}
+		h.migSeen[m.ID] = true
+	}
+	if live > h.migMax {
+		h.migMax = live
+	}
+	h.migMu.Unlock()
+}
+
+// pollMigrations samples the metadata store's in-flight set continuously so
+// balancer-triggered concurrency is captured too, not just forced pairs.
+func (h *harness) pollMigrations(done <-chan struct{}) {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			h.observeInFlight(h.cluster.Migrations())
+		}
+	}
+}
+
+// hotspotShift rotates the zipf hotspot through the keyspace over the run,
+// so the balancer sees load move between servers.
+func (h *harness) hotspotShift() uint64 {
+	period := h.cfg.Duration / 6
+	if period <= 0 {
+		period = time.Second
+	}
+	steps := uint64(time.Since(h.start) / period)
+	return steps * uint64(h.cfg.Keys) / 7
+}
+
+// worker drives one client with zipf-skewed batches of 75% RMW increments
+// and 25% checked reads until the run stops. The gate is held R across each
+// batch so the injector's W-acquisition doubles as a barrier: when it holds
+// the gate, no client op is in flight.
+func (h *harness) worker(idx int, cl *shadowfax.Client) {
+	rng := rand.New(rand.NewSource(h.cfg.Seed + int64(idx)*7919))
+	zipf := rand.NewZipf(rng, 1.2, 8, uint64(h.cfg.Keys-1))
+	delta := make([]byte, 8)
+	binary.LittleEndian.PutUint64(delta, 1)
+
+	type pendingOp struct {
+		f    *shadowfax.Future
+		key  int
+		read bool
+		lb   uint64
+	}
+	pend := make([]pendingOp, 0, h.cfg.BatchOps)
+
+	for !h.stop.Load() {
+		h.gate.RLock()
+		if h.stop.Load() {
+			h.gate.RUnlock()
+			return
+		}
+		shift := h.hotspotShift()
+		pend = pend[:0]
+		for j := 0; j < h.cfg.BatchOps; j++ {
+			k := int((zipf.Uint64() + shift) % uint64(h.cfg.Keys))
+			ks := &h.states[k]
+			if rng.Intn(4) == 0 {
+				lb := ks.acked.Load()
+				if o := ks.observed.Load(); o > lb {
+					lb = o
+				}
+				pend = append(pend, pendingOp{f: cl.GetAsync(h.keys[k]), key: k, read: true, lb: lb})
+			} else {
+				ks.issued.Add(1)
+				pend = append(pend, pendingOp{f: cl.RMWAsync(h.keys[k], delta), key: k})
+			}
+		}
+		cl.Flush()
+		wctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		for _, p := range pend {
+			v, err := p.f.Wait(wctx)
+			ks := &h.states[p.key]
+			switch {
+			case err == nil && p.read:
+				if len(v) != 8 {
+					h.violate("key %d: read returned %d bytes, want 8", p.key, len(v))
+				} else {
+					got := binary.LittleEndian.Uint64(v)
+					hi := ks.issued.Load()
+					if got < p.lb || got > hi {
+						h.violate("key %d (hash %#x): read %d outside linearizable bounds [%d, %d]",
+							p.key, faster.HashOf(h.keys[p.key]), got, p.lb, hi)
+					}
+					casMax(&ks.observed, got)
+				}
+				h.opsAcked.Add(1)
+			case err == nil:
+				ks.acked.Add(1)
+				h.opsAcked.Add(1)
+			case p.read && errors.Is(err, shadowfax.ErrNotFound):
+				h.violate("key %d (hash %#x): vanished (NotFound after preload)", p.key, faster.HashOf(h.keys[p.key]))
+			case errors.Is(err, context.DeadlineExceeded):
+				// Liveness: nothing in the schedule may wedge an op for a
+				// minute. (RMW futures stay unacked — covered by issued.)
+				h.violate("worker %d key %d: op stuck >1m (read=%v): %v", idx, p.key, p.read, err)
+			default:
+				// Transient (view churn mid-recovery): indeterminate RMWs
+				// stay unacked; the final sweep's issued bound covers them.
+			}
+			p.f.Release()
+		}
+		cancel()
+		h.gate.RUnlock()
+	}
+}
+
+func casMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ---- fault schedule ----------------------------------------------------
+
+// injectFaults runs the deterministic event schedule, spread evenly over the
+// loaded phase. Event order interleaves the four fault kinds round-robin so
+// kills land between concurrency events rather than clumping.
+func (h *harness) injectFaults() error {
+	type eventFn func() error
+	var events []eventFn
+	counts := []struct {
+		n  int
+		fn eventFn
+	}{
+		{h.cfg.ConcurrentPairs, h.concurrentPairEvent},
+		{h.cfg.Kills, h.killEvent},
+		{h.cfg.OverlapAttempts, h.overlapEvent},
+		{h.cfg.Cancels, h.cancelEvent},
+	}
+	for round := 0; ; round++ {
+		added := false
+		for _, c := range counts {
+			if round < c.n {
+				events = append(events, c.fn)
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	if len(events) == 0 {
+		time.Sleep(h.cfg.Duration)
+		return nil
+	}
+	gap := h.cfg.Duration / time.Duration(len(events)+1)
+	deadline := time.Now().Add(h.cfg.Duration)
+	for _, ev := range events {
+		time.Sleep(gap)
+		if err := ev(); err != nil {
+			return err
+		}
+	}
+	if rest := time.Until(deadline); rest > 0 {
+		time.Sleep(rest)
+	}
+	return nil
+}
+
+// idleServers returns node indices not party to any in-flight migration,
+// shuffled by the injector's seeded RNG (injector goroutine only).
+func (h *harness) idleServers(exclude map[int]bool) []int {
+	busy := map[string]bool{}
+	for _, m := range h.cluster.Migrations() {
+		if m.InFlight() {
+			busy[m.Source] = true
+			busy[m.Target] = true
+		}
+	}
+	var out []int
+	for i, nd := range h.nodes {
+		if !busy[nd.id] && !exclude[i] {
+			out = append(out, i)
+		}
+	}
+	h.injRng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}
+
+// emptyRange finds a hash subrange owned by the node that contains no
+// workload key hash: migrating or cancelling it can never lose data. It
+// picks the widest gap between consecutive key hashes inside the node's
+// owned ranges.
+func (h *harness) emptyRange(idx int) (shadowfax.HashRange, bool) {
+	view, err := h.cluster.View(h.nodes[idx].id)
+	if err != nil {
+		return shadowfax.HashRange{}, false
+	}
+	var best shadowfax.HashRange
+	var bestW uint64
+	consider := func(lo, hi uint64) { // candidate empty span [lo, hi)
+		if hi > lo && hi-lo > bestW {
+			best, bestW = shadowfax.HashRange{Start: lo, End: hi}, hi-lo
+		}
+	}
+	for _, r := range view.Ranges {
+		lo := sort.Search(len(h.hashes), func(i int) bool { return h.hashes[i] >= r.Start })
+		hi := sort.Search(len(h.hashes), func(i int) bool { return h.hashes[i] >= r.End })
+		prev := r.Start
+		for _, kh := range h.hashes[lo:hi] {
+			consider(prev, kh)
+			prev = kh + 1
+		}
+		consider(prev, r.End)
+	}
+	if bestW < 16 {
+		return shadowfax.HashRange{}, false
+	}
+	// Take the middle half so repeated events on adjacent ownership don't
+	// keep colliding on identical bounds.
+	q := bestW / 4
+	return shadowfax.HashRange{Start: best.Start + q, End: best.End - q}, true
+}
+
+// concurrentPairEvent forces ≥2 concurrent migrations: two empty-range
+// migrations on disjoint idle server pairs started back-to-back, then
+// observed through Admin.BalanceStatus — the same surface an operator would
+// use — and folded into the concurrency ledger.
+func (h *harness) concurrentPairEvent() error {
+	free := h.idleServers(nil)
+	if len(free) < 4 {
+		h.cfg.Logf("soak: concurrent-pair skipped (only %d idle servers)", len(free))
+		return nil
+	}
+	type move struct {
+		src, tgt int
+		rng      shadowfax.HashRange
+	}
+	var moves []move
+	used := map[int]bool{}
+	for i := 0; i+1 < len(free) && len(moves) < 2; i++ {
+		src := free[i]
+		if used[src] {
+			continue
+		}
+		rng, ok := h.emptyRange(src)
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(free); j++ {
+			if !used[free[j]] && free[j] != src {
+				moves = append(moves, move{src: src, tgt: free[j], rng: rng})
+				used[src], used[free[j]] = true, true
+				break
+			}
+		}
+	}
+	if len(moves) < 2 {
+		h.cfg.Logf("soak: concurrent-pair skipped (no two disjoint empty ranges)")
+		return nil
+	}
+	started := 0
+	for _, mv := range moves {
+		if err := h.nodes[mv.src].server().StartMigration(h.nodes[mv.tgt].id, mv.rng); err != nil {
+			h.cfg.Logf("soak: pair migration %s->%s %v: %v",
+				h.nodes[mv.src].id, h.nodes[mv.tgt].id, mv.rng, err)
+			continue
+		}
+		started++
+	}
+	if started == 2 {
+		// Observe through the public admin surface, like an operator.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		st, err := h.admin.BalanceStatus(ctx, h.nodes[0].id)
+		cancel()
+		if err == nil {
+			h.observeInFlight(st.InFlight)
+			epochs := map[uint64]bool{}
+			for _, m := range st.InFlight {
+				if m.Epoch == 0 {
+					h.violate("migration %d in flight with zero epoch", m.ID)
+				}
+				if epochs[m.Epoch] {
+					h.violate("duplicate migration epoch %d in flight", m.Epoch)
+				}
+				epochs[m.Epoch] = true
+			}
+			h.cfg.Logf("soak: concurrent pair in flight: %d migrations via balance-status", len(st.InFlight))
+		}
+	}
+	h.waitMigrationsSettled(10 * time.Second)
+	return nil
+}
+
+// overlapEvent checks the overlap guard under fire: with an empty-range
+// migration in flight, a third server's overlapping StartMigration must be
+// rejected with ErrMigrationOverlap before any state changes hands.
+func (h *harness) overlapEvent() error {
+	free := h.idleServers(nil)
+	if len(free) < 3 {
+		h.cfg.Logf("soak: overlap skipped (only %d idle servers)", len(free))
+		return nil
+	}
+	src, tgt, third := free[0], free[1], free[2]
+	rng, ok := h.emptyRange(src)
+	if !ok {
+		h.cfg.Logf("soak: overlap skipped (no empty range on %s)", h.nodes[src].id)
+		return nil
+	}
+	if err := h.nodes[src].server().StartMigration(h.nodes[tgt].id, rng); err != nil {
+		h.cfg.Logf("soak: overlap base migration failed: %v", err)
+		return nil
+	}
+	sub := shadowfax.HashRange{Start: rng.Start + (rng.End-rng.Start)/4, End: rng.End}
+	err := h.nodes[third].server().StartMigration(h.nodes[tgt].id, sub)
+	switch {
+	case err == nil:
+		h.violate("overlapping StartMigration %v over in-flight %v was accepted", sub, rng)
+	case errors.Is(err, metadata.ErrMigrationOverlap):
+		h.overlaps++
+	default:
+		// The base migration can complete under us (it is empty and fast);
+		// then the attempt fails on ownership instead. Not a rejection we
+		// count, but not a violation either.
+		h.cfg.Logf("soak: overlap attempt failed with %v (base likely completed)", err)
+	}
+	h.observeInFlight(h.cluster.Migrations())
+	h.waitMigrationsSettled(10 * time.Second)
+	return nil
+}
+
+// cancelEvent starts an empty-range migration and cancels it mid-flight,
+// exercising §3.3.1 cancellation: ownership snaps back to the source, both
+// views advance, and the target's half-built state is retired.
+func (h *harness) cancelEvent() error {
+	free := h.idleServers(nil)
+	if len(free) < 2 {
+		h.cfg.Logf("soak: cancel skipped (only %d idle servers)", len(free))
+		return nil
+	}
+	src, tgt := free[0], free[1]
+	rng, ok := h.emptyRange(src)
+	if !ok {
+		h.cfg.Logf("soak: cancel skipped (no empty range on %s)", h.nodes[src].id)
+		return nil
+	}
+	if err := h.nodes[src].server().StartMigration(h.nodes[tgt].id, rng); err != nil {
+		h.cfg.Logf("soak: cancel base migration failed: %v", err)
+		return nil
+	}
+	var id uint64
+	found := false
+	for _, m := range h.cluster.Migrations() {
+		if m.InFlight() && m.Source == h.nodes[src].id && m.Range == rng {
+			id, found = m.ID, true
+			break
+		}
+	}
+	if !found {
+		h.cfg.Logf("soak: cancel target migration already gone")
+		return nil
+	}
+	time.Sleep(sampleDuration / 2) // let it get into the protocol
+	if err := h.cluster.CancelMigration(id); err != nil {
+		h.cfg.Logf("soak: cancelling migration %d: %v", id, err)
+		return nil
+	}
+	h.cancels++
+	h.waitMigrationsSettled(10 * time.Second)
+	return nil
+}
+
+// killEvent is the crash-recovery fault: pause and drain all load, wait for
+// the victim to be clear of migrations, kick off an unrelated empty-range
+// migration so the kill genuinely lands mid-migration, checkpoint the
+// victim, kill it, restart it from its devices with recovery, re-establish
+// every client's sessions, and resume load.
+func (h *harness) killEvent() error {
+	h.gate.Lock()
+	defer h.gate.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, cl := range h.clients {
+		if err := cl.Drain(ctx); err != nil {
+			h.violate("drain before kill failed: %v", err)
+			return nil
+		}
+	}
+	// Let the balancer observe a quiet interval so it won't start a new
+	// migration involving the victim between our check and the kill.
+	time.Sleep(2 * balancerEvery)
+
+	victims := h.idleServers(nil)
+	if len(victims) == 0 {
+		h.cfg.Logf("soak: kill skipped (no migration-free server)")
+		return nil
+	}
+	victim := victims[0]
+	nd := h.nodes[victim]
+
+	// Make the kill land mid-migration: start an empty-range migration
+	// between two *other* servers right before taking the victim down.
+	others := h.idleServers(map[int]bool{victim: true})
+	if len(others) >= 2 {
+		if rng, ok := h.emptyRange(others[0]); ok {
+			if err := h.nodes[others[0]].server().StartMigration(h.nodes[others[1]].id, rng); err == nil {
+				h.cfg.Logf("soak: kill lands during migration %s->%s %v",
+					h.nodes[others[0]].id, h.nodes[others[1]].id, rng)
+			}
+		}
+	}
+
+	nd.mu.Lock()
+	if _, err := nd.srv.Checkpoint(); err != nil {
+		nd.mu.Unlock()
+		h.violate("checkpoint before kill of %s failed: %v", nd.id, err)
+		return nil
+	}
+	nd.srv.Close()
+	srv, err := shadowfax.NewServer(h.cluster, nd.id,
+		h.serverOpts(nd, shadowfax.WithRecovery())...)
+	if err != nil {
+		nd.srv = nil
+		nd.mu.Unlock()
+		return fmt.Errorf("soak: restarting %s after kill: %w", nd.id, err)
+	}
+	nd.srv = srv
+	nd.mu.Unlock()
+
+	for i, cl := range h.clients {
+		if err := cl.RecoverSessions(ctx); err != nil {
+			h.violate("client %d session recovery after killing %s failed: %v", i, nd.id, err)
+		}
+	}
+	h.kills++
+	h.cfg.Logf("soak: killed and recovered %s", nd.id)
+	h.observeInFlight(h.cluster.Migrations())
+	return nil
+}
+
+// waitMigrationsSettled blocks until no migration is in flight (so events
+// compose cleanly) or the timeout passes.
+func (h *harness) waitMigrationsSettled(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		live := false
+		for _, m := range h.cluster.Migrations() {
+			if m.InFlight() {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	h.cfg.Logf("soak: migrations still in flight after %v", timeout)
+}
+
+// ---- teardown checks ---------------------------------------------------
+
+// settle drains every client and waits out in-flight migrations before the
+// final sweep reads.
+func (h *harness) settle() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, cl := range h.clients {
+		if err := cl.Drain(ctx); err != nil {
+			h.violate("final drain of client %d failed: %v", i, err)
+		}
+	}
+	h.waitMigrationsSettled(30 * time.Second)
+}
+
+// finalSweep reads every key once more: each counter must hold at least
+// every acked increment (durability across kills/cancels/migrations) and at
+// most every issued one (exactly-once across session recovery replays).
+func (h *harness) finalSweep() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl := h.clients[0]
+	for i := range h.keys {
+		var v []byte
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			v, err = cl.Get(ctx, h.keys[i])
+			if err == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			h.violate("final sweep: key %d unreadable: %v", i, err)
+			continue
+		}
+		if len(v) != 8 {
+			h.violate("final sweep: key %d has %d bytes, want 8", i, len(v))
+			continue
+		}
+		got := binary.LittleEndian.Uint64(v)
+		ks := &h.states[i]
+		acked, issued := ks.acked.Load(), ks.issued.Load()
+		if got < acked || got > issued {
+			h.violate("final sweep: key %d = %d, want within [acked %d, issued %d]",
+				i, got, acked, issued)
+		}
+	}
+}

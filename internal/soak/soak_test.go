@@ -1,0 +1,95 @@
+package soak
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestSoakLinearizability is the acceptance soak: 8 in-process servers under
+// skewed shifting load with the full fault schedule — kill/restart with
+// recovery, migration cancellation, forced concurrent disjoint-range
+// migrations, live overlapping-start attempts — and zero linearizability
+// violations. Run it with -race: the harness's checker goroutines and the
+// servers' dispatchers sharing one process is the point.
+func TestSoakLinearizability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak takes seconds; skipped in -short")
+	}
+	res, err := Run(Config{
+		Servers:  8,
+		Clients:  4,
+		Keys:     2048,
+		Duration: 4 * time.Second,
+		Seed:     1,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak run failed: %v", err)
+	}
+	assertSoak(t, res)
+	if res.Kills < 1 {
+		t.Errorf("no kill/restart cycle executed (want >= 1)")
+	}
+	if res.Cancels < 1 {
+		t.Errorf("no migration cancellation executed (want >= 1)")
+	}
+	t.Logf("soak: %d ops (%.3f Mops/s aggregate), %d migrations seen, max %d concurrent, %d kills, %d cancels, %d overlap rejections",
+		res.Ops, res.AggregateMops, res.MigrationsSeen, res.MaxConcurrentMigrations,
+		res.Kills, res.Cancels, res.OverlapRejections)
+}
+
+// TestSoakSmoke is the CI smoke configuration: 4 servers, a longer budget,
+// fixed seed. Gated behind SOAK_SMOKE=1 so the ordinary test run stays fast;
+// the CI workflow's soak job sets it.
+func TestSoakSmoke(t *testing.T) {
+	if os.Getenv("SOAK_SMOKE") == "" {
+		t.Skip("set SOAK_SMOKE=1 to run the CI soak smoke")
+	}
+	dur := 30 * time.Second
+	if d := os.Getenv("SOAK_DURATION"); d != "" {
+		if parsed, err := time.ParseDuration(d); err == nil {
+			dur = parsed
+		}
+	}
+	res, err := Run(Config{
+		Servers:         4,
+		Clients:         4,
+		Keys:            2048,
+		Duration:        dur,
+		Seed:            42,
+		Kills:           3,
+		Cancels:         3,
+		ConcurrentPairs: 3,
+		OverlapAttempts: 3,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak run failed: %v", err)
+	}
+	assertSoak(t, res)
+	t.Logf("soak smoke: %d ops (%.3f Mops/s), %d migrations, max %d concurrent, %d kills, %d cancels, %d overlap rejections",
+		res.Ops, res.AggregateMops, res.MigrationsSeen, res.MaxConcurrentMigrations,
+		res.Kills, res.Cancels, res.OverlapRejections)
+}
+
+// assertSoak checks the invariants every soak configuration must satisfy.
+func assertSoak(t *testing.T, res Result) {
+	t.Helper()
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Ops == 0 {
+		t.Error("no operations acked: the workload never ran")
+	}
+	if res.MaxConcurrentMigrations < 2 {
+		t.Errorf("max concurrent migrations = %d, want >= 2 (concurrency never demonstrated)",
+			res.MaxConcurrentMigrations)
+	}
+	if res.OverlapRejections < 1 {
+		t.Error("no live overlapping start was rejected (want >= 1)")
+	}
+	if res.MigrationsSeen < 2 {
+		t.Errorf("only %d migrations observed in flight", res.MigrationsSeen)
+	}
+}

@@ -50,7 +50,7 @@ func fuzzSeeds() [][]byte {
 	metaResp := EncodeMetaResp(&MetaResp{
 		OK: true, Revision: 42,
 		MigValid: true,
-		Migration: MetaMigration{ID: 3, Source: "s1", Target: "s2",
+		Migration: MetaMigration{ID: 3, Epoch: 7, Source: "s1", Target: "s2",
 			RangeStart: 100, RangeEnd: 900, SourceDone: true},
 		Servers: []MetaServer{
 			{ID: "s1", Addr: "127.0.0.1:7777", ViewNumber: 4,
@@ -58,7 +58,8 @@ func fuzzSeeds() [][]byte {
 			{ID: "s2", ViewNumber: 2},
 		},
 		Migrations: []MetaMigration{
-			{ID: 3, Source: "s1", Target: "s2", RangeStart: 100, RangeEnd: 900},
+			{ID: 3, Epoch: 7, Source: "s1", Target: "s2", RangeStart: 100, RangeEnd: 900},
+			{ID: 4, Epoch: 8, Source: "s2", Target: "s1", RangeStart: 2000, RangeEnd: 3000},
 		},
 	})
 	metaErrResp := EncodeMetaResp(&MetaResp{
@@ -69,6 +70,10 @@ func fuzzSeeds() [][]byte {
 		Last: RebalanceResp{OK: true, Acted: true, Source: "s1", Target: "s2",
 			RangeStart: 1 << 62, RangeEnd: ^uint64(0), Reason: "split at load median"},
 		Rates: []ServerRate{{ID: "s1", MilliOps: 1_200_000}, {ID: "s2", MilliOps: 45_000}},
+		InFlight: []MetaMigration{
+			{ID: 5, Epoch: 11, Source: "s1", Target: "s2", RangeStart: 1 << 62, RangeEnd: 1 << 63},
+			{ID: 6, Epoch: 12, Source: "s3", Target: "s4", RangeStart: 0, RangeEnd: 1 << 60, SourceDone: true},
+		},
 	})
 	return [][]byte{
 		req, resp, rej, mig, compacted,
@@ -300,12 +305,17 @@ func TestDecodeCountGuards(t *testing.T) {
 		t.Fatal("stats resp with absurd sample count accepted")
 	}
 
-	// MsgBalanceStatusResp: absurd rate count.
-	hb := EncodeBalanceStatusResp(&BalanceStatusResp{Enabled: true})
-	hb = hb[:len(hb)-4] // strip the zero rate count
-	hb = appendU32(hb, 0xFFFFFFFF)
+	// MsgBalanceStatusResp: absurd rate and in-flight migration counts.
+	bb := EncodeBalanceStatusResp(&BalanceStatusResp{Enabled: true})
+	hb := append([]byte(nil), bb[:len(bb)-8]...) // strip both zero counts
+	hb = appendU32(hb, 0xFFFFFFFF)               // rate count
 	if _, err := DecodeBalanceStatusResp(hb); err == nil {
 		t.Fatal("balance status resp with absurd rate count accepted")
+	}
+	hf := append([]byte(nil), bb[:len(bb)-4]...) // strip the in-flight count
+	hf = appendU32(hf, 0xFFFFFFFF)
+	if _, err := DecodeBalanceStatusResp(hf); err == nil {
+		t.Fatal("balance status resp with absurd in-flight count accepted")
 	}
 }
 

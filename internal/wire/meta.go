@@ -57,6 +57,10 @@ const (
 	MetaErrUnknownMigration
 	MetaErrMigrationDone
 	MetaErrOther
+	// MetaErrMigrationOverlap rejects a StartMigration whose range overlaps
+	// a migration still in flight (appended after MetaErrOther so existing
+	// class values stay stable).
+	MetaErrMigrationOverlap
 )
 
 // MetaReq is one metadata-service call. Fields are a union over the ops:
@@ -86,6 +90,7 @@ type MetaServer struct {
 // MetaMigration is one uncollected migration's record in a snapshot.
 type MetaMigration struct {
 	ID             uint64
+	Epoch          uint64
 	Source, Target string
 	RangeStart     uint64
 	RangeEnd       uint64
@@ -165,6 +170,7 @@ func DecodeMetaReq(buf []byte) (MetaReq, error) {
 // field and the Migrations list).
 func appendMetaMigration(dst []byte, m *MetaMigration) []byte {
 	dst = appendU64(dst, m.ID)
+	dst = appendU64(dst, m.Epoch)
 	var flags uint8
 	if m.SourceDone {
 		flags |= 1
@@ -184,13 +190,16 @@ func appendMetaMigration(dst []byte, m *MetaMigration) []byte {
 }
 
 // metaMigrationMinBytes is the smallest encoding of one migration record
-// (id + flags + range + two empty strings); count-guard denominator.
-const metaMigrationMinBytes = 8 + 1 + 8 + 8 + 2 + 2
+// (id + epoch + flags + range + two empty strings); count-guard denominator.
+const metaMigrationMinBytes = 8 + 8 + 1 + 8 + 8 + 2 + 2
 
 func decodeMetaMigration(d *decoder) (MetaMigration, error) {
 	var m MetaMigration
 	var err error
 	if m.ID, err = d.u64(); err != nil {
+		return m, err
+	}
+	if m.Epoch, err = d.u64(); err != nil {
 		return m, err
 	}
 	flags, err := d.u8()
@@ -393,8 +402,12 @@ type ServerRate struct {
 }
 
 // BalanceStatusResp is a balancer-enabled server's status snapshot: counters,
-// remaining cooldown, the last planning decision, and the per-server load
-// rates the next decision will be based on.
+// remaining cooldown, the last planning decision, the per-server load rates
+// the next decision will be based on, and the set of migrations currently in
+// flight cluster-wide (with their ranges and epochs). InFlight is filled by
+// every server — it reports metadata state, not balancer state — so the
+// concurrent-migration picture is observable even through a balancer-less
+// node.
 type BalanceStatusResp struct {
 	Enabled    bool
 	Passes     uint64
@@ -402,6 +415,7 @@ type BalanceStatusResp struct {
 	CooldownMs uint64 // remaining cooldown, milliseconds
 	Last       RebalanceResp
 	Rates      []ServerRate
+	InFlight   []MetaMigration
 }
 
 // EncodeBalanceStatusReq builds a MsgBalanceStatus frame.
@@ -427,6 +441,10 @@ func EncodeBalanceStatusResp(r *BalanceStatusResp) []byte {
 	for i := range r.Rates {
 		dst = appendString(dst, r.Rates[i].ID)
 		dst = appendU64(dst, r.Rates[i].MilliOps)
+	}
+	dst = appendU32(dst, uint32(len(r.InFlight)))
+	for i := range r.InFlight {
+		dst = appendMetaMigration(dst, &r.InFlight[i])
 	}
 	return dst
 }
@@ -481,6 +499,21 @@ func DecodeBalanceStatusResp(buf []byte) (BalanceStatusResp, error) {
 			return r, err
 		}
 		if r.Rates[i].MilliOps, err = d.u64(); err != nil {
+			return r, err
+		}
+	}
+	nmig, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	if uint64(nmig) > uint64(d.remaining())/metaMigrationMinBytes {
+		return r, ErrShortFrame
+	}
+	if nmig > 0 {
+		r.InFlight = make([]MetaMigration, nmig)
+	}
+	for i := range r.InFlight {
+		if r.InFlight[i], err = decodeMetaMigration(&d); err != nil {
 			return r, err
 		}
 	}

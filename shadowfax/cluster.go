@@ -132,6 +132,19 @@ func (c *Cluster) PendingMigrations(serverID string) []MigrationState {
 	return c.meta.PendingMigrationsFor(serverID)
 }
 
+// Migrations returns every migration the metadata provider still tracks,
+// in-flight or finished-but-uncollected, with their ranges and epochs.
+// Filter with MigrationState.InFlight for the live set — the same set
+// Admin.BalanceStatus reports over the wire.
+func (c *Cluster) Migrations() []MigrationState { return c.meta.Migrations() }
+
+// CancelMigration aborts an in-flight migration by id (§3.3.1): the range
+// returns to the source's ownership view and both parties' views advance, so
+// clients revalidate their routing. Operators use it to back out a migration
+// whose target has failed or stalled; cancelling a migration that already
+// completed fails.
+func (c *Cluster) CancelMigration(id uint64) error { return c.meta.CancelMigration(id) }
+
 // Discover contacts a server directly by transport address, registers its
 // identity, address and ownership view in this cluster's metadata store, and
 // returns its stats snapshot. It is the bootstrap handshake for talking to

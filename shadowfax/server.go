@@ -121,15 +121,22 @@ type AutoScaleConfig struct {
 	// MinOpsPerSec is the load floor below which the cluster is considered
 	// idle and never split (default 500).
 	MinOpsPerSec float64
+	// MaxConcurrent caps how many migrations one planning pass may start
+	// concurrently over disjoint hash ranges: the top-K hottest servers
+	// each split toward a distinct cool server (default 4). Set 1 to
+	// restore strictly serial migrations.
+	MaxConcurrent int
 }
 
 // WithAutoScale hosts the elastic control plane's load balancer on this
 // server. The balancer polls every registered server's stats, and when load
-// is imbalanced past cfg.Imbalance it splits the hottest server's sampled
-// hash distribution at the load median and migrates the hot half to the
-// coolest server — the paper's scale-out (§3.3), triggered automatically.
-// Exactly one server per deployment should host the balancer. Inspect and
-// drive it with Admin.BalanceStatus / Admin.Rebalance.
+// is imbalanced past cfg.Imbalance it splits up to cfg.MaxConcurrent of the
+// hottest servers' sampled hash distributions at their load medians and
+// migrates the hot halves to the coolest servers in parallel — the paper's
+// scale-out (§3.3), triggered automatically. One balancer host per
+// deployment is the normal topology; additional hosts are safe (the
+// metadata store rejects overlapping migration starts) but plan redundant
+// passes. Inspect and drive it with Admin.BalanceStatus / Admin.Rebalance.
 func WithAutoScale(cfg AutoScaleConfig) ServerOption {
 	return func(sc *serverConfig) {
 		sc.cfg.AutoScale = true
@@ -137,6 +144,7 @@ func WithAutoScale(cfg AutoScaleConfig) ServerOption {
 		sc.cfg.AutoScaleImbalance = cfg.Imbalance
 		sc.cfg.AutoScaleCooldown = cfg.Cooldown
 		sc.cfg.AutoScaleMinRate = cfg.MinOpsPerSec
+		sc.cfg.AutoScaleMaxConcurrent = cfg.MaxConcurrent
 	}
 }
 

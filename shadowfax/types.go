@@ -126,6 +126,10 @@ type BalancerStatus struct {
 	Last RebalanceDecision
 	// Rates is the last pass's observed per-server load (ops/sec).
 	Rates map[string]float64
+	// InFlight is the cluster's current set of in-flight migrations with
+	// their ranges and epochs. Every server reports it (it is metadata
+	// state, not balancer state), even when Enabled is false.
+	InFlight []MigrationState
 }
 
 func balancerStatusFromWire(r wire.BalanceStatusResp) BalancerStatus {
@@ -141,6 +145,13 @@ func balancerStatusFromWire(r wire.BalanceStatusResp) BalancerStatus {
 		for _, sr := range r.Rates {
 			st.Rates[sr.ID] = float64(sr.MilliOps) / 1000
 		}
+	}
+	for _, m := range r.InFlight {
+		st.InFlight = append(st.InFlight, MigrationState{
+			ID: m.ID, Epoch: m.Epoch, Source: m.Source, Target: m.Target,
+			Range:      HashRange{Start: m.RangeStart, End: m.RangeEnd},
+			SourceDone: m.SourceDone, TargetDone: m.TargetDone, Cancelled: m.Cancelled,
+		})
 	}
 	return st
 }
