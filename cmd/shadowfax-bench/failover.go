@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/shadowfax"
+)
+
+// The failover experiment: a primary with a hot standby under steady RMW
+// load is killed mid-run. The timeline captures the throughput dip and
+// recovery; the headline metrics are the time from kill to promotion (the
+// standby's failure detector + the metadata linearization point) and the
+// time until the clients' replayed sessions regain the pre-kill throughput.
+
+type failoverOptions struct {
+	Keys          uint64
+	ServerThreads int
+	DriveThreads  int
+	TotalRuntime  time.Duration
+	SampleEvery   time.Duration
+	KillAt        time.Duration
+	Seed          int64
+	Verbose       io.Writer
+}
+
+type failoverSample struct {
+	At   time.Duration
+	Mops float64
+}
+
+func runFailover(fo failoverOptions) error {
+	if fo.KillAt <= 0 {
+		fo.KillAt = fo.TotalRuntime / 3
+	}
+	logf := func(format string, args ...any) {
+		if fo.Verbose != nil {
+			fmt.Fprintf(fo.Verbose, "failover: "+format+"\n", args...)
+		}
+	}
+
+	cluster := shadowfax.NewCluster(shadowfax.WithInProcessNetwork(shadowfax.NetFree))
+	defer cluster.Close()
+	primary, err := shadowfax.NewServer(cluster, "primary",
+		shadowfax.WithThreads(fo.ServerThreads))
+	if err != nil {
+		return err
+	}
+	defer primary.Close()
+	standby, err := shadowfax.NewServer(cluster, "primary-b",
+		shadowfax.WithThreads(fo.ServerThreads),
+		shadowfax.WithReplication(shadowfax.ReplicationConfig{
+			ReplicaOf:      "primary",
+			HeartbeatEvery: 10 * time.Millisecond,
+			FailoverAfter:  100 * time.Millisecond,
+			AckTimeout:     2 * time.Second,
+		}))
+	if err != nil {
+		return err
+	}
+	defer standby.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(),
+		fo.TotalRuntime+2*time.Minute)
+	defer cancel()
+
+	syncDeadline := time.Now().Add(time.Minute)
+	for {
+		if r, ok := cluster.Replicas()["primary"]; ok && r.Synced {
+			break
+		}
+		if time.Now().After(syncDeadline) {
+			return fmt.Errorf("standby never finished its base sync")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	logf("standby synced; driving load (kill at %v)", fo.KillAt)
+
+	var (
+		ops   atomic.Uint64
+		stop  atomic.Bool
+		recMu sync.Mutex
+	)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < fo.DriveThreads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := shadowfax.Dial(cluster)
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(fo.Seed + int64(w)))
+			delta := make([]byte, 8)
+			binary.LittleEndian.PutUint64(delta, 1)
+			for !stop.Load() {
+				key := []byte(fmt.Sprintf("fo-%07d", rng.Int63n(int64(fo.Keys))))
+				// Per-op deadline: an op parked on a session the kill broke
+				// would otherwise wait out the whole run (broken-session ops
+				// are preserved for session recovery, not failed).
+				opCtx, cancelOp := context.WithTimeout(ctx, time.Second)
+				err := cl.RMW(opCtx, key, delta)
+				cancelOp()
+				if err != nil {
+					if stop.Load() || ctx.Err() != nil {
+						return
+					}
+					// The primary died under us: replay the sessions against
+					// whichever server the metadata store now points at.
+					// One worker recovers at a time; the others' recoveries
+					// become instant no-ops once the sessions are whole.
+					recMu.Lock()
+					for !stop.Load() && cl.RecoverSessions(ctx) != nil {
+						time.Sleep(2 * time.Millisecond)
+					}
+					recMu.Unlock()
+					continue
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	// Sampler.
+	var samples []failoverSample
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		t := time.NewTicker(fo.SampleEvery)
+		defer t.Stop()
+		last := uint64(0)
+		for range t.C {
+			if stop.Load() {
+				return
+			}
+			cur := ops.Load()
+			samples = append(samples, failoverSample{
+				At:   time.Since(start),
+				Mops: float64(cur-last) / fo.SampleEvery.Seconds() / 1e6,
+			})
+			last = cur
+		}
+	}()
+
+	// The fault: kill the primary abruptly at the configured offset, then
+	// watch for the standby's self-promotion.
+	time.Sleep(time.Until(start.Add(fo.KillAt)))
+	killAt := time.Since(start)
+	logf("killing primary at %v", killAt.Round(time.Millisecond))
+	primary.Close()
+	promoteDeadline := time.Now().Add(time.Minute)
+	for standby.IsStandby() {
+		if time.Now().After(promoteDeadline) {
+			stop.Store(true)
+			wg.Wait()
+			return fmt.Errorf("standby never promoted itself after the kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	timeToPromote := time.Since(start) - killAt
+	logf("standby promoted %v after the kill", timeToPromote.Round(time.Millisecond))
+
+	time.Sleep(time.Until(start.Add(fo.TotalRuntime)))
+	stop.Store(true)
+	wg.Wait()
+	<-samplerDone
+
+	// Pre-kill throughput baseline: samples fully inside the pre-kill
+	// window, minus the first (ramp-up).
+	var preSum float64
+	preN := 0
+	for _, s := range samples {
+		if s.At < killAt && s.At > fo.SampleEvery {
+			preSum += s.Mops
+			preN++
+		}
+	}
+	preMean := 0.0
+	if preN > 0 {
+		preMean = preSum / float64(preN)
+	}
+	recoveredIn := time.Duration(-1)
+	for _, s := range samples {
+		if s.At > killAt && s.Mops >= 0.9*preMean {
+			recoveredIn = s.At - killAt
+			break
+		}
+	}
+
+	fmt.Printf("# Failover: primary killed at %v; promoted in %v; throughput recovered in %v (pre-kill %.4f Mops/s)\n",
+		killAt.Round(time.Millisecond), timeToPromote.Round(time.Millisecond),
+		recoveredIn.Round(time.Millisecond), preMean)
+	fmt.Printf("%-10s %-12s\n", "t(s)", "system-Mops")
+	metrics := []BenchMetric{
+		{Name: "time_to_promote_seconds", Value: timeToPromote.Seconds(), Unit: "s"},
+		{Name: "throughput_recovered_seconds", Value: recoveredIn.Seconds(), Unit: "s"},
+		{Name: "pre_kill_mops", Value: preMean, Unit: "Mops/s"},
+	}
+	for _, s := range samples {
+		fmt.Printf("%-10.2f %-12.4f\n", s.At.Seconds(), s.Mops)
+		metrics = append(metrics, BenchMetric{
+			Name:  fmt.Sprintf("system_mops_timeline/t=%06.2f", s.At.Seconds()),
+			Value: s.Mops, Unit: "Mops/s",
+		})
+	}
+	if recoveredIn < 0 {
+		return fmt.Errorf("throughput never recovered to 90%% of the pre-kill mean (%.4f Mops/s)", preMean)
+	}
+	emitBenchJSON("failover", metrics)
+	return nil
+}

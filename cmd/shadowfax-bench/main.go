@@ -6,8 +6,8 @@
 //
 //	shadowfax-bench <experiment> [flags]
 //
-// Experiments: table1, fig8, fig9, table2, fig10, fig11, fig12, fig13,
-// fig14, fig15, cluster, all.
+// Experiments: table1, hotpath, fig8, fig9, table2, autoscale, failover,
+// fig10, fig11, fig12, fig13, fig14, fig15, cluster, all.
 package main
 
 import (
@@ -48,6 +48,8 @@ func main() {
 	ssdLat := fs.Duration("ssd-latency", 0, "local SSD read latency for spill modes (0=100µs)")
 	shiftAt := fs.Duration("shift-at", 0,
 		"autoscale experiment: jump the hot key set at this offset (0 = no shift)")
+	killAt := fs.Duration("kill-at", 0,
+		"failover experiment: kill the primary at this offset (0 = runtime/3)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	jsonDir := fs.String("json-dir", "",
 		"also write machine-readable BENCH_<experiment>.json files into this directory")
@@ -94,6 +96,12 @@ func main() {
 			ShiftAt:       *shiftAt,
 			ServerThreads: *serverThreads, DriveThreads: *serverThreads,
 		})
+	case "failover":
+		err = runFailover(failoverOptions{
+			Keys: *keys, ServerThreads: *serverThreads, DriveThreads: *serverThreads,
+			TotalRuntime: *runtime, SampleEvery: *sample, KillAt: *killAt,
+			Seed: *seed, Verbose: o.Verbose,
+		})
 	case "fig13":
 		err = runFig13(so)
 	case "fig14":
@@ -125,6 +133,7 @@ experiments:
   fig9      Shadowfax vs Seastar (uniform keys)
   table2    throughput/batch/latency/queue depth per network stack
   autoscale balancer-driven scale-out under a (shifting) hotspot — no manual Migrate()
+  failover  kill a replicated primary mid-run: time-to-promote + throughput dip/recovery
   fig10     system throughput during scale-out (-mode=mem|indirection|rocksteady)
   fig11     per-server throughput during scale-out
   fig12     pending-set size during scale-out

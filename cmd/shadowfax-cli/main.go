@@ -6,9 +6,10 @@
 // and prints its statistics, see -compact-every / -compact-watermark), stats
 // (prints the server's counters and view), migrate (triggers a manual
 // scale-out of a hash range to another server), rebalance (asks the hosted
-// balancer for one planning pass, see -autoscale on shadowfax-server) and
+// balancer for one planning pass, see -autoscale on shadowfax-server),
 // balance-status (prints the balancer's counters, cooldown, last decision
-// and observed per-server load).
+// and observed per-server load) and drain (scale-in: migrates every range
+// the server owns to the survivors and retires it from the metadata store).
 //
 // Single-server use bootstraps with the Discover handshake: the CLI
 // contacts the server by address, learns its identity and ownership view,
@@ -42,7 +43,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	minArgs := map[string]int{
-		"checkpoint": 1, "compact": 1, "stats": 1,
+		"checkpoint": 1, "compact": 1, "stats": 1, "drain": 1,
 		"rebalance": 1, "balance-status": 1,
 		"get": 2, "set": 3, "del": 2, "rmw": 2,
 		"migrate": 4,
@@ -53,7 +54,7 @@ func main() {
 data plane:   get <key> | set <key> <value> | del <key> | rmw <key> [delta]
 admin:        checkpoint | compact | stats
 elasticity:   migrate <targetID> <rangeStart> <rangeEnd>   (hex or decimal)
-              rebalance | balance-status`)
+              rebalance | balance-status | drain [serverID]`)
 		os.Exit(2)
 	}
 
@@ -109,6 +110,18 @@ elasticity:   migrate <targetID> <rangeStart> <rangeEnd>   (hex or decimal)
 			log.Fatalf("migrate failed: %v", err)
 		}
 		fmt.Printf("migration of %v from %s to %s started\n", rng, serverID, target)
+		return
+	case "drain":
+		target := serverID // default: the server -addr points at
+		if len(args) > 1 {
+			target = args[1]
+		}
+		res, err := shadowfax.NewAdmin(cluster).Drain(ctx, target)
+		if err != nil {
+			log.Fatalf("drain failed: %v", err)
+		}
+		fmt.Printf("drained %s: %d range(s) migrated away, retired=%v; shut the server down\n",
+			target, res.Moved, res.Retired)
 		return
 	case "rebalance":
 		d, err := shadowfax.NewAdmin(cluster).Rebalance(ctx, serverID)

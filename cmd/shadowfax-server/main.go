@@ -75,10 +75,32 @@ func main() {
 		"hold-off after a triggered migration")
 	autoscaleMinRate := flag.Float64("autoscale-min-rate", 500,
 		"ops/sec floor below which the cluster is considered idle")
+	scaleIn := flag.Bool("scale-in", false,
+		"let the hosted balancer drain and retire chronically cold servers (needs -autoscale)")
+	scaleInBelow := flag.Float64("scale-in-below", 50,
+		"ops/sec low-water mark a server must stay under to be drained")
+	scaleInPasses := flag.Int("scale-in-passes", 5,
+		"consecutive cold planning passes that arm a drain")
+	scaleInMin := flag.Int("scale-in-min-servers", 2,
+		"server-count floor the balancer never drains below")
+	replicaOf := flag.String("replica-of", "",
+		"run as a hot standby for the named primary (requires -meta; promotes itself on primary failure)")
+	heartbeatEvery := flag.Duration("heartbeat-every", 100*time.Millisecond,
+		"replication stream keepalive period")
+	failoverAfter := flag.Duration("failover-after", time.Second,
+		"replication stream silence after which the standby probes the primary and promotes")
 	flag.Parse()
 
 	if *recoverFrom != "" {
 		*dir = *recoverFrom
+	}
+	if *replicaOf != "" {
+		if *meta == "" {
+			log.Fatal("shadowfax-server: -replica-of requires -meta (the standby reaches its primary through the shared metadata endpoint)")
+		}
+		if *recoverFrom != "" {
+			log.Fatal("shadowfax-server: -replica-of and -recover-from are mutually exclusive (a standby re-syncs from its primary)")
+		}
 	}
 
 	clusterOpts := []shadowfax.ClusterOption{
@@ -90,7 +112,7 @@ func main() {
 	cluster := shadowfax.NewCluster(clusterOpts...)
 	defer cluster.Close()
 
-	if *meta != "" && *recoverFrom == "" {
+	if *meta != "" && *recoverFrom == "" && *replicaOf == "" {
 		// Re-registering an id that already owns ranges would reset its view
 		// and orphan those ranges cluster-wide (no server would own them, and
 		// migration needs an owner to move them back). A joiner that crashed
@@ -120,6 +142,20 @@ func main() {
 			Imbalance:    *autoscaleImbalance,
 			Cooldown:     *autoscaleCooldown,
 			MinOpsPerSec: *autoscaleMinRate,
+		}))
+		if *scaleIn {
+			opts = append(opts, shadowfax.WithScaleIn(shadowfax.ScaleInConfig{
+				BelowOpsPerSec: *scaleInBelow,
+				AfterPasses:    *scaleInPasses,
+				MinServers:     *scaleInMin,
+			}))
+		}
+	}
+	if *replicaOf != "" {
+		opts = append(opts, shadowfax.WithReplication(shadowfax.ReplicationConfig{
+			ReplicaOf:      *replicaOf,
+			HeartbeatEvery: *heartbeatEvery,
+			FailoverAfter:  *failoverAfter,
 		}))
 	}
 
@@ -165,6 +201,8 @@ func main() {
 	}
 	mode := "fresh"
 	switch {
+	case *replicaOf != "":
+		mode = fmt.Sprintf("hot standby for %s", *replicaOf)
 	case *recoverFrom != "":
 		mode = fmt.Sprintf("recovered from %s", *recoverFrom)
 	case *meta != "":

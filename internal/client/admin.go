@@ -126,6 +126,34 @@ func (a *Admin) Migrate(ctx context.Context, source, target string, rng metadata
 	return err
 }
 
+// Drain asks serverID to migrate every range it owns to the surviving
+// servers and retire itself from the metadata store (scale-in). The server
+// refuses when the drain would leave a range unowned or while a replica is
+// attached; a drain interrupted by a failure may be retried (it re-plans
+// from the current view and retiring twice is a no-op).
+func (a *Admin) Drain(ctx context.Context, serverID string) (wire.DrainResp, error) {
+	conn, err := a.dial(serverID)
+	if err != nil {
+		return wire.DrainResp{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(wire.EncodeDrainReq()); err != nil {
+		return wire.DrainResp{}, err
+	}
+	frame, err := awaitFrame(ctx, conn, wire.MsgDrainResp)
+	if err != nil {
+		return wire.DrainResp{}, err
+	}
+	resp, err := wire.DecodeDrainResp(frame)
+	if err != nil {
+		return wire.DrainResp{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("client: drain of %s failed: %s", serverID, resp.Err)
+	}
+	return resp, nil
+}
+
 // Rebalance asks serverID's hosted balancer to run one planning pass now
 // and returns its decision. A server without a balancer refuses.
 func (a *Admin) Rebalance(ctx context.Context, serverID string) (wire.RebalanceResp, error) {

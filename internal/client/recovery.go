@@ -51,6 +51,7 @@ func (t *Thread) RecoverSessions(timeout time.Duration) error {
 		resp wire.SessionRecoverResp
 	}
 	handshakes := make([]handshake, 0, len(t.sessions))
+	var retired []*session
 	fail := func(err error) error {
 		for _, h := range handshakes {
 			h.conn.Close()
@@ -58,6 +59,14 @@ func (t *Thread) RecoverSessions(timeout time.Duration) error {
 		return err
 	}
 	for id, s := range t.sessions {
+		if _, owns := t.ownership[id]; !owns {
+			// The server was retired (scale-in drained its ranges and removed
+			// it from the metadata store). There is nothing to reconcile
+			// against: the session is dropped and its in-flight operations
+			// replay against the ranges' current owners.
+			retired = append(retired, s)
+			continue
+		}
 		addr, err := t.cfg.Meta.ServerAddr(id)
 		if err != nil {
 			return fail(err)
@@ -116,6 +125,19 @@ func (t *Thread) RecoverSessions(timeout time.Duration) error {
 				continue
 			}
 			replay = append(replay, op)
+		}
+	}
+	for _, s := range retired {
+		s.conn.Close()
+		delete(t.sessions, s.serverID)
+		seqs := make([]uint32, 0, len(s.inflight))
+		for seq := range s.inflight {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			replay = append(replay, s.inflight[seq])
+			delete(s.inflight, seq)
 		}
 	}
 	for _, op := range replay {

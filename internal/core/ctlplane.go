@@ -31,7 +31,7 @@ func (s *Server) handleMetaReq(c transport.Conn, frame []byte) {
 // (the pass issues Stats RPCs — to this server among others — so it must
 // not block the dispatcher that would answer them).
 func (s *Server) handleRebalanceReq(c transport.Conn) {
-	b := s.balancer
+	b := s.balancer.Load()
 	if b == nil {
 		c.Send(wire.EncodeRebalanceResp(wire.RebalanceResp{ //nolint:errcheck // conn errors surface on the next poll
 			Err: "balancer not enabled on this server (see AutoScale)",
@@ -52,7 +52,7 @@ func (s *Server) handleRebalanceReq(c transport.Conn) {
 // handleBalanceStatusReq serves the balancer-status snapshot inline.
 func (s *Server) handleBalanceStatusReq(c transport.Conn) {
 	resp := wire.BalanceStatusResp{}
-	if b := s.balancer; b != nil {
+	if b := s.balancer.Load(); b != nil {
 		st := b.Status()
 		resp.Enabled = true
 		resp.Passes = st.Passes

@@ -1,0 +1,727 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Primary→backup replication. The mechanism composes what the codebase
+// already has rather than inventing a new log format:
+//
+//   - Base state ships exactly like a checkpoint image is cut: the primary
+//     seals a CPR version (an asynchronous global cut, §3.2 machinery) and a
+//     version-filtered scan of the hash table streams every pre-cut record to
+//     the backup in migration-record frames, installed with
+//     ConditionalInsert — the same first-writer-wins primitive migration
+//     targets use.
+//   - The live stream reuses the client wire format verbatim: every accepted
+//     write batch is forwarded as a MsgReplBatch embedding the original
+//     MsgRequestBatch frame, and the backup re-executes it through the
+//     ordinary batch-apply path. There is no bespoke replication log.
+//   - Failover is one metadata linearization point (PromoteReplica): the
+//     backup takes over the primary's identity, its view number bumps, and
+//     clients replay their sessions through the §3.3.1 recovery path against
+//     the promoted server — the path crash recovery already exercises.
+//
+// Consistency: with a backup attached, no response (write acks *and* read
+// results, which may observe locally applied writes) is revealed to a client
+// before the backup's cumulative acknowledgement covers every write batch
+// forwarded up to that point. A promoted backup therefore holds every write
+// any client ever saw acknowledged or reflected in a read. The backup may
+// hold *more* than was acknowledged (batches forwarded moments before the
+// primary died); with the soak workload's commutative RMWs this only ever
+// advances state, never loses it.
+//
+// Known limitation (documented in README): batches forwarded by different
+// dispatcher threads are serialized by the replication stream's send mutex,
+// which may order two racing same-key writes differently than the primary's
+// store did. The acked-write guarantee above is unaffected; byte-exact
+// convergence is only guaranteed for commutative or single-writer-per-key
+// workloads. Shared-tier indirection records are not replicated (the base
+// scan counts and skips them).
+
+// replState is the primary-side state of one attached backup.
+type replState struct {
+	s          *Server
+	conn       transport.Conn
+	backupAddr string
+	// baseVer is the CPR version sealed by the replication cut. Dispatchers
+	// whose session version is still <= baseVer write pre-cut records that
+	// the base scan will ship; once a dispatcher refreshes past the cut its
+	// accepted write batches are forwarded on the live stream instead.
+	// Atomic: the seal callback confirms it after rs is published to the
+	// dispatchers.
+	baseVer atomic.Uint32
+
+	// mu serializes frame sends and sequence assignment: every frame to the
+	// backup carries a strictly increasing seq, acknowledged cumulatively.
+	mu  sync.Mutex
+	seq uint64
+
+	acked   atomic.Uint64 // backup's cumulative ack watermark
+	lastAck atomic.Int64  // unix nanos of the last ack received
+
+	synced   atomic.Bool // base sync acknowledged; backup may promote
+	detached atomic.Bool // stream torn down; held responses release
+
+	hbEvery    time.Duration
+	ackTimeout time.Duration
+}
+
+// heldResp is a serialized response frame parked until the backup's ack
+// watermark reaches gate (or the backup detaches).
+type heldResp struct {
+	c     transport.Conn
+	frame []byte
+	gate  uint64
+}
+
+// currentSeq returns the live send watermark.
+func (rs *replState) currentSeq() uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.seq
+}
+
+// sendNumbered assigns the next stream sequence, encodes the frame for it and
+// ships it. Returns the assigned seq; ok is false (and the backup is
+// detached) on a send failure.
+func (rs *replState) sendNumbered(enc func(seq uint64) []byte) (uint64, bool) {
+	if rs.detached.Load() {
+		return 0, false
+	}
+	rs.mu.Lock()
+	rs.seq++
+	seq := rs.seq
+	err := rs.conn.Send(enc(seq))
+	rs.mu.Unlock()
+	if err != nil {
+		rs.s.detachReplica(rs, "send: "+err.Error())
+		return 0, false
+	}
+	return seq, true
+}
+
+// forward ships one accepted client write batch on the live stream. Returns
+// the assigned seq, or 0 when the stream is down.
+func (rs *replState) forward(batchFrame []byte) uint64 {
+	rb := wire.ReplBatch{Batch: batchFrame}
+	seq, ok := rs.sendNumbered(func(seq uint64) []byte {
+		rb.Seq = seq
+		return wire.EncodeReplBatch(&rb)
+	})
+	if !ok {
+		return 0
+	}
+	return seq
+}
+
+// noteAck folds a cumulative acknowledgement into the watermark.
+func (rs *replState) noteAck(seq uint64) {
+	for {
+		cur := rs.acked.Load()
+		if seq <= cur || rs.acked.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	rs.lastAck.Store(time.Now().UnixNano())
+}
+
+// batchHasWrites reports whether any op in the batch mutates state.
+func batchHasWrites(b *wire.RequestBatch) bool {
+	for i := range b.Ops {
+		if b.Ops[i].Kind != wire.OpRead {
+			return true
+		}
+	}
+	return false
+}
+
+// gateResponse decides whether the response just serialized for this batch
+// may be revealed now. fseq is the live-stream seq the batch was forwarded
+// under (0 when it was not forwarded). With a live backup attached, a
+// forwarded batch waits for its own seq and a read-only batch waits for the
+// current send watermark — a read may have observed a write another batch
+// applied locally that the backup has not acknowledged yet.
+func (d *dispatcher) gateResponse(fseq uint64) (uint64, bool) {
+	rs := d.rs
+	if rs == nil || rs.detached.Load() {
+		return 0, false
+	}
+	gate := fseq
+	if gate == 0 {
+		if !d.fwd {
+			// Pre-cut window: this dispatcher's writes are stamped below the
+			// replication cut and travel with the base scan; the backup
+			// cannot promote before that scan is acknowledged in full.
+			return 0, false
+		}
+		gate = rs.currentSeq()
+	}
+	return gate, gate > rs.acked.Load()
+}
+
+// holdResponse parks a copy of the serialized response until gate is acked.
+func (d *dispatcher) holdResponse(c transport.Conn, frame []byte, gate uint64) {
+	d.held = append(d.held, heldResp{c: c, frame: append([]byte(nil), frame...), gate: gate})
+}
+
+// flushHeld releases parked responses covered by the backup's ack watermark
+// (all of them once the backup detaches). Reports whether anything moved.
+func (d *dispatcher) flushHeld() bool {
+	if len(d.held) == 0 {
+		return false
+	}
+	rs := d.rs
+	releaseAll := rs == nil || rs.detached.Load()
+	var acked uint64
+	if !releaseAll {
+		acked = rs.acked.Load()
+	}
+	progress := false
+	n := 0
+	for i := range d.held {
+		h := d.held[i]
+		if releaseAll || h.gate <= acked {
+			d.send(h.c, h.frame)
+			progress = true
+		} else {
+			d.held[n] = h
+			n++
+		}
+	}
+	for i := n; i < len(d.held); i++ {
+		d.held[i] = heldResp{}
+	}
+	d.held = d.held[:n]
+	return progress
+}
+
+// handleReplAttach accepts (or refuses) a backup's attach request; the
+// protocol runs on its own goroutine, like admin checkpoints.
+func (s *Server) handleReplAttach(c transport.Conn, frame []byte) {
+	req, err := wire.DecodeReplAttach(frame)
+	if err != nil {
+		s.stats.DecodeErrors.Add(1)
+		return
+	}
+	go s.startReplication(c, req)
+}
+
+func (s *Server) startReplication(c transport.Conn, req wire.ReplAttach) {
+	refuse := func(msg string) {
+		c.Send(wire.EncodeReplAttachResp(wire.ReplAttachResp{Err: msg})) //nolint:errcheck // conn errors surface on the next poll
+	}
+	if s.stopping.Load() {
+		refuse("server shutting down")
+		return
+	}
+	if s.standby.Load() {
+		refuse("server is itself a standby")
+		return
+	}
+	if req.PrimaryID != s.cfg.ID {
+		refuse(fmt.Sprintf("wrong primary: this is %q, not %q", s.cfg.ID, req.PrimaryID))
+		return
+	}
+	if rs := s.repl.Load(); rs != nil && !rs.detached.Load() {
+		refuse("a replica is already attached")
+		return
+	}
+	s.migMu.Lock()
+	migBusy := s.source != nil || len(s.targets) > 0
+	s.migMu.Unlock()
+	if migBusy {
+		refuse("migration in flight; retry")
+		return
+	}
+	if err := s.meta.SetReplica(s.cfg.ID, req.ReplicaAddr); err != nil {
+		refuse(err.Error())
+		return
+	}
+
+	// Freeze checkpoints and compaction for the whole base sync: a checkpoint
+	// would seal further versions (confusing the masked pre/post-cut test the
+	// scan relies on) and compaction would truncate log the scan still reads.
+	s.ckptMu.Lock()
+	s.compactMu.Lock()
+
+	rs := &replState{
+		s: s, conn: c, backupAddr: req.ReplicaAddr,
+		hbEvery:    time.Duration(req.HeartbeatMs) * time.Millisecond,
+		ackTimeout: time.Duration(req.AckTimeoutMs) * time.Millisecond,
+	}
+	if rs.hbEvery <= 0 {
+		rs.hbEvery = s.cfg.ReplicaHeartbeatEvery
+	}
+	if rs.ackTimeout <= 0 {
+		rs.ackTimeout = s.cfg.ReplicaAckTimeout
+	}
+	rs.lastAck.Store(time.Now().UnixNano())
+	rs.baseVer.Store(s.store.CurrentVersion())
+	// Publish before sealing: dispatchers must observe rs (and start
+	// forwarding) no later than they cross the cut.
+	s.repl.Store(rs)
+	c.Send(wire.EncodeReplAttachResp(wire.ReplAttachResp{OK: true})) //nolint:errcheck // conn errors surface on the next poll
+
+	s.store.SealVersion(func(sealed uint32, cutTail hlog.Address) {
+		rs.baseVer.Store(sealed) // == the CurrentVersion read above; no other sealer can run under ckptMu
+		s.baseSync(rs, sealed, cutTail)
+	})
+}
+
+// baseSync streams the sealed pre-cut state to the backup, then hands the
+// stream over to the heartbeat loop. Runs once every dispatcher has crossed
+// the replication cut; holds ckptMu/compactMu (taken in startReplication)
+// until the scan is finished.
+func (s *Server) baseSync(rs *replState, sealed uint32, cutTail hlog.Address) {
+	scanned := func() bool {
+		defer s.compactMu.Unlock()
+		defer s.ckptMu.Unlock()
+
+		begin := wire.ReplBaseBegin{Sealed: sealed, CutTail: uint64(cutTail)}
+		if _, ok := rs.sendNumbered(func(seq uint64) []byte {
+			begin.Seq = seq
+			return wire.EncodeReplBaseBegin(begin)
+		}); !ok {
+			return false
+		}
+
+		sess := s.store.NewSession()
+		defer sess.Close()
+		batch := make([]wire.MigrationRecord, 0, s.cfg.MigrationBatchRecords)
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			msg := wire.ReplRecords{Records: batch}
+			_, ok := rs.sendNumbered(func(seq uint64) []byte {
+				msg.Seq = seq
+				return wire.EncodeReplRecords(&msg)
+			})
+			batch = batch[:0]
+			return ok
+		}
+		skipped, err := sess.ReplScan(sealed, cutTail, func(cr faster.CollectedRecord) bool {
+			var flags uint8
+			if cr.Tombstone {
+				flags |= wire.RecFlagTombstone
+			}
+			batch = append(batch, wire.MigrationRecord{
+				Hash: cr.Hash, Flags: flags, Key: cr.Key, Value: cr.Value,
+			})
+			if len(batch) >= s.cfg.MigrationBatchRecords {
+				return flush()
+			}
+			return true
+		})
+		if err != nil {
+			s.detachReplica(rs, "base scan: "+err.Error())
+			return false
+		}
+		if !flush() {
+			return false
+		}
+
+		st := wire.ReplSessTab{Sealed: sealed}
+		for id, lastSeq := range s.sessTab.snapshotUpTo(sealed) {
+			st.Sessions = append(st.Sessions, wire.ReplSession{ID: id, LastSeq: lastSeq})
+		}
+		if _, ok := rs.sendNumbered(func(seq uint64) []byte {
+			st.Seq = seq
+			return wire.EncodeReplSessTab(&st)
+		}); !ok {
+			return false
+		}
+		done := wire.ReplBaseDone{SkippedIndirections: uint32(skipped)}
+		doneSeq, ok := rs.sendNumbered(func(seq uint64) []byte {
+			done.Seq = seq
+			return wire.EncodeReplBaseDone(done)
+		})
+		if !ok {
+			return false
+		}
+
+		// Wait for the backup to acknowledge the whole base stream before
+		// marking it promotable.
+		for rs.acked.Load() < doneSeq {
+			if rs.detached.Load() || s.stopping.Load() {
+				return false
+			}
+			if time.Duration(time.Now().UnixNano()-rs.lastAck.Load()) > rs.ackTimeout {
+				s.detachReplica(rs, "base sync not acknowledged")
+				return false
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return true
+	}()
+	if !scanned {
+		return
+	}
+	if err := s.meta.MarkReplicaSynced(s.cfg.ID, rs.backupAddr); err != nil {
+		s.detachReplica(rs, "mark synced: "+err.Error())
+		return
+	}
+	rs.synced.Store(true)
+	s.heartbeatLoop(rs)
+}
+
+// heartbeatLoop keeps the stream's liveness observable while the primary is
+// idle and detaches the backup after prolonged ack silence (primary-side
+// failure detection — the backup runs the mirror image and promotes).
+func (s *Server) heartbeatLoop(rs *replState) {
+	t := time.NewTicker(rs.hbEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.bgQuit:
+			return
+		case <-t.C:
+		}
+		if rs.detached.Load() {
+			return
+		}
+		if time.Duration(time.Now().UnixNano()-rs.lastAck.Load()) > rs.ackTimeout {
+			s.detachReplica(rs, "ack timeout")
+			return
+		}
+		hb := wire.ReplHeartbeat{}
+		if _, ok := rs.sendNumbered(func(seq uint64) []byte {
+			hb.Seq = seq
+			return wire.EncodeReplHeartbeat(hb)
+		}); !ok {
+			return
+		}
+	}
+}
+
+// detachReplica tears the stream down: the metadata registration is cleared
+// (so the backup cannot promote against a live primary) and every dispatcher
+// releases its held responses on the next poll iteration.
+func (s *Server) detachReplica(rs *replState, why string) {
+	if rs.detached.Swap(true) {
+		return
+	}
+	_ = why // kept for debuggability; detachment reasons surface via metadata state
+	if s.stopping.Load() {
+		// The stream broke because this server is going down, not because
+		// the backup lagged. Leave the metadata registration intact: a
+		// synced standby must keep its promotion eligibility across its
+		// primary's death (clearing it here would wedge failover — nobody
+		// could ever promote). No solo acks can follow a teardown detach,
+		// so promotion remains safe.
+		return
+	}
+	s.meta.ClearReplica(s.cfg.ID, rs.backupAddr) //nolint:errcheck // best-effort: a newer incarnation may have re-registered
+}
+
+// Replicating reports whether a backup is currently attached (tests/ops).
+func (s *Server) Replicating() bool {
+	rs := s.repl.Load()
+	return rs != nil && !rs.detached.Load()
+}
+
+// IsStandby reports whether the server is an unpromoted backup.
+func (s *Server) IsStandby() bool { return s.standby.Load() }
+
+// ---------------------------------------------------------------------------
+// Backup side.
+
+// replicaLoop is the standby's main loop: (re-)attach to the primary, mirror
+// its state, and promote when it dies. Exits once promoted or on shutdown.
+func (s *Server) replicaLoop() {
+	defer s.wg.Done()
+	for !s.stopping.Load() {
+		promoted := s.runReplicaSession()
+		if promoted {
+			s.startBackground()
+			return
+		}
+		// Brief backoff before re-attaching; keeps a dead or refusing
+		// primary from being hammered.
+		for i := 0; i < 50 && !s.stopping.Load(); i++ {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// runReplicaSession runs one attach→mirror→(promote|teardown) cycle.
+// Returns true when this server promoted itself to primary.
+func (s *Server) runReplicaSession() bool {
+	primaryID := s.cfg.ID // a standby adopts the primary's identity at boot
+	myAddr := s.listener.Addr()
+
+	// NOTE: no state is discarded here. The local store is only fenced out
+	// when a fresh base sync actually begins (MsgReplBaseBegin below) — by
+	// then the primary's SetReplica has already reset the registration to
+	// unsynced, so a partial local store always coincides with an unsynced
+	// registration and can never be promoted. Wiping at the top of the cycle
+	// instead would let a transient stream hiccup (re-attach refused while
+	// the primary's ack timeout hasn't fired) destroy the very state a
+	// still-synced registration vouches for.
+
+	// Registration is the PRIMARY's job (its attach handler calls SetReplica
+	// when it accepts the stream): registering from here before the dial
+	// would replace this standby's own previous — possibly synced —
+	// registration with an unsynced one. With the primary already dead that
+	// reset is irreversible (no primary means no fresh base sync), and it
+	// would permanently destroy the standby's promotion eligibility.
+	paddr, err := s.meta.ServerAddr(primaryID)
+	if err != nil || paddr == "" {
+		return false
+	}
+	conn, err := s.cfg.Transport.Dial(paddr)
+	if err != nil {
+		return s.considerPromotion(primaryID, myAddr, paddr)
+	}
+	defer conn.Close()
+
+	attach := wire.ReplAttach{
+		PrimaryID: primaryID, ReplicaAddr: myAddr,
+		HeartbeatMs:  uint32(s.cfg.ReplicaHeartbeatEvery / time.Millisecond),
+		AckTimeoutMs: uint32(s.cfg.ReplicaAckTimeout / time.Millisecond),
+	}
+	if err := conn.Send(wire.EncodeReplAttach(attach)); err != nil {
+		return s.considerPromotion(primaryID, myAddr, paddr)
+	}
+
+	sess := s.store.NewSession()
+	defer sess.Close()
+
+	var (
+		accepted  bool
+		baseDone  bool
+		buffered  [][]byte // live batches copied aside until the base sync lands
+		lastFrame = time.Now()
+		idle      = 0
+	)
+	ack := func(seq uint64) bool {
+		return conn.Send(wire.EncodeReplAck(wire.ReplAck{Seq: seq})) == nil
+	}
+	for !s.stopping.Load() {
+		frame, ok, err := conn.TryRecv()
+		if err != nil {
+			return s.considerPromotion(primaryID, myAddr, paddr)
+		}
+		if !ok {
+			if time.Since(lastFrame) > s.cfg.ReplicaFailoverAfter {
+				return s.considerPromotion(primaryID, myAddr, paddr)
+			}
+			idle++
+			if idle > 64 {
+				sess.Guard().Suspend()
+				time.Sleep(100 * time.Microsecond)
+				sess.Refresh()
+			}
+			continue
+		}
+		idle = 0
+		lastFrame = time.Now()
+		t, perr := wire.PeekType(frame)
+		if perr != nil {
+			s.stats.DecodeErrors.Add(1)
+			continue
+		}
+		switch t {
+		case wire.MsgReplAttachResp:
+			r, err := wire.DecodeReplAttachResp(frame)
+			if err != nil || !r.OK {
+				return false
+			}
+			accepted = true
+		case wire.MsgReplBaseBegin:
+			b, err := wire.DecodeReplBaseBegin(frame)
+			if err != nil {
+				s.stats.DecodeErrors.Add(1)
+				return false
+			}
+			// A full base image is coming: fence out everything a previous
+			// attach left behind so ConditionalInsert cannot lose to a stale
+			// earlier copy. Safe to discard here — and only here — because
+			// the primary reset this registration to unsynced when it
+			// accepted the attach, so nothing can promote this store until
+			// the new base lands in full.
+			s.store.AddFence(0, ^uint64(0), s.store.Log().TailAddress())
+			// Mirror the primary's post-cut version so records applied here
+			// carry comparable stamps (and a later checkpoint of the promoted
+			// server seals above everything replicated).
+			s.store.AdvanceVersionTo(b.Sealed + 1)
+			sess.Refresh()
+			if !ack(b.Seq) {
+				return false
+			}
+		case wire.MsgReplRecords:
+			m, err := wire.DecodeReplRecords(frame)
+			if err != nil {
+				s.stats.DecodeErrors.Add(1)
+				return false
+			}
+			for i := range m.Records {
+				r := &m.Records[i]
+				sess.ConditionalInsert(r.Key, r.Value, r.Flags&wire.RecFlagTombstone != 0, nil)
+			}
+			// The records alias the frame: drain any pending installs before
+			// the next TryRecv invalidates it.
+			for sess.Pending() > 0 {
+				sess.CompletePending(true)
+			}
+			if !ack(m.Seq) {
+				return false
+			}
+		case wire.MsgReplSessTab:
+			m, err := wire.DecodeReplSessTab(frame)
+			if err != nil {
+				s.stats.DecodeErrors.Add(1)
+				return false
+			}
+			sessions := make(map[uint64]uint32, len(m.Sessions))
+			for _, e := range m.Sessions {
+				sessions[e.ID] = e.LastSeq
+			}
+			s.sessTab.restore(sessions, m.Sealed)
+			if !ack(m.Seq) {
+				return false
+			}
+		case wire.MsgReplBaseDone:
+			m, err := wire.DecodeReplBaseDone(frame)
+			if err != nil {
+				s.stats.DecodeErrors.Add(1)
+				return false
+			}
+			baseDone = true
+			for _, bf := range buffered {
+				s.applyReplBatch(sess, bf)
+			}
+			buffered = nil
+			if !ack(m.Seq) {
+				return false
+			}
+		case wire.MsgReplBatch:
+			rb, err := wire.DecodeReplBatch(frame)
+			if err != nil {
+				s.stats.DecodeErrors.Add(1)
+				return false
+			}
+			if !baseDone {
+				buffered = append(buffered, append([]byte(nil), rb.Batch...))
+			} else {
+				s.applyReplBatch(sess, rb.Batch)
+			}
+			if !ack(rb.Seq) {
+				return false
+			}
+		case wire.MsgReplHeartbeat:
+			hb, err := wire.DecodeReplHeartbeat(frame)
+			if err != nil {
+				s.stats.DecodeErrors.Add(1)
+				continue
+			}
+			if !ack(hb.Seq) {
+				return false
+			}
+		default:
+			// Unknown frame on the replication conn; ignore.
+		}
+		_ = accepted
+	}
+	return false
+}
+
+// applyReplBatch re-executes one forwarded client batch against the local
+// store — the primary's input stream replayed through the ordinary write
+// path. Reads are skipped (they mutate nothing); the session table advances
+// exactly like the primary's did so post-failover session recovery reports
+// the same durable prefix.
+func (s *Server) applyReplBatch(sess *faster.Session, batchFrame []byte) {
+	var b wire.RequestBatch
+	if err := wire.DecodeRequestBatch(batchFrame, &b); err != nil {
+		s.stats.DecodeErrors.Add(1)
+		return
+	}
+	var maxSeq uint32
+	seen := false
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		if op.Seq > maxSeq || !seen {
+			maxSeq, seen = op.Seq, true
+		}
+		switch op.Kind {
+		case wire.OpUpsert:
+			sess.Upsert(op.Key, op.Value, nil)
+		case wire.OpDelete:
+			sess.Delete(op.Key, nil)
+		case wire.OpRMW:
+			sess.RMW(op.Key, op.Value, nil)
+		}
+	}
+	// Ops alias the frame: drain before the caller recycles it.
+	for sess.Pending() > 0 {
+		sess.CompletePending(true)
+	}
+	if seen {
+		s.sessTab.advance(0, b.SessionID, maxSeq, sess.Version())
+	}
+	sess.Refresh()
+}
+
+// considerPromotion is the backup's failure detector verdict: the stream went
+// silent (or the dial failed). Probe the primary directly; if it still
+// answers, this was a hiccup — tear down and re-attach. If it is dead,
+// promote: one metadata linearization point repoints ownership and address,
+// and this server starts serving as the primary.
+func (s *Server) considerPromotion(primaryID, myAddr, primaryAddr string) bool {
+	if s.stopping.Load() {
+		return false
+	}
+	if s.probeAlive(primaryAddr, s.cfg.ReplicaHeartbeatEvery*4) {
+		return false
+	}
+	v, err := s.meta.PromoteReplica(primaryID, myAddr)
+	if err != nil {
+		// Not synced yet, or a racing incarnation took over; re-attach.
+		return false
+	}
+	s.view.Store(&v)
+	s.standby.Store(false)
+	return true
+}
+
+// probeAlive dials addr and asks for stats; any well-formed answer within the
+// timeout means the primary is alive.
+func (s *Server) probeAlive(addr string, timeout time.Duration) bool {
+	if timeout <= 0 {
+		timeout = 100 * time.Millisecond
+	}
+	c, err := s.cfg.Transport.Dial(addr)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	if err := c.Send(wire.EncodeStatsReq()); err != nil {
+		return false
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		frame, ok, err := c.TryRecv()
+		if err != nil {
+			return false
+		}
+		if ok {
+			t, perr := wire.PeekType(frame)
+			return perr == nil && t == wire.MsgStatsResp
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+var errStandby = errors.New("core: server is a standby replica")

@@ -97,6 +97,42 @@ type ServerConfig struct {
 	// start concurrently over disjoint ranges (default 4).
 	AutoScaleMaxConcurrent int
 
+	// Primary→backup replication (replication.go).
+
+	// ReplicaOf boots this server as a hot standby for the named primary: it
+	// adopts the primary's metadata identity, attaches to it, mirrors its
+	// state (base sync + live batch stream), and promotes itself when the
+	// primary stops answering. A standby registers nothing in the metadata
+	// store and rejects client batches until promotion. Mutually exclusive
+	// with Recover.
+	ReplicaOf string
+	// ReplicaHeartbeatEvery is the primary's keepalive period on an idle
+	// replication stream (default 100ms). The backup requests it at attach.
+	ReplicaHeartbeatEvery time.Duration
+	// ReplicaFailoverAfter is how long the backup tolerates stream silence
+	// before probing the primary and, if it is dead, promoting (default 1s).
+	ReplicaFailoverAfter time.Duration
+	// ReplicaAckTimeout is how long the primary tolerates ack silence before
+	// detaching the backup and releasing held responses (default 2s).
+	ReplicaAckTimeout time.Duration
+
+	// Scale-in (the balancer's low-water drain policy; needs AutoScale).
+
+	// ScaleIn lets the hosted balancer retire chronically cold servers: when
+	// a server's ops rate stays below ScaleInBelowRate for
+	// ScaleInAfterPasses consecutive planning passes (and the cluster would
+	// keep at least ScaleInMinServers servers), the balancer drains its
+	// ranges into the survivors via ordinary migrations and retires it.
+	ScaleIn bool
+	// ScaleInBelowRate is the ops/sec low-water mark (default 50).
+	ScaleInBelowRate float64
+	// ScaleInAfterPasses is how many consecutive cold passes arm a drain
+	// (default 5).
+	ScaleInAfterPasses int
+	// ScaleInMinServers is the floor the cluster never drains below
+	// (default 2).
+	ScaleInMinServers int
+
 	// Migration tuning.
 
 	// MigrationBatchRecords is how many records ride in one migration
@@ -145,6 +181,19 @@ func (c *ServerConfig) applyDefaults() error {
 	if c.CompactEvery > 0 && c.CompactWatermark == 0 {
 		c.CompactWatermark = 64 << 20
 	}
+	if c.ReplicaOf != "" && c.Recover {
+		return errors.New("core: ReplicaOf and Recover are mutually exclusive (a standby re-syncs from its primary)")
+	}
+	if c.ReplicaHeartbeatEvery <= 0 {
+		c.ReplicaHeartbeatEvery = 100 * time.Millisecond
+	}
+	if c.ReplicaFailoverAfter <= 0 {
+		c.ReplicaFailoverAfter = time.Second
+	}
+	if c.ReplicaAckTimeout <= 0 {
+		c.ReplicaAckTimeout = 2 * time.Second
+	}
+	// ScaleIn* zero values fall through to ctlplane.BalancerConfig's defaults.
 	// AutoScale* zero values fall through to ctlplane.BalancerConfig's
 	// defaults (the single source of truth for balancer tuning).
 	return nil
@@ -244,7 +293,15 @@ type Server struct {
 	bgQuit  chan struct{} // stops the checkpoint and compaction loops
 
 	// Elastic control plane: the hosted balancer (nil unless AutoScale).
-	balancer *ctlplane.Balancer
+	// Atomic: a promoted standby starts it long after boot, racing readers.
+	balancer atomic.Pointer[ctlplane.Balancer]
+
+	// Replication state (see replication.go). repl is the primary-side
+	// attached backup; standby marks an unpromoted backup; bgStarted gates
+	// the background loops a standby defers until promotion.
+	repl      atomic.Pointer[replState]
+	standby   atomic.Bool
+	bgStarted atomic.Bool
 
 	// Space-management state (see compaction.go).
 	compactMu      sync.Mutex // serializes compaction passes
@@ -317,7 +374,13 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		// also seeds the reclaim grace point — bytes below it are gone.
 		s.committedBegin.Store(uint64(st.Log().BeginAddress()))
 		s.prevPassBegin.Store(uint64(st.Log().BeginAddress()))
-		v := cfg.Meta.RestoreServer(cfg.ID, view)
+		v, err := cfg.Meta.RestoreServer(cfg.ID, view)
+		if err != nil {
+			// ErrDeposed: a promoted (or promotable) replica superseded this
+			// incarnation — the restarted primary must not serve.
+			s.store.Close()
+			return nil, fmt.Errorf("core: %s: restore refused: %w", cfg.ID, err)
+		}
 		if v.Number == 0 {
 			// A restored view always has number ≥ 1; zero means a remote
 			// metadata provider could not reach its endpoint — fail startup
@@ -326,6 +389,24 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 			s.store.Close()
 			return nil, fmt.Errorf("core: %s: metadata provider unavailable (restore failed)", cfg.ID)
 		}
+		s.view.Store(&v)
+	} else if cfg.ReplicaOf != "" {
+		if images != nil && images.Generation() > 0 {
+			return nil, fmt.Errorf("core: %s: checkpoint device holds committed image (generation %d); "+
+				"a standby re-syncs from its primary and needs clean devices", cfg.ID, images.Generation())
+		}
+		st, err := faster.NewStore(cfg.Store)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		// A standby adopts the primary's metadata identity: on promotion it
+		// answers GetView/ServerAddr/session-recovery lookups for that id.
+		// (The original cfg.ID still names the standby's own log devices —
+		// LogID was derived above, before the override.)
+		s.cfg.ID = cfg.ReplicaOf
+		s.standby.Store(true)
+		v := metadata.View{}
 		s.view.Store(&v)
 	} else {
 		if images != nil && images.Generation() > 0 {
@@ -368,7 +449,27 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		s.wg.Add(1)
 		go d.run()
 	}
-	if cfg.CheckpointEvery > 0 && images != nil {
+	if cfg.ReplicaOf != "" {
+		// A standby defers the background services (checkpoints, compaction,
+		// the balancer) until promotion; its one job is mirroring the
+		// primary.
+		s.wg.Add(1)
+		go s.replicaLoop()
+	} else {
+		s.startBackground()
+	}
+	return s, nil
+}
+
+// startBackground starts the periodic services (checkpoints, compaction, the
+// hosted balancer). Called at boot for ordinary servers and at promotion for
+// standbys; idempotent.
+func (s *Server) startBackground() {
+	if s.stopping.Load() || s.bgStarted.Swap(true) {
+		return
+	}
+	cfg := &s.cfg
+	if cfg.CheckpointEvery > 0 && s.images != nil {
 		s.wg.Add(1)
 		go s.checkpointLoop(cfg.CheckpointEvery)
 	}
@@ -377,15 +478,22 @@ func NewServer(cfg ServerConfig, initial ...metadata.HashRange) (*Server, error)
 		go s.compactLoop(cfg.CompactEvery, cfg.CompactWatermark)
 	}
 	if cfg.AutoScale {
-		s.balancer = ctlplane.NewBalancer(ctlplane.BalancerConfig{
+		b := ctlplane.NewBalancer(ctlplane.BalancerConfig{
 			Self: cfg.ID, Meta: cfg.Meta, Transport: cfg.Transport,
 			Every: cfg.AutoScaleEvery, Imbalance: cfg.AutoScaleImbalance,
 			Cooldown: cfg.AutoScaleCooldown, MinOpsPerSec: cfg.AutoScaleMinRate,
 			MaxConcurrent: cfg.AutoScaleMaxConcurrent,
+			ScaleIn:       cfg.ScaleIn, ScaleInBelowOps: cfg.ScaleInBelowRate,
+			ScaleInAfterPasses: cfg.ScaleInAfterPasses, MinServers: cfg.ScaleInMinServers,
 		})
-		s.balancer.Run()
+		s.balancer.Store(b)
+		b.Run()
+		if s.stopping.Load() {
+			// Close may have raced past its balancer check before the Store
+			// above; Stop is idempotent, so stop it from here too.
+			b.Stop()
+		}
 	}
-	return s, nil
 }
 
 // Stats returns the server's counters.
@@ -423,7 +531,7 @@ func (s *Server) StatsSnapshot() wire.StatsResp {
 		LogBytes:   uint64(s.store.Log().TailAddress()) - uint64(s.store.Log().BeginAddress()),
 		HashSample: s.sampleLoad(1024),
 	}
-	if b := s.balancer; b != nil {
+	if b := s.balancer.Load(); b != nil {
 		resp.BalancePasses = b.Passes()
 		resp.BalanceMigrations = b.Triggered()
 	}
@@ -459,10 +567,10 @@ func (s *Server) Close() error {
 	if s.stopping.Swap(true) {
 		return nil
 	}
-	if s.balancer != nil {
+	if b := s.balancer.Load(); b != nil {
 		// Stop planning (and its RPCs against this very server) before the
 		// listener goes away.
-		s.balancer.Stop()
+		b.Stop()
 	}
 	close(s.bgQuit)
 	s.listener.Close()
@@ -520,6 +628,11 @@ func (s *Server) acceptLoop() {
 // (§3.3 Sampling: "both the source and the target continue to temporarily
 // operate in the old ownership view").
 func (s *Server) refreshView() metadata.View {
+	if s.standby.Load() {
+		// A standby's metadata identity is its primary's: refreshing would
+		// adopt the *primary's* live view and start accepting its batches.
+		return s.view.Load().Clone()
+	}
 	v, err := s.meta.GetView(s.cfg.ID)
 	if err != nil {
 		return s.view.Load().Clone()
@@ -612,6 +725,15 @@ type dispatcher struct {
 	// loadN is dispatcher-private; the ring slots are read by the balancer.
 	loadN    uint64
 	loadRing [loadRingSlots]atomic.Uint64
+
+	// Replication (see replication.go): rs/fwd snapshot the attached backup
+	// once per poll iteration (fwd is true once this dispatcher's session
+	// crossed the replication cut — its write batches stream live); held
+	// parks serialized responses until the backup's cumulative ack covers
+	// them.
+	rs   *replState
+	fwd  bool
+	held []heldResp
 }
 
 // srvOp is the dispatcher-side state of one client operation that went
@@ -723,6 +845,10 @@ func (d *dispatcher) run() {
 	for !d.s.stopping.Load() {
 		progress := false
 
+		// Snapshot the replication stream for this iteration.
+		d.rs = d.s.repl.Load()
+		d.fwd = d.rs != nil && !d.rs.detached.Load() && d.sess.Version() > d.rs.baseVer.Load()
+
 		// Adopt new connections.
 		for {
 			select {
@@ -766,7 +892,22 @@ func (d *dispatcher) run() {
 			progress = true
 		}
 		d.flushDeferred()
+		if d.flushHeld() {
+			progress = true
+		}
 		d.flushConns()
+
+		// Replication-cut barrier: if a cut was just sealed and this session
+		// has not crossed it yet, finish every parked pre-cut operation
+		// before Refresh carries the session into the new version — the base
+		// scan starts once all sessions cross, and it must see these writes
+		// stamped pre-cut.
+		if rs := d.rs; rs != nil && !rs.detached.Load() &&
+			d.sess.Version() <= rs.baseVer.Load() && d.s.store.CurrentVersion() > rs.baseVer.Load() {
+			for d.sess.Pending() > 0 {
+				d.sess.CompletePending(true)
+			}
+		}
 
 		d.sess.Refresh()
 		if !progress {
@@ -835,6 +976,19 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 		d.s.handleBalanceStatusReq(c)
 	case wire.MsgSessionRecover:
 		d.handleSessionRecover(c, frame)
+	case wire.MsgReplAttach:
+		d.s.handleReplAttach(c, frame)
+	case wire.MsgReplAck:
+		a, err := wire.DecodeReplAck(frame)
+		if err != nil {
+			d.s.stats.DecodeErrors.Add(1)
+			return
+		}
+		if rs := d.s.repl.Load(); rs != nil {
+			rs.noteAck(a.Seq)
+		}
+	case wire.MsgDrain:
+		d.s.handleDrainReq(c)
 	case wire.MsgAck:
 		// Acks are informational; the protocol is fully asynchronous.
 	}
@@ -852,6 +1006,12 @@ func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 		return
 	}
 	b := &d.reqBatch
+	if d.s.standby.Load() {
+		// An unpromoted standby owns nothing; reject so the client
+		// re-resolves ownership from the metadata store.
+		d.reject(c, b, 0)
+		return
+	}
 	view := d.s.view.Load()
 
 	if d.s.hashValidate.Load() {
@@ -878,6 +1038,17 @@ func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 		}
 	}
 	d.s.stats.BatchesAccepted.Add(1)
+
+	// Forward accepted write batches to the attached backup BEFORE executing
+	// anything: once an op applies locally its effect is observable through
+	// reads, so it must already be on the wire to the backup. (The backup may
+	// hold a few extra never-acknowledged ops if the primary dies mid-batch;
+	// since nothing was acknowledged or revealed for them, that only ever
+	// advances state.)
+	var fseq uint64
+	if d.fwd && batchHasWrites(b) {
+		fseq = d.rs.forward(frame)
+	}
 
 	d.results = d.results[:0]
 	d.valArena = d.valArena[:0]
@@ -907,7 +1078,14 @@ func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 	resp := wire.ResponseBatch{SessionID: b.SessionID, ServerView: view.Number,
 		Results: d.results}
 	d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
-	d.send(c, d.respBuf)
+	// With a backup attached, nothing is revealed before the backup's
+	// cumulative ack covers it (write acks and read results alike); see
+	// gateResponse.
+	if gate, hold := d.gateResponse(fseq); hold {
+		d.holdResponse(c, d.respBuf, gate)
+	} else {
+		d.send(c, d.respBuf)
+	}
 	d.s.stats.OpsCompleted.Add(uint64(len(d.results)))
 }
 
@@ -1097,7 +1275,14 @@ func (d *dispatcher) flushDeferred() {
 		}
 		resp := wire.ResponseBatch{ServerView: d.s.view.Load().Number, Results: results}
 		d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
-		d.send(c, d.respBuf)
+		// Deferred results may carry late write acks or reads of writes the
+		// backup has not acknowledged; gate them on the current send
+		// watermark like any other response.
+		if gate, hold := d.gateResponse(0); hold {
+			d.holdResponse(c, d.respBuf, gate)
+		} else {
+			d.send(c, d.respBuf)
+		}
 		d.s.stats.OpsCompleted.Add(uint64(len(results)))
 		delete(d.deferred, c)
 	}

@@ -50,6 +50,26 @@ type BalancerConfig struct {
 	// pass out; the metadata store's overlap rejection is the correctness
 	// backstop, this knob is purely a policy throttle.
 	MaxConcurrent int
+
+	// Scale-in (the low-water inverse of the split policy).
+
+	// ScaleIn lets passes retire chronically cold servers: when a server's
+	// rate stays below ScaleInBelowOps for ScaleInAfterPasses consecutive
+	// passes — and no split was planned, no migration is in flight, and the
+	// cluster stays at or above MinServers — the balancer sends it the Drain
+	// RPC: its ranges migrate to the survivors and it leaves the metadata
+	// store.
+	ScaleIn bool
+	// ScaleInBelowOps is the ops/sec low-water mark (default 50).
+	ScaleInBelowOps float64
+	// ScaleInAfterPasses is how many consecutive cold passes arm a drain
+	// (default 5).
+	ScaleInAfterPasses int
+	// MinServers is the floor the cluster never drains below (default 2).
+	MinServers int
+	// DrainTimeout bounds the Drain RPC — which waits out one migration per
+	// owned range, not one quick round-trip (default 60s).
+	DrainTimeout time.Duration
 }
 
 func (c BalancerConfig) withDefaults() BalancerConfig {
@@ -73,6 +93,18 @@ func (c BalancerConfig) withDefaults() BalancerConfig {
 	}
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = 4
+	}
+	if c.ScaleInBelowOps == 0 {
+		c.ScaleInBelowOps = 50
+	}
+	if c.ScaleInAfterPasses == 0 {
+		c.ScaleInAfterPasses = 5
+	}
+	if c.MinServers < 2 {
+		c.MinServers = 2
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 60 * time.Second
 	}
 	return c
 }
@@ -139,6 +171,10 @@ type Balancer struct {
 	rates         map[string]float64
 	last          Decision
 	cooldownUntil time.Time
+	// coldStreak counts consecutive passes each server spent below the
+	// scale-in low-water mark; reset the moment it warms up or goes
+	// unreachable.
+	coldStreak map[string]int
 
 	passes    atomic.Uint64
 	triggered atomic.Uint64
@@ -158,11 +194,12 @@ type counterSample struct {
 func NewBalancer(cfg BalancerConfig) *Balancer {
 	cfg = cfg.withDefaults()
 	return &Balancer{
-		cfg:   cfg,
-		admin: client.NewAdmin(cfg.Transport, cfg.Meta),
-		prev:  make(map[string]counterSample),
-		rates: make(map[string]float64),
-		quit:  make(chan struct{}),
+		cfg:        cfg,
+		admin:      client.NewAdmin(cfg.Transport, cfg.Meta),
+		prev:       make(map[string]counterSample),
+		rates:      make(map[string]float64),
+		coldStreak: make(map[string]int),
+		quit:       make(chan struct{}),
 	}
 }
 
@@ -284,6 +321,28 @@ func (b *Balancer) plan(ctx context.Context) Decision {
 	}
 	ids = reachable
 
+	// Track scale-in cold streaks: consecutive passes below the low-water
+	// mark. Unreachable servers reset — a dead server is a failover problem,
+	// not a drain candidate.
+	if b.cfg.ScaleIn {
+		b.mu.Lock()
+		seen := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			seen[id] = true
+			if b.rates[id] < b.cfg.ScaleInBelowOps {
+				b.coldStreak[id]++
+			} else {
+				delete(b.coldStreak, id)
+			}
+		}
+		for id := range b.coldStreak {
+			if !seen[id] {
+				delete(b.coldStreak, id)
+			}
+		}
+		b.mu.Unlock()
+	}
+
 	// Servers party to an in-flight migration sit the pass out: their load
 	// is mid-hand-off and a second move would race the record transfer.
 	// Disjoint moves between the remaining servers proceed concurrently —
@@ -316,6 +375,10 @@ func (b *Balancer) plan(ctx context.Context) Decision {
 		CooldownRemaining: rem,
 	})
 	if len(moves) == 0 {
+		// No split to make; a chronically cold server may be drainable.
+		if d, acted := b.maybeScaleIn(ctx, cands, rem); acted {
+			return d
+		}
 		return Decision{Reason: reason}
 	}
 
@@ -455,6 +518,100 @@ func planMoves(req planRequest) ([]Move, string) {
 		return nil, "no usable split"
 	}
 	return moves, ""
+}
+
+// maybeScaleIn runs the scale-in policy when a pass planned no splits:
+// drain the coldest server whose rate sat below the low-water mark for
+// enough consecutive passes. Returns acted=true when a drain was attempted
+// (successfully or not) so the pass reports it and arms the cooldown.
+func (b *Balancer) maybeScaleIn(ctx context.Context, cands []moveCandidate, cooldown time.Duration) (Decision, bool) {
+	if !b.cfg.ScaleIn {
+		return Decision{}, false
+	}
+	inFlight := 0
+	for _, m := range b.cfg.Meta.Migrations() {
+		if m.InFlight() {
+			inFlight++
+		}
+	}
+	b.mu.Lock()
+	streaks := make(map[string]int, len(b.coldStreak))
+	for id, n := range b.coldStreak {
+		streaks[id] = n
+	}
+	b.mu.Unlock()
+	victim, _ := planScaleIn(scaleInRequest{
+		Candidates:        cands,
+		Streaks:           streaks,
+		Self:              b.cfg.Self,
+		BelowOps:          b.cfg.ScaleInBelowOps,
+		AfterPasses:       b.cfg.ScaleInAfterPasses,
+		MinServers:        b.cfg.MinServers,
+		InFlight:          inFlight,
+		CooldownRemaining: cooldown,
+	})
+	if victim == "" {
+		return Decision{}, false
+	}
+	dctx, cancel := context.WithTimeout(ctx, b.cfg.DrainTimeout)
+	defer cancel()
+	resp, err := b.admin.Drain(dctx, victim)
+	b.mu.Lock()
+	delete(b.coldStreak, victim)
+	b.mu.Unlock()
+	if err != nil {
+		return Decision{Reason: fmt.Sprintf("scale-in: drain %s failed: %s", victim, err)}, true
+	}
+	return Decision{
+		Acted: true, Source: victim,
+		Reason: fmt.Sprintf("scale-in: drained %s (%d range(s) moved, retired=%v)",
+			victim, resp.Moved, resp.Retired),
+	}, true
+}
+
+// scaleInRequest bundles everything planScaleIn consumes, making the drain
+// decision a pure function of its inputs (table-testable without a cluster).
+type scaleInRequest struct {
+	Candidates        []moveCandidate
+	Streaks           map[string]int
+	Self              string
+	BelowOps          float64
+	AfterPasses       int
+	MinServers        int
+	InFlight          int
+	CooldownRemaining time.Duration
+}
+
+// planScaleIn picks at most one server to drain: the coldest one whose rate
+// stayed below the low-water mark for AfterPasses consecutive passes. It
+// never drains while any migration is in flight, during cooldown, below the
+// MinServers floor, the balancer's own host (Self), or a server that is
+// itself party to a migration. Returns the victim id ("" = none) and a
+// reason when the policy held fire despite an armed candidate.
+func planScaleIn(req scaleInRequest) (string, string) {
+	if req.CooldownRemaining > 0 {
+		return "", "cooling down"
+	}
+	if req.InFlight > 0 {
+		return "", "migrations in flight"
+	}
+	if len(req.Candidates) <= req.MinServers {
+		return "", fmt.Sprintf("at the %d-server floor", req.MinServers)
+	}
+	victim := ""
+	var vrate float64
+	for _, c := range req.Candidates {
+		if c.Busy || c.ID == req.Self {
+			continue
+		}
+		if c.Rate >= req.BelowOps || req.Streaks[c.ID] < req.AfterPasses {
+			continue
+		}
+		if victim == "" || c.Rate < vrate || (c.Rate == vrate && c.ID < victim) {
+			victim, vrate = c.ID, c.Rate
+		}
+	}
+	return victim, ""
 }
 
 // statsRPC fetches one server's stats under the per-RPC timeout, so a hung

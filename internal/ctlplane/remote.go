@@ -66,6 +66,7 @@ type RemoteProvider struct {
 	revision   uint64
 	servers    map[string]remoteServer
 	migrations []metadata.MigrationState
+	replicas   map[string]metadata.ReplicaState
 	watchers   []chan struct{}
 
 	pollOnce sync.Once
@@ -208,6 +209,12 @@ func (p *RemoteProvider) absorb(resp *wire.MetaResp) {
 	for i := range resp.Migrations {
 		p.migrations = append(p.migrations, migrationFromWire(&resp.Migrations[i]))
 	}
+	p.replicas = make(map[string]metadata.ReplicaState, len(resp.Replicas))
+	for _, r := range resp.Replicas {
+		p.replicas[r.PrimaryID] = metadata.ReplicaState{
+			PrimaryID: r.PrimaryID, Addr: r.Addr, Synced: r.Synced,
+		}
+	}
 	var wake []chan struct{}
 	if changed {
 		wake = append(wake, p.watchers...)
@@ -263,6 +270,16 @@ func metaError(resp *wire.MetaResp) error {
 		sentinel = metadata.ErrMigrationDone
 	case wire.MetaErrMigrationOverlap:
 		sentinel = metadata.ErrMigrationOverlap
+	case wire.MetaErrDeposed:
+		sentinel = metadata.ErrDeposed
+	case wire.MetaErrReplicated:
+		sentinel = metadata.ErrReplicated
+	case wire.MetaErrNoReplica:
+		sentinel = metadata.ErrNoReplica
+	case wire.MetaErrReplicaNotSynced:
+		sentinel = metadata.ErrReplicaNotSynced
+	case wire.MetaErrServerNotEmpty:
+		sentinel = metadata.ErrServerNotEmpty
 	default:
 		return errors.New(resp.Err)
 	}
@@ -304,16 +321,81 @@ func (p *RemoteProvider) RegisterServer(id string, ranges ...metadata.HashRange)
 	return viewOf(&resp, id)
 }
 
-// RestoreServer reinstates a recovered server's checkpointed view.
-func (p *RemoteProvider) RestoreServer(id string, v metadata.View) metadata.View {
+// RestoreServer reinstates a recovered server's checkpointed view (refused
+// with ErrDeposed when a promoted or promotable replica superseded it).
+func (p *RemoteProvider) RestoreServer(id string, v metadata.View) (metadata.View, error) {
 	resp, err := p.do(&wire.MetaReq{
 		Op: wire.MetaOpRestore, ServerID: id,
 		ViewNumber: v.Number, Ranges: rangesToWire(v.Ranges),
 	})
 	if err != nil {
-		return metadata.View{}
+		return metadata.View{}, err
 	}
-	return viewOf(&resp, id)
+	if err := metaError(&resp); err != nil {
+		return metadata.View{}, err
+	}
+	return viewOf(&resp, id), nil
+}
+
+// RetireServer removes an empty server from the shared store (scale-in).
+func (p *RemoteProvider) RetireServer(id string) error {
+	resp, err := p.do(&wire.MetaReq{Op: wire.MetaOpRetire, ServerID: id})
+	if err != nil {
+		return err
+	}
+	return metaError(&resp)
+}
+
+// SetReplica attaches addr as id's backup in the shared store.
+func (p *RemoteProvider) SetReplica(id, addr string) error {
+	resp, err := p.do(&wire.MetaReq{Op: wire.MetaOpSetReplica, ServerID: id, Addr: addr})
+	if err != nil {
+		return err
+	}
+	return metaError(&resp)
+}
+
+// MarkReplicaSynced records that id's backup at addr finished its base sync.
+func (p *RemoteProvider) MarkReplicaSynced(id, addr string) error {
+	resp, err := p.do(&wire.MetaReq{Op: wire.MetaOpReplicaSynced, ServerID: id, Addr: addr})
+	if err != nil {
+		return err
+	}
+	return metaError(&resp)
+}
+
+// ClearReplica detaches id's backup at addr.
+func (p *RemoteProvider) ClearReplica(id, addr string) error {
+	resp, err := p.do(&wire.MetaReq{Op: wire.MetaOpClearReplica, ServerID: id, Addr: addr})
+	if err != nil {
+		return err
+	}
+	return metaError(&resp)
+}
+
+// PromoteReplica promotes id's synced backup at addr (failover's
+// linearization point) and returns the view the promoted server adopts.
+func (p *RemoteProvider) PromoteReplica(id, addr string) (metadata.View, error) {
+	resp, err := p.do(&wire.MetaReq{Op: wire.MetaOpPromote, ServerID: id, Addr: addr})
+	if err != nil {
+		return metadata.View{}, err
+	}
+	if err := metaError(&resp); err != nil {
+		return metadata.View{}, err
+	}
+	return viewOf(&resp, id), nil
+}
+
+// Replicas returns every attached backup keyed by primary id.
+func (p *RemoteProvider) Replicas() map[string]metadata.ReplicaState {
+	p.refresh()
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	out := make(map[string]metadata.ReplicaState, len(p.replicas))
+	for id, r := range p.replicas {
+		out[id] = r
+	}
+	return out
 }
 
 // GetView returns a server's current view.
@@ -556,9 +638,10 @@ func ServeMetaReq(p metadata.Provider, req *wire.MetaReq) wire.MetaResp {
 	case wire.MetaOpRegister:
 		p.RegisterServer(req.ServerID, rangesFromWire(req.Ranges)...)
 	case wire.MetaOpRestore:
-		p.RestoreServer(req.ServerID, metadata.View{
+		_, err := p.RestoreServer(req.ServerID, metadata.View{
 			Number: req.ViewNumber, Ranges: rangesFromWire(req.Ranges),
 		})
+		fillMetaErr(&resp, err)
 	case wire.MetaOpStartMigration:
 		mig, _, _, err := p.StartMigration(req.ServerID, req.Target,
 			metadata.HashRange{Start: req.RangeStart, End: req.RangeEnd})
@@ -574,6 +657,17 @@ func ServeMetaReq(p metadata.Provider, req *wire.MetaReq) wire.MetaResp {
 		fillMetaErr(&resp, p.CancelMigration(req.MigrationID))
 	case wire.MetaOpCollect:
 		fillMetaErr(&resp, p.CollectMigration(req.MigrationID))
+	case wire.MetaOpSetReplica:
+		fillMetaErr(&resp, p.SetReplica(req.ServerID, req.Addr))
+	case wire.MetaOpReplicaSynced:
+		fillMetaErr(&resp, p.MarkReplicaSynced(req.ServerID, req.Addr))
+	case wire.MetaOpClearReplica:
+		fillMetaErr(&resp, p.ClearReplica(req.ServerID, req.Addr))
+	case wire.MetaOpPromote:
+		_, err := p.PromoteReplica(req.ServerID, req.Addr)
+		fillMetaErr(&resp, err)
+	case wire.MetaOpRetire:
+		fillMetaErr(&resp, p.RetireServer(req.ServerID))
 	default:
 		resp.OK = false
 		resp.ErrCode = wire.MetaErrOther
@@ -602,6 +696,18 @@ func ServeMetaReq(p metadata.Provider, req *wire.MetaReq) wire.MetaResp {
 	for _, m := range p.Migrations() {
 		resp.Migrations = append(resp.Migrations, migrationToWire(m))
 	}
+	reps := p.Replicas()
+	repIDs := make([]string, 0, len(reps))
+	for id := range reps {
+		repIDs = append(repIDs, id)
+	}
+	sort.Strings(repIDs)
+	for _, id := range repIDs {
+		r := reps[id]
+		resp.Replicas = append(resp.Replicas, wire.MetaReplica{
+			PrimaryID: r.PrimaryID, Addr: r.Addr, Synced: r.Synced,
+		})
+	}
 	return resp
 }
 
@@ -626,6 +732,16 @@ func fillMetaErr(resp *wire.MetaResp, err error) {
 		resp.ErrCode = wire.MetaErrMigrationDone
 	case errors.Is(err, metadata.ErrMigrationOverlap):
 		resp.ErrCode = wire.MetaErrMigrationOverlap
+	case errors.Is(err, metadata.ErrDeposed):
+		resp.ErrCode = wire.MetaErrDeposed
+	case errors.Is(err, metadata.ErrReplicated):
+		resp.ErrCode = wire.MetaErrReplicated
+	case errors.Is(err, metadata.ErrNoReplica):
+		resp.ErrCode = wire.MetaErrNoReplica
+	case errors.Is(err, metadata.ErrReplicaNotSynced):
+		resp.ErrCode = wire.MetaErrReplicaNotSynced
+	case errors.Is(err, metadata.ErrServerNotEmpty):
+		resp.ErrCode = wire.MetaErrServerNotEmpty
 	default:
 		resp.ErrCode = wire.MetaErrOther
 	}

@@ -1,0 +1,103 @@
+package ctlplane
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlanScaleIn table-tests the drain policy as a pure function: cooldown,
+// in-flight migrations and the MinServers floor hold fire; the balancer's
+// own host, busy servers, warm servers and unarmed streaks are never
+// victims; among armed candidates the coldest wins, ties broken by id.
+func TestPlanScaleIn(t *testing.T) {
+	cand := func(id string, rate float64, busy bool) moveCandidate {
+		return moveCandidate{ID: id, Rate: rate, Busy: busy}
+	}
+	base := func() scaleInRequest {
+		return scaleInRequest{
+			Candidates: []moveCandidate{
+				cand("self", 900, false),
+				cand("warm", 400, false),
+				cand("cold", 10, false),
+			},
+			Streaks:     map[string]int{"cold": 5},
+			Self:        "self",
+			BelowOps:    50,
+			AfterPasses: 5,
+			MinServers:  2,
+		}
+	}
+
+	t.Run("armed candidate drains", func(t *testing.T) {
+		if v, _ := planScaleIn(base()); v != "cold" {
+			t.Fatalf("victim = %q, want cold", v)
+		}
+	})
+	t.Run("cooldown holds fire", func(t *testing.T) {
+		req := base()
+		req.CooldownRemaining = time.Second
+		if v, why := planScaleIn(req); v != "" {
+			t.Fatalf("victim = %q (%s), want none during cooldown", v, why)
+		}
+	})
+	t.Run("in-flight migration holds fire", func(t *testing.T) {
+		req := base()
+		req.InFlight = 1
+		if v, _ := planScaleIn(req); v != "" {
+			t.Fatalf("victim = %q, want none with a migration in flight", v)
+		}
+	})
+	t.Run("never below the server floor", func(t *testing.T) {
+		req := base()
+		req.MinServers = 3 // draining would leave 2
+		if v, _ := planScaleIn(req); v != "" {
+			t.Fatalf("victim = %q, want none at the floor", v)
+		}
+		req.MinServers = 2
+		req.Candidates = req.Candidates[:2] // only self+warm reachable
+		if v, _ := planScaleIn(req); v != "" {
+			t.Fatalf("victim = %q, want none with 2 servers", v)
+		}
+	})
+	t.Run("self is never drained", func(t *testing.T) {
+		req := base()
+		req.Candidates[0].Rate = 1 // self is the coldest
+		req.Streaks["self"] = 99
+		if v, _ := planScaleIn(req); v != "cold" {
+			t.Fatalf("victim = %q, want cold (never self)", v)
+		}
+	})
+	t.Run("busy server is skipped", func(t *testing.T) {
+		req := base()
+		req.Candidates[2].Busy = true
+		if v, _ := planScaleIn(req); v != "" {
+			t.Fatalf("victim = %q, want none when the cold server is busy", v)
+		}
+	})
+	t.Run("streak must be armed", func(t *testing.T) {
+		req := base()
+		req.Streaks["cold"] = 4 // one pass short
+		if v, _ := planScaleIn(req); v != "" {
+			t.Fatalf("victim = %q, want none before AfterPasses", v)
+		}
+	})
+	t.Run("rate must sit below the low-water mark", func(t *testing.T) {
+		req := base()
+		req.Candidates[2].Rate = 50 // == BelowOps: not below
+		if v, _ := planScaleIn(req); v != "" {
+			t.Fatalf("victim = %q, want none at the mark", v)
+		}
+	})
+	t.Run("coldest armed candidate wins, ties by id", func(t *testing.T) {
+		req := base()
+		req.Candidates = append(req.Candidates, cand("cold2", 5, false))
+		req.Streaks["cold2"] = 7
+		if v, _ := planScaleIn(req); v != "cold2" {
+			t.Fatalf("victim = %q, want the colder cold2", v)
+		}
+		req.Candidates[3].Rate = 10 // tie with "cold"
+		if v, _ := planScaleIn(req); v != "cold" {
+			t.Fatalf("victim = %q, want cold on id tie-break", v)
+		}
+	})
+}

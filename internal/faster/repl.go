@@ -1,0 +1,137 @@
+package faster
+
+import (
+	"errors"
+
+	"repro/internal/hashidx"
+	"repro/internal/hlog"
+)
+
+// ErrScanAborted is returned by ReplScan when the emit callback stopped the
+// scan (the replica detached mid-sync).
+var ErrScanAborted = errors.New("faster: replication scan aborted")
+
+// This file implements the store-level half of primary→backup replication:
+// sealing a version over the CPR cut without writing a checkpoint image, and
+// scanning the sealed prefix so it can be shipped to a backup as ordinary
+// records (installed there via ConditionalInsert, exactly like migration).
+
+// SealVersion advances the CPR version over an asynchronous global cut, like
+// CheckpointCut, but without serializing a checkpoint image. onCut runs on a
+// background goroutine after every thread has crossed the cut, receiving the
+// sealed version and the tail captured before the bump: every record stamped
+// sealed+1 lives at or above cutTail, so a scan below it (ReplScan) covers
+// exactly the operations acknowledged before the cut.
+func (s *Store) SealVersion(onCut func(sealed uint32, cutTail hlog.Address)) {
+	cutTail := s.log.TailAddress()
+	sealed := s.version.Add(1) - 1
+	s.epoch.BumpWithAction(func() {
+		go onCut(sealed, cutTail)
+	})
+}
+
+// AdvanceVersionTo raises the store's CPR version to at least v (no-op when
+// already there). A backup applying a primary's replication stream adopts the
+// primary's post-cut version so the records it appends carry stamps
+// consistent with the stream's cut.
+func (s *Store) AdvanceVersionTo(v uint32) {
+	for {
+		cur := s.version.Load()
+		if cur >= v || s.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ReplScan walks every hash chain and emits the newest pre-cut version of
+// every key — the base state a freshly attached backup needs. A record is
+// pre-cut when it was allocated below cutTail or carries a version stamp
+// other than sealed+1 (the masked comparison is unambiguous because the
+// caller prevents further version bumps while the scan runs, so only sealed
+// and sealed+1 coexist). Records below a hash's ownership fence are retired
+// leftovers and are never shipped; tombstones are shipped as deletions so
+// the backup's ConditionalInsert preserves them. Indirection records (shared
+// tier, §3.3.2) are not replicated: their count is returned so the caller
+// can surface the limitation.
+//
+// emit returns false to abort the scan (replica detached mid-sync). The
+// session's epoch guard is held across each chain and refreshed between
+// chains, so in-memory frames cannot recycle mid-walk.
+func (sess *Session) ReplScan(sealed uint32, cutTail hlog.Address,
+	emit func(CollectedRecord) bool) (skippedIndirections int, err error) {
+	lg := sess.s.log
+	seen := make(map[string]struct{}, 256)
+	abort := false
+	sess.s.index.ForEachEntryInBuckets(0, sess.s.index.NumBuckets(),
+		func(_ uint64, slot hashidx.Slot) bool {
+			sess.Refresh()
+			e := slot.Load()
+			if e.Free() {
+				return true
+			}
+			clear(seen)
+			begin := lg.BeginAddress()
+			addr := e.Address()
+			for addr != hlog.InvalidAddress && addr >= begin {
+				var m hlog.Meta
+				var rec hlog.Record
+				if lg.InMemory(addr) {
+					rec = lg.RecordAt(addr)
+					m = rec.Meta()
+				} else {
+					var rerr error
+					rec, rerr = lg.ReadRecordFromDevice(addr, sess.s.cfg.ReadHintBytes)
+					if rerr != nil {
+						err = rerr
+						return false
+					}
+					m = rec.Meta()
+				}
+				if m.Invalid() {
+					addr = m.Previous()
+					continue
+				}
+				if m.Indirection() {
+					skippedIndirections++
+					addr = m.Previous()
+					continue
+				}
+				// Post-cut records only exist at or above cutTail; skip them
+				// without consuming the key's "seen" slot — its newest pre-cut
+				// version sits further down the chain.
+				if addr >= cutTail && hlog.SameVersion(m.Version(), sealed+1) {
+					addr = m.Previous()
+					continue
+				}
+				h := HashOf(rec.Key())
+				if addr < sess.s.fenceBelow(h) {
+					addr = m.Previous()
+					continue
+				}
+				k := string(rec.Key())
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					cr := CollectedRecord{
+						Hash:      h,
+						Key:       append([]byte(nil), rec.Key()...),
+						Tombstone: m.Tombstone(),
+					}
+					if lg.InMemory(addr) {
+						cr.Value = rec.ReadValueStable(nil)
+					} else {
+						cr.Value = append([]byte(nil), rec.Value()...)
+					}
+					if !emit(cr) {
+						abort = true
+						return false
+					}
+				}
+				addr = m.Previous()
+			}
+			return true
+		})
+	if abort {
+		return skippedIndirections, ErrScanAborted
+	}
+	return skippedIndirections, err
+}

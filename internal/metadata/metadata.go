@@ -103,10 +103,16 @@ type Store struct {
 	views      map[string]*View
 	addrs      map[string]string
 	migrations map[uint64]*MigrationState
-	nextMigID  uint64
-	nextEpoch  uint64
-	revision   uint64
-	watchers   []chan struct{}
+	// replicas maps a primary's server id to its attached backup (replica.go).
+	replicas map[string]*ReplicaState
+	// promoted records, per server id, the view number a replica promotion
+	// assigned: a deposed primary restarting from its checkpoint carries a
+	// lower number and must be refused (split-brain guard).
+	promoted  map[string]uint64
+	nextMigID uint64
+	nextEpoch uint64
+	revision  uint64
+	watchers  []chan struct{}
 }
 
 // NewStore returns an empty metadata store.
@@ -115,6 +121,8 @@ func NewStore() *Store {
 		views:      make(map[string]*View),
 		addrs:      make(map[string]string),
 		migrations: make(map[uint64]*MigrationState),
+		replicas:   make(map[string]*ReplicaState),
+		promoted:   make(map[string]uint64),
 		nextMigID:  1,
 	}
 }
@@ -157,17 +165,36 @@ func (s *Store) RegisterServer(id string, ranges ...HashRange) View {
 // already exists with a higher number (e.g. a migration completed while the
 // server was down), the higher number wins and the recovered ranges are
 // discarded in favor of the current ones.
-func (s *Store) RestoreServer(id string, v View) View {
+//
+// A restart races failover: if the id's backup was already promoted at a
+// higher view number, or a synced backup is still attached and may promote
+// any instant, the restore is refused with ErrDeposed — exactly one of the
+// old primary and the backup may serve the ranges, and this refusal is the
+// linearization point that picks the winner. An attached-but-unsynced
+// replica loses instead: its entry is dropped (its base sync was cut short
+// by the very crash being recovered from) and it must re-attach.
+func (s *Store) RestoreServer(id string, v View) (View, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if pn, ok := s.promoted[id]; ok && v.Number < pn {
+		return View{}, fmt.Errorf("%w: %q was superseded by its promoted replica (view %d)",
+			ErrDeposed, id, pn)
+	}
+	if r, ok := s.replicas[id]; ok {
+		if r.Synced {
+			return View{}, fmt.Errorf("%w: %q has a synced replica attached (%s); let it promote",
+				ErrDeposed, id, r.Addr)
+		}
+		delete(s.replicas, id) // mid-sync backup lost the race; it re-attaches
+	}
 	if cur, ok := s.views[id]; ok && cur.Number > v.Number {
-		return cur.Clone()
+		return cur.Clone(), nil
 	}
 	nv := v.Clone()
 	nv.Ranges = mergeRanges(nv.Ranges)
 	s.views[id] = &nv
 	s.notifyLocked()
-	return nv.Clone()
+	return nv.Clone(), nil
 }
 
 // GetView returns a server's current view.
@@ -241,6 +268,15 @@ func (s *Store) StartMigration(source, target string, rng HashRange) (MigrationS
 			return MigrationState{}, View{}, View{}, fmt.Errorf(
 				"%w: %s overlaps migration %d (epoch %d) %s", ErrMigrationOverlap,
 				rng, m.ID, m.Epoch, m.Range)
+		}
+	}
+	// A replicated server cannot take part in a migration: migrated-in
+	// records install outside the client-batch path the replication stream
+	// forwards, so the backup would silently miss them. Detach first.
+	for _, id := range [2]string{source, target} {
+		if _, ok := s.replicas[id]; ok {
+			return MigrationState{}, View{}, View{}, fmt.Errorf(
+				"%w: %q has a replica attached", ErrReplicated, id)
 		}
 	}
 	rest, carved := carve(sv.Ranges, rng)

@@ -18,11 +18,19 @@ type Provider interface {
 
 	// Ownership views.
 	RegisterServer(id string, ranges ...HashRange) View
-	RestoreServer(id string, v View) View
+	RestoreServer(id string, v View) (View, error)
 	GetView(id string) (View, error)
 	Servers() []string
 	OwnerOf(h uint64) (string, View, error)
 	Ownership() map[string]View
+	RetireServer(id string) error
+
+	// Primary→backup replication (replica.go).
+	SetReplica(primaryID, addr string) error
+	MarkReplicaSynced(primaryID, addr string) error
+	ClearReplica(primaryID, addr string) error
+	PromoteReplica(primaryID, addr string) (View, error)
+	Replicas() map[string]ReplicaState
 
 	// Migration dependencies (§3.3.1).
 	StartMigration(source, target string, rng HashRange) (MigrationState, View, View, error)

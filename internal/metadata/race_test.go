@@ -172,7 +172,10 @@ func TestRestoreServerKeepsNewerView(t *testing.T) {
 		t.Fatal(err)
 	}
 	// "a" restarts and replays its stale checkpoint.
-	got := s.RestoreServer("a", checkpointed)
+	got, err := s.RestoreServer("a", checkpointed)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Number != 2 {
 		t.Fatalf("restore returned view %d, want the current 2", got.Number)
 	}

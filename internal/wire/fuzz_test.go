@@ -75,8 +75,33 @@ func fuzzSeeds() [][]byte {
 			{ID: 6, Epoch: 12, Source: "s3", Target: "s4", RangeStart: 0, RangeEnd: 1 << 60, SourceDone: true},
 		},
 	})
+	replBatch := EncodeReplBatch(&ReplBatch{Seq: 12, Batch: req})
+	replRecs := EncodeReplRecords(&ReplRecords{
+		Seq: 2,
+		Records: []MigrationRecord{
+			{Hash: 150, Key: []byte("k"), Value: []byte("v")},
+			{Hash: 151, Flags: RecFlagTombstone, Key: []byte("dead")},
+		},
+	})
+	replSess := EncodeReplSessTab(&ReplSessTab{
+		Seq: 3, Sealed: 5,
+		Sessions: []ReplSession{{ID: 9, LastSeq: 44}, {ID: 10, LastSeq: 0}},
+	})
 	return [][]byte{
 		req, resp, rej, mig, compacted,
+		EncodeReplAttach(ReplAttach{PrimaryID: "s1", ReplicaAddr: "127.0.0.1:8888",
+			HeartbeatMs: 100, AckTimeoutMs: 2000}),
+		EncodeReplAttachResp(ReplAttachResp{OK: true}),
+		EncodeReplAttachResp(ReplAttachResp{Err: "already replicated"}),
+		EncodeReplBaseBegin(ReplBaseBegin{Seq: 1, Sealed: 5, CutTail: 0x40000}),
+		replRecs, replSess,
+		EncodeReplBaseDone(ReplBaseDone{Seq: 4, SkippedIndirections: 2}),
+		replBatch,
+		EncodeReplAck(ReplAck{Seq: 12}),
+		EncodeReplHeartbeat(ReplHeartbeat{Seq: 12}),
+		EncodeDrainReq(),
+		EncodeDrainResp(DrainResp{OK: true, Retired: true, Moved: 3}),
+		EncodeDrainResp(DrainResp{Err: "would leave 2 range(s) unowned"}),
 		EncodeMigrate(MigrateCmd{Target: "s2", RangeStart: 10, RangeEnd: 20}),
 		EncodeCheckpointReq(),
 		EncodeCheckpointResp(CheckpointResp{OK: true, Version: 5, Tail: 0x10000}),
@@ -215,6 +240,71 @@ func FuzzDecode(f *testing.F) {
 				t.Fatal("balance status round trip not canonical")
 			}
 		}
+		if r, err := DecodeReplAttach(buf); err == nil {
+			if r2, err := DecodeReplAttach(EncodeReplAttach(r)); err != nil || r2 != r {
+				t.Fatalf("repl attach round trip: %v", err)
+			}
+		}
+		if r, err := DecodeReplAttachResp(buf); err == nil {
+			if r2, err := DecodeReplAttachResp(EncodeReplAttachResp(r)); err != nil || r2 != r {
+				t.Fatalf("repl attach resp round trip: %v", err)
+			}
+		}
+		if r, err := DecodeReplBaseBegin(buf); err == nil {
+			if r2, err := DecodeReplBaseBegin(EncodeReplBaseBegin(r)); err != nil || r2 != r {
+				t.Fatalf("repl base begin round trip: %v", err)
+			}
+		}
+		if r, err := DecodeReplRecords(buf); err == nil {
+			re := EncodeReplRecords(&r)
+			r2, err := DecodeReplRecords(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded repl records failed: %v", err)
+			}
+			if !bytes.Equal(EncodeReplRecords(&r2), re) {
+				t.Fatal("repl records round trip not canonical")
+			}
+		}
+		if r, err := DecodeReplSessTab(buf); err == nil {
+			re := EncodeReplSessTab(&r)
+			r2, err := DecodeReplSessTab(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded repl sess tab failed: %v", err)
+			}
+			if !bytes.Equal(EncodeReplSessTab(&r2), re) {
+				t.Fatal("repl sess tab round trip not canonical")
+			}
+		}
+		if r, err := DecodeReplBaseDone(buf); err == nil {
+			if r2, err := DecodeReplBaseDone(EncodeReplBaseDone(r)); err != nil || r2 != r {
+				t.Fatalf("repl base done round trip: %v", err)
+			}
+		}
+		if r, err := DecodeReplBatch(buf); err == nil {
+			re := EncodeReplBatch(&r)
+			r2, err := DecodeReplBatch(re)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded repl batch failed: %v", err)
+			}
+			if !bytes.Equal(EncodeReplBatch(&r2), re) {
+				t.Fatal("repl batch round trip not canonical")
+			}
+		}
+		if r, err := DecodeReplAck(buf); err == nil {
+			if r2, err := DecodeReplAck(EncodeReplAck(r)); err != nil || r2 != r {
+				t.Fatalf("repl ack round trip: %v", err)
+			}
+		}
+		if r, err := DecodeReplHeartbeat(buf); err == nil {
+			if r2, err := DecodeReplHeartbeat(EncodeReplHeartbeat(r)); err != nil || r2 != r {
+				t.Fatalf("repl heartbeat round trip: %v", err)
+			}
+		}
+		if r, err := DecodeDrainResp(buf); err == nil {
+			if r2, err := DecodeDrainResp(EncodeDrainResp(r)); err != nil || r2 != r {
+				t.Fatalf("drain resp round trip: %v", err)
+			}
+		}
 	})
 }
 
@@ -317,6 +407,23 @@ func TestDecodeCountGuards(t *testing.T) {
 	if _, err := DecodeBalanceStatusResp(hf); err == nil {
 		t.Fatal("balance status resp with absurd in-flight count accepted")
 	}
+
+	// MsgReplRecords: absurd record count (each record needs ≥15 bytes).
+	rr := []byte{byte(MsgReplRecords)}
+	rr = appendU64(rr, 1) // seq
+	rr = appendU32(rr, 0xFFFFFFFF)
+	if _, err := DecodeReplRecords(rr); err == nil {
+		t.Fatal("repl records with absurd record count accepted")
+	}
+
+	// MsgReplSessTab: absurd session count (each entry is 12 bytes).
+	rs := []byte{byte(MsgReplSessTab)}
+	rs = appendU64(rs, 1) // seq
+	rs = appendU32(rs, 0) // sealed
+	rs = appendU32(rs, 0xFFFFFFFF)
+	if _, err := DecodeReplSessTab(rs); err == nil {
+		t.Fatal("repl sess tab with absurd session count accepted")
+	}
 }
 
 // TestFuzzSeedsDecode keeps the seed corpus honest: every seed must decode
@@ -375,6 +482,38 @@ func TestFuzzSeedsDecode(t *testing.T) {
 		case MsgBalanceStatusResp:
 			r, err := DecodeBalanceStatusResp(seed)
 			ok = err == nil && bytes.Equal(EncodeBalanceStatusResp(&r), seed)
+		case MsgReplAttach:
+			r, err := DecodeReplAttach(seed)
+			ok = err == nil && bytes.Equal(EncodeReplAttach(r), seed)
+		case MsgReplAttachResp:
+			r, err := DecodeReplAttachResp(seed)
+			ok = err == nil && bytes.Equal(EncodeReplAttachResp(r), seed)
+		case MsgReplBaseBegin:
+			r, err := DecodeReplBaseBegin(seed)
+			ok = err == nil && bytes.Equal(EncodeReplBaseBegin(r), seed)
+		case MsgReplRecords:
+			r, err := DecodeReplRecords(seed)
+			ok = err == nil && bytes.Equal(EncodeReplRecords(&r), seed)
+		case MsgReplSessTab:
+			r, err := DecodeReplSessTab(seed)
+			ok = err == nil && bytes.Equal(EncodeReplSessTab(&r), seed)
+		case MsgReplBaseDone:
+			r, err := DecodeReplBaseDone(seed)
+			ok = err == nil && bytes.Equal(EncodeReplBaseDone(r), seed)
+		case MsgReplBatch:
+			r, err := DecodeReplBatch(seed)
+			ok = err == nil && bytes.Equal(EncodeReplBatch(&r), seed)
+		case MsgReplAck:
+			r, err := DecodeReplAck(seed)
+			ok = err == nil && bytes.Equal(EncodeReplAck(r), seed)
+		case MsgReplHeartbeat:
+			r, err := DecodeReplHeartbeat(seed)
+			ok = err == nil && bytes.Equal(EncodeReplHeartbeat(r), seed)
+		case MsgDrain:
+			ok = true // bare request frame
+		case MsgDrainResp:
+			r, err := DecodeDrainResp(seed)
+			ok = err == nil && bytes.Equal(EncodeDrainResp(r), seed)
 		}
 		if !ok {
 			t.Fatalf("seed %d (type %d) does not decode", i, typ)

@@ -41,6 +41,13 @@ const (
 	MetaOpMarkDone
 	MetaOpCancel
 	MetaOpCollect
+	// Replication + scale-in ops (appended; earlier values stay stable).
+	// ServerID names the primary, Addr the backup's transport address.
+	MetaOpSetReplica
+	MetaOpReplicaSynced
+	MetaOpClearReplica
+	MetaOpPromote
+	MetaOpRetire
 )
 
 // MetaErr is a machine-readable error class inside a MsgMetaResp, so the
@@ -61,6 +68,12 @@ const (
 	// a migration still in flight (appended after MetaErrOther so existing
 	// class values stay stable).
 	MetaErrMigrationOverlap
+	// Replication error classes (appended).
+	MetaErrDeposed
+	MetaErrReplicated
+	MetaErrNoReplica
+	MetaErrReplicaNotSynced
+	MetaErrServerNotEmpty
 )
 
 // MetaReq is one metadata-service call. Fields are a union over the ops:
@@ -99,10 +112,17 @@ type MetaMigration struct {
 	Cancelled      bool
 }
 
+// MetaReplica is one attached backup's entry in a metadata snapshot.
+type MetaReplica struct {
+	PrimaryID string
+	Addr      string
+	Synced    bool
+}
+
 // MetaResp answers a MetaReq. OK/ErrCode/Err report the mutation's outcome;
 // Migration carries the record StartMigration created (MigValid set); the
-// snapshot (Revision, Servers, Migrations) rides on every response so one
-// round trip always refreshes the caller's whole cache.
+// snapshot (Revision, Servers, Migrations, Replicas) rides on every response
+// so one round trip always refreshes the caller's whole cache.
 type MetaResp struct {
 	OK      bool
 	ErrCode MetaErr
@@ -114,6 +134,7 @@ type MetaResp struct {
 	Revision   uint64
 	Servers    []MetaServer
 	Migrations []MetaMigration
+	Replicas   []MetaReplica
 }
 
 // EncodeMetaReq builds a MsgMetaReq frame.
@@ -249,6 +270,12 @@ func EncodeMetaResp(r *MetaResp) []byte {
 	for i := range r.Migrations {
 		dst = appendMetaMigration(dst, &r.Migrations[i])
 	}
+	dst = appendU32(dst, uint32(len(r.Replicas)))
+	for i := range r.Replicas {
+		dst = appendString(dst, r.Replicas[i].PrimaryID)
+		dst = appendString(dst, r.Replicas[i].Addr)
+		dst = appendBool(dst, r.Replicas[i].Synced)
+	}
 	return dst
 }
 
@@ -320,6 +347,29 @@ func DecodeMetaResp(buf []byte) (MetaResp, error) {
 	}
 	for i := range r.Migrations {
 		if r.Migrations[i], err = decodeMetaMigration(&d); err != nil {
+			return r, err
+		}
+	}
+	nrep, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	// Each replica entry encodes to at least 5 bytes (two empty strings +
+	// synced flag).
+	if uint64(nrep) > uint64(d.remaining())/5 {
+		return r, ErrShortFrame
+	}
+	if nrep > 0 {
+		r.Replicas = make([]MetaReplica, nrep)
+	}
+	for i := range r.Replicas {
+		if r.Replicas[i].PrimaryID, err = d.str(); err != nil {
+			return r, err
+		}
+		if r.Replicas[i].Addr, err = d.str(); err != nil {
+			return r, err
+		}
+		if r.Replicas[i].Synced, err = d.bool(); err != nil {
 			return r, err
 		}
 	}

@@ -1,0 +1,452 @@
+package wire
+
+import "fmt"
+
+// Primary→backup replication frames (continuing the MsgType enum), plus the
+// scale-in drain admin frames. The replication stream has two parts: a base
+// sync (BaseBegin, Records*, SessTab, BaseDone) shipping the sealed pre-cut
+// state, and a live stream (Batch frames embedding the primary's accepted
+// client request batches verbatim). Every primary→backup frame carries a
+// strictly-increasing Seq; the backup acknowledges cumulatively with Ack.
+const (
+	// MsgReplAttach asks a primary to start replicating to the sender.
+	MsgReplAttach MsgType = iota + 24
+	// MsgReplAttachResp accepts or refuses the attach.
+	MsgReplAttachResp
+	// MsgReplBaseBegin opens the base sync: the sealed CPR version and the
+	// cut tail the scan is taken against.
+	MsgReplBaseBegin
+	// MsgReplRecords is a batch of base-state records (migration-record
+	// encoding; installed via ConditionalInsert).
+	MsgReplRecords
+	// MsgReplSessTab ships the primary's client session table restricted to
+	// the sealed version, so the backup answers session recovery correctly
+	// after promotion.
+	MsgReplSessTab
+	// MsgReplBaseDone closes the base sync; buffered live batches apply.
+	MsgReplBaseDone
+	// MsgReplBatch embeds one accepted client request batch verbatim.
+	MsgReplBatch
+	// MsgReplAck is the backup's cumulative acknowledgement.
+	MsgReplAck
+	// MsgReplHeartbeat keeps the stream alive while the primary is idle.
+	MsgReplHeartbeat
+	// MsgDrain asks a server to migrate all its ranges away and retire
+	// (scale-in admin).
+	MsgDrain
+	// MsgDrainResp reports the drain's outcome.
+	MsgDrainResp
+)
+
+// ReplAttach asks a primary to accept the sender as its backup.
+type ReplAttach struct {
+	PrimaryID    string // the primary's server id (sanity check)
+	ReplicaAddr  string // the backup's transport address (metadata identity)
+	HeartbeatMs  uint32 // primary's keepalive period while idle
+	AckTimeoutMs uint32 // primary detaches after this long without an ack
+}
+
+// EncodeReplAttach builds a MsgReplAttach frame.
+func EncodeReplAttach(r ReplAttach) []byte {
+	dst := []byte{byte(MsgReplAttach)}
+	dst = appendString(dst, r.PrimaryID)
+	dst = appendString(dst, r.ReplicaAddr)
+	dst = appendU32(dst, r.HeartbeatMs)
+	dst = appendU32(dst, r.AckTimeoutMs)
+	return dst
+}
+
+// DecodeReplAttach parses a MsgReplAttach frame.
+func DecodeReplAttach(buf []byte) (ReplAttach, error) {
+	d := decoder{buf: buf}
+	var r ReplAttach
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplAttach {
+		return r, fmt.Errorf("%w: repl attach", ErrBadType)
+	}
+	var err error
+	if r.PrimaryID, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.ReplicaAddr, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.HeartbeatMs, err = d.u32(); err != nil {
+		return r, err
+	}
+	if r.AckTimeoutMs, err = d.u32(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ReplAttachResp accepts or refuses an attach.
+type ReplAttachResp struct {
+	OK  bool
+	Err string
+}
+
+// EncodeReplAttachResp builds a MsgReplAttachResp frame.
+func EncodeReplAttachResp(r ReplAttachResp) []byte {
+	dst := []byte{byte(MsgReplAttachResp)}
+	dst = appendBool(dst, r.OK)
+	dst = appendString(dst, r.Err)
+	return dst
+}
+
+// DecodeReplAttachResp parses a MsgReplAttachResp frame.
+func DecodeReplAttachResp(buf []byte) (ReplAttachResp, error) {
+	d := decoder{buf: buf}
+	var r ReplAttachResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplAttachResp {
+		return r, fmt.Errorf("%w: repl attach resp", ErrBadType)
+	}
+	var err error
+	if r.OK, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.Err, err = d.str(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ReplBaseBegin opens the base sync.
+type ReplBaseBegin struct {
+	Seq     uint64
+	Sealed  uint32 // CPR version sealed by the replication cut
+	CutTail uint64 // log tail captured before the version bump
+}
+
+// EncodeReplBaseBegin builds a MsgReplBaseBegin frame.
+func EncodeReplBaseBegin(r ReplBaseBegin) []byte {
+	dst := []byte{byte(MsgReplBaseBegin)}
+	dst = appendU64(dst, r.Seq)
+	dst = appendU32(dst, r.Sealed)
+	dst = appendU64(dst, r.CutTail)
+	return dst
+}
+
+// DecodeReplBaseBegin parses a MsgReplBaseBegin frame.
+func DecodeReplBaseBegin(buf []byte) (ReplBaseBegin, error) {
+	d := decoder{buf: buf}
+	var r ReplBaseBegin
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplBaseBegin {
+		return r, fmt.Errorf("%w: repl base begin", ErrBadType)
+	}
+	var err error
+	if r.Seq, err = d.u64(); err != nil {
+		return r, err
+	}
+	if r.Sealed, err = d.u32(); err != nil {
+		return r, err
+	}
+	if r.CutTail, err = d.u64(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ReplRecords is one batch of base-state records.
+type ReplRecords struct {
+	Seq     uint64
+	Records []MigrationRecord
+}
+
+// EncodeReplRecords builds a MsgReplRecords frame.
+func EncodeReplRecords(r *ReplRecords) []byte {
+	dst := []byte{byte(MsgReplRecords)}
+	dst = appendU64(dst, r.Seq)
+	dst = appendU32(dst, uint32(len(r.Records)))
+	for i := range r.Records {
+		rec := &r.Records[i]
+		dst = appendU64(dst, rec.Hash)
+		dst = append(dst, rec.Flags)
+		dst = appendU16(dst, uint16(len(rec.Key)))
+		dst = appendU32(dst, uint32(len(rec.Value)))
+		dst = append(dst, rec.Key...)
+		dst = append(dst, rec.Value...)
+	}
+	return dst
+}
+
+// DecodeReplRecords parses a MsgReplRecords frame; records alias buf.
+func DecodeReplRecords(buf []byte) (ReplRecords, error) {
+	d := decoder{buf: buf}
+	var r ReplRecords
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplRecords {
+		return r, fmt.Errorf("%w: repl records", ErrBadType)
+	}
+	var err error
+	if r.Seq, err = d.u64(); err != nil {
+		return r, err
+	}
+	cnt, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	// Each record encodes to at least 15 bytes (hash+flags+klen+vlen).
+	if uint64(cnt) > uint64(d.remaining())/15 {
+		return r, ErrShortFrame
+	}
+	r.Records = make([]MigrationRecord, cnt)
+	for i := range r.Records {
+		rec := &r.Records[i]
+		if rec.Hash, err = d.u64(); err != nil {
+			return r, err
+		}
+		if rec.Flags, err = d.u8(); err != nil {
+			return r, err
+		}
+		klen, err := d.u16()
+		if err != nil {
+			return r, err
+		}
+		vlen, err := d.u32()
+		if err != nil {
+			return r, err
+		}
+		if rec.Key, err = d.bytes(int(klen)); err != nil {
+			return r, err
+		}
+		if rec.Value, err = d.bytes(int(vlen)); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// ReplSession is one client session's durable high-water mark.
+type ReplSession struct {
+	ID      uint64
+	LastSeq uint32
+}
+
+// ReplSessTab ships the session table captured at the replication cut.
+type ReplSessTab struct {
+	Seq      uint64
+	Sealed   uint32
+	Sessions []ReplSession
+}
+
+// EncodeReplSessTab builds a MsgReplSessTab frame.
+func EncodeReplSessTab(r *ReplSessTab) []byte {
+	dst := []byte{byte(MsgReplSessTab)}
+	dst = appendU64(dst, r.Seq)
+	dst = appendU32(dst, r.Sealed)
+	dst = appendU32(dst, uint32(len(r.Sessions)))
+	for _, s := range r.Sessions {
+		dst = appendU64(dst, s.ID)
+		dst = appendU32(dst, s.LastSeq)
+	}
+	return dst
+}
+
+// DecodeReplSessTab parses a MsgReplSessTab frame.
+func DecodeReplSessTab(buf []byte) (ReplSessTab, error) {
+	d := decoder{buf: buf}
+	var r ReplSessTab
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplSessTab {
+		return r, fmt.Errorf("%w: repl sess tab", ErrBadType)
+	}
+	var err error
+	if r.Seq, err = d.u64(); err != nil {
+		return r, err
+	}
+	if r.Sealed, err = d.u32(); err != nil {
+		return r, err
+	}
+	cnt, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	// Each session entry encodes to 12 bytes.
+	if uint64(cnt) > uint64(d.remaining())/12 {
+		return r, ErrShortFrame
+	}
+	if cnt > 0 {
+		r.Sessions = make([]ReplSession, cnt)
+	}
+	for i := range r.Sessions {
+		if r.Sessions[i].ID, err = d.u64(); err != nil {
+			return r, err
+		}
+		if r.Sessions[i].LastSeq, err = d.u32(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// ReplBaseDone closes the base sync.
+type ReplBaseDone struct {
+	Seq uint64
+	// SkippedIndirections counts shared-tier indirection records the base
+	// scan could not replicate (observability; replication of indirection
+	// chains is unsupported).
+	SkippedIndirections uint32
+}
+
+// EncodeReplBaseDone builds a MsgReplBaseDone frame.
+func EncodeReplBaseDone(r ReplBaseDone) []byte {
+	dst := []byte{byte(MsgReplBaseDone)}
+	dst = appendU64(dst, r.Seq)
+	dst = appendU32(dst, r.SkippedIndirections)
+	return dst
+}
+
+// DecodeReplBaseDone parses a MsgReplBaseDone frame.
+func DecodeReplBaseDone(buf []byte) (ReplBaseDone, error) {
+	d := decoder{buf: buf}
+	var r ReplBaseDone
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplBaseDone {
+		return r, fmt.Errorf("%w: repl base done", ErrBadType)
+	}
+	var err error
+	if r.Seq, err = d.u64(); err != nil {
+		return r, err
+	}
+	if r.SkippedIndirections, err = d.u32(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ReplBatch embeds one accepted client request batch verbatim: the backup
+// re-executes the primary's input stream rather than a bespoke record
+// format, so the apply path is the ordinary batch-execution path.
+type ReplBatch struct {
+	Seq   uint64
+	Batch []byte // a complete MsgRequestBatch frame
+}
+
+// EncodeReplBatch builds a MsgReplBatch frame.
+func EncodeReplBatch(r *ReplBatch) []byte {
+	dst := make([]byte, 0, 1+8+4+len(r.Batch))
+	dst = append(dst, byte(MsgReplBatch))
+	dst = appendU64(dst, r.Seq)
+	dst = appendU32(dst, uint32(len(r.Batch)))
+	dst = append(dst, r.Batch...)
+	return dst
+}
+
+// DecodeReplBatch parses a MsgReplBatch frame; Batch aliases buf.
+func DecodeReplBatch(buf []byte) (ReplBatch, error) {
+	d := decoder{buf: buf}
+	var r ReplBatch
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplBatch {
+		return r, fmt.Errorf("%w: repl batch", ErrBadType)
+	}
+	var err error
+	if r.Seq, err = d.u64(); err != nil {
+		return r, err
+	}
+	n, err := d.u32()
+	if err != nil {
+		return r, err
+	}
+	if r.Batch, err = d.bytes(int(n)); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ReplAck is the backup's cumulative acknowledgement: every primary frame
+// with sequence <= Seq has been applied durably enough to survive failover
+// (installed in the backup's store and session table).
+type ReplAck struct {
+	Seq uint64
+}
+
+// EncodeReplAck builds a MsgReplAck frame.
+func EncodeReplAck(r ReplAck) []byte {
+	dst := []byte{byte(MsgReplAck)}
+	dst = appendU64(dst, r.Seq)
+	return dst
+}
+
+// DecodeReplAck parses a MsgReplAck frame.
+func DecodeReplAck(buf []byte) (ReplAck, error) {
+	d := decoder{buf: buf}
+	var r ReplAck
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplAck {
+		return r, fmt.Errorf("%w: repl ack", ErrBadType)
+	}
+	var err error
+	if r.Seq, err = d.u64(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ReplHeartbeat keeps the stream's liveness observable while idle.
+type ReplHeartbeat struct {
+	Seq uint64 // current send watermark (nothing new to ack beyond it)
+}
+
+// EncodeReplHeartbeat builds a MsgReplHeartbeat frame.
+func EncodeReplHeartbeat(r ReplHeartbeat) []byte {
+	dst := []byte{byte(MsgReplHeartbeat)}
+	dst = appendU64(dst, r.Seq)
+	return dst
+}
+
+// DecodeReplHeartbeat parses a MsgReplHeartbeat frame.
+func DecodeReplHeartbeat(buf []byte) (ReplHeartbeat, error) {
+	d := decoder{buf: buf}
+	var r ReplHeartbeat
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgReplHeartbeat {
+		return r, fmt.Errorf("%w: repl heartbeat", ErrBadType)
+	}
+	var err error
+	if r.Seq, err = d.u64(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// EncodeDrainReq builds a MsgDrain frame (admin: migrate everything away and
+// retire).
+func EncodeDrainReq() []byte {
+	return []byte{byte(MsgDrain)}
+}
+
+// DrainResp reports a drain's outcome.
+type DrainResp struct {
+	OK      bool
+	Err     string
+	Retired bool   // the server was removed from the metadata store
+	Moved   uint32 // ranges migrated away
+}
+
+// EncodeDrainResp builds a MsgDrainResp frame.
+func EncodeDrainResp(r DrainResp) []byte {
+	dst := []byte{byte(MsgDrainResp)}
+	dst = appendBool(dst, r.OK)
+	dst = appendString(dst, r.Err)
+	dst = appendBool(dst, r.Retired)
+	dst = appendU32(dst, r.Moved)
+	return dst
+}
+
+// DecodeDrainResp parses a MsgDrainResp frame.
+func DecodeDrainResp(buf []byte) (DrainResp, error) {
+	d := decoder{buf: buf}
+	var r DrainResp
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgDrainResp {
+		return r, fmt.Errorf("%w: drain resp", ErrBadType)
+	}
+	var err error
+	if r.OK, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.Err, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.Retired, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.Moved, err = d.u32(); err != nil {
+		return r, err
+	}
+	return r, nil
+}

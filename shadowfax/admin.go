@@ -60,6 +60,23 @@ func (a *Admin) Migrate(ctx context.Context, source, target string, rng HashRang
 	return a.rpc.Migrate(ctx, source, target, rng)
 }
 
+// Drain asks serverID to migrate every range it owns to the surviving
+// servers and retire itself from the metadata store (scale-in). It returns
+// once the drain finishes; the server keeps serving until each range's
+// ownership transfers, then should be shut down. A refusal (standby, replica
+// attached, or the drain would leave a range unowned) surfaces as
+// ErrRejected; an interrupted drain may be retried.
+func (a *Admin) Drain(ctx context.Context, serverID string) (DrainResult, error) {
+	resp, err := a.rpc.Drain(ctx, serverID)
+	if err != nil {
+		if resp.Err != "" {
+			return DrainResult{}, rejectionError(err)
+		}
+		return DrainResult{}, err
+	}
+	return DrainResult{Moved: int(resp.Moved), Retired: resp.Retired}, nil
+}
+
 // Stats fetches a snapshot of serverID's identity, view number and counters.
 func (a *Admin) Stats(ctx context.Context, serverID string) (ServerStats, error) {
 	resp, err := a.rpc.Stats(ctx, serverID)

@@ -138,6 +138,11 @@ func (c *Cluster) PendingMigrations(serverID string) []MigrationState {
 // Admin.BalanceStatus reports over the wire.
 func (c *Cluster) Migrations() []MigrationState { return c.meta.Migrations() }
 
+// Replicas returns every attached backup keyed by primary id: who shadows
+// whom, the backup's address, and whether its base sync completed. A primary
+// disappears from the map when its backup detaches or promotes.
+func (c *Cluster) Replicas() map[string]ReplicaState { return c.meta.Replicas() }
+
 // CancelMigration aborts an in-flight migration by id (§3.3.1): the range
 // returns to the source's ownership view and both parties' views advance, so
 // clients revalidate their routing. Operators use it to back out a migration
@@ -155,7 +160,9 @@ func (c *Cluster) Discover(ctx context.Context, addr string) (ServerStats, error
 	if err != nil {
 		return ServerStats{}, err
 	}
-	c.meta.RestoreServer(resp.ServerID, viewFromWire(resp))
+	if _, err := c.meta.RestoreServer(resp.ServerID, viewFromWire(resp)); err != nil {
+		return ServerStats{}, err
+	}
 	c.meta.SetServerAddr(resp.ServerID, addr)
 	return serverStatsFromWire(resp), nil
 }

@@ -154,6 +154,74 @@ func WithSampleDuration(d time.Duration) ServerOption {
 	return func(sc *serverConfig) { sc.cfg.SampleDuration = d }
 }
 
+// ReplicationConfig tunes a hot standby (WithReplication). Zero durations
+// take the documented defaults.
+type ReplicationConfig struct {
+	// ReplicaOf names the primary this server shadows. Required.
+	ReplicaOf string
+	// HeartbeatEvery is the primary's keepalive period on an idle
+	// replication stream (default 100ms).
+	HeartbeatEvery time.Duration
+	// FailoverAfter is how long the standby tolerates stream silence before
+	// probing the primary and, if it is dead, promoting itself (default 1s).
+	FailoverAfter time.Duration
+	// AckTimeout is how long the primary tolerates acknowledgment silence
+	// before detaching the standby and releasing held responses (default 2s).
+	AckTimeout time.Duration
+}
+
+// WithReplication boots this server as a hot standby for cfg.ReplicaOf: it
+// adopts the primary's metadata identity, attaches over the cluster
+// transport, receives the primary's sealed base state (a checkpoint-style
+// version scan shipped as migration-record frames) followed by the live
+// write stream, and acknowledges cumulatively — the primary reveals no
+// response before the standby holds it. When the stream goes silent past
+// cfg.FailoverAfter and the primary does not answer a direct probe, the
+// standby promotes itself through the metadata store's single linearization
+// point: the view is bumped, the address repoints here, clients replay their
+// sessions through the §3.3.1 recovery path, and the deposed primary's
+// eventual restart is refused. Until promotion the standby rejects client
+// batches and registers nothing. Mutually exclusive with WithRecovery.
+func WithReplication(cfg ReplicationConfig) ServerOption {
+	return func(sc *serverConfig) {
+		sc.cfg.ReplicaOf = cfg.ReplicaOf
+		sc.cfg.ReplicaHeartbeatEvery = cfg.HeartbeatEvery
+		sc.cfg.ReplicaFailoverAfter = cfg.FailoverAfter
+		sc.cfg.ReplicaAckTimeout = cfg.AckTimeout
+	}
+}
+
+// ScaleInConfig tunes the balancer's low-water drain policy (WithScaleIn).
+// Zero fields take the documented defaults.
+type ScaleInConfig struct {
+	// BelowOpsPerSec is the ops/sec low-water mark; a server must stay
+	// below it to be considered cold (default 50).
+	BelowOpsPerSec float64
+	// AfterPasses is how many consecutive cold planning passes arm a drain
+	// (default 5).
+	AfterPasses int
+	// MinServers is the floor the cluster never drains below (default 2).
+	MinServers int
+}
+
+// WithScaleIn enables scale-in on the hosted balancer (requires
+// WithAutoScale): when a server's observed load stays below
+// cfg.BelowOpsPerSec for cfg.AfterPasses consecutive planning passes and the
+// cluster would keep at least cfg.MinServers servers, the balancer drains
+// the cold server's ranges into the survivors via ordinary migrations and
+// retires it from the metadata store. The balancer never drains itself, a
+// busy server, or anything while migrations are in flight; a drain
+// interrupted by a failure is retried safely (retiring twice is a no-op).
+// Manual equivalent: Admin.Drain.
+func WithScaleIn(cfg ScaleInConfig) ServerOption {
+	return func(sc *serverConfig) {
+		sc.cfg.ScaleIn = true
+		sc.cfg.ScaleInBelowRate = cfg.BelowOpsPerSec
+		sc.cfg.ScaleInAfterPasses = cfg.AfterPasses
+		sc.cfg.ScaleInMinServers = cfg.MinServers
+	}
+}
+
 // NewServer boots a server named id on the cluster, registers its address in
 // the metadata store, and starts its dispatchers. By default it owns the
 // full hash space, listens on its own id over the cluster transport, and
@@ -186,6 +254,12 @@ func NewServer(cluster *Cluster, id string, opts ...ServerOption) (*Server, erro
 			owned.Close()
 		}
 		return nil, err
+	}
+	if sc.cfg.ReplicaOf != "" {
+		// A standby adopts its primary's metadata identity; registering its
+		// own address here would repoint the primary's entry at the standby
+		// before promotion. The promotion path repoints it atomically.
+		return &Server{core: srv, ownedDev: owned}, nil
 	}
 	cluster.meta.SetServerAddr(id, srv.Addr())
 	// Verify the address actually landed: over a remote metadata provider
@@ -279,3 +353,28 @@ func (s *Server) StartMigration(target string, rng HashRange) error {
 func (s *Server) LastMigrationReport() MigrationReport {
 	return s.core.LastMigrationReport()
 }
+
+// Drain migrates every range this server owns to the surviving servers via
+// ordinary migrations and retires the server from the metadata store
+// (scale-in). The server keeps serving until each range's ownership
+// transfers. Refused on a standby, while a replica is attached, or when the
+// drain would leave a range unowned (no other server registered). A drain
+// interrupted by a failure may be retried: it re-plans from the current view
+// and retiring twice is a no-op. Close the server afterwards. Remote
+// equivalent: Admin.Drain.
+func (s *Server) Drain() (DrainResult, error) {
+	rep, err := s.core.Drain()
+	if err != nil {
+		return DrainResult{}, rejectionError(err)
+	}
+	return DrainResult{Moved: rep.Moved, Retired: rep.Retired}, nil
+}
+
+// IsStandby reports whether the server is an unpromoted hot standby
+// (WithReplication): mirroring its primary and rejecting client batches.
+// It turns false at promotion.
+func (s *Server) IsStandby() bool { return s.core.IsStandby() }
+
+// Replicating reports whether a synced-or-syncing backup is currently
+// attached to this primary.
+func (s *Server) Replicating() bool { return s.core.Replicating() }

@@ -22,6 +22,10 @@ type (
 	// MigrationReport summarizes a finished (or running) migration on the
 	// source server.
 	MigrationReport = core.MigrationReport
+	// ReplicaState describes one attached backup in the metadata store:
+	// which primary it shadows, where it listens, and whether its base sync
+	// completed (only a synced backup may promote).
+	ReplicaState = metadata.ReplicaState
 )
 
 // FullRange covers the entire hash space.
@@ -227,6 +231,13 @@ func compactionStatsFromWire(r wire.CompactResp) CompactionStats {
 		ReclaimedBytes: r.ReclaimedBytes,
 		TierReclaimed:  r.TierReclaimed,
 	}
+}
+
+// DrainResult reports a completed scale-in drain: how many ranges were
+// migrated away and whether the server was retired from the metadata store.
+type DrainResult struct {
+	Moved   int
+	Retired bool
 }
 
 // ClientStats aggregates a client's counters across its threads.
