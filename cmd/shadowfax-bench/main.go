@@ -7,7 +7,7 @@
 //	shadowfax-bench <experiment> [flags]
 //
 // Experiments: table1, hotpath, fig8, fig9, table2, autoscale, failover,
-// fig10, fig11, fig12, fig13, fig14, fig15, cluster, all.
+// fig10, fig11, fig12, fig13, fig14, fig15, cluster, chaos, all.
 package main
 
 import (
@@ -110,6 +110,8 @@ func main() {
 		err = runFig15(parseInts(*splitsFlag), *serverThreads, o)
 	case "cluster":
 		err = runCluster(parseInts(*serversFlag), *serverThreads, *duration, *seed, !*quiet)
+	case "chaos":
+		err = runChaos(*serverThreads, *seed, !*quiet)
 	case "all":
 		err = runAll(parseInts(*threadsFlag), parseInts(*splitsFlag),
 			parseInts(*serversFlag), *serverThreads, *duration, *seed, !*quiet, o, so)
@@ -141,6 +143,7 @@ experiments:
   fig14     target ramp-up with/without sampled records
   fig15     view validation vs hash validation vs hash splits
   cluster   soak-driven: aggregate throughput + migration concurrency vs server count
+  chaos     fault-injected partition soak: time-to-heal, promotion, re-replication, shed rate
   all       run everything with the current flags`)
 }
 

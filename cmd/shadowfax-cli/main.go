@@ -164,6 +164,10 @@ elasticity:   migrate <targetID> <rangeStart> <rangeEnd>   (hex or decimal)
 				fmt.Printf("  load %-12s %.0f ops/s\n", id, bs.Rates[id])
 			}
 		}
+		if bs.DegradedFor > 0 {
+			fmt.Printf("metadata: DEGRADED — answering from cached views for %v (endpoint unreachable)\n",
+				bs.DegradedFor.Round(time.Millisecond))
+		}
 		// The in-flight migration set is cluster state: any server reports
 		// it, balancer-enabled or not.
 		if len(bs.InFlight) == 0 {

@@ -1,0 +1,201 @@
+// Package backoff provides the retry discipline shared by every component
+// that talks to something that can be partitioned away: jittered exponential
+// delays (so herds of retriers decorrelate instead of retrying in lockstep)
+// and per-target circuit breakers (so an unreachable server costs one probe
+// per interval instead of a stalled pool hammering it).
+package backoff
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Policy computes jittered exponential retry delays. The zero value takes
+// the documented defaults, so consumers can embed a Policy and configure
+// only what they care about.
+type Policy struct {
+	// Base is the delay before the first retry (default 2ms).
+	Base time.Duration
+	// Max caps the grown delay before jitter (default 500ms).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2.0).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized symmetrically around
+	// it, in [0, 1] (default 0.5: delays land in [0.75d, 1.25d]). Jitter
+	// breaks retry lockstep between peers that failed at the same instant.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 500 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the jittered delay for the given attempt (0 = first retry).
+// It is safe for concurrent use.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < attempt && d < float64(p.Max); i++ {
+		d *= p.Multiplier
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	// Symmetric jitter: d * (1 ± Jitter/2).
+	d *= 1 + p.Jitter*(rand.Float64()-0.5)
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Jittered spreads a fixed period by frac (e.g. Jittered(time.Second, 0.2)
+// lands in [0.8s, 1.2s]): the helper behind de-lockstepped tickers.
+func Jittered(d time.Duration, frac float64) time.Duration {
+	if d <= 0 || frac <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 + frac*(2*rand.Float64()-1)))
+}
+
+// Breaker is a per-target circuit breaker. Closed (the normal state) admits
+// every request. Threshold consecutive failures open it: requests are
+// refused locally until the probe interval elapses, then exactly one caller
+// is admitted as the probe. A probe success closes the breaker; a failure
+// re-opens it for another interval.
+//
+// The zero value is ready to use with the documented defaults.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 3).
+	Threshold int
+	// Probe is how long the breaker stays open between probes (default
+	// 500ms). Successive failed probes back the interval off up to 8×,
+	// jittered.
+	Probe time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+	openings  int // consecutive openings, for probe-interval growth
+}
+
+func (b *Breaker) probeEvery() time.Duration {
+	if b.Probe > 0 {
+		return b.Probe
+	}
+	return 500 * time.Millisecond
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 3
+}
+
+// Allow reports whether a request may proceed. While open, it admits one
+// probe per interval and refuses everything else; callers that were refused
+// should fail fast (the target is considered down).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold() {
+		return true
+	}
+	now := time.Now()
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false // another caller holds the probe slot
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful request: the breaker closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.openings = 0
+	b.probing = false
+	b.openUntil = time.Time{}
+}
+
+// Failure records a failed request; at Threshold consecutive failures the
+// breaker opens for the (backed-off, jittered) probe interval.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails++
+	if b.fails < b.threshold() {
+		return
+	}
+	grow := b.openings
+	if grow > 3 {
+		grow = 3 // cap the interval growth at 8×
+	}
+	b.openings++
+	interval := b.probeEvery() << uint(grow)
+	b.openUntil = time.Now().Add(Jittered(interval, 0.25))
+}
+
+// Open reports whether the breaker currently refuses ordinary requests.
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails >= b.threshold() && time.Now().Before(b.openUntil)
+}
+
+// Set is a lazily populated collection of breakers keyed by target (server
+// id or address). The zero value is ready to use; Threshold and Probe seed
+// every breaker it creates.
+type Set struct {
+	Threshold int
+	Probe     time.Duration
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// For returns the breaker for a target, creating it on first use.
+func (s *Set) For(target string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*Breaker)
+	}
+	b, ok := s.m[target]
+	if !ok {
+		b = &Breaker{Threshold: s.Threshold, Probe: s.Probe}
+		s.m[target] = b
+	}
+	return b
+}
+
+// Forget drops a target's breaker (e.g. after the server was retired).
+func (s *Set) Forget(target string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, target)
+}

@@ -1,0 +1,172 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPolicyDelayGrowthAndCap(t *testing.T) {
+	// Jitter 1e-9 is effectively zero (0 selects the default), making growth
+	// deterministic enough to bound tightly.
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond,
+		Multiplier: 2, Jitter: 1e-9}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, // capped
+	}
+	for attempt, w := range want {
+		d := p.Delay(attempt)
+		if d < w*99/100 || d > w*101/100 {
+			t.Fatalf("attempt %d: delay %v, want ~%v", attempt, d, w)
+		}
+	}
+}
+
+func TestPolicyZeroValueDefaults(t *testing.T) {
+	var p Policy
+	// Defaults: Base 2ms, Max 500ms, Jitter 0.5 → every delay lands in
+	// (0, 625ms] and the first retry stays near the base.
+	d0 := p.Delay(0)
+	if d0 <= 0 || d0 > 4*time.Millisecond {
+		t.Fatalf("zero-value first delay %v outside (0, 4ms]", d0)
+	}
+	for i := 0; i < 100; i++ {
+		if d := p.Delay(20); d <= 0 || d > 625*time.Millisecond {
+			t.Fatalf("deep attempt delay %v outside (0, 625ms]", d)
+		}
+	}
+}
+
+func TestPolicyJitterSpreads(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second,
+		Multiplier: 2, Jitter: 0.5}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 50; i++ {
+		d := p.Delay(0)
+		if d < 75*time.Millisecond || d > 125*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [75ms, 125ms]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced identical delays 50 times — retriers would stay in lockstep")
+	}
+}
+
+func TestJittered(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		d := Jittered(time.Second, 0.2)
+		if d < 800*time.Millisecond || d > 1200*time.Millisecond {
+			t.Fatalf("Jittered(1s, 0.2) = %v outside [0.8s, 1.2s]", d)
+		}
+	}
+	if d := Jittered(time.Second, 0); d != time.Second {
+		t.Fatalf("zero fraction must pass the period through, got %v", d)
+	}
+	if d := Jittered(0, 0.5); d != 0 {
+		t.Fatalf("zero period must stay zero, got %v", d)
+	}
+}
+
+func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
+	b := &Breaker{Threshold: 3, Probe: 20 * time.Millisecond}
+
+	// Below threshold: everything admitted.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.Open() {
+		t.Fatal("breaker open below threshold")
+	}
+
+	// Third consecutive failure opens it.
+	b.Failure()
+	if !b.Open() {
+		t.Fatal("breaker closed at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the probe interval")
+	}
+
+	// After the interval exactly one probe is admitted; the rest are refused
+	// until the probe resolves.
+	deadline := time.Now().Add(time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("probe slot never opened")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe success closes the breaker for everyone.
+	b.Success()
+	if b.Open() || !b.Allow() {
+		t.Fatal("breaker did not close after a successful probe")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := &Breaker{Threshold: 1, Probe: 10 * time.Millisecond}
+	b.Failure()
+	if !b.Open() {
+		t.Fatal("breaker closed after threshold failure")
+	}
+	deadline := time.Now().Add(time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("probe slot never opened")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	b.Failure() // probe failed
+	if !b.Open() {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	if b.Allow() {
+		t.Fatal("request admitted immediately after a failed probe")
+	}
+}
+
+func TestBreakerZeroValue(t *testing.T) {
+	var b Breaker
+	if !b.Allow() {
+		t.Fatal("zero-value breaker refused its first request")
+	}
+	b.Failure()
+	b.Failure()
+	if b.Open() {
+		t.Fatal("zero-value breaker open below the default threshold of 3")
+	}
+	b.Failure()
+	if !b.Open() {
+		t.Fatal("zero-value breaker closed at the default threshold")
+	}
+	b.Success()
+	if b.Open() {
+		t.Fatal("breaker open after success")
+	}
+}
+
+func TestSetPerTargetIsolation(t *testing.T) {
+	s := &Set{Threshold: 1, Probe: time.Minute}
+	s.For("a").Failure()
+	if !s.For("a").Open() {
+		t.Fatal("target a's breaker did not open")
+	}
+	if s.For("b").Open() {
+		t.Fatal("target b's breaker opened from a's failures")
+	}
+	if got := s.For("a"); got != s.For("a") {
+		t.Fatal("Set did not memoize the breaker")
+	}
+	s.Forget("a")
+	if s.For("a").Open() {
+		t.Fatal("Forget did not reset target a")
+	}
+}

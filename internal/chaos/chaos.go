@@ -1,0 +1,439 @@
+// Package chaos is a deterministic fault-injection layer over any
+// transport.Transport. A Network groups endpoints into named nodes and
+// injects faults on the directed links between them: full or asymmetric
+// partitions, per-link latency with jitter, bandwidth caps, and forced
+// connection resets — plus scheduled heals, so a test can script an outage
+// timeline and assert what the cluster does on the way down AND on the way
+// back up.
+//
+// Usage:
+//
+//	net := chaos.NewNetwork(transport.NewInMem(transport.Free), seed)
+//	primary := net.Node("primary")   // a transport.Transport view
+//	client := net.Node("client")
+//	...hand the views to servers/clients as their Transport...
+//	net.Partition("primary", "client")
+//	net.HealAllAfter(2 * time.Second)
+//
+// Fault filtering is entirely dialer-side: Listen registers the address →
+// node ownership and returns the inner listener untouched, while Dial wraps
+// the connection so that its Send path applies the dialer→owner link and
+// its Recv path applies the owner→dialer link. Both directions of every
+// conversation are therefore covered without wrapping accepted conns.
+// Faults are modeled as the network would impose them: a cut link
+// blackholes frames silently (no error — the sender learns only via
+// timeouts, exactly like a real partition), latency delays delivery
+// without reordering (FIFO per link, like TCP), and a bandwidth cap paces
+// departures with a per-link virtual clock. All randomness (jitter) comes
+// from the seeded generator, so a given schedule replays identically.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ErrPartitioned is returned by Dial when the link between the dialing
+// node and the address's owner is cut in either direction (a TCP connect
+// needs both ways).
+var ErrPartitioned = errors.New("chaos: link partitioned")
+
+// pollEvery is the granularity of the blocking-Recv poll and of pump
+// wakeups; it bounds the extra latency chaos adds on clean links.
+const pollEvery = 200 * time.Microsecond
+
+type linkKey struct{ from, to string }
+
+// linkState holds the faults of one directed link. Absent state means a
+// clean link.
+type linkState struct {
+	cut      bool
+	latency  time.Duration
+	jitter   time.Duration
+	bwps     int64     // bytes per second; 0 = unlimited
+	nextFree time.Time // virtual clock for bandwidth pacing
+}
+
+func (l *linkState) clean() bool {
+	return !l.cut && l.latency == 0 && l.jitter == 0 && l.bwps == 0
+}
+
+// Network wraps an inner transport and tracks per-link fault state.
+type Network struct {
+	inner transport.Transport
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	owners map[string]string // listen addr -> owning node name
+	links  map[linkKey]*linkState
+	conns  map[*conn]struct{}
+}
+
+// NewNetwork wraps inner. All jitter draws come from a generator seeded
+// with seed, so runs are reproducible.
+func NewNetwork(inner transport.Transport, seed uint64) *Network {
+	return &Network{
+		inner:  inner,
+		rng:    rand.New(rand.NewPCG(seed, seed^0xc4a05)),
+		owners: make(map[string]string),
+		links:  make(map[linkKey]*linkState),
+		conns:  make(map[*conn]struct{}),
+	}
+}
+
+// Node returns the transport view of a named node. Every endpoint created
+// through the view belongs to that node for link-fault purposes.
+func (n *Network) Node(name string) transport.Transport {
+	return &nodeTransport{net: n, name: name}
+}
+
+func (n *Network) link(from, to string) *linkState {
+	l, ok := n.links[linkKey{from, to}]
+	if !ok {
+		l = &linkState{}
+		n.links[linkKey{from, to}] = l
+	}
+	return l
+}
+
+// peek returns the link state without materializing clean links.
+func (n *Network) peek(from, to string) *linkState {
+	return n.links[linkKey{from, to}]
+}
+
+// Partition cuts both directions between two nodes. Established conns stay
+// open but blackhole frames; new dials fail with ErrPartitioned.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.link(a, b).cut = true
+	n.link(b, a).cut = true
+}
+
+// PartitionOneWay cuts only from→to: from's frames vanish while to's still
+// arrive — the asymmetric-loss case that breaks naive liveness detectors.
+func (n *Network) PartitionOneWay(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.link(from, to).cut = true
+}
+
+// Heal clears the cut in both directions between two nodes (latency and
+// bandwidth shaping persist).
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l := n.peek(a, b); l != nil {
+		l.cut = false
+	}
+	if l := n.peek(b, a); l != nil {
+		l.cut = false
+	}
+}
+
+// HealAll clears every cut on the network.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.links {
+		l.cut = false
+	}
+}
+
+// HealAllAfter schedules HealAll once d elapses and returns the timer (a
+// test may Stop it).
+func (n *Network) HealAllAfter(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, n.HealAll)
+}
+
+// SetLatency shapes both directions between two nodes: each frame is
+// delivered lat ± jitter after it is sent. Zero restores the direct path.
+func (n *Network) SetLatency(a, b string, lat, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		l := n.link(k.from, k.to)
+		l.latency, l.jitter = lat, jitter
+	}
+}
+
+// SetBandwidth caps both directions between two nodes at bytesPerSec
+// (0 = unlimited). Frames above the rate queue behind a per-link virtual
+// clock instead of being dropped.
+func (n *Network) SetBandwidth(a, b string, bytesPerSec int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		n.link(k.from, k.to).bwps = bytesPerSec
+	}
+}
+
+// ResetConns abruptly closes every tracked connection between two nodes
+// (in either orientation), modeling RSTs: both endpoints observe
+// transport.ErrClosed. The link itself stays as configured, so redials
+// succeed unless it is also cut.
+func (n *Network) ResetConns(a, b string) int {
+	n.mu.Lock()
+	var victims []*conn
+	for c := range n.conns {
+		if (c.from == a && c.to == b) || (c.from == b && c.to == a) {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	return len(victims)
+}
+
+// ownerOf resolves a dial address to its owning node; unregistered
+// addresses act as their own single-endpoint node.
+func (n *Network) ownerOf(addr string) string {
+	if owner, ok := n.owners[addr]; ok {
+		return owner
+	}
+	return addr
+}
+
+// stamp computes, under n.mu, the fate of a frame of size sz crossing
+// from→to right now: dropped, or due for delivery at the returned time.
+func (n *Network) stamp(from, to string, sz int) (drop bool, due time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.peek(from, to)
+	now := time.Now()
+	if l == nil {
+		return false, now
+	}
+	if l.cut {
+		return true, time.Time{}
+	}
+	base := now
+	if l.bwps > 0 {
+		if l.nextFree.After(base) {
+			base = l.nextFree
+		}
+		transmit := time.Duration(float64(sz) / float64(l.bwps) * float64(time.Second))
+		base = base.Add(transmit)
+		l.nextFree = base
+	}
+	due = base.Add(l.latency)
+	if l.jitter > 0 {
+		due = due.Add(time.Duration(n.rng.Int64N(int64(2*l.jitter))) - l.jitter)
+	}
+	return false, due
+}
+
+// cutNow reports whether from→to is cut at this instant (checked again at
+// delivery time, so frames in flight when the partition lands are lost).
+func (n *Network) cutNow(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.peek(from, to)
+	return l != nil && l.cut
+}
+
+// cleanNow reports whether from→to currently has no faults at all (fast
+// path: frames may bypass the delay queue).
+func (n *Network) cleanNow(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.peek(from, to)
+	return l == nil || l.clean()
+}
+
+func (n *Network) track(c *conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.conns[c] = struct{}{}
+}
+
+func (n *Network) untrack(c *conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.conns, c)
+}
+
+// nodeTransport is one node's view of the network.
+type nodeTransport struct {
+	net  *Network
+	name string
+}
+
+func (t *nodeTransport) Listen(addr string) (transport.Listener, error) {
+	ln, err := t.net.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	t.net.mu.Lock()
+	t.net.owners[addr] = t.name
+	t.net.mu.Unlock()
+	return ln, nil
+}
+
+func (t *nodeTransport) Dial(addr string) (transport.Conn, error) {
+	t.net.mu.Lock()
+	to := t.net.ownerOf(addr)
+	cutEither := false
+	if l := t.net.peek(t.name, to); l != nil && l.cut {
+		cutEither = true
+	}
+	if l := t.net.peek(to, t.name); l != nil && l.cut {
+		cutEither = true
+	}
+	t.net.mu.Unlock()
+	if cutEither {
+		return nil, fmt.Errorf("dial %s from node %s: %w", addr, t.name, ErrPartitioned)
+	}
+	inner, err := t.net.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{net: t.net, inner: inner, from: t.name, to: to}
+	t.net.track(c)
+	return c, nil
+}
+
+type delayed struct {
+	frame []byte
+	due   time.Time
+}
+
+// conn wraps a dialed connection. Send applies the from→to link; the Recv
+// side applies to→from. The accept-side peer holds the raw inner conn.
+type conn struct {
+	net   *Network
+	inner transport.Conn
+	from  string // dialing node
+	to    string // owner of the dialed address
+
+	mu      sync.Mutex
+	outQ    []delayed
+	pumping bool
+	inQ     []delayed
+	inErr   error
+	closed  bool
+}
+
+func (c *conn) Send(frame []byte) error {
+	drop, due := c.net.stamp(c.from, c.to, len(frame))
+	if drop {
+		return nil // blackholed: partitions are silent
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if !c.pumping && len(c.outQ) == 0 && !due.After(time.Now()) {
+		c.mu.Unlock()
+		return c.inner.Send(frame)
+	}
+	c.outQ = append(c.outQ, delayed{frame: append([]byte(nil), frame...), due: due})
+	if !c.pumping {
+		c.pumping = true
+		go c.pump()
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// pump delivers delayed outbound frames in FIFO order at their due times,
+// re-checking the cut at delivery so in-flight frames die with the link.
+func (c *conn) pump() {
+	for {
+		c.mu.Lock()
+		if c.closed || len(c.outQ) == 0 {
+			c.outQ = nil
+			c.pumping = false
+			c.mu.Unlock()
+			return
+		}
+		d := c.outQ[0]
+		c.outQ = c.outQ[1:]
+		c.mu.Unlock()
+		if w := time.Until(d.due); w > 0 {
+			time.Sleep(w)
+		}
+		if c.net.cutNow(c.from, c.to) {
+			continue // lost in flight
+		}
+		if c.inner.Send(d.frame) != nil {
+			c.mu.Lock()
+			c.outQ = nil
+			c.pumping = false
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (c *conn) TryRecv() ([]byte, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, false, transport.ErrClosed
+	}
+	// Drain the inner conn, stamping or dropping per the to→from link.
+	for c.inErr == nil {
+		f, ok, err := c.inner.TryRecv()
+		if err != nil {
+			c.inErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		drop, due := c.net.stamp(c.to, c.from, len(f))
+		if drop {
+			continue
+		}
+		c.inQ = append(c.inQ, delayed{frame: f, due: due})
+	}
+	// FIFO delivery: only the head may be released, preserving per-link
+	// ordering even if shaping changed between frames.
+	if len(c.inQ) > 0 {
+		if d := c.inQ[0]; !d.due.After(time.Now()) {
+			c.inQ = c.inQ[1:]
+			return d.frame, true, nil
+		}
+		return nil, false, nil
+	}
+	if c.inErr != nil {
+		return nil, false, c.inErr
+	}
+	return nil, false, nil
+}
+
+func (c *conn) Recv() ([]byte, error) {
+	for {
+		f, ok, err := c.TryRecv()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return f, nil
+		}
+		time.Sleep(pollEvery)
+	}
+}
+
+func (c *conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.outQ = nil
+	c.inQ = nil
+	c.mu.Unlock()
+	c.net.untrack(c)
+	return c.inner.Close()
+}

@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// pipe builds a listener on "b" plus a dialed chaos conn from node a to
+// node b, returning the dial-side conn and the accept-side raw conn.
+func pipe(t *testing.T, n *Network, a, b string) (transport.Conn, transport.Conn) {
+	t.Helper()
+	ln, err := n.Node(b).Listen(b)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan transport.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dc, err := n.Node(a).Dial(b)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	select {
+	case ac := <-accepted:
+		return dc, ac
+	case <-time.After(time.Second):
+		t.Fatal("accept timed out")
+		return nil, nil
+	}
+}
+
+func recvWithin(t *testing.T, c transport.Conn, d time.Duration) ([]byte, bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		f, ok, err := c.TryRecv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if ok {
+			return f, true
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil, false
+}
+
+func TestPartitionBlackholesAndHeals(t *testing.T) {
+	n := NewNetwork(transport.NewInMem(transport.Free), 1)
+	dc, ac := pipe(t, n, "client", "server")
+
+	if err := dc.Send([]byte("pre")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if f, ok := recvWithin(t, ac, time.Second); !ok || string(f) != "pre" {
+		t.Fatalf("pre-partition frame lost (ok=%v f=%q)", ok, f)
+	}
+
+	n.Partition("client", "server")
+	// Sends are silently dropped in both directions.
+	if err := dc.Send([]byte("lost")); err != nil {
+		t.Fatalf("blackholed send must not error, got %v", err)
+	}
+	if err := ac.Send([]byte("lost-too")); err != nil {
+		t.Fatalf("accept-side send: %v", err)
+	}
+	if f, ok := recvWithin(t, ac, 20*time.Millisecond); ok {
+		t.Fatalf("frame crossed a cut link: %q", f)
+	}
+	if f, ok := recvWithin(t, dc, 20*time.Millisecond); ok {
+		t.Fatalf("reverse frame crossed a cut link: %q", f)
+	}
+	// New dials fail fast.
+	if _, err := n.Node("client").Dial("server"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial across cut link: got %v, want ErrPartitioned", err)
+	}
+
+	n.Heal("client", "server")
+	if err := dc.Send([]byte("post")); err != nil {
+		t.Fatalf("post-heal send: %v", err)
+	}
+	if f, ok := recvWithin(t, ac, time.Second); !ok || string(f) != "post" {
+		t.Fatalf("post-heal frame lost (ok=%v f=%q)", ok, f)
+	}
+	if _, err := n.Node("client").Dial("server"); err != nil {
+		t.Fatalf("post-heal dial: %v", err)
+	}
+}
+
+func TestAsymmetricPartition(t *testing.T) {
+	n := NewNetwork(transport.NewInMem(transport.Free), 2)
+	dc, ac := pipe(t, n, "a", "b")
+
+	n.PartitionOneWay("a", "b")
+	if err := dc.Send([]byte("up")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, ok := recvWithin(t, ac, 20*time.Millisecond); ok {
+		t.Fatal("a→b frame crossed the cut direction")
+	}
+	// The b→a direction still works.
+	if err := ac.Send([]byte("down")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if f, ok := recvWithin(t, dc, time.Second); !ok || string(f) != "down" {
+		t.Fatalf("b→a frame lost (ok=%v f=%q)", ok, f)
+	}
+}
+
+func TestLatencyDelaysWithoutReordering(t *testing.T) {
+	n := NewNetwork(transport.NewInMem(transport.Free), 3)
+	dc, ac := pipe(t, n, "a", "b")
+	n.SetLatency("a", "b", 30*time.Millisecond, 5*time.Millisecond)
+
+	start := time.Now()
+	for _, m := range []string{"one", "two", "three"} {
+		if err := dc.Send([]byte(m)); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if _, ok := recvWithin(t, ac, 10*time.Millisecond); ok {
+		t.Fatal("frame arrived before the configured latency")
+	}
+	for _, want := range []string{"one", "two", "three"} {
+		f, ok := recvWithin(t, ac, time.Second)
+		if !ok {
+			t.Fatalf("frame %q never arrived", want)
+		}
+		if string(f) != want {
+			t.Fatalf("reordered: got %q, want %q", f, want)
+		}
+	}
+	if e := time.Since(start); e < 25*time.Millisecond {
+		t.Fatalf("delivery too fast for 30ms±5ms latency: %v", e)
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	n := NewNetwork(transport.NewInMem(transport.Free), 4)
+	dc, ac := pipe(t, n, "a", "b")
+	// 10 KiB/s: ten 100-byte frames need ~100ms of link time.
+	n.SetBandwidth("a", "b", 10*1024)
+
+	start := time.Now()
+	buf := make([]byte, 100)
+	for i := 0; i < 10; i++ {
+		if err := dc.Send(buf); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := recvWithin(t, ac, 2*time.Second); !ok {
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+	if e := time.Since(start); e < 50*time.Millisecond {
+		t.Fatalf("1000 bytes crossed a 10KiB/s link in %v; pacing not applied", e)
+	}
+}
+
+func TestResetConns(t *testing.T) {
+	n := NewNetwork(transport.NewInMem(transport.Free), 5)
+	dc, ac := pipe(t, n, "a", "b")
+
+	if got := n.ResetConns("a", "b"); got != 1 {
+		t.Fatalf("ResetConns closed %d conns, want 1", got)
+	}
+	if err := dc.Send([]byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("send on reset conn: got %v, want ErrClosed", err)
+	}
+	// The accept-side inner conn observes the close too (maybe after the
+	// in-flight drain).
+	deadline := time.Now().Add(time.Second)
+	for {
+		_, _, err := ac.TryRecv()
+		if errors.Is(err, transport.ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("accept side never observed the reset")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The link itself is intact: redial works.
+	if _, err := n.Node("a").Dial("b"); err != nil {
+		t.Fatalf("redial after reset: %v", err)
+	}
+}
+
+func TestHealAllAfter(t *testing.T) {
+	n := NewNetwork(transport.NewInMem(transport.Free), 6)
+	dc, ac := pipe(t, n, "a", "b")
+	n.Partition("a", "b")
+	n.HealAllAfter(30 * time.Millisecond)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := dc.Send([]byte("probe")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		if _, ok := recvWithin(t, ac, 5*time.Millisecond); ok {
+			return // healed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never healed")
+		}
+	}
+}
+
+func TestUnregisteredAddrActsAsOwnNode(t *testing.T) {
+	// Partitioning against the raw address works even before Listen
+	// registered an owner (and dial-time resolution is by current owner).
+	n := NewNetwork(transport.NewInMem(transport.Free), 7)
+	n.Partition("client", "srv-addr")
+	if _, err := n.Node("client").Dial("srv-addr"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial: got %v, want ErrPartitioned", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/faster"
 	"repro/internal/metadata"
 	"repro/internal/transport"
@@ -71,6 +72,10 @@ type session struct {
 	// inflight are preserved for RecoverSessions to replay (§3.3.1
 	// client-assisted recovery) rather than failed.
 	broken bool
+	// pausedUntil holds flushes off after the server shed a batch (overload);
+	// shedStreak escalates the jittered pause while sheds keep coming.
+	pausedUntil time.Time
+	shedStreak  int
 
 	building wire.RequestBatch
 	buildSz  int
@@ -102,6 +107,11 @@ type Thread struct {
 	outstanding int
 	closed      bool
 
+	// breakers trip per-server after repeated dial failures so a dead or
+	// partitioned server costs issue() a map lookup, not a dial timeout,
+	// until a half-open probe succeeds.
+	breakers backoff.Set
+
 	stats ThreadStats
 }
 
@@ -111,7 +121,10 @@ type ThreadStats struct {
 	OpsCompleted    uint64
 	BatchesSent     uint64
 	BatchesRejected uint64
-	Refreshes       uint64
+	// BatchesShed counts batches the server turned away under overload
+	// (admission control); the ops were requeued after a pause.
+	BatchesShed uint64
+	Refreshes   uint64
 }
 
 // NewThread builds a client thread with a fresh ownership cache. Threads
@@ -162,14 +175,21 @@ func (t *Thread) sessionFor(serverID string) (*session, error) {
 	if s, ok := t.sessions[serverID]; ok {
 		return s, nil
 	}
+	br := t.breakers.For(serverID)
+	if !br.Allow() {
+		return nil, fmt.Errorf("client: %s unreachable (circuit open)", serverID)
+	}
 	addr, err := t.cfg.Meta.ServerAddr(serverID)
 	if err != nil {
+		br.Failure()
 		return nil, err
 	}
 	conn, err := t.cfg.Transport.Dial(addr)
 	if err != nil {
+		br.Failure()
 		return nil, err
 	}
+	br.Success()
 	s := &session{
 		serverID: serverID,
 		conn:     conn,
@@ -269,6 +289,12 @@ func (t *Thread) flushSession(s *session) {
 	if s.sentBatches >= t.cfg.MaxInflightBatches {
 		return // pipeline full; Poll will drain and re-flush
 	}
+	if !s.pausedUntil.IsZero() {
+		if time.Now().Before(s.pausedUntil) {
+			return // shed back-off in effect; Poll re-flushes once it lapses
+		}
+		s.pausedUntil = time.Time{}
+	}
 	s.building.View = s.view.Number
 	s.encodeBuf = wire.AppendRequestBatch(s.encodeBuf[:0], &s.building)
 	if err := s.conn.Send(s.encodeBuf); err != nil {
@@ -315,6 +341,31 @@ func (t *Thread) handleResponse(s *session, frame []byte) int {
 	if err := wire.DecodeResponseBatch(frame, &resp); err != nil {
 		return 0
 	}
+	if resp.Shed {
+		// Overload, not a view problem: the server's admission control turned
+		// the batch away. Requeue exactly its operations (seqs echoed, as for
+		// rejection) WITHOUT a metadata refresh — ownership is fine — and back
+		// the session off with an escalating jittered pause so a congested
+		// server sees decaying retry pressure instead of an instant replay.
+		t.stats.BatchesShed++
+		if s.sentBatches > 0 {
+			s.sentBatches--
+		}
+		pause := backoff.Policy{Base: time.Millisecond, Max: 50 * time.Millisecond}.Delay(s.shedStreak)
+		s.shedStreak++
+		s.pausedUntil = time.Now().Add(pause)
+		for i := range resp.Results {
+			seq := resp.Results[i].Seq
+			if op, ok := s.inflight[seq]; ok {
+				delete(s.inflight, seq)
+				t.outstanding-- // enqueue re-counts
+				t.stats.OpsIssued--
+				t.issueRequeued(op)
+			}
+		}
+		return 0
+	}
+	s.shedStreak = 0
 	if resp.Rejected {
 		// View mismatch (§3.2.1): refresh ownership, requeue exactly the
 		// rejected batch's operations (the server echoed their seqs — a

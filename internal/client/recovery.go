@@ -160,6 +160,40 @@ func (t *Thread) BrokenSessions() int {
 	return n
 }
 
+// FailBroken gives up on every broken session: each parked operation —
+// in flight or still buffered — completes through its callback with
+// StatusBrokenSession, and the session is dropped so later operations
+// re-resolve ownership and dial fresh. The escape hatch for when
+// RecoverSessions has exhausted its retries (server gone for good, metadata
+// repointed elsewhere): parked futures fail promptly instead of waiting
+// forever. A StatusBrokenSession write may or may not have executed on the
+// server — exactly-once only holds for operations reconciled through
+// RecoverSessions. Returns the number of operations failed.
+func (t *Thread) FailBroken() int {
+	n := 0
+	for id, s := range t.sessions {
+		if !s.broken {
+			continue
+		}
+		s.conn.Close()
+		delete(t.sessions, id)
+		seqs := make([]uint32, 0, len(s.inflight))
+		for seq := range s.inflight {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			op := s.inflight[seq]
+			delete(s.inflight, seq)
+			t.complete(op, wire.StatusBrokenSession, nil)
+			n++
+		}
+		s.building.Ops = s.building.Ops[:0]
+		s.buildSz = 0
+	}
+	return n
+}
+
 // awaitSessionRecoverResp polls conn for the MsgSessionRecoverResp matching
 // sessionID, discarding unrelated frames, until deadline.
 func awaitSessionRecoverResp(conn transport.Conn, sessionID uint64, deadline time.Time) (wire.SessionRecoverResp, error) {

@@ -69,6 +69,14 @@ func (s *Server) handleBalanceStatusReq(c transport.Conn) {
 			})
 		}
 	}
+	// A remote metadata provider that lost its endpoint serves stale cached
+	// views; surface how long it has been degraded so operators see the
+	// partition from balance-status (zero for the in-process store).
+	if dp, ok := s.meta.(interface{ DegradedSince() time.Time }); ok {
+		if since := dp.DegradedSince(); !since.IsZero() {
+			resp.DegradedMs = uint64(time.Since(since).Milliseconds())
+		}
+	}
 	// The in-flight migration set is cluster state, not balancer state:
 	// every server reports it (with per-migration epochs), balancer or not.
 	for _, m := range s.meta.Migrations() {

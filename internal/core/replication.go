@@ -7,8 +7,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
+	"repro/internal/ctlplane"
 	"repro/internal/faster"
 	"repro/internal/hlog"
+	"repro/internal/metadata"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -70,15 +73,32 @@ type replState struct {
 	lastAck atomic.Int64  // unix nanos of the last ack received
 
 	synced   atomic.Bool // base sync acknowledged; backup may promote
-	detached atomic.Bool // stream torn down; held responses release
+	detached atomic.Bool // stream torn down
+
+	// release decides what happens to responses held against this stream
+	// once it is detached. Until the detach-confirmation protocol
+	// (confirmDetach) proves the backup can no longer promote, they stay
+	// parked (relHold): releasing an unacknowledged write's response while
+	// the backup might still take over would lose an acked write. relDrop
+	// means the backup DID promote — this incarnation is deposed and the
+	// held frames must never reach a client.
+	release atomic.Int32
 
 	hbEvery    time.Duration
 	ackTimeout time.Duration
 }
 
+// release states (replState.release).
+const (
+	relHold    int32 = iota // detach not confirmed; keep holding
+	relRelease              // backup provably cannot promote; reveal responses
+	relDrop                 // backup promoted; this primary is deposed — discard
+)
+
 // heldResp is a serialized response frame parked until the backup's ack
 // watermark reaches gate (or the backup detaches).
 type heldResp struct {
+	rs    *replState // stream epoch the hold belongs to
 	c     transport.Conn
 	frame []byte
 	gate  uint64
@@ -153,8 +173,15 @@ func batchHasWrites(b *wire.RequestBatch) bool {
 // applied locally that the backup has not acknowledged yet.
 func (d *dispatcher) gateResponse(fseq uint64) (uint64, bool) {
 	rs := d.rs
-	if rs == nil || rs.detached.Load() {
+	if rs == nil {
 		return 0, false
+	}
+	if rs.detached.Load() {
+		// Stream down but the detach is not confirmed yet: the backup may
+		// still hold a promotable registration, so nothing can be revealed
+		// until confirmDetach resolves. relRelease means it provably cannot
+		// promote (send directly); anything else parks the response.
+		return ^uint64(0), rs.release.Load() != relRelease
 	}
 	gate := fseq
 	if gate == 0 {
@@ -169,31 +196,62 @@ func (d *dispatcher) gateResponse(fseq uint64) (uint64, bool) {
 	return gate, gate > rs.acked.Load()
 }
 
-// holdResponse parks a copy of the serialized response until gate is acked.
+// holdResponse parks a copy of the serialized response until gate is acked on
+// the current stream. The count of holds per conn feeds admission control.
 func (d *dispatcher) holdResponse(c transport.Conn, frame []byte, gate uint64) {
-	d.held = append(d.held, heldResp{c: c, frame: append([]byte(nil), frame...), gate: gate})
+	d.held = append(d.held, heldResp{rs: d.rs, c: c, frame: append([]byte(nil), frame...), gate: gate})
+	if d.heldPerConn == nil {
+		d.heldPerConn = make(map[transport.Conn]int)
+	}
+	d.heldPerConn[c]++
 }
 
-// flushHeld releases parked responses covered by the backup's ack watermark
-// (all of them once the backup detaches). Reports whether anything moved.
+// noteHeldDone unwinds the per-conn admission count for one resolved hold.
+func (d *dispatcher) noteHeldDone(c transport.Conn) {
+	if n := d.heldPerConn[c]; n > 1 {
+		d.heldPerConn[c] = n - 1
+	} else {
+		delete(d.heldPerConn, c)
+	}
+}
+
+// flushHeld moves parked responses covered by the backup's ack watermark.
+// Once the stream is detached the release state decides: hold until the
+// detach-confirmation protocol resolves, then either release everything
+// (the backup provably cannot promote) or discard everything (it did — this
+// incarnation is deposed and must not reveal unreplicated acks). Reports
+// whether anything moved.
 func (d *dispatcher) flushHeld() bool {
 	if len(d.held) == 0 {
 		return false
-	}
-	rs := d.rs
-	releaseAll := rs == nil || rs.detached.Load()
-	var acked uint64
-	if !releaseAll {
-		acked = rs.acked.Load()
 	}
 	progress := false
 	n := 0
 	for i := range d.held {
 		h := d.held[i]
-		if releaseAll || h.gate <= acked {
-			d.send(h.c, h.frame)
+		release, drop := h.rs == nil, false
+		if h.rs != nil {
+			if h.rs.detached.Load() {
+				switch h.rs.release.Load() {
+				case relRelease:
+					release = true
+				case relDrop:
+					drop = true
+				}
+				// relHold: detach not confirmed yet; keep parked.
+			} else {
+				release = h.gate <= h.rs.acked.Load()
+			}
+		}
+		switch {
+		case drop:
+			d.noteHeldDone(h.c)
 			progress = true
-		} else {
+		case release:
+			d.send(h.c, h.frame)
+			d.noteHeldDone(h.c)
+			progress = true
+		default:
 			d.held[n] = h
 			n++
 		}
@@ -270,6 +328,12 @@ func (s *Server) startReplication(c transport.Conn, req wire.ReplAttach) {
 	// Publish before sealing: dispatchers must observe rs (and start
 	// forwarding) no later than they cross the cut.
 	s.repl.Store(rs)
+	// First replica ever: start renewing the liveness lease that fences
+	// promotion while this primary can still reach metadata.
+	s.leaseOnce.Do(func() {
+		s.wg.Add(1)
+		go s.leaseLoop()
+	})
 	c.Send(wire.EncodeReplAttachResp(wire.ReplAttachResp{OK: true})) //nolint:errcheck // conn errors surface on the next poll
 
 	s.store.SealVersion(func(sealed uint32, cutTail hlog.Address) {
@@ -404,9 +468,11 @@ func (s *Server) heartbeatLoop(rs *replState) {
 	}
 }
 
-// detachReplica tears the stream down: the metadata registration is cleared
-// (so the backup cannot promote against a live primary) and every dispatcher
-// releases its held responses on the next poll iteration.
+// detachReplica tears the stream down. Held responses do NOT release here:
+// a detached backup may still hold a synced, promotable registration (e.g.
+// the stream broke on a network partition while both sides can reach
+// metadata), and revealing unreplicated acks while it can promote would lose
+// acknowledged writes. confirmDetach resolves their fate asynchronously.
 func (s *Server) detachReplica(rs *replState, why string) {
 	if rs.detached.Swap(true) {
 		return
@@ -419,9 +485,87 @@ func (s *Server) detachReplica(rs *replState, why string) {
 		// primary's death (clearing it here would wedge failover — nobody
 		// could ever promote). No solo acks can follow a teardown detach,
 		// so promotion remains safe.
+		rs.release.Store(relRelease)
 		return
 	}
-	s.meta.ClearReplica(s.cfg.ID, rs.backupAddr) //nolint:errcheck // best-effort: a newer incarnation may have re-registered
+	s.wg.Add(1)
+	go s.confirmDetach(rs)
+}
+
+// confirmDetach decides whether responses held against a broken stream may be
+// revealed. Two metadata calls, in order:
+//
+//  1. ClearReplica(backupAddr) — afterwards the detached backup's
+//     registration is gone (or was already replaced by a newer attach), so it
+//     can never BECOME promotable again. Idempotent; only transport-level
+//     failures retry.
+//  2. KeepAlive(self) — success linearizes "this server is still the
+//     addressed primary" AFTER step 1: no promotion happened before the
+//     registration vanished and none can happen after, so the held acks are
+//     safe to release. ErrDeposed means the backup won the race and promoted:
+//     this incarnation must discard the held frames (their writes exist only
+//     here) and stop serving.
+//
+// Note ClearReplica success alone proves nothing — it is an idempotent no-op
+// when PromoteReplica already consumed the registration.
+func (s *Server) confirmDetach(rs *replState) {
+	defer s.wg.Done()
+	pol := backoff.Policy{Base: 2 * time.Millisecond, Max: 200 * time.Millisecond}
+	cleared := false
+	for attempt := 0; !s.stopping.Load(); attempt++ {
+		if !cleared {
+			if err := s.meta.ClearReplica(s.cfg.ID, rs.backupAddr); err != nil {
+				time.Sleep(pol.Delay(attempt))
+				continue
+			}
+			cleared = true
+		}
+		err := s.meta.KeepAlive(s.cfg.ID, s.listener.Addr(), s.cfg.LeaseTTL)
+		switch {
+		case err == nil:
+			rs.release.Store(relRelease)
+			return
+		case errors.Is(err, metadata.ErrDeposed):
+			s.deposed.Store(true)
+			rs.release.Store(relDrop)
+			return
+		case !errors.Is(err, ctlplane.ErrMetaUnavailable):
+			// Semantic refusal that is not a deposition (shouldn't happen for
+			// KeepAlive on our own id/addr); treat conservatively as deposed
+			// rather than risk releasing an unsafe ack.
+			s.deposed.Store(true)
+			rs.release.Store(relDrop)
+			return
+		}
+		time.Sleep(pol.Delay(attempt))
+	}
+	// Shutting down mid-protocol: dispatchers are quiescing and the held
+	// frames die with the process either way; release so a drain cannot wedge.
+	rs.release.Store(relRelease)
+}
+
+// leaseLoop renews the primary liveness lease (metadata lease fence) for a
+// server that has accepted at least one replica attach. While the lease is
+// live PromoteReplica refuses with ErrPrimaryAlive, so a standby that merely
+// lost its stream — a partition between primary and standby, not a primary
+// death — cannot seize ownership as long as the primary can reach metadata.
+// A clean Close releases the lease so ordinary failover pays no TTL latency.
+func (s *Server) leaseLoop() {
+	defer s.wg.Done()
+	ttl := s.cfg.LeaseTTL
+	addr := s.listener.Addr()
+	for {
+		if err := s.meta.KeepAlive(s.cfg.ID, addr, ttl); errors.Is(err, metadata.ErrDeposed) {
+			s.deposed.Store(true)
+			return
+		}
+		select {
+		case <-s.bgQuit:
+			s.meta.KeepAlive(s.cfg.ID, addr, 0) //nolint:errcheck // best-effort release on shutdown
+			return
+		case <-time.After(backoff.Jittered(ttl/3, 0.2)):
+		}
+	}
 }
 
 // Replicating reports whether a backup is currently attached (tests/ops).
@@ -440,23 +584,33 @@ func (s *Server) IsStandby() bool { return s.standby.Load() }
 // its state, and promote when it dies. Exits once promoted or on shutdown.
 func (s *Server) replicaLoop() {
 	defer s.wg.Done()
+	pol := backoff.Policy{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond, Jitter: 0.5}
+	attempts := 0
 	for !s.stopping.Load() {
-		promoted := s.runReplicaSession()
+		promoted, attached := s.runReplicaSession()
 		if promoted {
 			s.startBackground()
 			return
 		}
-		// Brief backoff before re-attaching; keeps a dead or refusing
-		// primary from being hammered.
-		for i := 0; i < 50 && !s.stopping.Load(); i++ {
+		if attached {
+			attempts = 0 // the primary accepted us; a fresh break retries fast
+		} else {
+			attempts++
+		}
+		// Jittered exponential backoff before re-attaching: keeps a dead or
+		// refusing primary from being hammered, and staggers competing
+		// standbys so they don't probe in lockstep.
+		deadline := time.Now().Add(pol.Delay(attempts))
+		for time.Now().Before(deadline) && !s.stopping.Load() {
 			time.Sleep(2 * time.Millisecond)
 		}
 	}
 }
 
 // runReplicaSession runs one attach→mirror→(promote|teardown) cycle.
-// Returns true when this server promoted itself to primary.
-func (s *Server) runReplicaSession() bool {
+// promoted reports that this server took over as primary; attached reports
+// that the primary accepted the attach (used to reset the retry backoff).
+func (s *Server) runReplicaSession() (promoted, attached bool) {
 	primaryID := s.cfg.ID // a standby adopts the primary's identity at boot
 	myAddr := s.listener.Addr()
 
@@ -477,11 +631,11 @@ func (s *Server) runReplicaSession() bool {
 	// would permanently destroy the standby's promotion eligibility.
 	paddr, err := s.meta.ServerAddr(primaryID)
 	if err != nil || paddr == "" {
-		return false
+		return false, false
 	}
 	conn, err := s.cfg.Transport.Dial(paddr)
 	if err != nil {
-		return s.considerPromotion(primaryID, myAddr, paddr)
+		return s.considerPromotion(primaryID, myAddr, paddr), false
 	}
 	defer conn.Close()
 
@@ -491,30 +645,37 @@ func (s *Server) runReplicaSession() bool {
 		AckTimeoutMs: uint32(s.cfg.ReplicaAckTimeout / time.Millisecond),
 	}
 	if err := conn.Send(wire.EncodeReplAttach(attach)); err != nil {
-		return s.considerPromotion(primaryID, myAddr, paddr)
+		return s.considerPromotion(primaryID, myAddr, paddr), false
 	}
 
 	sess := s.store.NewSession()
 	defer sess.Close()
+	// Same discipline as a dispatcher: the apply session refreshes at frame
+	// boundaries only, so a local cut can never drain while a half-applied
+	// batch still stamps the pre-cut version.
+	sess.SetManualRefresh(true)
 
 	var (
-		accepted  bool
 		baseDone  bool
 		buffered  [][]byte // live batches copied aside until the base sync lands
 		lastFrame = time.Now()
 		idle      = 0
 	)
+	// Jitter the silence threshold per session so competing standbys (and a
+	// fleet of pairs sharing one config) don't declare the primary dead — and
+	// storm metadata with promotion attempts — in lockstep.
+	failAfter := backoff.Jittered(s.cfg.ReplicaFailoverAfter, 0.2)
 	ack := func(seq uint64) bool {
 		return conn.Send(wire.EncodeReplAck(wire.ReplAck{Seq: seq})) == nil
 	}
 	for !s.stopping.Load() {
 		frame, ok, err := conn.TryRecv()
 		if err != nil {
-			return s.considerPromotion(primaryID, myAddr, paddr)
+			return s.considerPromotion(primaryID, myAddr, paddr), attached
 		}
 		if !ok {
-			if time.Since(lastFrame) > s.cfg.ReplicaFailoverAfter {
-				return s.considerPromotion(primaryID, myAddr, paddr)
+			if time.Since(lastFrame) > failAfter {
+				return s.considerPromotion(primaryID, myAddr, paddr), attached
 			}
 			idle++
 			if idle > 64 {
@@ -526,6 +687,10 @@ func (s *Server) runReplicaSession() bool {
 		}
 		idle = 0
 		lastFrame = time.Now()
+		// Frame boundary: the previous frame is fully applied, so crossing
+		// the epoch (and adopting any advanced version) is safe here — and
+		// keeps local cuts live through sustained streaming.
+		sess.Refresh()
 		t, perr := wire.PeekType(frame)
 		if perr != nil {
 			s.stats.DecodeErrors.Add(1)
@@ -535,14 +700,14 @@ func (s *Server) runReplicaSession() bool {
 		case wire.MsgReplAttachResp:
 			r, err := wire.DecodeReplAttachResp(frame)
 			if err != nil || !r.OK {
-				return false
+				return false, attached
 			}
-			accepted = true
+			attached = true
 		case wire.MsgReplBaseBegin:
 			b, err := wire.DecodeReplBaseBegin(frame)
 			if err != nil {
 				s.stats.DecodeErrors.Add(1)
-				return false
+				return false, attached
 			}
 			// A full base image is coming: fence out everything a previous
 			// attach left behind so ConditionalInsert cannot lose to a stale
@@ -557,13 +722,13 @@ func (s *Server) runReplicaSession() bool {
 			s.store.AdvanceVersionTo(b.Sealed + 1)
 			sess.Refresh()
 			if !ack(b.Seq) {
-				return false
+				return false, attached
 			}
 		case wire.MsgReplRecords:
 			m, err := wire.DecodeReplRecords(frame)
 			if err != nil {
 				s.stats.DecodeErrors.Add(1)
-				return false
+				return false, attached
 			}
 			for i := range m.Records {
 				r := &m.Records[i]
@@ -575,13 +740,13 @@ func (s *Server) runReplicaSession() bool {
 				sess.CompletePending(true)
 			}
 			if !ack(m.Seq) {
-				return false
+				return false, attached
 			}
 		case wire.MsgReplSessTab:
 			m, err := wire.DecodeReplSessTab(frame)
 			if err != nil {
 				s.stats.DecodeErrors.Add(1)
-				return false
+				return false, attached
 			}
 			sessions := make(map[uint64]uint32, len(m.Sessions))
 			for _, e := range m.Sessions {
@@ -589,13 +754,13 @@ func (s *Server) runReplicaSession() bool {
 			}
 			s.sessTab.restore(sessions, m.Sealed)
 			if !ack(m.Seq) {
-				return false
+				return false, attached
 			}
 		case wire.MsgReplBaseDone:
 			m, err := wire.DecodeReplBaseDone(frame)
 			if err != nil {
 				s.stats.DecodeErrors.Add(1)
-				return false
+				return false, attached
 			}
 			baseDone = true
 			for _, bf := range buffered {
@@ -603,13 +768,13 @@ func (s *Server) runReplicaSession() bool {
 			}
 			buffered = nil
 			if !ack(m.Seq) {
-				return false
+				return false, attached
 			}
 		case wire.MsgReplBatch:
 			rb, err := wire.DecodeReplBatch(frame)
 			if err != nil {
 				s.stats.DecodeErrors.Add(1)
-				return false
+				return false, attached
 			}
 			if !baseDone {
 				buffered = append(buffered, append([]byte(nil), rb.Batch...))
@@ -617,7 +782,7 @@ func (s *Server) runReplicaSession() bool {
 				s.applyReplBatch(sess, rb.Batch)
 			}
 			if !ack(rb.Seq) {
-				return false
+				return false, attached
 			}
 		case wire.MsgReplHeartbeat:
 			hb, err := wire.DecodeReplHeartbeat(frame)
@@ -626,14 +791,13 @@ func (s *Server) runReplicaSession() bool {
 				continue
 			}
 			if !ack(hb.Seq) {
-				return false
+				return false, attached
 			}
 		default:
 			// Unknown frame on the replication conn; ignore.
 		}
-		_ = accepted
 	}
-	return false
+	return false, attached
 }
 
 // applyReplBatch re-executes one forwarded client batch against the local

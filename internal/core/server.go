@@ -115,6 +115,29 @@ type ServerConfig struct {
 	// ReplicaAckTimeout is how long the primary tolerates ack silence before
 	// detaching the backup and releasing held responses (default 2s).
 	ReplicaAckTimeout time.Duration
+	// LeaseTTL is the primary liveness lease period (default =
+	// ReplicaAckTimeout). Once a server has accepted a replica it renews a
+	// metadata lease every TTL/3; while the lease is live PromoteReplica is
+	// fenced (ErrPrimaryAlive), so a standby partitioned from its primary —
+	// but not from metadata — cannot seize ownership from a healthy primary.
+	// A clean Close releases the lease immediately.
+	LeaseTTL time.Duration
+
+	// Overload shedding (admission control).
+
+	// MaxConnBacklog bounds how many response-held batches a single client
+	// connection may have parked on the replication ack gate. Past the bound
+	// new batches from that connection are shed with a retryable status
+	// instead of growing the held queue without limit while the backup lags
+	// (or a detach awaits confirmation). 0 disables shedding (default 256).
+	MaxConnBacklog int
+
+	// SpawnStandby, when set alongside AutoScale, lets the hosted balancer
+	// self-heal replication: when it observes a promoted primary serving
+	// without a registered replica it calls SpawnStandby(primaryID) to
+	// provision a fresh standby (rate-limited per primary). The hook runs on
+	// the balancer goroutine and must be safe to call repeatedly.
+	SpawnStandby func(primaryID string) error
 
 	// Scale-in (the balancer's low-water drain policy; needs AutoScale).
 
@@ -193,6 +216,12 @@ func (c *ServerConfig) applyDefaults() error {
 	if c.ReplicaAckTimeout <= 0 {
 		c.ReplicaAckTimeout = 2 * time.Second
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = c.ReplicaAckTimeout
+	}
+	if c.MaxConnBacklog == 0 {
+		c.MaxConnBacklog = 256
+	}
 	// ScaleIn* zero values fall through to ctlplane.BalancerConfig's defaults.
 	// AutoScale* zero values fall through to ctlplane.BalancerConfig's
 	// defaults (the single source of truth for balancer tuning).
@@ -211,9 +240,12 @@ type ServerStats struct {
 	// completed after pending I/O).
 	OpsCompleted atomic.Uint64
 	_            cachePad
-	// BatchesAccepted / BatchesRejected count view validation outcomes.
+	// BatchesAccepted / BatchesRejected count view validation outcomes;
+	// BatchesShed counts batches refused by admission control (per-conn
+	// held-response backlog over MaxConnBacklog).
 	BatchesAccepted atomic.Uint64
 	BatchesRejected atomic.Uint64
+	BatchesShed     atomic.Uint64
 	_               cachePad
 	// DecodeErrors counts inbound frames dropped because they failed to
 	// decode (corrupt, truncated, or hostile); without this counter such
@@ -302,6 +334,13 @@ type Server struct {
 	repl      atomic.Pointer[replState]
 	standby   atomic.Bool
 	bgStarted atomic.Bool
+	// deposed marks an incarnation whose backup promoted while it was still
+	// running (set when the lease fence reports ErrDeposed). A deposed server
+	// stops adopting views and rejects every batch — it must not serve state
+	// the promoted replica now owns. leaseOnce starts the lease renewal loop
+	// on the first replica attach.
+	deposed   atomic.Bool
+	leaseOnce sync.Once
 
 	// Space-management state (see compaction.go).
 	compactMu      sync.Mutex // serializes compaction passes
@@ -485,6 +524,7 @@ func (s *Server) startBackground() {
 			MaxConcurrent: cfg.AutoScaleMaxConcurrent,
 			ScaleIn:       cfg.ScaleIn, ScaleInBelowOps: cfg.ScaleInBelowRate,
 			ScaleInAfterPasses: cfg.ScaleInAfterPasses, MinServers: cfg.ScaleInMinServers,
+			SpawnStandby: cfg.SpawnStandby,
 		})
 		s.balancer.Store(b)
 		b.Run()
@@ -513,6 +553,7 @@ func (s *Server) StatsSnapshot() wire.StatsResp {
 		OpsCompleted:    s.stats.OpsCompleted.Load(),
 		BatchesAccepted: s.stats.BatchesAccepted.Load(),
 		BatchesRejected: s.stats.BatchesRejected.Load(),
+		BatchesShed:     s.stats.BatchesShed.Load(),
 		DecodeErrors:    s.stats.DecodeErrors.Load(),
 		PendingOps:      s.stats.PendingOps.Load(),
 		RemoteFetches:   s.stats.RemoteFetches.Load(),
@@ -633,6 +674,11 @@ func (s *Server) refreshView() metadata.View {
 		// adopt the *primary's* live view and start accepting its batches.
 		return s.view.Load().Clone()
 	}
+	if s.deposed.Load() {
+		// A promoted replica owns this identity now; its views are not ours
+		// to adopt (and every batch is rejected anyway).
+		return s.view.Load().Clone()
+	}
 	v, err := s.meta.GetView(s.cfg.ID)
 	if err != nil {
 		return s.view.Load().Clone()
@@ -734,6 +780,9 @@ type dispatcher struct {
 	rs   *replState
 	fwd  bool
 	held []heldResp
+	// heldPerConn counts parked responses per client connection; admission
+	// control sheds new batches from a connection past MaxConnBacklog.
+	heldPerConn map[transport.Conn]int
 }
 
 // srvOp is the dispatcher-side state of one client operation that went
@@ -760,6 +809,11 @@ func newDispatcher(s *Server, idx int) *dispatcher {
 	// One handler closure per dispatcher, for the lifetime of the session —
 	// the per-op completion state travels as a pooled-slot token instead.
 	d.sess.SetCompletionHandler(d.completePending)
+	// The dispatcher refreshes once per loop iteration (a batch boundary);
+	// mid-batch guard crossings would let a replication/checkpoint cut
+	// drain while this session still stamps the sealed version, racing the
+	// base scan against its appends and session-table advances.
+	d.sess.SetManualRefresh(true)
 	return d
 }
 
@@ -849,6 +903,19 @@ func (d *dispatcher) run() {
 		d.rs = d.s.repl.Load()
 		d.fwd = d.rs != nil && !d.rs.detached.Load() && d.sess.Version() > d.rs.baseVer.Load()
 
+		// Cut barrier (post-cut side): while a freshly sealed cut is still
+		// draining, a dispatcher that already crossed it must not execute
+		// operations. Its post-cut appends would land at the chain heads
+		// where a dispatcher still running under the sealed version can
+		// copy-on-write on top of them, folding post-cut effects into a
+		// record stamped below the cut — the base scan or checkpoint image
+		// would then carry operations the live replication stream (or client
+		// replay) applies a second time. Stall batch intake and migration
+		// work; the bottom-of-loop Refresh keeps this session's epoch guard
+		// moving so the cut drains (the stall lasts at most the other
+		// dispatchers' current iteration).
+		stalled := d.s.store.CutPending()
+
 		// Adopt new connections.
 		for {
 			select {
@@ -861,30 +928,32 @@ func (d *dispatcher) run() {
 			break
 		}
 
-		// Poll sessions for request batches.
-		for i := 0; i < len(d.conns); i++ {
-			c := d.conns[i]
-			frame, ok, err := c.TryRecv()
-			if err != nil {
-				c.Close()
-				d.conns = append(d.conns[:i], d.conns[i+1:]...)
-				i--
-				continue
+		if !stalled {
+			// Poll sessions for request batches.
+			for i := 0; i < len(d.conns); i++ {
+				c := d.conns[i]
+				frame, ok, err := c.TryRecv()
+				if err != nil {
+					c.Close()
+					d.conns = append(d.conns[:i], d.conns[i+1:]...)
+					i--
+					continue
+				}
+				if !ok {
+					continue
+				}
+				progress = true
+				d.handleFrame(c, frame)
 			}
-			if !ok {
-				continue
-			}
-			progress = true
-			d.handleFrame(c, frame)
-		}
 
-		// Interleave one unit of migration work (§3.3: "threads interleave
-		// processing normal requests with sending batches").
-		if d.s.sourceMigrationStep(d) {
-			progress = true
-		}
-		if d.s.targetMigrationStep(d) {
-			progress = true
+			// Interleave one unit of migration work (§3.3: "threads
+			// interleave processing normal requests with sending batches").
+			if d.s.sourceMigrationStep(d) {
+				progress = true
+			}
+			if d.s.targetMigrationStep(d) {
+				progress = true
+			}
 		}
 
 		// Finish pending I/O and push deferred results out.
@@ -1012,6 +1081,19 @@ func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 		d.reject(c, b, 0)
 		return
 	}
+	if d.s.deposed.Load() {
+		// A promoted replica owns this identity now; rejecting makes the
+		// client re-resolve ownership (which points at the new primary).
+		d.reject(c, b, 0)
+		return
+	}
+	// Admission control: a connection whose responses are piling up on the
+	// replication ack gate (lagging backup, detach awaiting confirmation) is
+	// shed with a retryable status instead of parking unbounded copies.
+	if max := d.s.cfg.MaxConnBacklog; max > 0 && d.heldPerConn[c] >= max {
+		d.shed(c, b)
+		return
+	}
 	view := d.s.view.Load()
 
 	if d.s.hashValidate.Load() {
@@ -1100,6 +1182,24 @@ func (d *dispatcher) reject(c transport.Conn, b *wire.RequestBatch, serverView u
 	}
 	resp := wire.ResponseBatch{SessionID: b.SessionID, Rejected: true,
 		ServerView: serverView, Results: d.results}
+	d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
+	d.send(c, d.respBuf)
+}
+
+// shed refuses a batch under overload (per-conn held-response backlog at the
+// MaxConnBacklog bound). Like reject it executes nothing and echoes the ops'
+// sequence numbers so the client requeues exactly this batch — but the Shed
+// flag tells the client the view was fine: back off and retry here, don't
+// re-resolve ownership. The response bypasses the ack gate (it reveals no
+// state).
+func (d *dispatcher) shed(c transport.Conn, b *wire.RequestBatch) {
+	d.s.stats.BatchesShed.Add(1)
+	d.results = d.results[:0]
+	for i := range b.Ops {
+		d.results = append(d.results, wire.Result{Seq: b.Ops[i].Seq})
+	}
+	resp := wire.ResponseBatch{SessionID: b.SessionID, Shed: true,
+		ServerView: d.s.view.Load().Number, Results: d.results}
 	d.respBuf = wire.AppendResponseBatch(d.respBuf[:0], &resp)
 	d.send(c, d.respBuf)
 }

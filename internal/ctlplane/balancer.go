@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/client"
 	"repro/internal/metadata"
 	"repro/internal/transport"
@@ -70,6 +71,20 @@ type BalancerConfig struct {
 	// DrainTimeout bounds the Drain RPC — which waits out one migration per
 	// owned range, not one quick round-trip (default 60s).
 	DrainTimeout time.Duration
+
+	// Self-healing re-replication.
+
+	// SpawnStandby, when set, lets passes heal replication: a promoted
+	// primary serving with no registered replica gets a fresh standby
+	// provisioned via this hook (the deployment decides what "provision"
+	// means — boot a process, start an in-process server, page an operator).
+	// Called on the balancer goroutine, at most once per SpawnRetry per
+	// primary; errors are retried on a later pass.
+	SpawnStandby func(primaryID string) error
+	// SpawnRetry is the per-primary hold-off between SpawnStandby attempts
+	// (default 5s) — provisioning plus base sync take a while, and a second
+	// spawn racing the first would be refused by the primary anyway.
+	SpawnRetry time.Duration
 }
 
 func (c BalancerConfig) withDefaults() BalancerConfig {
@@ -105,6 +120,9 @@ func (c BalancerConfig) withDefaults() BalancerConfig {
 	}
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 60 * time.Second
+	}
+	if c.SpawnRetry == 0 {
+		c.SpawnRetry = 5 * time.Second
 	}
 	return c
 }
@@ -175,6 +193,8 @@ type Balancer struct {
 	// scale-in low-water mark; reset the moment it warms up or goes
 	// unreachable.
 	coldStreak map[string]int
+	// lastSpawn rate-limits SpawnStandby per primary (see SpawnRetry).
+	lastSpawn map[string]time.Time
 
 	passes    atomic.Uint64
 	triggered atomic.Uint64
@@ -199,6 +219,7 @@ func NewBalancer(cfg BalancerConfig) *Balancer {
 		prev:       make(map[string]counterSample),
 		rates:      make(map[string]float64),
 		coldStreak: make(map[string]int),
+		lastSpawn:  make(map[string]time.Time),
 		quit:       make(chan struct{}),
 	}
 }
@@ -208,13 +229,14 @@ func (b *Balancer) Run() {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
-		t := time.NewTicker(b.cfg.Every)
-		defer t.Stop()
 		for {
+			// Jitter the pass period so multiple balancer hosts booted from
+			// one config don't plan (and race each other's migrations) in
+			// lockstep.
 			select {
 			case <-b.quit:
 				return
-			case <-t.C:
+			case <-time.After(backoff.Jittered(b.cfg.Every, 0.2)):
 				// No overall deadline: each RPC inside the pass carries its
 				// own RPCTimeout, bounding the pass at (servers+1)×timeout.
 				b.RunOnce(context.Background())
@@ -267,18 +289,68 @@ func (b *Balancer) RunOnce(ctx context.Context) Decision {
 	b.passMu.Lock()
 	defer b.passMu.Unlock()
 	b.passes.Add(1)
+	spawned := b.maybeReplicate()
 	d := b.plan(ctx)
 	d.At = time.Now()
+	if len(spawned) > 0 {
+		note := "re-replicating " + strings.Join(spawned, ", ")
+		if d.Reason == "" {
+			d.Reason = note
+		} else {
+			d.Reason = note + "; " + d.Reason
+		}
+	}
 	b.mu.Lock()
 	b.last = d
 	if d.Acted {
-		b.cooldownUntil = time.Now().Add(b.cfg.Cooldown)
+		// Jittered so co-hosted balancers don't re-arm simultaneously.
+		b.cooldownUntil = time.Now().Add(backoff.Jittered(b.cfg.Cooldown, 0.1))
 	}
 	b.mu.Unlock()
 	if d.Acted {
 		b.triggered.Add(1)
 	}
 	return d
+}
+
+// maybeReplicate heals replication: a promoted primary that is registered
+// (serving) but has no replica attached lost its redundancy when it took
+// over — its old standby IS the new primary. Provision a fresh standby via
+// the SpawnStandby hook, rate-limited per primary; the standby then attaches
+// and base-syncs through the ordinary replication path. Returns the primaries
+// a spawn was attempted for this pass.
+func (b *Balancer) maybeReplicate() []string {
+	if b.cfg.SpawnStandby == nil {
+		return nil
+	}
+	registered := make(map[string]bool)
+	for _, id := range b.cfg.Meta.Servers() {
+		registered[id] = true
+	}
+	replicas := b.cfg.Meta.Replicas()
+	var spawned []string
+	for _, id := range b.cfg.Meta.PromotedServers() {
+		if !registered[id] {
+			continue // retired (or drained) since promotion; nothing to heal
+		}
+		if _, ok := replicas[id]; ok {
+			continue // has a replica (possibly still base-syncing)
+		}
+		b.mu.Lock()
+		due := time.Since(b.lastSpawn[id]) >= b.cfg.SpawnRetry
+		if due {
+			b.lastSpawn[id] = time.Now()
+		}
+		b.mu.Unlock()
+		if !due {
+			continue
+		}
+		if err := b.cfg.SpawnStandby(id); err != nil {
+			continue // retried after SpawnRetry on a later pass
+		}
+		spawned = append(spawned, id)
+	}
+	return spawned
 }
 
 func (b *Balancer) plan(ctx context.Context) Decision {

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/metadata"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -31,6 +32,12 @@ type RemoteOptions struct {
 	// PollEvery is the watch loop's snapshot period (default 50ms). The
 	// loop starts with the first Watch call.
 	PollEvery time.Duration
+	// MaxStaleness bounds how long the cached snapshot may answer erroring
+	// reads (ServerAddr, GetView, OwnerOf) while the endpoint is
+	// unreachable (default 30s). Past the bound those reads fail with
+	// ErrMetaUnavailable instead of silently routing on arbitrarily stale
+	// views. Negative disables the bound.
+	MaxStaleness time.Duration
 }
 
 func (o RemoteOptions) withDefaults() RemoteOptions {
@@ -39,6 +46,9 @@ func (o RemoteOptions) withDefaults() RemoteOptions {
 	}
 	if o.PollEvery == 0 {
 		o.PollEvery = 50 * time.Millisecond
+	}
+	if o.MaxStaleness == 0 {
+		o.MaxStaleness = 30 * time.Second
 	}
 	return o
 }
@@ -59,6 +69,13 @@ type RemoteProvider struct {
 	connMu sync.Mutex
 	conn   transport.Conn
 
+	// breaker fails metadata RPCs fast while the endpoint is persistently
+	// unreachable: one probe per (backed-off) interval instead of every
+	// caller paying the full RPC timeout.
+	breaker backoff.Breaker
+	// retryIn paces the in-call retry after a first-attempt failure.
+	retryIn backoff.Policy
+
 	// cacheMu guards the last observed snapshot and the watcher list.
 	cacheMu    sync.Mutex
 	haveSnap   bool
@@ -67,7 +84,11 @@ type RemoteProvider struct {
 	servers    map[string]remoteServer
 	migrations []metadata.MigrationState
 	replicas   map[string]metadata.ReplicaState
+	promoted   []string
 	watchers   []chan struct{}
+	// degradedSince is when the provider started serving from a cache it
+	// could not refresh (zero while healthy).
+	degradedSince time.Time
 
 	pollOnce sync.Once
 	quit     chan struct{}
@@ -123,11 +144,18 @@ func (p *RemoteProvider) Close() error {
 // caller never learns the migration is registered).
 func (p *RemoteProvider) do(req *wire.MetaReq) (wire.MetaResp, error) {
 	idempotent := req.Op != wire.MetaOpStartMigration && req.Op != wire.MetaOpCollect
+	if !p.breaker.Allow() {
+		p.markDegraded()
+		return wire.MetaResp{}, fmt.Errorf("%w: circuit open", ErrMetaUnavailable)
+	}
 	p.connMu.Lock()
 	defer p.connMu.Unlock()
 	frame := wire.EncodeMetaReq(req)
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.retryIn.Delay(attempt - 1))
+		}
 		if p.conn == nil {
 			c, err := p.tr.Dial(p.addr)
 			if err != nil {
@@ -160,10 +188,31 @@ func (p *RemoteProvider) do(req *wire.MetaReq) (wire.MetaResp, error) {
 			}
 			continue
 		}
+		p.breaker.Success()
 		p.absorb(&resp)
 		return resp, nil
 	}
+	p.breaker.Failure()
+	p.markDegraded()
 	return wire.MetaResp{}, fmt.Errorf("%w: %v", ErrMetaUnavailable, lastErr)
+}
+
+// markDegraded stamps the moment the provider started answering from a
+// cache it could not refresh; absorb clears it on the next success.
+func (p *RemoteProvider) markDegraded() {
+	p.cacheMu.Lock()
+	if p.degradedSince.IsZero() {
+		p.degradedSince = time.Now()
+	}
+	p.cacheMu.Unlock()
+}
+
+// DegradedSince returns when the provider lost the metadata endpoint and
+// began serving stale cached views; zero while healthy.
+func (p *RemoteProvider) DegradedSince() time.Time {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	return p.degradedSince
 }
 
 // await polls the connection for a frame of the wanted type until Timeout;
@@ -196,6 +245,7 @@ func (p *RemoteProvider) absorb(resp *wire.MetaResp) {
 	changed := !p.haveSnap || resp.Revision != p.revision
 	p.haveSnap = true
 	p.lastSnap = time.Now()
+	p.degradedSince = time.Time{}
 	p.revision = resp.Revision
 	p.servers = make(map[string]remoteServer, len(resp.Servers))
 	for i := range resp.Servers {
@@ -215,6 +265,7 @@ func (p *RemoteProvider) absorb(resp *wire.MetaResp) {
 			PrimaryID: r.PrimaryID, Addr: r.Addr, Synced: r.Synced,
 		}
 	}
+	p.promoted = append(p.promoted[:0], resp.Promoted...)
 	var wake []chan struct{}
 	if changed {
 		wake = append(wake, p.watchers...)
@@ -242,8 +293,11 @@ func (p *RemoteProvider) refresh() bool {
 		return true
 	}
 	if _, err := p.do(&wire.MetaReq{Op: wire.MetaOpSnapshot}); err != nil {
+		// Degraded: serve the cache, but only within the staleness bound —
+		// past it, routing on the dead snapshot is worse than failing.
 		p.cacheMu.Lock()
-		ok := p.haveSnap
+		ok := p.haveSnap &&
+			(p.opts.MaxStaleness < 0 || time.Since(p.lastSnap) < p.opts.MaxStaleness)
 		p.cacheMu.Unlock()
 		return ok
 	}
@@ -280,6 +334,8 @@ func metaError(resp *wire.MetaResp) error {
 		sentinel = metadata.ErrReplicaNotSynced
 	case wire.MetaErrServerNotEmpty:
 		sentinel = metadata.ErrServerNotEmpty
+	case wire.MetaErrPrimaryAlive:
+		sentinel = metadata.ErrPrimaryAlive
 	default:
 		return errors.New(resp.Err)
 	}
@@ -396,6 +452,34 @@ func (p *RemoteProvider) Replicas() map[string]metadata.ReplicaState {
 		out[id] = r
 	}
 	return out
+}
+
+// KeepAlive renews (or, with ttl <= 0, releases) id's primary liveness
+// lease at the metadata endpoint.
+func (p *RemoteProvider) KeepAlive(id, addr string, ttl time.Duration) error {
+	ms := ttl.Milliseconds()
+	if ttl > 0 && ms == 0 {
+		ms = 1 // sub-millisecond TTLs must still renew, not release
+	}
+	if ms < 0 {
+		ms = 0
+	}
+	resp, err := p.do(&wire.MetaReq{
+		Op: wire.MetaOpKeepAlive, ServerID: id, Addr: addr, MigrationID: uint64(ms),
+	})
+	if err != nil {
+		return err
+	}
+	return metaError(&resp)
+}
+
+// PromotedServers returns the ids whose replica was promoted and whose
+// deposed former primary has not restarted.
+func (p *RemoteProvider) PromotedServers() []string {
+	p.refresh()
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	return append([]string(nil), p.promoted...)
 }
 
 // GetView returns a server's current view.
@@ -668,6 +752,10 @@ func ServeMetaReq(p metadata.Provider, req *wire.MetaReq) wire.MetaResp {
 		fillMetaErr(&resp, err)
 	case wire.MetaOpRetire:
 		fillMetaErr(&resp, p.RetireServer(req.ServerID))
+	case wire.MetaOpKeepAlive:
+		// MigrationID carries the TTL in milliseconds (MetaReq field union).
+		fillMetaErr(&resp, p.KeepAlive(req.ServerID, req.Addr,
+			time.Duration(req.MigrationID)*time.Millisecond))
 	default:
 		resp.OK = false
 		resp.ErrCode = wire.MetaErrOther
@@ -708,6 +796,7 @@ func ServeMetaReq(p metadata.Provider, req *wire.MetaReq) wire.MetaResp {
 			PrimaryID: r.PrimaryID, Addr: r.Addr, Synced: r.Synced,
 		})
 	}
+	resp.Promoted = p.PromotedServers()
 	return resp
 }
 
@@ -742,6 +831,8 @@ func fillMetaErr(resp *wire.MetaResp, err error) {
 		resp.ErrCode = wire.MetaErrReplicaNotSynced
 	case errors.Is(err, metadata.ErrServerNotEmpty):
 		resp.ErrCode = wire.MetaErrServerNotEmpty
+	case errors.Is(err, metadata.ErrPrimaryAlive):
+		resp.ErrCode = wire.MetaErrPrimaryAlive
 	default:
 		resp.ErrCode = wire.MetaErrOther
 	}

@@ -54,9 +54,11 @@ func (s *Store) CheckpointCut(w io.Writer, onCut func(sealed uint32), done func(
 	// Recovery only applies its version filter above it, which keeps the
 	// 11-bit masked version comparison unambiguous (within one checkpoint
 	// window only sealed and sealed+1 exist).
+	s.cutsPending.Add(1)
 	cutTail := s.log.TailAddress()
 	sealed := s.version.Add(1) - 1
 	s.epoch.BumpWithAction(func() {
+		s.cutsPending.Add(-1)
 		go func() {
 			if onCut != nil {
 				onCut(sealed)

@@ -22,10 +22,26 @@ var ErrScanAborted = errors.New("faster: replication scan aborted")
 // sealed version and the tail captured before the bump: every record stamped
 // sealed+1 lives at or above cutTail, so a scan below it (ReplScan) covers
 // exactly the operations acknowledged before the cut.
+//
+// The cut's correctness requires that a guard crossing implies version
+// adoption for every session that stamps records: server sessions run in
+// manual-refresh mode (Session.SetManualRefresh) so they cross only at
+// batch boundaries. One narrow residual window remains — hlog.Allocate
+// refreshes the caller's guard while spinning on a page roll, which can
+// complete the bump mid-batch; it is only reachable under allocator
+// contention or memory pressure in the same instant a seal drains.
+//
+// Sessions that cross the cut early must additionally stall their write
+// intake until CutPending clears: a sealed+1 record appended while another
+// session still executes under the sealed version can be folded into that
+// session's copy-on-write and re-stamped below the cut, poisoning the
+// sealed prefix (see Store.CutPending).
 func (s *Store) SealVersion(onCut func(sealed uint32, cutTail hlog.Address)) {
+	s.cutsPending.Add(1)
 	cutTail := s.log.TailAddress()
 	sealed := s.version.Add(1) - 1
 	s.epoch.BumpWithAction(func() {
+		s.cutsPending.Add(-1)
 		go onCut(sealed, cutTail)
 	})
 }

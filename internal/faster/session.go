@@ -42,6 +42,17 @@ type Session struct {
 
 	opsSinceRefresh int
 
+	// manualRefresh pins epoch crossings to explicit Refresh calls (set by
+	// server dispatch loops, which refresh once per batch boundary). CPR
+	// correctness depends on it: SealVersion/CheckpointCut treat "every
+	// guard crossed the bump" as "no thread still stamps the sealed
+	// version", so a session that refreshes its guard mid-batch (the
+	// maybeRefresh valve) while keeping the old ver would let the cut's
+	// scan race its still-pre-cut appends and session-table advances —
+	// records leak into or out of the sealed image independently of the
+	// durable watermark shipped with it.
+	manualRefresh bool
+
 	// ver is the session's thread-local CPR version (§2.1): every append is
 	// stamped with it, and it advances only at Refresh — so all operations
 	// between two Refresh calls (one server batch) belong to one version,
@@ -126,9 +137,22 @@ func (sess *Session) Version() uint32 { return sess.ver }
 // spinning on transport queues).
 func (sess *Session) Guard() *epoch.Guard { return sess.g }
 
+// SetManualRefresh pins the session's epoch crossings to explicit Refresh
+// calls, disabling the mid-operation maybeRefresh valve and keeping the
+// guard protected while CompletePending blocks. Server dispatch loops set
+// it: they Refresh at every batch boundary anyway, and batch-granular CPR
+// (§2.1) requires that the guard never cross a version bump while the
+// session still stamps the pre-cut version — see the manualRefresh field.
+func (sess *Session) SetManualRefresh(on bool) { sess.manualRefresh = on }
+
 // maybeRefresh keeps long-running single-session workloads participating in
-// global cuts even if the caller never calls Refresh explicitly.
+// global cuts even if the caller never calls Refresh explicitly. Sessions in
+// manual-refresh mode skip it: their guard may only cross together with
+// version adoption at an explicit Refresh.
 func (sess *Session) maybeRefresh() {
+	if sess.manualRefresh {
+		return
+	}
 	sess.opsSinceRefresh++
 	if sess.opsSinceRefresh >= 256 {
 		sess.opsSinceRefresh = 0
@@ -154,6 +178,20 @@ func (sess *Session) CompletePending(wait bool) int {
 		}
 		if !wait || sess.inflight.Load() == 0 {
 			return n
+		}
+		if sess.manualRefresh {
+			// Stay epoch-protected while blocked: a dispatcher drains its
+			// pending operations *before* crossing a sealed cut, and
+			// suspending here would let the cut's bump drain mid-wait —
+			// the resumed completions would then append pre-cut-stamped
+			// records racing the base scan. The stall is bounded by one
+			// storage round-trip and only delays cuts, never deadlocks
+			// (completions are delivered by I/O goroutines that do not
+			// wait on epochs).
+			p := <-sess.completions
+			sess.resume(p)
+			n++
+			continue
 		}
 		// Block for the next completion; keep the epoch unprotected so
 		// flush/eviction cuts are not held up by an idle session.

@@ -100,6 +100,14 @@ type Store struct {
 	// version is the CPR checkpoint version; records are stamped with it.
 	version atomic.Uint32
 
+	// cutsPending counts version cuts (SealVersion/CheckpointCut) whose
+	// epoch bump has not drained yet: the version was advanced but some
+	// session may still execute under the sealed version. Sessions that have
+	// already adopted the new version consult CutPending and stall their
+	// write intake until the cut drains — post-cut writes racing pre-cut
+	// writers poison the cut (see CutPending).
+	cutsPending atomic.Int32
+
 	// sampleFilter, when set, forces accessed records below the captured
 	// tail to be copied to the tail (Shadowfax's Sampling phase, §3.3).
 	sampleFilter atomic.Value // func(hash uint64, addr hlog.Address) bool
@@ -189,6 +197,17 @@ func (s *Store) Log() *hlog.Log { return s.log }
 
 // CurrentVersion returns the CPR version new records are stamped with.
 func (s *Store) CurrentVersion() uint32 { return s.version.Load() }
+
+// CutPending reports whether a version cut has been sealed but not yet
+// crossed by every session. While it holds, sessions already at the new
+// version must not execute writes: a new-version record appended while an
+// old-version session still runs can be picked up by that session's
+// copy-on-write, folding post-cut effects into a record stamped below the
+// cut — the sealed prefix (checkpoint image or replication base scan) then
+// contains operations that recovery or the live replication stream applies
+// a second time. Callers stall write intake until this returns false,
+// refreshing their session each spin so the cut can drain.
+func (s *Store) CutPending() bool { return s.cutsPending.Load() != 0 }
 
 // Stats returns the store's counters.
 func (s *Store) Stats() *StoreStats { return &s.stats }

@@ -108,7 +108,10 @@ type Store struct {
 	// promoted records, per server id, the view number a replica promotion
 	// assigned: a deposed primary restarting from its checkpoint carries a
 	// lower number and must be refused (split-brain guard).
-	promoted  map[string]uint64
+	promoted map[string]uint64
+	// leases maps a server id to its primary liveness lease (lease.go): the
+	// split-brain fence consulted by PromoteReplica.
+	leases    map[string]lease
 	nextMigID uint64
 	nextEpoch uint64
 	revision  uint64

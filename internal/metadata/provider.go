@@ -1,5 +1,7 @@
 package metadata
 
+import "time"
+
 // Provider is the metadata-access surface servers, clients and the CLI
 // program against. The in-process *Store is the canonical implementation
 // (and the state of record: exactly one Store backs a deployment); the
@@ -25,12 +27,15 @@ type Provider interface {
 	Ownership() map[string]View
 	RetireServer(id string) error
 
-	// Primary→backup replication (replica.go).
+	// Primary→backup replication (replica.go) and the primary liveness
+	// lease fence (lease.go).
 	SetReplica(primaryID, addr string) error
 	MarkReplicaSynced(primaryID, addr string) error
 	ClearReplica(primaryID, addr string) error
 	PromoteReplica(primaryID, addr string) (View, error)
 	Replicas() map[string]ReplicaState
+	KeepAlive(id, addr string, ttl time.Duration) error
+	PromotedServers() []string
 
 	// Migration dependencies (§3.3.1).
 	StartMigration(source, target string, rng HashRange) (MigrationState, View, View, error)

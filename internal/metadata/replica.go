@@ -129,6 +129,10 @@ func (s *Store) PromoteReplica(primaryID, addr string) (View, error) {
 	if !r.Synced {
 		return View{}, fmt.Errorf("%w: %q at %s", ErrReplicaNotSynced, primaryID, addr)
 	}
+	if l, held := s.leaseBlocksPromotionLocked(primaryID, addr); held {
+		return View{}, fmt.Errorf("%w: %q at %s renews until %s", ErrPrimaryAlive,
+			primaryID, l.addr, l.expiry.Format("15:04:05.000"))
+	}
 	v, ok := s.views[primaryID]
 	if !ok {
 		return View{}, fmt.Errorf("%w: %q", ErrUnknownServer, primaryID)
@@ -137,6 +141,7 @@ func (s *Store) PromoteReplica(primaryID, addr string) (View, error) {
 	s.addrs[primaryID] = addr
 	s.promoted[primaryID] = v.Number
 	delete(s.replicas, primaryID)
+	delete(s.leases, primaryID) // the old holder is deposed; its lease is void
 	s.notifyLocked()
 	return v.Clone(), nil
 }
@@ -166,6 +171,7 @@ func (s *Store) RetireServer(id string) error {
 	}
 	delete(s.views, id)
 	delete(s.addrs, id)
+	delete(s.leases, id)
 	s.notifyLocked()
 	return nil
 }

@@ -139,6 +139,16 @@ func FuzzDecode(f *testing.F) {
 	for _, seed := range fuzzSeeds() {
 		f.Add(seed)
 	}
+	// Adversarial seeds: truncations of the replication stream frames, so
+	// the fuzzer starts at the short-frame edges a dropped connection or
+	// corrupted length field produces mid-failover.
+	for _, frame := range replStreamFrames() {
+		for _, n := range []int{1, len(frame) / 2, len(frame) - 1} {
+			if n > 0 && n < len(frame) {
+				f.Add(append([]byte(nil), frame[:n]...))
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, buf []byte) {
 		if _, err := PeekType(buf); err != nil {
 			if len(buf) != 0 {
@@ -374,35 +384,45 @@ func TestDecodeCountGuards(t *testing.T) {
 		t.Fatal("meta req with absurd range count accepted")
 	}
 
-	// MsgMetaResp: absurd server and migration counts.
+	// MsgMetaResp: absurd server, migration and promoted counts. The empty
+	// frame ends with four zero counts (servers, migrations, replicas,
+	// promoted), 4 bytes each.
 	base := EncodeMetaResp(&MetaResp{OK: true})
-	hsrv := append([]byte(nil), base[:len(base)-8]...) // strip both zero counts
-	hsrv = appendU32(hsrv, 0xFFFFFFFF)                 // server count
+	hsrv := append([]byte(nil), base[:len(base)-16]...) // at the server count
+	hsrv = appendU32(hsrv, 0xFFFFFFFF)
 	if _, err := DecodeMetaResp(hsrv); err == nil {
 		t.Fatal("meta resp with absurd server count accepted")
 	}
-	hmig := append([]byte(nil), base[:len(base)-4]...) // strip migration count
+	hmig := append([]byte(nil), base[:len(base)-12]...) // at the migration count
 	hmig = appendU32(hmig, 0xFFFFFFFF)
 	if _, err := DecodeMetaResp(hmig); err == nil {
 		t.Fatal("meta resp with absurd migration count accepted")
 	}
+	hprom := append([]byte(nil), base[:len(base)-4]...) // at the promoted count
+	hprom = appendU32(hprom, 0xFFFFFFFF)
+	if _, err := DecodeMetaResp(hprom); err == nil {
+		t.Fatal("meta resp with absurd promoted count accepted")
+	}
 
-	// MsgStatsResp: absurd hash-sample count.
+	// MsgStatsResp: absurd hash-sample count. The empty frame ends with
+	// [sample count u32][BatchesShed u64]; strip both to sit at the count.
 	hs := EncodeStatsResp(StatsResp{ServerID: "s1"})
-	hs = hs[:len(hs)-4] // strip the zero sample count
+	hs = hs[:len(hs)-12]
 	hs = appendU32(hs, 0xFFFFFFFF)
 	if _, err := DecodeStatsResp(hs); err == nil {
 		t.Fatal("stats resp with absurd sample count accepted")
 	}
 
-	// MsgBalanceStatusResp: absurd rate and in-flight migration counts.
+	// MsgBalanceStatusResp: absurd rate and in-flight migration counts. The
+	// empty frame ends with [rate count u32][in-flight count u32]
+	// [degraded-ms u64].
 	bb := EncodeBalanceStatusResp(&BalanceStatusResp{Enabled: true})
-	hb := append([]byte(nil), bb[:len(bb)-8]...) // strip both zero counts
-	hb = appendU32(hb, 0xFFFFFFFF)               // rate count
+	hb := append([]byte(nil), bb[:len(bb)-16]...) // at the rate count
+	hb = appendU32(hb, 0xFFFFFFFF)
 	if _, err := DecodeBalanceStatusResp(hb); err == nil {
 		t.Fatal("balance status resp with absurd rate count accepted")
 	}
-	hf := append([]byte(nil), bb[:len(bb)-4]...) // strip the in-flight count
+	hf := append([]byte(nil), bb[:len(bb)-12]...) // at the in-flight count
 	hf = appendU32(hf, 0xFFFFFFFF)
 	if _, err := DecodeBalanceStatusResp(hf); err == nil {
 		t.Fatal("balance status resp with absurd in-flight count accepted")

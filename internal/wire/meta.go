@@ -48,6 +48,11 @@ const (
 	MetaOpClearReplica
 	MetaOpPromote
 	MetaOpRetire
+	// MetaOpKeepAlive renews (or, with a zero TTL, releases) the primary
+	// liveness lease that fences promotion during partitions (appended).
+	// ServerID names the server, Addr the renewing holder, MigrationID
+	// carries the TTL in milliseconds (the union pattern above).
+	MetaOpKeepAlive
 )
 
 // MetaErr is a machine-readable error class inside a MsgMetaResp, so the
@@ -74,6 +79,9 @@ const (
 	MetaErrNoReplica
 	MetaErrReplicaNotSynced
 	MetaErrServerNotEmpty
+	// MetaErrPrimaryAlive refuses a promotion fenced by an unexpired primary
+	// liveness lease (appended).
+	MetaErrPrimaryAlive
 )
 
 // MetaReq is one metadata-service call. Fields are a union over the ops:
@@ -135,6 +143,10 @@ type MetaResp struct {
 	Servers    []MetaServer
 	Migrations []MetaMigration
 	Replicas   []MetaReplica
+	// Promoted lists server ids whose replica was promoted and whose deposed
+	// former primary has not restarted (tail-appended to the frame; the
+	// balancer's re-replication pass consumes it).
+	Promoted []string
 }
 
 // EncodeMetaReq builds a MsgMetaReq frame.
@@ -276,6 +288,10 @@ func EncodeMetaResp(r *MetaResp) []byte {
 		dst = appendString(dst, r.Replicas[i].Addr)
 		dst = appendBool(dst, r.Replicas[i].Synced)
 	}
+	dst = appendU32(dst, uint32(len(r.Promoted)))
+	for _, id := range r.Promoted {
+		dst = appendString(dst, id)
+	}
 	return dst
 }
 
@@ -373,6 +389,25 @@ func DecodeMetaResp(buf []byte) (MetaResp, error) {
 			return r, err
 		}
 	}
+	// Tail-appended promoted list; absent in frames from older encoders.
+	if d.remaining() > 0 {
+		nprom, err := d.u32()
+		if err != nil {
+			return r, err
+		}
+		// Each id encodes to at least 2 bytes (empty string).
+		if uint64(nprom) > uint64(d.remaining())/2 {
+			return r, ErrShortFrame
+		}
+		if nprom > 0 {
+			r.Promoted = make([]string, nprom)
+		}
+		for i := range r.Promoted {
+			if r.Promoted[i], err = d.str(); err != nil {
+				return r, err
+			}
+		}
+	}
 	return r, nil
 }
 
@@ -466,6 +501,10 @@ type BalanceStatusResp struct {
 	Last       RebalanceResp
 	Rates      []ServerRate
 	InFlight   []MetaMigration
+	// DegradedMs is how long the answering server's remote metadata cache
+	// has been serving stale views because the metadata endpoint is
+	// unreachable, in milliseconds (0 = healthy; tail-appended).
+	DegradedMs uint64
 }
 
 // EncodeBalanceStatusReq builds a MsgBalanceStatus frame.
@@ -496,6 +535,7 @@ func EncodeBalanceStatusResp(r *BalanceStatusResp) []byte {
 	for i := range r.InFlight {
 		dst = appendMetaMigration(dst, &r.InFlight[i])
 	}
+	dst = appendU64(dst, r.DegradedMs)
 	return dst
 }
 
@@ -564,6 +604,12 @@ func DecodeBalanceStatusResp(buf []byte) (BalanceStatusResp, error) {
 	}
 	for i := range r.InFlight {
 		if r.InFlight[i], err = decodeMetaMigration(&d); err != nil {
+			return r, err
+		}
+	}
+	// Tail-appended degraded-cache age; absent in frames from older encoders.
+	if d.remaining() >= 8 {
+		if r.DegradedMs, err = d.u64(); err != nil {
 			return r, err
 		}
 	}

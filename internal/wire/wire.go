@@ -91,6 +91,10 @@ const (
 	// StatusClosed: the client was closed with the operation still
 	// outstanding; it was never acknowledged by a server (client-side).
 	StatusClosed
+	// StatusBrokenSession: session recovery exhausted its retries and the
+	// application failed the session's parked operations instead of waiting
+	// forever; the operation may or may not have executed (client-side).
+	StatusBrokenSession
 )
 
 // Errors.
@@ -121,13 +125,24 @@ type Result struct {
 	Value  []byte
 }
 
-// ResponseBatch carries results, or a rejection when the view check failed.
+// ResponseBatch carries results, or a refusal: Rejected when the view check
+// failed (re-resolve ownership and retry), Shed when admission control turned
+// the batch away under overload (the view was fine — back off and retry the
+// same server). Rejected and Shed share one flags byte on the wire, so old
+// decoders read a shed batch as not-rejected with zero statuses.
 type ResponseBatch struct {
 	SessionID  uint64
 	Rejected   bool
+	Shed       bool
 	ServerView uint64 // server's current view (hint on rejection)
 	Results    []Result
 }
+
+// ResponseBatch flag bits (the byte after SessionID).
+const (
+	respFlagRejected = 1 << 0
+	respFlagShed     = 1 << 1
+)
 
 // AppendRequestBatch encodes b after dst and returns the extended slice.
 // Layout: type, view, session, count, then per op: kind, seq, klen(u16),
@@ -209,11 +224,14 @@ func DecodeRequestBatch(buf []byte, b *RequestBatch) error {
 func AppendResponseBatch(dst []byte, r *ResponseBatch) []byte {
 	dst = append(dst, byte(MsgResponseBatch))
 	dst = appendU64(dst, r.SessionID)
+	var flags byte
 	if r.Rejected {
-		dst = append(dst, 1)
-	} else {
-		dst = append(dst, 0)
+		flags |= respFlagRejected
 	}
+	if r.Shed {
+		flags |= respFlagShed
+	}
+	dst = append(dst, flags)
 	dst = appendU64(dst, r.ServerView)
 	dst = appendU32(dst, uint32(len(r.Results)))
 	for i := range r.Results {
@@ -236,11 +254,12 @@ func DecodeResponseBatch(buf []byte, r *ResponseBatch) error {
 	if r.SessionID, err = d.u64(); err != nil {
 		return err
 	}
-	rej, err := d.u8()
+	flags, err := d.u8()
 	if err != nil {
 		return err
 	}
-	r.Rejected = rej != 0
+	r.Rejected = flags&respFlagRejected != 0
+	r.Shed = flags&respFlagShed != 0
 	if r.ServerView, err = d.u64(); err != nil {
 		return err
 	}
@@ -597,10 +616,13 @@ type StatsResp struct {
 	OpsCompleted    uint64
 	BatchesAccepted uint64
 	BatchesRejected uint64
-	DecodeErrors    uint64
-	PendingOps      int64 // target-side pending set (may be mid-flight negative-free)
-	RemoteFetches   uint64
-	ViewRefreshes   uint64
+	// BatchesShed counts batches refused by admission control. Encoded after
+	// HashSample (a tail append; absent in frames from older servers).
+	BatchesShed   uint64
+	DecodeErrors  uint64
+	PendingOps    int64 // target-side pending set (may be mid-flight negative-free)
+	RemoteFetches uint64
+	ViewRefreshes uint64
 
 	Checkpoints        uint64
 	CheckpointFailures uint64
@@ -658,6 +680,7 @@ func EncodeStatsResp(r StatsResp) []byte {
 	for _, h := range r.HashSample {
 		dst = appendU64(dst, h)
 	}
+	dst = appendU64(dst, r.BatchesShed) // tail append (see StatsResp)
 	return dst
 }
 
@@ -725,6 +748,11 @@ func DecodeStatsResp(buf []byte) (StatsResp, error) {
 	}
 	for i := range r.HashSample {
 		if r.HashSample[i], err = d.u64(); err != nil {
+			return r, err
+		}
+	}
+	if d.remaining() >= 8 {
+		if r.BatchesShed, err = d.u64(); err != nil {
 			return r, err
 		}
 	}

@@ -346,6 +346,25 @@ func (c *Client) BrokenSessions() int {
 	return n
 }
 
+// FailBrokenSessions gives up on every broken session across the client's
+// shards: parked operations complete with ErrSessionBroken (their Futures
+// unblock, their callbacks fire) and the sessions are dropped so later
+// operations dial fresh. Use it when RecoverSessions has exhausted its
+// retries — the server is gone for good or ownership moved elsewhere — and
+// waiting callers must fail promptly instead of blocking forever. An
+// ErrSessionBroken write may or may not have executed; exactly-once holds
+// only for operations reconciled through RecoverSessions. Returns the number
+// of operations failed.
+func (c *Client) FailBrokenSessions() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.t.FailBroken()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // RecoverSessions reconciles every session against its (possibly restarted)
 // server: operations at or below the server's durable prefix complete
 // without re-execution, the rest replay in order — exactly-once update
@@ -387,6 +406,7 @@ func (c *Client) Stats() ClientStats {
 		out.OpsCompleted += st.OpsCompleted
 		out.BatchesSent += st.BatchesSent
 		out.BatchesRejected += st.BatchesRejected
+		out.BatchesShed += st.BatchesShed
 		out.Refreshes += st.Refreshes
 	}
 	return out

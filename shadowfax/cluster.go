@@ -143,6 +143,12 @@ func (c *Cluster) Migrations() []MigrationState { return c.meta.Migrations() }
 // disappears from the map when its backup detaches or promotes.
 func (c *Cluster) Replicas() map[string]ReplicaState { return c.meta.Replicas() }
 
+// PromotedServers returns the ids whose backup won a promotion (the §3.3.1
+// failover linearization point) and whose deposed former primary has not
+// been restarted or re-registered. The self-healing balancer uses the same
+// set to decide which primaries need a fresh standby provisioned.
+func (c *Cluster) PromotedServers() []string { return c.meta.PromotedServers() }
+
 // CancelMigration aborts an in-flight migration by id (§3.3.1): the range
 // returns to the source's ownership view and both parties' views advance, so
 // clients revalidate their routing. Operators use it to back out a migration

@@ -45,6 +45,8 @@ func errorFromStatus(st wire.ResultStatus) error {
 		return ErrNotOwner
 	case wire.StatusClosed:
 		return ErrClosed
+	case wire.StatusBrokenSession:
+		return ErrSessionBroken
 	default: // StatusErr, StatusPending, unknown
 		return ErrInternal
 	}

@@ -126,6 +126,12 @@ type AutoScaleConfig struct {
 	// each split toward a distinct cool server (default 4). Set 1 to
 	// restore strictly serial migrations.
 	MaxConcurrent int
+	// SpawnStandby lets the balancer self-heal replication: when a promoted
+	// primary is observed serving with no registered replica, the hook is
+	// called (rate-limited per primary) to provision a fresh standby — e.g.
+	// boot a NewServer(WithReplication(...)) for it. Runs on the balancer
+	// goroutine; errors are retried on later passes. Nil disables healing.
+	SpawnStandby func(primaryID string) error
 }
 
 // WithAutoScale hosts the elastic control plane's load balancer on this
@@ -145,7 +151,30 @@ func WithAutoScale(cfg AutoScaleConfig) ServerOption {
 		sc.cfg.AutoScaleCooldown = cfg.Cooldown
 		sc.cfg.AutoScaleMinRate = cfg.MinOpsPerSec
 		sc.cfg.AutoScaleMaxConcurrent = cfg.MaxConcurrent
+		sc.cfg.SpawnStandby = cfg.SpawnStandby
 	}
+}
+
+// WithMaxConnBacklog bounds how many batches a single client connection may
+// have parked on the replication ack gate before the server sheds new ones
+// with a retryable overload status (default 256; n < 0 disables shedding).
+// Shedding keeps a lagging backup or an unconfirmed detach from growing the
+// held-response queue without limit while clients keep pipelining.
+func WithMaxConnBacklog(n int) ServerOption {
+	if n < 0 {
+		n = -1
+	}
+	return func(sc *serverConfig) { sc.cfg.MaxConnBacklog = n }
+}
+
+// WithLeaseTTL sets the primary liveness lease period (default: the
+// replication ack timeout). Once a server has accepted a replica it renews a
+// metadata lease every TTL/3; while the lease is live a standby that merely
+// lost its stream — a partition, not a primary death — cannot promote
+// (the metadata store refuses with ErrPrimaryAlive). A clean Close releases
+// the lease immediately, so ordinary failover pays no TTL latency.
+func WithLeaseTTL(ttl time.Duration) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.LeaseTTL = ttl }
 }
 
 // WithSampleDuration sets how long the migration Sampling phase collects hot

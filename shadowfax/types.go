@@ -41,10 +41,13 @@ type ServerStats struct {
 	OpsCompleted    uint64
 	BatchesAccepted uint64
 	BatchesRejected uint64
-	DecodeErrors    uint64
-	PendingOps      int64 // target-side pending set during migration (Fig. 12)
-	RemoteFetches   uint64
-	ViewRefreshes   uint64
+	// BatchesShed counts batches refused by admission control (per-connection
+	// held-response backlog at the MaxConnBacklog bound).
+	BatchesShed   uint64
+	DecodeErrors  uint64
+	PendingOps    int64 // target-side pending set during migration (Fig. 12)
+	RemoteFetches uint64
+	ViewRefreshes uint64
 
 	Checkpoints        uint64
 	CheckpointFailures uint64
@@ -76,6 +79,7 @@ func serverStatsFromWire(r wire.StatsResp) ServerStats {
 		OpsCompleted:    r.OpsCompleted,
 		BatchesAccepted: r.BatchesAccepted,
 		BatchesRejected: r.BatchesRejected,
+		BatchesShed:     r.BatchesShed,
 		DecodeErrors:    r.DecodeErrors,
 		PendingOps:      r.PendingOps,
 		RemoteFetches:   r.RemoteFetches,
@@ -134,15 +138,21 @@ type BalancerStatus struct {
 	// their ranges and epochs. Every server reports it (it is metadata
 	// state, not balancer state), even when Enabled is false.
 	InFlight []MigrationState
+	// DegradedFor is how long the server's metadata provider has been
+	// answering from its cached snapshot because the metadata endpoint is
+	// unreachable (zero when healthy, and always zero for servers using the
+	// in-process store).
+	DegradedFor time.Duration
 }
 
 func balancerStatusFromWire(r wire.BalanceStatusResp) BalancerStatus {
 	st := BalancerStatus{
-		Enabled:    r.Enabled,
-		Passes:     r.Passes,
-		Migrations: r.Triggered,
-		Cooldown:   time.Duration(r.CooldownMs) * time.Millisecond,
-		Last:       rebalanceDecisionFromWire(r.Last),
+		Enabled:     r.Enabled,
+		Passes:      r.Passes,
+		Migrations:  r.Triggered,
+		Cooldown:    time.Duration(r.CooldownMs) * time.Millisecond,
+		Last:        rebalanceDecisionFromWire(r.Last),
+		DegradedFor: time.Duration(r.DegradedMs) * time.Millisecond,
 	}
 	if len(r.Rates) > 0 {
 		st.Rates = make(map[string]float64, len(r.Rates))
@@ -246,5 +256,8 @@ type ClientStats struct {
 	OpsCompleted    uint64
 	BatchesSent     uint64
 	BatchesRejected uint64
-	Refreshes       uint64
+	// BatchesShed counts batches servers turned away under overload; their
+	// operations were requeued after a backoff pause.
+	BatchesShed uint64
+	Refreshes   uint64
 }
