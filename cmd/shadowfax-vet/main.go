@@ -1,0 +1,180 @@
+// Command shadowfax-vet runs the project's analyzer suite (epochblock,
+// hotpathalloc, wireguard, atomicpad — see internal/tools/analyzers) over
+// module packages.
+//
+// Two modes:
+//
+//	shadowfax-vet ./...                 standalone: loads packages with the
+//	                                    go tool, analyzes each with its
+//	                                    in-package test files, exits 1 on
+//	                                    findings
+//	go vet -vettool=$(which shadowfax-vet) ./...
+//	                                    vet-tool: speaks the cmd/go unit-
+//	                                    checker protocol (-V=full, -flags,
+//	                                    one *.cfg argument per package unit)
+//
+// Findings print one per line as file:line:col: analyzer: message.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/tools/analysis"
+	"repro/internal/tools/analyzers/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		fmt.Printf("shadowfax-vet version %s\n", toolID())
+	case len(args) == 1 && args[0] == "-flags":
+		// No analyzer exposes flags; tell cmd/go so.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0]))
+	default:
+		os.Exit(runStandalone(args))
+	}
+}
+
+// toolID derives a content-based version for cmd/go's action cache: changing
+// any analyzer changes the binary, which must invalidate cached vet results.
+func toolID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "devel"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "devel"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "devel"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// runStandalone loads patterns (default ./...) from the current directory
+// and analyzes every matched package.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shadowfax-vet: %v\n", err)
+		return 1
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, suite.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shadowfax-vet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "shadowfax-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the unit description cmd/go hands a -vettool (the unitchecker
+// protocol's *.cfg JSON).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one go vet package unit. Exit codes follow the protocol:
+// 0 clean, 2 findings, 1 internal failure.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shadowfax-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "shadowfax-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The suite computes no cross-package facts, but cmd/go expects the vetx
+	// output to exist before it will cache the unit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("{}"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "shadowfax-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	im := analysis.ConfigImporter(fset, cfg.Compiler, cfg.ImportMap, cfg.PackageFile)
+	tp, files, info, err := analysis.TypecheckFiles(fset, cfg.ImportPath, cfg.GoFiles, im, sizes())
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "shadowfax-vet: %v\n", err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tp,
+		TypesInfo:  info,
+		Sizes:      sizes(),
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, suite.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shadowfax-vet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func sizes() types.Sizes {
+	arch := os.Getenv("GOARCH")
+	if arch == "" {
+		arch = runtime.GOARCH
+	}
+	if s := types.SizesFor("gc", arch); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", runtime.GOARCH)
+}

@@ -55,6 +55,11 @@ type sessionTable struct {
 }
 
 type sessionShard struct {
+	// mu guards one shard's seq map. Holders touch a couple of map entries
+	// and return; nothing under it calls out or blocks, so epoch-protected
+	// dispatchers may take it on the per-batch path.
+	//
+	//shadowfax:epochsafe
 	mu   sync.Mutex
 	seqs map[uint64][]verSeq
 	// Pad shards apart: each shard's mutex and map header are hot on

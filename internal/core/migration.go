@@ -341,7 +341,7 @@ func (s *Server) sourceMigrationStep(d *dispatcher) bool {
 			d.flushMigrationBatch(sm, true)
 			d.migDoneID = sm.mig.ID
 			if sm.threadsDone.Add(1) == int64(s.cfg.Threads) {
-				sm.finishOnce.Do(func() { go sm.afterCollection() })
+				sm.finishOnce.Do(func() { go sm.afterCollection() }) //shadowfax:ignore epochblock the once body only spawns a goroutine; the last dispatcher to arrive runs it inline and returns immediately
 			}
 			return true
 		}
@@ -624,7 +624,7 @@ func (s *Server) LastMigrationReport() MigrationReport {
 // also retires inbound migrations that were cancelled, so operations pended
 // on their ranges become decidable again.
 func (s *Server) discoverTargetMigration() {
-	live := make(map[uint64]bool)
+	live := make(map[uint64]bool) //shadowfax:ignore hotpathalloc runs only on a view-number mismatch (migration discovery), not on steady-state batches
 	for _, m := range s.meta.PendingMigrationsFor(s.cfg.ID) {
 		if m.Target != s.cfg.ID || m.TargetDone || m.Cancelled {
 			continue
@@ -690,7 +690,7 @@ func (s *Server) ensureTargetMigration(id uint64, source string, rng metadata.Ha
 		return tm
 	}
 	if s.targets == nil {
-		s.targets = make(map[uint64]*targetMigration)
+		s.targets = make(map[uint64]*targetMigration) //shadowfax:ignore hotpathalloc once per server lifetime, on the first inbound migration
 	}
 	// Ownership fence (see faster/fence.go): everything already in the log
 	// for this range predates the migration — leftovers from an earlier
@@ -699,7 +699,7 @@ func (s *Server) ensureTargetMigration(id uint64, source string, rng metadata.Ha
 	// finds). Laid before any shipped record or client write can land, so
 	// the live data appends strictly above it.
 	s.store.AddFence(rng.Start, rng.End, s.store.Log().TailAddress())
-	tm := &targetMigration{s: s, migID: id, rng: rng, sourceID: source}
+	tm := &targetMigration{s: s, migID: id, rng: rng, sourceID: source} //shadowfax:ignore hotpathalloc one allocation per inbound migration, not per batch
 	s.targets[id] = tm
 	return tm
 }
@@ -709,7 +709,7 @@ func (s *Server) ensureTargetMigration(id uint64, source string, rng metadata.Ha
 func (s *Server) retireTarget(id uint64) {
 	s.migMu.Lock()
 	if s.targetsRetired == nil {
-		s.targetsRetired = make(map[uint64]struct{})
+		s.targetsRetired = make(map[uint64]struct{}) //shadowfax:ignore hotpathalloc once per server lifetime, on the first retired migration
 	}
 	s.targetsRetired[id] = struct{}{}
 	delete(s.targets, id)
@@ -784,7 +784,7 @@ func (d *dispatcher) handleMigrationMsg(c transport.Conn, m *wire.MigrationMsg) 
 			metadata.HashRange{Start: m.RangeStart, End: m.RangeEnd})
 		if tm != nil {
 			tm.completed.Store(true)
-			tm.finishOnce.Do(func() { go tm.finish() })
+			tm.finishOnce.Do(func() { go tm.finish() }) //shadowfax:ignore epochblock the once body only spawns a goroutine; whichever dispatcher wins runs it inline and returns immediately
 		}
 
 	case wire.MsgCompacted:
@@ -951,7 +951,7 @@ func (s *Server) pendOp(c transport.Conn, d *dispatcher, sessionID uint64, op *w
 }
 
 func (s *Server) pendOpStruct(c transport.Conn, d *dispatcher, sessionID uint64, op *wire.Op) {
-	d.pending = append(d.pending, &pendedOp{c: c, sessionID: sessionID, op: *op})
+	d.pending = append(d.pending, &pendedOp{c: c, sessionID: sessionID, op: *op}) //shadowfax:ignore hotpathalloc a pended op must outlive the batch that carried it; one heap copy per pend is the cost of the sample-and-pend protocol
 	s.stats.PendingOps.Add(1)
 }
 
@@ -967,7 +967,7 @@ func (s *Server) fetchFromSharedTier(key []byte, payload []byte) {
 	if !ok {
 		return
 	}
-	k := string(key)
+	k := string(key) //shadowfax:ignore hotpathalloc shared-tier fetch is the slow path (record lives on the remote suffix); the map key copy is noise next to the RPC
 	s.fetchMu.Lock()
 	if _, inFlight := s.fetching[k]; inFlight {
 		s.fetchMu.Unlock()
@@ -977,7 +977,7 @@ func (s *Server) fetchFromSharedTier(key []byte, payload []byte) {
 	s.fetchMu.Unlock()
 
 	keyCopy := append([]byte(nil), key...)
-	go func() {
+	go func() { //shadowfax:ignore hotpathalloc the fetch goroutine is the point: the dispatcher must not wait on the shared tier
 		defer func() {
 			s.fetchMu.Lock()
 			delete(s.fetching, k)

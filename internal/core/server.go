@@ -11,6 +11,8 @@
 // Nothing is ever handed to another thread (Figure 4).
 package core
 
+//lint:file-ignore SA2001 Server.Close drains in-flight checkpoint/compaction passes with a deliberate Lock();Unlock() handshake — the empty critical section is the point.
+
 import (
 	"errors"
 	"fmt"
@@ -289,6 +291,12 @@ type Server struct {
 	// or per-key hash validation (the Figure 15 baseline).
 	hashValidate atomic.Bool
 
+	// migMu guards the migration registries below. Dispatchers take it on
+	// every batch (refreshView) and must never wait on a provider call or
+	// I/O under it — holders only read/update the in-memory maps, so it is
+	// safe inside an epoch section.
+	//
+	//shadowfax:epochsafe
 	migMu  sync.Mutex
 	source *sourceMigration
 	// targets holds the inbound migrations by migration id: a server may be
@@ -309,7 +317,11 @@ type Server struct {
 	// StartMigration refuses while it is set (see Server.Compact).
 	compactPass bool
 
-	// fetchMu dedups in-flight shared-tier fetches by key.
+	// fetchMu dedups in-flight shared-tier fetches by key. Held only to
+	// check/insert a map entry; the fetch itself runs in a spawned
+	// goroutine outside the lock, so epoch-protected probes may take it.
+	//
+	//shadowfax:epochsafe
 	fetchMu  sync.Mutex
 	fetching map[string]struct{}
 
@@ -619,9 +631,9 @@ func (s *Server) Close() error {
 	// Wait out any in-flight admin-triggered checkpoint or compaction pass
 	// before closing the store they serialize against.
 	s.ckptMu.Lock()
-	s.ckptMu.Unlock() //nolint:staticcheck // empty critical section is the point
+	s.ckptMu.Unlock() // empty critical section is the point (see the SA2001 file-ignore)
 	s.compactMu.Lock()
-	s.compactMu.Unlock() //nolint:staticcheck // empty critical section is the point
+	s.compactMu.Unlock() // empty critical section is the point (see the SA2001 file-ignore)
 	return s.store.Close()
 }
 
@@ -892,6 +904,13 @@ func (d *dispatcher) completePending(tok uint64, st faster.Status, v []byte) {
 	d.releaseOp(tok)
 }
 
+// run is the dispatcher loop. It holds an epoch guard from start to exit:
+// everything reachable from here executes inside a protected section, and a
+// dispatcher that parks stalls every global cut in the process (checkpoints,
+// migration phase transitions, view changes). See the PR 5 balancer
+// deadlock.
+//
+//shadowfax:epoch
 func (d *dispatcher) run() {
 	defer d.s.wg.Done()
 	defer d.sess.Close()
@@ -988,7 +1007,7 @@ func (d *dispatcher) run() {
 				// batch must be stamped (and table-tagged) with the post-cut
 				// version.
 				d.sess.Guard().Suspend()
-				time.Sleep(50 * time.Microsecond)
+				time.Sleep(50 * time.Microsecond) //shadowfax:ignore epochblock the guard is suspended on the line above, so the sleep holds up no cut or reclamation
 				d.sess.Refresh()
 			} else {
 				runtime.Gosched()
@@ -1069,6 +1088,8 @@ func (d *dispatcher) handleFrame(c transport.Conn, frame []byte) {
 // and shared between the ownership/migration checks and the store, results
 // land in a reused slice with values backed by the per-batch arena, and the
 // response is serialized into a reused buffer and coalesced onto the conn.
+//
+//shadowfax:noalloc
 func (d *dispatcher) handleRequestBatch(c transport.Conn, frame []byte) {
 	if err := wire.DecodeRequestBatch(frame, &d.reqBatch); err != nil {
 		d.s.stats.DecodeErrors.Add(1)
@@ -1321,19 +1342,19 @@ func (d *dispatcher) execOp(c transport.Conn, sessionID uint64, op *wire.Op, tms
 // initial value would race the record still in flight from the source, so
 // presence is probed first and absence pends.
 func (d *dispatcher) probeRMW(c transport.Conn, sessionID uint64, seq uint32, key, input []byte) {
-	d.sess.Read(key, func(st faster.Status, v []byte) {
+	d.sess.Read(key, func(st faster.Status, v []byte) { //shadowfax:ignore hotpathalloc probeRMW runs only for RMWs landing in a migrating range; the probe closure is off the steady-state path
 		switch st {
 		case faster.StatusOK:
-			d.sess.RMW(key, input, func(st2 faster.Status, _ []byte) {
+			d.sess.RMW(key, input, func(st2 faster.Status, _ []byte) { //shadowfax:ignore hotpathalloc migrating-range RMW only; see the probe closure above
 				d.emit(c, seq, st2, nil)
 			})
 		case faster.StatusNotFound:
 			d.s.pendOpStruct(c, d, sessionID,
-				&wire.Op{Kind: wire.OpRMW, Seq: seq, Key: key, Value: input})
+				&wire.Op{Kind: wire.OpRMW, Seq: seq, Key: key, Value: input}) //shadowfax:ignore hotpathalloc the pended op must outlive this batch; migrating-range path only
 		case faster.StatusIndirection:
 			d.s.fetchFromSharedTier(key, v)
 			d.s.pendOpStruct(c, d, sessionID,
-				&wire.Op{Kind: wire.OpRMW, Seq: seq, Key: key, Value: input})
+				&wire.Op{Kind: wire.OpRMW, Seq: seq, Key: key, Value: input}) //shadowfax:ignore hotpathalloc the pended op must outlive this batch; migrating-range path only
 		default:
 			d.emit(c, seq, st, nil)
 		}

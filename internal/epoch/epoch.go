@@ -104,19 +104,23 @@ func (m *Manager) Register() *Guard {
 
 // Unregister leaves the protected region and releases the thread slot for
 // reuse. The Guard must not be used afterwards.
+//
+//shadowfax:epoch
 func (g *Guard) Unregister() {
 	m := g.m
 	m.threads[g.tid].v.Store(unregistered)
 	// A departing thread must not strand trigger actions that were waiting
 	// only on it.
 	m.tryDrain(m.current.Load())
-	m.freeTID <- g.tid
+	m.freeTID <- g.tid //shadowfax:ignore epochblock freeTID is buffered to MaxThreads, one slot per registered guard, so this send never parks
 	g.m = nil
 }
 
 // Refresh synchronizes the thread's local epoch with the global epoch and
 // runs any trigger actions that became safe. Threads call this between
 // request batches; it is the lazily-taken point on the global cut.
+//
+//shadowfax:epoch
 func (g *Guard) Refresh() {
 	m := g.m
 	cur := m.current.Load()
@@ -160,6 +164,8 @@ func (m *Manager) Bump() uint64 {
 // that first observe the new epoch forms the cut, and action fires on its
 // far side. If the drain list is full the caller spins briefly draining; that
 // only happens when >64 system events race, which no workload here does.
+//
+//shadowfax:epoch
 func (m *Manager) BumpWithAction(action func()) uint64 {
 	prior := m.current.Add(1) - 1
 	safeAt := prior + 1

@@ -1,0 +1,205 @@
+// Package analysis is a self-contained, standard-library-only subset of the
+// golang.org/x/tools/go/analysis framework: enough Analyzer/Pass/Diagnostic
+// surface for this repository's project-specific vet checks
+// (internal/tools/analyzers), a module loader built on `go list` + go/types,
+// and the //shadowfax:* annotation grammar the analyzers share.
+//
+// The x/tools module is deliberately not imported: the analyzers must build
+// in a hermetic environment with nothing but the Go toolchain, and the subset
+// actually needed — typed ASTs, static call resolution, file-targeted
+// suppression — is small. The API mirrors go/analysis closely enough that
+// migrating to the real framework later is mechanical.
+//
+// # Annotation grammar
+//
+//	//shadowfax:epoch        (func doc)  function runs inside an epoch-
+//	                                     protected section / dispatcher loop;
+//	                                     epochblock walks its call tree
+//	//shadowfax:noalloc      (func doc)  function is on the zero-allocation
+//	                                     hot path; hotpathalloc flags
+//	                                     allocation sites in its call tree
+//	//shadowfax:epochsafe    (field doc) this mutex is sanctioned for epoch
+//	                                     sections (bounded hold, never held
+//	                                     across blocking operations)
+//	//shadowfax:ignore <analyzer> <reason>
+//	                                     suppress <analyzer>'s diagnostics on
+//	                                     this line (or the next line, when the
+//	                                     comment stands alone); the reason is
+//	                                     mandatory and checked
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //shadowfax:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass provides one analyzer with one type-checked package. Unlike the
+// x/tools Pass, Files includes the package's in-package _test.go files
+// (wireguard cross-references frame types against their fuzz corpus and
+// round-trip tests); analyzers that only care about shipped code can skip
+// test files via IsTestFile.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Report records one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	tf := p.Fset.File(f.Pos())
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}
+
+// Annotation markers (see the package comment for the grammar).
+const (
+	MarkerEpoch     = "shadowfax:epoch"
+	MarkerNoAlloc   = "shadowfax:noalloc"
+	MarkerEpochSafe = "shadowfax:epochsafe"
+	markerIgnore    = "shadowfax:ignore"
+)
+
+// HasMarker reports whether the comment group carries the //shadowfax:<name>
+// directive. Directives are whole-comment tokens: `//shadowfax:epoch` matches,
+// prose mentioning the marker does not.
+func HasMarker(groups []*ast.CommentGroup, marker string) bool {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			fields := strings.Fields(text)
+			if len(fields) > 0 && fields[0] == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncDecls returns every declared function and method in the pass's files,
+// keyed by its types.Func.
+func FuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// StaticCallee resolves the target of call when it is statically known: a
+// package-level function, or a method called on a concrete (non-interface)
+// receiver. Calls through interfaces and function values return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if _, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return nil // dynamic dispatch
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified reference: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// FuncOrigin returns fn with any type-parameter instantiation stripped, so
+// generic instantiations map back to their declaration.
+func FuncOrigin(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// IsMethodOn reports whether fn is the method pkgpath.(recv).name. The
+// package is matched by path-boundary suffix ("epoch" matches both
+// "repro/internal/epoch" and a fixture's "epoch", but "sync" never matches
+// "sync/atomic").
+func IsMethodOn(fn *types.Func, pkgSuffix, recv, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != pkgSuffix && !strings.HasSuffix(path, "/"+pkgSuffix) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recv
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgpath.name
+// (exact package path match).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

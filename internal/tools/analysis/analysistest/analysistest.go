@@ -1,0 +1,130 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library only.
+//
+// Fixtures live under <testdata>/src/<pkg>/ as one flat package each (they
+// may import the standard library; _test.go-named files join the package, so
+// fixtures can model fuzz corpora and round-trip tests). An expectation is a
+// trailing comment of the form
+//
+//	// want `regexp`
+//	// want "regexp"
+//
+// on the line the diagnostic must land on. Lines carrying a
+// //shadowfax:ignore directive exercise the suppression path: the harness
+// applies the same suppression filter as the shadowfax-vet driver, so a
+// suppressed site is written with the directive and *no* want comment.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/tools/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies a: every
+// diagnostic must match a want expectation on its line, and every want
+// expectation must be matched by some diagnostic.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(testdata, "src", pkg), a)
+		})
+	}
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Pkg,
+		TypesInfo:  pkg.TypesInfo,
+		TypesSizes: pkg.Sizes,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	diags = analysis.Suppress(pkg.Fset, pkg.Files, a.Name, diags)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses `// want "re"` expectations from the fixture comments.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				arg := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				pat, err := unquoteWant(arg)
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func unquoteWant(arg string) (string, error) {
+	if len(arg) >= 2 {
+		if q := arg[0]; (q == '"' || q == '`') && arg[len(arg)-1] == q {
+			return arg[1 : len(arg)-1], nil
+		}
+	}
+	return "", fmt.Errorf("want expectation must be quoted with \" or `: %s", arg)
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// exportTable maps import paths to compiled export-data files, resolved via
+// `go list -export`. The table for the standard library is loaded once per
+// process (one `go list -export std` — served from the build cache after the
+// first ever run) and shared by every importer; non-std paths fall back to a
+// per-path lookup.
+type exportTable struct {
+	mu    sync.Mutex
+	files map[string]string
+}
+
+var stdExports = sync.OnceValues(func() (map[string]string, error) {
+	out, err := exec.Command("go", "list", "-export",
+		"-f", "{{.ImportPath}}\t{{.Export}}", "std").Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export std: %w (%s)", err, exitDetail(err))
+	}
+	files := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if ok && file != "" {
+			files[path] = file
+		}
+	}
+	return files, nil
+})
+
+func exitDetail(err error) []byte {
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.Stderr
+	}
+	return nil
+}
+
+func (t *exportTable) lookup(path string) (io.ReadCloser, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.files == nil {
+		std, err := stdExports()
+		if err != nil {
+			return nil, err
+		}
+		t.files = make(map[string]string, len(std))
+		for k, v := range std {
+			t.files[k] = v
+		}
+	}
+	file, ok := t.files[path]
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %w (%s)", path, err, exitDetail(err))
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		t.files[path] = file
+	}
+	return os.Open(file)
+}
+
+// ExportImporter returns a types.Importer that resolves packages from
+// compiled export data located via `go list -export` — the standard library
+// and any other already-buildable package, with no dependency on x/tools.
+func ExportImporter(fset *token.FileSet) types.Importer {
+	t := &exportTable{}
+	return importer.ForCompiler(fset, "gc", t.lookup)
+}
+
+// ConfigImporter returns a types.Importer that resolves imports from an
+// explicit path→export-file table — the ImportMap/PackageFile fields cmd/go
+// hands a -vettool in its unit config.
+func ConfigImporter(fset *token.FileSet, compiler string, importMap, packageFile map[string]string) types.Importer {
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := importMap[path]; ok {
+			path = canon
+		}
+		file, ok := packageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("vet config carries no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, compiler, lookup)
+}
+
+// moduleImporter serves module-local packages from source-typechecked
+// results and everything else from export data.
+type moduleImporter struct {
+	src map[string]*types.Package
+	gc  types.Importer
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.src[path]; ok {
+		return p, nil
+	}
+	return im.gc.Import(path)
+}

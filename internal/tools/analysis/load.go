@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked module package ready for analysis.
+// Files and Pkg cover the package's own sources plus its in-package test
+// files (the test variant go vet would analyze); dependencies are
+// type-checked from their non-test sources only.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	Sizes      types.Sizes
+
+	goFiles     []string
+	testGoFiles []string
+	imports     []string
+	target      bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	Standard    bool
+	DepOnly     bool
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
+	TestImports []string
+	Error       *struct{ Err string }
+}
+
+// Load lists patterns in dir with the go tool and type-checks every matched
+// module package (with its in-package test files) from source, importing
+// out-of-module dependencies from compiled export data. It returns the
+// matched packages in import-path order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	modPath, err := goCmd(dir, "list", "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return nil, err
+	}
+	modPath = strings.TrimSpace(modPath)
+
+	args := append([]string{"list", "-deps",
+		"-json=ImportPath,Dir,Standard,DepOnly,GoFiles,TestGoFiles,Imports,TestImports,Error"},
+		patterns...)
+	out, err := goCmd(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	listed := map[string]*listedPackage{}
+	dec := json.NewDecoder(strings.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		listed[lp.ImportPath] = lp
+	}
+
+	inModule := func(path string) bool {
+		return path == modPath || strings.HasPrefix(path, modPath+"/")
+	}
+
+	// In-package test files may import module packages the patterns missed;
+	// pull them (and their deps) into the source set.
+	var missing []string
+	for _, lp := range listed {
+		if lp.Standard || !inModule(lp.ImportPath) || lp.DepOnly {
+			continue
+		}
+		for _, imp := range lp.TestImports {
+			if inModule(imp) && listed[imp] == nil {
+				missing = append(missing, imp)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		out, err := goCmd(dir, append([]string{"list", "-deps",
+			"-json=ImportPath,Dir,Standard,DepOnly,GoFiles,TestGoFiles,Imports,TestImports,Error"},
+			missing...)...)
+		if err != nil {
+			return nil, err
+		}
+		dec := json.NewDecoder(strings.NewReader(out))
+		for {
+			lp := new(listedPackage)
+			if err := dec.Decode(lp); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("go list: decoding output: %w", err)
+			}
+			if listed[lp.ImportPath] == nil {
+				lp.DepOnly = true
+				listed[lp.ImportPath] = lp
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	pkgs := map[string]*Package{}
+	for path, lp := range listed {
+		if lp.Standard || !inModule(path) {
+			continue
+		}
+		var mod []string
+		for _, imp := range lp.Imports {
+			if inModule(imp) {
+				mod = append(mod, imp)
+			}
+		}
+		for _, imp := range lp.TestImports {
+			if inModule(imp) {
+				mod = append(mod, imp)
+			}
+		}
+		pkgs[path] = &Package{
+			ImportPath:  path,
+			Dir:         lp.Dir,
+			Fset:        fset,
+			goFiles:     absAll(lp.Dir, lp.GoFiles),
+			testGoFiles: absAll(lp.Dir, lp.TestGoFiles),
+			imports:     mod,
+			target:      !lp.DepOnly,
+		}
+	}
+
+	order, err := topoSort(pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	im := &moduleImporter{src: map[string]*types.Package{}, gc: ExportImporter(fset)}
+	sizes := sizesForEnv(dir)
+
+	// Pass 1: non-test sources, dependency order, so imports resolve to
+	// source-checked packages.
+	base := map[string]*types.Package{}
+	for _, path := range order {
+		p := pkgs[path]
+		if len(p.goFiles) == 0 {
+			continue // test-only package (e.g. the repo root)
+		}
+		tp, _, _, err := typecheck(fset, path, p.goFiles, im, sizes)
+		if err != nil {
+			return nil, err
+		}
+		base[path] = tp
+		im.src[path] = tp
+	}
+
+	// Pass 2: re-check each target with its in-package test files for
+	// analysis. Imports still resolve to the pass-1 packages, mirroring how
+	// the go tool builds test variants.
+	var result []*Package
+	for _, path := range order {
+		p := pkgs[path]
+		if !p.target {
+			continue
+		}
+		files := append(append([]string{}, p.goFiles...), p.testGoFiles...)
+		if len(files) == 0 {
+			continue
+		}
+		tp, syntax, info, err := typecheck(fset, path, files, im, sizes)
+		if err != nil {
+			return nil, err
+		}
+		p.Pkg = tp
+		p.Files = syntax
+		p.TypesInfo = info
+		p.Sizes = sizes
+		result = append(result, p)
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i].ImportPath < result[j].ImportPath })
+	return result, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir (all .go
+// files, including _test.go files in the same package), resolving imports
+// from export data. It backs the analysistest harness, where fixtures are
+// flat packages importing only the standard library.
+func LoadDir(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(paths)
+	im := ExportImporter(fset)
+	tp, syntax, info, err := typecheck(fset, dir, paths, im, sizesForEnv(dir))
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: tp.Path(),
+		Dir:        dir,
+		Fset:       fset,
+		Files:      syntax,
+		Pkg:        tp,
+		TypesInfo:  info,
+		Sizes:      sizesForEnv(dir),
+	}, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// TypecheckFiles parses and type-checks one package unit from an explicit
+// file list — the entry point external drivers (shadowfax-vet's unitchecker
+// mode) use with a ConfigImporter.
+func TypecheckFiles(fset *token.FileSet, path string, files []string, im types.Importer, sizes types.Sizes) (*types.Package, []*ast.File, *types.Info, error) {
+	return typecheck(fset, path, files, im, sizes)
+}
+
+func typecheck(fset *token.FileSet, path string, files []string, im types.Importer, sizes types.Sizes) (*types.Package, []*ast.File, *types.Info, error) {
+	var parsed []*ast.File
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	// One analysis unit is one package: prefer the non-test package name and
+	// drop files from foreign (package foo_test) variants.
+	pkgName := parsed[0].Name.Name
+	for _, f := range parsed {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			pkgName = f.Name.Name
+			break
+		}
+	}
+	var syntax []*ast.File
+	for _, f := range parsed {
+		if f.Name.Name == pkgName {
+			syntax = append(syntax, f)
+		}
+	}
+	info := NewTypesInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: im,
+		Sizes:    sizes,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tp, _ := conf.Check(path, fset, syntax, info)
+	if len(typeErrs) > 0 {
+		var b bytes.Buffer
+		for i, e := range typeErrs {
+			if i == 8 {
+				fmt.Fprintf(&b, "\n\t... and %d more", len(typeErrs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n\t%v", e)
+		}
+		return nil, nil, nil, fmt.Errorf("type-checking %s:%s", path, b.String())
+	}
+	return tp, syntax, info, nil
+}
+
+func sizesForEnv(dir string) types.Sizes {
+	arch := "amd64"
+	if out, err := goCmd(dir, "env", "GOARCH"); err == nil {
+		if a := strings.TrimSpace(out); a != "" {
+			arch = a
+		}
+	}
+	if s := types.SizesFor("gc", arch); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}
+
+func goCmd(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, stderr.Bytes())
+	}
+	return stdout.String(), nil
+}
+
+func absAll(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+func topoSort(pkgs map[string]*Package) ([]string, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	mark := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(path string) error {
+		switch mark[path] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		mark[path] = grey
+		p := pkgs[path]
+		if p != nil {
+			for _, imp := range p.imports {
+				if _, ok := pkgs[imp]; ok && imp != path {
+					if err := visit(imp); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		mark[path] = black
+		order = append(order, path)
+		return nil
+	}
+	var all []string
+	for path := range pkgs {
+		all = append(all, path)
+	}
+	sort.Strings(all)
+	for _, path := range all {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from this file to the directory holding go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "repro/internal/wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "repro/internal/wire" {
+		t.Fatalf("ImportPath = %q", p.ImportPath)
+	}
+	if p.Pkg.Scope().Lookup("MsgType") == nil {
+		t.Fatal("wire.MsgType not in package scope")
+	}
+	// The analysis variant includes in-package test files (wireguard
+	// cross-references the fuzz corpus and round-trip tests).
+	var hasTestFile bool
+	for _, f := range p.Files {
+		name := p.Fset.File(f.Pos()).Name()
+		if strings.HasSuffix(name, "_test.go") {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Fatal("loaded package lacks its in-package test files")
+	}
+	if p.Pkg.Scope().Lookup("fuzzSeeds") == nil {
+		t.Fatal("test-only fuzzSeeds not type-checked into the analysis variant")
+	}
+}
+
+func TestLoadTransitivelyTypechecksModuleDeps(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "repro/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	// core imports wire, faster, hlog, ... — all must have resolved from
+	// source without export data for the module.
+	p := pkgs[0]
+	found := false
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() == "repro/internal/wire" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("core does not import wire in the loaded type graph")
+	}
+}
+
+func TestSuppressCoversDirectiveAndNextLine(t *testing.T) {
+	src := `package x
+
+//shadowfax:ignore epochblock bounded critical section
+var a int
+
+var b int
+
+var c int //shadowfax:ignore epochblock trailing form
+
+//shadowfax:ignore epochblock
+var d int
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{file}
+	at := func(line int) token.Pos { return fset.File(file.Pos()).LineStart(line) }
+	diags := []Diagnostic{
+		{Pos: at(4), Message: "on var a (suppressed: directive above)"},
+		{Pos: at(6), Message: "on var b (kept)"},
+		{Pos: at(8), Message: "on var c (suppressed: trailing directive)"},
+		{Pos: at(11), Message: "on var d (kept: directive has no reason)"},
+	}
+	kept := Suppress(fset, files, "epochblock", diags)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	for _, d := range kept {
+		if !strings.Contains(d.Message, "kept") {
+			t.Errorf("wrong diagnostic survived: %s", d.Message)
+		}
+	}
+	// The reasonless directive must itself be flagged.
+	errs := CheckDirectives(fset, files, []string{"epochblock"})
+	if len(errs) != 1 || !strings.Contains(errs[0].Message, "needs a reason") {
+		t.Fatalf("CheckDirectives = %v, want one needs-a-reason finding", errs)
+	}
+	// Suppressing with a bogus analyzer name is flagged too (all three
+	// directives name epochblock, unknown here).
+	errs = CheckDirectives(fset, files, []string{"other"})
+	if len(errs) != 3 {
+		t.Fatalf("CheckDirectives with unknown analyzer = %d findings, want 3", len(errs))
+	}
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An ignoreDirective is one parsed //shadowfax:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int // line the comment is on
+}
+
+// parseIgnores collects every //shadowfax:ignore directive in the files.
+func parseIgnores(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				fields := strings.Fields(text)
+				if len(fields) == 0 || fields[0] != markerIgnore {
+					continue
+				}
+				d := &ignoreDirective{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+				if len(fields) > 1 {
+					d.analyzer = fields[1]
+				}
+				if len(fields) > 2 {
+					d.reason = strings.Join(fields[2:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Suppress filters out diagnostics covered by a //shadowfax:ignore directive
+// naming analyzer. A directive covers the line it is on and the line directly
+// below it, so it works both trailing the flagged statement and on its own
+// line above it. Directives require a reason; reasonless ones suppress
+// nothing (and CheckDirectives flags them). It returns the surviving
+// diagnostics.
+func Suppress(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
+	directives := parseIgnores(fset, files)
+	covered := map[int]bool{}
+	for _, d := range directives {
+		if d.analyzer != analyzer || d.reason == "" {
+			continue
+		}
+		covered[d.line] = true
+		covered[d.line+1] = true
+	}
+	var kept []Diagnostic
+	for _, diag := range diags {
+		if !covered[fset.Position(diag.Pos).Line] {
+			kept = append(kept, diag)
+		}
+	}
+	return kept
+}
+
+// CheckDirectives validates every //shadowfax:ignore directive in the files:
+// the analyzer must be one of known, and a reason is mandatory. Malformed
+// directives come back as diagnostics so a bad suppression fails vet instead
+// of silently suppressing nothing.
+func CheckDirectives(fset *token.FileSet, files []*ast.File, known []string) []Diagnostic {
+	isKnown := map[string]bool{}
+	for _, k := range known {
+		isKnown[k] = true
+	}
+	var out []Diagnostic
+	for _, d := range parseIgnores(fset, files) {
+		switch {
+		case d.analyzer == "":
+			out = append(out, Diagnostic{Pos: d.pos,
+				Message: "malformed directive: want //shadowfax:ignore <analyzer> <reason>"})
+		case !isKnown[d.analyzer]:
+			out = append(out, Diagnostic{Pos: d.pos,
+				Message: "unknown analyzer " + strconvQuote(d.analyzer) +
+					" in //shadowfax:ignore (known: " + strings.Join(known, ", ") + ")"})
+		case d.reason == "":
+			out = append(out, Diagnostic{Pos: d.pos,
+				Message: "//shadowfax:ignore " + d.analyzer +
+					" needs a reason: //shadowfax:ignore <analyzer> <reason>"})
+		}
+	}
+	return out
+}
+
+func strconvQuote(s string) string { return "\"" + s + "\"" }
+
+// A Finding is one post-suppression diagnostic with its resolved position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// RunAnalyzers applies each analyzer to each package, filters suppressed
+// diagnostics, validates ignore directives, and returns findings in file,
+// line order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Pkg,
+				TypesInfo:  pkg.TypesInfo,
+				TypesSizes: pkg.Sizes,
+				Report:     func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, d := range Suppress(pkg.Fset, pkg.Files, a.Name, diags) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+		for _, d := range CheckDirectives(pkg.Fset, pkg.Files, names) {
+			findings = append(findings, Finding{
+				Analyzer: "directives",
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,225 @@
+// Package atomicpad defines an analyzer that keeps the repository's
+// cache-line-isolated stats structs honest.
+//
+// ServerStats, StoreStats and LogStats group hot counters by writer and
+// separate the groups with blank `_ [N]byte` pad fields so that dispatcher
+// threads incrementing their own group never false-share a line with another
+// writer's group. The layout invariant lives entirely in field order and pad
+// arithmetic — one innocent field insertion silently re-couples two writers.
+// This analyzer recomputes the arithmetic at vet time.
+package atomicpad
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analysis"
+)
+
+// cacheLine is the isolation unit the pad idiom targets.
+const cacheLine = 64
+
+// Analyzer verifies 64-bit atomic field alignment and pad-group cache-line
+// isolation.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicpad",
+	Doc: `checks 64-bit atomic alignment and cache-line isolation of padded stats groups
+
+Two checks:
+
+  - any struct field passed by address to a sync/atomic 64-bit function
+    (atomic.AddUint64(&s.n, 1), ...) must be an atomic.Uint64/Int64 wrapper,
+    not a plain integer: the wrappers carry the align64 marker that
+    guarantees 8-byte alignment on 32-bit platforms, a plain field does not
+  - in structs using blank pad fields (_ [N]byte / _ [N]uint64) to separate
+    writer groups, adjacent groups must not share a 64-byte cache line;
+    offsets are recomputed with the target's real layout rules, so inserting
+    a field that silently re-couples two writers fails vet
+
+Suppress with //shadowfax:ignore atomicpad <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	checkAtomicArgs(pass)
+	checkPadIsolation(pass)
+	return nil, nil
+}
+
+// checkAtomicArgs flags plain integer struct fields whose address feeds a
+// sync/atomic 64-bit operation.
+func checkAtomicArgs(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := analysis.StaticCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+				!strings.HasSuffix(fn.Name(), "64") {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if b, ok := field.Type().Underlying().(*types.Basic); ok {
+				switch b.Kind() {
+				case types.Int64, types.Uint64:
+					pass.Reportf(addr.Pos(), "atomic.%s on plain %s field %s: nothing guarantees "+
+						"8-byte alignment of this field on 32-bit platforms — use atomic.%s (its "+
+						"align64 marker makes the layout self-enforcing) or suppress with "+
+						"//shadowfax:ignore atomicpad <reason>",
+						fn.Name(), b.Name(), field.Name(), wrapperFor(b.Kind()))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func wrapperFor(k types.BasicKind) string {
+	if k == types.Int64 {
+		return "Int64"
+	}
+	return "Uint64"
+}
+
+// padGroup is a run of non-pad fields between blank pad fields.
+type padGroup struct {
+	first *ast.Field // first field of the group, for reporting
+	start int        // index of first field
+	end   int        // index past last field
+}
+
+// checkPadIsolation recomputes pad arithmetic for every struct that uses
+// blank pad fields.
+func checkPadIsolation(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[st]
+			if !ok {
+				return true
+			}
+			str, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			checkStruct(pass, st, str)
+			return true
+		})
+	}
+}
+
+func checkStruct(pass *analysis.Pass, st *ast.StructType, str *types.Struct) {
+	// Map AST fields to flat types.Struct indices. Each ast.Field may
+	// declare several names; anonymous (embedded) fields declare one.
+	type flatField struct {
+		astField *ast.Field
+		isPad    bool
+	}
+	var flat []flatField
+	for _, fld := range st.Fields.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1 // embedded
+		}
+		pad := isPadField(pass, fld)
+		for i := 0; i < n; i++ {
+			flat = append(flat, flatField{astField: fld, isPad: pad})
+		}
+	}
+	if len(flat) != str.NumFields() {
+		return // blank fields still count; mismatch means exotic embedding
+	}
+
+	var groups []padGroup
+	sawPad, open := false, false
+	for i := range flat {
+		if flat[i].isPad {
+			sawPad = true
+			open = false
+			continue
+		}
+		if open {
+			groups[len(groups)-1].end = i + 1
+			continue
+		}
+		groups = append(groups, padGroup{first: flat[i].astField, start: i, end: i + 1})
+		open = true
+	}
+	if !sawPad || len(groups) < 2 {
+		return // not using the pad idiom, or nothing to isolate
+	}
+
+	fields := make([]*types.Var, str.NumFields())
+	for i := range fields {
+		fields[i] = str.Field(i)
+	}
+	offsets := pass.TypesSizes.Offsetsof(fields)
+
+	for i := 1; i < len(groups); i++ {
+		prev, cur := groups[i-1], groups[i]
+		prevEnd := offsets[prev.end-1] + pass.TypesSizes.Sizeof(fields[prev.end-1].Type())
+		curStart := offsets[cur.start]
+		if (prevEnd-1)/cacheLine == curStart/cacheLine {
+			pass.Reportf(cur.first.Pos(), "padded group starting at %s shares cache line %d with the "+
+				"previous group (it ends at byte %d, this group starts at byte %d): writers to the two "+
+				"groups false-share — grow the pad so each group starts on a fresh %d-byte line, or "+
+				"suppress with //shadowfax:ignore atomicpad <reason>",
+				fields[cur.start].Name(), curStart/cacheLine, prevEnd, curStart, cacheLine)
+		}
+	}
+}
+
+// isPadField reports whether fld is a blank cache-line pad: `_ [N]byte`,
+// `_ [N]uint64`, or a blank field of a named type over such an array, at
+// least 8 bytes wide.
+func isPadField(pass *analysis.Pass, fld *ast.Field) bool {
+	blank := false
+	for _, name := range fld.Names {
+		if name.Name == "_" {
+			blank = true
+		}
+	}
+	if !blank {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(fld.Type)
+	if t == nil {
+		return false
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	elem, ok := arr.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch elem.Kind() {
+	case types.Uint8, types.Uint64, types.Uintptr:
+	default:
+		return false
+	}
+	return pass.TypesSizes.Sizeof(t) >= 8
+}

@@ -1,0 +1,12 @@
+package atomicpad_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analysis/analysistest"
+	"repro/internal/tools/analyzers/atomicpad"
+)
+
+func TestAtomicPad(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicpad.Analyzer, "padfix")
+}

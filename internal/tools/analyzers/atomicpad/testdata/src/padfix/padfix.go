@@ -1,0 +1,56 @@
+// Package padfix is the atomicpad golden fixture: one positive and one
+// suppressed case per diagnostic category.
+package padfix
+
+import "sync/atomic"
+
+// goodStats mirrors the real stats idiom: two writer groups, each starting
+// on a fresh 64-byte line. Clean.
+type goodStats struct {
+	ops   atomic.Uint64
+	bytes atomic.Uint64
+	_     [48]byte
+	rej   atomic.Uint64
+	shed  atomic.Uint64
+	_     [48]byte
+}
+
+// badStats under-pads: the second group lands on the first group's line.
+type badStats struct {
+	ops atomic.Uint64
+	_   [8]byte
+	rej atomic.Uint64 // want `shares cache line 0`
+}
+
+// toleratedStats documents an accepted false-sharing pair.
+type toleratedStats struct {
+	a atomic.Uint64
+	_ [8]byte
+	b atomic.Uint64 //shadowfax:ignore atomicpad read-mostly pair, false sharing measured harmless
+}
+
+// unpadded structs are exempt from the isolation check entirely.
+type unpadded struct {
+	a, b, c atomic.Uint64
+}
+
+type counters struct {
+	hits uint64
+	miss int64
+	ok   atomic.Uint64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1) // want `plain uint64 field hits`
+	atomic.AddInt64(&c.miss, 1)  //shadowfax:ignore atomicpad counters is singleton and heap-allocated, 8-aligned by the allocator
+	c.ok.Add(1)
+
+	var local uint64
+	atomic.AddUint64(&local, 1) // not a struct field: fine
+}
+
+var _ = bump
+var _ goodStats
+var _ badStats
+var _ toleratedStats
+var _ unpadded

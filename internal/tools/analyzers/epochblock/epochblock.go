@@ -1,0 +1,351 @@
+// Package epochblock defines an analyzer enforcing the repository's
+// never-block-in-an-epoch-section invariant at vet time.
+//
+// Dispatcher loops and epoch trigger actions run with an epoch guard held
+// (internal/epoch): every registered thread must keep refreshing for global
+// cuts — checkpoints, migration phase transitions, view changes — to drain.
+// A dispatcher that parks on a mutex held across a slow operation stalls
+// every cut in the process; that is exactly how the balancer deadlock (PR 5)
+// happened, with dispatchers answering the balancer's own Stats RPCs while
+// blocked on its lock. This analyzer is the static form of that lesson.
+package epochblock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analysis"
+)
+
+// Analyzer flags potentially blocking operations reachable from epoch-
+// protected code.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochblock",
+	Doc: `reports blocking operations reachable from epoch-protected sections
+
+Roots are functions annotated //shadowfax:epoch plus every function or
+closure registered as an epoch trigger action via
+(*epoch.Manager).BumpWithAction. The analyzer walks the static call graph
+within the package from those roots and reports channel sends/receives,
+selects without a default, ranges over channels, time.Sleep, sync
+Mutex/RWMutex lock acquisition, WaitGroup/Cond waits, Once.Do, and a few
+well-known blocking standard-library calls.
+
+Locks that are provably dispatcher-safe (bounded hold, never held across a
+blocking operation) are allowlisted by annotating the mutex *field*
+//shadowfax:epochsafe. Individual sites are suppressed with
+//shadowfax:ignore epochblock <reason>. Calls through interfaces, function
+values, and into other packages are not followed: the annotation is the
+cross-package contract — annotate the callee in its own package.`,
+	Run: run,
+}
+
+// root is one entry point into epoch-protected execution.
+type root struct {
+	name string
+	fn   *types.Func  // nil for closures
+	lit  *ast.FuncLit // nil for declared functions
+	body *ast.BlockStmt
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := analysis.FuncDecls(pass)
+
+	// Fields annotated //shadowfax:epochsafe: locks sanctioned for epoch
+	// sections.
+	safe := epochSafeFields(pass)
+
+	var roots []root
+	for fn, d := range decls {
+		if d.Body != nil && analysis.HasMarker([]*ast.CommentGroup{d.Doc}, analysis.MarkerEpoch) {
+			roots = append(roots, root{name: shortName(fn), fn: fn, body: d.Body})
+		}
+	}
+	// Trigger actions: arguments to (*epoch.Manager).BumpWithAction run on
+	// whichever registered thread crosses the cut last — inside its
+	// protected section.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			callee := analysis.StaticCallee(pass.TypesInfo, call)
+			if !analysis.IsMethodOn(callee, "epoch", "Manager", "BumpWithAction") {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.FuncLit:
+				roots = append(roots, root{name: "epoch trigger action", lit: arg, body: arg.Body})
+			case *ast.Ident, *ast.SelectorExpr:
+				if fn := funcFor(pass.TypesInfo, arg); fn != nil {
+					if d := decls[fn]; d != nil && d.Body != nil {
+						roots = append(roots, root{name: shortName(fn) + " (epoch trigger action)", fn: fn, body: d.Body})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	w := &walker{pass: pass, decls: decls, safe: safe,
+		seenFns: map[*types.Func]bool{}, seenLits: map[*ast.FuncLit]bool{},
+		reported: map[token.Pos]bool{}}
+	for _, r := range roots {
+		if r.fn != nil {
+			if w.seenFns[r.fn] {
+				continue
+			}
+			w.seenFns[r.fn] = true
+		} else {
+			if w.seenLits[r.lit] {
+				continue
+			}
+			w.seenLits[r.lit] = true
+		}
+		w.walk(r.body, []string{r.name})
+	}
+	return nil, nil
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	safe     map[*types.Var]bool
+	seenFns  map[*types.Func]bool
+	seenLits map[*ast.FuncLit]bool
+	reported map[token.Pos]bool
+}
+
+// walk scans one function body, reporting blocking sites and recursing into
+// same-package static callees. chain is the call path from the root.
+func (w *walker) walk(body ast.Node, chain []string) {
+	// Channel operations that are comm clauses of a select are attributed to
+	// the select itself: a select with a default never blocks, and one
+	// without is reported once, at the select keyword.
+	nonblocking := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				nonblocking[sel] = true
+			}
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			nonblocking[cc.Comm] = true
+			// The channel op itself sits inside the comm statement.
+			switch s := cc.Comm.(type) {
+			case *ast.SendStmt:
+				nonblocking[s] = true
+			case *ast.ExprStmt:
+				nonblocking[ast.Unparen(s.X)] = true
+			case *ast.AssignStmt:
+				for _, rhs := range s.Rhs {
+					nonblocking[ast.Unparen(rhs)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A spawned goroutine is not epoch-protected; its body is out
+			// of scope here.
+			return false
+		case *ast.SendStmt:
+			if !nonblocking[n] {
+				w.report(n.Arrow, chain, "sends on a channel")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonblocking[n] {
+				w.report(n.OpPos, chain, "receives from a channel")
+			}
+		case *ast.SelectStmt:
+			if !nonblocking[n] {
+				w.report(n.Select, chain, "selects without a default case")
+			}
+		case *ast.RangeStmt:
+			if t := w.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.report(n.For, chain, "ranges over a channel")
+				}
+			}
+		case *ast.FuncLit:
+			if w.seenLits[n] {
+				return false
+			}
+			w.seenLits[n] = true
+			// Closures invoked on this thread (sort callbacks, deferred
+			// cleanups) stay in the section; walk them in place.
+			w.walk(n.Body, chain)
+			return false
+		case *ast.CallExpr:
+			w.checkCall(n, chain)
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, chain []string) {
+	fn := analysis.FuncOrigin(analysis.StaticCallee(w.pass.TypesInfo, call))
+	if fn == nil {
+		return // dynamic dispatch: not followed (see Doc)
+	}
+	if what := blockingCall(fn); what != "" {
+		if w.lockAllowlisted(fn, call) {
+			return
+		}
+		w.report(call.Pos(), chain, what)
+		return
+	}
+	if fn.Pkg() != w.pass.Pkg {
+		return // cross-package: the annotation is the contract
+	}
+	d := w.decls[fn]
+	if d == nil || d.Body == nil || w.seenFns[fn] {
+		return
+	}
+	w.seenFns[fn] = true
+	w.walk(d.Body, append(append([]string{}, chain...), shortName(fn)))
+}
+
+// lockAllowlisted reports whether call locks a mutex stored in a field
+// annotated //shadowfax:epochsafe.
+func (w *walker) lockAllowlisted(fn *types.Func, call *ast.CallExpr) bool {
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock":
+	default:
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := w.pass.TypesInfo.Selections[recv]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return w.safe[v]
+			}
+		}
+	case *ast.Ident:
+		if v, ok := w.pass.TypesInfo.Uses[recv].(*types.Var); ok {
+			return w.safe[v]
+		}
+	}
+	return false
+}
+
+func (w *walker) report(pos token.Pos, chain []string, what string) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	where := "epoch section " + chain[0]
+	if len(chain) > 1 {
+		where += " (via " + strings.Join(chain[1:], " → ") + ")"
+	}
+	w.pass.Reportf(pos, "%s: %s; epoch-protected code must never block — restructure, "+
+		"annotate the lock field //shadowfax:epochsafe, or suppress with "+
+		"//shadowfax:ignore epochblock <reason>", where, what)
+}
+
+// blockingCall classifies fn as a known blocking operation, returning a
+// human-readable description or "".
+func blockingCall(fn *types.Func) string {
+	switch {
+	case analysis.IsPkgFunc(fn, "time", "Sleep"):
+		return "calls time.Sleep"
+	case analysis.IsMethodOn(fn, "sync", "Mutex", "Lock"):
+		return "acquires a sync.Mutex"
+	case analysis.IsMethodOn(fn, "sync", "RWMutex", "Lock"),
+		analysis.IsMethodOn(fn, "sync", "RWMutex", "RLock"):
+		return "acquires a sync.RWMutex"
+	case analysis.IsMethodOn(fn, "sync", "WaitGroup", "Wait"):
+		return "waits on a sync.WaitGroup"
+	case analysis.IsMethodOn(fn, "sync", "Cond", "Wait"):
+		return "waits on a sync.Cond"
+	case analysis.IsMethodOn(fn, "sync", "Once", "Do"):
+		return "calls sync.Once.Do (blocks until the first call returns)"
+	case analysis.IsPkgFunc(fn, "net", "Dial"),
+		analysis.IsPkgFunc(fn, "net", "DialTimeout"),
+		analysis.IsPkgFunc(fn, "net", "Listen"):
+		return "performs blocking network I/O (net." + fn.Name() + ")"
+	case analysis.IsMethodOn(fn, "os/exec", "Cmd", "Run"),
+		analysis.IsMethodOn(fn, "os/exec", "Cmd", "Wait"),
+		analysis.IsMethodOn(fn, "os/exec", "Cmd", "Output"),
+		analysis.IsMethodOn(fn, "os/exec", "Cmd", "CombinedOutput"):
+		return "waits on a subprocess (exec.Cmd." + fn.Name() + ")"
+	}
+	return ""
+}
+
+// epochSafeFields collects struct fields annotated //shadowfax:epochsafe.
+func epochSafeFields(pass *analysis.Pass) map[*types.Var]bool {
+	safe := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !analysis.HasMarker([]*ast.CommentGroup{field.Doc, field.Comment}, analysis.MarkerEpochSafe) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						safe[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return safe
+}
+
+func funcFor(info *types.Info, e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// shortName renders fn as (*Recv).Name or Name.
+func shortName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := ""
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+		ptr = "*"
+	}
+	name := t.String()
+	if named, ok := t.(*types.Named); ok {
+		name = named.Obj().Name()
+	}
+	return fmt.Sprintf("(%s%s).%s", ptr, name, fn.Name())
+}

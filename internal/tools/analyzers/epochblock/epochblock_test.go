@@ -1,0 +1,12 @@
+package epochblock_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analysis/analysistest"
+	"repro/internal/tools/analyzers/epochblock"
+)
+
+func TestEpochBlock(t *testing.T) {
+	analysistest.Run(t, "testdata", epochblock.Analyzer, "epochfix")
+}

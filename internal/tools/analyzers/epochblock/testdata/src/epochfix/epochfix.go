@@ -1,0 +1,84 @@
+// Package epochfix is the epochblock golden fixture: one positive and one
+// suppressed case per diagnostic category, plus the allowlist and
+// trigger-action forms.
+package epochfix
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/epoch"
+)
+
+type state struct {
+	mu sync.Mutex
+	// dispatchMu is held for a few loads only and never across a blocking
+	// operation.
+	//shadowfax:epochsafe
+	dispatchMu sync.Mutex
+	rw         sync.RWMutex
+	wg         sync.WaitGroup
+	work       chan int
+	em         *epoch.Manager
+}
+
+//shadowfax:epoch
+func (s *state) dispatch() {
+	s.mu.Lock() // want `acquires a sync.Mutex`
+	s.dispatchMu.Lock()
+	s.rw.RLock()                 // want `acquires a sync.RWMutex`
+	s.wg.Wait()                  // want `waits on a sync.WaitGroup`
+	s.work <- 1                  // want `sends on a channel`
+	<-s.work                     // want `receives from a channel`
+	time.Sleep(time.Millisecond) // want `calls time.Sleep`
+	for range s.work {           // want `ranges over a channel`
+		break
+	}
+	select { // want `selects without a default case`
+	case v := <-s.work:
+		_ = v
+	}
+	// Non-blocking poll: a select with a default never parks the thread.
+	select {
+	case v := <-s.work:
+		_ = v
+	case s.work <- 2:
+	default:
+	}
+	s.helper()
+	go s.blockingElsewhere() // goroutines leave the epoch section: clean
+}
+
+// helper is reachable from dispatch; the chain shows up in the diagnostic.
+func (s *state) helper() {
+	s.mu.Lock() // want `via \(\*state\).helper.*acquires a sync.Mutex`
+	s.mu.Lock() //shadowfax:ignore epochblock teardown handshake drains the in-flight pass
+	//shadowfax:ignore epochblock bounded spin documented in the design note
+	s.mu.Lock()
+}
+
+// blockingElsewhere is only ever spawned on its own goroutine.
+func (s *state) blockingElsewhere() {
+	s.mu.Lock()
+	time.Sleep(time.Second)
+}
+
+// registerCut registers trigger actions: both closure and named-function
+// forms run inside some thread's protected section.
+func (s *state) registerCut() {
+	s.em.BumpWithAction(func() {
+		s.wg.Wait() // want `epoch trigger action.*waits on a sync.WaitGroup`
+	})
+	s.em.BumpWithAction(s.onCut)
+}
+
+func (s *state) onCut() {
+	<-s.work // want `receives from a channel`
+}
+
+// notProtected has no annotation and is reachable from no root: silent.
+func (s *state) notProtected() {
+	s.mu.Lock()
+	time.Sleep(time.Second)
+	<-s.work
+}

@@ -1,0 +1,373 @@
+// Package hotpathalloc defines an analyzer that reports likely allocation
+// sites in functions annotated //shadowfax:noalloc.
+//
+// The request hot path (dispatcher batch execution, wire batch codecs) has an
+// allocation budget enforced at runtime by testing.AllocsPerRun gates
+// (internal/core/hotpath_alloc_test.go). Those gates tell you *that* the
+// budget regressed; this analyzer tells you *where*, at vet time, before the
+// benchmark runs. It is deliberately conservative-syntactic rather than a
+// full escape analysis: it flags the constructs that empirically caused every
+// past budget regression.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analysis"
+)
+
+// Analyzer flags allocating constructs reachable from //shadowfax:noalloc
+// functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: `reports allocation sites reachable from //shadowfax:noalloc functions
+
+Roots are functions annotated //shadowfax:noalloc. The analyzer walks the
+static call graph within the package from those roots and reports:
+
+  - make, new, map/slice composite literals, and &composite expressions
+  - closures that capture enclosing variables (the capture escapes)
+  - go statements (each spawn allocates a goroutine and its closure)
+  - string<->[]byte/[]rune conversions and non-constant string concatenation
+  - conversion of non-pointer values to interface parameters (boxing)
+  - calls to variadic functions with loose arguments (the ... slice)
+  - fmt.Sprintf/Errorf/Sprint/Sprintln and errors.New
+
+append is exempt: appending into a pre-sized buffer is the project's standard
+zero-steady-state-allocation idiom and the runtime gates catch growth. Calls
+through interfaces, function values, and into other packages are not
+followed; annotate the callee in its own package. Suppress deliberate
+amortized allocations with //shadowfax:ignore hotpathalloc <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := analysis.FuncDecls(pass)
+
+	w := &walker{pass: pass, decls: decls,
+		seenFns: map[*types.Func]bool{}, seenLits: map[*ast.FuncLit]bool{},
+		reported: map[token.Pos]bool{}}
+	for fn, d := range decls {
+		if d.Body == nil || !analysis.HasMarker([]*ast.CommentGroup{d.Doc}, analysis.MarkerNoAlloc) {
+			continue
+		}
+		if w.seenFns[fn] {
+			continue
+		}
+		w.seenFns[fn] = true
+		w.walk(d, d.Body, []string{shortName(fn)})
+	}
+	return nil, nil
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	seenFns  map[*types.Func]bool
+	seenLits map[*ast.FuncLit]bool
+	reported map[token.Pos]bool
+}
+
+// walk scans one function body. enclosing is the declaration the body
+// belongs to (for closure-capture scope checks); chain is the call path.
+func (w *walker) walk(enclosing ast.Node, body ast.Node, chain []string) {
+	// &CompositeLit is one allocation, not two: remember literal nodes whose
+	// address is taken so the inner CompositeLit visit stays quiet.
+	addressed := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if cl, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+				addressed[cl] = true
+			}
+		}
+		return true
+	})
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			w.report(n.Go, chain, "spawns a goroutine (allocates the goroutine and its closure)")
+			return false // the spawned body runs off the hot path
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				w.report(n.OpPos, chain, "takes the address of a composite literal (it escapes to the heap)")
+				return false
+			}
+		case *ast.CompositeLit:
+			if addressed[n] {
+				return true
+			}
+			t := w.pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				w.report(n.Pos(), chain, "allocates a map literal")
+			case *types.Slice:
+				w.report(n.Pos(), chain, "allocates a slice literal")
+			}
+		case *ast.FuncLit:
+			if w.seenLits[n] {
+				return false
+			}
+			w.seenLits[n] = true
+			if v := w.captured(enclosing, n); v != "" {
+				w.report(n.Pos(), chain, "closure captures "+v+" (the closure and its captures escape)")
+			}
+			w.walk(enclosing, n.Body, chain)
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && w.nonConstString(n) {
+				w.report(n.OpPos, chain, "concatenates non-constant strings")
+			}
+		case *ast.CallExpr:
+			w.checkCall(n, chain)
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, chain []string) {
+	// Builtins and conversions first: make/new, string conversions.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch w.pass.TypesInfo.Uses[fun] {
+		case types.Universe.Lookup("make"):
+			w.report(call.Pos(), chain, "allocates with make")
+			return
+		case types.Universe.Lookup("new"):
+			w.report(call.Pos(), chain, "allocates with new")
+			return
+		}
+	}
+	if w.isConversion(call) {
+		w.checkConversion(call, chain)
+		return
+	}
+
+	fn := analysis.FuncOrigin(analysis.StaticCallee(w.pass.TypesInfo, call))
+	if fn == nil {
+		return // dynamic dispatch: not followed (see Doc)
+	}
+	if what := allocatingCall(fn); what != "" {
+		w.report(call.Pos(), chain, what)
+		return
+	}
+	w.checkBoxing(call, fn, chain)
+	w.checkVariadic(call, fn, chain)
+	if fn.Pkg() != w.pass.Pkg {
+		return // cross-package: the annotation is the contract
+	}
+	d := w.decls[fn]
+	if d == nil || d.Body == nil || w.seenFns[fn] {
+		return
+	}
+	w.seenFns[fn] = true
+	w.walk(d, d.Body, append(append([]string{}, chain...), shortName(fn)))
+}
+
+// isConversion reports whether call is a type conversion T(x).
+func (w *walker) isConversion(call *ast.CallExpr) bool {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func (w *walker) checkConversion(call *ast.CallExpr, chain []string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to := w.pass.TypesInfo.TypeOf(call.Fun)
+	from := w.pass.TypesInfo.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return
+	}
+	fromU, toU := from.Underlying(), to.Underlying()
+	switch {
+	case isString(fromU) && isByteOrRuneSlice(toU):
+		w.report(call.Pos(), chain, "converts string to "+toU.String()+" (copies and allocates)")
+	case isByteOrRuneSlice(fromU) && isString(toU):
+		// Constant arguments ([]byte("lit")) still allocate at the
+		// conversion; flag both directions uniformly.
+		w.report(call.Pos(), chain, "converts "+fromU.String()+" to string (copies and allocates)")
+	case isInterface(toU) && !isInterface(fromU) && !pointerShaped(fromU):
+		w.report(call.Pos(), chain, "boxes "+from.String()+" into an interface")
+	}
+}
+
+// checkBoxing flags non-pointer concrete arguments passed to interface-typed
+// parameters: the value is copied to the heap to fit the interface word.
+func (w *walker) checkBoxing(call *ast.CallExpr, fn *types.Func, chain []string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // a spread slice is passed as-is
+			}
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterface(pt.Underlying()) {
+			continue
+		}
+		at := w.pass.TypesInfo.TypeOf(arg)
+		if at == nil || isInterface(at.Underlying()) || pointerShaped(at.Underlying()) {
+			continue
+		}
+		if tv, ok := w.pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		w.report(arg.Pos(), chain, "boxes "+at.String()+" into an interface argument of "+shortName(fn))
+	}
+}
+
+// checkVariadic flags loose-argument calls to variadic functions: the runtime
+// allocates the ... slice on every call.
+func (w *walker) checkVariadic(call *ast.CallExpr, fn *types.Func, chain []string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis != token.NoPos {
+		return
+	}
+	if len(call.Args) < sig.Params().Len() {
+		return // zero variadic args pass a shared empty slice
+	}
+	w.report(call.Pos(), chain, "calls variadic "+shortName(fn)+" with loose arguments (allocates the ... slice)")
+}
+
+// captured returns the name of a variable lit captures from its enclosing
+// function, or "".
+func (w *walker) captured(enclosing ast.Node, lit *ast.FuncLit) string {
+	var name string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured = declared outside the literal but inside the enclosing
+		// function (package-level vars are not captures).
+		if v.Parent() == nil || v.Parent() == types.Universe || v.Pkg() == nil {
+			return true
+		}
+		if v.Pos() == token.NoPos || (v.Pos() >= lit.Pos() && v.Pos() <= lit.End()) {
+			return true
+		}
+		if v.Pos() >= enclosing.Pos() && v.Pos() <= enclosing.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func (w *walker) nonConstString(b *ast.BinaryExpr) bool {
+	t := w.pass.TypesInfo.TypeOf(b)
+	if t == nil || !isString(t.Underlying()) {
+		return false
+	}
+	tv, ok := w.pass.TypesInfo.Types[b]
+	return !ok || tv.Value == nil // constant-folded concatenation is free
+}
+
+func (w *walker) report(pos token.Pos, chain []string, what string) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	where := "noalloc function " + chain[0]
+	if len(chain) > 1 {
+		where += " (via " + strings.Join(chain[1:], " → ") + ")"
+	}
+	w.pass.Reportf(pos, "%s: %s; the hot path has an allocation budget — preallocate, "+
+		"hoist to setup, or suppress an amortized site with "+
+		"//shadowfax:ignore hotpathalloc <reason>", where, what)
+}
+
+// allocatingCall classifies fn as a well-known allocating helper.
+func allocatingCall(fn *types.Func) string {
+	for _, name := range []string{"Sprintf", "Errorf", "Sprint", "Sprintln", "Appendf"} {
+		if analysis.IsPkgFunc(fn, "fmt", name) {
+			return "calls fmt." + name + " (formats into a fresh allocation)"
+		}
+	}
+	if analysis.IsPkgFunc(fn, "errors", "New") {
+		return "calls errors.New (allocates the error)"
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether values of t fit an interface data word
+// without a heap copy.
+func pointerShaped(t types.Type) bool {
+	switch t.(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+// shortName renders fn as (*Recv).Name or Name.
+func shortName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := ""
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+		ptr = "*"
+	}
+	name := t.String()
+	if named, ok := t.(*types.Named); ok {
+		name = named.Obj().Name()
+	}
+	return "(" + ptr + name + ")." + fn.Name()
+}

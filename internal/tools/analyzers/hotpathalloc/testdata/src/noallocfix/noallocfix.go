@@ -1,0 +1,61 @@
+// Package noallocfix is the hotpathalloc golden fixture: one positive and
+// one suppressed case per diagnostic category.
+package noallocfix
+
+import "fmt"
+
+type batch struct {
+	buf  []byte
+	vals []int
+}
+
+//shadowfax:noalloc
+func (b *batch) exec(op int, key string, raw []byte) {
+	_ = make([]byte, 64)         // want `allocates with make`
+	_ = new(batch)               // want `allocates with new`
+	_ = map[int]int{op: op}      // want `allocates a map literal`
+	_ = []int{op}                // want `allocates a slice literal`
+	_ = &batch{}                 // want `takes the address of a composite literal`
+	_ = batch{}                  // plain struct literal value: stack, fine
+	_ = fmt.Sprintf("op=%d", op) // want `calls fmt.Sprintf`
+	_ = []byte(key)              // want `converts string to \[\]byte`
+	_ = string(raw)              // want `converts \[\]byte to string`
+	_ = key + "suffix"           // want `concatenates non-constant strings`
+	const pre = "a" + "b"        // constant-folded: fine
+	sink(op)                     // want `boxes int into an interface argument`
+	variadicSink(op, op)         // want `calls variadic variadicSink with loose arguments`
+	variadicSink(b.vals...)      // spread slice: fine
+	go b.drain()                 // want `spawns a goroutine`
+	f := func() { b.helper(op) } // want `closure captures b`
+	f()
+	g := func() { clean() } // captures nothing: fine
+	g()
+	b.helper(op)
+	b.buf = append(b.buf, raw...) // append is the sanctioned idiom
+
+	// Suppressed counterparts, one per category.
+	_ = make([]byte, 64)         //shadowfax:ignore hotpathalloc amortized: grows once then reused
+	_ = fmt.Sprintf("op=%d", op) //shadowfax:ignore hotpathalloc error path only
+	_ = []byte(key)              //shadowfax:ignore hotpathalloc cold branch, taken once per session
+	sink(op)                     //shadowfax:ignore hotpathalloc stats emission is off the latency path
+}
+
+// helper is reachable from exec; allocations here are charged to the root.
+func (b *batch) helper(op int) {
+	_ = make([]int, op) // want `via \(\*batch\).helper.*allocates with make`
+}
+
+// drain runs on its own goroutine, off the hot path.
+func (b *batch) drain() {
+	_ = make([]byte, 1<<20)
+}
+
+// notHot has no annotation: silent.
+func notHot() {
+	_ = make([]byte, 64)
+	_ = fmt.Sprintf("x")
+}
+
+func sink(v any)             { _ = v }
+func variadicSink(vs ...int) { _ = vs }
+func clean()                 {}

@@ -1,0 +1,21 @@
+// Package suite registers the project's analyzers in one place, so the
+// shadowfax-vet command and any future driver agree on the set.
+package suite
+
+import (
+	"repro/internal/tools/analysis"
+	"repro/internal/tools/analyzers/atomicpad"
+	"repro/internal/tools/analyzers/epochblock"
+	"repro/internal/tools/analyzers/hotpathalloc"
+	"repro/internal/tools/analyzers/wireguard"
+)
+
+// Analyzers returns the full shadowfax analyzer suite, in name order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicpad.Analyzer,
+		epochblock.Analyzer,
+		hotpathalloc.Analyzer,
+		wireguard.Analyzer,
+	}
+}

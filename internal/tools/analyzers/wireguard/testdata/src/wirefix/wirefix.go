@@ -1,0 +1,157 @@
+// Package wirefix is the wireguard golden fixture: a miniature wire-format
+// package with one frame per diagnostic category, positive and suppressed.
+package wirefix
+
+import "errors"
+
+var errShort = errors.New("short frame")
+
+// MsgType tags the first byte of every frame.
+type MsgType uint8
+
+const (
+	// MsgGood has all three artifacts: guarded decoder, fuzz seed,
+	// round-trip test.
+	MsgGood MsgType = iota + 1
+	// MsgBare is a bodyless (header-only) request: exempt from the decoder
+	// and round-trip checks, still needs a seed.
+	MsgBare
+	MsgNoDecode // want `frame MsgNoDecode has no (decoder|round-trip test)`
+	MsgNoSeed   // want `frame MsgNoSeed has no fuzz seed`
+	MsgNoTrip   // want `frame MsgNoTrip has no round-trip test`
+	// MsgDynA and MsgDynB share the dynamic encoder EncodeDyn; only DynA is
+	// seeded.
+	MsgDynA
+	MsgDynB    // want `frame MsgDynB has no fuzz seed`
+	MsgDropped //shadowfax:ignore wireguard retired frame kept for wire-compat numbering; decode path removed deliberately
+)
+
+type decoder struct{ buf []byte }
+
+func (d *decoder) remaining() int { return len(d.buf) }
+
+func (d *decoder) u8() (byte, error) {
+	if len(d.buf) == 0 {
+		return 0, errShort
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if len(d.buf) < 4 {
+		return 0, errShort
+	}
+	v := uint32(d.buf[0]) | uint32(d.buf[1])<<8 | uint32(d.buf[2])<<16 | uint32(d.buf[3])<<24
+	d.buf = d.buf[4:]
+	return v, nil
+}
+
+func EncodeGood(val []byte) []byte {
+	dst := []byte{byte(MsgGood)}
+	n := uint32(len(val))
+	dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	return append(dst, val...)
+}
+
+func DecodeGood(buf []byte) ([]byte, error) {
+	d := decoder{buf: buf}
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgGood {
+		return nil, errShort
+	}
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > d.remaining() {
+		return nil, errShort
+	}
+	out := make([]byte, n)
+	for i := range out {
+		if out[i], err = d.u8(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func EncodeBareReq() []byte {
+	return []byte{byte(MsgBare)}
+}
+
+// EncodeNoDecode's frame has no decoder anywhere: receive-side rejection is
+// accidental.
+func EncodeNoDecode() []byte {
+	dst := []byte{byte(MsgNoDecode)}
+	return append(dst, 0xFF)
+}
+
+func EncodeNoSeed(v uint32) []byte {
+	dst := []byte{byte(MsgNoSeed)}
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func DecodeNoSeed(buf []byte) ([]byte, error) {
+	d := decoder{buf: buf}
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgNoSeed {
+		return nil, errShort
+	}
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n) //shadowfax:ignore wireguard count is bounded by the connection read limit upstream
+	for i := range out {
+		if out[i], err = d.u8(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func EncodeNoTrip(v uint32) []byte {
+	dst := []byte{byte(MsgNoTrip)}
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func DecodeNoTrip(buf []byte) ([]byte, error) {
+	d := decoder{buf: buf}
+	if t, err := d.u8(); err != nil || MsgType(t) != MsgNoTrip {
+		return nil, errShort
+	}
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n) // want `never calls remaining`
+	for i := range out {
+		if out[i], err = d.u8(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Dyn is the dynamic-frame payload: one encoder and one decoder serve
+// several frame types, like the real MigrationMsg.
+type Dyn struct{ Type MsgType }
+
+func EncodeDyn(m Dyn) []byte {
+	return append([]byte{byte(m.Type)}, 1)
+}
+
+func DecodeDyn(buf []byte) (Dyn, error) {
+	d := decoder{buf: buf}
+	t, err := d.u8()
+	if err != nil {
+		return Dyn{}, err
+	}
+	m := Dyn{Type: MsgType(t)}
+	switch m.Type {
+	case MsgDynA, MsgDynB:
+	default:
+		return Dyn{}, errShort
+	}
+	return m, nil
+}

@@ -1,0 +1,44 @@
+package wirefix
+
+import "testing"
+
+// fuzzSeeds covers every frame except MsgNoSeed, MsgDynB, and MsgDropped.
+func fuzzSeeds() [][]byte {
+	return [][]byte{
+		EncodeGood([]byte("v")),
+		EncodeBareReq(),
+		EncodeNoDecode(),
+		EncodeNoTrip(3),
+		EncodeDyn(Dyn{Type: MsgDynA}),
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeGood(data)
+		_, _ = DecodeDyn(data)
+	})
+}
+
+func TestGoodRoundTrip(t *testing.T) {
+	if _, err := DecodeGood(EncodeGood([]byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSeedRoundTrip(t *testing.T) {
+	if _, err := DecodeNoSeed(EncodeNoSeed(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynRoundTrip(t *testing.T) {
+	for _, typ := range []MsgType{MsgDynA, MsgDynB} {
+		if _, err := DecodeDyn(EncodeDyn(Dyn{Type: typ})); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

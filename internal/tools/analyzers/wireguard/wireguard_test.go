@@ -1,0 +1,12 @@
+package wireguard_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analysis/analysistest"
+	"repro/internal/tools/analyzers/wireguard"
+)
+
+func TestWireGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", wireguard.Analyzer, "wirefix")
+}

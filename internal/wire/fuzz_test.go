@@ -38,6 +38,21 @@ func fuzzSeeds() [][]byte {
 		Type: MsgCompacted, SourceID: "s2", RangeStart: 1, RangeEnd: 2,
 		Records: []MigrationRecord{{Hash: 1, Key: []byte("relocated"), Value: []byte("v")}},
 	})
+	// The migration handshake frames carry no records but still cross the
+	// wire; seed each so the fuzzer mutates real handshakes too.
+	prep := EncodeMigrationMsg(&MigrationMsg{
+		Type: MsgPrepForTransfer, MigrationID: 7, SourceID: "s1",
+		RangeStart: 100, RangeEnd: 900,
+	})
+	xfer := EncodeMigrationMsg(&MigrationMsg{
+		Type: MsgTransferOwnership, MigrationID: 7, SourceID: "s1",
+		RangeStart: 100, RangeEnd: 900, ViewNumber: 5,
+	})
+	complete := EncodeMigrationMsg(&MigrationMsg{
+		Type: MsgCompleteMigration, MigrationID: 7, SourceID: "s1",
+		RangeStart: 100, RangeEnd: 900,
+	})
+	ack := EncodeMigrationMsg(&MigrationMsg{Type: MsgAck, MigrationID: 7, SourceID: "s2"})
 	metaSnap := EncodeMetaReq(&MetaReq{Op: MetaOpSnapshot})
 	metaStart := EncodeMetaReq(&MetaReq{
 		Op: MetaOpStartMigration, ServerID: "s1", Target: "s2",
@@ -88,7 +103,7 @@ func fuzzSeeds() [][]byte {
 		Sessions: []ReplSession{{ID: 9, LastSeq: 44}, {ID: 10, LastSeq: 0}},
 	})
 	return [][]byte{
-		req, resp, rej, mig, compacted,
+		req, resp, rej, mig, compacted, prep, xfer, complete, ack,
 		EncodeReplAttach(ReplAttach{PrimaryID: "s1", ReplicaAddr: "127.0.0.1:8888",
 			HeartbeatMs: 100, AckTimeoutMs: 2000}),
 		EncodeReplAttachResp(ReplAttachResp{OK: true}),

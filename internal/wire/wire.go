@@ -147,6 +147,8 @@ const (
 // AppendRequestBatch encodes b after dst and returns the extended slice.
 // Layout: type, view, session, count, then per op: kind, seq, klen(u16),
 // vlen(u32), key, value.
+//
+//shadowfax:noalloc
 func AppendRequestBatch(dst []byte, b *RequestBatch) []byte {
 	dst = append(dst, byte(MsgRequestBatch))
 	dst = appendU64(dst, b.View)
@@ -166,10 +168,12 @@ func AppendRequestBatch(dst []byte, b *RequestBatch) []byte {
 
 // DecodeRequestBatch parses a frame produced by AppendRequestBatch. The
 // returned batch aliases buf; ops are decoded into b.Ops (reused).
+//
+//shadowfax:noalloc
 func DecodeRequestBatch(buf []byte, b *RequestBatch) error {
 	d := decoder{buf: buf}
 	if t, err := d.u8(); err != nil || MsgType(t) != MsgRequestBatch {
-		return fmt.Errorf("%w: request batch", ErrBadType)
+		return fmt.Errorf("%w: request batch", ErrBadType) //shadowfax:ignore hotpathalloc malformed-frame error path; never taken for well-formed traffic
 	}
 	var err error
 	if b.View, err = d.u64(); err != nil {
@@ -189,7 +193,7 @@ func DecodeRequestBatch(buf []byte, b *RequestBatch) error {
 		return ErrShortFrame
 	}
 	if cap(b.Ops) < int(n) {
-		b.Ops = make([]Op, n)
+		b.Ops = make([]Op, n) //shadowfax:ignore hotpathalloc amortized: grows to the high-water batch size once, then the buffer is reused
 	}
 	b.Ops = b.Ops[:n]
 	for i := range b.Ops {
@@ -221,6 +225,8 @@ func DecodeRequestBatch(buf []byte, b *RequestBatch) error {
 }
 
 // AppendResponseBatch encodes r after dst.
+//
+//shadowfax:noalloc
 func AppendResponseBatch(dst []byte, r *ResponseBatch) []byte {
 	dst = append(dst, byte(MsgResponseBatch))
 	dst = appendU64(dst, r.SessionID)
@@ -245,10 +251,12 @@ func AppendResponseBatch(dst []byte, r *ResponseBatch) []byte {
 }
 
 // DecodeResponseBatch parses a response frame; the result aliases buf.
+//
+//shadowfax:noalloc
 func DecodeResponseBatch(buf []byte, r *ResponseBatch) error {
 	d := decoder{buf: buf}
 	if t, err := d.u8(); err != nil || MsgType(t) != MsgResponseBatch {
-		return fmt.Errorf("%w: response batch", ErrBadType)
+		return fmt.Errorf("%w: response batch", ErrBadType) //shadowfax:ignore hotpathalloc malformed-frame error path; never taken for well-formed traffic
 	}
 	var err error
 	if r.SessionID, err = d.u64(); err != nil {
@@ -272,7 +280,7 @@ func DecodeResponseBatch(buf []byte, r *ResponseBatch) error {
 		return ErrShortFrame
 	}
 	if cap(r.Results) < int(n) {
-		r.Results = make([]Result, n)
+		r.Results = make([]Result, n) //shadowfax:ignore hotpathalloc amortized: grows to the high-water batch size once, then the buffer is reused
 	}
 	r.Results = r.Results[:n]
 	for i := range r.Results {
