@@ -6,8 +6,8 @@
 //
 //	shadowfax-bench <experiment> [flags]
 //
-// Experiments: table1, hotpath, fig8, fig9, table2, autoscale, failover,
-// fig10, fig11, fig12, fig13, fig14, fig15, cluster, chaos, all.
+// Experiments: table1, hotpath, fig8, fig9, table2, coldread, autoscale,
+// failover, fig10, fig11, fig12, fig13, fig14, fig15, cluster, chaos, all.
 package main
 
 import (
@@ -87,6 +87,10 @@ func main() {
 		err = runFig9(parseInts(*threadsFlag), o)
 	case "table2":
 		err = runTable2(*serverThreads, o)
+	case "coldread":
+		err = runColdRead(bench.ColdReadOptions{
+			Options: o, Threads: *serverThreads, SSDReadLatency: *ssdLat,
+		})
 	case "fig10", "fig11", "fig12":
 		err = runTimeline(exp, *mode, so)
 	case "autoscale":
@@ -134,6 +138,7 @@ experiments:
   fig8      thread scalability: FASTER vs Shadowfax vs w/o accel
   fig9      Shadowfax vs Seastar (uniform keys)
   table2    throughput/batch/latency/queue depth per network stack
+  coldread  cold-read pipeline + read cache: Mops at 10/25/50% memory budgets
   autoscale balancer-driven scale-out under a (shifting) hotspot — no manual Migrate()
   failover  kill a replicated primary mid-run: time-to-promote + throughput dip/recovery
   fig10     system throughput during scale-out (-mode=mem|indirection|rocksteady)
@@ -303,6 +308,34 @@ func runTable2(threads int, o bench.Options) error {
 				Value: float64(r.MedianLatency.Microseconds()), Unit: "us"})
 	}
 	emitBenchJSON("table2", metrics)
+	return nil
+}
+
+// runColdRead sweeps memory budgets for the read-only Zipfian cold-read
+// workload, reporting the pending-read pipeline with the second-chance read
+// cache off and on (see README "Cold reads").
+func runColdRead(co bench.ColdReadOptions) error {
+	rows, err := bench.ColdRead(co)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Cold reads: YCSB-C Zipfian, dataset larger than memory (Mops/s)")
+	fmt.Printf("%-10s %-10s %-12s %-12s %-10s %-10s %-11s %-10s\n",
+		"budget", "pages", "cache-off", "cache-on", "hit-rate", "copies",
+		"coalesced", "batches")
+	var metrics []BenchMetric
+	for _, r := range rows {
+		fmt.Printf("%-10s %-10d %-12.3f %-12.3f %-10.3f %-10d %-11d %-10d\n",
+			fmt.Sprintf("%d%%", r.BudgetPct), r.MemPages,
+			r.CacheOffMops, r.CacheOnMops, r.HitRate, r.Copies,
+			r.Coalesced, r.BatchReads)
+		metrics = append(metrics,
+			mopsMetric(fmt.Sprintf("cacheoff_mops/budget=%d", r.BudgetPct), r.CacheOffMops),
+			mopsMetric(fmt.Sprintf("cacheon_mops/budget=%d", r.BudgetPct), r.CacheOnMops),
+			BenchMetric{Name: fmt.Sprintf("cache_hit_rate/budget=%d", r.BudgetPct),
+				Value: r.HitRate, Unit: "ratio"})
+	}
+	emitBenchJSON("coldread", metrics)
 	return nil
 }
 
@@ -531,6 +564,9 @@ func runAll(threads, splits, servers []int, serverThreads int,
 		func() error { return runFig8(threads, o) },
 		func() error { return runFig9(threads, o) },
 		func() error { return runTable2(serverThreads, o) },
+		func() error {
+			return runColdRead(bench.ColdReadOptions{Options: o, Threads: serverThreads})
+		},
 		func() error { return runTimeline("fig10", "", so) },
 		func() error { return runTimeline("fig11", "", so) },
 		func() error { return runTimeline("fig12", "", so) },

@@ -252,6 +252,10 @@ func printStats(st shadowfax.ServerStats) {
 		st.BatchesAccepted, st.BatchesRejected, st.DecodeErrors)
 	fmt.Printf("  pending ops        %d (store reads issued: %d)\n",
 		st.PendingOps, st.StorePendingReads)
+	fmt.Printf("  cold reads         %d coalesced, %d batched submissions\n",
+		st.PendingCoalesced, st.DeviceBatchReads)
+	fmt.Printf("  read cache         %d copies to tail, %d memory hits\n",
+		st.ReadCacheCopies, st.ReadCacheHits)
 	fmt.Printf("  log footprint      %d bytes\n", st.LogBytes)
 	fmt.Printf("  checkpoints        %d (%d failed)\n",
 		st.Checkpoints, st.CheckpointFailures)

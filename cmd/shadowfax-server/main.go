@@ -89,6 +89,10 @@ func main() {
 		"replication stream keepalive period")
 	failoverAfter := flag.Duration("failover-after", time.Second,
 		"replication stream silence after which the standby probes the primary and promotes")
+	readCache := flag.Bool("read-cache", false,
+		"enable the second-chance read cache (copies twice-read disk-resident records back into memory)")
+	readHint := flag.Int("read-hint-bytes", 0,
+		"first device read size for a pending (disk-resident) record (0 = default 256)")
 	flag.Parse()
 
 	if *recoverFrom != "" {
@@ -130,6 +134,12 @@ func main() {
 		shadowfax.WithThreads(*threads),
 		shadowfax.WithIndexBuckets(1 << 16),
 		shadowfax.WithMemoryBudget(*pageBits, *memPages, *memPages/2),
+	}
+	if *readCache {
+		opts = append(opts, shadowfax.WithReadCache(true))
+	}
+	if *readHint > 0 {
+		opts = append(opts, shadowfax.WithReadHintBytes(*readHint))
 	}
 	if *meta != "" {
 		// Joining servers own nothing until a migration (manual or

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/hlog"
+	"repro/internal/storage"
+	"repro/internal/ycsb"
+)
+
+// ---------------------------------------------------------------------------
+// Cold reads: the batched pending-read pipeline and the second-chance read
+// cache under a larger-than-memory YCSB-C workload (Zipfian reads only).
+
+// ColdReadOptions extends Options with the sweep parameters.
+type ColdReadOptions struct {
+	Options
+	// BudgetsPct lists the memory budgets to sweep, as percentages of the
+	// preloaded dataset's log footprint (default 10, 25, 50).
+	BudgetsPct []int
+	// Threads is the number of concurrent reader sessions (default 2).
+	Threads int
+	// SSDReadLatency models the local device (default 100µs).
+	SSDReadLatency time.Duration
+}
+
+func (co ColdReadOptions) withDefaults() ColdReadOptions {
+	co.Options = co.Options.withDefaults()
+	if len(co.BudgetsPct) == 0 {
+		co.BudgetsPct = []int{10, 25, 50}
+	}
+	if co.Threads == 0 {
+		co.Threads = 2
+	}
+	if co.SSDReadLatency == 0 {
+		co.SSDReadLatency = 100 * time.Microsecond
+	}
+	return co
+}
+
+// ColdReadRow is one memory budget's cold-read measurement, cache off vs on.
+type ColdReadRow struct {
+	BudgetPct int // requested budget (% of dataset footprint)
+	MemPages  int // page frames actually granted (power of two)
+
+	CacheOffMops float64
+	CacheOnMops  float64
+
+	// Cache-on run counters.
+	HitRate    float64 // read-cache memory hits / completed reads
+	Copies     uint64  // promotions to the mutable tail
+	Coalesced  uint64  // pending reads that shared an in-flight device I/O
+	BatchReads uint64  // batched device submissions
+}
+
+// ColdRead sweeps memory budgets for a read-only Zipfian workload over a
+// dataset that spills to the simulated SSD, measuring the pending-read
+// pipeline with the second-chance read cache disabled and enabled.
+func ColdRead(co ColdReadOptions) ([]ColdReadRow, error) {
+	co = co.withDefaults()
+	o := co.Options
+
+	// Probe pass: preload once into an oversized store to learn the
+	// dataset's log footprint, so budgets can be expressed as a fraction
+	// of it.
+	footprint, err := coldReadFootprint(o)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := uint64(1) << o.PageBits
+
+	var rows []ColdReadRow
+	for _, pct := range co.BudgetsPct {
+		want := footprint * uint64(pct) / 100 / pageSize
+		pages := nearestPow2(int(want))
+		if pages < 4 {
+			pages = 4
+		}
+		row := ColdReadRow{BudgetPct: pct, MemPages: pages}
+		if row.CacheOffMops, _, err = coldReadPoint(co, pages, false); err != nil {
+			return rows, err
+		}
+		var st coldReadStats
+		if row.CacheOnMops, st, err = coldReadPoint(co, pages, true); err != nil {
+			return rows, err
+		}
+		row.HitRate = st.hitRate
+		row.Copies = st.copies
+		row.Coalesced = st.coalesced
+		row.BatchReads = st.batchReads
+		o.logf("coldread budget=%d%% pages=%d off=%.3f on=%.3f hit=%.1f%% copies=%d",
+			pct, pages, row.CacheOffMops, row.CacheOnMops, 100*row.HitRate, row.Copies)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// coldReadFootprint preloads the dataset into a memory-only store and
+// returns the log bytes it occupies.
+func coldReadFootprint(o Options) (uint64, error) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	mem := 1
+	for uint64(mem)<<o.PageBits < 4*o.Keys*uint64(o.ValueBytes) {
+		mem <<= 1
+	}
+	st, err := faster.NewStore(faster.Config{
+		IndexBuckets: 1 << 16,
+		Log: hlog.Config{PageBits: o.PageBits, MemPages: mem,
+			MutablePages: mem / 2, Device: dev},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	coldReadPreload(st, o)
+	return uint64(st.Log().TailAddress()), nil
+}
+
+func coldReadPreload(st *faster.Store, o Options) {
+	sess := st.NewSession()
+	val := make([]byte, o.ValueBytes)
+	for i := uint64(0); i < o.Keys; i++ {
+		sess.Upsert(ycsb.KeyBytes(i), val, nil)
+	}
+	sess.CompletePending(true)
+	sess.Close()
+}
+
+type coldReadStats struct {
+	hitRate    float64
+	copies     uint64
+	coalesced  uint64
+	batchReads uint64
+}
+
+// coldReadPoint measures one (budget, cache setting) cell: preload, then
+// drive Threads reader sessions with Zipfian keys for the measurement
+// window, counting completed reads.
+func coldReadPoint(co ColdReadOptions, memPages int, cache bool) (float64, coldReadStats, error) {
+	o := co.Options
+	dev := storage.NewMemDevice(storage.LatencyModel{
+		ReadLatency: co.SSDReadLatency,
+	}, 16)
+	defer dev.Close()
+	st, err := faster.NewStore(faster.Config{
+		IndexBuckets: 1 << 16,
+		ReadCache:    cache,
+		Log: hlog.Config{PageBits: o.PageBits, MemPages: memPages,
+			MutablePages: memPages / 2, Device: dev},
+	})
+	if err != nil {
+		return 0, coldReadStats{}, err
+	}
+	defer st.Close()
+	coldReadPreload(st, o)
+
+	done := make(chan uint64, co.Threads)
+	var stop atomic.Bool
+	for t := 0; t < co.Threads; t++ {
+		go func(t int) {
+			s := st.NewSession()
+			defer s.Close()
+			z := ycsb.NewZipfian(o.Keys, ycsb.DefaultTheta, uint64(t+1))
+			var key [8]byte
+			var completed uint64
+			count := func(rs faster.Status, _ []byte) { completed++ }
+			for !stop.Load() {
+				for j := 0; j < 256; j++ {
+					ycsb.FillKey(key[:], z.Next())
+					s.Read(key[:], count)
+				}
+				s.CompletePending(false)
+				s.Refresh()
+			}
+			s.CompletePending(true)
+			done <- completed
+		}(t)
+	}
+	timer := time.NewTimer(o.Duration)
+	<-timer.C
+	stop.Store(true)
+	var total uint64
+	for t := 0; t < co.Threads; t++ {
+		total += <-done
+	}
+
+	ss := st.Stats()
+	cs := coldReadStats{
+		copies:     ss.ReadCacheCopies.Load(),
+		coalesced:  ss.PendingCoalesced.Load(),
+		batchReads: ss.DeviceBatchReads.Load(),
+	}
+	if total > 0 {
+		cs.hitRate = float64(ss.ReadCacheHits.Load()) / float64(total)
+	}
+	return float64(total) / o.Duration.Seconds() / 1e6, cs, nil
+}
+
+// nearestPow2 rounds n to the nearest power of two (ties round up).
+func nearestPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	lo := 1
+	for lo*2 <= n {
+		lo *= 2
+	}
+	if n-lo < 2*lo-n {
+		return lo
+	}
+	return 2 * lo
+}

@@ -580,6 +580,10 @@ func (s *Server) StatsSnapshot() wire.StatsResp {
 		CompactReclaimedBytes: s.stats.CompactReclaimedBytes.Load(),
 
 		StorePendingReads: s.store.Stats().PendingIssued.Load(),
+		PendingCoalesced:  s.store.Stats().PendingCoalesced.Load(),
+		ReadCacheHits:     s.store.Stats().ReadCacheHits.Load(),
+		ReadCacheCopies:   s.store.Stats().ReadCacheCopies.Load(),
+		DeviceBatchReads:  s.store.Stats().DeviceBatchReads.Load(),
 
 		LogBytes:   uint64(s.store.Log().TailAddress()) - uint64(s.store.Log().BeginAddress()),
 		HashSample: s.sampleLoad(1024),

@@ -36,7 +36,7 @@ func (sess *Session) ConditionalInsert(key, value []byte, tombstone bool, cb Cal
 			p := sess.newPendingOp(opCondInsert, key, value, hash, res.addr,
 				completion{cb: cb})
 			p.meta = boolMeta(tombstone)
-			sess.issueRead(p)
+			sess.enqueueRead(p)
 			return StatusPending
 		case walkNotFound:
 			if sess.condAppend(res, key, value, tombstone) {

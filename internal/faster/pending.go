@@ -20,8 +20,8 @@ const (
 // exactly as FASTER's pending contexts do.
 //
 // pendingOps are pooled per session (key/input buffers are reused) and flow
-// back to the session goroutine through the completions channel carrying the
-// device read's result inline — completing an I/O allocates no closure.
+// back to the session goroutine through the completions channel; the device
+// read's bytes ride the op's ioEntry — completing an I/O allocates nothing.
 type pendingOp struct {
 	kind  opKind
 	key   []byte
@@ -31,8 +31,9 @@ type pendingOp struct {
 	meta  hlog.Meta    // conditional-insert record flags
 	comp  completion
 
-	// Device read result, filled by the I/O goroutine before the op is
-	// queued on the completions channel.
+	// ent is the pipeline read serving this op (shared with coalesced
+	// waiters); rec is the parsed record, aliasing ent's span buffer.
+	ent *ioEntry
 	rec hlog.Record
 	err error
 }
@@ -72,6 +73,8 @@ func (sess *Session) newPendingOp(kind opKind, key, input []byte, hash uint64,
 // freePendingOp recycles p. Only the terminal paths call it; a reissued op
 // (follow) keeps its struct.
 func (sess *Session) freePendingOp(p *pendingOp) {
+	sess.releaseEntry(p.ent)
+	p.ent = nil
 	p.comp = completion{}
 	p.rec, p.err = nil, nil
 	if cap(p.key) > pendingOpBufKeep {
@@ -86,12 +89,16 @@ func (sess *Session) freePendingOp(p *pendingOp) {
 }
 
 // finishPending recycles p and delivers its final result. The value may
-// alias p.rec's buffer; recycling only drops the reference, so the bytes
-// stay valid for the duration of the delivery.
+// alias p's span buffer (pooled), so the entry reference is held until the
+// delivery returns — a re-entrant operation issued from the completion
+// handler must not be able to recycle the buffer under the value.
 func (sess *Session) finishPending(p *pendingOp, st Status, v []byte) {
 	comp := p.comp
+	ent := p.ent
+	p.ent = nil
 	sess.freePendingOp(p)
 	sess.deliver(comp, st, v)
+	sess.releaseEntry(ent)
 }
 
 // finishOrRelease delivers a terminal result, or — when a continuation
@@ -105,123 +112,156 @@ func (sess *Session) finishOrRelease(p *pendingOp, st Status, v []byte) {
 	sess.finishPending(p, st, v)
 }
 
-// issueRead starts an asynchronous device read of the record at p.addr. The
-// device goroutine parses the record (issuing a follow-up read if the record
-// is longer than the hint), stores the result on p, and queues p onto the
-// session's completion channel.
-func (sess *Session) issueRead(p *pendingOp) {
-	sess.inflight.Add(1)
-	sess.s.stats.PendingIssued.Add(1)
-	lg := sess.s.log
-	go func() {
-		p.rec, p.err = lg.ReadRecordFromDevice(p.addr, sess.s.cfg.ReadHintBytes+len(p.key))
-		sess.completions <- p
-	}()
-}
-
 // resume continues a pending operation with the record read from storage.
-// It runs on the session goroutine (inside CompletePending).
+// It runs on the session goroutine (inside CompletePending). Chain hops that
+// landed inside the span buffer already read are served inline (the loop
+// continues); hops outside it re-enter the pipeline queue.
 func (sess *Session) resume(p *pendingOp) {
 	sess.inflight.Add(-1)
-	if p.err != nil {
-		sess.finishPending(p, StatusError, nil)
-		return
+	if !sess.materializeRec(p) {
+		return // long record: re-queued as a continuation read
 	}
-	if p.addr < sess.s.fenceBelow(p.hash) {
-		// An ownership fence retired this depth of the chain (it may have
-		// been laid down while the read was in flight): the record and
-		// everything deeper are stale — finish as if the chain ended.
+	for {
+		if p.err != nil {
+			sess.finishPending(p, StatusError, nil)
+			return
+		}
+		if p.addr < sess.s.fenceBelow(p.hash) {
+			// An ownership fence retired this depth of the chain (it may have
+			// been laid down while the read was in flight): the record and
+			// everything deeper are stale — finish as if the chain ended.
+			switch p.kind {
+			case opRead:
+				sess.finishPending(p, StatusNotFound, nil)
+			case opRMW:
+				st, v := sess.finishRMWWithValue(p, nil)
+				sess.finishOrRelease(p, st, v)
+			case opCondInsert:
+				sess.finishCondInsert(p)
+			}
+			return
+		}
+		rec := p.rec
+		m := rec.Meta()
+		match := !m.Invalid() && !m.Indirection() && bytes.Equal(rec.Key(), p.key)
+
 		switch p.kind {
 		case opRead:
-			sess.finishPending(p, StatusNotFound, nil)
-		case opRMW:
-			st, v := sess.finishRMWWithValue(p, nil)
-			sess.finishOrRelease(p, st, v)
-		case opCondInsert:
-			sess.finishCondInsert(p)
-		}
-		return
-	}
-	rec := p.rec
-	m := rec.Meta()
-	match := !m.Invalid() && !m.Indirection() && bytes.Equal(rec.Key(), p.key)
+			if match {
+				if m.Tombstone() {
+					sess.finishPending(p, StatusNotFound, nil)
+					return
+				}
+				sess.maybeCachePromote(p)
+				sess.finishPending(p, StatusOK, rec.Value())
+				return
+			}
+			if m.Indirection() && !m.Invalid() {
+				if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
+					p.hash >= ip.RangeStart && p.hash < ip.RangeEnd {
+					sess.finishPending(p, StatusIndirection, rec.Value())
+					return
+				}
+			}
+			switch sess.follow(p, m) {
+			case followEnd:
+				sess.finishPending(p, StatusNotFound, nil)
+				return
+			case followIssued:
+				return
+			}
 
-	switch p.kind {
-	case opRead:
-		if match {
-			if m.Tombstone() {
+		case opRMW:
+			// The chain may have gained an in-memory version while the read
+			// was in flight; prefer memory (it is strictly newer).
+			slot := sess.s.index.FindOrCreateEntry(p.hash)
+			res := sess.walkMemory(slot, p.key, p.hash)
+			if res.status != walkBelowHead {
+				st, v := sess.rmwFrom(slot, p.key, p.hash, p.input, p.comp)
+				sess.finishOrRelease(p, st, v)
+				return
+			}
+			if match {
+				var old []byte
+				if !m.Tombstone() {
+					old = rec.Value()
+				}
+				st, v := sess.finishRMWWithValue(p, old)
+				sess.finishOrRelease(p, st, v)
+				return
+			}
+			if m.Indirection() && !m.Invalid() {
+				if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
+					p.hash >= ip.RangeStart && p.hash < ip.RangeEnd {
+					sess.finishPending(p, StatusIndirection, rec.Value())
+					return
+				}
+			}
+			switch sess.follow(p, m) {
+			case followEnd:
+				st, v := sess.finishRMWWithValue(p, nil)
+				sess.finishOrRelease(p, st, v)
+				return
+			case followIssued:
+				return
+			}
+
+		case opCondInsert:
+			if match {
+				// A version (even a tombstone) exists: the incoming migrated
+				// record is older; drop it.
 				sess.finishPending(p, StatusNotFound, nil)
 				return
 			}
-			sess.finishPending(p, StatusOK, rec.Value())
-			return
-		}
-		if m.Indirection() && !m.Invalid() {
-			if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
-				p.hash >= ip.RangeStart && p.hash < ip.RangeEnd {
-				sess.finishPending(p, StatusIndirection, rec.Value())
+			switch sess.follow(p, m) {
+			case followEnd:
+				sess.finishCondInsert(p)
+				return
+			case followIssued:
 				return
 			}
 		}
-		if !sess.follow(p, m) {
-			sess.finishPending(p, StatusNotFound, nil)
-		}
-
-	case opRMW:
-		// The chain may have gained an in-memory version while the read
-		// was in flight; prefer memory (it is strictly newer).
-		slot := sess.s.index.FindOrCreateEntry(p.hash)
-		res := sess.walkMemory(slot, p.key, p.hash)
-		if res.status != walkBelowHead {
-			st, v := sess.rmwFrom(slot, p.key, p.hash, p.input, p.comp)
-			sess.finishOrRelease(p, st, v)
-			return
-		}
-		if match {
-			var old []byte
-			if !m.Tombstone() {
-				old = rec.Value()
-			}
-			st, v := sess.finishRMWWithValue(p, old)
-			sess.finishOrRelease(p, st, v)
-			return
-		}
-		if m.Indirection() && !m.Invalid() {
-			if ip, ok := hlog.DecodeIndirection(rec.Value()); ok &&
-				p.hash >= ip.RangeStart && p.hash < ip.RangeEnd {
-				sess.finishPending(p, StatusIndirection, rec.Value())
-				return
-			}
-		}
-		if !sess.follow(p, m) {
-			st, v := sess.finishRMWWithValue(p, nil)
-			sess.finishOrRelease(p, st, v)
-		}
-
-	case opCondInsert:
-		if match {
-			// A version (even a tombstone) exists: the incoming migrated
-			// record is older; drop it.
-			sess.finishPending(p, StatusNotFound, nil)
-			return
-		}
-		if !sess.follow(p, m) {
-			sess.finishCondInsert(p)
-		}
+		// followInline: p.addr/p.rec advanced within the span — loop.
 	}
 }
 
-// follow issues the next chain read and reports true; at the chain's end it
-// reports false and the caller finishes the operation.
-func (sess *Session) follow(p *pendingOp, m hlog.Meta) bool {
+// followResult says how a chain hop proceeded.
+type followResult uint8
+
+const (
+	followEnd    followResult = iota // chain exhausted: caller finishes the op
+	followInline                     // hop served from the span already read
+	followIssued                     // hop re-entered the pipeline queue
+)
+
+// follow advances p one chain hop. A predecessor that landed inside the span
+// buffer already read is served inline — same-page predecessors sit at lower
+// addresses, which is exactly what the span's read-behind covers — otherwise
+// the op re-enters the pipeline queue rather than blocking anything for the
+// round trip.
+func (sess *Session) follow(p *pendingOp, m hlog.Meta) followResult {
 	prev := m.Previous()
 	if prev == hlog.InvalidAddress || prev < sess.s.log.BeginAddress() ||
 		prev < sess.s.fenceBelow(p.hash) {
-		return false
+		return followEnd
 	}
 	p.addr = prev
-	sess.issueRead(p)
-	return true
+	if ent := p.ent; ent != nil && uint64(prev) >= ent.pos {
+		// Records are laid out sequentially within a page, so a same-span
+		// predecessor is always complete: [prev, prev+size) ends at or
+		// before the record just examined.
+		rec, _, err := hlog.ParseSpanRecord(ent.buf, int(uint64(prev)-ent.pos), prev, sess.s.log.PageBits())
+		if err == nil && rec != nil {
+			p.rec = rec
+			sess.s.stats.ReadaheadHits.Add(1)
+			return followInline
+		}
+	}
+	p.rec = nil
+	sess.releaseEntry(p.ent)
+	p.ent = nil
+	sess.enqueueRead(p)
+	return followIssued
 }
 
 // finishRMWWithValue applies the RMW against the storage-resident value (nil

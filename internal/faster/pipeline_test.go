@@ -1,0 +1,235 @@
+package faster
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/hashidx"
+	"repro/internal/hlog"
+	"repro/internal/storage"
+)
+
+// fillToEvict writes n filler records so earlier keys spill to the device.
+func fillToEvict(t testing.TB, sess *Session, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("filler-%06d", i)), val(i), nil)
+	}
+	if sess.s.Log().SafeHeadAddress() == 0 {
+		t.Fatal("filler did not evict anything to storage")
+	}
+}
+
+// TestPendingReadCoalescing queues many reads of the same cold key in one
+// batch: they must share one device I/O per chain hop, not one per read.
+func TestPendingReadCoalescing(t *testing.T) {
+	s, dev := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert(key(0), val(0), nil)
+	fillToEvict(t, sess, 3000)
+
+	readsBefore := dev.Stats().Reads
+	var okCount int
+	cb := func(st Status, v []byte) {
+		if st != StatusOK || !bytes.Equal(v, val(0)) {
+			t.Errorf("coalesced read: %v %q", st, v)
+		}
+		okCount++
+	}
+	const dup = 64
+	for i := 0; i < dup; i++ {
+		if st := sess.Read(key(0), cb); st != StatusPending {
+			t.Fatalf("read %d: %v, want pending", i, st)
+		}
+	}
+	sess.CompletePending(true)
+	if okCount != dup {
+		t.Fatalf("completed %d of %d reads", okCount, dup)
+	}
+	if got := s.Stats().PendingCoalesced.Load(); got == 0 {
+		t.Fatal("identical queued reads did not coalesce")
+	}
+	if s.Stats().DeviceBatchReads.Load() == 0 {
+		t.Fatal("no batched device submission recorded")
+	}
+	if devReads := dev.Stats().Reads - readsBefore; devReads >= dup {
+		t.Fatalf("%d device reads for %d duplicate key reads (no coalescing)",
+			devReads, dup)
+	}
+}
+
+// TestPendingReadCoalescingConcurrent drives the same cold chain from
+// several sessions at once (run under -race in CI).
+func TestPendingReadCoalescingConcurrent(t *testing.T) {
+	s, _ := testStore(t)
+	setup := s.NewSession()
+	sess := setup
+	sess.Upsert(key(0), val(0), nil)
+	fillToEvict(t, sess, 3000)
+	setup.Close()
+
+	const threads, per = 4, 32
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			for i := 0; i < per; i++ {
+				sess.Read(key(0), func(st Status, v []byte) {
+					if st != StatusOK || !bytes.Equal(v, val(0)) {
+						t.Errorf("read: %v %q", st, v)
+					}
+				})
+			}
+			sess.CompletePending(true)
+		}()
+	}
+	wg.Wait()
+	if s.Stats().PendingCoalesced.Load() == 0 {
+		t.Fatal("no coalescing under concurrent same-chain load")
+	}
+}
+
+// TestPendingReadsNoGoroutinePerRead pins the pipeline design: queuing
+// hundreds of cold reads must not spawn a goroutine per read.
+func TestPendingReadsNoGoroutinePerRead(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	for i := 0; i < 3000; i++ {
+		sess.Upsert(key(i), val(i), nil)
+	}
+	if s.Log().SafeHeadAddress() == 0 {
+		t.Fatal("dataset did not spill")
+	}
+
+	baseline := runtime.NumGoroutine()
+	pending, peak := 0, 0
+	discard := func(Status, []byte) {}
+	for i := 0; i < 1024; i++ {
+		if st := sess.Read(key(i%3000), discard); st == StatusPending {
+			pending++
+		}
+		if i%128 == 127 {
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			sess.CompletePending(false)
+		}
+	}
+	sess.CompletePending(true)
+	if pending == 0 {
+		t.Fatal("no read went pending; test not exercising the pipeline")
+	}
+	// Device workers and the runtime add a handful of goroutines; anything
+	// near the pending-read count means a goroutine-per-read regression.
+	if peak > baseline+8 {
+		t.Fatalf("goroutines grew from %d to %d across %d pending reads",
+			baseline, peak, pending)
+	}
+}
+
+// TestPendingReadSteadyStateAllocs pins the pooled pending path: once the
+// entry/op pools are warm, a cold read costs a small constant number of
+// heap allocations.
+func TestPendingReadSteadyStateAllocs(t *testing.T) {
+	s, _ := testStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert(key(0), val(0), nil)
+	fillToEvict(t, sess, 3000)
+
+	misses := 0
+	discard := func(st Status, _ []byte) {
+		if st != StatusOK {
+			misses++
+		}
+	}
+	coldRead := func() {
+		if st := sess.Read(key(0), discard); st == StatusPending {
+			sess.CompletePending(true)
+		}
+	}
+	for i := 0; i < 10; i++ { // warm the op/entry/buffer pools
+		coldRead()
+	}
+	avg := testing.AllocsPerRun(100, coldRead)
+	if misses != 0 {
+		t.Fatalf("%d reads failed", misses)
+	}
+	// One batch slice, one completion closure and small bookkeeping per
+	// flush; the op, entry and span buffer must come from the pools.
+	if avg > 12 {
+		t.Fatalf("steady-state cold read costs %.1f allocs, want <= 12", avg)
+	}
+}
+
+// chainKeys mines n keys that share one index slot — same bucket (the index
+// has `buckets` main buckets) and same tag — so their records form a single
+// hash chain. HashOf is deterministic, so the mining is too.
+func chainKeys(t *testing.T, buckets uint64, n int) [][]byte {
+	t.Helper()
+	type slot struct {
+		bucket uint64
+		tag    uint16
+	}
+	groups := make(map[slot][]int)
+	for i := 0; i < 500_000; i++ {
+		h := HashOf(key(i))
+		sl := slot{h & (buckets - 1), hashidx.TagOf(h)}
+		groups[sl] = append(groups[sl], i)
+		if len(groups[sl]) == n {
+			keys := make([][]byte, n)
+			for j, k := range groups[sl] {
+				keys[j] = key(k)
+			}
+			return keys
+		}
+	}
+	t.Fatal("no slot collision found")
+	return nil
+}
+
+// TestReadaheadServesChainHops builds a deep hash chain of adjacent records,
+// spills it, then reads the oldest key: the chain hops land inside the span
+// the first device read already fetched and must be served from it instead
+// of issuing one device I/O per hop.
+func TestReadaheadServesChainHops(t *testing.T) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	s, err := NewStore(Config{
+		IndexBuckets: 1 << 4,
+		Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+			Device: dev, LogID: "readahead"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); dev.Close() })
+	sess := s.NewSession()
+	defer sess.Close()
+
+	keys := chainKeys(t, 1<<4, 5)
+	for i, k := range keys {
+		sess.Upsert(k, val(i), nil) // consecutive appends: adjacent addresses
+	}
+	fillToEvict(t, sess, 3000)
+
+	readsBefore := dev.Stats().Reads
+	got, st := mustRead(t, sess, keys[0]) // oldest: deepest in the chain
+	if st != StatusOK || !bytes.Equal(got, val(0)) {
+		t.Fatalf("chained key: %v %q", st, got)
+	}
+	if s.Stats().ReadaheadHits.Load() == 0 {
+		t.Fatal("no chain hop was served from the readahead span")
+	}
+	if devReads := dev.Stats().Reads - readsBefore; devReads >= uint64(len(keys)) {
+		t.Fatalf("%d device reads walking a %d-deep chain (readahead not used)",
+			devReads, len(keys))
+	}
+}

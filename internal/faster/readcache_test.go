@@ -1,0 +1,247 @@
+package faster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hlog"
+	"repro/internal/storage"
+)
+
+// cacheStore builds a small store with the second-chance read cache enabled.
+func cacheStore(t testing.TB) (*Store, *storage.MemDevice) {
+	t.Helper()
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	s, err := NewStore(Config{
+		IndexBuckets: 1 << 10,
+		ReadCache:    true,
+		Log: hlog.Config{
+			PageBits: 12, MemPages: 16, MutablePages: 8,
+			Device: dev, LogID: "cache-store",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); dev.Close() })
+	return s, dev
+}
+
+// coldReadOnce reads k expecting the pending path, and returns the value.
+func coldReadOnce(t *testing.T, sess *Session, k []byte) ([]byte, Status) {
+	t.Helper()
+	got, st := mustRead(t, sess, k)
+	return got, st
+}
+
+// TestReadCacheSecondChancePromotes pins the promotion discipline: the first
+// disk hit only marks the key, the second copies it to the mutable tail, and
+// from then on reads are served from memory.
+func TestReadCacheSecondChancePromotes(t *testing.T) {
+	s, _ := cacheStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert(key(0), val(0), nil)
+	fillToEvict(t, sess, 3000)
+
+	// First disk hit: second-chance bit only, no copy.
+	if got, st := coldReadOnce(t, sess, key(0)); st != StatusOK || !bytes.Equal(got, val(0)) {
+		t.Fatalf("first read: %v %q", st, got)
+	}
+	if n := s.Stats().ReadCacheCopies.Load(); n != 0 {
+		t.Fatalf("first disk hit promoted (%d copies); scan resistance broken", n)
+	}
+
+	// Second disk hit: promoted to the tail.
+	if got, st := coldReadOnce(t, sess, key(0)); st != StatusOK || !bytes.Equal(got, val(0)) {
+		t.Fatalf("second read: %v %q", st, got)
+	}
+	if n := s.Stats().ReadCacheCopies.Load(); n != 1 {
+		t.Fatalf("second disk hit made %d copies, want 1", n)
+	}
+
+	// Third read: in memory now — must not go pending.
+	var got []byte
+	st := sess.Read(key(0), func(_ Status, v []byte) { got = append(got[:0], v...) })
+	if st != StatusOK || !bytes.Equal(got, val(0)) {
+		t.Fatalf("post-promotion read: %v %q (want an in-memory hit)", st, got)
+	}
+	if s.Stats().ReadCacheHits.Load() == 0 {
+		t.Fatal("in-memory hit on a promoted key not counted")
+	}
+}
+
+// TestReadCacheDoesNotShadowConcurrentUpsert pins the re-verify step: a
+// promote whose record is no longer the chain's newest version (an upsert
+// landed while the read was in flight) must be abandoned.
+func TestReadCacheDoesNotShadowConcurrentUpsert(t *testing.T) {
+	s, _ := cacheStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert(key(0), val(0), nil)
+	fillToEvict(t, sess, 3000)
+
+	coldReadOnce(t, sess, key(0)) // second-chance bit set
+
+	// Issue the would-promote read, then land a newer version before it
+	// completes.
+	var old []byte
+	if st := sess.Read(key(0), func(_ Status, v []byte) { old = append(old[:0], v...) }); st != StatusPending {
+		t.Fatalf("read: %v, want pending", st)
+	}
+	writer := s.NewSession()
+	if st := writer.Upsert(key(0), []byte("newer"), nil); st != StatusOK {
+		t.Fatalf("upsert: %v", st)
+	}
+	writer.Close()
+	sess.CompletePending(true)
+
+	// The read itself linearizes at issue time and may return the old value;
+	// the promote must have been dropped.
+	if !bytes.Equal(old, val(0)) && string(old) != "newer" {
+		t.Fatalf("pending read returned %q", old)
+	}
+	if n := s.Stats().ReadCacheCopies.Load(); n != 0 {
+		t.Fatalf("%d promotions despite a newer in-memory version", n)
+	}
+	got, st := mustRead(t, sess, key(0))
+	if st != StatusOK || string(got) != "newer" {
+		t.Fatalf("read after upsert: %v %q (stale cache copy shadows the upsert)", st, got)
+	}
+}
+
+// TestReadCacheRespectsFence pins the ownership-fence interaction: once a
+// fence retires a record, an in-flight read of it must neither return it nor
+// resurrect it via a cache copy.
+func TestReadCacheRespectsFence(t *testing.T) {
+	s, _ := cacheStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert(key(0), val(0), nil)
+	fillToEvict(t, sess, 3000)
+
+	coldReadOnce(t, sess, key(0)) // second-chance bit set
+
+	var st2 Status
+	if st := sess.Read(key(0), func(st Status, _ []byte) { st2 = st }); st != StatusPending {
+		t.Fatalf("read: %v, want pending", st)
+	}
+	// The server becomes an inbound-migration target for the whole hash
+	// space: everything below the current tail is retired.
+	s.AddFence(0, ^uint64(0), s.Log().TailAddress())
+	sess.CompletePending(true)
+
+	if st2 != StatusNotFound {
+		t.Fatalf("fenced read returned %v, want NotFound", st2)
+	}
+	if n := s.Stats().ReadCacheCopies.Load(); n != 0 {
+		t.Fatalf("%d promotions resurrected a fence-retired record", n)
+	}
+	if _, st := mustRead(t, sess, key(0)); st != StatusNotFound {
+		t.Fatalf("fence-retired key readable again: %v", st)
+	}
+}
+
+// TestReadCacheDoesNotShadowMigratedRecord pins the migration interaction:
+// after a fence plus a ConditionalInsert of the shipped (authoritative)
+// version, a read that was in flight against the stale pre-fence record must
+// not promote it over the migrated one.
+func TestReadCacheDoesNotShadowMigratedRecord(t *testing.T) {
+	s, _ := cacheStore(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert(key(0), val(0), nil)
+	fillToEvict(t, sess, 3000)
+
+	coldReadOnce(t, sess, key(0)) // second-chance bit set
+
+	if st := sess.Read(key(0), func(Status, []byte) {}); st != StatusPending {
+		t.Fatalf("read: %v, want pending", st)
+	}
+	// Inbound migration: fence the range, then install the shipped version.
+	s.AddFence(0, ^uint64(0), s.Log().TailAddress())
+	target := s.NewSession()
+	if st := target.ConditionalInsert(key(0), []byte("migrated"), false, nil); st != StatusOK {
+		t.Fatalf("conditional insert over fence: %v", st)
+	}
+	target.Close()
+	sess.CompletePending(true)
+
+	if n := s.Stats().ReadCacheCopies.Load(); n != 0 {
+		t.Fatalf("%d promotions shadowed a migrated record", n)
+	}
+	got, st := mustRead(t, sess, key(0))
+	if st != StatusOK || string(got) != "migrated" {
+		t.Fatalf("read after migration: %v %q, want the shipped version", st, got)
+	}
+}
+
+// TestReadCachePromoteAfterCheckpointCut pins CPR stamping: a promotion that
+// lands after a checkpoint cut is stamped with the new version and must not
+// leak into the sealed image.
+func TestReadCachePromoteAfterCheckpointCut(t *testing.T) {
+	dev := storage.NewMemDevice(storage.LatencyModel{}, 4)
+	defer dev.Close()
+	cfg := Config{
+		IndexBuckets: 1 << 10,
+		ReadCache:    true,
+		Log: hlog.Config{PageBits: 12, MemPages: 16, MutablePages: 8,
+			Device: dev, LogID: "cache-cut"},
+	}
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSession()
+	sess.Upsert(key(0), val(0), nil)
+	fillToEvict(t, sess, 3000)
+	coldReadOnce(t, sess, key(0)) // second-chance bit set
+
+	cutFired := make(chan uint32, 1)
+	postCutDone := make(chan struct{})
+	type outcome struct {
+		info CheckpointInfo
+		err  error
+	}
+	res := make(chan outcome, 1)
+	var blob bytes.Buffer
+	s.CheckpointCut(&blob,
+		func(sealed uint32) {
+			cutFired <- sealed
+			<-postCutDone
+		},
+		func(info CheckpointInfo, err error) { res <- outcome{info, err} })
+
+	sess.Refresh()
+	<-cutFired
+	// Post-cut: the second disk hit promotes, stamped with version 2.
+	if got, st := coldReadOnce(t, sess, key(0)); st != StatusOK || !bytes.Equal(got, val(0)) {
+		t.Fatalf("post-cut read: %v %q", st, got)
+	}
+	if n := s.Stats().ReadCacheCopies.Load(); n != 1 {
+		t.Fatalf("post-cut promotions: %d, want 1", n)
+	}
+	close(postCutDone)
+	// The image writer flushes the log, which needs every epoch guard to
+	// advance: close the (idle) session before waiting on the result.
+	sess.Close()
+	out := <-res
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	s.Close()
+
+	cfg2 := cfg
+	cfg2.Log.Epoch = nil
+	r, err := Recover(cfg2, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	got, st := mustRead(t, rs, key(0))
+	if st != StatusOK || !bytes.Equal(got, val(0)) {
+		t.Fatalf("recovered read: %v %q", st, got)
+	}
+}

@@ -37,6 +37,10 @@ type Session struct {
 	inflight    atomic.Int64
 	closed      bool
 
+	// pipe is the session's pending-read pipeline: queued reads, coalesced
+	// by address, submitted to the device in batches (pipeline.go).
+	pipe readPipe
+
 	// handler receives token-based pending completions.
 	handler CompletionHandler
 
@@ -163,18 +167,36 @@ func (sess *Session) maybeRefresh() {
 // Pending returns the number of operations awaiting storage I/O.
 func (sess *Session) Pending() int { return int(sess.inflight.Load()) }
 
-// CompletePending runs completions for finished storage I/O. With wait set
-// it blocks until no operations remain in flight; otherwise it drains what
-// is ready and returns. Returns the number of completions processed.
+// CompletePending runs completions for finished storage I/O, first
+// submitting any reads still queued on the pipeline. With wait set it blocks
+// until no operations remain in flight; otherwise it drains what is ready
+// and returns. Returns the number of completions processed.
 func (sess *Session) CompletePending(wait bool) int {
 	n := 0
 	for {
+		if len(sess.pipe.ready) > 0 {
+			// Ops that coalesced onto an already-finished read complete
+			// from the session-local ready list, oldest first.
+			p := sess.pipe.ready[0]
+			copy(sess.pipe.ready, sess.pipe.ready[1:])
+			sess.pipe.ready = sess.pipe.ready[:len(sess.pipe.ready)-1]
+			sess.resume(p)
+			n++
+			continue
+		}
 		select {
 		case p := <-sess.completions:
 			sess.resume(p)
 			n++
 			continue
 		default:
+		}
+		// Submit whatever the drain (or the caller) queued before deciding
+		// to return or block: a queued read is invisible to the device until
+		// flushed, and blocking on an unsubmitted read would deadlock.
+		sess.flushReads()
+		if len(sess.pipe.ready) > 0 {
+			continue // flush coalesced ops onto already-finished reads
 		}
 		if !wait || sess.inflight.Load() == 0 {
 			return n
@@ -313,6 +335,7 @@ func (sess *Session) readHash(key []byte, hash uint64, comp completion) (Status,
 	res := sess.walkMemory(slot, key, hash)
 	switch res.status {
 	case walkFound:
+		sess.s.noteCacheHit(hash)
 		sess.maybeSample(hash, res)
 		sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
 		return StatusOK, sess.valBuf
@@ -322,7 +345,7 @@ func (sess *Session) readHash(key []byte, hash uint64, comp completion) (Status,
 		sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
 		return StatusIndirection, sess.valBuf
 	default: // walkBelowHead
-		sess.issueRead(sess.newPendingOp(opRead, key, nil, hash, res.addr, comp))
+		sess.enqueueRead(sess.newPendingOp(opRead, key, nil, hash, res.addr, comp))
 		return StatusPending, nil
 	}
 }
@@ -455,7 +478,7 @@ func (sess *Session) rmwFrom(slot hashidx.Slot, key []byte, hash uint64, input [
 			sess.valBuf = res.rec.ReadValueStable(sess.valBuf)
 			return StatusIndirection, sess.valBuf
 		case walkBelowHead:
-			sess.issueRead(sess.newPendingOp(opRMW, key, input, hash, res.addr, comp))
+			sess.enqueueRead(sess.newPendingOp(opRMW, key, input, hash, res.addr, comp))
 			return StatusPending, nil
 		}
 	}

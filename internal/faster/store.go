@@ -86,6 +86,18 @@ type Config struct {
 	// ReadHintBytes sizes the first storage read of a pending operation;
 	// records at most this large need a single I/O. Defaults to 256.
 	ReadHintBytes int
+	// ReadAheadBytes extends each pipelined record read backwards by up to
+	// this many bytes (clamped to the page start): chain predecessors on the
+	// same page land in the span and follow hops are served without another
+	// device trip. Defaults to 1024; negative disables read-behind.
+	ReadAheadBytes int
+	// ReadCache enables the second-chance read cache: disk-resident read
+	// hits are (probabilistically) copied back into the mutable log region
+	// so subsequent reads hit memory. See readcache.go.
+	ReadCache bool
+	// ReadCacheSlots sizes the read cache's second-chance filter (rounded up
+	// to a power of two). Defaults to 8192.
+	ReadCacheSlots int
 }
 
 // Store is a FASTER instance.
@@ -116,6 +128,13 @@ type Store struct {
 	// hash ranges (see fence.go).
 	fences fenceSet
 
+	// Second-chance read cache filter tables (nil when disabled): cacheSeen
+	// holds the second-chance bits, cachePromoted the tags of keys whose
+	// records were copied to the tail (see readcache.go).
+	cacheSeen     []atomic.Uint32
+	cachePromoted []atomic.Uint32
+	cacheMask     uint64
+
 	stats StoreStats
 }
 
@@ -141,6 +160,19 @@ type StoreStats struct {
 	_              cachePad
 	PendingIssued  atomic.Uint64
 	SampledCopies  atomic.Uint64
+	_              cachePad
+	// Cold-read pipeline counters (flushReads, on session goroutines):
+	// PendingCoalesced counts ops that shared another op's in-flight device
+	// read; DeviceBatchReads counts batch submissions; ReadaheadHits counts
+	// chain hops served from a span already read.
+	PendingCoalesced atomic.Uint64
+	DeviceBatchReads atomic.Uint64
+	ReadaheadHits    atomic.Uint64
+	_                cachePad
+	// Second-chance read cache counters: copies to the tail and (tag-based,
+	// approximate) in-memory hits on promoted keys.
+	ReadCacheCopies atomic.Uint64
+	ReadCacheHits   atomic.Uint64
 }
 
 // NewStore creates a Store. The log device must be set in cfg.Log.Device.
@@ -156,6 +188,14 @@ func NewStore(cfg Config) (*Store, error) {
 	}
 	if cfg.ReadHintBytes == 0 {
 		cfg.ReadHintBytes = 256
+	}
+	if cfg.ReadAheadBytes == 0 {
+		cfg.ReadAheadBytes = 1024
+	} else if cfg.ReadAheadBytes < 0 {
+		cfg.ReadAheadBytes = 0
+	}
+	if cfg.ReadCacheSlots <= 0 {
+		cfg.ReadCacheSlots = 8192
 	}
 	em := cfg.Log.Epoch
 	if em == nil {
@@ -179,6 +219,15 @@ func NewStore(cfg Config) (*Store, error) {
 		device: cfg.Log.Device,
 	}
 	s.version.Store(1)
+	if cfg.ReadCache {
+		slots := 1
+		for slots < cfg.ReadCacheSlots {
+			slots <<= 1
+		}
+		s.cacheSeen = make([]atomic.Uint32, slots)
+		s.cachePromoted = make([]atomic.Uint32, slots)
+		s.cacheMask = uint64(slots - 1)
+	}
 	return s, nil
 }
 

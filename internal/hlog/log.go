@@ -515,8 +515,11 @@ func readRecordFrom(read func([]byte, uint64) error, pageBits uint, addr Address
 	if need <= len(buf) {
 		return r[:need], nil
 	}
+	// Long record: the hint read holds a valid prefix — copy it and read only
+	// the missing suffix instead of re-reading the whole record from scratch.
 	full := alignedBuf(need)
-	if err := read(full, uint64(addr)); err != nil {
+	have := copy(full, buf)
+	if err := read(full[have:], uint64(addr)+uint64(have)); err != nil {
 		return nil, err
 	}
 	return Record(full), nil
@@ -526,6 +529,72 @@ func readRecordFrom(read func([]byte, uint64) error, pageBits uint, addr Address
 func alignedBuf(n int) []byte {
 	words := make([]uint64, (n+7)/8)
 	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}
+
+// AlignedBuf allocates an 8-byte-aligned byte slice of n bytes. Buffers that
+// receive records from the device must be word-aligned: Record's header
+// accessors are atomic word loads.
+func AlignedBuf(n int) []byte { return alignedBuf(n) }
+
+// Device exposes the log's local block device to the pending-read pipeline.
+func (l *Log) Device() storage.Device { return l.cfg.Device }
+
+// PageBits exposes the log's page size exponent.
+func (l *Log) PageBits() uint { return l.cfg.PageBits }
+
+// PlanRecordRead computes the device span for one pipelined record read:
+// hint bytes forward from addr, clamped to the record's page end, plus up to
+// behind bytes of readahead before it, clamped to the page start and to
+// floor (the log's begin address — bytes below it may be reclaimed). Chain
+// predecessors live at lower addresses on earlier-or-equal pages, so
+// read-behind is what lets a follow hop land inside the span. It returns the
+// device offset to read from, the span length, and the record's offset
+// within the span. Records never span pages, so the span never does either.
+func PlanRecordRead(addr Address, hint, behind int, pageBits uint, floor Address) (off uint64, n, recOff int) {
+	if hint < HeaderBytes+16 {
+		hint = HeaderBytes + 16
+	}
+	pageStart := (uint64(addr) >> pageBits) << pageBits
+	pageEnd := pageStart + (uint64(1) << pageBits)
+	end := uint64(addr) + uint64(hint)
+	if end > pageEnd {
+		end = pageEnd
+	}
+	start := uint64(addr)
+	if behind > 0 {
+		if uint64(behind) > start-pageStart {
+			start = pageStart
+		} else {
+			start -= uint64(behind)
+		}
+		if start < uint64(floor) {
+			start = uint64(floor)
+		}
+	}
+	return start, int(end - start), int(uint64(addr) - start)
+}
+
+// ParseSpanRecord parses the record at recOff inside a span buffer read from
+// the device (buf[0] is device byte spanPos; the record starts at
+// spanPos+recOff). When the span holds the whole record it is returned with
+// need == 0. When the record is longer than the available bytes, need is its
+// full size and rec is nil: the caller must issue a continuation read (the
+// prefix already in buf is valid and reusable). A zero length word (padding)
+// or a size crossing the page boundary is corruption and returns an error.
+func ParseSpanRecord(buf []byte, recOff int, addr Address, pageBits uint) (rec Record, need int, err error) {
+	r := Record(buf[recOff:])
+	if r.LenWordZero() {
+		return nil, 0, fmt.Errorf("hlog: no record at %#x (padding)", addr)
+	}
+	need = r.Size()
+	pageEnd := ((uint64(addr) >> pageBits) + 1) << pageBits
+	if uint64(need) > pageEnd-uint64(addr) {
+		return nil, 0, fmt.Errorf("hlog: corrupt record at %#x: size %d exceeds page", addr, need)
+	}
+	if recOff+need <= len(buf) {
+		return r[:need], 0, nil
+	}
+	return nil, need, nil
 }
 
 // LenWordZero reports whether the record's length word is zero (padding /

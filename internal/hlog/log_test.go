@@ -530,3 +530,87 @@ func BenchmarkAllocateWrite(b *testing.B) {
 		}
 	}
 }
+
+// TestLongRecordDeviceReadReusesPrefix pins the two-read path for records
+// longer than the hint: the second read must fetch only the missing suffix,
+// not the whole record again.
+func TestLongRecordDeviceReadReusesPrefix(t *testing.T) {
+	l, em, dev := testLog(t)
+	g := em.Register()
+	defer g.Unregister()
+
+	key := []byte("long-rec")
+	val := bytes.Repeat([]byte{0xAB}, 1500)
+	sz := RecordSize(len(key), len(val))
+	addr, buf, err := l.Allocate(g, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteRecord(buf, NewMeta(InvalidAddress, 0, false, false), key, val)
+
+	fillSz := RecordSize(8, 56)
+	for i := 0; l.FlushedUntilAddress() < addr+Address(sz); i++ {
+		if i > 20_000 {
+			t.Fatal("record never flushed")
+		}
+		_, fb, err := l.Allocate(g, fillSz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteRecord(fb, NewMeta(InvalidAddress, 0, false, false),
+			[]byte(fmt.Sprintf("f%07d", i)), make([]byte, 56))
+		g.Refresh()
+	}
+
+	const hint = 64
+	before := dev.Stats().ReadBytes
+	r, err := l.ReadRecordFromDevice(addr, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Key(), key) || !bytes.Equal(r.Value(), val) {
+		t.Fatal("long record round trip failed")
+	}
+	// hint bytes + the suffix == exactly sz; re-reading the whole record
+	// after the hint (the old behavior) would cost hint + sz.
+	if delta := dev.Stats().ReadBytes - before; delta != uint64(sz) {
+		t.Fatalf("device read %d bytes for a %d-byte record (prefix not reused)",
+			delta, sz)
+	}
+}
+
+// TestPlanRecordRead pins the span geometry: read-behind clamped to the page
+// start and the floor, read-ahead clamped to the page end.
+func TestPlanRecordRead(t *testing.T) {
+	const pageBits = 12
+	cases := []struct {
+		addr         Address
+		hint, behind int
+		floor        Address
+		off          uint64
+		n, recOff    int
+	}{
+		// Mid-page: behind and hint both fit.
+		{addr: 8192 + 2048, hint: 256, behind: 512, floor: 0,
+			off: 8192 + 1536, n: 512 + 256, recOff: 512},
+		// Behind clamped to the page start (records never span pages).
+		{addr: 8192 + 100, hint: 256, behind: 512, floor: 0,
+			off: 8192, n: 100 + 256, recOff: 100},
+		// Behind clamped to the floor (log truncation point).
+		{addr: 8192 + 300, hint: 256, behind: 512, floor: 8192 + 200,
+			off: 8192 + 200, n: 100 + 256, recOff: 100},
+		// Hint clamped to the page end.
+		{addr: 2*4096 - 64, hint: 256, behind: 0, floor: 0,
+			off: 2*4096 - 64, n: 64, recOff: 0},
+		// Tiny hint raised to the header minimum (32).
+		{addr: 8192, hint: 1, behind: 0, floor: 0,
+			off: 8192, n: HeaderBytes + 16, recOff: 0},
+	}
+	for i, c := range cases {
+		off, n, recOff := PlanRecordRead(c.addr, c.hint, c.behind, pageBits, c.floor)
+		if off != c.off || n != c.n || recOff != c.recOff {
+			t.Errorf("case %d: got (%d,%d,%d), want (%d,%d,%d)",
+				i, off, n, recOff, c.off, c.n, c.recOff)
+		}
+	}
+}

@@ -79,6 +79,12 @@ type Config struct {
 	// attempts, each expected to fail with ErrMigrationOverlap (default 2).
 	OverlapAttempts int
 
+	// ReadCache runs every server with the second-chance read cache enabled
+	// under a deliberately small memory budget, so cold reads, promotions to
+	// the tail and the fault schedule (fences, migrations, checkpoints,
+	// recovery) all interleave.
+	ReadCache bool
+
 	// Logf, when set, receives progress lines (e.g. testing.T.Logf).
 	Logf func(format string, args ...any)
 }
@@ -336,6 +342,13 @@ func (h *harness) serverOpts(nd *node, extra ...shadowfax.ServerOption) []shadow
 		shadowfax.WithLogDevice(nd.logDev),
 		shadowfax.WithCheckpointDevice(nd.ckptDev),
 		shadowfax.WithSampleDuration(sampleDuration),
+	}
+	if h.cfg.ReadCache {
+		// A small budget (4 KiB pages, 16 frames) forces part of the
+		// keyspace onto storage so the cache actually promotes.
+		opts = append(opts,
+			shadowfax.WithMemoryBudget(12, 16, 8),
+			shadowfax.WithReadCache(true))
 	}
 	if nd.balance {
 		opts = append(opts, shadowfax.WithAutoScale(shadowfax.AutoScaleConfig{

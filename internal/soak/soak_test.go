@@ -39,6 +39,31 @@ func TestSoakLinearizability(t *testing.T) {
 		res.Kills, res.Cancels, res.OverlapRejections)
 }
 
+// TestSoakReadCache runs one full fault schedule with the second-chance
+// read cache enabled and a memory budget small enough that part of the
+// keyspace lives on storage: cache promotions must coexist with fences,
+// concurrent migrations, kills and recovery without a single violation.
+func TestSoakReadCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak takes seconds; skipped in -short")
+	}
+	res, err := Run(Config{
+		Servers:   4,
+		Clients:   4,
+		Keys:      4096,
+		Duration:  4 * time.Second,
+		Seed:      7,
+		ReadCache: true,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak run failed: %v", err)
+	}
+	assertSoak(t, res)
+	t.Logf("read-cache soak: %d ops (%.3f Mops/s), %d migrations seen, max %d concurrent",
+		res.Ops, res.AggregateMops, res.MigrationsSeen, res.MaxConcurrentMigrations)
+}
+
 // TestSoakSmoke is the CI smoke configuration: 4 servers, a longer budget,
 // fixed seed. Gated behind SOAK_SMOKE=1 so the ordinary test run stays fast;
 // the CI workflow's soak job sets it.

@@ -45,6 +45,38 @@ type DeviceStats struct {
 	ReadBytes, WrittenBytes uint64
 	// TrimmedBytes counts storage released through TruncateBefore.
 	TrimmedBytes uint64
+	// BatchReads counts ReadBatch submissions accepted natively (devices
+	// without the BatchReader hook report 0; the portable fallback is
+	// indistinguishable from individual ReadAt calls).
+	BatchReads uint64
+}
+
+// ReadReq is one read in a ReadBatch submission: fill P from byte offset Off.
+type ReadReq struct {
+	P   []byte
+	Off uint64
+}
+
+// BatchReader is the optional vectored-read hook on a Device. The pending-read
+// pipeline submits one batch per dispatch cycle; a native implementation can
+// enqueue the whole batch in one pass instead of paying per-read submission
+// overhead. done(i, err) is invoked exactly once per request, from the
+// device's worker goroutines, in any order; callers must not block in it.
+type BatchReader interface {
+	ReadBatch(reqs []ReadReq, done func(i int, err error))
+}
+
+// ReadBatch submits reqs to d, using its BatchReader hook when present and a
+// portable ReadAt loop otherwise. Completion semantics match BatchReader.
+func ReadBatch(d Device, reqs []ReadReq, done func(i int, err error)) {
+	if br, ok := d.(BatchReader); ok {
+		br.ReadBatch(reqs, done)
+		return
+	}
+	for i := range reqs {
+		i := i
+		d.ReadAt(reqs[i].P, reqs[i].Off, func(err error) { done(i, err) })
+	}
 }
 
 // Truncator is the optional space-reclaim hook on a Device. Log compaction
@@ -80,12 +112,25 @@ type LatencyModel struct {
 	BytesPerSec int
 }
 
-// ioJob is one queued operation on a simulated device.
+// ioJob is one queued operation on a simulated device. Batch reads carry the
+// request's index and the shared batch callback instead of a per-read done
+// closure, so submitting a batch allocates nothing per request.
 type ioJob struct {
 	write bool
 	buf   []byte
 	off   uint64
 	done  func(error)
+	idx   int
+	bdone func(int, error)
+}
+
+// finish invokes whichever completion style the job carries.
+func (j ioJob) finish(err error) {
+	if j.bdone != nil {
+		j.bdone(j.idx, err)
+		return
+	}
+	j.done(err)
 }
 
 // MemDevice is an in-memory Device standing in for the local SSD. Data is
@@ -109,6 +154,7 @@ type deviceStats struct {
 	reads, writes           atomic.Uint64
 	readBytes, writtenBytes atomic.Uint64
 	trimmedBytes            atomic.Uint64
+	batchReads              atomic.Uint64
 }
 
 func (s *deviceStats) snapshot() DeviceStats {
@@ -118,6 +164,7 @@ func (s *deviceStats) snapshot() DeviceStats {
 		ReadBytes:    s.readBytes.Load(),
 		WrittenBytes: s.writtenBytes.Load(),
 		TrimmedBytes: s.trimmedBytes.Load(),
+		BatchReads:   s.batchReads.Load(),
 	}
 }
 
@@ -154,7 +201,7 @@ func (d *MemDevice) worker() {
 			d.doWrite(job.buf, job.off)
 			d.stats.writes.Add(1)
 			d.stats.writtenBytes.Add(uint64(len(job.buf)))
-			job.done(nil)
+			job.finish(nil)
 		} else {
 			if d.model.ReadLatency > 0 {
 				time.Sleep(d.model.ReadLatency)
@@ -162,7 +209,7 @@ func (d *MemDevice) worker() {
 			err := d.doRead(job.buf, job.off)
 			d.stats.reads.Add(1)
 			d.stats.readBytes.Add(uint64(len(job.buf)))
-			job.done(err)
+			job.finish(err)
 		}
 	}
 }
@@ -224,6 +271,21 @@ func (d *MemDevice) ReadAt(p []byte, off uint64, done func(error)) {
 		return
 	}
 	d.jobs <- ioJob{buf: p, off: off, done: done}
+}
+
+// ReadBatch implements BatchReader: the whole batch is enqueued in one pass,
+// each job carrying its index and the shared callback (no closure per read).
+func (d *MemDevice) ReadBatch(reqs []ReadReq, done func(int, error)) {
+	if d.closed.Load() {
+		for i := range reqs {
+			done(i, ErrClosed)
+		}
+		return
+	}
+	d.stats.batchReads.Add(1)
+	for i := range reqs {
+		d.jobs <- ioJob{buf: reqs[i].P, off: reqs[i].Off, idx: i, bdone: done}
+	}
 }
 
 // WriteSync writes synchronously; a convenience for checkpoints and tests.

@@ -72,7 +72,7 @@ func (d *FileDevice) worker() {
 			}
 			d.stats.writes.Add(1)
 			d.stats.writtenBytes.Add(uint64(len(job.buf)))
-			job.done(err)
+			job.finish(err)
 		} else {
 			if d.model.ReadLatency > 0 {
 				time.Sleep(d.model.ReadLatency)
@@ -80,7 +80,7 @@ func (d *FileDevice) worker() {
 			_, err := d.f.ReadAt(job.buf, int64(job.off))
 			d.stats.reads.Add(1)
 			d.stats.readBytes.Add(uint64(len(job.buf)))
-			job.done(err)
+			job.finish(err)
 		}
 	}
 }
@@ -101,6 +101,20 @@ func (d *FileDevice) ReadAt(p []byte, off uint64, done func(error)) {
 		return
 	}
 	d.jobs <- ioJob{buf: p, off: off, done: done}
+}
+
+// ReadBatch implements BatchReader (see MemDevice.ReadBatch).
+func (d *FileDevice) ReadBatch(reqs []ReadReq, done func(int, error)) {
+	if d.closed.Load() {
+		for i := range reqs {
+			done(i, ErrClosed)
+		}
+		return
+	}
+	d.stats.batchReads.Add(1)
+	for i := range reqs {
+		d.jobs <- ioJob{buf: reqs[i].P, off: reqs[i].Off, idx: i, bdone: done}
+	}
 }
 
 // Stats implements Device.

@@ -178,17 +178,20 @@ func (t *InMem) Listen(addr string) (Listener, error) {
 
 // Dial implements Transport.
 func (t *InMem) Dial(addr string) (Conn, error) {
-	t.mu.Lock()
-	l, ok := t.listeners[addr]
-	t.mu.Unlock()
-	if !ok || l.closed.Load() {
-		return nil, fmt.Errorf("transport: no listener at %q", addr)
-	}
 	a2b := make(chan []byte, t.Depth)
 	b2a := make(chan []byte, t.Depth)
 	client := &inMemConn{t: t, in: b2a, out: a2b}
 	server := &inMemConn{t: t, in: a2b, out: b2a}
 	client.peer, server.peer = server, client
+	// The accept send must happen under t.mu: Close closes l.accept under
+	// the same lock, so a dial that passed the closed check cannot race a
+	// concurrent close of the channel. The send is non-blocking.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.listeners[addr]
+	if !ok || l.closed.Load() {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
 	select {
 	case l.accept <- server:
 		return client, nil
@@ -211,8 +214,8 @@ func (l *inMemListener) Close() error {
 	}
 	l.t.mu.Lock()
 	delete(l.t.listeners, l.addr)
-	l.t.mu.Unlock()
 	close(l.accept)
+	l.t.mu.Unlock()
 	return nil
 }
 

@@ -420,9 +420,10 @@ func TestDecodeCountGuards(t *testing.T) {
 	}
 
 	// MsgStatsResp: absurd hash-sample count. The empty frame ends with
-	// [sample count u32][BatchesShed u64]; strip both to sit at the count.
+	// [sample count u32][BatchesShed u64][4 cold-read counter u64s]; strip
+	// all five u64s and the count to sit at the count.
 	hs := EncodeStatsResp(StatsResp{ServerID: "s1"})
-	hs = hs[:len(hs)-12]
+	hs = hs[:len(hs)-44]
 	hs = appendU32(hs, 0xFFFFFFFF)
 	if _, err := DecodeStatsResp(hs); err == nil {
 		t.Fatal("stats resp with absurd sample count accepted")

@@ -642,6 +642,13 @@ type StatsResp struct {
 
 	StorePendingReads uint64 // pending storage I/Os the store has issued
 
+	// Cold-read pipeline and read-cache counters (PR 8). Encoded after
+	// BatchesShed (tail appends; absent in frames from older servers).
+	PendingCoalesced uint64 // pending reads that shared an in-flight device read
+	ReadCacheHits    uint64 // in-memory hits on read-cache-promoted keys
+	ReadCacheCopies  uint64 // records copied to the tail by the read cache
+	DeviceBatchReads uint64 // batched device read submissions
+
 	// LogBytes is the server's HybridLog footprint (tail − begin), the
 	// balancer's per-server space-accounting input.
 	LogBytes uint64
@@ -689,6 +696,11 @@ func EncodeStatsResp(r StatsResp) []byte {
 		dst = appendU64(dst, h)
 	}
 	dst = appendU64(dst, r.BatchesShed) // tail append (see StatsResp)
+	for _, v := range []uint64{
+		r.PendingCoalesced, r.ReadCacheHits, r.ReadCacheCopies, r.DeviceBatchReads,
+	} {
+		dst = appendU64(dst, v) // tail appends (see StatsResp)
+	}
 	return dst
 }
 
@@ -761,6 +773,16 @@ func DecodeStatsResp(buf []byte) (StatsResp, error) {
 	}
 	if d.remaining() >= 8 {
 		if r.BatchesShed, err = d.u64(); err != nil {
+			return r, err
+		}
+	}
+	for _, p := range []*uint64{
+		&r.PendingCoalesced, &r.ReadCacheHits, &r.ReadCacheCopies, &r.DeviceBatchReads,
+	} {
+		if d.remaining() < 8 {
+			break // older frame: tail fields absent
+		}
+		if *p, err = d.u64(); err != nil {
 			return r, err
 		}
 	}

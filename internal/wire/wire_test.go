@@ -240,7 +240,10 @@ func TestStatsRoundTrip(t *testing.T) {
 			DecodeErrors: 1, PendingOps: -2, RemoteFetches: 9, ViewRefreshes: 4,
 			Checkpoints: 5, CheckpointFailures: 1,
 			Compactions: 7, CompactionFailures: 2, CompactRelocated: 88,
-			CompactReclaimedBytes: 1 << 30, StorePendingReads: 42},
+			CompactReclaimedBytes: 1 << 30, StorePendingReads: 42,
+			BatchesShed:      6,
+			PendingCoalesced: 17, ReadCacheHits: 99, ReadCacheCopies: 31,
+			DeviceBatchReads: 11},
 		{}, // zero value (no id, no ranges) must survive too
 	} {
 		out, err := DecodeStatsResp(EncodeStatsResp(in))
@@ -251,7 +254,12 @@ func TestStatsRoundTrip(t *testing.T) {
 			len(out.Ranges) != len(in.Ranges) || out.PendingOps != in.PendingOps ||
 			out.OpsCompleted != in.OpsCompleted ||
 			out.CompactReclaimedBytes != in.CompactReclaimedBytes ||
-			out.StorePendingReads != in.StorePendingReads {
+			out.StorePendingReads != in.StorePendingReads ||
+			out.BatchesShed != in.BatchesShed ||
+			out.PendingCoalesced != in.PendingCoalesced ||
+			out.ReadCacheHits != in.ReadCacheHits ||
+			out.ReadCacheCopies != in.ReadCacheCopies ||
+			out.DeviceBatchReads != in.DeviceBatchReads {
 			t.Fatalf("stats resp mismatch: %+v vs %+v", out, in)
 		}
 		for i := range in.Ranges {
@@ -262,6 +270,20 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeStatsResp(req); err == nil {
 		t.Fatal("decoded a request frame as a response")
+	}
+
+	// Backward compatibility: a frame from an older server ends before the
+	// tail-appended counters; they must decode as zero, not as an error.
+	full := EncodeStatsResp(StatsResp{ServerID: "old", PendingCoalesced: 7,
+		ReadCacheHits: 8, ReadCacheCopies: 9, DeviceBatchReads: 10, BatchesShed: 11})
+	old := full[:len(full)-5*8] // strip BatchesShed + the four PR-8 counters
+	out, err := DecodeStatsResp(old)
+	if err != nil {
+		t.Fatalf("old frame rejected: %v", err)
+	}
+	if out.ServerID != "old" || out.BatchesShed != 0 || out.PendingCoalesced != 0 ||
+		out.ReadCacheHits != 0 || out.ReadCacheCopies != 0 || out.DeviceBatchReads != 0 {
+		t.Fatalf("old frame mis-decoded: %+v", out)
 	}
 
 	// Count guard: an absurd range count must be rejected before allocation.

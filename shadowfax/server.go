@@ -73,6 +73,23 @@ func WithMemoryBudget(pageBits uint, memPages, mutablePages int) ServerOption {
 	}
 }
 
+// WithReadHintBytes sizes the first device read of a pending (disk-resident)
+// operation: records at most this large complete in a single I/O, longer
+// ones read the remainder in one continuation that reuses the prefix. The
+// default is 256; size it to the workload's typical record footprint.
+func WithReadHintBytes(n int) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.Store.ReadHintBytes = n }
+}
+
+// WithReadCache enables the second-chance read cache: records read from the
+// device are (probabilistically, on their second touch) copied back into the
+// mutable log region so subsequent reads hit memory. Worth it for skewed
+// read-heavy workloads whose hot set outgrows the memory budget; off by
+// default because the copies consume log space and flush bandwidth.
+func WithReadCache(enabled bool) ServerOption {
+	return func(sc *serverConfig) { sc.cfg.Store.ReadCache = enabled }
+}
+
 // WithSharedTier mirrors every flushed page to the shared remote tier,
 // enabling indirection records during migration (§3.3.2).
 func WithSharedTier(tier *SharedTier) ServerOption {

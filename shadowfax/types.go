@@ -60,6 +60,17 @@ type ServerStats struct {
 	// StorePendingReads counts the pending storage I/Os the FASTER store
 	// has issued (cold reads served off the SSD path).
 	StorePendingReads uint64
+	// PendingCoalesced counts pending reads that shared another pending
+	// read's in-flight device I/O instead of issuing their own.
+	PendingCoalesced uint64
+	// ReadCacheHits counts in-memory read hits on keys the second-chance
+	// read cache promoted back into the mutable region (tag-based, so
+	// approximate); ReadCacheCopies counts the promotions themselves.
+	ReadCacheHits   uint64
+	ReadCacheCopies uint64
+	// DeviceBatchReads counts batched device read submissions by the
+	// pending-read pipeline.
+	DeviceBatchReads uint64
 
 	// LogBytes is the server's HybridLog footprint (tail − begin address).
 	LogBytes uint64
@@ -94,6 +105,10 @@ func serverStatsFromWire(r wire.StatsResp) ServerStats {
 		CompactReclaimedBytes: r.CompactReclaimedBytes,
 
 		StorePendingReads: r.StorePendingReads,
+		PendingCoalesced:  r.PendingCoalesced,
+		ReadCacheHits:     r.ReadCacheHits,
+		ReadCacheCopies:   r.ReadCacheCopies,
+		DeviceBatchReads:  r.DeviceBatchReads,
 
 		LogBytes:          r.LogBytes,
 		BalancePasses:     r.BalancePasses,
